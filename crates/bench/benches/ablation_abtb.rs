@@ -1,0 +1,124 @@
+//! Ablation studies beyond the paper's headline configuration:
+//!
+//! * ABTB capacity sweep on real machine runs (complements the Figure 5
+//!   trace replay);
+//! * the §3.4 no-Bloom variant vs the Bloom-guarded design;
+//! * context-switch policy (flush vs ASID-tagged retention, §3.3);
+//! * ARM-flavoured multi-instruction trampolines (Figure 2b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynlink_core::{LinkAccel, LinkMode, MachineConfig, SystemBuilder, TrampolineFlavor};
+use dynlink_workloads::{generate, memcached, run_workload_warm};
+
+fn print_ablation_table() {
+    let workload = generate(&memcached(), 240, 3);
+    let base = run_workload_warm(
+        &workload,
+        MachineConfig::baseline(),
+        LinkMode::DynamicLazy,
+        8,
+    )
+    .unwrap();
+
+    println!("\nAblation: memcached, 240 requests (cycles lower is better)");
+    println!(
+        "{:<34} {:>12} {:>10} {:>9}",
+        "configuration", "cycles", "skipped", "saved"
+    );
+    println!(
+        "{:<34} {:>12} {:>10} {:>9}",
+        "baseline (no ABTB)", base.counters.cycles, 0, "-"
+    );
+
+    let row = |label: &str, cfg: MachineConfig| {
+        let run = run_workload_warm(&workload, cfg, LinkMode::DynamicLazy, 8).unwrap();
+        let saved = 100.0 * (base.counters.cycles as f64 - run.counters.cycles as f64)
+            / base.counters.cycles as f64;
+        println!(
+            "{:<34} {:>12} {:>10} {:>+8.2}%",
+            label, run.counters.cycles, run.counters.trampolines_skipped, saved
+        );
+    };
+
+    for entries in [4usize, 16, 64, 128, 256] {
+        row(
+            &format!("ABTB {entries} entries + Bloom"),
+            MachineConfig::enhanced().with_abtb_entries(entries),
+        );
+    }
+    row(
+        "ABTB 128, no Bloom (sec 3.4)",
+        MachineConfig::enhanced_no_bloom(),
+    );
+    let mut asid = MachineConfig::enhanced();
+    asid.flush_abtb_on_context_switch = false;
+    row("ABTB 128, ASID-tagged", asid);
+    let mut small_bloom = MachineConfig::enhanced();
+    small_bloom.bloom_bits = 64;
+    row("ABTB 128, 64-bit Bloom", small_bloom);
+    let mut bimodal = MachineConfig::enhanced();
+    bimodal.bpred_history_bits = 0;
+    row("ABTB 128, bimodal predictor", bimodal);
+    let mut prefetch = MachineConfig::enhanced();
+    prefetch.icache_next_line_prefetch = true;
+    row("ABTB 128 + next-line prefetch", prefetch);
+}
+
+fn bench(c: &mut Criterion) {
+    print_ablation_table();
+
+    // ARM-flavour trampoline cost comparison as a measured benchmark.
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    for (label, flavor) in [
+        ("x86_trampolines", TrampolineFlavor::X86),
+        ("arm_trampolines", TrampolineFlavor::Arm),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut system = SystemBuilder::new()
+                    .module(dynlink_repro_helpers::calling_app("inc", 2000))
+                    .module(dynlink_repro_helpers::adder_library("libinc", "inc", 1))
+                    .accel(LinkAccel::Abtb)
+                    .trampoline_flavor(flavor)
+                    .build()
+                    .unwrap();
+                system.run(10_000_000).unwrap();
+                system.counters().cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Local copies of the umbrella-crate helpers (the bench crate cannot
+/// depend on the root package).
+mod dynlink_repro_helpers {
+    use dynlink_isa::{Inst, Reg};
+    use dynlink_linker::{ModuleBuilder, ModuleSpec};
+
+    pub fn adder_library(module: &str, name: &str, delta: u64) -> ModuleSpec {
+        let mut lib = ModuleBuilder::new(module);
+        lib.begin_function(name, true);
+        lib.asm().push(Inst::add_imm(Reg::R0, delta));
+        lib.asm().push(Inst::Ret);
+        lib.finish().unwrap()
+    }
+
+    pub fn calling_app(callee: &str, iterations: u64) -> ModuleSpec {
+        let mut app = ModuleBuilder::new("app");
+        let f = app.import(callee);
+        app.begin_function("main", true);
+        let top = app.asm().fresh_label("top");
+        app.asm().push(Inst::mov_imm(Reg::R2, iterations));
+        app.asm().bind(top);
+        app.asm().push_call_extern(f);
+        app.asm().push(Inst::sub_imm(Reg::R2, 1));
+        app.asm().push_branch_nz(Reg::R2, top);
+        app.asm().push(Inst::Halt);
+        app.finish().unwrap()
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

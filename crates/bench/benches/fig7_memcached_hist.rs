@@ -1,0 +1,18 @@
+//! Regenerates paper Figure 7 (Memcached GET/SET processing-time
+//! histograms) and benchmarks the run + histogram build.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynlink_bench::experiments::{collect, fig7};
+use dynlink_workloads::memcached;
+
+fn bench(c: &mut Criterion) {
+    let ds = collect(&memcached(), 300, 8);
+    println!("\n{}", fig7(&ds, 1000));
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(20);
+    g.bench_function("histogram_build", |b| b.iter(|| fig7(&ds, 1000).rows.len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

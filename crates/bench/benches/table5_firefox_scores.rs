@@ -1,0 +1,26 @@
+//! Regenerates paper Table 5 (Firefox Peacekeeper scores) and benchmarks
+//! the Firefox kernel run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynlink_bench::experiments::{collect, table5};
+use dynlink_core::{LinkMode, MachineConfig};
+use dynlink_workloads::{firefox, generate, run_workload};
+
+fn bench(c: &mut Criterion) {
+    let ds = collect(&firefox(), 150, 6);
+    println!("\n{}", table5(&ds));
+    drop(ds);
+
+    let workload = generate(&firefox(), 15, 1);
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("firefox_kernel_run", |b| {
+        b.iter(|| {
+            run_workload(&workload, MachineConfig::enhanced(), LinkMode::DynamicLazy).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

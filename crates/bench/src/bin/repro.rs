@@ -1,0 +1,194 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation section from the simulator.
+//!
+//! ```text
+//! repro [--scale quick|full] [--exp all|table2|table3|fig4|table4|fig5|
+//!        fig6|table5|fig7|fig8|mem|cost] [--workers N]
+//! ```
+
+use std::process::ExitCode;
+
+use dynlink_bench::experiments::{
+    btb_pressure, collect_all, context_switch_sweep, cycle_breakdown, export_figure_data, fig4,
+    fig5, fig6, fig7, fig8_table6, hw_cost, multitenant, negative_control, sensitivity, table2,
+    table3, table4, table5, Scale, WorkloadDataset,
+};
+use dynlink_bench::memsave::memory_savings;
+use dynlink_workloads::apache;
+
+const EXPERIMENTS: &[&str] = &[
+    "table2",
+    "table3",
+    "fig4",
+    "table4",
+    "fig5",
+    "fig6",
+    "table5",
+    "fig7",
+    "fig8",
+    "mem",
+    "cost",
+    "switches",
+    "btb",
+    "breakdown",
+    "control",
+    "sensitivity",
+    "tenants",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [--scale quick|full] [--exp all|{}] [--workers N] [--data-dir DIR]",
+        EXPERIMENTS.join("|")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::quick();
+    let mut scale_name = "quick";
+    let mut exp = "all".to_owned();
+    let mut workers = 100u64;
+    let mut data_dir: Option<std::path::PathBuf> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("quick") => {
+                        scale = Scale::quick();
+                        scale_name = "quick";
+                    }
+                    Some("full") => {
+                        scale = Scale::full();
+                        scale_name = "full";
+                    }
+                    _ => return usage(),
+                }
+            }
+            "--exp" => {
+                i += 1;
+                match args.get(i) {
+                    Some(e) if e == "all" || EXPERIMENTS.contains(&e.as_str()) => {
+                        exp = e.clone();
+                    }
+                    _ => return usage(),
+                }
+            }
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|w| w.parse().ok()) {
+                    Some(w) => workers = w,
+                    None => return usage(),
+                }
+            }
+            "--data-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => data_dir = Some(std::path::PathBuf::from(d)),
+                    None => return usage(),
+                }
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    let want = |name: &str| exp == "all" || exp == name;
+    let needs_datasets = EXPERIMENTS[..9].iter().any(|e| want(e));
+
+    println!(
+        "== dynlink-sim reproduction: Architectural Support for Dynamic Linking (ASPLOS'15) =="
+    );
+    println!("scale: {scale_name}\n");
+
+    let datasets: Vec<WorkloadDataset> = if needs_datasets {
+        eprintln!("collecting workload datasets (base + enhanced runs, traced)...");
+        collect_all(scale)
+    } else {
+        Vec::new()
+    };
+
+    if want("table2") {
+        println!("{}", table2(&datasets));
+    }
+    if want("table3") {
+        println!("{}", table3(&datasets));
+        println!(
+            "(tail trampolines fire as rarely as every 2^k requests; the quick\n\
+             scale under-counts long tails -- use --scale full for coverage)\n"
+        );
+    }
+    if want("fig4") {
+        println!("{}", fig4(&datasets));
+    }
+    if want("table4") {
+        println!("{}", table4(&datasets));
+    }
+    if want("fig5") {
+        let sizes = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+        println!("{}", fig5(&datasets, &sizes));
+    }
+    let by_name = |n: &str| datasets.iter().find(|d| d.name == n);
+    if want("fig6") {
+        if let Some(d) = by_name("apache") {
+            println!("{}", fig6(d));
+        }
+    }
+    if want("table5") {
+        if let Some(d) = by_name("firefox") {
+            println!("{}", table5(d));
+            println!();
+        }
+    }
+    if want("fig7") {
+        if let Some(d) = by_name("memcached") {
+            println!("{}", fig7(d, 1000));
+        }
+    }
+    if want("fig8") {
+        if let Some(d) = by_name("mysql") {
+            println!("{}", fig8_table6(d));
+        }
+    }
+    if let Some(dir) = &data_dir {
+        match export_figure_data(&datasets, dir) {
+            Ok(files) => eprintln!("wrote {} TSV series to {}", files.len(), dir.display()),
+            Err(e) => eprintln!("failed to export figure data: {e}"),
+        }
+    }
+
+    if want("mem") {
+        println!("{}\n", memory_savings(&apache(), workers));
+    }
+    if want("cost") {
+        println!("{}\n", hw_cost());
+    }
+    if want("switches") {
+        println!("{}", context_switch_sweep(scale.memcached.min(600)));
+    }
+    if want("btb") {
+        println!("{}", btb_pressure(scale));
+    }
+    if want("breakdown") {
+        println!("{}", cycle_breakdown(scale));
+    }
+    if want("control") {
+        println!("{}\n", negative_control(scale.memcached.min(400)));
+    }
+    if want("sensitivity") {
+        println!("{}", sensitivity(scale.apache.min(400)));
+    }
+    if want("tenants") {
+        println!("{}", multitenant(scale.mysql.min(120), 20_000));
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,1401 @@
+//! Data collection and per-table/figure experiment drivers.
+
+use std::fmt;
+
+use dynlink_core::{LinkMode, MachineConfig, PerfCounters};
+use dynlink_isa::VirtAddr;
+use dynlink_trace::{abtb_skip_percentages, TrampolineStats, TrampolineTracer};
+use dynlink_uarch::ABTB_ENTRY_BYTES;
+use dynlink_workloads::{
+    apache, firefox, generate, memcached, mysql, run_workload_observed, WorkloadProfile,
+    WorkloadRun,
+};
+
+/// Experiment sizing: requests per workload and warmup requests per
+/// request type.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Requests for the Apache/SPECweb model.
+    pub apache: u64,
+    /// Requests (kernel iterations) for the Firefox/Peacekeeper model.
+    pub firefox: u64,
+    /// Requests for the Memcached model.
+    pub memcached: u64,
+    /// Requests for the MySQL/TPC-C model.
+    pub mysql: u64,
+    /// Warmup requests per request type excluded from steady-state
+    /// numbers.
+    pub warmup: u64,
+}
+
+impl Scale {
+    /// A quick scale for tests and Criterion setup (seconds).
+    pub fn quick() -> Scale {
+        Scale {
+            apache: 360,
+            firefox: 300,
+            memcached: 600,
+            mysql: 300,
+            warmup: 8,
+        }
+    }
+
+    /// A tiny scale for Criterion bench setup (sub-second per workload).
+    pub fn tiny() -> Scale {
+        Scale {
+            apache: 120,
+            firefox: 100,
+            memcached: 150,
+            mysql: 100,
+            warmup: 4,
+        }
+    }
+
+    /// The full scale used by `repro` (minutes): enough requests for
+    /// complete tail-trampoline coverage in every workload.
+    pub fn full() -> Scale {
+        Scale {
+            apache: 1800,
+            firefox: 2600,
+            memcached: 3000,
+            mysql: 1600,
+            warmup: 32,
+        }
+    }
+
+    fn requests_for(&self, name: &str) -> u64 {
+        match name {
+            "apache" => self.apache,
+            "firefox" => self.firefox,
+            "memcached" => self.memcached,
+            "mysql" => self.mysql,
+            _ => self.memcached,
+        }
+    }
+}
+
+/// Everything measured for one workload: a traced baseline run and an
+/// enhanced (ABTB) run over identical inputs.
+#[derive(Debug, Clone)]
+pub struct WorkloadDataset {
+    /// Workload name.
+    pub name: String,
+    /// Paper-calibrated profile the run was generated from.
+    pub profile: WorkloadProfile,
+    /// Baseline (accelerator off) run.
+    pub base: WorkloadRun,
+    /// Enhanced (ABTB + Bloom) run.
+    pub enhanced: WorkloadRun,
+    /// Per-trampoline statistics from the baseline trace.
+    pub stats: TrampolineStats,
+    /// Trampoline access sequence from the baseline trace.
+    pub sequence: Vec<VirtAddr>,
+}
+
+/// Collects one workload's dataset at the given request count.
+///
+/// # Panics
+///
+/// Panics if the simulation faults — generated workloads are expected
+/// to run to completion.
+pub fn collect(profile: &WorkloadProfile, requests: u64, warmup: u64) -> WorkloadDataset {
+    let workload = generate(profile, requests, 0xd1e5e1);
+    let tracer = TrampolineTracer::shared();
+    let base = run_workload_observed(
+        &workload,
+        MachineConfig::baseline(),
+        LinkMode::DynamicLazy,
+        warmup,
+        Some(tracer.clone()),
+    )
+    .expect("baseline run completes");
+    let enhanced = run_workload_observed(
+        &workload,
+        MachineConfig::enhanced(),
+        LinkMode::DynamicLazy,
+        warmup,
+        None,
+    )
+    .expect("enhanced run completes");
+    let tracer = tracer.borrow();
+    WorkloadDataset {
+        name: profile.name.clone(),
+        profile: profile.clone(),
+        base,
+        enhanced,
+        stats: tracer.stats(),
+        sequence: tracer.sequence().to_vec(),
+    }
+}
+
+/// Collects all four paper workloads.
+pub fn collect_all(scale: Scale) -> Vec<WorkloadDataset> {
+    [apache(), firefox(), memcached(), mysql()]
+        .iter()
+        .map(|p| collect(p, scale.requests_for(&p.name), scale.warmup))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2
+// ---------------------------------------------------------------------------
+
+/// Table 2: trampoline instructions per kilo-instruction.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// `(workload, measured PKI, paper PKI)`.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Regenerates Table 2 from collected datasets.
+pub fn table2(datasets: &[WorkloadDataset]) -> Table2 {
+    Table2 {
+        rows: datasets
+            .iter()
+            .map(|d| {
+                (
+                    d.name.clone(),
+                    d.base.counters.pki(d.base.counters.trampoline_instructions),
+                    d.profile.trampoline_pki,
+                )
+            })
+            .collect(),
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 2. Instructions in trampoline per kilo instruction"
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>14} {:>12}",
+            "Workload", "Measured PKI", "Paper PKI"
+        )?;
+        for (name, got, paper) in &self.rows {
+            writeln!(f, "{name:<12} {got:>14.2} {paper:>12.2}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 3
+// ---------------------------------------------------------------------------
+
+/// Table 3: distinct trampolines used.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// `(workload, measured distinct, paper distinct)`.
+    pub rows: Vec<(String, usize, usize)>,
+}
+
+/// Regenerates Table 3 from collected datasets.
+pub fn table3(datasets: &[WorkloadDataset]) -> Table3 {
+    Table3 {
+        rows: datasets
+            .iter()
+            .map(|d| {
+                (
+                    d.name.clone(),
+                    d.stats.distinct(),
+                    d.profile.distinct_trampolines,
+                )
+            })
+            .collect(),
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 3. Number of distinct trampolines used")?;
+        writeln!(f, "{:<12} {:>10} {:>10}", "Workload", "Measured", "Paper")?;
+        for (name, got, paper) in &self.rows {
+            writeln!(f, "{name:<12} {got:>10} {paper:>10}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------------
+
+/// Figure 4: trampoline rank–frequency series (log–log decay).
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// `(workload, counts sorted descending, head covering 50% of calls)`.
+    pub series: Vec<(String, Vec<u64>, usize)>,
+}
+
+/// Regenerates Figure 4 from collected datasets.
+pub fn fig4(datasets: &[WorkloadDataset]) -> Fig4 {
+    Fig4 {
+        series: datasets
+            .iter()
+            .map(|d| {
+                (
+                    d.name.clone(),
+                    d.stats.rank_frequency(),
+                    d.stats.coverage_count(0.5),
+                )
+            })
+            .collect(),
+    }
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 4. Frequency of trampolines (rank -> execution count)"
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "Workload", "rank 1", "rank 10", "rank 100", "rank 1000", "distinct", "50% head"
+        )?;
+        for (name, counts, head) in &self.series {
+            let at = |r: usize| counts.get(r).map_or(0, |c| *c);
+            writeln!(
+                f,
+                "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+                name,
+                at(0),
+                at(9),
+                at(99),
+                at(999),
+                counts.len(),
+                head
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 4
+// ---------------------------------------------------------------------------
+
+/// One Table 4 row pair: baseline and enhanced counters for a workload.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Workload name.
+    pub workload: String,
+    /// Baseline counters.
+    pub base: PerfCounters,
+    /// Enhanced counters.
+    pub enhanced: PerfCounters,
+}
+
+/// Table 4: performance counters (per kilo-instruction), base vs
+/// enhanced.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// Rows in workload order.
+    pub rows: Vec<Table4Row>,
+}
+
+/// Regenerates Table 4 from collected datasets.
+pub fn table4(datasets: &[WorkloadDataset]) -> Table4 {
+    Table4 {
+        rows: datasets
+            .iter()
+            .map(|d| Table4Row {
+                workload: d.name.clone(),
+                base: d.base.counters,
+                enhanced: d.enhanced.counters,
+            })
+            .collect(),
+    }
+}
+
+impl fmt::Display for Table4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 4. Performance counters (values are per kilo-instruction)"
+        )?;
+        writeln!(
+            f,
+            "{:<22} {}",
+            "Counter",
+            self.rows
+                .iter()
+                .map(|r| format!("{:>11}-base {:>11}-enh", r.workload, r.workload))
+                .collect::<Vec<_>>()
+                .join(" ")
+        )?;
+        type Getter = fn(&PerfCounters) -> u64;
+        let metrics: [(&str, Getter); 5] = [
+            ("I-$ misses", |c| c.icache_misses),
+            ("I-TLB misses", |c| c.itlb_misses),
+            ("D-$ misses", |c| c.dcache_misses),
+            ("D-TLB misses", |c| c.dtlb_misses),
+            ("Branch mispredict", |c| c.branch_mispredictions),
+        ];
+        for (label, get) in metrics {
+            write!(f, "{label:<22}")?;
+            for r in &self.rows {
+                write!(
+                    f,
+                    " {:>16.3} {:>15.3}",
+                    r.base.pki(get(&r.base)),
+                    r.enhanced.pki(get(&r.enhanced))
+                )?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "{:<22}", "IPC")?;
+        for r in &self.rows {
+            write!(f, " {:>16.3} {:>15.3}", r.base.ipc(), r.enhanced.ipc())?;
+        }
+        writeln!(f)?;
+        write!(f, "{:<22}", "Cycles saved %")?;
+        for r in &self.rows {
+            let saved = 100.0 * (r.base.cycles as f64 - r.enhanced.cycles as f64)
+                / r.base.cycles.max(1) as f64;
+            write!(f, " {:>16} {:>14.2}%", "", saved)?;
+        }
+        writeln!(f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------------
+
+/// Figure 5: % of trampoline executions skipped vs ABTB capacity.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// ABTB capacities swept.
+    pub sizes: Vec<usize>,
+    /// `(workload, skip % per capacity)`.
+    pub series: Vec<(String, Vec<(usize, f64)>)>,
+}
+
+/// Regenerates Figure 5 by replaying baseline trampoline traces through
+/// LRU ABTBs of each capacity.
+pub fn fig5(datasets: &[WorkloadDataset], sizes: &[usize]) -> Fig5 {
+    Fig5 {
+        sizes: sizes.to_vec(),
+        series: datasets
+            .iter()
+            .map(|d| (d.name.clone(), abtb_skip_percentages(&d.sequence, sizes)))
+            .collect(),
+    }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 5. Percentage of library function call trampolines skipped vs ABTB size"
+        )?;
+        write!(f, "{:<12}", "Workload")?;
+        for s in &self.sizes {
+            write!(f, " {s:>8}")?;
+        }
+        writeln!(f)?;
+        for (name, pcts) in &self.series {
+            write!(f, "{name:<12}")?;
+            for (_, p) in pcts {
+                write!(f, " {p:>7.1}%")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 (Apache CDFs) — shared latency-table machinery
+// ---------------------------------------------------------------------------
+
+/// Latency quantiles for one request type, base vs enhanced.
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// Request-type name.
+    pub request: String,
+    /// Quantiles measured (parallel to `base`/`enhanced`).
+    pub quantiles: Vec<f64>,
+    /// Baseline latency (cycles) at each quantile.
+    pub base: Vec<u64>,
+    /// Enhanced latency (cycles) at each quantile.
+    pub enhanced: Vec<u64>,
+    /// Mean improvement of the enhanced machine, in percent.
+    pub mean_improvement_pct: f64,
+}
+
+/// A per-request-type latency comparison (Figures 6–8, Table 6).
+#[derive(Debug, Clone)]
+pub struct LatencyTable {
+    /// Table caption.
+    pub title: String,
+    /// One row per request type.
+    pub rows: Vec<LatencyRow>,
+}
+
+/// Builds a latency table from a dataset at the given quantiles.
+pub fn latency_table(dataset: &WorkloadDataset, title: &str, quantiles: &[f64]) -> LatencyTable {
+    let rows = dataset
+        .base
+        .type_names
+        .iter()
+        .enumerate()
+        .map(|(t, name)| {
+            let base_mean = dataset.base.mean_latency(t);
+            let enh_mean = dataset.enhanced.mean_latency(t);
+            LatencyRow {
+                request: name.clone(),
+                quantiles: quantiles.to_vec(),
+                base: quantiles
+                    .iter()
+                    .map(|&q| dataset.base.quantile_latency(t, q))
+                    .collect(),
+                enhanced: quantiles
+                    .iter()
+                    .map(|&q| dataset.enhanced.quantile_latency(t, q))
+                    .collect(),
+                mean_improvement_pct: 100.0 * (base_mean - enh_mean) / base_mean.max(1.0),
+            }
+        })
+        .collect();
+    LatencyTable {
+        title: title.to_owned(),
+        rows,
+    }
+}
+
+impl fmt::Display for LatencyTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {} (mean improvement {:+.2}%)",
+                row.request, row.mean_improvement_pct
+            )?;
+            write!(f, "    {:<10}", "quantile")?;
+            for q in &row.quantiles {
+                write!(f, " {:>9.0}%", q * 100.0)?;
+            }
+            writeln!(f)?;
+            write!(f, "    {:<10}", "base")?;
+            for v in &row.base {
+                write!(f, " {v:>10}")?;
+            }
+            writeln!(f)?;
+            write!(f, "    {:<10}", "enhanced")?;
+            for v in &row.enhanced {
+                write!(f, " {v:>10}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Figure 6: Apache request-latency CDFs per SPECweb request type
+/// (reported as quantiles; paper shows full CDF curves with ~4% mean
+/// improvement and unaffected tails).
+pub fn fig6(apache_ds: &WorkloadDataset) -> LatencyTable {
+    latency_table(
+        apache_ds,
+        "Figure 6. Apache (SPECweb) response-time distribution, cycles, base vs enhanced",
+        &[0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99],
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Table 5 (Firefox / Peacekeeper)
+// ---------------------------------------------------------------------------
+
+/// Table 5: Peacekeeper-style scores (higher is better).
+#[derive(Debug, Clone)]
+pub struct Table5 {
+    /// `(kernel, base score, enhanced score, improvement %)`. Scores are
+    /// operations per simulated second at 3 GHz.
+    pub rows: Vec<(String, f64, f64, f64)>,
+}
+
+/// Regenerates Table 5: each Peacekeeper kernel's score is operations
+/// per simulated second (3 GHz clock over the mean request latency).
+pub fn table5(firefox_ds: &WorkloadDataset) -> Table5 {
+    const HZ: f64 = 3.0e9;
+    let rows = firefox_ds
+        .base
+        .type_names
+        .iter()
+        .enumerate()
+        .map(|(t, name)| {
+            let base = HZ / firefox_ds.base.mean_latency(t).max(1.0);
+            let enh = HZ / firefox_ds.enhanced.mean_latency(t).max(1.0);
+            (name.clone(), base, enh, 100.0 * (enh - base) / base)
+        })
+        .collect();
+    Table5 { rows }
+}
+
+impl fmt::Display for Table5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 5. Firefox Peacekeeper-style scores (ops/s, higher is better)"
+        )?;
+        writeln!(
+            f,
+            "{:<16} {:>12} {:>12} {:>8}",
+            "Kernel", "Base", "Enhanced", "Delta"
+        )?;
+        for (name, base, enh, d) in &self.rows {
+            writeln!(f, "{name:<16} {base:>12.0} {enh:>12.0} {d:>+7.2}%")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 (Memcached histograms)
+// ---------------------------------------------------------------------------
+
+/// Figure 7: request-processing-time histograms for Memcached GET/SET.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Histogram bucket width in cycles.
+    pub bucket_cycles: u64,
+    /// `(request type, base histogram, enhanced histogram, base peak
+    /// bucket, enhanced peak bucket)`; histograms map bucket index →
+    /// request count.
+    pub rows: Vec<Fig7Row>,
+}
+
+/// One Figure 7 row: request type, both histograms and their peaks.
+pub type Fig7Row = (String, Vec<(u64, u64)>, Vec<(u64, u64)>, u64, u64);
+
+fn histogram(latencies: &[u64], bucket: u64) -> Vec<(u64, u64)> {
+    let mut map = std::collections::BTreeMap::new();
+    for &l in latencies {
+        *map.entry(l / bucket).or_insert(0u64) += 1;
+    }
+    map.into_iter().collect()
+}
+
+fn peak_bucket(hist: &[(u64, u64)]) -> u64 {
+    hist.iter().max_by_key(|(_, n)| *n).map_or(0, |(b, _)| *b)
+}
+
+/// Regenerates Figure 7 from the Memcached dataset.
+pub fn fig7(memcached_ds: &WorkloadDataset, bucket_cycles: u64) -> Fig7 {
+    let rows = memcached_ds
+        .base
+        .type_names
+        .iter()
+        .enumerate()
+        .map(|(t, name)| {
+            let hb = histogram(&memcached_ds.base.latencies[t], bucket_cycles);
+            let he = histogram(&memcached_ds.enhanced.latencies[t], bucket_cycles);
+            let (pb, pe) = (peak_bucket(&hb), peak_bucket(&he));
+            (name.clone(), hb, he, pb, pe)
+        })
+        .collect();
+    Fig7 {
+        bucket_cycles,
+        rows,
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 7. Memcached request-processing-time histograms (bucket = {} cycles)",
+            self.bucket_cycles
+        )?;
+        for (name, hb, he, pb, pe) in &self.rows {
+            writeln!(
+                f,
+                "  {name} requests: peak bucket base={pb} enhanced={pe} (enhanced shifted {})",
+                if pe <= pb { "left or equal" } else { "right" }
+            )?;
+            let buckets: std::collections::BTreeSet<u64> =
+                hb.iter().chain(he.iter()).map(|(b, _)| *b).collect();
+            let find =
+                |h: &[(u64, u64)], b: u64| h.iter().find(|(x, _)| *x == b).map_or(0, |(_, n)| *n);
+            for b in buckets {
+                writeln!(
+                    f,
+                    "    bucket {:>6}: base {:>5} enhanced {:>5}",
+                    b,
+                    find(hb, b),
+                    find(he, b)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 / Table 6 (MySQL)
+// ---------------------------------------------------------------------------
+
+/// Figure 8 + Table 6: MySQL New Order / Payment latency quantiles.
+pub fn fig8_table6(mysql_ds: &WorkloadDataset) -> LatencyTable {
+    latency_table(
+        mysql_ds,
+        "Figure 8 / Table 6. MySQL (TPC-C) response time, cycles, base vs enhanced",
+        &[0.50, 0.75, 0.90, 0.95],
+    )
+}
+
+// ---------------------------------------------------------------------------
+// §5.3 hardware cost
+// ---------------------------------------------------------------------------
+
+/// §5.3: ABTB storage cost.
+#[derive(Debug, Clone)]
+pub struct HwCost {
+    /// `(entries, bytes)`.
+    pub rows: Vec<(usize, u64)>,
+}
+
+/// Regenerates the §5.3 storage-cost arithmetic (12 bytes per entry).
+pub fn hw_cost() -> HwCost {
+    HwCost {
+        rows: [16usize, 32, 64, 128, 256, 512]
+            .iter()
+            .map(|&e| (e, e as u64 * ABTB_ENTRY_BYTES))
+            .collect(),
+    }
+}
+
+impl fmt::Display for HwCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Section 5.3. ABTB hardware cost (12 bytes per entry)")?;
+        writeln!(f, "{:>8} {:>10}", "Entries", "Bytes")?;
+        for (e, b) in &self.rows {
+            writeln!(f, "{e:>8} {b:>10}")?;
+        }
+        writeln!(
+            f,
+            "Note: 16 entries = 192 B as in the paper; 128 entries is the"
+        )?;
+        writeln!(
+            f,
+            "abstract's 1.5 KB budget (the paper's '256 entries < 1.5KB' is"
+        )?;
+        write!(
+            f,
+            "inconsistent with its own 12 B/entry figure; see EXPERIMENTS.md)"
+        )
+    }
+}
+
+/// Multitenant co-scheduling: two different server workloads
+/// time-sharing one core.
+#[derive(Debug, Clone)]
+pub struct Multitenant {
+    /// `(policy name, total cycles, % trampolines skipped)`.
+    pub rows: Vec<(String, u64, f64)>,
+}
+
+/// Co-schedules the Apache and MySQL models on one machine in
+/// `quantum`-instruction slices (eager binding), comparing the baseline,
+/// the flush-on-switch ABTB and the ASID-tagged ABTB. Beyond the paper:
+/// shows the mechanism composes with real OS multiprogramming, where
+/// processes' virtual addresses alias.
+pub fn multitenant(requests: u64, quantum: u64) -> Multitenant {
+    use dynlink_cpu::{Machine, ProcessContext};
+    use dynlink_linker::{LinkOptions, Loader};
+    use dynlink_mem::layout::STACK_TOP;
+    use dynlink_mem::AddressSpace;
+
+    let make = |profile: &dynlink_workloads::WorkloadProfile,
+                asid: u64|
+     -> (
+        ProcessContext,
+        Vec<(dynlink_isa::VirtAddr, dynlink_isa::VirtAddr)>,
+    ) {
+        let workload = generate(profile, requests, 0x7e7);
+        let mut space = AddressSpace::new(asid);
+        let image = Loader::new(LinkOptions {
+            mode: LinkMode::DynamicNow,
+            ..LinkOptions::default()
+        })
+        .load(&workload.modules, "main", &mut space)
+        .expect("loads");
+        let ranges = image.plt_ranges().to_vec();
+        let ctx =
+            ProcessContext::new(space, image.entry(), STACK_TOP, 1 << 20).expect("stack maps");
+        (ctx, ranges)
+    };
+
+    let run_policy = |cfg: MachineConfig| -> (u64, f64) {
+        let (mut a, ranges_a) = make(&apache(), 1);
+        let (mut b, ranges_b) = make(&mysql(), 2);
+        let mut ranges = ranges_a;
+        ranges.extend(ranges_b);
+        let mut machine = Machine::new(cfg, AddressSpace::new(99));
+        machine.set_plt_ranges(&ranges);
+        machine.swap_process(&mut a);
+        let mut current_is_a = true;
+        let (mut a_done, mut b_done) = (false, false);
+        for _ in 0..1_000_000 {
+            machine.run(quantum).expect("runs");
+            if current_is_a {
+                a_done = machine.halted();
+            } else {
+                b_done = machine.halted();
+            }
+            if a_done && b_done {
+                break;
+            }
+            machine.swap_process(&mut b);
+            current_is_a = !current_is_a;
+        }
+        assert!(a_done && b_done, "both workloads must finish");
+        let c = machine.counters();
+        let total = c.trampolines_skipped + c.trampoline_instructions;
+        (
+            c.cycles,
+            100.0 * c.trampolines_skipped as f64 / total.max(1) as f64,
+        )
+    };
+
+    let mut rows = Vec::new();
+    let (cycles, skip) = run_policy(MachineConfig::baseline());
+    rows.push(("baseline (no ABTB)".to_owned(), cycles, skip));
+    let (cycles, skip) = run_policy(MachineConfig::enhanced());
+    rows.push(("ABTB, flush on switch".to_owned(), cycles, skip));
+    let mut tagged = MachineConfig::enhanced();
+    tagged.flush_abtb_on_context_switch = false;
+    let (cycles, skip) = run_policy(tagged);
+    rows.push(("ABTB, ASID-tagged".to_owned(), cycles, skip));
+    Multitenant { rows }
+}
+
+impl fmt::Display for Multitenant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Multitenant: Apache + MySQL co-scheduled on one core (eager binding)"
+        )?;
+        writeln!(f, "{:<26} {:>14} {:>10}", "policy", "cycles", "skipped")?;
+        let base = self.rows.first().map_or(1, |r| r.1);
+        for (name, cycles, skip) in &self.rows {
+            let saved = 100.0 * (base as f64 - *cycles as f64) / base as f64;
+            writeln!(
+                f,
+                "{name:<26} {cycles:>14} {skip:>9.1}%   ({saved:+.2}% vs baseline)"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Negative control: a compute-bound workload where the mechanism has
+/// nothing to skip.
+#[derive(Debug, Clone)]
+pub struct NegativeControl {
+    /// Baseline cycles.
+    pub base_cycles: u64,
+    /// Enhanced cycles.
+    pub enhanced_cycles: u64,
+    /// Trampolines skipped (expected tiny).
+    pub skipped: u64,
+}
+
+/// Runs the compute-bound profile under both machines: with almost no
+/// library calls, the enhanced machine must match the baseline within
+/// noise — the hardware is off the critical path and costs nothing when
+/// idle (paper §3, §6).
+pub fn negative_control(requests: u64) -> NegativeControl {
+    let workload = generate(&dynlink_workloads::compute_bound(), requests, 0xc0);
+    let base = run_workload_observed(
+        &workload,
+        MachineConfig::baseline(),
+        LinkMode::DynamicLazy,
+        4,
+        None,
+    )
+    .expect("runs");
+    let enh = run_workload_observed(
+        &workload,
+        MachineConfig::enhanced(),
+        LinkMode::DynamicLazy,
+        4,
+        None,
+    )
+    .expect("runs");
+    NegativeControl {
+        base_cycles: base.counters.cycles,
+        enhanced_cycles: enh.counters.cycles,
+        skipped: enh.counters.trampolines_skipped,
+    }
+}
+
+impl fmt::Display for NegativeControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let delta = 100.0 * (self.base_cycles as f64 - self.enhanced_cycles as f64)
+            / self.base_cycles.max(1) as f64;
+        writeln!(
+            f,
+            "Negative control (compute-bound kernel, ~0.05 trampoline PKI)"
+        )?;
+        writeln!(f, "  baseline cycles : {}", self.base_cycles)?;
+        writeln!(f, "  enhanced cycles : {}", self.enhanced_cycles)?;
+        writeln!(f, "  delta           : {delta:+.3}%")?;
+        write!(f, "  skipped         : {}", self.skipped)
+    }
+}
+
+/// Sensitivity of the Apache result to machine parameters: cycles saved
+/// by the ABTB across L1-I sizes and BTB sizes.
+#[derive(Debug, Clone)]
+pub struct Sensitivity {
+    /// `(icache KiB, btb entries, cycles saved %)`.
+    pub rows: Vec<(u64, u32, f64)>,
+}
+
+/// Sweeps L1-I capacity and BTB capacity and reports the enhanced
+/// machine's cycle savings on the Apache model under each — checking
+/// that the paper's conclusion is not an artifact of one configuration.
+pub fn sensitivity(requests: u64) -> Sensitivity {
+    let workload = generate(&apache(), requests, 0x5e5);
+    let mut rows = Vec::new();
+    for icache_kib in [16u64, 32, 64] {
+        for btb_entries in [512u32, 2048] {
+            let mk = |accel| {
+                let mut cfg = MachineConfig::baseline();
+                cfg.accel = accel;
+                cfg.icache.size_bytes = icache_kib * 1024;
+                cfg.btb_entries = btb_entries;
+                cfg
+            };
+            let base = run_workload_observed(
+                &workload,
+                mk(dynlink_core::LinkAccel::Off),
+                LinkMode::DynamicLazy,
+                4,
+                None,
+            )
+            .expect("runs");
+            let enh = run_workload_observed(
+                &workload,
+                mk(dynlink_core::LinkAccel::Abtb),
+                LinkMode::DynamicLazy,
+                4,
+                None,
+            )
+            .expect("runs");
+            let saved = 100.0 * (base.counters.cycles as f64 - enh.counters.cycles as f64)
+                / base.counters.cycles.max(1) as f64;
+            rows.push((icache_kib, btb_entries, saved));
+        }
+    }
+    Sensitivity { rows }
+}
+
+impl fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Sensitivity: Apache cycles saved by the ABTB across machine configurations"
+        )?;
+        writeln!(f, "{:>10} {:>12} {:>10}", "L1-I", "BTB entries", "saved")?;
+        for (kib, btb, saved) in &self.rows {
+            writeln!(f, "{:>7}KiB {btb:>12} {saved:>+9.2}%", kib)?;
+        }
+        Ok(())
+    }
+}
+
+/// §5.2 analysis: first-order vs second-order cycle savings.
+#[derive(Debug, Clone)]
+pub struct BreakdownReport {
+    /// `(workload, base breakdown, enhanced breakdown)`.
+    pub rows: Vec<(
+        String,
+        dynlink_cpu::CycleBreakdown,
+        dynlink_cpu::CycleBreakdown,
+    )>,
+}
+
+/// Measures where the enhanced machine's saved cycles come from: the
+/// paper observes that for Apache "the second-order performance impact
+/// of these microarchitectural improvements is actually greater than
+/// the first-order impact of skipping the trampoline instructions"
+/// (§5.2). First-order = base issue cost of eliminated instructions;
+/// second-order = avoided miss/misprediction penalties.
+pub fn cycle_breakdown(scale: Scale) -> BreakdownReport {
+    use dynlink_core::SystemBuilder;
+
+    let mut rows = Vec::new();
+    for profile in [apache(), firefox(), memcached(), mysql()] {
+        let requests = scale.requests_for(&profile.name);
+        let workload = generate(&profile, requests, 0xbd);
+        let run = |cfg: MachineConfig| {
+            let mut system = SystemBuilder::new()
+                .modules(workload.modules.iter().cloned())
+                .machine_config(cfg)
+                .build()
+                .expect("loads");
+            system.run(workload.run_budget()).expect("runs");
+            system.machine().cycle_breakdown()
+        };
+        rows.push((
+            profile.name.clone(),
+            run(MachineConfig::baseline()),
+            run(MachineConfig::enhanced()),
+        ));
+    }
+    BreakdownReport { rows }
+}
+
+impl fmt::Display for BreakdownReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Cycle breakdown, base -> enhanced (sec 5.2 first- vs second-order savings)"
+        )?;
+        for (name, b, e) in &self.rows {
+            let first_order = b.base.saturating_sub(e.base);
+            let second_order = b.penalties().saturating_sub(e.penalties());
+            writeln!(f, "  {name}:")?;
+            writeln!(
+                f,
+                "    {:<12} {:>14} {:>14} {:>12}",
+                "cause", "base", "enhanced", "saved"
+            )?;
+            let lines: [(&str, u64, u64); 7] = [
+                ("base issue", b.base, e.base),
+                ("I-$ misses", b.icache, e.icache),
+                ("D-$ misses", b.dcache, e.dcache),
+                ("I-TLB walks", b.itlb, e.itlb),
+                ("D-TLB walks", b.dtlb, e.dtlb),
+                ("mispredicts", b.mispredict, e.mispredict),
+                ("resolver", b.host_call, e.host_call),
+            ];
+            for (label, bb, ee) in lines {
+                writeln!(
+                    f,
+                    "    {label:<12} {bb:>14} {ee:>14} {:>12}",
+                    bb as i64 - ee as i64
+                )?;
+            }
+            writeln!(
+                f,
+                "    first-order (instructions) saved {first_order}, second-order (penalties) saved {second_order}{}",
+                if second_order > first_order {
+                    " -- second-order dominates (the paper's sec 5.2 observation)"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// §2.2 analysis: BTB-entry pressure of dynamic vs static linking.
+#[derive(Debug, Clone)]
+pub struct BtbPressureReport {
+    /// `(workload, call sites, trampoline entries, other branches,
+    /// overhead %)`.
+    pub rows: Vec<(String, usize, usize, usize, f64)>,
+}
+
+/// Measures how many extra BTB entries dynamic linking costs each
+/// workload (paper §2.2: "dynamically linked libraries occupy two
+/// entries in the branch predictor tables and branch target buffers per
+/// call").
+pub fn btb_pressure(scale: Scale) -> BtbPressureReport {
+    use dynlink_trace::BtbPressure;
+
+    let mut rows = Vec::new();
+    for profile in [apache(), firefox(), memcached(), mysql()] {
+        let requests = scale.requests_for(&profile.name).min(200);
+        let workload = generate(&profile, requests, 0xb7b);
+        let obs = BtbPressure::shared();
+        run_workload_observed(
+            &workload,
+            MachineConfig::baseline(),
+            LinkMode::DynamicLazy,
+            0,
+            Some(obs.clone()),
+        )
+        .expect("baseline run completes");
+        let p = obs.borrow();
+        rows.push((
+            profile.name.clone(),
+            p.call_sites(),
+            p.trampoline_entries(),
+            p.other_branches(),
+            100.0 * p.overhead_ratio(),
+        ));
+    }
+    BtbPressureReport { rows }
+}
+
+impl fmt::Display for BtbPressureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "BTB-entry pressure of dynamic linking (sec 2.2: +1 entry per trampoline)"
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>11} {:>12} {:>14} {:>10}",
+            "Workload", "call sites", "trampolines", "other branches", "overhead"
+        )?;
+        for (name, calls, tramps, others, pct) in &self.rows {
+            writeln!(
+                f,
+                "{name:<12} {calls:>11} {tramps:>12} {others:>14} {pct:>9.1}%"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// §3.3 extension: how the mechanism's benefit decays with context-switch
+/// frequency, for flush-on-switch vs ASID-tagged ABTBs.
+#[derive(Debug, Clone)]
+pub struct SwitchSweep {
+    /// `(switch period in instructions, flush-policy skip %, ASID-policy
+    /// skip %)`; `u64::MAX` period = never switch.
+    pub rows: Vec<(u64, f64, f64)>,
+}
+
+/// Runs the memcached model under periodic context switches, comparing
+/// the default flush-on-switch ABTB with an ASID-tagged one that
+/// survives switches (paper §3.3).
+pub fn context_switch_sweep(requests: u64) -> SwitchSweep {
+    use dynlink_core::SystemBuilder;
+
+    let workload = dynlink_workloads::generate(&memcached(), requests, 21);
+    let run_with = |period: u64, flush: bool| -> f64 {
+        let mut cfg = MachineConfig::enhanced();
+        cfg.flush_abtb_on_context_switch = flush;
+        let mut system = SystemBuilder::new()
+            .modules(workload.modules.iter().cloned())
+            .machine_config(cfg)
+            .build()
+            .expect("loads");
+        while !system.machine().halted() {
+            system.run(period).expect("runs");
+            if !system.machine().halted() {
+                system.context_switch();
+            }
+        }
+        let c = system.counters();
+        let total = c.trampolines_skipped + c.trampoline_instructions;
+        100.0 * c.trampolines_skipped as f64 / total.max(1) as f64
+    };
+
+    let mut rows = Vec::new();
+    for period in [2_000u64, 10_000, 50_000, 250_000, u64::MAX] {
+        rows.push((period, run_with(period, true), run_with(period, false)));
+    }
+    SwitchSweep { rows }
+}
+
+impl fmt::Display for SwitchSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Context-switch sweep (memcached): % trampolines skipped (sec 3.3)"
+        )?;
+        writeln!(
+            f,
+            "{:>18} {:>16} {:>16}",
+            "switch period", "flush ABTB", "ASID-tagged"
+        )?;
+        for (period, flush, asid) in &self.rows {
+            let p = if *period == u64::MAX {
+                "never".to_owned()
+            } else {
+                format!("{period} insts")
+            };
+            writeln!(f, "{p:>18} {flush:>15.1}% {asid:>15.1}%")?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes gnuplot-ready TSV series for every figure into `dir`:
+/// `fig4_<workload>.tsv` (rank, count), `fig5.tsv` (size, skip% per
+/// workload), `fig6_<type>.tsv` / `fig8_<type>.tsv` (latency, base CDF,
+/// enhanced CDF) and `fig7_<type>.tsv` (bucket, base, enhanced).
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing the files.
+pub fn export_figure_data(
+    datasets: &[WorkloadDataset],
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use std::io::Write;
+
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let mut save = |name: String, contents: String| -> std::io::Result<()> {
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(contents.as_bytes())?;
+        written.push(path);
+        Ok(())
+    };
+
+    // Figure 4: rank-frequency per workload.
+    for d in datasets {
+        let mut out = String::from("# rank\tcount\n");
+        for (rank, count) in d.stats.rank_frequency().iter().enumerate() {
+            out.push_str(&format!("{}\t{}\n", rank + 1, count));
+        }
+        save(format!("fig4_{}.tsv", d.name), out)?;
+    }
+
+    // Figure 5: skip% vs ABTB size, one column per workload.
+    let sizes = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let mut out = String::from("# size");
+    for d in datasets {
+        out.push_str(&format!("\t{}", d.name));
+    }
+    out.push('\n');
+    let series: Vec<Vec<(usize, f64)>> = datasets
+        .iter()
+        .map(|d| abtb_skip_percentages(&d.sequence, &sizes))
+        .collect();
+    for (i, &s) in sizes.iter().enumerate() {
+        out.push_str(&format!("{s}"));
+        for col in &series {
+            out.push_str(&format!("\t{:.2}", col[i].1));
+        }
+        out.push('\n');
+    }
+    save("fig5.tsv".to_owned(), out)?;
+
+    // Figures 6/8: per-request-type CDFs; Figure 7: histograms.
+    for d in datasets {
+        for (t, ty) in d.base.type_names.iter().enumerate() {
+            let slug: String = ty
+                .chars()
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            let mut base = d.base.latencies[t].clone();
+            let mut enh = d.enhanced.latencies[t].clone();
+            base.sort_unstable();
+            enh.sort_unstable();
+            let mut out = String::from("# cdf_fraction\tbase_cycles\tenhanced_cycles\n");
+            let n = base.len().min(enh.len());
+            for i in 0..n {
+                out.push_str(&format!(
+                    "{:.4}\t{}\t{}\n",
+                    (i + 1) as f64 / n as f64,
+                    base[i],
+                    enh[i]
+                ));
+            }
+            let figure = match d.name.as_str() {
+                "apache" => "fig6",
+                "mysql" => "fig8",
+                _ => "latency",
+            };
+            save(format!("{figure}_{}_{slug}.tsv", d.name), out)?;
+        }
+    }
+
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> WorkloadDataset {
+        collect(&memcached(), 96, 4)
+    }
+
+    #[test]
+    fn collect_produces_consistent_dataset() {
+        let d = tiny_dataset();
+        assert_eq!(d.name, "memcached");
+        assert!(d.base.counters.instructions > 0);
+        assert!(d.enhanced.counters.trampolines_skipped > 0);
+        assert!(d.stats.distinct() > 0);
+        assert_eq!(d.stats.total() as usize, d.sequence.len());
+    }
+
+    #[test]
+    fn table2_and_3_shapes() {
+        let d = vec![tiny_dataset()];
+        let t2 = table2(&d);
+        assert_eq!(t2.rows.len(), 1);
+        assert!(t2.rows[0].1 > 0.0);
+        assert!(t2.to_string().contains("Table 2"));
+        let t3 = table3(&d);
+        assert!(t3.rows[0].1 > 0);
+        assert!(t3.to_string().contains("Table 3"));
+    }
+
+    #[test]
+    fn fig4_series_descending() {
+        let d = vec![tiny_dataset()];
+        let f4 = fig4(&d);
+        let counts = &f4.series[0].1;
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(f4.to_string().contains("Figure 4"));
+    }
+
+    #[test]
+    fn table4_enhanced_not_worse_on_headline_counters() {
+        let d = vec![tiny_dataset()];
+        let t4 = table4(&d);
+        let r = &t4.rows[0];
+        assert!(r.enhanced.cycles <= r.base.cycles);
+        assert!(
+            r.enhanced.pki(r.enhanced.branch_mispredictions)
+                <= r.base.pki(r.base.branch_mispredictions) * 1.05
+        );
+        assert!(t4.to_string().contains("Table 4"));
+    }
+
+    #[test]
+    fn fig5_grows_with_capacity() {
+        let d = vec![tiny_dataset()];
+        let f5 = fig5(&d, &[1, 4, 16, 64, 256]);
+        let pcts = &f5.series[0].1;
+        assert!(pcts.last().unwrap().1 >= pcts.first().unwrap().1);
+        // Paper: >= 75% skipped with just 16 entries.
+        let at16 = pcts.iter().find(|(s, _)| *s == 16).unwrap().1;
+        assert!(at16 > 75.0, "16-entry ABTB skips only {at16:.1}%");
+        assert!(f5.to_string().contains("Figure 5"));
+    }
+
+    #[test]
+    fn latency_tables_render() {
+        let d = tiny_dataset();
+        let t = latency_table(&d, "test", &[0.5, 0.95]);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows[0].base[1] >= t.rows[0].base[0]);
+        assert!(t.to_string().contains("GET"));
+        let f7 = fig7(&d, 500);
+        assert_eq!(f7.rows.len(), 2);
+        assert!(f7.to_string().contains("Figure 7"));
+    }
+
+    #[test]
+    fn multitenant_policies_all_correct_and_ordered() {
+        let m = multitenant(24, 3_000);
+        assert_eq!(m.rows.len(), 3);
+        let (base, flush, tagged) = (&m.rows[0], &m.rows[1], &m.rows[2]);
+        assert_eq!(base.2, 0.0, "baseline skips nothing");
+        assert!(flush.2 > 0.0);
+        assert!(tagged.2 >= flush.2, "retention skips at least as much");
+        assert!(tagged.1 <= base.1, "tagged ABTB never slower than baseline");
+        assert!(m.to_string().contains("Multitenant"));
+    }
+
+    #[test]
+    fn negative_control_is_neutral() {
+        let nc = negative_control(80);
+        let delta =
+            (nc.base_cycles as f64 - nc.enhanced_cycles as f64).abs() / nc.base_cycles as f64;
+        assert!(delta < 0.01, "compute-bound delta {delta:.4} should be ~0");
+        assert!(nc.to_string().contains("Negative control"));
+    }
+
+    #[test]
+    fn sensitivity_is_positive_everywhere() {
+        let s = sensitivity(100);
+        assert_eq!(s.rows.len(), 6);
+        for &(kib, btb, saved) in &s.rows {
+            assert!(
+                saved > 0.0,
+                "ABTB must help at L1-I {kib}K / BTB {btb}: {saved:.2}%"
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_report_shows_savings() {
+        let r = cycle_breakdown(Scale {
+            apache: 80,
+            firefox: 40,
+            memcached: 80,
+            mysql: 40,
+            warmup: 0,
+        });
+        let (name, b, e) = &r.rows[0];
+        assert_eq!(name, "apache");
+        assert!(e.total() < b.total());
+        assert!(r.to_string().contains("first-order"));
+    }
+
+    #[test]
+    fn btb_pressure_shows_trampoline_overhead() {
+        let report = btb_pressure(Scale {
+            apache: 40,
+            firefox: 30,
+            memcached: 60,
+            mysql: 30,
+            warmup: 0,
+        });
+        let apache_row = &report.rows[0];
+        assert_eq!(apache_row.0, "apache");
+        assert!(apache_row.2 > 100, "hundreds of trampoline BTB entries");
+        assert!(apache_row.4 > 0.0);
+        assert!(report.to_string().contains("BTB-entry pressure"));
+    }
+
+    #[test]
+    fn switch_sweep_shows_asid_advantage() {
+        let sweep = context_switch_sweep(60);
+        // Frequent flushes hurt; the ASID-tagged ABTB holds its skip
+        // rate at every period.
+        let (fastest_flush, fastest_asid) = (sweep.rows[0].1, sweep.rows[0].2);
+        assert!(
+            fastest_asid > fastest_flush,
+            "{fastest_asid} vs {fastest_flush}"
+        );
+        // With no switches the two policies coincide (within noise).
+        let last = sweep.rows.last().unwrap();
+        assert!((last.1 - last.2).abs() < 5.0);
+        assert!(sweep.to_string().contains("ASID"));
+    }
+
+    #[test]
+    fn export_writes_tsv_series() {
+        let d = vec![tiny_dataset()];
+        let dir = std::env::temp_dir().join(format!("dynlink_export_{}", std::process::id()));
+        let files = export_figure_data(&d, &dir).unwrap();
+        assert!(files.iter().any(|p| p.file_name().unwrap() == "fig5.tsv"));
+        assert!(files
+            .iter()
+            .any(|p| p.file_name().unwrap() == "fig4_memcached.tsv"));
+        let fig5 = std::fs::read_to_string(dir.join("fig5.tsv")).unwrap();
+        assert!(fig5.lines().count() > 5);
+        assert!(fig5.starts_with("# size"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hw_cost_matches_paper_arithmetic() {
+        let c = hw_cost();
+        assert!(c.rows.contains(&(16, 192)));
+        assert!(c.rows.contains(&(128, 1536)));
+        assert!(c.to_string().contains("1.5 KB"));
+    }
+}

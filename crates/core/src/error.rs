@@ -1,0 +1,99 @@
+//! System-level errors.
+
+use std::fmt;
+
+use dynlink_cpu::CpuError;
+use dynlink_linker::LinkError;
+use dynlink_mem::MemError;
+
+/// Errors produced while building or operating a [`crate::System`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// Linking or loading failed.
+    Link(LinkError),
+    /// The simulated CPU faulted.
+    Cpu(CpuError),
+    /// A runtime memory operation failed.
+    Mem(MemError),
+    /// No modules were supplied to the builder.
+    NoModules,
+    /// A named module does not exist in the image.
+    UnknownModule {
+        /// The requested module name.
+        name: String,
+    },
+    /// A named symbol is not exported by the given provider.
+    UnknownSymbol {
+        /// The requested symbol.
+        symbol: String,
+        /// The module expected to export it.
+        provider: String,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Link(e) => write!(f, "link error: {e}"),
+            SystemError::Cpu(e) => write!(f, "cpu error: {e}"),
+            SystemError::Mem(e) => write!(f, "memory error: {e}"),
+            SystemError::NoModules => write!(f, "no modules supplied"),
+            SystemError::UnknownModule { name } => write!(f, "unknown module `{name}`"),
+            SystemError::UnknownSymbol { symbol, provider } => {
+                write!(f, "module `{provider}` does not export `{symbol}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::Link(e) => Some(e),
+            SystemError::Cpu(e) => Some(e),
+            SystemError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinkError> for SystemError {
+    fn from(e: LinkError) -> Self {
+        SystemError::Link(e)
+    }
+}
+
+impl From<CpuError> for SystemError {
+    fn from(e: CpuError) -> Self {
+        SystemError::Cpu(e)
+    }
+}
+
+impl From<MemError> for SystemError {
+    fn from(e: MemError) -> Self {
+        SystemError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynlink_isa::VirtAddr;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = SystemError::UnknownSymbol {
+            symbol: "sin".into(),
+            provider: "libm".into(),
+        };
+        assert!(e.to_string().contains("sin"));
+        assert!(e.source().is_none());
+
+        let e: SystemError = MemError::Unmapped {
+            addr: VirtAddr::new(8),
+        }
+        .into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,724 @@
+//! The `System`: loaded process + simulated machine.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dynlink_cpu::{CpuError, LinkAccel, Machine, MachineConfig, MarkEvent, RunExit};
+use dynlink_isa::{Reg, VirtAddr};
+use dynlink_linker::{
+    apply_call_site_patches, LinkMode, LinkOptions, Loader, ModuleSpec, ProcessImage,
+    ResolutionTable, TrampolineFlavor, RESOLVER_HOST_FN,
+};
+use dynlink_mem::layout::{LibraryPlacement, STACK_TOP};
+use dynlink_mem::{AddressSpace, MemStats};
+use dynlink_uarch::PerfCounters;
+
+use crate::SystemError;
+
+/// Default stack size for simulated processes.
+const STACK_BYTES: u64 = 1 << 20;
+
+/// Builds a [`System`] from module specs and configuration.
+///
+/// See the [crate-level example](crate) for end-to-end usage.
+#[derive(Debug, Default)]
+pub struct SystemBuilder {
+    modules: Vec<ModuleSpec>,
+    link: LinkOptions,
+    machine: MachineConfig,
+    entry_symbol: String,
+    asid: u64,
+}
+
+impl SystemBuilder {
+    /// Creates a builder with default options (lazy dynamic linking, far
+    /// library placement, baseline machine, entry at `main`).
+    pub fn new() -> Self {
+        SystemBuilder {
+            modules: Vec::new(),
+            link: LinkOptions::default(),
+            machine: MachineConfig::baseline(),
+            entry_symbol: "main".to_owned(),
+            asid: 1,
+        }
+    }
+
+    /// Adds a module (the first module is the executable).
+    pub fn module(mut self, spec: ModuleSpec) -> Self {
+        self.modules.push(spec);
+        self
+    }
+
+    /// Adds several modules at once.
+    pub fn modules(mut self, specs: impl IntoIterator<Item = ModuleSpec>) -> Self {
+        self.modules.extend(specs);
+        self
+    }
+
+    /// Sets the linking mode.
+    pub fn link_mode(mut self, mode: LinkMode) -> Self {
+        self.link.mode = mode;
+        self
+    }
+
+    /// Sets the accelerator (baseline, ABTB, or ABTB-without-Bloom).
+    pub fn accel(mut self, accel: LinkAccel) -> Self {
+        self.machine.accel = accel;
+        self
+    }
+
+    /// Sets the library placement (near/far).
+    pub fn placement(mut self, placement: LibraryPlacement) -> Self {
+        self.link.placement = placement;
+        self
+    }
+
+    /// Enables ASLR with the given seed.
+    pub fn aslr_seed(mut self, seed: u64) -> Self {
+        self.link.aslr_seed = Some(seed);
+        self
+    }
+
+    /// Sets the trampoline flavour (x86 or ARM).
+    pub fn trampoline_flavor(mut self, flavor: TrampolineFlavor) -> Self {
+        self.link.flavor = flavor;
+        self
+    }
+
+    /// Sets the ifunc hardware level (§2.4.1).
+    pub fn hw_level(mut self, level: usize) -> Self {
+        self.link.hw_level = level;
+        self
+    }
+
+    /// Replaces the whole machine configuration (cache sizes, ABTB
+    /// capacity, penalties, ...). The `accel` previously set is kept
+    /// only if you set it again afterwards.
+    pub fn machine_config(mut self, cfg: MachineConfig) -> Self {
+        self.machine = cfg;
+        self
+    }
+
+    /// Overrides the entry symbol (default `main`).
+    pub fn entry_symbol(mut self, symbol: &str) -> Self {
+        self.entry_symbol = symbol.to_owned();
+        self
+    }
+
+    /// Sets the address-space ID (relevant for ASID-tagged structures).
+    pub fn asid(mut self, asid: u64) -> Self {
+        self.asid = asid;
+        self
+    }
+
+    /// Links, loads and wires up the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::NoModules`] for an empty module list, or a
+    /// wrapped [`dynlink_linker::LinkError`] from loading.
+    pub fn build(self) -> Result<System, SystemError> {
+        if self.modules.is_empty() {
+            return Err(SystemError::NoModules);
+        }
+        let mut space = AddressSpace::new(self.asid);
+        let image = Loader::new(self.link).load(&self.modules, &self.entry_symbol, &mut space)?;
+        let resolution = Rc::new(RefCell::new(image.resolution().clone()));
+        let mut machine = Machine::new(self.machine, space);
+        machine.set_plt_ranges(image.plt_ranges());
+        machine.init_stack(STACK_TOP, STACK_BYTES)?;
+        machine.reset(image.entry());
+
+        // Wire the lazy resolver: read the binding key from the scratch
+        // register, rewrite the GOT slot *through the store path* (so
+        // the Bloom filter observes it), and redirect to the target.
+        let table = Rc::clone(&resolution);
+        let explicit_invalidate = !machine.config().accel.has_bloom();
+        machine.register_host_fn(
+            RESOLVER_HOST_FN,
+            Box::new(move |ctx| {
+                let key = ctx.reg(Reg::SCRATCH);
+                let (got_slot, target) = {
+                    let table = table.borrow();
+                    let binding = table
+                        .binding_for_key(key)
+                        .expect("lazy stub fired with unknown binding key");
+                    (binding.got_slot, binding.target)
+                };
+                ctx.store_u64(got_slot, target.as_u64())
+                    .expect("GOT slot is mapped read-write");
+                if explicit_invalidate {
+                    // §3.4: software-visible ABTB invalidation in the
+                    // no-Bloom variant.
+                    ctx.invalidate_abtb();
+                }
+                ctx.set_pc(target);
+                ctx.count_resolver();
+            }),
+        );
+
+        Ok(System {
+            machine,
+            image,
+            resolution,
+            link: self.link,
+        })
+    }
+}
+
+/// A loaded, runnable simulated process.
+///
+/// Construct with [`SystemBuilder`]. Owns the [`Machine`] and the
+/// [`ProcessImage`]; exposes run control, counters, request marks, and
+/// the dynamic-linking runtime operations the paper discusses (GOT
+/// unbinding for library unload, symbol rebinding for library upgrade,
+/// call-site patching for the §4.3 software emulation).
+pub struct System {
+    machine: Machine,
+    image: ProcessImage,
+    resolution: Rc<RefCell<ResolutionTable>>,
+    link: LinkOptions,
+}
+
+impl System {
+    /// Runs until `halt` or the instruction budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPU faults.
+    pub fn run(&mut self, max_instructions: u64) -> Result<RunExit, CpuError> {
+        self.machine.run(max_instructions)
+    }
+
+    /// Runs until at least `target_marks` marks have been recorded (see
+    /// [`dynlink_cpu::Machine::run_until_marks`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPU faults.
+    pub fn run_until_marks(
+        &mut self,
+        target_marks: usize,
+        max_instructions: u64,
+    ) -> Result<RunExit, CpuError> {
+        self.machine.run_until_marks(target_marks, max_instructions)
+    }
+
+    /// Restarts execution at the image entry point (state such as
+    /// registers and memory is *not* reset; use for request loops that
+    /// re-enter `main`).
+    pub fn restart(&mut self) {
+        let entry = self.image.entry();
+        self.machine.reset(entry);
+    }
+
+    /// Snapshot of the performance counters.
+    pub fn counters(&self) -> PerfCounters {
+        self.machine.counters()
+    }
+
+    /// Resets performance counters keeping microarchitectural state warm
+    /// (exclude warmup from steady-state measurements).
+    pub fn reset_counters(&mut self) {
+        self.machine.reset_counters();
+    }
+
+    /// Memory statistics of the simulated address space.
+    pub fn mem_stats(&self) -> MemStats {
+        self.machine.space().stats()
+    }
+
+    /// Drains recorded request marks.
+    pub fn take_marks(&mut self) -> Vec<MarkEvent> {
+        self.machine.take_marks()
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.machine.reg(r)
+    }
+
+    /// Writes a register (harness-level argument passing).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.machine.set_reg(r, value);
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the underlying machine (observers, context
+    /// switches, ...).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The loaded process image.
+    pub fn image(&self) -> &ProcessImage {
+        &self.image
+    }
+
+    /// Simulates a context switch (and switch back): flushes the
+    /// untagged front-end structures and, per configuration, the ABTB.
+    pub fn context_switch(&mut self) {
+        self.machine.context_switch();
+    }
+
+    /// Forks the process's address space copy-on-write (the prefork
+    /// server model of §5.5). The returned space shares every page with
+    /// this system until either side writes.
+    pub fn fork_space(&self, child_asid: u64) -> AddressSpace {
+        self.machine.space().fork(child_asid)
+    }
+
+    /// Applies the §4.3 software emulation to the *running* image:
+    /// patches every library-call site into a direct call. Returns the
+    /// number of sites patched.
+    ///
+    /// # Errors
+    ///
+    /// Fails if targets are out of rel32 range (far placement) or text
+    /// pages are not writable.
+    pub fn patch_call_sites(&mut self) -> Result<u64, SystemError> {
+        let n = apply_call_site_patches(&self.image, self.machine.space_mut())?;
+        Ok(n)
+    }
+
+    /// Loads one more module into the running process — `dlopen(3)`.
+    ///
+    /// The new module's imports resolve against the already-loaded
+    /// modules (and itself); its lazy bindings join the live resolution
+    /// table; the machine's trampoline classification is refreshed.
+    /// Combine with [`System::rebind_symbol`] to route existing symbols
+    /// to the new module (a hot library upgrade).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dynlink_core::SystemBuilder;
+    /// # use dynlink_isa::{Inst, Reg};
+    /// # use dynlink_linker::ModuleBuilder;
+    /// # fn lib(name: &str, delta: u64) -> dynlink_linker::ModuleSpec {
+    /// #     let mut m = ModuleBuilder::new(name);
+    /// #     m.begin_function("inc", true);
+    /// #     m.asm().push(Inst::add_imm(Reg::R0, delta));
+    /// #     m.asm().push(Inst::Ret);
+    /// #     m.finish().unwrap()
+    /// # }
+    /// # let mut app = ModuleBuilder::new("app");
+    /// # let inc = app.import("inc");
+    /// # app.begin_function("main", true);
+    /// # app.asm().push_call_extern(inc);
+    /// # app.asm().push(Inst::Halt);
+    /// let mut system = SystemBuilder::new()
+    ///     .module(app.finish()?)
+    ///     .module(lib("libv1", 1))
+    ///     .build()?;
+    /// system.run(10_000)?;
+    ///
+    /// // Hot-upgrade: load v2 at run time and rebind the symbol.
+    /// system.dlopen(lib("libv2", 100))?;
+    /// system.rebind_symbol("inc", "libv2")?;
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate module names, unresolved imports or mapping
+    /// errors.
+    pub fn dlopen(&mut self, spec: ModuleSpec) -> Result<(), SystemError> {
+        let loader = Loader::new(self.link);
+        let bindings = loader.load_additional(&mut self.image, &spec, self.machine.space_mut())?;
+        self.resolution.borrow_mut().push_module(bindings);
+        let ranges = self.image.plt_ranges().to_vec();
+        self.machine.set_plt_ranges(&ranges);
+        Ok(())
+    }
+
+    /// Unbinds every GOT slot currently resolved into `victim`,
+    /// rewriting it back to its lazy stub (the `dlclose` scenario §4
+    /// notes the software emulation cannot support but the hardware
+    /// can). Each rewrite is reported to the machine as an external
+    /// store so the Bloom filter can flush the ABTB.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::UnknownModule`] if `victim` is not loaded.
+    pub fn unbind_library(&mut self, victim: &str) -> Result<u64, SystemError> {
+        if self.image.module(victim).is_none() {
+            return Err(SystemError::UnknownModule {
+                name: victim.to_owned(),
+            });
+        }
+        let writes = self.image.unbind_writes_for(victim);
+        let mut n = 0;
+        for (got_slot, stub) in writes {
+            self.machine
+                .space_mut()
+                .write_u64(got_slot, stub.as_u64())?;
+            self.machine.external_store(got_slot);
+            n += 1;
+        }
+        if n > 0 && !self.machine.config().accel.has_bloom() {
+            // §3.4 software-managed variant: the runtime must invalidate
+            // the ABTB itself after rewriting GOT slots.
+            self.machine.invalidate_abtb();
+        }
+        Ok(n)
+    }
+
+    /// Rebinds `symbol` to the copy exported by `provider` (a library
+    /// upgrade without restarting): rewrites every importing module's
+    /// GOT slot and the lazy-resolution table, notifying the machine of
+    /// each external store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::UnknownModule`] /
+    /// [`SystemError::UnknownSymbol`] when the provider or symbol is
+    /// missing.
+    pub fn rebind_symbol(&mut self, symbol: &str, provider: &str) -> Result<u64, SystemError> {
+        let module = self
+            .image
+            .module(provider)
+            .ok_or_else(|| SystemError::UnknownModule {
+                name: provider.to_owned(),
+            })?;
+        let new_target = module
+            .export(symbol)
+            .ok_or_else(|| SystemError::UnknownSymbol {
+                symbol: symbol.to_owned(),
+                provider: provider.to_owned(),
+            })?;
+        let mut n = 0;
+        let slots: Vec<(usize, usize, VirtAddr)> = self
+            .image
+            .modules()
+            .iter()
+            .flat_map(|m| {
+                m.plt_slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.symbol == symbol)
+                    .map(move |(i, s)| (m.index, i, s.got_slot))
+            })
+            .collect();
+        for (module_idx, import_idx, got_slot) in slots {
+            self.machine
+                .space_mut()
+                .write_u64(got_slot, new_target.as_u64())?;
+            self.machine.external_store(got_slot);
+            if let Some(b) = self
+                .resolution
+                .borrow_mut()
+                .binding_mut(module_idx, import_idx)
+            {
+                b.target = new_target;
+            }
+            n += 1;
+        }
+        if n > 0 && !self.machine.config().accel.has_bloom() {
+            self.machine.invalidate_abtb();
+        }
+        Ok(n)
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("entry", &self.image.entry())
+            .field("mode", &self.image.mode())
+            .field("machine", &self.machine)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynlink_isa::Inst;
+    use dynlink_linker::ModuleBuilder;
+
+    /// app calls `inc` (from libinc) `n` times in a loop.
+    fn counting_system(accel: LinkAccel, mode: LinkMode, n: u64) -> System {
+        let mut lib = ModuleBuilder::new("libinc");
+        lib.begin_function("inc", true);
+        lib.asm().push(Inst::add_imm(Reg::R0, 1));
+        lib.asm().push(Inst::Ret);
+
+        let mut app = ModuleBuilder::new("app");
+        let inc = app.import("inc");
+        app.begin_function("main", true);
+        let top = app.asm().fresh_label("top");
+        app.asm().push(Inst::mov_imm(Reg::R2, n));
+        app.asm().bind(top);
+        app.asm().push_call_extern(inc);
+        app.asm().push(Inst::sub_imm(Reg::R2, 1));
+        app.asm().push_branch_nz(Reg::R2, top);
+        app.asm().push(Inst::Halt);
+
+        let placement = if mode == LinkMode::Patched {
+            LibraryPlacement::Near
+        } else {
+            LibraryPlacement::Far
+        };
+        SystemBuilder::new()
+            .module(app.finish().unwrap())
+            .module(lib.finish().unwrap())
+            .link_mode(mode)
+            .placement(placement)
+            .accel(accel)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lazy_binding_resolves_on_first_call() {
+        let mut s = counting_system(LinkAccel::Off, LinkMode::DynamicLazy, 5);
+        s.run(100_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 5);
+        let c = s.counters();
+        assert_eq!(c.resolver_invocations, 1, "resolved exactly once");
+        assert!(c.trampoline_instructions >= 5);
+    }
+
+    #[test]
+    fn all_link_modes_agree_architecturally() {
+        let mut results = Vec::new();
+        for mode in [
+            LinkMode::DynamicLazy,
+            LinkMode::DynamicNow,
+            LinkMode::Static,
+            LinkMode::Patched,
+        ] {
+            let mut s = counting_system(LinkAccel::Off, mode, 17);
+            s.run(100_000).unwrap();
+            results.push((mode, s.reg(Reg::R0)));
+        }
+        for (mode, r0) in results {
+            assert_eq!(r0, 17, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn abtb_skips_in_lazy_mode() {
+        let mut s = counting_system(LinkAccel::Abtb, LinkMode::DynamicLazy, 100);
+        s.run(1_000_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 100);
+        let c = s.counters();
+        assert!(c.trampolines_skipped >= 95, "{}", c.trampolines_skipped);
+        // One flush at startup when the resolver rewrites the GOT.
+        assert!(c.abtb_flushes >= 1);
+    }
+
+    #[test]
+    fn static_mode_has_no_trampolines() {
+        let mut s = counting_system(LinkAccel::Off, LinkMode::Static, 50);
+        s.run(100_000).unwrap();
+        let c = s.counters();
+        assert_eq!(c.trampoline_instructions, 0);
+        assert_eq!(c.resolver_invocations, 0);
+    }
+
+    #[test]
+    fn enhanced_matches_static_instruction_count_after_warmup() {
+        // The headline claim: dynamic linking + ABTB ~ static linking.
+        let mut stat = counting_system(LinkAccel::Off, LinkMode::Static, 1000);
+        stat.run(10_000_000).unwrap();
+        let mut enh = counting_system(LinkAccel::Abtb, LinkMode::DynamicLazy, 1000);
+        enh.run(10_000_000).unwrap();
+        let (cs, ce) = (stat.counters(), enh.counters());
+        let diff = ce.instructions.abs_diff(cs.instructions);
+        // Within warmup noise (resolver + first calls).
+        assert!(
+            diff < 20,
+            "static {} vs enhanced {}",
+            cs.instructions,
+            ce.instructions
+        );
+    }
+
+    #[test]
+    fn builder_with_no_modules_errors() {
+        assert!(matches!(
+            SystemBuilder::new().build(),
+            Err(SystemError::NoModules)
+        ));
+    }
+
+    #[test]
+    fn unbind_library_rearms_lazy_resolution() {
+        let mut s = counting_system(LinkAccel::Abtb, LinkMode::DynamicLazy, 10);
+        s.run(100_000).unwrap();
+        assert_eq!(s.counters().resolver_invocations, 1);
+
+        // Unbind and run again: the stub must fire a second time and
+        // execution must stay correct despite the warm ABTB.
+        let n = s.unbind_library("libinc").unwrap();
+        assert_eq!(n, 1);
+        s.set_reg(Reg::R0, 0);
+        s.restart();
+        s.run(100_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 10);
+        assert_eq!(s.counters().resolver_invocations, 2);
+    }
+
+    #[test]
+    fn unbind_unknown_module_errors() {
+        let mut s = counting_system(LinkAccel::Abtb, LinkMode::DynamicLazy, 1);
+        assert!(matches!(
+            s.unbind_library("libzzz"),
+            Err(SystemError::UnknownModule { .. })
+        ));
+    }
+
+    #[test]
+    fn rebind_symbol_switches_provider_safely() {
+        // Two libraries export `inc`; lib1 wins initially; upgrading to
+        // lib2's copy mid-run must take effect even with a warm ABTB.
+        let mklib = |name: &str, delta: u64| {
+            let mut lib = ModuleBuilder::new(name);
+            lib.begin_function("inc", true);
+            lib.asm().push(Inst::add_imm(Reg::R0, delta));
+            lib.asm().push(Inst::Ret);
+            lib.finish().unwrap()
+        };
+        let mut app = ModuleBuilder::new("app");
+        let inc = app.import("inc");
+        app.begin_function("main", true);
+        let top = app.asm().fresh_label("top");
+        app.asm().push(Inst::mov_imm(Reg::R2, 10));
+        app.asm().bind(top);
+        app.asm().push_call_extern(inc);
+        app.asm().push(Inst::sub_imm(Reg::R2, 1));
+        app.asm().push_branch_nz(Reg::R2, top);
+        app.asm().push(Inst::Halt);
+
+        let mut s = SystemBuilder::new()
+            .module(app.finish().unwrap())
+            .module(mklib("lib1", 1))
+            .module(mklib("lib2", 100))
+            .accel(LinkAccel::Abtb)
+            .build()
+            .unwrap();
+        s.run(100_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 10, "lib1 interposes first");
+
+        let n = s.rebind_symbol("inc", "lib2").unwrap();
+        assert_eq!(n, 1);
+        s.set_reg(Reg::R0, 0);
+        s.restart();
+        s.run(100_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 1000, "upgraded to lib2's inc");
+    }
+
+    #[test]
+    fn rebind_errors_are_typed() {
+        let mut s = counting_system(LinkAccel::Abtb, LinkMode::DynamicLazy, 1);
+        assert!(matches!(
+            s.rebind_symbol("inc", "nope"),
+            Err(SystemError::UnknownModule { .. })
+        ));
+        assert!(matches!(
+            s.rebind_symbol("nope", "libinc"),
+            Err(SystemError::UnknownSymbol { .. })
+        ));
+    }
+
+    #[test]
+    fn patch_call_sites_on_running_system() {
+        let mut s = counting_system(LinkAccel::Off, LinkMode::DynamicNow, 10);
+        // DynamicNow placed far; patching must fail with a typed error.
+        assert!(s.patch_call_sites().is_err());
+
+        // Near placement succeeds and removes trampoline executions.
+        let mut lib = ModuleBuilder::new("libinc");
+        lib.begin_function("inc", true);
+        lib.asm().push(Inst::add_imm(Reg::R0, 1));
+        lib.asm().push(Inst::Ret);
+        let mut app = ModuleBuilder::new("app");
+        let inc = app.import("inc");
+        app.begin_function("main", true);
+        app.asm().push_call_extern(inc);
+        app.asm().push(Inst::Halt);
+        let mut s = SystemBuilder::new()
+            .module(app.finish().unwrap())
+            .module(lib.finish().unwrap())
+            .link_mode(LinkMode::DynamicNow)
+            .placement(LibraryPlacement::Near)
+            .build()
+            .unwrap();
+        // Text is RX under DynamicNow; make it writable first, as the
+        // paper's modified linker does.
+        let (text_base, text_len) = {
+            let m = s.image().module("app").unwrap();
+            (m.text_base, m.text_len)
+        };
+        s.machine_mut()
+            .space_mut()
+            .protect(text_base, text_len, dynlink_mem::Perms::RWX)
+            .unwrap();
+        let n = s.patch_call_sites().unwrap();
+        assert_eq!(n, 1);
+        s.run(10_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 1);
+        assert_eq!(s.counters().trampoline_instructions, 0);
+    }
+
+    #[test]
+    fn component_stats_reflect_activity() {
+        let mut s = counting_system(LinkAccel::Abtb, LinkMode::DynamicLazy, 50);
+        s.run(1_000_000).unwrap();
+        let cs = s.machine().component_stats();
+        assert!(cs.icache_accesses > 0);
+        assert!(cs.dcache_accesses > 0);
+        assert!(cs.btb_lookups > 0);
+        assert!(cs.abtb_occupancy >= 1);
+        assert_eq!(cs.abtb_capacity, 128);
+        assert!(cs.bloom_fill_ratio > 0.0, "GOT slot registered in Bloom");
+        assert!(cs.itlb_misses <= cs.itlb_accesses);
+    }
+
+    #[test]
+    fn fork_space_shares_cow() {
+        let s = counting_system(LinkAccel::Off, LinkMode::DynamicLazy, 1);
+        let child = s.fork_space(7);
+        assert_eq!(child.asid(), 7);
+        assert_eq!(child.stats().cow_copies, 0);
+        assert_eq!(child.stats().pages_mapped, s.mem_stats().pages_mapped);
+    }
+
+    #[test]
+    fn ifunc_end_to_end() {
+        let mut lib = ModuleBuilder::new("libc");
+        lib.begin_function("memcpy_generic", false);
+        lib.asm().push(Inst::mov_imm(Reg::RET, 1));
+        lib.asm().push(Inst::Ret);
+        lib.begin_function("memcpy_fast", false);
+        lib.asm().push(Inst::mov_imm(Reg::RET, 2));
+        lib.asm().push(Inst::Ret);
+        lib.define_ifunc("memcpy", &["memcpy_generic", "memcpy_fast"]);
+        let lib = lib.finish().unwrap();
+
+        let mut app = ModuleBuilder::new("app");
+        let m = app.import("memcpy");
+        app.begin_function("main", true);
+        app.asm().push_call_extern(m);
+        app.asm().push(Inst::Halt);
+        let app = app.finish().unwrap();
+
+        for (level, expect) in [(0usize, 1u64), (1, 2), (7, 2)] {
+            let mut s = SystemBuilder::new()
+                .module(app.clone())
+                .module(lib.clone())
+                .hw_level(level)
+                .accel(LinkAccel::Abtb)
+                .build()
+                .unwrap();
+            s.run(10_000).unwrap();
+            assert_eq!(s.reg(Reg::RET), expect, "hw_level {level}");
+        }
+    }
+}

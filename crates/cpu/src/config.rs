@@ -1,0 +1,235 @@
+//! Machine configuration.
+
+use dynlink_uarch::CacheConfig;
+
+/// Which dynamic-linking accelerator the machine models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LinkAccel {
+    /// The baseline machine: no ABTB; trampolines always execute.
+    #[default]
+    Off,
+    /// The paper's proposal (§3): ABTB + Bloom filter, transparent to
+    /// software.
+    Abtb,
+    /// The §3.4 alternate implementation: ABTB without a Bloom filter;
+    /// software must explicitly invalidate after rewriting a GOT slot.
+    AbtbNoBloom,
+}
+
+impl LinkAccel {
+    /// Returns `true` if an ABTB is present.
+    pub fn has_abtb(self) -> bool {
+        !matches!(self, LinkAccel::Off)
+    }
+
+    /// Returns `true` if the Bloom filter guards GOT stores.
+    pub fn has_bloom(self) -> bool {
+        matches!(self, LinkAccel::Abtb)
+    }
+}
+
+/// Cycle costs charged by the timing model.
+///
+/// The timing layer is an event-cost model (base cost per retired
+/// instruction plus penalties per miss event), which is what the paper's
+/// counter-based methodology measures; absolute cycle counts are not
+/// meant to match the authors' Xeon, only the relative shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Penalties {
+    /// Base cost per retired instruction, in milli-cycles (400 = 0.4
+    /// cycles/instruction, i.e. a wide superscalar sustaining IPC 2.5).
+    pub base_milli_cycles: u64,
+    /// L1 miss that hits in the unified L2, in cycles.
+    pub l2_hit: u64,
+    /// L2 miss (memory access), in cycles.
+    pub memory: u64,
+    /// TLB miss page walk, in cycles.
+    pub tlb_walk: u64,
+    /// Branch misprediction (pipeline flush), in cycles.
+    pub branch_mispredict: u64,
+    /// Host-call overhead (the lazy resolver's hundreds of native
+    /// instructions), in cycles.
+    pub host_call: u64,
+}
+
+impl Default for Penalties {
+    fn default() -> Self {
+        Penalties {
+            base_milli_cycles: 400,
+            l2_hit: 12,
+            memory: 180,
+            tlb_walk: 30,
+            branch_mispredict: 15,
+            host_call: 200,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Accelerator selection.
+    pub accel: LinkAccel,
+    /// L1 instruction cache geometry.
+    pub icache: CacheConfig,
+    /// L1 data cache geometry.
+    pub dcache: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// I-TLB entries.
+    pub itlb_entries: u32,
+    /// I-TLB associativity.
+    pub itlb_ways: u32,
+    /// D-TLB entries.
+    pub dtlb_entries: u32,
+    /// D-TLB associativity.
+    pub dtlb_ways: u32,
+    /// BTB entries.
+    pub btb_entries: u32,
+    /// BTB associativity.
+    pub btb_ways: u32,
+    /// Direction-predictor index bits (table size = 2^bits).
+    pub bpred_bits: u32,
+    /// Direction-predictor global-history bits XORed into the index:
+    /// equal to `bpred_bits` for classic gshare (the default), 0 for a
+    /// pure bimodal predictor.
+    pub bpred_history_bits: u32,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+    /// ABTB capacity in entries (used when `accel` has an ABTB). The
+    /// default, 128 entries, is the paper abstract's 1.5 KB budget at 12
+    /// bytes per entry.
+    pub abtb_entries: usize,
+    /// Bloom filter size in bits.
+    pub bloom_bits: u64,
+    /// Bloom filter hash count.
+    pub bloom_hashes: u32,
+    /// Maximum non-branch instructions tolerated between a retired call
+    /// and the trampoline's indirect jump when training the ABTB: 0 for
+    /// x86-style single-instruction trampolines, 2 for ARM-style
+    /// (Figure 2). Intermediate instructions must only write the linker
+    /// scratch register.
+    pub max_trampoline_body: u32,
+    /// Whether a context switch flushes the ABTB (true, the default) or
+    /// the ABTB is ASID-tagged and survives, like an ASID-tagged TLB
+    /// (§3.3).
+    pub flush_abtb_on_context_switch: bool,
+    /// Enable a next-line instruction prefetcher: every L1-I miss also
+    /// fills the following cache line. Off by default (the paper's
+    /// baseline machine predates aggressive front-end prefetching in
+    /// this model); useful as an ablation, since prefetching hides some
+    /// of the trampolines' I-cache cost.
+    pub icache_next_line_prefetch: bool,
+    /// Timing penalties.
+    pub penalties: Penalties,
+    /// Page size used by the TLBs.
+    pub page_bytes: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            accel: LinkAccel::Off,
+            icache: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
+            dcache: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+            },
+            itlb_entries: 64,
+            itlb_ways: 4,
+            dtlb_entries: 64,
+            dtlb_ways: 4,
+            btb_entries: 2048,
+            btb_ways: 4,
+            bpred_bits: 14,
+            bpred_history_bits: 14,
+            ras_depth: 16,
+            abtb_entries: 128,
+            bloom_bits: 1024,
+            bloom_hashes: 2,
+            max_trampoline_body: 2,
+            flush_abtb_on_context_switch: true,
+            icache_next_line_prefetch: false,
+            penalties: Penalties::default(),
+            page_bytes: dynlink_mem::PAGE_BYTES,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The baseline machine (no accelerator).
+    pub fn baseline() -> Self {
+        MachineConfig::default()
+    }
+
+    /// The enhanced machine: baseline plus the paper's ABTB + Bloom
+    /// hardware.
+    pub fn enhanced() -> Self {
+        MachineConfig {
+            accel: LinkAccel::Abtb,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// The §3.4 variant: ABTB with explicit software invalidation.
+    pub fn enhanced_no_bloom() -> Self {
+        MachineConfig {
+            accel: LinkAccel::AbtbNoBloom,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Sets the ABTB capacity (builder style).
+    pub fn with_abtb_entries(mut self, entries: usize) -> Self {
+        self.abtb_entries = entries;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accel_predicates() {
+        assert!(!LinkAccel::Off.has_abtb());
+        assert!(LinkAccel::Abtb.has_abtb());
+        assert!(LinkAccel::AbtbNoBloom.has_abtb());
+        assert!(LinkAccel::Abtb.has_bloom());
+        assert!(!LinkAccel::AbtbNoBloom.has_bloom());
+        assert!(!LinkAccel::Off.has_bloom());
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(MachineConfig::baseline().accel, LinkAccel::Off);
+        assert_eq!(MachineConfig::enhanced().accel, LinkAccel::Abtb);
+        assert_eq!(
+            MachineConfig::enhanced_no_bloom().accel,
+            LinkAccel::AbtbNoBloom
+        );
+        assert_eq!(
+            MachineConfig::enhanced().with_abtb_entries(16).abtb_entries,
+            16
+        );
+    }
+
+    #[test]
+    fn default_abtb_fits_paper_budget() {
+        let cfg = MachineConfig::default();
+        assert_eq!(
+            cfg.abtb_entries as u64 * dynlink_uarch::ABTB_ENTRY_BYTES,
+            1536
+        );
+    }
+}

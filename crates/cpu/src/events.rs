@@ -1,0 +1,163 @@
+//! Events, errors and host-callback plumbing.
+
+use std::fmt;
+
+use dynlink_isa::{Inst, Reg, VirtAddr};
+use dynlink_mem::MemError;
+use dynlink_uarch::PerfCounters;
+
+use crate::machine::Core;
+
+/// A fatal execution error: the machine cannot make progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuError {
+    /// Program counter at the fault.
+    pub pc: VirtAddr,
+    /// The underlying memory fault.
+    pub source: MemError,
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu fault at {}: {}", self.pc, self.source)
+    }
+}
+
+impl std::error::Error for CpuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Why [`crate::Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// A `halt` instruction retired.
+    Halted,
+    /// The instruction budget was exhausted first.
+    InstLimit,
+}
+
+/// An instrumentation mark recorded when an [`Inst::Mark`] retires
+/// (request boundaries in the server workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkEvent {
+    /// Marker identifier.
+    pub id: u64,
+    /// Retired-instruction count at the mark.
+    pub instructions: u64,
+    /// Cycle count at the mark.
+    pub cycles: u64,
+}
+
+/// A retired instruction, as seen by [`RetireObserver`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetireEvent {
+    /// Address of the retired instruction.
+    pub pc: VirtAddr,
+    /// The instruction.
+    pub inst: Inst,
+    /// The next program counter (control-flow outcome).
+    pub next_pc: VirtAddr,
+    /// For memory-indirect control transfers, the slot the target was
+    /// loaded from (a GOT entry for PLT trampolines).
+    pub loaded_slot: Option<VirtAddr>,
+    /// Set on a call whose trampoline was skipped by the ABTB mechanism:
+    /// holds the skipped trampoline's address (the call's architectural
+    /// target).
+    pub skipped_trampoline: Option<VirtAddr>,
+    /// Whether `pc` lies in a PLT section (trampoline instruction).
+    pub in_plt: bool,
+}
+
+/// Observer invoked for every retired instruction (the Pin-like tracing
+/// hook used by `dynlink-trace`).
+pub trait RetireObserver {
+    /// Called after each instruction retires.
+    fn on_retire(&mut self, event: &RetireEvent);
+}
+
+/// The context a host callback receives: access to registers, simulated
+/// memory (through the machine's store path, so the Bloom filter sees
+/// GOT rewrites), control flow and the accelerator.
+pub struct HostCtx<'a> {
+    pub(crate) core: &'a mut Core,
+    pub(crate) redirect: Option<VirtAddr>,
+}
+
+impl<'a> HostCtx<'a> {
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.core.reg(r)
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.core.set_reg(r, value);
+    }
+
+    /// Reads simulated memory without microarchitectural side effects
+    /// (the host peeking at state, not the program executing a load).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError`] from the address space.
+    pub fn peek_u64(&self, addr: VirtAddr) -> Result<u64, MemError> {
+        self.core.space.read_u64(addr)
+    }
+
+    /// Writes simulated memory *through the machine's store path*: the
+    /// store is counted, charged, and checked against the Bloom filter
+    /// exactly like a retired store instruction. The lazy resolver uses
+    /// this for GOT rewrites.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError`] from the address space.
+    pub fn store_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), MemError> {
+        self.core.retire_store(addr, value)
+    }
+
+    /// Redirects execution: the instruction after the host call resumes
+    /// at `target` instead of falling through.
+    pub fn set_pc(&mut self, target: VirtAddr) {
+        self.redirect = Some(target);
+    }
+
+    /// Explicitly clears the ABTB — the §3.4 software-visible
+    /// invalidation instruction.
+    pub fn invalidate_abtb(&mut self) {
+        self.core.invalidate_abtb();
+    }
+
+    /// Marks this host call as a lazy-resolver invocation in the
+    /// counters.
+    pub fn count_resolver(&mut self) {
+        self.core.counters.resolver_invocations += 1;
+    }
+
+    /// Read-only access to the performance counters.
+    pub fn counters(&self) -> &PerfCounters {
+        &self.core.counters
+    }
+}
+
+/// A registered host callback.
+pub type HostFn = Box<dyn FnMut(&mut HostCtx<'_>)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_error_display() {
+        let e = CpuError {
+            pc: VirtAddr::new(0x40),
+            source: MemError::Unmapped {
+                addr: VirtAddr::new(0x40),
+            },
+        };
+        assert!(e.to_string().contains("0x40"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,1670 @@
+//! The machine: functional execution + microarchitectural accounting.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dynlink_isa::{Inst, MemRef, Operand, Reg, VirtAddr};
+use dynlink_mem::{AddressSpace, MemError, Perms};
+use dynlink_uarch::{
+    Abtb, BloomFilter, Btb, Cache, DirectionPredictor, PerfCounters, ReturnAddressStack, Tlb,
+};
+
+use crate::config::MachineConfig;
+use crate::events::{CpuError, HostCtx, HostFn, MarkEvent, RetireEvent, RetireObserver, RunExit};
+
+/// Where a charged cycle went (index into the breakdown array).
+#[derive(Debug, Clone, Copy)]
+enum Cause {
+    Base = 0,
+    ICache = 1,
+    DCache = 2,
+    ITlb = 3,
+    DTlb = 4,
+    Mispredict = 5,
+    HostCall = 6,
+}
+
+/// Cycles attributed to each cost source — the "where did the time go"
+/// view that quantifies the paper's §5.2 first-order (instructions
+/// eliminated) vs second-order (miss/misprediction penalties avoided)
+/// distinction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Base issue/retire cost of the retired instructions.
+    pub base: u64,
+    /// Instruction-cache miss penalties.
+    pub icache: u64,
+    /// Data-cache miss penalties.
+    pub dcache: u64,
+    /// I-TLB walk penalties.
+    pub itlb: u64,
+    /// D-TLB walk penalties.
+    pub dtlb: u64,
+    /// Branch misprediction penalties.
+    pub mispredict: u64,
+    /// Host-call (lazy resolver) overhead.
+    pub host_call: u64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles across all causes.
+    pub fn total(&self) -> u64 {
+        self.base
+            + self.icache
+            + self.dcache
+            + self.itlb
+            + self.dtlb
+            + self.mispredict
+            + self.host_call
+    }
+
+    /// Penalty cycles (everything except the base instruction cost) —
+    /// the "second-order" component in the paper's terms.
+    pub fn penalties(&self) -> u64 {
+        self.total() - self.base
+    }
+}
+
+/// Retire-stage trampoline pattern detector state (paper §3.2,
+/// "Populating the ABTB").
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    /// The resolved target of the retired call (the trampoline address).
+    call_target: VirtAddr,
+    /// Non-branch instructions seen since the call.
+    body: u32,
+}
+
+/// Outcome of executing one instruction.
+struct Exec {
+    next_pc: VirtAddr,
+    /// For memory-indirect control transfers: the slot the target was
+    /// loaded from.
+    loaded_slot: Option<VirtAddr>,
+    /// The trampoline address skipped by the ABTB mechanism, if any.
+    skipped: Option<VirtAddr>,
+}
+
+/// All simulation state except host callbacks and observers (split out
+/// so host callbacks can borrow it mutably while the callback table is
+/// held by [`Machine`]).
+pub(crate) struct Core {
+    cfg: MachineConfig,
+    regs: [u64; dynlink_isa::NUM_REGS],
+    pc: VirtAddr,
+    halted: bool,
+    pub(crate) space: AddressSpace,
+    icache: Cache,
+    dcache: Cache,
+    l2: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    bpred: DirectionPredictor,
+    btb: Btb,
+    ras: ReturnAddressStack,
+    abtb: Abtb,
+    bloom: BloomFilter,
+    pub(crate) counters: PerfCounters,
+    cycle_millis: u64,
+    breakdown_millis: [u64; 7],
+    /// Decoded-instruction cache: pc -> instruction, invalidated when
+    /// the address space's code version changes (runtime patching).
+    /// Purely a simulator speedup; no architectural effect.
+    decoded: HashMap<u64, Inst>,
+    decoded_version: u64,
+    pending: Option<Pending>,
+    plt_ranges: Vec<(VirtAddr, VirtAddr)>,
+    marks: Vec<MarkEvent>,
+}
+
+impl Core {
+    fn new(cfg: MachineConfig, space: AddressSpace) -> Self {
+        Core {
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            l2: Cache::new(cfg.l2),
+            itlb: Tlb::new(cfg.itlb_entries, cfg.itlb_ways, cfg.page_bytes),
+            dtlb: Tlb::new(cfg.dtlb_entries, cfg.dtlb_ways, cfg.page_bytes),
+            bpred: DirectionPredictor::with_history(cfg.bpred_bits, cfg.bpred_history_bits),
+            btb: Btb::new(cfg.btb_entries, cfg.btb_ways),
+            ras: ReturnAddressStack::new(cfg.ras_depth),
+            abtb: Abtb::new(cfg.abtb_entries),
+            bloom: BloomFilter::new(cfg.bloom_bits, cfg.bloom_hashes),
+            cfg,
+            regs: [0; dynlink_isa::NUM_REGS],
+            pc: VirtAddr::NULL,
+            halted: true,
+            space,
+            counters: PerfCounters::default(),
+            cycle_millis: 0,
+            breakdown_millis: [0; 7],
+            decoded: HashMap::new(),
+            decoded_version: 0,
+            pending: None,
+            plt_ranges: Vec::new(),
+            marks: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    #[inline]
+    pub(crate) fn set_reg(&mut self, r: Reg, value: u64) {
+        self.regs[r.index()] = value;
+    }
+
+    #[inline]
+    fn charge_cause(&mut self, cycles: u64, cause: Cause) {
+        self.cycle_millis += cycles * 1000;
+        self.breakdown_millis[cause as usize] += cycles * 1000;
+    }
+
+    #[inline]
+    fn cycles(&self) -> u64 {
+        self.cycle_millis / 1000
+    }
+
+    fn is_plt(&self, addr: VirtAddr) -> bool {
+        self.plt_ranges
+            .iter()
+            .any(|&(start, end)| addr >= start && addr < end)
+    }
+
+    /// Instruction-side fetch accounting for one executed instruction.
+    fn charge_fetch(&mut self, pc: VirtAddr) {
+        let asid = self.space.asid();
+        if self.itlb.access(asid, pc).is_miss() {
+            self.counters.itlb_misses += 1;
+            self.charge_cause(self.cfg.penalties.tlb_walk, Cause::ITlb);
+        }
+        if self.icache.access(pc).is_miss() {
+            self.counters.icache_misses += 1;
+            let miss_cost = if self.l2.access(pc).is_hit() {
+                self.cfg.penalties.l2_hit
+            } else {
+                self.cfg.penalties.memory
+            };
+            self.charge_cause(miss_cost, Cause::ICache);
+            if self.cfg.icache_next_line_prefetch {
+                let next = pc.cache_line(self.cfg.icache.line_bytes) + self.cfg.icache.line_bytes;
+                self.icache.fill(next);
+                self.l2.fill(next);
+            }
+        }
+    }
+
+    /// Data-side access accounting.
+    fn charge_data(&mut self, addr: VirtAddr) {
+        let asid = self.space.asid();
+        if self.dtlb.access(asid, addr).is_miss() {
+            self.counters.dtlb_misses += 1;
+            self.charge_cause(self.cfg.penalties.tlb_walk, Cause::DTlb);
+        }
+        if self.dcache.access(addr).is_miss() {
+            self.counters.dcache_misses += 1;
+            let miss_cost = if self.l2.access(addr).is_hit() {
+                self.cfg.penalties.l2_hit
+            } else {
+                self.cfg.penalties.memory
+            };
+            self.charge_cause(miss_cost, Cause::DCache);
+        }
+    }
+
+    fn effective_addr(&self, mem: MemRef) -> VirtAddr {
+        match mem {
+            MemRef::Abs(a) => a,
+            MemRef::BaseDisp { base, disp } => {
+                VirtAddr::new(self.reg(base).wrapping_add(disp as u64))
+            }
+            MemRef::BaseIndexDisp {
+                base,
+                index,
+                scale,
+                disp,
+            } => VirtAddr::new(
+                self.reg(base)
+                    .wrapping_add(self.reg(index).wrapping_mul(u64::from(scale)))
+                    .wrapping_add(disp as u64),
+            ),
+        }
+    }
+
+    fn load_u64(&mut self, addr: VirtAddr) -> Result<u64, MemError> {
+        self.charge_data(addr);
+        self.counters.loads += 1;
+        self.space.read_u64(addr)
+    }
+
+    /// A retired store: counted, charged and checked against the Bloom
+    /// filter (the guard that keeps skipped trampolines correct).
+    pub(crate) fn retire_store(&mut self, addr: VirtAddr, value: u64) -> Result<(), MemError> {
+        self.charge_data(addr);
+        self.counters.stores += 1;
+        self.space.write_u64(addr, value)?;
+        if self.cfg.accel.has_bloom() && self.bloom.maybe_contains(self.tagged(addr).as_u64()) {
+            self.flush_abtb();
+        }
+        Ok(())
+    }
+
+    /// ASID-salts an address for ABTB/Bloom keys when the ABTB is
+    /// configured as ASID-tagged (retained across context switches, like
+    /// an ASID-tagged TLB, paper §3.3). With the default flush-on-switch
+    /// policy the address is used raw — the flush makes tagging moot.
+    #[inline]
+    fn tagged(&self, a: VirtAddr) -> VirtAddr {
+        if self.cfg.flush_abtb_on_context_switch {
+            a
+        } else {
+            VirtAddr::new(a.as_u64() ^ self.space.asid().wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+    }
+
+    fn flush_abtb(&mut self) {
+        self.abtb.clear();
+        self.bloom.clear();
+        self.counters.abtb_flushes += 1;
+    }
+
+    pub(crate) fn invalidate_abtb(&mut self) {
+        if self.cfg.accel.has_abtb() {
+            self.flush_abtb();
+        }
+    }
+
+    /// Resolves a BTB-predicted control transfer at `pc` whose
+    /// architectural target is `arch_target`.
+    ///
+    /// Implements the paper's modified branch-resolution rule: on an
+    /// ABTB hit, a prediction matching either the architectural target
+    /// or the mapped function address counts as correct, the BTB is
+    /// retrained with the mapped address, and control proceeds past the
+    /// trampoline whenever the mapped address is used.
+    fn resolve_btb_branch(
+        &mut self,
+        pc: VirtAddr,
+        arch_target: VirtAddr,
+    ) -> (VirtAddr, Option<VirtAddr>) {
+        let pred = self.btb.lookup(pc);
+        if self.cfg.accel.has_abtb() {
+            let key = self.tagged(arch_target);
+            if let Some(mapped) = self.abtb.lookup(key) {
+                self.counters.abtb_hits += 1;
+                let correct = pred == Some(mapped) || pred == Some(arch_target);
+                if !correct {
+                    self.counters.branch_mispredictions += 1;
+                    self.charge_cause(self.cfg.penalties.branch_mispredict, Cause::Mispredict);
+                }
+                self.btb.update(pc, mapped);
+                // The trampoline executes only when fetch actually went
+                // there (prediction matched the architectural target).
+                if pred == Some(arch_target) {
+                    return (arch_target, None);
+                }
+                return (mapped, Some(arch_target));
+            }
+        }
+        if pred != Some(arch_target) {
+            self.counters.branch_mispredictions += 1;
+            self.charge_cause(self.cfg.penalties.branch_mispredict, Cause::Mispredict);
+        }
+        self.btb.update(pc, arch_target);
+        (arch_target, None)
+    }
+
+    fn push_stack(&mut self, value: u64) -> Result<(), MemError> {
+        let sp = VirtAddr::new(self.reg(Reg::SP).wrapping_sub(8));
+        self.set_reg(Reg::SP, sp.as_u64());
+        self.retire_store(sp, value)
+    }
+
+    fn pop_stack(&mut self) -> Result<u64, MemError> {
+        let sp = VirtAddr::new(self.reg(Reg::SP));
+        let value = self.load_u64(sp)?;
+        self.set_reg(Reg::SP, sp.as_u64().wrapping_add(8));
+        Ok(value)
+    }
+
+    /// Executes one (non-host-call) instruction functionally.
+    fn exec(&mut self, pc: VirtAddr, inst: Inst) -> Result<Exec, MemError> {
+        let fall = pc + inst.encoded_len();
+        let mut loaded_slot = None;
+        let mut skipped = None;
+        let next_pc = match inst {
+            Inst::Alu { op, dst, src } => {
+                let rhs = self.operand(src);
+                let value = op.apply(self.reg(dst), rhs);
+                self.set_reg(dst, value);
+                fall
+            }
+            Inst::MovImm { dst, imm } => {
+                self.set_reg(dst, imm);
+                fall
+            }
+            Inst::MovReg { dst, src } => {
+                let v = self.reg(src);
+                self.set_reg(dst, v);
+                fall
+            }
+            Inst::Lea { dst, mem } => {
+                let ea = self.effective_addr(mem);
+                self.set_reg(dst, ea.as_u64());
+                fall
+            }
+            Inst::Load { dst, mem } => {
+                let ea = self.effective_addr(mem);
+                let v = self.load_u64(ea)?;
+                self.set_reg(dst, v);
+                fall
+            }
+            Inst::Store { src, mem } => {
+                let ea = self.effective_addr(mem);
+                let v = self.reg(src);
+                self.retire_store(ea, v)?;
+                fall
+            }
+            Inst::Push { src } => {
+                let v = self.reg(src);
+                self.push_stack(v)?;
+                fall
+            }
+            Inst::Pop { dst } => {
+                let v = self.pop_stack()?;
+                self.set_reg(dst, v);
+                fall
+            }
+            Inst::CallDirect { target } => {
+                self.counters.branches += 1;
+                self.push_stack(fall.as_u64())?;
+                self.ras.push(fall);
+                let (next, skip) = self.resolve_btb_branch(pc, target);
+                skipped = skip;
+                next
+            }
+            Inst::CallIndirectReg { target } => {
+                self.counters.branches += 1;
+                let t = VirtAddr::new(self.reg(target));
+                self.push_stack(fall.as_u64())?;
+                self.ras.push(fall);
+                let (next, skip) = self.resolve_btb_branch(pc, t);
+                skipped = skip;
+                next
+            }
+            Inst::CallIndirectMem { mem } => {
+                self.counters.branches += 1;
+                let ea = self.effective_addr(mem);
+                let t = VirtAddr::new(self.load_u64(ea)?);
+                loaded_slot = Some(ea);
+                self.push_stack(fall.as_u64())?;
+                self.ras.push(fall);
+                let (next, skip) = self.resolve_btb_branch(pc, t);
+                skipped = skip;
+                next
+            }
+            Inst::JmpDirect { target } => {
+                self.counters.branches += 1;
+                let (next, skip) = self.resolve_btb_branch(pc, target);
+                skipped = skip;
+                next
+            }
+            Inst::JmpIndirectMem { mem } => {
+                self.counters.branches += 1;
+                let ea = self.effective_addr(mem);
+                let t = VirtAddr::new(self.load_u64(ea)?);
+                loaded_slot = Some(ea);
+                let (next, skip) = self.resolve_btb_branch(pc, t);
+                skipped = skip;
+                next
+            }
+            Inst::JmpIndirectReg { target } => {
+                self.counters.branches += 1;
+                let t = VirtAddr::new(self.reg(target));
+                let (next, skip) = self.resolve_btb_branch(pc, t);
+                skipped = skip;
+                next
+            }
+            Inst::BranchCond {
+                cond,
+                lhs,
+                rhs,
+                target,
+            } => {
+                self.counters.branches += 1;
+                let taken = cond.eval(self.reg(lhs), self.operand(rhs));
+                let predicted = self.bpred.predict(pc);
+                if predicted != taken {
+                    self.counters.branch_mispredictions += 1;
+                    self.charge_cause(self.cfg.penalties.branch_mispredict, Cause::Mispredict);
+                }
+                self.bpred.update(pc, taken);
+                if taken {
+                    // Taken branches occupy BTB entries (pressure model).
+                    self.btb.update(pc, target);
+                    target
+                } else {
+                    fall
+                }
+            }
+            Inst::Ret => {
+                self.counters.branches += 1;
+                let predicted = self.ras.pop();
+                let actual = VirtAddr::new(self.pop_stack()?);
+                if predicted != Some(actual) {
+                    self.counters.branch_mispredictions += 1;
+                    self.charge_cause(self.cfg.penalties.branch_mispredict, Cause::Mispredict);
+                }
+                actual
+            }
+            Inst::Nop => fall,
+            Inst::Halt => {
+                self.halted = true;
+                pc
+            }
+            Inst::Mark { id } => {
+                let ev = MarkEvent {
+                    id,
+                    instructions: self.counters.instructions + 1,
+                    cycles: self.cycles(),
+                };
+                self.marks.push(ev);
+                fall
+            }
+            Inst::HostCall { .. } => unreachable!("host calls handled by Machine::step"),
+        };
+        Ok(Exec {
+            next_pc,
+            loaded_slot,
+            skipped,
+        })
+    }
+
+    #[inline]
+    fn operand(&self, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(i) => i,
+        }
+    }
+
+    /// Retire-stage ABTB training (paper §3.2): a retired call arms the
+    /// detector; an immediately following memory-indirect jump (with up
+    /// to `max_trampoline_body` scratch-only instructions in between,
+    /// for ARM-style trampolines) trains the ABTB and the Bloom filter.
+    fn train_pattern(&mut self, inst: Inst, exec: &Exec) {
+        if !self.cfg.accel.has_abtb() {
+            return;
+        }
+        if inst.is_call() {
+            self.pending = if exec.skipped.is_none() {
+                Some(Pending {
+                    call_target: exec.next_pc,
+                    body: 0,
+                })
+            } else {
+                None
+            };
+            return;
+        }
+        if inst.is_mem_indirect_jump() {
+            if let (Some(p), Some(slot)) = (self.pending.take(), exec.loaded_slot) {
+                let key = self.tagged(p.call_target);
+                self.abtb.insert(key, exec.next_pc);
+                if self.cfg.accel.has_bloom() {
+                    self.bloom.insert(self.tagged(slot).as_u64());
+                }
+            }
+            return;
+        }
+        // Scratch-only arithmetic may appear inside multi-instruction
+        // (ARM-flavoured) trampolines; anything else breaks the pattern.
+        let scratch_only = inst.written_reg() == Some(Reg::SCRATCH)
+            && !inst.is_control()
+            && !inst.is_load()
+            && !inst.is_store();
+        match (&mut self.pending, scratch_only) {
+            (Some(p), true) => {
+                p.body += 1;
+                if p.body > self.cfg.max_trampoline_body {
+                    self.pending = None;
+                }
+            }
+            (slot, _) => *slot = None,
+        }
+    }
+}
+
+/// A suspended process: architectural register file, program counter,
+/// halt flag and address space. Swap one onto a [`Machine`] with
+/// [`Machine::swap_process`] to simulate OS-level multiprogramming on a
+/// single simulated core.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_cpu::{Machine, MachineConfig, ProcessContext};
+/// use dynlink_isa::{Inst, Reg, VirtAddr};
+/// use dynlink_mem::{AddressSpace, Perms};
+///
+/// // A one-instruction process: set R0 then halt.
+/// let mut space = AddressSpace::new(7);
+/// space.map_code_region(VirtAddr::new(0x1000), 0x1000, Perms::RX)?;
+/// space.place_code(VirtAddr::new(0x1000), Inst::mov_imm(Reg::R0, 9))?;
+/// space.place_code(VirtAddr::new(0x1007), Inst::Halt)?;
+/// let mut proc = ProcessContext::new(
+///     space,
+///     VirtAddr::new(0x1000),
+///     VirtAddr::new(0x10_0000),
+///     0x1000,
+/// )?;
+///
+/// let mut machine = Machine::new(MachineConfig::baseline(), AddressSpace::new(0));
+/// machine.swap_process(&mut proc); // schedule it
+/// machine.run(100)?;
+/// assert!(machine.halted());
+/// assert_eq!(machine.reg(Reg::R0), 9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ProcessContext {
+    regs: [u64; dynlink_isa::NUM_REGS],
+    pc: VirtAddr,
+    halted: bool,
+    space: AddressSpace,
+}
+
+impl ProcessContext {
+    /// Creates a runnable context over a loaded address space: maps a
+    /// stack of `stack_bytes` ending at `stack_top`, points SP/FP at it
+    /// and sets the program counter to `entry`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stack region overlaps an existing mapping.
+    pub fn new(
+        mut space: AddressSpace,
+        entry: VirtAddr,
+        stack_top: VirtAddr,
+        stack_bytes: u64,
+    ) -> Result<Self, MemError> {
+        space.map_region(
+            VirtAddr::new(stack_top.as_u64() - stack_bytes),
+            stack_bytes,
+            Perms::RW,
+        )?;
+        let mut regs = [0u64; dynlink_isa::NUM_REGS];
+        regs[Reg::SP.index()] = stack_top.as_u64();
+        regs[Reg::FP.index()] = stack_top.as_u64();
+        Ok(ProcessContext {
+            regs,
+            pc: entry,
+            halted: false,
+            space,
+        })
+    }
+
+    /// Returns `true` once the process has executed `halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads a register of the suspended process.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// The suspended process's address space.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+}
+
+/// Raw access/miss statistics for each modelled structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)]
+pub struct ComponentStats {
+    pub icache_accesses: u64,
+    pub icache_misses: u64,
+    pub dcache_accesses: u64,
+    pub dcache_misses: u64,
+    pub l2_accesses: u64,
+    pub l2_misses: u64,
+    pub itlb_accesses: u64,
+    pub itlb_misses: u64,
+    pub dtlb_accesses: u64,
+    pub dtlb_misses: u64,
+    pub btb_lookups: u64,
+    pub btb_hits: u64,
+    pub abtb_occupancy: usize,
+    pub abtb_capacity: usize,
+    pub abtb_evictions: u64,
+    pub bloom_fill_ratio: f64,
+}
+
+/// The simulated machine: CPU, memory hierarchy, predictors and (when
+/// configured) the paper's ABTB hardware.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_cpu::{Machine, MachineConfig, RunExit};
+/// use dynlink_isa::{Inst, Reg, VirtAddr};
+/// use dynlink_mem::{AddressSpace, Perms};
+///
+/// let mut space = AddressSpace::new(1);
+/// space.map_code_region(VirtAddr::new(0x1000), 0x1000, Perms::RX)?;
+/// space.place_code(VirtAddr::new(0x1000), Inst::mov_imm(Reg::RET, 42))?;
+/// space.place_code(VirtAddr::new(0x1007), Inst::Halt)?;
+///
+/// let mut m = Machine::new(MachineConfig::baseline(), space);
+/// m.init_stack(VirtAddr::new(0x20_0000), 0x4000)?;
+/// m.reset(VirtAddr::new(0x1000));
+/// assert_eq!(m.run(1_000)?, RunExit::Halted);
+/// assert_eq!(m.reg(Reg::RET), 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Machine {
+    core: Core,
+    host_fns: HashMap<u32, HostFn>,
+    observers: Vec<Rc<std::cell::RefCell<dyn RetireObserver>>>,
+}
+
+impl Machine {
+    /// Creates a machine over a loaded address space.
+    pub fn new(cfg: MachineConfig, space: AddressSpace) -> Self {
+        Machine {
+            core: Core::new(cfg, space),
+            host_fns: HashMap::new(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Maps a stack region of `bytes` ending at `top` and points the
+    /// stack and frame pointers at it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region overlaps an existing mapping.
+    pub fn init_stack(&mut self, top: VirtAddr, bytes: u64) -> Result<(), MemError> {
+        self.core
+            .space
+            .map_region(VirtAddr::new(top.as_u64() - bytes), bytes, Perms::RW)?;
+        self.core.set_reg(Reg::SP, top.as_u64());
+        self.core.set_reg(Reg::FP, top.as_u64());
+        Ok(())
+    }
+
+    /// Resets the program counter and unhalts the machine.
+    pub fn reset(&mut self, entry: VirtAddr) {
+        self.core.pc = entry;
+        self.core.halted = false;
+    }
+
+    /// Registers a host callback (e.g. the dynamic linker's lazy
+    /// resolver) under `id`.
+    pub fn register_host_fn(&mut self, id: dynlink_isa::HostFnId, f: HostFn) {
+        self.host_fns.insert(id.0, f);
+    }
+
+    /// Adds a retire observer (tracing hook).
+    pub fn add_observer(&mut self, obs: Rc<std::cell::RefCell<dyn RetireObserver>>) {
+        self.observers.push(obs);
+    }
+
+    /// Declares the PLT address ranges used to classify trampoline
+    /// instructions (from `ProcessImage::plt_ranges`).
+    pub fn set_plt_ranges(&mut self, ranges: &[(VirtAddr, VirtAddr)]) {
+        self.core.plt_ranges = ranges.to_vec();
+    }
+
+    /// Executes a single instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] on an unrecoverable fault (unmapped fetch,
+    /// bad data access, unknown host function).
+    pub fn step(&mut self) -> Result<(), CpuError> {
+        if self.core.halted {
+            return Ok(());
+        }
+        let pc = self.core.pc;
+        if self.core.decoded_version != self.core.space.code_version() {
+            self.core.decoded.clear();
+            self.core.decoded_version = self.core.space.code_version();
+        }
+        let inst = match self.core.decoded.get(&pc.as_u64()) {
+            Some(&i) => i,
+            None => {
+                let i = self
+                    .core
+                    .space
+                    .fetch_code(pc)
+                    .map_err(|source| CpuError { pc, source })?;
+                self.core.decoded.insert(pc.as_u64(), i);
+                i
+            }
+        };
+        self.core.charge_fetch(pc);
+        self.core.cycle_millis += self.core.cfg.penalties.base_milli_cycles;
+        self.core.breakdown_millis[Cause::Base as usize] +=
+            self.core.cfg.penalties.base_milli_cycles;
+
+        let exec = if let Inst::HostCall { id } = inst {
+            self.core
+                .charge_cause(self.core.cfg.penalties.host_call, Cause::HostCall);
+            let mut f = self.host_fns.remove(&id.0).ok_or(CpuError {
+                pc,
+                source: MemError::NoInstruction { addr: pc },
+            })?;
+            let mut ctx = HostCtx {
+                core: &mut self.core,
+                redirect: None,
+            };
+            f(&mut ctx);
+            let next_pc = ctx.redirect.unwrap_or(pc + inst.encoded_len());
+            self.host_fns.insert(id.0, f);
+            Exec {
+                next_pc,
+                loaded_slot: None,
+                skipped: None,
+            }
+        } else {
+            self.core
+                .exec(pc, inst)
+                .map_err(|source| CpuError { pc, source })?
+        };
+
+        // Retire.
+        self.core.counters.instructions += 1;
+        let in_plt = self.core.is_plt(pc);
+        if in_plt {
+            self.core.counters.trampoline_instructions += 1;
+        }
+        if let Some(tramp) = exec.skipped {
+            if self.core.is_plt(tramp) {
+                self.core.counters.trampolines_skipped += 1;
+            }
+        }
+        self.core.train_pattern(inst, &exec);
+        if !self.observers.is_empty() {
+            let event = RetireEvent {
+                pc,
+                inst,
+                next_pc: exec.next_pc,
+                loaded_slot: exec.loaded_slot,
+                skipped_trampoline: exec.skipped,
+                in_plt,
+            };
+            for obs in &self.observers {
+                obs.borrow_mut().on_retire(&event);
+            }
+        }
+        self.core.pc = exec.next_pc;
+        Ok(())
+    }
+
+    /// Runs until `halt` retires or `max_instructions` more instructions
+    /// have executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CpuError`].
+    pub fn run(&mut self, max_instructions: u64) -> Result<RunExit, CpuError> {
+        let budget_end = self.core.counters.instructions + max_instructions;
+        while !self.core.halted {
+            if self.core.counters.instructions >= budget_end {
+                return Ok(RunExit::InstLimit);
+            }
+            self.step()?;
+        }
+        Ok(RunExit::Halted)
+    }
+
+    /// Runs until the machine has recorded at least `target_marks` mark
+    /// events in total (an exact request-boundary stopping point for
+    /// steady-state measurement windows), halting, or exhausting the
+    /// instruction budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CpuError`].
+    pub fn run_until_marks(
+        &mut self,
+        target_marks: usize,
+        max_instructions: u64,
+    ) -> Result<RunExit, CpuError> {
+        let budget_end = self.core.counters.instructions + max_instructions;
+        while !self.core.halted {
+            if self.core.marks.len() >= target_marks {
+                return Ok(RunExit::InstLimit);
+            }
+            if self.core.counters.instructions >= budget_end {
+                return Ok(RunExit::InstLimit);
+            }
+            self.step()?;
+        }
+        Ok(RunExit::Halted)
+    }
+
+    /// A context switch: flushes the BTB and RAS (virtually-indexed,
+    /// untagged) and — unless the ABTB is configured as ASID-tagged —
+    /// the ABTB, mirroring the paper's §3.3 discussion.
+    pub fn context_switch(&mut self) {
+        self.core.btb.flush();
+        self.core.ras.clear();
+        self.core.itlb.flush();
+        self.core.dtlb.flush();
+        if self.core.cfg.accel.has_abtb() && self.core.cfg.flush_abtb_on_context_switch {
+            self.core.flush_abtb();
+        }
+    }
+
+    /// Suspends the currently running process into `ctx` and resumes the
+    /// process previously stored there — an OS context switch between
+    /// two different programs on one core. Untagged structures (BTB,
+    /// RAS) are flushed; ASID-tagged TLBs retain their entries; the ABTB
+    /// follows its configured policy (and in ASID-tagged mode its keys
+    /// are salted per address space, so entries from different processes
+    /// can never alias).
+    pub fn swap_process(&mut self, ctx: &mut ProcessContext) {
+        std::mem::swap(&mut self.core.regs, &mut ctx.regs);
+        std::mem::swap(&mut self.core.pc, &mut ctx.pc);
+        std::mem::swap(&mut self.core.halted, &mut ctx.halted);
+        std::mem::swap(&mut self.core.space, &mut ctx.space);
+        self.core.btb.flush();
+        self.core.ras.clear();
+        self.core.pending = None;
+        self.core.decoded.clear();
+        if self.core.cfg.accel.has_abtb() && self.core.cfg.flush_abtb_on_context_switch {
+            self.core.flush_abtb();
+        }
+    }
+
+    /// Invalidates the L1/L2 cache contents (e.g. to model worst-case
+    /// pollution around a context switch); statistics are retained.
+    pub fn flush_caches(&mut self) {
+        self.core.icache.flush();
+        self.core.dcache.flush();
+        self.core.l2.flush();
+    }
+
+    /// Notifies the machine of a store performed by another agent
+    /// (another core, DMA, or the host runtime rewriting a GOT slot):
+    /// the coherence-invalidation path of §3.2.
+    pub fn external_store(&mut self, addr: VirtAddr) {
+        let key = self.core.tagged(addr);
+        if self.core.cfg.accel.has_bloom() && self.core.bloom.maybe_contains(key.as_u64()) {
+            self.core.flush_abtb();
+        }
+    }
+
+    /// Explicitly clears the ABTB (the §3.4 software-managed variant).
+    pub fn invalidate_abtb(&mut self) {
+        self.core.invalidate_abtb();
+    }
+
+    /// Cycles attributed to each cost source (see [`CycleBreakdown`]).
+    pub fn cycle_breakdown(&self) -> CycleBreakdown {
+        let b = &self.core.breakdown_millis;
+        CycleBreakdown {
+            base: b[0] / 1000,
+            icache: b[1] / 1000,
+            dcache: b[2] / 1000,
+            itlb: b[3] / 1000,
+            dtlb: b[4] / 1000,
+            mispredict: b[5] / 1000,
+            host_call: b[6] / 1000,
+        }
+    }
+
+    /// Per-structure access/miss statistics (observability beyond the
+    /// Table 4 counters).
+    pub fn component_stats(&self) -> ComponentStats {
+        ComponentStats {
+            icache_accesses: self.core.icache.accesses(),
+            icache_misses: self.core.icache.misses(),
+            dcache_accesses: self.core.dcache.accesses(),
+            dcache_misses: self.core.dcache.misses(),
+            l2_accesses: self.core.l2.accesses(),
+            l2_misses: self.core.l2.misses(),
+            itlb_accesses: self.core.itlb.accesses(),
+            itlb_misses: self.core.itlb.misses(),
+            dtlb_accesses: self.core.dtlb.accesses(),
+            dtlb_misses: self.core.dtlb.misses(),
+            btb_lookups: self.core.btb.lookups(),
+            btb_hits: self.core.btb.hits(),
+            abtb_occupancy: self.core.abtb.len(),
+            abtb_capacity: self.core.abtb.capacity(),
+            abtb_evictions: self.core.abtb.evictions(),
+            bloom_fill_ratio: self.core.bloom.fill_ratio(),
+        }
+    }
+
+    /// Snapshot of the performance counters (cycles filled in from the
+    /// timing accumulator).
+    pub fn counters(&self) -> PerfCounters {
+        let mut c = self.core.counters;
+        c.cycles = self.core.cycles();
+        c
+    }
+
+    /// Resets the performance counters and timing accumulator while
+    /// keeping all microarchitectural state (cache contents, predictor
+    /// training, ABTB entries) warm — used to exclude warmup from
+    /// steady-state measurements, as the paper's methodology does.
+    pub fn reset_counters(&mut self) {
+        self.core.counters = PerfCounters::default();
+        self.core.cycle_millis = 0;
+        self.core.breakdown_millis = [0; 7];
+        self.core.marks.clear();
+    }
+
+    /// Drains the recorded [`MarkEvent`]s.
+    pub fn take_marks(&mut self) -> Vec<MarkEvent> {
+        std::mem::take(&mut self.core.marks)
+    }
+
+    /// Reads a register (for tests and harnesses).
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.core.reg(r)
+    }
+
+    /// Writes a register (for harness setup, e.g. passing arguments).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.core.set_reg(r, value);
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> VirtAddr {
+        self.core.pc
+    }
+
+    /// Returns `true` once `halt` has retired.
+    pub fn halted(&self) -> bool {
+        self.core.halted
+    }
+
+    /// Shared access to the address space.
+    pub fn space(&self) -> &AddressSpace {
+        &self.core.space
+    }
+
+    /// Mutable access to the address space (runtime loading, dlclose).
+    /// Writes made this way bypass the store path; call
+    /// [`Machine::external_store`] for each GOT slot rewritten.
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.core.space
+    }
+
+    /// Live ABTB occupancy (diagnostics).
+    pub fn abtb_len(&self) -> usize {
+        self.core.abtb.len()
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.core.cfg
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &self.core.pc)
+            .field("halted", &self.core.halted)
+            .field("accel", &self.core.cfg.accel)
+            .field("instructions", &self.core.counters.instructions)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynlink_isa::{AluOp, Cond, HostFnId};
+
+    const TEXT: u64 = 0x40_0000;
+    const PLT: u64 = 0x41_0000;
+    const GOT: u64 = 0x60_0000;
+    const FUNC: u64 = 0x7f_0000;
+    const STACK_TOP: u64 = 0x100_0000;
+
+    fn space() -> AddressSpace {
+        let mut s = AddressSpace::new(1);
+        s.map_code_region(VirtAddr::new(TEXT), 0x1000, Perms::RX)
+            .unwrap();
+        s.map_code_region(VirtAddr::new(PLT), 0x1000, Perms::RX)
+            .unwrap();
+        s.map_region(VirtAddr::new(GOT), 0x1000, Perms::RW).unwrap();
+        s.map_code_region(VirtAddr::new(FUNC), 0x1000, Perms::RX)
+            .unwrap();
+        s
+    }
+
+    fn machine_with(cfg: MachineConfig, s: AddressSpace) -> Machine {
+        let mut m = Machine::new(cfg, s);
+        m.init_stack(VirtAddr::new(STACK_TOP), 0x10000).unwrap();
+        m.reset(VirtAddr::new(TEXT));
+        m
+    }
+
+    /// Places a straight-line program at TEXT.
+    fn place(s: &mut AddressSpace, insts: &[Inst]) -> Vec<VirtAddr> {
+        let mut pcs = Vec::new();
+        let mut at = VirtAddr::new(TEXT);
+        for &i in insts {
+            s.place_code(at, i).unwrap();
+            pcs.push(at);
+            at += i.encoded_len();
+        }
+        pcs
+    }
+
+    #[test]
+    fn alu_and_mov_semantics() {
+        let mut s = space();
+        place(
+            &mut s,
+            &[
+                Inst::mov_imm(Reg::R0, 10),
+                Inst::add_imm(Reg::R0, 5),
+                Inst::MovReg {
+                    dst: Reg::R1,
+                    src: Reg::R0,
+                },
+                Inst::Alu {
+                    op: AluOp::Mul,
+                    dst: Reg::R1,
+                    src: Operand::Imm(3),
+                },
+                Inst::Halt,
+            ],
+        );
+        let mut m = machine_with(MachineConfig::baseline(), s);
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::R0), 15);
+        assert_eq!(m.reg(Reg::R1), 45);
+        assert_eq!(m.counters().instructions, 5);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut s = space();
+        place(
+            &mut s,
+            &[
+                Inst::mov_imm(Reg::R0, 0xabcd),
+                Inst::Store {
+                    src: Reg::R0,
+                    mem: MemRef::Abs(VirtAddr::new(GOT + 0x100)),
+                },
+                Inst::Load {
+                    dst: Reg::R1,
+                    mem: MemRef::Abs(VirtAddr::new(GOT + 0x100)),
+                },
+                Inst::Halt,
+            ],
+        );
+        let mut m = machine_with(MachineConfig::baseline(), s);
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::R1), 0xabcd);
+        let c = m.counters();
+        assert_eq!(c.loads, 1);
+        assert_eq!(c.stores, 1);
+    }
+
+    #[test]
+    fn push_pop_and_stack_pointer() {
+        let mut s = space();
+        place(
+            &mut s,
+            &[
+                Inst::mov_imm(Reg::R0, 7),
+                Inst::Push { src: Reg::R0 },
+                Inst::mov_imm(Reg::R0, 0),
+                Inst::Pop { dst: Reg::R1 },
+                Inst::Halt,
+            ],
+        );
+        let mut m = machine_with(MachineConfig::baseline(), s);
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::R1), 7);
+        assert_eq!(m.reg(Reg::SP), STACK_TOP);
+    }
+
+    #[test]
+    fn call_ret_roundtrip() {
+        let mut s = space();
+        // main: call FUNC; mov r1, 1; halt    FUNC: mov r0, 9; ret
+        place(
+            &mut s,
+            &[
+                Inst::CallDirect {
+                    target: VirtAddr::new(FUNC),
+                },
+                Inst::mov_imm(Reg::R1, 1),
+                Inst::Halt,
+            ],
+        );
+        s.place_code(VirtAddr::new(FUNC), Inst::mov_imm(Reg::R0, 9))
+            .unwrap();
+        s.place_code(VirtAddr::new(FUNC + 7), Inst::Ret).unwrap();
+        let mut m = machine_with(MachineConfig::baseline(), s);
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::R0), 9);
+        assert_eq!(m.reg(Reg::R1), 1);
+        assert!(m.halted());
+    }
+
+    #[test]
+    fn countdown_loop_and_direction_prediction() {
+        let mut s = space();
+        // r0 = 50; loop: r0 -= 1; bne r0, 0, loop; halt
+        let i0 = Inst::mov_imm(Reg::R0, 50);
+        let i1 = Inst::sub_imm(Reg::R0, 1);
+        let loop_pc = VirtAddr::new(TEXT) + i0.encoded_len();
+        place(
+            &mut s,
+            &[
+                i0,
+                i1,
+                Inst::BranchCond {
+                    cond: Cond::Ne,
+                    lhs: Reg::R0,
+                    rhs: Operand::Imm(0),
+                    target: loop_pc,
+                },
+                Inst::Halt,
+            ],
+        );
+        let mut m = machine_with(MachineConfig::baseline(), s);
+        m.run(1000).unwrap();
+        assert_eq!(m.reg(Reg::R0), 0);
+        let c = m.counters();
+        assert_eq!(c.branches, 50);
+        // The loop back-edge trains quickly; only a handful mispredict
+        // (initial state + final not-taken).
+        assert!(c.branch_mispredictions <= 4, "{}", c.branch_mispredictions);
+    }
+
+    /// Builds the canonical dynamic-linking shape:
+    ///
+    /// ```text
+    /// main:  r2 = N
+    /// loop:  call plt0
+    ///        r2 -= 1
+    ///        bne r2, 0, loop
+    ///        halt
+    /// plt0:  jmp *(GOT)         ; 16-byte PLT slot
+    /// func:  r0 += 1 ; ret
+    /// ```
+    fn library_call_program(s: &mut AddressSpace, iterations: u64) {
+        let plt0 = VirtAddr::new(PLT);
+        let got0 = VirtAddr::new(GOT + 16);
+        let func = VirtAddr::new(FUNC);
+        let i0 = Inst::mov_imm(Reg::R2, iterations);
+        let call = Inst::CallDirect { target: plt0 };
+        let dec = Inst::sub_imm(Reg::R2, 1);
+        let loop_pc = VirtAddr::new(TEXT) + i0.encoded_len();
+        let bne = Inst::BranchCond {
+            cond: Cond::Ne,
+            lhs: Reg::R2,
+            rhs: Operand::Imm(0),
+            target: loop_pc,
+        };
+        place(s, &[i0, call, dec, bne, Inst::Halt]);
+        s.place_code(
+            plt0,
+            Inst::JmpIndirectMem {
+                mem: MemRef::Abs(got0),
+            },
+        )
+        .unwrap();
+        s.write_u64(got0, func.as_u64()).unwrap();
+        s.place_code(func, Inst::add_imm(Reg::R0, 1)).unwrap();
+        s.place_code(func + 4, Inst::Ret).unwrap();
+    }
+
+    fn run_library_calls(cfg: MachineConfig, iterations: u64) -> (Machine, PerfCounters) {
+        let mut s = space();
+        library_call_program(&mut s, iterations);
+        let mut m = machine_with(cfg, s);
+        m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
+        m.run(100_000).unwrap();
+        let c = m.counters();
+        (m, c)
+    }
+
+    #[test]
+    fn baseline_executes_every_trampoline() {
+        let (_m, c) = run_library_calls(MachineConfig::baseline(), 100);
+        assert_eq!(c.trampoline_instructions, 100);
+        assert_eq!(c.trampolines_skipped, 0);
+    }
+
+    #[test]
+    fn enhanced_skips_trampolines_after_warmup() {
+        let (m, c) = run_library_calls(MachineConfig::enhanced(), 100);
+        // Call 1 executes + trains; call 2 verifies via BTB retrain;
+        // calls 3..100 skip.
+        assert!(
+            c.trampolines_skipped >= 97,
+            "skipped only {}",
+            c.trampolines_skipped
+        );
+        assert!(c.trampoline_instructions <= 3);
+        assert!(m.abtb_len() >= 1);
+        assert!(c.abtb_hits >= 97);
+    }
+
+    #[test]
+    fn architectural_results_identical_base_vs_enhanced() {
+        let (mb, cb) = run_library_calls(MachineConfig::baseline(), 64);
+        let (me, ce) = run_library_calls(MachineConfig::enhanced(), 64);
+        assert_eq!(mb.reg(Reg::R0), 64);
+        assert_eq!(me.reg(Reg::R0), 64);
+        assert_eq!(mb.reg(Reg::SP), me.reg(Reg::SP));
+        // Enhanced retires fewer instructions (the elided trampolines).
+        assert!(ce.instructions < cb.instructions);
+        assert_eq!(cb.instructions - ce.instructions, ce.trampolines_skipped);
+    }
+
+    #[test]
+    fn no_extra_mispredictions_versus_baseline() {
+        // Paper §3.3: "we do not introduce any branch mispredictions
+        // that were not present in the base system."
+        let (_mb, cb) = run_library_calls(MachineConfig::baseline(), 200);
+        let (_me, ce) = run_library_calls(MachineConfig::enhanced(), 200);
+        assert!(
+            ce.branch_mispredictions <= cb.branch_mispredictions,
+            "enhanced {} > base {}",
+            ce.branch_mispredictions,
+            cb.branch_mispredictions
+        );
+    }
+
+    #[test]
+    fn enhanced_reduces_icache_and_dcache_traffic() {
+        let (_mb, cb) = run_library_calls(MachineConfig::baseline(), 500);
+        let (_me, ce) = run_library_calls(MachineConfig::enhanced(), 500);
+        // Fewer loads: the GOT load disappears with the trampoline.
+        assert!(ce.loads < cb.loads);
+        assert!(ce.cycles <= cb.cycles);
+    }
+
+    #[test]
+    fn got_rewrite_through_store_flushes_abtb() {
+        // Program: call plt; store new target into GOT; call plt; halt.
+        // The second call must reach the *new* function in both modes.
+        let mut s = space();
+        let plt0 = VirtAddr::new(PLT);
+        let got0 = VirtAddr::new(GOT + 16);
+        let f1 = VirtAddr::new(FUNC);
+        let f2 = VirtAddr::new(FUNC + 0x100);
+        let call = Inst::CallDirect { target: plt0 };
+        place(
+            &mut s,
+            &[
+                call, // call 1 -> f1
+                call, // call 2 -> f1 (train)
+                call, // call 3 -> f1 (skip in enhanced)
+                Inst::mov_imm(Reg::R5, f2.as_u64()),
+                Inst::Store {
+                    src: Reg::R5,
+                    mem: MemRef::Abs(got0),
+                }, // rewrite GOT: must flush ABTB
+                call, // call 4 -> f2
+                Inst::Halt,
+            ],
+        );
+        s.place_code(
+            plt0,
+            Inst::JmpIndirectMem {
+                mem: MemRef::Abs(got0),
+            },
+        )
+        .unwrap();
+        s.write_u64(got0, f1.as_u64()).unwrap();
+        // f1: r0 += 1; ret      f2: r1 += 1; ret
+        s.place_code(f1, Inst::add_imm(Reg::R0, 1)).unwrap();
+        s.place_code(f1 + 4, Inst::Ret).unwrap();
+        s.place_code(f2, Inst::add_imm(Reg::R1, 1)).unwrap();
+        s.place_code(f2 + 4, Inst::Ret).unwrap();
+
+        for cfg in [MachineConfig::baseline(), MachineConfig::enhanced()] {
+            let accel = cfg.accel;
+            let mut m = machine_with(cfg, s.clone());
+            m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
+            m.run(1000).unwrap();
+            assert_eq!(m.reg(Reg::R0), 3, "{accel:?}: three calls to f1");
+            assert_eq!(m.reg(Reg::R1), 1, "{accel:?}: one call to f2");
+            if accel.has_bloom() {
+                assert!(m.counters().abtb_flushes >= 1, "GOT store must flush");
+            }
+        }
+    }
+
+    #[test]
+    fn no_bloom_variant_requires_explicit_invalidate() {
+        // §3.4: without the Bloom filter, a GOT rewrite alone leaves a
+        // stale ABTB entry; the skip then goes to the *old* target, just
+        // as skipping an icache flush executes stale instructions.
+        let mut s = space();
+        let plt0 = VirtAddr::new(PLT);
+        let got0 = VirtAddr::new(GOT + 16);
+        let f1 = VirtAddr::new(FUNC);
+        let f2 = VirtAddr::new(FUNC + 0x100);
+        let call = Inst::CallDirect { target: plt0 };
+        place(
+            &mut s,
+            &[
+                call,
+                call,
+                call,
+                Inst::mov_imm(Reg::R5, f2.as_u64()),
+                Inst::Store {
+                    src: Reg::R5,
+                    mem: MemRef::Abs(got0),
+                },
+                call,
+                Inst::Halt,
+            ],
+        );
+        s.place_code(
+            plt0,
+            Inst::JmpIndirectMem {
+                mem: MemRef::Abs(got0),
+            },
+        )
+        .unwrap();
+        s.write_u64(got0, f1.as_u64()).unwrap();
+        s.place_code(f1, Inst::add_imm(Reg::R0, 1)).unwrap();
+        s.place_code(f1 + 4, Inst::Ret).unwrap();
+        s.place_code(f2, Inst::add_imm(Reg::R1, 1)).unwrap();
+        s.place_code(f2 + 4, Inst::Ret).unwrap();
+
+        let mut m = machine_with(MachineConfig::enhanced_no_bloom(), s);
+        m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
+        m.run(1000).unwrap();
+        // Stale skip: the fourth call still reached f1.
+        assert_eq!(m.reg(Reg::R0), 4);
+        assert_eq!(m.reg(Reg::R1), 0);
+    }
+
+    #[test]
+    fn external_store_notification_flushes() {
+        let (mut m, _c) = run_library_calls(MachineConfig::enhanced(), 10);
+        assert!(m.abtb_len() > 0);
+        // A store from "another core" to the watched GOT slot.
+        m.external_store(VirtAddr::new(GOT + 16));
+        assert_eq!(m.abtb_len(), 0);
+        // An unrelated address does not flush.
+        let (mut m2, _c) = run_library_calls(MachineConfig::enhanced(), 10);
+        m2.external_store(VirtAddr::new(GOT + 0x800));
+        assert!(m2.abtb_len() > 0);
+    }
+
+    #[test]
+    fn context_switch_flushes_abtb_by_default() {
+        let (mut m, _c) = run_library_calls(MachineConfig::enhanced(), 10);
+        assert!(m.abtb_len() > 0);
+        m.context_switch();
+        assert_eq!(m.abtb_len(), 0);
+    }
+
+    #[test]
+    fn asid_tagged_abtb_survives_context_switch() {
+        let mut cfg = MachineConfig::enhanced();
+        cfg.flush_abtb_on_context_switch = false;
+        let mut s = space();
+        library_call_program(&mut s, 10);
+        let mut m = machine_with(cfg, s);
+        m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
+        m.run(100_000).unwrap();
+        assert!(m.abtb_len() > 0);
+        m.context_switch();
+        assert!(m.abtb_len() > 0);
+    }
+
+    #[test]
+    fn mark_events_record_progress() {
+        let mut s = space();
+        place(
+            &mut s,
+            &[
+                Inst::Mark { id: 1 },
+                Inst::Nop,
+                Inst::Nop,
+                Inst::Mark { id: 2 },
+                Inst::Halt,
+            ],
+        );
+        let mut m = machine_with(MachineConfig::baseline(), s);
+        m.run(100).unwrap();
+        let marks = m.take_marks();
+        assert_eq!(marks.len(), 2);
+        assert_eq!(marks[0].id, 1);
+        assert_eq!(marks[1].id, 2);
+        assert!(marks[1].instructions > marks[0].instructions);
+        assert!(m.take_marks().is_empty(), "drained");
+    }
+
+    #[test]
+    fn host_call_redirect_and_store_path() {
+        let mut s = space();
+        place(
+            &mut s,
+            &[
+                Inst::HostCall { id: HostFnId(9) },
+                Inst::Halt, // skipped by redirect
+            ],
+        );
+        let target = VirtAddr::new(FUNC);
+        s.place_code(target, Inst::mov_imm(Reg::R3, 77)).unwrap();
+        s.place_code(target + 7, Inst::Halt).unwrap();
+        let mut m = machine_with(MachineConfig::baseline(), s);
+        m.register_host_fn(
+            HostFnId(9),
+            Box::new(move |ctx| {
+                ctx.set_reg(Reg::R4, 55);
+                ctx.store_u64(VirtAddr::new(GOT + 8), 0x1234).unwrap();
+                ctx.set_pc(target);
+                ctx.count_resolver();
+            }),
+        );
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::R3), 77);
+        assert_eq!(m.reg(Reg::R4), 55);
+        assert_eq!(m.space().read_u64(VirtAddr::new(GOT + 8)).unwrap(), 0x1234);
+        let c = m.counters();
+        assert_eq!(c.resolver_invocations, 1);
+        assert_eq!(c.stores, 1, "host store goes through the store path");
+    }
+
+    #[test]
+    fn unknown_host_fn_faults() {
+        let mut s = space();
+        place(&mut s, &[Inst::HostCall { id: HostFnId(42) }]);
+        let mut m = machine_with(MachineConfig::baseline(), s);
+        assert!(m.step().is_err());
+    }
+
+    #[test]
+    fn unmapped_fetch_faults_with_pc() {
+        let mut m = machine_with(MachineConfig::baseline(), space());
+        m.reset(VirtAddr::new(0xdead_0000));
+        let err = m.step().unwrap_err();
+        assert_eq!(err.pc, VirtAddr::new(0xdead_0000));
+    }
+
+    #[test]
+    fn run_respects_instruction_limit() {
+        let mut s = space();
+        // Infinite loop.
+        let spin = VirtAddr::new(TEXT);
+        s.place_code(spin, Inst::JmpDirect { target: spin })
+            .unwrap();
+        let mut m = machine_with(MachineConfig::baseline(), s);
+        assert_eq!(m.run(1000).unwrap(), RunExit::InstLimit);
+        assert_eq!(m.counters().instructions, 1000);
+    }
+
+    #[test]
+    fn virtual_dispatch_never_trains_abtb() {
+        // An indirect call through a register (C++ virtual style,
+        // §2.4.2) followed by normal code must not create ABTB entries.
+        let mut s = space();
+        let func = VirtAddr::new(FUNC);
+        place(
+            &mut s,
+            &[
+                Inst::mov_imm(Reg::R6, func.as_u64()),
+                Inst::CallIndirectReg { target: Reg::R6 },
+                Inst::Halt,
+            ],
+        );
+        s.place_code(func, Inst::mov_imm(Reg::R0, 5)).unwrap();
+        s.place_code(func + 7, Inst::Ret).unwrap();
+        let mut m = machine_with(MachineConfig::enhanced(), s);
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::R0), 5);
+        assert_eq!(m.abtb_len(), 0);
+    }
+
+    #[test]
+    fn arm_flavor_trampoline_trains_and_skips() {
+        // plt: add scratch, 0 ; add scratch, 0 ; jmp *(got)
+        let mut s = space();
+        let plt0 = VirtAddr::new(PLT);
+        let got0 = VirtAddr::new(GOT + 16);
+        let func = VirtAddr::new(FUNC);
+        let i0 = Inst::mov_imm(Reg::R2, 50);
+        let call = Inst::CallDirect { target: plt0 };
+        let dec = Inst::sub_imm(Reg::R2, 1);
+        let loop_pc = VirtAddr::new(TEXT) + i0.encoded_len();
+        place(
+            &mut s,
+            &[
+                i0,
+                call,
+                dec,
+                Inst::BranchCond {
+                    cond: Cond::Ne,
+                    lhs: Reg::R2,
+                    rhs: Operand::Imm(0),
+                    target: loop_pc,
+                },
+                Inst::Halt,
+            ],
+        );
+        let scratch_add = Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::SCRATCH,
+            src: Operand::Imm(0),
+        };
+        s.place_code(plt0, scratch_add).unwrap();
+        s.place_code(plt0 + 4, scratch_add).unwrap();
+        s.place_code(
+            plt0 + 8,
+            Inst::JmpIndirectMem {
+                mem: MemRef::Abs(got0),
+            },
+        )
+        .unwrap();
+        s.write_u64(got0, func.as_u64()).unwrap();
+        s.place_code(func, Inst::add_imm(Reg::R0, 1)).unwrap();
+        s.place_code(func + 4, Inst::Ret).unwrap();
+
+        let mut m = machine_with(MachineConfig::enhanced(), s);
+        m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
+        m.run(10_000).unwrap();
+        assert_eq!(m.reg(Reg::R0), 50);
+        let c = m.counters();
+        assert!(
+            c.trampolines_skipped >= 47,
+            "ARM trampoline skipped {} times",
+            c.trampolines_skipped
+        );
+    }
+
+    #[test]
+    fn observer_sees_retired_instructions() {
+        use std::cell::RefCell;
+
+        #[derive(Default)]
+        struct Collect {
+            pcs: Vec<VirtAddr>,
+        }
+        impl RetireObserver for Collect {
+            fn on_retire(&mut self, e: &RetireEvent) {
+                self.pcs.push(e.pc);
+            }
+        }
+        let mut s = space();
+        place(&mut s, &[Inst::Nop, Inst::Nop, Inst::Halt]);
+        let mut m = machine_with(MachineConfig::baseline(), s);
+        let obs = Rc::new(RefCell::new(Collect::default()));
+        m.add_observer(obs.clone());
+        m.run(10).unwrap();
+        assert_eq!(obs.borrow().pcs.len(), 3);
+        assert_eq!(obs.borrow().pcs[0], VirtAddr::new(TEXT));
+    }
+
+    #[test]
+    fn next_line_prefetch_reduces_icache_misses_on_straightline_code() {
+        let build = |prefetch: bool| {
+            let mut s = space();
+            // 200 sequential instructions spanning many lines.
+            let mut insts = vec![Inst::mov_imm(Reg::R0, 1); 200];
+            insts.push(Inst::Halt);
+            place(&mut s, &insts);
+            let mut cfg = MachineConfig::baseline();
+            cfg.icache_next_line_prefetch = prefetch;
+            let mut m = machine_with(cfg, s);
+            m.run(1000).unwrap();
+            m.counters().icache_misses
+        };
+        let without = build(false);
+        let with = build(true);
+        assert!(
+            with < without,
+            "prefetch {with} misses vs {without} without"
+        );
+    }
+
+    #[test]
+    fn cycles_grow_with_penalties() {
+        let (_m, c) = run_library_calls(MachineConfig::baseline(), 50);
+        assert!(c.cycles > 0);
+        assert!(c.cpi() > 0.0);
+    }
+
+    #[test]
+    fn cycle_breakdown_accounts_for_every_cycle() {
+        let (m, c) = run_library_calls(MachineConfig::baseline(), 100);
+        let b = m.cycle_breakdown();
+        // Milli-cycle truncation can lose at most 1 cycle total.
+        assert!(
+            c.cycles.abs_diff(b.total()) <= 1,
+            "{} vs {}",
+            c.cycles,
+            b.total()
+        );
+        assert!(b.base > 0);
+        assert!(b.mispredict > 0, "first call mispredicts");
+        assert_eq!(b.host_call, 0, "no resolver in this hand-built program");
+        assert_eq!(b.penalties(), b.total() - b.base);
+    }
+
+    #[test]
+    fn enhanced_machine_saves_penalty_cycles() {
+        let (mb, _) = run_library_calls(MachineConfig::baseline(), 500);
+        let (me, _) = run_library_calls(MachineConfig::enhanced(), 500);
+        let (bb, be) = (mb.cycle_breakdown(), me.cycle_breakdown());
+        assert!(be.base < bb.base, "fewer instructions retire");
+        assert!(be.total() <= bb.total());
+    }
+}

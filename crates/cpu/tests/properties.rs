@@ -1,0 +1,169 @@
+//! Property tests: the machine's functional execution matches a simple
+//! reference interpreter, independent of the accelerator and of the
+//! microarchitectural configuration.
+
+use dynlink_cpu::{LinkAccel, Machine, MachineConfig};
+use dynlink_isa::{AluOp, Inst, MemRef, Operand, Reg, VirtAddr};
+use dynlink_mem::{AddressSpace, Perms};
+use proptest::prelude::*;
+
+const TEXT: u64 = 0x40_0000;
+const DATA: u64 = 0x60_0000;
+const STACK_TOP: u64 = 0x100_0000;
+
+/// A straight-line program step (no control flow: the reference model
+/// stays trivial while still covering the whole data path).
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Alu(AluOp, usize, u64),
+    MovImm(usize, u64),
+    MovReg(usize, usize),
+    StoreLoad(usize, usize, u64),
+    PushPop(usize, usize),
+}
+
+fn any_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Mul),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+    ]
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    // Registers restricted to R0..R7 so SP/FP stay machine-managed.
+    prop_oneof![
+        (any_op(), 0..8usize, any::<u64>()).prop_map(|(op, r, v)| Step::Alu(op, r, v)),
+        (0..8usize, any::<u64>()).prop_map(|(r, v)| Step::MovImm(r, v)),
+        (0..8usize, 0..8usize).prop_map(|(d, s)| Step::MovReg(d, s)),
+        (0..8usize, 0..8usize, 0..64u64).prop_map(|(s, d, slot)| Step::StoreLoad(s, d, slot)),
+        (0..8usize, 0..8usize).prop_map(|(s, d)| Step::PushPop(s, d)),
+    ]
+}
+
+fn reg(i: usize) -> Reg {
+    Reg::from_index(i).unwrap()
+}
+
+/// Reference interpreter over 8 registers and 64 data slots.
+fn interpret(steps: &[Step]) -> [u64; 8] {
+    let mut regs = [0u64; 8];
+    let mut data = [0u64; 64];
+    for &s in steps {
+        match s {
+            Step::Alu(op, r, v) => regs[r] = op.apply(regs[r], v),
+            Step::MovImm(r, v) => regs[r] = v,
+            Step::MovReg(d, s) => regs[d] = regs[s],
+            Step::StoreLoad(s, d, slot) => {
+                data[slot as usize] = regs[s];
+                regs[d] = data[slot as usize];
+            }
+            Step::PushPop(s, d) => regs[d] = regs[s],
+        }
+    }
+    regs
+}
+
+fn run_machine(steps: &[Step], accel: LinkAccel) -> [u64; 8] {
+    let mut space = AddressSpace::new(1);
+    space
+        .map_code_region(VirtAddr::new(TEXT), 0x10000, Perms::RX)
+        .unwrap();
+    space
+        .map_region(VirtAddr::new(DATA), 0x1000, Perms::RW)
+        .unwrap();
+    let mut at = VirtAddr::new(TEXT);
+    let emit = |space: &mut AddressSpace, at: &mut VirtAddr, inst: Inst| {
+        space.place_code(*at, inst).unwrap();
+        *at += inst.encoded_len();
+    };
+    for &s in steps {
+        match s {
+            Step::Alu(op, r, v) => emit(
+                &mut space,
+                &mut at,
+                Inst::Alu {
+                    op,
+                    dst: reg(r),
+                    src: Operand::Imm(v),
+                },
+            ),
+            Step::MovImm(r, v) => emit(&mut space, &mut at, Inst::mov_imm(reg(r), v)),
+            Step::MovReg(d, s) => emit(
+                &mut space,
+                &mut at,
+                Inst::MovReg {
+                    dst: reg(d),
+                    src: reg(s),
+                },
+            ),
+            Step::StoreLoad(s, d, slot) => {
+                let mem = MemRef::Abs(VirtAddr::new(DATA + slot * 8));
+                emit(&mut space, &mut at, Inst::Store { src: reg(s), mem });
+                emit(&mut space, &mut at, Inst::Load { dst: reg(d), mem });
+            }
+            Step::PushPop(s, d) => {
+                emit(&mut space, &mut at, Inst::Push { src: reg(s) });
+                emit(&mut space, &mut at, Inst::Pop { dst: reg(d) });
+            }
+        }
+    }
+    emit(&mut space, &mut at, Inst::Halt);
+
+    let cfg = MachineConfig {
+        accel,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg, space);
+    m.init_stack(VirtAddr::new(STACK_TOP), 0x8000).unwrap();
+    m.reset(VirtAddr::new(TEXT));
+    m.run(1_000_000).unwrap();
+    assert!(m.halted());
+    std::array::from_fn(|i| m.reg(reg(i)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Machine execution matches the reference interpreter exactly.
+    #[test]
+    fn machine_matches_interpreter(steps in prop::collection::vec(step(), 0..60)) {
+        let want = interpret(&steps);
+        prop_assert_eq!(run_machine(&steps, LinkAccel::Off), want);
+    }
+
+    /// The accelerator changes nothing architecturally, even on plain
+    /// straight-line code.
+    #[test]
+    fn accel_is_identity_on_straightline_code(steps in prop::collection::vec(step(), 0..40)) {
+        prop_assert_eq!(
+            run_machine(&steps, LinkAccel::Off),
+            run_machine(&steps, LinkAccel::Abtb)
+        );
+    }
+
+    /// The stack pointer always returns to its initial value after a
+    /// balanced program, and cycle/instruction counters are positive.
+    #[test]
+    fn stack_balance_and_counters(steps in prop::collection::vec(step(), 1..40)) {
+        let mut space = AddressSpace::new(1);
+        space.map_code_region(VirtAddr::new(TEXT), 0x10000, Perms::RX).unwrap();
+        space.place_code(VirtAddr::new(TEXT), Inst::Push { src: Reg::R0 }).unwrap();
+        space.place_code(VirtAddr::new(TEXT + 2), Inst::Pop { dst: Reg::R1 }).unwrap();
+        space.place_code(VirtAddr::new(TEXT + 4), Inst::Halt).unwrap();
+        let mut m = Machine::new(MachineConfig::baseline(), space);
+        m.init_stack(VirtAddr::new(STACK_TOP), 0x8000).unwrap();
+        m.reset(VirtAddr::new(TEXT));
+        m.run(1000).unwrap();
+        prop_assert_eq!(m.reg(Reg::SP), STACK_TOP);
+        let c = m.counters();
+        prop_assert_eq!(c.instructions, 3);
+        prop_assert!(c.cycles >= 1);
+        let _ = steps;
+    }
+}

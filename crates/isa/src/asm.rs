@@ -1,0 +1,716 @@
+//! A two-pass assembler producing relocatable code objects.
+//!
+//! The assembler works in *module-local offsets*: intra-module control
+//! transfers are recorded as [`CodeItem::CallLocal`]-style items that the
+//! linker turns into absolute [`Inst`]s once the module's load address is
+//! known, and calls to imported symbols are recorded as
+//! [`CodeItem::CallExtern`] items that the linker lowers to either a PLT
+//! trampoline call (dynamic linking) or a direct call (static linking).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::{Cond, Inst, Operand};
+use crate::{Reg, VirtAddr};
+
+/// An opaque label handle created by [`Assembler::fresh_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+/// An index into a module's import table (assigned by the module builder
+/// in `dynlink-linker`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExternRef(pub u32);
+
+impl fmt::Display for ExternRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "extern#{}", self.0)
+    }
+}
+
+/// One assembled item: either a fully resolved instruction or a
+/// relocation the linker must finish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeItem {
+    /// A fully resolved instruction.
+    Inst(Inst),
+    /// Direct call to a module-local code offset.
+    CallLocal {
+        /// Byte offset of the callee within the module's text.
+        offset: u64,
+    },
+    /// Direct jump to a module-local code offset.
+    JmpLocal {
+        /// Byte offset of the target within the module's text.
+        offset: u64,
+    },
+    /// Conditional branch to a module-local code offset.
+    BranchLocal {
+        /// Condition.
+        cond: Cond,
+        /// Left-hand register.
+        lhs: Reg,
+        /// Right-hand operand.
+        rhs: Operand,
+        /// Byte offset of the target within the module's text.
+        offset: u64,
+    },
+    /// Load the absolute address of a module-local code offset.
+    LeaLocal {
+        /// Destination register.
+        dst: Reg,
+        /// Byte offset of the target within the module's text.
+        offset: u64,
+    },
+    /// Load the absolute address of a module-local **data** offset.
+    LeaData {
+        /// Destination register.
+        dst: Reg,
+        /// Byte offset within the module's data section.
+        offset: u64,
+    },
+    /// Call an imported function (lowered to a PLT call or direct call).
+    CallExtern {
+        /// Import-table index.
+        ext: ExternRef,
+    },
+    /// Materialize the address of an imported function into a register
+    /// (function-pointer creation; lowered to the callee's PLT address).
+    LoadExternPtr {
+        /// Destination register.
+        dst: Reg,
+        /// Import-table index.
+        ext: ExternRef,
+    },
+}
+
+impl CodeItem {
+    /// Encoded length in bytes (fixed per item kind so that layout is
+    /// known before relocation).
+    pub fn encoded_len(&self) -> u64 {
+        match self {
+            CodeItem::Inst(i) => i.encoded_len(),
+            CodeItem::CallLocal { .. } | CodeItem::CallExtern { .. } => 5,
+            CodeItem::JmpLocal { .. } => 5,
+            CodeItem::BranchLocal { .. } => 6,
+            CodeItem::LeaLocal { .. }
+            | CodeItem::LeaData { .. }
+            | CodeItem::LoadExternPtr { .. } => 7,
+        }
+    }
+}
+
+/// A code item placed at a byte offset within the module's text section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacedItem {
+    /// Byte offset of the item within the module's text section.
+    pub offset: u64,
+    /// The item.
+    pub item: CodeItem,
+}
+
+/// Relocatable machine code for one module, produced by [`Assembler::finish`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CodeObject {
+    items: Vec<PlacedItem>,
+    len_bytes: u64,
+}
+
+impl CodeObject {
+    /// The placed items in address order.
+    pub fn items(&self) -> &[PlacedItem] {
+        &self.items
+    }
+
+    /// Total text size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len_bytes
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the object contains no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over the placed items.
+    pub fn iter(&self) -> std::slice::Iter<'_, PlacedItem> {
+        self.items.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a CodeObject {
+    type Item = &'a PlacedItem;
+    type IntoIter = std::slice::Iter<'a, PlacedItem>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+/// Errors produced by [`Assembler::finish`] or label binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound to a position.
+    UnboundLabel {
+        /// The debug name given at creation.
+        name: String,
+    },
+    /// A label was bound twice.
+    LabelRebound {
+        /// The debug name given at creation.
+        name: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            AsmError::LabelRebound { name } => write!(f, "label `{name}` bound more than once"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy)]
+enum RawItem {
+    Inst(Inst),
+    CallLabel(Label),
+    JmpLabel(Label),
+    BranchLabel {
+        cond: Cond,
+        lhs: Reg,
+        rhs: Operand,
+        label: Label,
+    },
+    LeaLabel {
+        dst: Reg,
+        label: Label,
+    },
+    LeaData {
+        dst: Reg,
+        offset: u64,
+    },
+    CallExtern(ExternRef),
+    LoadExternPtr {
+        dst: Reg,
+        ext: ExternRef,
+    },
+}
+
+impl RawItem {
+    fn encoded_len(&self) -> u64 {
+        match self {
+            RawItem::Inst(i) => i.encoded_len(),
+            RawItem::CallLabel(_) | RawItem::CallExtern(_) => 5,
+            RawItem::JmpLabel(_) => 5,
+            RawItem::BranchLabel { .. } => 6,
+            RawItem::LeaLabel { .. } | RawItem::LeaData { .. } | RawItem::LoadExternPtr { .. } => 7,
+        }
+    }
+}
+
+/// A two-pass assembler with forward-referencable labels.
+///
+/// # Examples
+///
+/// Assemble a countdown loop:
+///
+/// ```
+/// use dynlink_isa::{Assembler, Inst, Reg};
+///
+/// let mut asm = Assembler::new();
+/// let top = asm.fresh_label("top");
+/// asm.push(Inst::mov_imm(Reg::R0, 10));
+/// asm.bind(top);
+/// asm.push(Inst::sub_imm(Reg::R0, 1));
+/// asm.push_branch_nz(Reg::R0, top);
+/// asm.push(Inst::Halt);
+/// let code = asm.finish()?;
+/// assert_eq!(code.len(), 4);
+/// # Ok::<(), dynlink_isa::AsmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    items: Vec<(u64, RawItem)>,
+    /// Byte offset of the next item.
+    cursor: u64,
+    /// Label id → bound byte offset.
+    bound: HashMap<u32, u64>,
+    names: Vec<String>,
+    pending_error: Option<AsmError>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Assembler::default()
+    }
+
+    /// Creates a new, unbound label with a debug `name`.
+    pub fn fresh_label(&mut self, name: &str) -> Label {
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        Label(id)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// Binding the same label twice is an error reported by
+    /// [`Assembler::finish`].
+    pub fn bind(&mut self, label: Label) {
+        if self.bound.insert(label.0, self.cursor).is_some() && self.pending_error.is_none() {
+            self.pending_error = Some(AsmError::LabelRebound {
+                name: self.names[label.0 as usize].clone(),
+            });
+        }
+    }
+
+    /// Returns the byte offset at which the next item will be placed.
+    pub fn here(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Number of items pushed so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Appends a resolved instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.raw(RawItem::Inst(inst))
+    }
+
+    /// Appends a direct call to a label.
+    pub fn push_call_label(&mut self, label: Label) -> &mut Self {
+        self.raw(RawItem::CallLabel(label))
+    }
+
+    /// Appends a direct jump to a label.
+    pub fn push_jmp_label(&mut self, label: Label) -> &mut Self {
+        self.raw(RawItem::JmpLabel(label))
+    }
+
+    /// Appends a conditional branch to a label.
+    pub fn push_branch(
+        &mut self,
+        cond: Cond,
+        lhs: Reg,
+        rhs: impl Into<Operand>,
+        label: Label,
+    ) -> &mut Self {
+        self.raw(RawItem::BranchLabel {
+            cond,
+            lhs,
+            rhs: rhs.into(),
+            label,
+        })
+    }
+
+    /// Appends a branch taken when `reg != 0` (loop back-edge idiom).
+    pub fn push_branch_nz(&mut self, reg: Reg, label: Label) -> &mut Self {
+        self.push_branch(Cond::Ne, reg, 0u64, label)
+    }
+
+    /// Appends a load of a label's absolute address into `dst`.
+    pub fn push_lea_label(&mut self, dst: Reg, label: Label) -> &mut Self {
+        self.raw(RawItem::LeaLabel { dst, label })
+    }
+
+    /// Appends a load of a module-data offset's absolute address into `dst`.
+    pub fn push_lea_data(&mut self, dst: Reg, offset: u64) -> &mut Self {
+        self.raw(RawItem::LeaData { dst, offset })
+    }
+
+    /// Appends a call to an imported symbol.
+    pub fn push_call_extern(&mut self, ext: ExternRef) -> &mut Self {
+        self.raw(RawItem::CallExtern(ext))
+    }
+
+    /// Appends a load of an imported symbol's address into `dst`.
+    pub fn push_load_extern_ptr(&mut self, dst: Reg, ext: ExternRef) -> &mut Self {
+        self.raw(RawItem::LoadExternPtr { dst, ext })
+    }
+
+    fn raw(&mut self, item: RawItem) -> &mut Self {
+        let offset = self.cursor;
+        self.cursor += item.encoded_len();
+        self.items.push((offset, item));
+        self
+    }
+
+    /// Advances the cursor by `bytes` without emitting anything,
+    /// leaving a gap in the text layout (sparse function placement, as
+    /// real linkers align and pad sections).
+    pub fn skip(&mut self, bytes: u64) -> &mut Self {
+        self.cursor += bytes;
+        self
+    }
+
+    /// Resolves all labels and returns the relocatable code object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
+    /// bound and [`AsmError::LabelRebound`] if a label was bound twice.
+    pub fn finish(self) -> Result<CodeObject, AsmError> {
+        if let Some(e) = self.pending_error {
+            return Err(e);
+        }
+        let resolve = |label: Label| -> Result<u64, AsmError> {
+            self.bound
+                .get(&label.0)
+                .copied()
+                .ok_or_else(|| AsmError::UnboundLabel {
+                    name: self.names[label.0 as usize].clone(),
+                })
+        };
+        let mut items = Vec::with_capacity(self.items.len());
+        for &(offset, raw) in &self.items {
+            let item = match raw {
+                RawItem::Inst(inst) => CodeItem::Inst(inst),
+                RawItem::CallLabel(l) => CodeItem::CallLocal {
+                    offset: resolve(l)?,
+                },
+                RawItem::JmpLabel(l) => CodeItem::JmpLocal {
+                    offset: resolve(l)?,
+                },
+                RawItem::BranchLabel {
+                    cond,
+                    lhs,
+                    rhs,
+                    label,
+                } => CodeItem::BranchLocal {
+                    cond,
+                    lhs,
+                    rhs,
+                    offset: resolve(label)?,
+                },
+                RawItem::LeaLabel { dst, label } => CodeItem::LeaLocal {
+                    dst,
+                    offset: resolve(label)?,
+                },
+                RawItem::LeaData { dst, offset } => CodeItem::LeaData { dst, offset },
+                RawItem::CallExtern(ext) => CodeItem::CallExtern { ext },
+                RawItem::LoadExternPtr { dst, ext } => CodeItem::LoadExternPtr { dst, ext },
+            };
+            items.push(PlacedItem { offset, item });
+        }
+        Ok(CodeObject {
+            items,
+            len_bytes: self.cursor,
+        })
+    }
+}
+
+/// Relocates a [`CodeItem`] into a concrete [`Inst`] given the module's
+/// text base address and a resolver for extern references.
+///
+/// This is the linker's lowering step, kept here so its unit tests can
+/// live next to the item definitions.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_isa::{relocate_item, CodeItem, Inst, VirtAddr};
+///
+/// let base = VirtAddr::new(0x40_0000);
+/// let inst = relocate_item(CodeItem::JmpLocal { offset: 0x20 }, base, VirtAddr::NULL, |_| {
+///     unreachable!("no externs here")
+/// });
+/// assert_eq!(inst, Inst::JmpDirect { target: VirtAddr::new(0x40_0020) });
+/// ```
+pub fn relocate_item(
+    item: CodeItem,
+    text_base: VirtAddr,
+    data_base: VirtAddr,
+    mut extern_addr: impl FnMut(ExternRef) -> VirtAddr,
+) -> Inst {
+    match item {
+        CodeItem::Inst(inst) => inst,
+        CodeItem::CallLocal { offset } => Inst::CallDirect {
+            target: text_base + offset,
+        },
+        CodeItem::JmpLocal { offset } => Inst::JmpDirect {
+            target: text_base + offset,
+        },
+        CodeItem::BranchLocal {
+            cond,
+            lhs,
+            rhs,
+            offset,
+        } => Inst::BranchCond {
+            cond,
+            lhs,
+            rhs,
+            target: text_base + offset,
+        },
+        CodeItem::LeaLocal { dst, offset } => Inst::MovImm {
+            dst,
+            imm: (text_base + offset).as_u64(),
+        },
+        CodeItem::LeaData { dst, offset } => Inst::MovImm {
+            dst,
+            imm: (data_base + offset).as_u64(),
+        },
+        CodeItem::CallExtern { ext } => Inst::CallDirect {
+            target: extern_addr(ext),
+        },
+        CodeItem::LoadExternPtr { dst, ext } => Inst::MovImm {
+            dst,
+            imm: extern_addr(ext).as_u64(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_assembler_finishes_empty() {
+        let code = Assembler::new().finish().unwrap();
+        assert!(code.is_empty());
+        assert_eq!(code.len_bytes(), 0);
+    }
+
+    #[test]
+    fn offsets_accumulate_encoded_lengths() {
+        let mut asm = Assembler::new();
+        asm.push(Inst::Nop); // 1 byte
+        asm.push(Inst::mov_imm(Reg::R0, 1)); // 7 bytes
+        asm.push(Inst::Ret); // 1 byte
+        let code = asm.finish().unwrap();
+        let offsets: Vec<u64> = code.iter().map(|p| p.offset).collect();
+        assert_eq!(offsets, vec![0, 1, 8]);
+        assert_eq!(code.len_bytes(), 9);
+    }
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Assembler::new();
+        let fwd = asm.fresh_label("fwd");
+        let back = asm.fresh_label("back");
+        asm.bind(back);
+        asm.push_jmp_label(fwd); // offset 0, len 5
+        asm.push_jmp_label(back); // offset 5, len 5
+        asm.bind(fwd);
+        asm.push(Inst::Halt); // offset 10
+        let code = asm.finish().unwrap();
+        assert_eq!(
+            code.items()[0].item,
+            CodeItem::JmpLocal { offset: 10 },
+            "forward reference"
+        );
+        assert_eq!(
+            code.items()[1].item,
+            CodeItem::JmpLocal { offset: 0 },
+            "backward reference"
+        );
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut asm = Assembler::new();
+        let l = asm.fresh_label("nowhere");
+        asm.push_call_label(l);
+        let err = asm.finish().unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::UnboundLabel {
+                name: "nowhere".to_owned()
+            }
+        );
+        assert!(err.to_string().contains("nowhere"));
+    }
+
+    #[test]
+    fn rebound_label_errors() {
+        let mut asm = Assembler::new();
+        let l = asm.fresh_label("twice");
+        asm.bind(l);
+        asm.push(Inst::Nop);
+        asm.bind(l);
+        assert_eq!(
+            asm.finish().unwrap_err(),
+            AsmError::LabelRebound {
+                name: "twice".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn extern_items_carry_refs() {
+        let mut asm = Assembler::new();
+        asm.push_call_extern(ExternRef(3));
+        asm.push_load_extern_ptr(Reg::R1, ExternRef(4));
+        let code = asm.finish().unwrap();
+        assert_eq!(
+            code.items()[0].item,
+            CodeItem::CallExtern { ext: ExternRef(3) }
+        );
+        assert_eq!(
+            code.items()[1].item,
+            CodeItem::LoadExternPtr {
+                dst: Reg::R1,
+                ext: ExternRef(4)
+            }
+        );
+        assert_eq!(code.items()[1].offset, 5);
+    }
+
+    #[test]
+    fn relocation_lowers_all_item_kinds() {
+        let base = VirtAddr::new(0x10_0000);
+        let data = VirtAddr::new(0x30_0000);
+        let plt = VirtAddr::new(0x20_0000);
+        let ext = |_: ExternRef| plt;
+        assert_eq!(
+            relocate_item(CodeItem::CallLocal { offset: 8 }, base, data, ext),
+            Inst::CallDirect { target: base + 8 }
+        );
+        assert_eq!(
+            relocate_item(
+                CodeItem::BranchLocal {
+                    cond: Cond::Eq,
+                    lhs: Reg::R0,
+                    rhs: Operand::Imm(0),
+                    offset: 16
+                },
+                base,
+                data,
+                ext
+            ),
+            Inst::BranchCond {
+                cond: Cond::Eq,
+                lhs: Reg::R0,
+                rhs: Operand::Imm(0),
+                target: base + 16
+            }
+        );
+        assert_eq!(
+            relocate_item(CodeItem::CallExtern { ext: ExternRef(0) }, base, data, ext),
+            Inst::CallDirect { target: plt }
+        );
+        assert_eq!(
+            relocate_item(
+                CodeItem::LoadExternPtr {
+                    dst: Reg::R2,
+                    ext: ExternRef(0)
+                },
+                base,
+                data,
+                ext
+            ),
+            Inst::mov_imm(Reg::R2, plt.as_u64())
+        );
+        assert_eq!(
+            relocate_item(
+                CodeItem::LeaLocal {
+                    dst: Reg::R3,
+                    offset: 4
+                },
+                base,
+                data,
+                ext
+            ),
+            Inst::mov_imm(Reg::R3, (base + 4).as_u64())
+        );
+        assert_eq!(
+            relocate_item(CodeItem::Inst(Inst::Ret), base, data, ext),
+            Inst::Ret
+        );
+    }
+
+    #[test]
+    fn lea_data_relocates_against_data_base() {
+        let mut asm = Assembler::new();
+        asm.push_lea_data(Reg::R5, 0x40);
+        let code = asm.finish().unwrap();
+        assert_eq!(
+            code.items()[0].item,
+            CodeItem::LeaData {
+                dst: Reg::R5,
+                offset: 0x40
+            }
+        );
+        let inst = relocate_item(
+            code.items()[0].item,
+            VirtAddr::new(0x10_0000),
+            VirtAddr::new(0x30_0000),
+            |_| unreachable!(),
+        );
+        assert_eq!(inst, Inst::mov_imm(Reg::R5, 0x30_0040));
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let mut asm = Assembler::new();
+        let l = asm.fresh_label("l");
+        asm.bind(l);
+        asm.push(Inst::Nop)
+            .push_branch(Cond::Lt, Reg::R0, Reg::R1, l)
+            .push(Inst::Halt);
+        assert_eq!(asm.len(), 3);
+        assert!(!asm.is_empty());
+        assert!(asm.finish().is_ok());
+    }
+
+    #[test]
+    fn skip_leaves_layout_gaps() {
+        let mut asm = Assembler::new();
+        asm.push(Inst::Nop); // offset 0
+        asm.skip(63);
+        asm.push(Inst::Ret); // offset 64
+        let code = asm.finish().unwrap();
+        assert_eq!(code.items()[0].offset, 0);
+        assert_eq!(code.items()[1].offset, 64);
+        assert_eq!(code.len_bytes(), 65);
+    }
+
+    #[test]
+    fn labels_respect_skips() {
+        let mut asm = Assembler::new();
+        let l = asm.fresh_label("after_gap");
+        asm.push_jmp_label(l); // 5 bytes
+        asm.skip(100);
+        asm.bind(l);
+        asm.push(Inst::Halt);
+        let code = asm.finish().unwrap();
+        assert_eq!(code.items()[1].offset, 105);
+        assert_eq!(code.items()[0].item, CodeItem::JmpLocal { offset: 105 });
+    }
+
+    #[test]
+    fn here_tracks_cursor() {
+        let mut asm = Assembler::new();
+        assert_eq!(asm.here(), 0);
+        asm.push(Inst::Nop);
+        assert_eq!(asm.here(), 1);
+        asm.push(Inst::mov_imm(Reg::R0, 0));
+        assert_eq!(asm.here(), 8);
+    }
+
+    #[test]
+    fn code_object_iteration() {
+        let mut asm = Assembler::new();
+        asm.push(Inst::Nop).push(Inst::Halt);
+        let code = asm.finish().unwrap();
+        let collected: Vec<_> = (&code).into_iter().map(|p| p.item).collect();
+        assert_eq!(
+            collected,
+            vec![CodeItem::Inst(Inst::Nop), CodeItem::Inst(Inst::Halt)]
+        );
+    }
+}

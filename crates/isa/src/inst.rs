@@ -1,0 +1,729 @@
+//! The instruction set.
+
+use std::fmt;
+
+use crate::{Reg, VirtAddr};
+
+/// An ALU operation for [`Inst::Alu`].
+///
+/// All arithmetic is 64-bit wrapping, matching the carefree integer
+/// semantics of the machine being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Wrapping multiplication.
+    Mul,
+    /// Logical shift left (shift amount taken modulo 64).
+    Shl,
+    /// Logical shift right (shift amount taken modulo 64).
+    Shr,
+}
+
+impl AluOp {
+    /// Applies the operation to two 64-bit values.
+    #[inline]
+    pub fn apply(self, lhs: u64, rhs: u64) -> u64 {
+        match self {
+            AluOp::Add => lhs.wrapping_add(rhs),
+            AluOp::Sub => lhs.wrapping_sub(rhs),
+            AluOp::And => lhs & rhs,
+            AluOp::Or => lhs | rhs,
+            AluOp::Xor => lhs ^ rhs,
+            AluOp::Mul => lhs.wrapping_mul(rhs),
+            AluOp::Shl => lhs.wrapping_shl((rhs & 63) as u32),
+            AluOp::Shr => lhs.wrapping_shr((rhs & 63) as u32),
+        }
+    }
+}
+
+/// A comparison condition for [`Inst::BranchCond`].
+///
+/// Comparisons are fused compare-and-branch (RISC style), which keeps the
+/// simulator free of a flags register without changing anything the paper
+/// measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two 64-bit values (signed comparisons
+    /// reinterpret the bits as `i64`).
+    #[inline]
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        let (sl, sr) = (lhs as i64, rhs as i64);
+        match self {
+            Cond::Eq => lhs == rhs,
+            Cond::Ne => lhs != rhs,
+            Cond::Lt => sl < sr,
+            Cond::Le => sl <= sr,
+            Cond::Gt => sl > sr,
+            Cond::Ge => sl >= sr,
+        }
+    }
+
+    /// Returns the negated condition.
+    #[inline]
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+}
+
+/// A memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemRef {
+    /// An absolute address, as produced by RIP-relative addressing after
+    /// linking. GOT slots are addressed this way by PLT trampolines.
+    Abs(VirtAddr),
+    /// `[base + disp]`.
+    BaseDisp {
+        /// Base register.
+        base: Reg,
+        /// Signed displacement in bytes.
+        disp: i64,
+    },
+    /// `[base + index * scale + disp]`.
+    BaseIndexDisp {
+        /// Base register.
+        base: Reg,
+        /// Index register.
+        index: Reg,
+        /// Scale factor (1, 2, 4 or 8).
+        scale: u8,
+        /// Signed displacement in bytes.
+        disp: i64,
+    },
+}
+
+impl MemRef {
+    /// Convenience constructor for `[base + disp]`.
+    pub const fn base(base: Reg, disp: i64) -> MemRef {
+        MemRef::BaseDisp { base, disp }
+    }
+
+    /// Returns the statically known absolute address, if any.
+    pub fn abs_addr(&self) -> Option<VirtAddr> {
+        match self {
+            MemRef::Abs(a) => Some(*a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemRef::Abs(a) => write!(f, "[{a}]"),
+            MemRef::BaseDisp { base, disp } => write!(f, "[{base}{disp:+}]"),
+            MemRef::BaseIndexDisp {
+                base,
+                index,
+                scale,
+                disp,
+            } => write!(f, "[{base}+{index}*{scale}{disp:+}]"),
+        }
+    }
+}
+
+/// A register or immediate source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register source.
+    Reg(Reg),
+    /// A 64-bit immediate.
+    Imm(u64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i:#x}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(i: u64) -> Self {
+        Operand::Imm(i)
+    }
+}
+
+/// Identifier of a host-callback function installed in the simulated
+/// machine (used for the dynamic linker's lazy resolver, see
+/// `dynlink-linker`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostFnId(pub u32);
+
+impl fmt::Display for HostFnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host#{}", self.0)
+    }
+}
+
+/// One machine instruction.
+///
+/// The control-transfer instructions distinguish the cases the paper's
+/// mechanism cares about:
+///
+/// * [`Inst::CallDirect`] — the library-call site (`call printf@plt`).
+/// * [`Inst::JmpIndirectMem`] — the trampoline body
+///   (`jmp *(printf@got.plt)`), the **only** instruction kind eligible to
+///   create an ABTB entry, because its target is guarded by a memory slot
+///   the Bloom filter can watch.
+/// * [`Inst::CallIndirectReg`] / [`Inst::JmpIndirectReg`] — C++-virtual
+///   style dispatch (paper §2.4.2), never memoized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `dst = dst <op> src`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left-hand source) register.
+        dst: Reg,
+        /// Right-hand source operand.
+        src: Operand,
+    },
+    /// `dst = imm`.
+    MovImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `dst = src`.
+    MovReg {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = effective_address(mem)` (no memory access).
+    Lea {
+        /// Destination register.
+        dst: Reg,
+        /// Address expression.
+        mem: MemRef,
+    },
+    /// `dst = *mem` (64-bit load).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Source address.
+        mem: MemRef,
+    },
+    /// `*mem = src` (64-bit store).
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Destination address.
+        mem: MemRef,
+    },
+    /// Push `src` onto the stack (`sp -= 8; *sp = src`).
+    Push {
+        /// Source register.
+        src: Reg,
+    },
+    /// Pop from the stack into `dst` (`dst = *sp; sp += 8`).
+    Pop {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Direct call: push return address, jump to `target`.
+    CallDirect {
+        /// Callee address (a function entry or a PLT trampoline).
+        target: VirtAddr,
+    },
+    /// Register-indirect call (virtual dispatch).
+    CallIndirectReg {
+        /// Register holding the callee address.
+        target: Reg,
+    },
+    /// Memory-indirect call (`call *(mem)`).
+    CallIndirectMem {
+        /// Slot holding the callee address.
+        mem: MemRef,
+    },
+    /// Direct jump.
+    JmpDirect {
+        /// Jump target.
+        target: VirtAddr,
+    },
+    /// Memory-indirect jump (`jmp *(mem)`) — the x86-64 PLT trampoline
+    /// body, and the instruction the proposed hardware elides.
+    JmpIndirectMem {
+        /// Slot holding the jump target (a GOT entry for trampolines).
+        mem: MemRef,
+    },
+    /// Register-indirect jump.
+    JmpIndirectReg {
+        /// Register holding the jump target.
+        target: Reg,
+    },
+    /// Fused compare-and-branch: `if lhs <cond> rhs { goto target }`.
+    BranchCond {
+        /// Condition.
+        cond: Cond,
+        /// Left-hand register.
+        lhs: Reg,
+        /// Right-hand operand.
+        rhs: Operand,
+        /// Branch target if the condition holds.
+        target: VirtAddr,
+    },
+    /// Return: pop the return address and jump to it.
+    Ret,
+    /// No operation.
+    Nop,
+    /// Stop the machine.
+    Halt,
+    /// Invoke a registered host callback (serializing; used for the lazy
+    /// resolver, whose GOT stores flow through the normal store path so
+    /// the Bloom filter observes them).
+    HostCall {
+        /// Callback identifier.
+        id: HostFnId,
+    },
+    /// Instrumentation marker with no architectural effect; the timing
+    /// layer records the cycle at which it retires (request boundaries).
+    Mark {
+        /// Marker identifier.
+        id: u64,
+    },
+}
+
+impl Inst {
+    /// `dst = imm` convenience constructor.
+    pub const fn mov_imm(dst: Reg, imm: u64) -> Inst {
+        Inst::MovImm { dst, imm }
+    }
+
+    /// `dst = dst + imm` convenience constructor.
+    pub const fn add_imm(dst: Reg, imm: u64) -> Inst {
+        Inst::Alu {
+            op: AluOp::Add,
+            dst,
+            src: Operand::Imm(imm),
+        }
+    }
+
+    /// `dst = dst - imm` convenience constructor.
+    pub const fn sub_imm(dst: Reg, imm: u64) -> Inst {
+        Inst::Alu {
+            op: AluOp::Sub,
+            dst,
+            src: Operand::Imm(imm),
+        }
+    }
+
+    /// `dst = dst + src` convenience constructor.
+    pub const fn add_reg(dst: Reg, src: Reg) -> Inst {
+        Inst::Alu {
+            op: AluOp::Add,
+            dst,
+            src: Operand::Reg(src),
+        }
+    }
+
+    /// Encoded length of the instruction in bytes.
+    ///
+    /// Chosen to mirror common x86-64 encodings so that code footprint and
+    /// instruction-cache behaviour are realistic; in particular a PLT
+    /// trampoline (`jmp *(rip_rel)`) is 6 bytes inside a 16-byte PLT slot.
+    pub fn encoded_len(&self) -> u64 {
+        match self {
+            Inst::Alu { src, .. } => match src {
+                Operand::Reg(_) => 3,
+                Operand::Imm(_) => 4,
+            },
+            Inst::MovImm { .. } => 7,
+            Inst::MovReg { .. } => 3,
+            Inst::Lea { .. } => 7,
+            Inst::Load { mem, .. } | Inst::Store { mem, .. } => match mem {
+                MemRef::Abs(_) => 7,
+                MemRef::BaseDisp { .. } => 4,
+                MemRef::BaseIndexDisp { .. } => 5,
+            },
+            Inst::Push { .. } | Inst::Pop { .. } => 2,
+            Inst::CallDirect { .. } => 5,
+            Inst::CallIndirectReg { .. } => 3,
+            Inst::CallIndirectMem { .. } => 7,
+            Inst::JmpDirect { .. } => 5,
+            Inst::JmpIndirectMem { .. } => 6,
+            Inst::JmpIndirectReg { .. } => 3,
+            Inst::BranchCond { .. } => 6,
+            Inst::Ret => 1,
+            Inst::Nop => 1,
+            Inst::Halt => 1,
+            Inst::HostCall { .. } => 2,
+            Inst::Mark { .. } => 2,
+        }
+    }
+
+    /// Returns `true` if the instruction may redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::CallDirect { .. }
+                | Inst::CallIndirectReg { .. }
+                | Inst::CallIndirectMem { .. }
+                | Inst::JmpDirect { .. }
+                | Inst::JmpIndirectMem { .. }
+                | Inst::JmpIndirectReg { .. }
+                | Inst::BranchCond { .. }
+                | Inst::Ret
+        )
+    }
+
+    /// Returns `true` for any call (direct or indirect).
+    pub fn is_call(&self) -> bool {
+        matches!(
+            self,
+            Inst::CallDirect { .. } | Inst::CallIndirectReg { .. } | Inst::CallIndirectMem { .. }
+        )
+    }
+
+    /// Returns `true` for a direct call — the pattern prefix the retire
+    /// stage watches for when populating the ABTB (paper §3.2).
+    pub fn is_direct_call(&self) -> bool {
+        matches!(self, Inst::CallDirect { .. })
+    }
+
+    /// Returns `true` for a memory-indirect jump — the pattern suffix the
+    /// retire stage watches for when populating the ABTB (paper §3.2).
+    pub fn is_mem_indirect_jump(&self) -> bool {
+        matches!(self, Inst::JmpIndirectMem { .. })
+    }
+
+    /// Returns `true` if the instruction's target comes from a register or
+    /// memory rather than the encoding.
+    pub fn is_indirect(&self) -> bool {
+        matches!(
+            self,
+            Inst::CallIndirectReg { .. }
+                | Inst::CallIndirectMem { .. }
+                | Inst::JmpIndirectMem { .. }
+                | Inst::JmpIndirectReg { .. }
+                | Inst::Ret
+        )
+    }
+
+    /// Returns `true` if the instruction performs a data-memory load
+    /// (including the implicit loads of `pop`, `ret` and memory-indirect
+    /// control transfers).
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. }
+                | Inst::Pop { .. }
+                | Inst::Ret
+                | Inst::CallIndirectMem { .. }
+                | Inst::JmpIndirectMem { .. }
+        )
+    }
+
+    /// Returns `true` if the instruction performs a data-memory store
+    /// (including the implicit stores of `push` and `call`).
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. }
+                | Inst::Push { .. }
+                | Inst::CallDirect { .. }
+                | Inst::CallIndirectReg { .. }
+                | Inst::CallIndirectMem { .. }
+        )
+    }
+
+    /// Returns the register written by this instruction, if any (control
+    /// transfers and stores write none; `sp` updates are not reported).
+    pub fn written_reg(&self) -> Option<Reg> {
+        match self {
+            Inst::Alu { dst, .. }
+            | Inst::MovImm { dst, .. }
+            | Inst::MovReg { dst, .. }
+            | Inst::Lea { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Pop { dst } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// Returns the statically known control-transfer target, if any.
+    pub fn direct_target(&self) -> Option<VirtAddr> {
+        match self {
+            Inst::CallDirect { target }
+            | Inst::JmpDirect { target }
+            | Inst::BranchCond { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Alu { op, dst, src } => write!(f, "{op:?} {dst}, {src}"),
+            Inst::MovImm { dst, imm } => write!(f, "mov {dst}, {imm:#x}"),
+            Inst::MovReg { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::Lea { dst, mem } => write!(f, "lea {dst}, {mem}"),
+            Inst::Load { dst, mem } => write!(f, "load {dst}, {mem}"),
+            Inst::Store { src, mem } => write!(f, "store {mem}, {src}"),
+            Inst::Push { src } => write!(f, "push {src}"),
+            Inst::Pop { dst } => write!(f, "pop {dst}"),
+            Inst::CallDirect { target } => write!(f, "call {target}"),
+            Inst::CallIndirectReg { target } => write!(f, "call *{target}"),
+            Inst::CallIndirectMem { mem } => write!(f, "call *{mem}"),
+            Inst::JmpDirect { target } => write!(f, "jmp {target}"),
+            Inst::JmpIndirectMem { mem } => write!(f, "jmp *{mem}"),
+            Inst::JmpIndirectReg { target } => write!(f, "jmp *{target}"),
+            Inst::BranchCond {
+                cond,
+                lhs,
+                rhs,
+                target,
+            } => write!(f, "b{cond:?} {lhs}, {rhs}, {target}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::HostCall { id } => write!(f, "hostcall {id}"),
+            Inst::Mark { id } => write!(f, "mark {id}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Mul.apply(3, 5), 15);
+        assert_eq!(AluOp::Shl.apply(1, 8), 256);
+        assert_eq!(AluOp::Shr.apply(256, 8), 1);
+        // Shift amounts are taken modulo 64.
+        assert_eq!(AluOp::Shl.apply(1, 64), 1);
+    }
+
+    #[test]
+    fn cond_semantics_signed() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(Cond::Ne.eval(3, 4));
+        // -1 < 0 under signed comparison even though the bits are large.
+        assert!(Cond::Lt.eval(u64::MAX, 0));
+        assert!(Cond::Le.eval(5, 5));
+        assert!(Cond::Gt.eval(0, u64::MAX));
+        assert!(Cond::Ge.eval(7, 7));
+    }
+
+    #[test]
+    fn cond_negation_is_involutive_and_complementary() {
+        let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+        let pairs = [(0u64, 0u64), (1, 2), (2, 1), (u64::MAX, 0)];
+        for c in conds {
+            assert_eq!(c.negate().negate(), c);
+            for (l, r) in pairs {
+                assert_ne!(c.eval(l, r), c.negate().eval(l, r));
+            }
+        }
+    }
+
+    #[test]
+    fn trampoline_classification() {
+        let tramp = Inst::JmpIndirectMem {
+            mem: MemRef::Abs(VirtAddr::new(0x601000)),
+        };
+        assert!(tramp.is_control());
+        assert!(tramp.is_indirect());
+        assert!(tramp.is_mem_indirect_jump());
+        assert!(tramp.is_load());
+        assert!(!tramp.is_call());
+        assert!(!tramp.is_store());
+        assert_eq!(tramp.written_reg(), None);
+        assert_eq!(tramp.encoded_len(), 6);
+    }
+
+    #[test]
+    fn virtual_dispatch_is_not_trampoline_suffix() {
+        let vcall = Inst::CallIndirectReg { target: Reg::R3 };
+        assert!(vcall.is_call());
+        assert!(vcall.is_indirect());
+        assert!(!vcall.is_mem_indirect_jump());
+        let vjmp = Inst::JmpIndirectReg { target: Reg::R3 };
+        assert!(!vjmp.is_mem_indirect_jump());
+        assert!(!vjmp.is_load());
+    }
+
+    #[test]
+    fn call_is_store_ret_is_load() {
+        let call = Inst::CallDirect {
+            target: VirtAddr::new(0x1000),
+        };
+        assert!(call.is_store(), "call pushes the return address");
+        assert!(call.is_direct_call());
+        assert_eq!(call.direct_target(), Some(VirtAddr::new(0x1000)));
+        assert!(Inst::Ret.is_load(), "ret pops the return address");
+        assert!(Inst::Ret.is_indirect());
+        assert!(Inst::Ret.is_control());
+    }
+
+    #[test]
+    fn written_regs() {
+        assert_eq!(Inst::mov_imm(Reg::R1, 5).written_reg(), Some(Reg::R1));
+        assert_eq!(
+            Inst::Load {
+                dst: Reg::R2,
+                mem: MemRef::base(Reg::SP, 0)
+            }
+            .written_reg(),
+            Some(Reg::R2)
+        );
+        assert_eq!(Inst::Pop { dst: Reg::FP }.written_reg(), Some(Reg::FP));
+        assert_eq!(
+            Inst::Store {
+                src: Reg::R2,
+                mem: MemRef::base(Reg::SP, 0)
+            }
+            .written_reg(),
+            None
+        );
+        assert_eq!(Inst::Ret.written_reg(), None);
+    }
+
+    #[test]
+    fn encoded_lengths_nonzero_and_plausible() {
+        let insts = [
+            Inst::Nop,
+            Inst::Ret,
+            Inst::Halt,
+            Inst::mov_imm(Reg::R0, 1),
+            Inst::add_imm(Reg::R0, 1),
+            Inst::add_reg(Reg::R0, Reg::R1),
+            Inst::Push { src: Reg::R0 },
+            Inst::Pop { dst: Reg::R0 },
+            Inst::CallDirect {
+                target: VirtAddr::new(0),
+            },
+            Inst::JmpIndirectMem {
+                mem: MemRef::Abs(VirtAddr::new(0)),
+            },
+            Inst::Mark { id: 0 },
+            Inst::HostCall { id: HostFnId(0) },
+        ];
+        for i in insts {
+            let len = i.encoded_len();
+            assert!((1..=15).contains(&len), "{i}: {len}");
+        }
+    }
+
+    #[test]
+    fn every_control_has_consistent_flags() {
+        let controls = [
+            Inst::CallDirect {
+                target: VirtAddr::new(4),
+            },
+            Inst::CallIndirectReg { target: Reg::R0 },
+            Inst::CallIndirectMem {
+                mem: MemRef::base(Reg::R0, 0),
+            },
+            Inst::JmpDirect {
+                target: VirtAddr::new(4),
+            },
+            Inst::JmpIndirectMem {
+                mem: MemRef::Abs(VirtAddr::new(8)),
+            },
+            Inst::JmpIndirectReg { target: Reg::R0 },
+            Inst::BranchCond {
+                cond: Cond::Eq,
+                lhs: Reg::R0,
+                rhs: Operand::Imm(0),
+                target: VirtAddr::new(4),
+            },
+            Inst::Ret,
+        ];
+        for c in controls {
+            assert!(c.is_control(), "{c}");
+        }
+        assert!(!Inst::Nop.is_control());
+        assert!(!Inst::mov_imm(Reg::R0, 0).is_control());
+    }
+
+    #[test]
+    fn direct_target_only_for_direct_transfers() {
+        assert!(Inst::Ret.direct_target().is_none());
+        assert!(Inst::JmpIndirectReg { target: Reg::R0 }
+            .direct_target()
+            .is_none());
+        assert_eq!(
+            Inst::JmpDirect {
+                target: VirtAddr::new(0x42)
+            }
+            .direct_target(),
+            Some(VirtAddr::new(0x42))
+        );
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg::R1), Operand::Reg(Reg::R1));
+        assert_eq!(Operand::from(7u64), Operand::Imm(7));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for i in [
+            Inst::Nop,
+            Inst::Ret,
+            Inst::mov_imm(Reg::R0, 3),
+            Inst::CallDirect {
+                target: VirtAddr::new(16),
+            },
+            Inst::BranchCond {
+                cond: Cond::Ne,
+                lhs: Reg::R1,
+                rhs: Operand::Reg(Reg::R2),
+                target: VirtAddr::new(32),
+            },
+        ] {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

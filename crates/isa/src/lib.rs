@@ -1,0 +1,64 @@
+//! # dynlink-isa
+//!
+//! A compact 64-bit load/store instruction set used by the `dynlink-sim`
+//! workspace to reproduce *Architectural Support for Dynamic Linking*
+//! (ASPLOS 2015).
+//!
+//! The ISA is RISC-flavoured for simplicity of functional simulation but
+//! carries x86-64-flavoured *encoding lengths* so that instruction-cache
+//! and PLT-layout pressure match the paper's analysis (16-byte PLT
+//! entries, four trampolines per 64-byte line, 8-byte GOT slots).
+//!
+//! The crate provides:
+//!
+//! * [`VirtAddr`] — a newtype for 64-bit virtual addresses.
+//! * [`Reg`] — the 16 general-purpose registers.
+//! * [`Inst`] — the instruction set, including the control-transfer
+//!   instructions at the heart of the paper: direct calls,
+//!   memory-indirect jumps (the PLT trampoline body), and
+//!   register-indirect calls (C++-virtual-style dispatch, which the
+//!   ABTB must *not* memoize).
+//! * [`Assembler`] — a tiny two-pass assembler with labels and fixups
+//!   used by the linker and the workload generators to build code.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynlink_isa::{Assembler, Inst, Reg};
+//!
+//! let mut asm = Assembler::new();
+//! let top = asm.fresh_label("top");
+//! asm.push(Inst::mov_imm(Reg::R0, 10));
+//! asm.bind(top);
+//! asm.push(Inst::sub_imm(Reg::R0, 1));
+//! asm.push_branch_nz(Reg::R0, top);
+//! asm.push(Inst::Halt);
+//! let code = asm.finish().expect("labels resolved");
+//! assert_eq!(code.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod asm;
+mod inst;
+mod reg;
+
+pub use addr::VirtAddr;
+pub use asm::{
+    relocate_item, AsmError, Assembler, CodeItem, CodeObject, ExternRef, Label, PlacedItem,
+};
+pub use inst::{AluOp, Cond, HostFnId, Inst, MemRef, Operand};
+pub use reg::{Reg, NUM_REGS};
+
+/// Size in bytes of one PLT (procedure linkage table) entry.
+///
+/// Matches x86-64 ELF: each trampoline occupies 16 bytes, so only four
+/// trampolines fit in a 64-byte instruction-cache line, and because PLT
+/// sections are sparsely used, each *hot* trampoline effectively owns a
+/// cache line (paper §2.2).
+pub const PLT_ENTRY_BYTES: u64 = 16;
+
+/// Size in bytes of one GOT (global offset table) slot: a 64-bit pointer.
+pub const GOT_SLOT_BYTES: u64 = 8;

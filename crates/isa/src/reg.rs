@@ -1,0 +1,137 @@
+//! General-purpose registers.
+
+use std::fmt;
+
+/// One of the 16 general-purpose 64-bit registers.
+///
+/// Registers `R0`–`R11` are general purpose. The remaining four have
+/// conventional roles mirroring the x86-64 System V ABI roles that matter
+/// to the simulated linker:
+///
+/// * [`Reg::SP`] — stack pointer (calls push the return address here).
+/// * [`Reg::FP`] — frame pointer.
+/// * [`Reg::SCRATCH`] — the linker-owned scratch register, clobbered by
+///   multi-instruction (ARM-flavoured) PLT trampolines. Application code
+///   must treat it as dead across calls, which is what makes skipping a
+///   multi-instruction trampoline architecturally safe (paper §2, Fig 2b).
+/// * [`Reg::RET`] — return-value register.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_isa::Reg;
+///
+/// assert_eq!(Reg::SP.index(), 14);
+/// assert_eq!(Reg::from_index(3), Some(Reg::R3));
+/// assert_eq!(Reg::from_index(99), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    /// Return-value register (x86-64 `rax` analogue).
+    RET = 12,
+    /// Linker scratch register (ARM `ip`/x86 `r11` analogue).
+    SCRATCH = 13,
+    /// Stack pointer.
+    SP = 14,
+    /// Frame pointer.
+    FP = 15,
+}
+
+/// Total number of architectural registers.
+pub const NUM_REGS: usize = 16;
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; NUM_REGS] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::RET,
+        Reg::SCRATCH,
+        Reg::SP,
+        Reg::FP,
+    ];
+
+    /// Returns the register's index in the architectural register file.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the register with the given index, or `None` if out of range.
+    #[inline]
+    pub fn from_index(index: usize) -> Option<Reg> {
+        Reg::ALL.get(index).copied()
+    }
+
+    /// Returns `true` for the linker-owned scratch register.
+    #[inline]
+    pub const fn is_linker_scratch(self) -> bool {
+        matches!(self, Reg::SCRATCH)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::RET => write!(f, "ret"),
+            Reg::SCRATCH => write!(f, "scratch"),
+            Reg::SP => write!(f, "sp"),
+            Reg::FP => write!(f, "fp"),
+            other => write!(f, "r{}", other.index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), Some(*r));
+        }
+        assert_eq!(Reg::from_index(NUM_REGS), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::FP.to_string(), "fp");
+        assert_eq!(Reg::RET.to_string(), "ret");
+        assert_eq!(Reg::SCRATCH.to_string(), "scratch");
+    }
+
+    #[test]
+    fn scratch_detection() {
+        assert!(Reg::SCRATCH.is_linker_scratch());
+        assert!(!Reg::R0.is_linker_scratch());
+        assert!(!Reg::SP.is_linker_scratch());
+    }
+}

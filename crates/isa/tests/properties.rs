@@ -1,0 +1,179 @@
+//! Property tests for the instruction set and assembler.
+
+use dynlink_isa::{
+    relocate_item, AluOp, Assembler, CodeItem, Cond, ExternRef, Inst, Operand, Reg, VirtAddr,
+};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn any_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Mul),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+    ]
+}
+
+fn any_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Le),
+        Just(Cond::Gt),
+        Just(Cond::Ge),
+    ]
+}
+
+fn simple_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (any_alu_op(), any_reg(), any::<u64>()).prop_map(|(op, dst, imm)| Inst::Alu {
+            op,
+            dst,
+            src: Operand::Imm(imm)
+        }),
+        (any_reg(), any::<u64>()).prop_map(|(dst, imm)| Inst::MovImm { dst, imm }),
+        (any_reg(), any_reg()).prop_map(|(dst, src)| Inst::MovReg { dst, src }),
+        (any_reg()).prop_map(|src| Inst::Push { src }),
+        (any_reg()).prop_map(|dst| Inst::Pop { dst }),
+        Just(Inst::Nop),
+        Just(Inst::Ret),
+        Just(Inst::Halt),
+    ]
+}
+
+proptest! {
+    /// Item offsets are strictly increasing and match the cumulative
+    /// encoded lengths, including explicit layout gaps.
+    #[test]
+    fn assembler_offsets_are_cumulative(
+        items in prop::collection::vec((simple_inst(), 0u64..32), 1..100),
+    ) {
+        let mut asm = Assembler::new();
+        let mut expected = Vec::new();
+        let mut cursor = 0u64;
+        for (inst, gap) in &items {
+            asm.skip(*gap);
+            cursor += gap;
+            expected.push(cursor);
+            asm.push(*inst);
+            cursor += inst.encoded_len();
+        }
+        let code = asm.finish().unwrap();
+        let offsets: Vec<u64> = code.iter().map(|p| p.offset).collect();
+        prop_assert_eq!(offsets, expected);
+        prop_assert_eq!(code.len_bytes(), cursor);
+    }
+
+    /// Labels resolve to exactly the offset at which they were bound,
+    /// regardless of where in the stream the references appear.
+    #[test]
+    fn labels_resolve_to_bind_positions(
+        before in prop::collection::vec(simple_inst(), 0..20),
+        after in prop::collection::vec(simple_inst(), 0..20),
+    ) {
+        let mut asm = Assembler::new();
+        let l = asm.fresh_label("x");
+        asm.push_jmp_label(l); // forward reference, 5 bytes
+        for i in &before {
+            asm.push(*i);
+        }
+        let bind_at = asm.here();
+        asm.bind(l);
+        for i in &after {
+            asm.push(*i);
+        }
+        asm.push_jmp_label(l); // backward reference
+        let code = asm.finish().unwrap();
+        let targets: Vec<u64> = code
+            .iter()
+            .filter_map(|p| match p.item {
+                CodeItem::JmpLocal { offset } => Some(offset),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(targets, vec![bind_at, bind_at]);
+    }
+
+    /// Relocation is a pure function of (item, bases, extern table).
+    #[test]
+    fn relocation_is_deterministic(
+        offset in 0u64..1_000_000,
+        text in 1u64..u32::MAX as u64,
+        data in 1u64..u32::MAX as u64,
+        plt in 1u64..u32::MAX as u64,
+    ) {
+        let item = CodeItem::CallLocal { offset };
+        let a = relocate_item(item, VirtAddr::new(text), VirtAddr::new(data), |_| VirtAddr::new(plt));
+        let b = relocate_item(item, VirtAddr::new(text), VirtAddr::new(data), |_| VirtAddr::new(plt));
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a, Inst::CallDirect { target: VirtAddr::new(text + offset) });
+
+        let call = relocate_item(
+            CodeItem::CallExtern { ext: ExternRef(0) },
+            VirtAddr::new(text),
+            VirtAddr::new(data),
+            |_| VirtAddr::new(plt),
+        );
+        prop_assert_eq!(call, Inst::CallDirect { target: VirtAddr::new(plt) });
+    }
+
+    /// Condition negation is complementary on all inputs.
+    #[test]
+    fn cond_negation_complementary(c in any_cond(), l in any::<u64>(), r in any::<u64>()) {
+        prop_assert_ne!(c.eval(l, r), c.negate().eval(l, r));
+        prop_assert_eq!(c.negate().negate(), c);
+    }
+
+    /// ALU algebraic identities.
+    #[test]
+    fn alu_identities(x in any::<u64>(), y in any::<u64>()) {
+        prop_assert_eq!(AluOp::Sub.apply(AluOp::Add.apply(x, y), y), x, "add/sub roundtrip");
+        prop_assert_eq!(AluOp::Xor.apply(AluOp::Xor.apply(x, y), y), x, "xor self-inverse");
+        prop_assert_eq!(AluOp::And.apply(x, x), x);
+        prop_assert_eq!(AluOp::Or.apply(x, 0), x);
+        prop_assert_eq!(AluOp::Mul.apply(x, 1), x);
+    }
+
+    /// Every instruction's encoded length is within x86-64's 1..=15.
+    #[test]
+    fn encoded_lengths_in_x86_range(inst in simple_inst()) {
+        let len = inst.encoded_len();
+        prop_assert!((1..=15).contains(&len));
+    }
+
+    /// Classification predicates are mutually consistent.
+    #[test]
+    fn classification_consistency(inst in simple_inst()) {
+        if inst.is_call() {
+            prop_assert!(inst.is_control());
+            prop_assert!(inst.is_store(), "calls push the return address");
+        }
+        if inst.is_mem_indirect_jump() {
+            prop_assert!(inst.is_indirect());
+            prop_assert!(inst.is_load());
+        }
+        if let Some(t) = inst.direct_target() {
+            prop_assert!(inst.is_control());
+            let _ = t;
+        }
+    }
+
+    /// Address helpers: cache-line and page arithmetic agree.
+    #[test]
+    fn addr_line_and_page_consistent(raw in any::<u64>()) {
+        let a = VirtAddr::new(raw & 0x7fff_ffff_ffff); // avoid align_up overflow
+        let line = a.cache_line(64);
+        prop_assert!(line <= a);
+        prop_assert!(a - line < 64);
+        prop_assert_eq!(a.page_number(4096) * 4096 + a.page_offset(4096), a.as_u64());
+    }
+}

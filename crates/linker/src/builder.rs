@@ -1,0 +1,270 @@
+//! Incremental construction of [`ModuleSpec`]s.
+
+use std::collections::HashMap;
+
+use dynlink_isa::{Assembler, ExternRef, Reg};
+
+use crate::{FunctionDef, IfuncDef, LinkError, ModuleSpec};
+
+/// Handle to a function being defined, returned by
+/// [`ModuleBuilder::begin_function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionHandle(usize);
+
+/// Builds a [`ModuleSpec`]: interns imports, tracks function entry
+/// points and owns the module's [`Assembler`].
+///
+/// # Examples
+///
+/// Build a library exporting `memcpy` and an application calling it:
+///
+/// ```
+/// use dynlink_isa::{Inst, Reg};
+/// use dynlink_linker::ModuleBuilder;
+///
+/// let mut lib = ModuleBuilder::new("libc");
+/// lib.begin_function("memcpy", true);
+/// lib.asm().push(Inst::Ret);
+/// let libc = lib.finish()?;
+///
+/// let mut app = ModuleBuilder::new("app");
+/// let memcpy = app.import("memcpy");
+/// app.begin_function("main", true);
+/// app.asm().push_call_extern(memcpy);
+/// app.asm().push(Inst::Halt);
+/// let app = app.finish()?;
+///
+/// assert_eq!(app.imports, vec!["memcpy".to_owned()]);
+/// assert_eq!(libc.functions[0].name, "memcpy");
+/// # Ok::<(), dynlink_linker::LinkError>(())
+/// ```
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    name: String,
+    asm: Assembler,
+    functions: Vec<FunctionDef>,
+    imports: Vec<String>,
+    import_index: HashMap<String, ExternRef>,
+    data_len: u64,
+    data_init: Vec<(u64, u64)>,
+    ifuncs: Vec<IfuncDef>,
+}
+
+impl ModuleBuilder {
+    /// Creates a builder for a module called `name`.
+    pub fn new(name: &str) -> Self {
+        ModuleBuilder {
+            name: name.to_owned(),
+            asm: Assembler::new(),
+            functions: Vec::new(),
+            imports: Vec::new(),
+            import_index: HashMap::new(),
+            data_len: 0,
+            data_init: Vec::new(),
+            ifuncs: Vec::new(),
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Interns an imported symbol, returning its [`ExternRef`] for use
+    /// with [`Assembler::push_call_extern`]. Importing the same name
+    /// twice returns the same reference (one PLT slot per symbol per
+    /// module, as in ELF).
+    pub fn import(&mut self, symbol: &str) -> ExternRef {
+        if let Some(&ext) = self.import_index.get(symbol) {
+            return ext;
+        }
+        let ext = ExternRef(self.imports.len() as u32);
+        self.imports.push(symbol.to_owned());
+        self.import_index.insert(symbol.to_owned(), ext);
+        ext
+    }
+
+    /// Marks the current assembler position as the entry of function
+    /// `name`. Code pushed afterwards (until the next `begin_function`)
+    /// forms its body.
+    pub fn begin_function(&mut self, name: &str, exported: bool) -> FunctionHandle {
+        let handle = FunctionHandle(self.functions.len());
+        self.functions.push(FunctionDef {
+            name: name.to_owned(),
+            offset: self.asm.here(),
+            exported,
+        });
+        handle
+    }
+
+    /// Direct access to the module's assembler.
+    pub fn asm(&mut self) -> &mut Assembler {
+        &mut self.asm
+    }
+
+    /// Reserves `len` bytes of zero-initialized data, returning the byte
+    /// offset of the reservation within the module's data section (use
+    /// with [`Assembler::push_lea_data`]).
+    pub fn reserve_data(&mut self, len: u64) -> u64 {
+        let offset = self.data_len;
+        self.data_len += len;
+        offset
+    }
+
+    /// Reserves 8 bytes of data initialized to `value`, returning its
+    /// offset.
+    pub fn data_word(&mut self, value: u64) -> u64 {
+        let offset = self.reserve_data(8);
+        self.data_init.push((offset, value));
+        offset
+    }
+
+    /// Declares a GNU indirect function `name` choosing among
+    /// `candidates` (names of functions defined in this module).
+    pub fn define_ifunc(&mut self, name: &str, candidates: &[&str]) {
+        self.ifuncs.push(IfuncDef {
+            name: name.to_owned(),
+            candidates: candidates.iter().map(|s| (*s).to_owned()).collect(),
+        });
+    }
+
+    /// Emits a conventional function prologue (push frame pointer).
+    pub fn emit_prologue(&mut self) {
+        self.asm.push(dynlink_isa::Inst::Push { src: Reg::FP });
+        self.asm.push(dynlink_isa::Inst::MovReg {
+            dst: Reg::FP,
+            src: Reg::SP,
+        });
+    }
+
+    /// Emits the matching epilogue and return.
+    pub fn emit_epilogue(&mut self) {
+        self.asm.push(dynlink_isa::Inst::MovReg {
+            dst: Reg::SP,
+            src: Reg::FP,
+        });
+        self.asm.push(dynlink_isa::Inst::Pop { dst: Reg::FP });
+        self.asm.push(dynlink_isa::Inst::Ret);
+    }
+
+    /// Finalizes the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::Asm`] if label resolution fails, and
+    /// [`LinkError::DuplicateExport`] if two functions or ifuncs in this
+    /// module export the same name.
+    pub fn finish(self) -> Result<ModuleSpec, LinkError> {
+        let mut seen = HashMap::new();
+        for f in self.functions.iter().filter(|f| f.exported) {
+            if seen.insert(f.name.clone(), ()).is_some() {
+                return Err(LinkError::DuplicateExport {
+                    module: self.name.clone(),
+                    symbol: f.name.clone(),
+                });
+            }
+        }
+        for i in &self.ifuncs {
+            if seen.insert(i.name.clone(), ()).is_some() {
+                return Err(LinkError::DuplicateExport {
+                    module: self.name.clone(),
+                    symbol: i.name.clone(),
+                });
+            }
+        }
+        let code = self.asm.finish().map_err(LinkError::Asm)?;
+        Ok(ModuleSpec {
+            name: self.name,
+            code,
+            functions: self.functions,
+            imports: self.imports,
+            data_len: self.data_len,
+            data_init: self.data_init,
+            ifuncs: self.ifuncs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynlink_isa::Inst;
+
+    #[test]
+    fn import_interning_dedups() {
+        let mut b = ModuleBuilder::new("app");
+        let a = b.import("write");
+        let c = b.import("read");
+        let d = b.import("write");
+        assert_eq!(a, d);
+        assert_ne!(a, c);
+        let spec = b.finish().unwrap();
+        assert_eq!(spec.imports, vec!["write".to_owned(), "read".to_owned()]);
+    }
+
+    #[test]
+    fn function_offsets_follow_cursor() {
+        let mut b = ModuleBuilder::new("m");
+        b.begin_function("f", true);
+        b.asm().push(Inst::Nop); // 1 byte
+        b.asm().push(Inst::Ret); // 1 byte
+        b.begin_function("g", false);
+        b.asm().push(Inst::Ret);
+        let spec = b.finish().unwrap();
+        assert_eq!(spec.functions[0].offset, 0);
+        assert_eq!(spec.functions[1].offset, 2);
+        assert!(spec.functions[0].exported);
+        assert!(!spec.functions[1].exported);
+    }
+
+    #[test]
+    fn duplicate_export_rejected() {
+        let mut b = ModuleBuilder::new("m");
+        b.begin_function("f", true);
+        b.asm().push(Inst::Ret);
+        b.begin_function("f", true);
+        b.asm().push(Inst::Ret);
+        assert!(matches!(b.finish(), Err(LinkError::DuplicateExport { .. })));
+    }
+
+    #[test]
+    fn duplicate_local_names_allowed() {
+        let mut b = ModuleBuilder::new("m");
+        b.begin_function("f", false);
+        b.asm().push(Inst::Ret);
+        b.begin_function("f", false);
+        b.asm().push(Inst::Ret);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn ifunc_name_conflicts_with_export() {
+        let mut b = ModuleBuilder::new("m");
+        b.begin_function("memcpy", true);
+        b.asm().push(Inst::Ret);
+        b.define_ifunc("memcpy", &["memcpy_sse", "memcpy_avx"]);
+        assert!(matches!(b.finish(), Err(LinkError::DuplicateExport { .. })));
+    }
+
+    #[test]
+    fn data_reservations_accumulate() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.reserve_data(16);
+        let w = b.data_word(0xfeed);
+        assert_eq!(a, 0);
+        assert_eq!(w, 16);
+        let spec = b.finish().unwrap();
+        assert_eq!(spec.data_len, 24);
+        assert_eq!(spec.data_init, vec![(16, 0xfeed)]);
+    }
+
+    #[test]
+    fn prologue_epilogue_shapes() {
+        let mut b = ModuleBuilder::new("m");
+        b.begin_function("f", true);
+        b.emit_prologue();
+        b.emit_epilogue();
+        let spec = b.finish().unwrap();
+        assert_eq!(spec.code.len(), 5); // push, mov, mov, pop, ret
+    }
+}

@@ -1,0 +1,159 @@
+//! Linking and loading errors.
+
+use std::fmt;
+
+use dynlink_isa::{AsmError, VirtAddr};
+use dynlink_mem::MemError;
+
+/// Errors produced while building, linking or loading modules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// Assembly failed (unbound or rebound label).
+    Asm(AsmError),
+    /// Two exported symbols with the same name in one module.
+    DuplicateExport {
+        /// The offending module.
+        module: String,
+        /// The duplicated symbol name.
+        symbol: String,
+    },
+    /// Two modules with the same name were loaded.
+    DuplicateModule {
+        /// The duplicated module name.
+        name: String,
+    },
+    /// An imported symbol is not exported by any loaded module.
+    UnresolvedSymbol {
+        /// The importing module.
+        module: String,
+        /// The missing symbol.
+        symbol: String,
+    },
+    /// An ifunc candidate does not name a function in its module.
+    BadIfuncCandidate {
+        /// The module defining the ifunc.
+        module: String,
+        /// The ifunc name.
+        ifunc: String,
+        /// The missing candidate.
+        candidate: String,
+    },
+    /// The requested entry symbol is not exported by the executable.
+    NoEntry {
+        /// The missing entry symbol.
+        symbol: String,
+    },
+    /// Call-site patching cannot encode the target as `call rel32`
+    /// (libraries loaded too far away, §2.3).
+    PatchOutOfRange {
+        /// The call-site address.
+        site: VirtAddr,
+        /// The unreachable target.
+        target: VirtAddr,
+    },
+    /// A memory operation failed during loading.
+    Mem(MemError),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Asm(e) => write!(f, "assembly failed: {e}"),
+            LinkError::DuplicateExport { module, symbol } => {
+                write!(f, "module `{module}` exports `{symbol}` more than once")
+            }
+            LinkError::DuplicateModule { name } => {
+                write!(f, "module `{name}` loaded more than once")
+            }
+            LinkError::UnresolvedSymbol { module, symbol } => {
+                write!(f, "module `{module}` imports unresolved symbol `{symbol}`")
+            }
+            LinkError::BadIfuncCandidate {
+                module,
+                ifunc,
+                candidate,
+            } => write!(
+                f,
+                "ifunc `{ifunc}` in module `{module}` names missing candidate `{candidate}`"
+            ),
+            LinkError::NoEntry { symbol } => {
+                write!(
+                    f,
+                    "entry symbol `{symbol}` is not exported by the executable"
+                )
+            }
+            LinkError::PatchOutOfRange { site, target } => write!(
+                f,
+                "cannot patch call at {site}: target {target} is outside rel32 range"
+            ),
+            LinkError::Mem(e) => write!(f, "memory error while loading: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LinkError::Asm(e) => Some(e),
+            LinkError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for LinkError {
+    fn from(e: MemError) -> Self {
+        LinkError::Mem(e)
+    }
+}
+
+impl From<AsmError> for LinkError {
+    fn from(e: AsmError) -> Self {
+        LinkError::Asm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinkError::UnresolvedSymbol {
+            module: "app".into(),
+            symbol: "printf".into(),
+        };
+        assert!(e.to_string().contains("printf"));
+        assert!(e.to_string().contains("app"));
+
+        let e = LinkError::PatchOutOfRange {
+            site: VirtAddr::new(0x400000),
+            target: VirtAddr::new(0x7f00_0000_0000),
+        };
+        assert!(e.to_string().contains("rel32"));
+    }
+
+    #[test]
+    fn conversions() {
+        let m: LinkError = MemError::Unmapped {
+            addr: VirtAddr::new(4),
+        }
+        .into();
+        assert!(matches!(m, LinkError::Mem(_)));
+        let a: LinkError = AsmError::UnboundLabel { name: "x".into() }.into();
+        assert!(matches!(a, LinkError::Asm(_)));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = LinkError::Mem(MemError::Unmapped {
+            addr: VirtAddr::new(4),
+        });
+        assert!(e.source().is_some());
+        let e = LinkError::NoEntry {
+            symbol: "main".into(),
+        };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! The loaded process image.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use dynlink_isa::{Inst, MemRef, VirtAddr};
+use dynlink_mem::AddressSpace;
+
+use crate::loader::LinkMode;
+use crate::resolve::ResolutionTable;
+
+/// One import's PLT machinery within a loaded module.
+#[derive(Debug, Clone)]
+pub struct PltSlot {
+    /// Imported symbol name.
+    pub symbol: String,
+    /// Address of the trampoline (the `symbol@plt` entry).
+    pub plt_addr: VirtAddr,
+    /// Address of the GOT slot the trampoline loads from
+    /// (`symbol@got.plt`).
+    pub got_slot: VirtAddr,
+    /// Address of the lazy-resolution stub the GOT initially points at.
+    pub stub_addr: VirtAddr,
+}
+
+/// A module mapped into the process.
+#[derive(Debug, Clone)]
+pub struct LoadedModule {
+    /// Module name.
+    pub name: String,
+    /// Index in load order (0 = the executable).
+    pub index: usize,
+    /// Base address of the text section.
+    pub text_base: VirtAddr,
+    /// Text size in bytes.
+    pub text_len: u64,
+    /// Base address of the PLT section (NULL if none).
+    pub plt_base: VirtAddr,
+    /// PLT size in bytes.
+    pub plt_len: u64,
+    /// Base address of the lazy-stub area (NULL if none).
+    pub stub_base: VirtAddr,
+    /// Stub area size in bytes.
+    pub stub_len: u64,
+    /// Base address of the GOT (NULL if none).
+    pub got_base: VirtAddr,
+    /// GOT size in bytes.
+    pub got_len: u64,
+    /// Base address of the data section (NULL if none).
+    pub data_base: VirtAddr,
+    /// Data size in bytes.
+    pub data_len: u64,
+    /// Exported symbol → absolute address (after ifunc selection).
+    pub exports: HashMap<String, VirtAddr>,
+    /// Per-import PLT machinery (index = import index).
+    pub plt_slots: Vec<PltSlot>,
+}
+
+impl LoadedModule {
+    /// Returns the address of an exported symbol.
+    pub fn export(&self, symbol: &str) -> Option<VirtAddr> {
+        self.exports.get(symbol).copied()
+    }
+
+    /// Returns `true` if `addr` falls inside this module's text, PLT,
+    /// stub, GOT or data ranges.
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        let within = |base: VirtAddr, len: u64| len > 0 && addr >= base && addr < base + len;
+        within(self.text_base, self.text_len)
+            || within(self.plt_base, self.plt_len)
+            || within(self.stub_base, self.stub_len)
+            || within(self.got_base, self.got_len)
+            || within(self.data_base, self.data_len)
+    }
+}
+
+/// A call site that the §4.3 software emulation would patch.
+#[derive(Debug, Clone, Copy)]
+pub struct PatchSite {
+    /// Address of the `call` instruction.
+    pub site: VirtAddr,
+    /// The real library-function target.
+    pub target: VirtAddr,
+}
+
+/// The fully loaded and linked process.
+///
+/// Produced by [`crate::Loader::load`]; consumed by the CPU/system layer.
+#[derive(Debug, Clone)]
+pub struct ProcessImage {
+    pub(crate) modules: Vec<LoadedModule>,
+    pub(crate) entry: VirtAddr,
+    pub(crate) mode: LinkMode,
+    pub(crate) resolution: ResolutionTable,
+    pub(crate) plt_ranges: Vec<(VirtAddr, VirtAddr)>,
+    pub(crate) patch_sites: Vec<PatchSite>,
+    /// Next free library address for runtime loading (`dlopen`).
+    pub(crate) next_lib_addr: VirtAddr,
+}
+
+impl ProcessImage {
+    /// Address of the entry function.
+    pub fn entry(&self) -> VirtAddr {
+        self.entry
+    }
+
+    /// The link mode this image was loaded under.
+    pub fn mode(&self) -> LinkMode {
+        self.mode
+    }
+
+    /// The loaded modules, in load order.
+    pub fn modules(&self) -> &[LoadedModule] {
+        &self.modules
+    }
+
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&LoadedModule> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// The lazy-binding resolution table.
+    pub fn resolution(&self) -> &ResolutionTable {
+        &self.resolution
+    }
+
+    /// Looks up `symbol` across all modules in load order (ELF
+    /// interposition order).
+    pub fn find_export(&self, symbol: &str) -> Option<VirtAddr> {
+        self.modules.iter().find_map(|m| m.export(symbol))
+    }
+
+    /// `[start, end)` address ranges of every PLT section, used by the
+    /// CPU to classify retired instructions as trampoline instructions
+    /// (Table 2) and by the retire-stage pattern detector.
+    pub fn plt_ranges(&self) -> &[(VirtAddr, VirtAddr)] {
+        &self.plt_ranges
+    }
+
+    /// Returns `true` if `pc` lies inside any PLT section.
+    pub fn is_trampoline_addr(&self, pc: VirtAddr) -> bool {
+        self.plt_ranges
+            .iter()
+            .any(|&(start, end)| pc >= start && pc < end)
+    }
+
+    /// Total number of PLT slots across all modules.
+    pub fn total_plt_slots(&self) -> usize {
+        self.modules.iter().map(|m| m.plt_slots.len()).sum()
+    }
+
+    /// The library-call sites the §4.3 software emulation patches
+    /// (empty when statically linked).
+    pub fn patch_sites(&self) -> &[PatchSite] {
+        &self.patch_sites
+    }
+
+    /// Produces an annotated disassembly listing of one module: text and
+    /// PLT sections with symbol labels, trampoline annotations and
+    /// current GOT contents — `objdump -d` for the simulated process.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the module is not loaded.
+    pub fn disassemble(&self, space: &AddressSpace, module: &str) -> Option<String> {
+        let m = self.module(module)?;
+        // Reverse maps for annotation.
+        let mut addr_names: HashMap<VirtAddr, &str> = HashMap::new();
+        for lm in &self.modules {
+            for (name, &addr) in &lm.exports {
+                addr_names.entry(addr).or_insert(name);
+            }
+        }
+        let mut plt_names: HashMap<VirtAddr, &str> = HashMap::new();
+        let mut got_names: HashMap<VirtAddr, &str> = HashMap::new();
+        for lm in &self.modules {
+            for slot in &lm.plt_slots {
+                plt_names.insert(slot.plt_addr, &slot.symbol);
+                got_names.insert(slot.got_slot, &slot.symbol);
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "module {} (load order {})", m.name, m.index);
+        let _ = writeln!(out, "  text @ {} ({} bytes)", m.text_base, m.text_len);
+        for (addr, inst) in space.code_in_range(m.text_base, m.text_len.max(1)) {
+            let mut line = format!("    {addr}  {inst}");
+            if let Some(name) = addr_names.get(&addr) {
+                line = format!(
+                    "    {addr}  <{name}>:
+{line}"
+                );
+            }
+            if let Some(target) = inst.direct_target() {
+                if let Some(sym) = plt_names.get(&target) {
+                    let _ = write!(line, "    ; {sym}@plt");
+                } else if let Some(sym) = addr_names.get(&target) {
+                    let _ = write!(line, "    ; {sym}");
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        if m.plt_len > 0 {
+            let _ = writeln!(out, "  plt @ {} ({} bytes)", m.plt_base, m.plt_len);
+            for (addr, inst) in space.code_in_range(m.plt_base, m.plt_len) {
+                let mut line = format!("    {addr}  {inst}");
+                if let Some(sym) = plt_names.get(&addr) {
+                    line = format!(
+                        "    {addr}  <{sym}@plt>:
+{line}"
+                    );
+                }
+                if let Inst::JmpIndirectMem {
+                    mem: MemRef::Abs(slot),
+                } = inst
+                {
+                    if let Some(sym) = got_names.get(&slot) {
+                        let value = space.read_u64(slot).ok();
+                        let target = value.map(VirtAddr::new);
+                        let target_name = target
+                            .and_then(|t| addr_names.get(&t).copied())
+                            .unwrap_or("resolver stub");
+                        let _ = write!(
+                            line,
+                            "    ; {sym}@got.plt = {}  -> {target_name}",
+                            target.map_or("?".to_owned(), |t| t.to_string())
+                        );
+                    }
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        Some(out)
+    }
+
+    /// GOT slots in *other* modules that currently resolve into
+    /// `victim`: the writes `dlclose` must perform to unbind it. Each
+    /// element is `(got_slot, stub_addr)` — the slot must be rewritten
+    /// to the stub so later calls re-resolve.
+    pub fn unbind_writes_for(&self, victim: &str) -> Vec<(VirtAddr, VirtAddr)> {
+        let Some(victim_mod) = self.module(victim) else {
+            return Vec::new();
+        };
+        let mut writes = Vec::new();
+        for m in &self.modules {
+            if m.name == victim {
+                continue;
+            }
+            for (i, slot) in m.plt_slots.iter().enumerate() {
+                if let Some(binding) = self.resolution.binding(m.index, i) {
+                    if victim_mod.contains(binding.target) {
+                        writes.push((slot.got_slot, slot.stub_addr));
+                    }
+                }
+            }
+        }
+        writes
+    }
+}

@@ -1,0 +1,92 @@
+//! # dynlink-linker
+//!
+//! An ELF-flavoured module format, static/dynamic linker and loader for
+//! the `dynlink-sim` workspace.
+//!
+//! The crate models the machinery the paper's mechanism interacts with
+//! (§2):
+//!
+//! * [`ModuleBuilder`] / [`ModuleSpec`] — position-independent modules
+//!   (an executable and its shared libraries) with exported functions,
+//!   imported symbols, a data section, and optional
+//!   [ifuncs](ModuleBuilder::define_ifunc) (GNU indirect functions,
+//!   §2.4.1).
+//! * [`Loader`] — maps modules into a [`dynlink_mem::AddressSpace`]
+//!   under a chosen [`LinkMode`]:
+//!   - [`LinkMode::DynamicLazy`] — ELF-style lazy binding: each module
+//!     gets a sparse PLT (16-byte entries) and a GOT; GOT slots
+//!     initially point at per-import resolver stubs, and the first call
+//!     resolves the symbol and rewrites the GOT **through the simulated
+//!     store path**, so the proposed hardware's Bloom filter observes it.
+//!   - [`LinkMode::DynamicNow`] — `BIND_NOW` eager binding.
+//!   - [`LinkMode::Static`] — direct calls, no PLT/GOT (the paper's
+//!     performance yardstick).
+//!   - [`LinkMode::Patched`] — the paper's §4.3 software emulation:
+//!     loads eagerly, then rewrites every `call plt` site to `call
+//!     function`, requiring near library placement (rel32 reach), RWX
+//!     text, and paying COW page copies in forked children (§5.5).
+//! * [`ProcessImage`] — the loaded process: module map, symbol tables,
+//!   PLT/GOT ranges (used by the CPU to classify trampoline
+//!   instructions), and the [`ResolutionTable`] the runtime resolver
+//!   consults, including `dlopen`/`dlclose`-style GOT unbinding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod image;
+mod loader;
+mod resolve;
+
+pub use builder::{FunctionHandle, ModuleBuilder};
+pub use error::LinkError;
+pub use image::{LoadedModule, PatchSite, PltSlot, ProcessImage};
+pub use loader::{
+    apply_call_site_patches, LinkMode, LinkOptions, Loader, TrampolineFlavor, RESOLVER_HOST_FN,
+};
+pub use resolve::{Binding, ResolutionTable};
+
+/// A module specification: name, code, imports, exports and data.
+///
+/// Produced by [`ModuleBuilder::finish`]; consumed by [`Loader::load`].
+#[derive(Debug, Clone)]
+pub struct ModuleSpec {
+    /// Module name (e.g. `"app"`, `"libc"`).
+    pub name: String,
+    /// Relocatable code.
+    pub code: dynlink_isa::CodeObject,
+    /// Functions defined in this module, in definition order.
+    pub functions: Vec<FunctionDef>,
+    /// Imported symbol names; index = `ExternRef`. In declaration order,
+    /// mirroring how compilers allocate PLT slots in source order (§2).
+    pub imports: Vec<String>,
+    /// Size of the zero-initialized data section in bytes.
+    pub data_len: u64,
+    /// Initial 64-bit words written into the data section at load time.
+    pub data_init: Vec<(u64, u64)>,
+    /// GNU indirect functions exported by this module (§2.4.1).
+    pub ifuncs: Vec<IfuncDef>,
+}
+
+/// A function defined within a module.
+#[derive(Debug, Clone)]
+pub struct FunctionDef {
+    /// Symbol name.
+    pub name: String,
+    /// Byte offset of the entry point within the module's text.
+    pub offset: u64,
+    /// Whether the symbol is visible to other modules.
+    pub exported: bool,
+}
+
+/// A GNU indirect function: an exported name whose implementation is
+/// chosen among candidates when it is resolved (§2.4.1).
+#[derive(Debug, Clone)]
+pub struct IfuncDef {
+    /// Exported symbol name.
+    pub name: String,
+    /// Names of candidate implementations (module-local functions), in
+    /// preference order indexed by the load-time hardware level.
+    pub candidates: Vec<String>,
+}

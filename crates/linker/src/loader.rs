@@ -1,0 +1,994 @@
+//! Mapping and linking modules into an address space.
+
+use std::collections::{HashMap, HashSet};
+
+use dynlink_isa::{
+    relocate_item, AluOp, CodeItem, HostFnId, Inst, MemRef, Operand, Reg, VirtAddr, GOT_SLOT_BYTES,
+    PLT_ENTRY_BYTES,
+};
+use dynlink_mem::layout::{LibraryPlacement, RegionAllocator, EXE_TEXT_BASE};
+use dynlink_mem::{AddressSpace, Perms};
+
+use crate::image::{LoadedModule, PatchSite, PltSlot, ProcessImage};
+use crate::resolve::{stub_key, Binding, ResolutionTable};
+use crate::{LinkError, ModuleSpec};
+
+/// The host-function ID the loader wires lazy-resolution stubs to. The
+/// system layer must register a handler for it (see `dynlink-core`).
+pub const RESOLVER_HOST_FN: HostFnId = HostFnId(1);
+
+/// How library calls are linked (paper §2, §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LinkMode {
+    /// ELF-style lazy binding: calls go through PLT trampolines; GOT
+    /// slots start pointing at resolver stubs and are rewritten on first
+    /// call. The predominant configuration the paper targets.
+    #[default]
+    DynamicLazy,
+    /// `BIND_NOW`: PLT trampolines with eagerly resolved GOT slots.
+    DynamicNow,
+    /// Static linking: direct calls, no PLT/GOT (the performance
+    /// yardstick dynamic linking is compared against).
+    Static,
+    /// The paper's §4.3 evaluation linker: load eagerly, then patch
+    /// every library-call site into a direct call. Requires
+    /// [`LibraryPlacement::Near`] and writable text.
+    Patched,
+}
+
+impl LinkMode {
+    /// Returns `true` for the modes that build PLT/GOT machinery.
+    pub fn has_plt(self) -> bool {
+        !matches!(self, LinkMode::Static)
+    }
+}
+
+/// Trampoline instruction sequence flavour (paper Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrampolineFlavor {
+    /// x86-64: a single memory-indirect `jmp *(got)` (Figure 2a).
+    #[default]
+    X86,
+    /// ARM: two address-computation instructions into the linker scratch
+    /// register followed by the indirect load-jump (Figure 2b).
+    Arm,
+}
+
+/// Loader configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkOptions {
+    /// Linking mode.
+    pub mode: LinkMode,
+    /// Where libraries are placed.
+    pub placement: LibraryPlacement,
+    /// ASLR seed; `None` disables randomization (as the paper's
+    /// methodology does, §4.3).
+    pub aslr_seed: Option<u64>,
+    /// Trampoline instruction sequence.
+    pub flavor: TrampolineFlavor,
+    /// Hardware capability level used to select ifunc candidates
+    /// (§2.4.1): candidate index `min(hw_level, candidates-1)`.
+    pub hw_level: usize,
+}
+
+impl Default for LinkOptions {
+    fn default() -> Self {
+        LinkOptions {
+            mode: LinkMode::DynamicLazy,
+            placement: LibraryPlacement::Far,
+            aslr_seed: None,
+            flavor: TrampolineFlavor::X86,
+            hw_level: 0,
+        }
+    }
+}
+
+/// Tiny deterministic PRNG for ASLR slides (xorshift64*).
+#[derive(Debug, Clone)]
+struct Slide {
+    state: u64,
+}
+
+impl Slide {
+    fn new(seed: u64) -> Self {
+        // splitmix64 finalizer: decorrelates sequential seeds.
+        let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Slide {
+            state: (x ^ (x >> 31)) | 1,
+        }
+    }
+
+    fn next_pages(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state % 256
+    }
+}
+
+/// Links and loads [`ModuleSpec`]s into an [`AddressSpace`].
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_isa::Inst;
+/// use dynlink_linker::{LinkOptions, Loader, ModuleBuilder};
+/// use dynlink_mem::AddressSpace;
+///
+/// let mut lib = ModuleBuilder::new("libm");
+/// lib.begin_function("sin", true);
+/// lib.asm().push(Inst::Ret);
+/// let lib = lib.finish()?;
+///
+/// let mut app = ModuleBuilder::new("app");
+/// let sin = app.import("sin");
+/// app.begin_function("main", true);
+/// app.asm().push_call_extern(sin);
+/// app.asm().push(Inst::Halt);
+/// let app = app.finish()?;
+///
+/// let mut space = AddressSpace::new(1);
+/// let image = Loader::new(LinkOptions::default()).load(&[app, lib], "main", &mut space)?;
+/// assert_eq!(image.total_plt_slots(), 1);
+/// # Ok::<(), dynlink_linker::LinkError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Loader {
+    opts: LinkOptions,
+}
+
+struct ModuleLayout {
+    text_base: VirtAddr,
+    text_len: u64,
+    plt_base: VirtAddr,
+    plt_len: u64,
+    stub_base: VirtAddr,
+    stub_len: u64,
+    got_base: VirtAddr,
+    got_len: u64,
+    data_base: VirtAddr,
+    data_len: u64,
+}
+
+impl Loader {
+    /// Creates a loader with the given options.
+    pub fn new(opts: LinkOptions) -> Self {
+        Loader { opts }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &LinkOptions {
+        &self.opts
+    }
+
+    /// Computes one module's region layout from `alloc`.
+    fn layout_module(
+        &self,
+        spec: &ModuleSpec,
+        alloc: &mut RegionAllocator,
+        slide_pages: u64,
+    ) -> ModuleLayout {
+        let mode = self.opts.mode;
+        let n_imports = spec.imports.len() as u64;
+        let text_len = spec.code.len_bytes();
+        let (plt_len, stub_len, got_len) = if mode.has_plt() && n_imports > 0 {
+            (
+                n_imports * PLT_ENTRY_BYTES,
+                n_imports * PLT_ENTRY_BYTES,
+                (2 + n_imports) * GOT_SLOT_BYTES,
+            )
+        } else {
+            (0, 0, 0)
+        };
+        let text_base = alloc.alloc_with_slide(text_len.max(1), slide_pages);
+        let plt_base = if plt_len > 0 {
+            alloc.alloc(plt_len)
+        } else {
+            VirtAddr::NULL
+        };
+        let stub_base = if stub_len > 0 {
+            alloc.alloc(stub_len)
+        } else {
+            VirtAddr::NULL
+        };
+        let got_base = if got_len > 0 {
+            alloc.alloc(got_len)
+        } else {
+            VirtAddr::NULL
+        };
+        let data_base = if spec.data_len > 0 {
+            alloc.alloc(spec.data_len)
+        } else {
+            VirtAddr::NULL
+        };
+        ModuleLayout {
+            text_base,
+            text_len,
+            plt_base,
+            plt_len,
+            stub_base,
+            stub_len,
+            got_base,
+            got_len,
+            data_base,
+            data_len: spec.data_len,
+        }
+    }
+
+    /// Resolves a module's export table (including ifunc selection).
+    fn module_exports(
+        &self,
+        spec: &ModuleSpec,
+        text_base: VirtAddr,
+    ) -> Result<HashMap<String, VirtAddr>, LinkError> {
+        let mut exports = HashMap::new();
+        for f in &spec.functions {
+            if f.exported {
+                exports.insert(f.name.clone(), text_base + f.offset);
+            }
+        }
+        for ifunc in &spec.ifuncs {
+            if ifunc.candidates.is_empty() {
+                return Err(LinkError::BadIfuncCandidate {
+                    module: spec.name.clone(),
+                    ifunc: ifunc.name.clone(),
+                    candidate: "<none>".to_owned(),
+                });
+            }
+            let pick = ifunc
+                .candidates
+                .get(self.opts.hw_level.min(ifunc.candidates.len() - 1))
+                .expect("clamped index");
+            let target = spec
+                .functions
+                .iter()
+                .find(|f| &f.name == pick)
+                .map(|f| text_base + f.offset)
+                .ok_or_else(|| LinkError::BadIfuncCandidate {
+                    module: spec.name.clone(),
+                    ifunc: ifunc.name.clone(),
+                    candidate: pick.clone(),
+                })?;
+            exports.insert(ifunc.name.clone(), target);
+        }
+        Ok(exports)
+    }
+
+    /// Maps a module's regions, places its (lowered) code and builds the
+    /// PLT/GOT/stub machinery. Returns the loaded module, its lazy
+    /// bindings and its library-call patch sites.
+    #[allow(clippy::too_many_lines)]
+    fn install_module(
+        &self,
+        spec: &ModuleSpec,
+        layout: &ModuleLayout,
+        idx: usize,
+        real_targets: &[VirtAddr],
+        exports: HashMap<String, VirtAddr>,
+        space: &mut AddressSpace,
+    ) -> Result<(LoadedModule, Vec<Binding>, Vec<PatchSite>), LinkError> {
+        let mode = self.opts.mode;
+        let text_perms = if mode == LinkMode::Patched {
+            // SS4.3: "our modified linker removes application security
+            // restrictions by making the entire address space writable".
+            Perms::RWX
+        } else {
+            Perms::RX
+        };
+        space.map_code_region(layout.text_base, layout.text_len.max(1), text_perms)?;
+        if layout.plt_len > 0 {
+            space.map_code_region(layout.plt_base, layout.plt_len, Perms::RX)?;
+            space.map_code_region(layout.stub_base, layout.stub_len, Perms::RX)?;
+            space.map_region(layout.got_base, layout.got_len, Perms::RW)?;
+        }
+        if layout.data_len > 0 {
+            space.map_region(layout.data_base, layout.data_len, Perms::RW)?;
+            for &(off, value) in &spec.data_init {
+                space.write_u64(layout.data_base + off, value)?;
+            }
+        }
+
+        let plt_addr_of = |i: u32| layout.plt_base + u64::from(i) * PLT_ENTRY_BYTES;
+        let got_slot_of = |i: u32| layout.got_base + (2 + u64::from(i)) * GOT_SLOT_BYTES;
+        let stub_addr_of = |i: u32| layout.stub_base + u64::from(i) * PLT_ENTRY_BYTES;
+
+        // Lower and place the module's code.
+        let mut patch_sites = Vec::new();
+        for placed in spec.code.items() {
+            let site = layout.text_base + placed.offset;
+            let inst = match placed.item {
+                CodeItem::CallExtern { ext } => {
+                    let target = if mode.has_plt() {
+                        plt_addr_of(ext.0)
+                    } else {
+                        real_targets[ext.0 as usize]
+                    };
+                    if mode.has_plt() {
+                        patch_sites.push(PatchSite {
+                            site,
+                            target: real_targets[ext.0 as usize],
+                        });
+                    }
+                    Inst::CallDirect { target }
+                }
+                CodeItem::LoadExternPtr { dst, ext } => Inst::MovImm {
+                    dst,
+                    imm: real_targets[ext.0 as usize].as_u64(),
+                },
+                other => relocate_item(other, layout.text_base, layout.data_base, |_| {
+                    unreachable!("extern items handled above")
+                }),
+            };
+            space.place_code(site, inst)?;
+        }
+
+        // Build the PLT, lazy stubs and GOT.
+        assert!(
+            spec.imports.len() < (1 << 20),
+            "module `{}` has {} imports; stub keys encode at most 2^20",
+            spec.name,
+            spec.imports.len()
+        );
+        let mut plt_slots = Vec::with_capacity(spec.imports.len());
+        let mut bindings = Vec::with_capacity(spec.imports.len());
+        if mode.has_plt() {
+            for (i, sym) in spec.imports.iter().enumerate() {
+                let i = i as u32;
+                let plt_addr = plt_addr_of(i);
+                let got_slot = got_slot_of(i);
+                let stub_addr = stub_addr_of(i);
+                match self.opts.flavor {
+                    TrampolineFlavor::X86 => {
+                        // Figure 2a: jmp *(sym@got.plt)
+                        space.place_code(
+                            plt_addr,
+                            Inst::JmpIndirectMem {
+                                mem: MemRef::Abs(got_slot),
+                            },
+                        )?;
+                    }
+                    TrampolineFlavor::Arm => {
+                        // Figure 2b: add ip, ...; add ip, ...; ldr pc, [got]
+                        space.place_code(
+                            plt_addr,
+                            Inst::Alu {
+                                op: AluOp::Add,
+                                dst: Reg::SCRATCH,
+                                src: Operand::Imm(0),
+                            },
+                        )?;
+                        space.place_code(
+                            plt_addr + 4,
+                            Inst::Alu {
+                                op: AluOp::Add,
+                                dst: Reg::SCRATCH,
+                                src: Operand::Imm(0),
+                            },
+                        )?;
+                        space.place_code(
+                            plt_addr + 8,
+                            Inst::JmpIndirectMem {
+                                mem: MemRef::Abs(got_slot),
+                            },
+                        )?;
+                    }
+                }
+                // Lazy-resolution stub: identify the binding, trap to
+                // the resolver host function.
+                space.place_code(
+                    stub_addr,
+                    Inst::MovImm {
+                        dst: Reg::SCRATCH,
+                        imm: stub_key(idx, i as usize),
+                    },
+                )?;
+                space.place_code(
+                    stub_addr + 7,
+                    Inst::HostCall {
+                        id: RESOLVER_HOST_FN,
+                    },
+                )?;
+
+                let target = real_targets[i as usize];
+                let initial = match mode {
+                    LinkMode::DynamicLazy => stub_addr,
+                    _ => target,
+                };
+                space.write_u64(got_slot, initial.as_u64())?;
+
+                plt_slots.push(PltSlot {
+                    symbol: sym.clone(),
+                    plt_addr,
+                    got_slot,
+                    stub_addr,
+                });
+                bindings.push(Binding {
+                    module: idx,
+                    import: i as usize,
+                    symbol: sym.clone(),
+                    got_slot,
+                    target,
+                    stub_addr,
+                });
+            }
+        }
+
+        Ok((
+            LoadedModule {
+                name: spec.name.clone(),
+                index: idx,
+                text_base: layout.text_base,
+                text_len: layout.text_len,
+                plt_base: layout.plt_base,
+                plt_len: layout.plt_len,
+                stub_base: layout.stub_base,
+                stub_len: layout.stub_len,
+                got_base: layout.got_base,
+                got_len: layout.got_len,
+                data_base: layout.data_base,
+                data_len: layout.data_len,
+                exports,
+                plt_slots,
+            },
+            bindings,
+            patch_sites,
+        ))
+    }
+
+    /// Loads one more module into an already-loaded process image — the
+    /// `dlopen(3)` operation. The new module's imports resolve against
+    /// the existing modules' exports (and its own); existing modules are
+    /// untouched. Returns the new module's lazy bindings so the runtime
+    /// can extend its live resolution table.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate module names, unresolved imports, bad ifunc
+    /// candidates or mapping errors.
+    pub fn load_additional(
+        &self,
+        image: &mut ProcessImage,
+        spec: &ModuleSpec,
+        space: &mut AddressSpace,
+    ) -> Result<Vec<Binding>, LinkError> {
+        if image.module(&spec.name).is_some() {
+            return Err(LinkError::DuplicateModule {
+                name: spec.name.clone(),
+            });
+        }
+        let mut alloc = RegionAllocator::new(image.next_lib_addr);
+        let layout = self.layout_module(spec, &mut alloc, 0);
+        let exports = self.module_exports(spec, layout.text_base)?;
+
+        let mut real_targets = Vec::with_capacity(spec.imports.len());
+        for sym in &spec.imports {
+            let addr = image
+                .find_export(sym)
+                .or_else(|| exports.get(sym).copied())
+                .ok_or_else(|| LinkError::UnresolvedSymbol {
+                    module: spec.name.clone(),
+                    symbol: sym.clone(),
+                })?;
+            real_targets.push(addr);
+        }
+
+        let idx = image.modules.len();
+        let (module, bindings, mut sites) =
+            self.install_module(spec, &layout, idx, &real_targets, exports, space)?;
+        if self.opts.mode == LinkMode::Patched {
+            // Keep the patched image consistent: rewrite the new
+            // module's call sites immediately and leave PLT ranges
+            // cleared, exactly like the initial load.
+            for ps in &sites {
+                if !ps.site.in_rel32_range(ps.target) {
+                    return Err(LinkError::PatchOutOfRange {
+                        site: ps.site,
+                        target: ps.target,
+                    });
+                }
+                space.patch_code(ps.site, Inst::CallDirect { target: ps.target })?;
+            }
+        } else if layout.plt_len > 0 {
+            image
+                .plt_ranges
+                .push((layout.plt_base, layout.plt_base + layout.plt_len));
+        }
+        image.patch_sites.append(&mut sites);
+        image.resolution.push_module(bindings.clone());
+        image.modules.push(module);
+        image.next_lib_addr = alloc.cursor();
+        Ok(bindings)
+    }
+
+    /// Loads `specs` (the executable first, then its libraries, in load
+    /// order) into `space` and resolves the entry point `entry_symbol`
+    /// from the executable.
+    ///
+    /// # Errors
+    ///
+    /// See [`LinkError`]; notably [`LinkError::UnresolvedSymbol`] for
+    /// missing imports and [`LinkError::PatchOutOfRange`] when
+    /// [`LinkMode::Patched`] is combined with far library placement.
+    pub fn load(
+        &self,
+        specs: &[ModuleSpec],
+        entry_symbol: &str,
+        space: &mut AddressSpace,
+    ) -> Result<ProcessImage, LinkError> {
+        let mode = self.opts.mode;
+        let mut names = HashSet::new();
+        for s in specs {
+            if !names.insert(s.name.clone()) {
+                return Err(LinkError::DuplicateModule {
+                    name: s.name.clone(),
+                });
+            }
+        }
+
+        let mut slide = self.opts.aslr_seed.map(Slide::new);
+
+        // ---- Pass 1: layout ------------------------------------------------
+        let mut exe_alloc = RegionAllocator::new(EXE_TEXT_BASE);
+        let mut lib_alloc = RegionAllocator::new(self.opts.placement.lib_base());
+        let mut layouts = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let alloc = if i == 0 {
+                &mut exe_alloc
+            } else {
+                &mut lib_alloc
+            };
+            let slide_pages = slide.as_mut().map_or(0, Slide::next_pages);
+            layouts.push(self.layout_module(spec, alloc, slide_pages));
+        }
+
+        // ---- Pass 2: symbol resolution --------------------------------------
+        let mut exports_per_module: Vec<HashMap<String, VirtAddr>> = Vec::new();
+        for (spec, layout) in specs.iter().zip(&layouts) {
+            exports_per_module.push(self.module_exports(spec, layout.text_base)?);
+        }
+        let find_global = |symbol: &str| -> Option<VirtAddr> {
+            exports_per_module
+                .iter()
+                .find_map(|m| m.get(symbol).copied())
+        };
+
+        // Resolve every import eagerly (even lazy binding fails at first
+        // call for truly missing symbols; failing at load keeps errors
+        // deterministic).
+        let mut real_targets: Vec<Vec<VirtAddr>> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let mut targets = Vec::with_capacity(spec.imports.len());
+            for sym in &spec.imports {
+                let addr = find_global(sym).ok_or_else(|| LinkError::UnresolvedSymbol {
+                    module: spec.name.clone(),
+                    symbol: sym.clone(),
+                })?;
+                targets.push(addr);
+            }
+            real_targets.push(targets);
+        }
+
+        // ---- Pass 3: map regions and place code ------------------------------
+        let mut modules = Vec::with_capacity(specs.len());
+        let mut resolution = ResolutionTable::new();
+        let mut plt_ranges = Vec::new();
+        let mut patch_sites = Vec::new();
+        for (idx, (spec, layout)) in specs.iter().zip(&layouts).enumerate() {
+            let (module, bindings, mut sites) = self.install_module(
+                spec,
+                layout,
+                idx,
+                &real_targets[idx],
+                exports_per_module[idx].clone(),
+                space,
+            )?;
+            if layout.plt_len > 0 {
+                plt_ranges.push((layout.plt_base, layout.plt_base + layout.plt_len));
+            }
+            patch_sites.append(&mut sites);
+            resolution.push_module(bindings);
+            modules.push(module);
+        }
+
+        let entry = exports_per_module
+            .first()
+            .and_then(|m| m.get(entry_symbol).copied())
+            .ok_or_else(|| LinkError::NoEntry {
+                symbol: entry_symbol.to_owned(),
+            })?;
+
+        let mut image = ProcessImage {
+            modules,
+            entry,
+            mode,
+            resolution,
+            plt_ranges,
+            patch_sites,
+            next_lib_addr: lib_alloc.cursor(),
+        };
+
+        if mode == LinkMode::Patched {
+            apply_call_site_patches(&image, space)?;
+            // Patched call sites no longer reach the PLT; drop the
+            // ranges so trampoline accounting reads zero.
+            image.plt_ranges.clear();
+        }
+
+        Ok(image)
+    }
+}
+
+/// Rewrites every recorded library-call site into a direct call to the
+/// real function — the paper's §4.3 software emulation of the proposed
+/// hardware. Returns the number of sites patched.
+///
+/// # Errors
+///
+/// Returns [`LinkError::PatchOutOfRange`] if a target cannot be encoded
+/// as `call rel32` from its site (far library placement, §2.3), or a
+/// memory error if text pages are not writable.
+pub fn apply_call_site_patches(
+    image: &ProcessImage,
+    space: &mut AddressSpace,
+) -> Result<u64, LinkError> {
+    let mut patched = 0;
+    for ps in image.patch_sites() {
+        if !ps.site.in_rel32_range(ps.target) {
+            return Err(LinkError::PatchOutOfRange {
+                site: ps.site,
+                target: ps.target,
+            });
+        }
+        space.patch_code(ps.site, Inst::CallDirect { target: ps.target })?;
+        patched += 1;
+    }
+    Ok(patched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModuleBuilder;
+
+    /// lib exporting `f`, app importing and calling it.
+    fn two_modules() -> Vec<ModuleSpec> {
+        let mut lib = ModuleBuilder::new("lib");
+        lib.begin_function("f", true);
+        lib.asm().push(Inst::Ret);
+        let lib = lib.finish().unwrap();
+
+        let mut app = ModuleBuilder::new("app");
+        let f = app.import("f");
+        app.begin_function("main", true);
+        app.asm().push_call_extern(f);
+        app.asm().push(Inst::Halt);
+        let app = app.finish().unwrap();
+        vec![app, lib]
+    }
+
+    fn load(mode: LinkMode, placement: LibraryPlacement) -> (ProcessImage, AddressSpace) {
+        let mut space = AddressSpace::new(1);
+        let image = Loader::new(LinkOptions {
+            mode,
+            placement,
+            ..LinkOptions::default()
+        })
+        .load(&two_modules(), "main", &mut space)
+        .unwrap();
+        (image, space)
+    }
+
+    #[test]
+    fn static_mode_lowers_direct_calls() {
+        let (image, space) = load(LinkMode::Static, LibraryPlacement::Far);
+        let f_addr = image.find_export("f").unwrap();
+        let main = image.entry();
+        assert_eq!(
+            space.fetch_code(main).unwrap(),
+            Inst::CallDirect { target: f_addr }
+        );
+        assert_eq!(image.total_plt_slots(), 0);
+        assert!(image.plt_ranges().is_empty());
+    }
+
+    #[test]
+    fn lazy_mode_builds_plt_got_stub() {
+        let (image, space) = load(LinkMode::DynamicLazy, LibraryPlacement::Far);
+        let app = image.module("app").unwrap();
+        let slot = &app.plt_slots[0];
+        // Call site targets the PLT.
+        assert_eq!(
+            space.fetch_code(image.entry()).unwrap(),
+            Inst::CallDirect {
+                target: slot.plt_addr
+            }
+        );
+        // Trampoline is a memory-indirect jump through the GOT slot.
+        assert_eq!(
+            space.fetch_code(slot.plt_addr).unwrap(),
+            Inst::JmpIndirectMem {
+                mem: MemRef::Abs(slot.got_slot)
+            }
+        );
+        // GOT initially points at the stub.
+        assert_eq!(
+            space.read_u64(slot.got_slot).unwrap(),
+            slot.stub_addr.as_u64()
+        );
+        // Stub loads the binding key then traps to the resolver.
+        assert_eq!(
+            space.fetch_code(slot.stub_addr).unwrap(),
+            Inst::MovImm {
+                dst: Reg::SCRATCH,
+                imm: stub_key(0, 0)
+            }
+        );
+        assert_eq!(
+            space.fetch_code(slot.stub_addr + 7).unwrap(),
+            Inst::HostCall {
+                id: RESOLVER_HOST_FN
+            }
+        );
+        // The binding resolves to the real function.
+        let b = image.resolution().binding_for_key(stub_key(0, 0)).unwrap();
+        assert_eq!(b.target, image.find_export("f").unwrap());
+        assert!(image.is_trampoline_addr(slot.plt_addr));
+        assert!(!image.is_trampoline_addr(image.entry()));
+    }
+
+    #[test]
+    fn now_mode_got_holds_final_target() {
+        let (image, space) = load(LinkMode::DynamicNow, LibraryPlacement::Far);
+        let app = image.module("app").unwrap();
+        let slot = &app.plt_slots[0];
+        assert_eq!(
+            space.read_u64(slot.got_slot).unwrap(),
+            image.find_export("f").unwrap().as_u64()
+        );
+    }
+
+    #[test]
+    fn patched_mode_rewrites_call_sites() {
+        let (image, space) = load(LinkMode::Patched, LibraryPlacement::Near);
+        let f_addr = image.find_export("f").unwrap();
+        assert_eq!(
+            space.fetch_code(image.entry()).unwrap(),
+            Inst::CallDirect { target: f_addr }
+        );
+        assert_eq!(space.stats().code_patches, 1);
+        // Trampoline accounting is disabled once patched.
+        assert!(image.plt_ranges().is_empty());
+    }
+
+    #[test]
+    fn patched_mode_far_placement_fails() {
+        let mut space = AddressSpace::new(1);
+        let err = Loader::new(LinkOptions {
+            mode: LinkMode::Patched,
+            placement: LibraryPlacement::Far,
+            ..LinkOptions::default()
+        })
+        .load(&two_modules(), "main", &mut space)
+        .unwrap_err();
+        assert!(matches!(err, LinkError::PatchOutOfRange { .. }));
+    }
+
+    #[test]
+    fn unresolved_symbol_fails() {
+        let mut app = ModuleBuilder::new("app");
+        let missing = app.import("no_such_fn");
+        app.begin_function("main", true);
+        app.asm().push_call_extern(missing);
+        let app = app.finish().unwrap();
+        let mut space = AddressSpace::new(1);
+        let err = Loader::new(LinkOptions::default())
+            .load(&[app], "main", &mut space)
+            .unwrap_err();
+        assert!(matches!(err, LinkError::UnresolvedSymbol { .. }));
+    }
+
+    #[test]
+    fn duplicate_module_fails() {
+        let specs = vec![two_modules().remove(0), two_modules().remove(0)];
+        let mut space = AddressSpace::new(1);
+        assert!(matches!(
+            Loader::new(LinkOptions {
+                mode: LinkMode::Static,
+                ..LinkOptions::default()
+            })
+            .load(&specs, "main", &mut space),
+            Err(LinkError::DuplicateModule { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_entry_fails() {
+        let mut space = AddressSpace::new(1);
+        let err = Loader::new(LinkOptions::default())
+            .load(&two_modules(), "not_main", &mut space)
+            .unwrap_err();
+        assert!(matches!(err, LinkError::NoEntry { .. }));
+    }
+
+    #[test]
+    fn interposition_first_module_wins() {
+        let mk = |name: &str, marker: u64| {
+            let mut m = ModuleBuilder::new(name);
+            m.begin_function("shared", true);
+            m.asm().push(Inst::mov_imm(Reg::RET, marker));
+            m.asm().push(Inst::Ret);
+            m.finish().unwrap()
+        };
+        let mut app = ModuleBuilder::new("app");
+        let s = app.import("shared");
+        app.begin_function("main", true);
+        app.asm().push_call_extern(s);
+        app.asm().push(Inst::Halt);
+        let app = app.finish().unwrap();
+
+        let mut space = AddressSpace::new(1);
+        let image = Loader::new(LinkOptions::default())
+            .load(&[app, mk("lib1", 1), mk("lib2", 2)], "main", &mut space)
+            .unwrap();
+        let lib1 = image.module("lib1").unwrap();
+        assert_eq!(
+            image.find_export("shared"),
+            lib1.export("shared"),
+            "first library in load order interposes"
+        );
+        let binding = image.resolution().binding(0, 0).unwrap();
+        assert_eq!(binding.target, lib1.export("shared").unwrap());
+    }
+
+    #[test]
+    fn aslr_slides_are_deterministic_per_seed() {
+        let base = |seed: Option<u64>| {
+            let mut space = AddressSpace::new(1);
+            let image = Loader::new(LinkOptions {
+                aslr_seed: seed,
+                ..LinkOptions::default()
+            })
+            .load(&two_modules(), "main", &mut space)
+            .unwrap();
+            (
+                image.module("app").unwrap().text_base,
+                image.module("lib").unwrap().text_base,
+            )
+        };
+        assert_eq!(base(Some(7)), base(Some(7)), "same seed, same layout");
+        assert_ne!(
+            base(Some(7)),
+            base(Some(8)),
+            "different seed, different layout"
+        );
+        assert_ne!(base(None), base(Some(7)));
+    }
+
+    #[test]
+    fn ifunc_selection_follows_hw_level() {
+        let mklib = || {
+            let mut lib = ModuleBuilder::new("libc");
+            lib.begin_function("memcpy_generic", false);
+            lib.asm().push(Inst::Ret);
+            lib.begin_function("memcpy_avx", false);
+            lib.asm().push(Inst::Nop);
+            lib.asm().push(Inst::Ret);
+            lib.define_ifunc("memcpy", &["memcpy_generic", "memcpy_avx"]);
+            lib.finish().unwrap()
+        };
+        let mut app = ModuleBuilder::new("app");
+        let m = app.import("memcpy");
+        app.begin_function("main", true);
+        app.asm().push_call_extern(m);
+        app.asm().push(Inst::Halt);
+        let app = app.finish().unwrap();
+
+        let addr_at_level = |lvl: usize| {
+            let mut space = AddressSpace::new(1);
+            let image = Loader::new(LinkOptions {
+                hw_level: lvl,
+                ..LinkOptions::default()
+            })
+            .load(&[app.clone(), mklib()], "main", &mut space)
+            .unwrap();
+            image.find_export("memcpy").unwrap()
+        };
+        let generic = addr_at_level(0);
+        let avx = addr_at_level(1);
+        assert_ne!(generic, avx);
+        // Levels beyond the candidate list clamp to the best.
+        assert_eq!(addr_at_level(9), avx);
+    }
+
+    #[test]
+    fn arm_flavor_places_three_instruction_trampoline() {
+        let mut space = AddressSpace::new(1);
+        let image = Loader::new(LinkOptions {
+            flavor: TrampolineFlavor::Arm,
+            ..LinkOptions::default()
+        })
+        .load(&two_modules(), "main", &mut space)
+        .unwrap();
+        let slot = &image.module("app").unwrap().plt_slots[0];
+        assert!(matches!(
+            space.fetch_code(slot.plt_addr).unwrap(),
+            Inst::Alu {
+                dst: Reg::SCRATCH,
+                ..
+            }
+        ));
+        assert!(matches!(
+            space.fetch_code(slot.plt_addr + 4).unwrap(),
+            Inst::Alu { .. }
+        ));
+        assert_eq!(
+            space.fetch_code(slot.plt_addr + 8).unwrap(),
+            Inst::JmpIndirectMem {
+                mem: MemRef::Abs(slot.got_slot)
+            }
+        );
+    }
+
+    #[test]
+    fn unbind_writes_for_dlclose() {
+        let (image, _space) = load(LinkMode::DynamicLazy, LibraryPlacement::Far);
+        let writes = image.unbind_writes_for("lib");
+        assert_eq!(writes.len(), 1);
+        let slot = &image.module("app").unwrap().plt_slots[0];
+        assert_eq!(writes[0], (slot.got_slot, slot.stub_addr));
+        assert!(image.unbind_writes_for("app").is_empty());
+        assert!(image.unbind_writes_for("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn disassembly_lists_and_annotates() {
+        let (image, space) = load(LinkMode::DynamicLazy, LibraryPlacement::Far);
+        let listing = image.disassemble(&space, "app").unwrap();
+        assert!(listing.contains("<main>:"), "{listing}");
+        assert!(listing.contains("f@plt"), "{listing}");
+        assert!(listing.contains("f@got.plt"), "{listing}");
+        assert!(listing.contains("resolver stub"), "{listing}");
+        assert!(image.disassemble(&space, "nope").is_none());
+
+        let lib = image.disassemble(&space, "lib").unwrap();
+        assert!(lib.contains("<f>:"), "{lib}");
+    }
+
+    #[test]
+    fn plt_entries_are_16_bytes_apart_and_sparse() {
+        // Import many symbols, call only one: the PLT still has a slot
+        // for each import, in declaration order (paper §2).
+        let mut lib = ModuleBuilder::new("lib");
+        for i in 0..10 {
+            lib.begin_function(&format!("f{i}"), true);
+            lib.asm().push(Inst::Ret);
+        }
+        let lib = lib.finish().unwrap();
+        let mut app = ModuleBuilder::new("app");
+        let refs: Vec<_> = (0..10).map(|i| app.import(&format!("f{i}"))).collect();
+        app.begin_function("main", true);
+        app.asm().push_call_extern(refs[7]);
+        app.asm().push(Inst::Halt);
+        let app = app.finish().unwrap();
+
+        let mut space = AddressSpace::new(1);
+        let image = Loader::new(LinkOptions::default())
+            .load(&[app, lib], "main", &mut space)
+            .unwrap();
+        let slots = &image.module("app").unwrap().plt_slots;
+        assert_eq!(slots.len(), 10);
+        for w in slots.windows(2) {
+            assert_eq!(w[1].plt_addr - w[0].plt_addr, PLT_ENTRY_BYTES);
+            assert_eq!(w[1].got_slot - w[0].got_slot, GOT_SLOT_BYTES);
+        }
+        // The call site targets slot 7's trampoline.
+        assert_eq!(
+            space.fetch_code(image.entry()).unwrap(),
+            Inst::CallDirect {
+                target: slots[7].plt_addr
+            }
+        );
+    }
+}

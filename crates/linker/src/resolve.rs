@@ -1,0 +1,141 @@
+//! The lazy-binding resolution table consulted by the runtime resolver.
+
+use std::collections::HashMap;
+
+use dynlink_isa::VirtAddr;
+
+/// One import binding: everything the resolver needs when the stub for
+/// `(module, import)` fires.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Index of the importing module.
+    pub module: usize,
+    /// Import index within that module.
+    pub import: usize,
+    /// The imported symbol name.
+    pub symbol: String,
+    /// The GOT slot to rewrite.
+    pub got_slot: VirtAddr,
+    /// The resolved target function address.
+    pub target: VirtAddr,
+    /// The lazy stub address (the GOT's initial value).
+    pub stub_addr: VirtAddr,
+}
+
+/// Encodes the `(module, import)` pair a lazy stub passes to the
+/// resolver in the scratch register.
+pub fn stub_key(module: usize, import: usize) -> u64 {
+    ((module as u64) << 20) | import as u64
+}
+
+/// Lazy-binding metadata for the whole process: per-module, per-import
+/// [`Binding`]s plus the stub-key index the runtime resolver uses.
+#[derive(Debug, Clone, Default)]
+pub struct ResolutionTable {
+    per_module: Vec<Vec<Binding>>,
+    by_key: HashMap<u64, (usize, usize)>,
+}
+
+impl ResolutionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ResolutionTable::default()
+    }
+
+    /// Appends one module's bindings (must be called in load order).
+    pub fn push_module(&mut self, bindings: Vec<Binding>) {
+        let module = self.per_module.len();
+        for (import, b) in bindings.iter().enumerate() {
+            debug_assert_eq!((b.module, b.import), (module, import));
+            self.by_key
+                .insert(stub_key(module, import), (module, import));
+        }
+        self.per_module.push(bindings);
+    }
+
+    /// The binding for `(module, import)`.
+    pub fn binding(&self, module: usize, import: usize) -> Option<&Binding> {
+        self.per_module.get(module)?.get(import)
+    }
+
+    /// Mutable access to the binding for `(module, import)` (used when a
+    /// symbol is rebound to a new provider at run time).
+    pub fn binding_mut(&mut self, module: usize, import: usize) -> Option<&mut Binding> {
+        self.per_module.get_mut(module)?.get_mut(import)
+    }
+
+    /// The binding for a stub key (read from the scratch register when a
+    /// lazy stub invokes the resolver host function).
+    pub fn binding_for_key(&self, key: u64) -> Option<&Binding> {
+        let &(m, i) = self.by_key.get(&key)?;
+        self.binding(m, i)
+    }
+
+    /// Iterates over all bindings.
+    pub fn iter(&self) -> impl Iterator<Item = &Binding> {
+        self.per_module.iter().flatten()
+    }
+
+    /// Total number of bindings.
+    pub fn len(&self) -> usize {
+        self.per_module.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no bindings exist (e.g. static linking).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binding(module: usize, import: usize, sym: &str) -> Binding {
+        Binding {
+            module,
+            import,
+            symbol: sym.to_owned(),
+            got_slot: VirtAddr::new(0x60_0000 + (import as u64) * 8),
+            target: VirtAddr::new(0x7f00_0000 + (import as u64) * 0x100),
+            stub_addr: VirtAddr::new(0x50_0000 + (import as u64) * 16),
+        }
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        let mut t = ResolutionTable::new();
+        t.push_module(vec![binding(0, 0, "a"), binding(0, 1, "b")]);
+        t.push_module(vec![binding(1, 0, "c")]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let b = t.binding_for_key(stub_key(1, 0)).unwrap();
+        assert_eq!(b.symbol, "c");
+        let b = t.binding_for_key(stub_key(0, 1)).unwrap();
+        assert_eq!(b.symbol, "b");
+        assert!(t.binding_for_key(stub_key(2, 0)).is_none());
+    }
+
+    #[test]
+    fn keys_do_not_collide_for_plausible_sizes() {
+        // 2^20 imports per module before collision.
+        assert_ne!(stub_key(0, 1), stub_key(1, 0));
+        assert_ne!(stub_key(3, 7), stub_key(7, 3));
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let mut t = ResolutionTable::new();
+        t.push_module(vec![binding(0, 0, "a")]);
+        t.push_module(vec![binding(1, 0, "b"), binding(1, 1, "c")]);
+        let syms: Vec<_> = t.iter().map(|b| b.symbol.as_str()).collect();
+        assert_eq!(syms, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = ResolutionTable::new();
+        assert!(t.is_empty());
+        assert!(t.binding(0, 0).is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! Stress and layout-invariant tests for the linker/loader.
+
+use dynlink_isa::{Inst, Reg, VirtAddr, PLT_ENTRY_BYTES};
+use dynlink_linker::{LinkMode, LinkOptions, Loader, ModuleBuilder, ModuleSpec};
+use dynlink_mem::AddressSpace;
+
+fn exporting_lib(name: &str, fns: &[&str]) -> ModuleSpec {
+    let mut lib = ModuleBuilder::new(name);
+    for f in fns {
+        lib.begin_function(f, true);
+        lib.asm().push(Inst::add_imm(Reg::R0, 1));
+        lib.asm().push(Inst::Ret);
+    }
+    lib.finish().unwrap()
+}
+
+#[test]
+fn forty_modules_with_cross_imports_load() {
+    // Module i exports f_i and imports f_{i+1} (except the last), a long
+    // dependency chain including forward references in load order.
+    let mut specs = Vec::new();
+    let mut app = ModuleBuilder::new("app");
+    let first = app.import("f_0");
+    app.begin_function("main", true);
+    app.asm().push_call_extern(first);
+    app.asm().push(Inst::Halt);
+    specs.push(app.finish().unwrap());
+
+    for i in 0..40 {
+        let mut lib = ModuleBuilder::new(&format!("lib{i}"));
+        let next = if i < 39 {
+            Some(lib.import(&format!("f_{}", i + 1)))
+        } else {
+            None
+        };
+        lib.begin_function(&format!("f_{i}"), true);
+        lib.asm().push(Inst::add_imm(Reg::R0, 1));
+        if let Some(n) = next {
+            lib.asm().push_call_extern(n);
+        }
+        lib.asm().push(Inst::Ret);
+        specs.push(lib.finish().unwrap());
+    }
+
+    let mut space = AddressSpace::new(1);
+    let image = Loader::new(LinkOptions::default())
+        .load(&specs, "main", &mut space)
+        .unwrap();
+    assert_eq!(image.modules().len(), 41);
+    assert_eq!(image.total_plt_slots(), 40, "one import per module");
+
+    // No module's regions overlap any other's.
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    for m in image.modules() {
+        for (base, len) in [
+            (m.text_base, m.text_len.max(1)),
+            (m.plt_base, m.plt_len),
+            (m.got_base, m.got_len),
+            (m.data_base, m.data_len),
+        ] {
+            if len == 0 {
+                continue;
+            }
+            let (s, e) = (base.as_u64(), base.as_u64() + len);
+            for &(os, oe) in &ranges {
+                assert!(
+                    e <= os || s >= oe,
+                    "overlap: [{s:#x},{e:#x}) vs [{os:#x},{oe:#x})"
+                );
+            }
+            ranges.push((s, e));
+        }
+    }
+}
+
+#[test]
+fn module_without_imports_gets_no_plt() {
+    let lib = exporting_lib("leaf", &["f"]);
+    let mut app = ModuleBuilder::new("app");
+    let f = app.import("f");
+    app.begin_function("main", true);
+    app.asm().push_call_extern(f);
+    app.asm().push(Inst::Halt);
+
+    let mut space = AddressSpace::new(1);
+    let image = Loader::new(LinkOptions::default())
+        .load(&[app.finish().unwrap(), lib], "main", &mut space)
+        .unwrap();
+    let leaf = image.module("leaf").unwrap();
+    assert_eq!(leaf.plt_len, 0);
+    assert_eq!(leaf.got_len, 0);
+    assert!(leaf.plt_slots.is_empty());
+    assert_eq!(image.plt_ranges().len(), 1, "only the app has a PLT");
+}
+
+#[test]
+fn plt_entries_occupy_expected_cache_lines() {
+    // With four 16-byte entries per 64-byte line, entries i and i+4
+    // land on different lines; i and i+1 may share one.
+    let mut lib = ModuleBuilder::new("lib");
+    for i in 0..16 {
+        lib.begin_function(&format!("f{i}"), true);
+        lib.asm().push(Inst::Ret);
+    }
+    let mut app = ModuleBuilder::new("app");
+    let refs: Vec<_> = (0..16).map(|i| app.import(&format!("f{i}"))).collect();
+    app.begin_function("main", true);
+    for r in refs {
+        app.asm().push_call_extern(r);
+    }
+    app.asm().push(Inst::Halt);
+
+    let mut space = AddressSpace::new(1);
+    let image = Loader::new(LinkOptions::default())
+        .load(
+            &[app.finish().unwrap(), lib.finish().unwrap()],
+            "main",
+            &mut space,
+        )
+        .unwrap();
+    let slots = &image.module("app").unwrap().plt_slots;
+    assert_eq!(
+        slots[0].plt_addr.cache_line(64),
+        slots[3].plt_addr.cache_line(64)
+    );
+    assert_ne!(
+        slots[0].plt_addr.cache_line(64),
+        slots[4].plt_addr.cache_line(64)
+    );
+    assert_eq!(slots[1].plt_addr - slots[0].plt_addr, PLT_ENTRY_BYTES);
+}
+
+#[test]
+fn aslr_seeds_give_distinct_layouts() {
+    let mk = || {
+        let lib = exporting_lib("lib", &["f"]);
+        let mut app = ModuleBuilder::new("app");
+        let f = app.import("f");
+        app.begin_function("main", true);
+        app.asm().push_call_extern(f);
+        app.asm().push(Inst::Halt);
+        vec![app.finish().unwrap(), lib]
+    };
+    let mut bases = std::collections::HashSet::new();
+    for seed in 0..20u64 {
+        let mut space = AddressSpace::new(1);
+        let image = Loader::new(LinkOptions {
+            aslr_seed: Some(seed),
+            ..LinkOptions::default()
+        })
+        .load(&mk(), "main", &mut space)
+        .unwrap();
+        bases.insert(image.module("lib").unwrap().text_base);
+    }
+    assert!(
+        bases.len() >= 15,
+        "20 seeds should give mostly distinct slides, got {}",
+        bases.len()
+    );
+}
+
+#[test]
+fn repeated_dlopen_allocates_monotonically() {
+    let lib = exporting_lib("lib0", &["f"]);
+    let mut app = ModuleBuilder::new("app");
+    let f = app.import("f");
+    app.begin_function("main", true);
+    app.asm().push_call_extern(f);
+    app.asm().push(Inst::Halt);
+
+    let mut space = AddressSpace::new(1);
+    let loader = Loader::new(LinkOptions::default());
+    let mut image = loader
+        .load(&[app.finish().unwrap(), lib], "main", &mut space)
+        .unwrap();
+
+    let mut last_base = VirtAddr::NULL;
+    for i in 1..=10 {
+        let spec = exporting_lib(&format!("dyn{i}"), &["g"]);
+        loader
+            .load_additional(&mut image, &spec, &mut space)
+            .unwrap();
+        let m = image.module(&format!("dyn{i}")).unwrap();
+        assert!(m.text_base > last_base, "addresses grow monotonically");
+        last_base = m.text_base;
+    }
+    assert_eq!(image.modules().len(), 12);
+    // All 10 dlopened modules export `g`; interposition picks the first.
+    let g = image.find_export("g").unwrap();
+    assert_eq!(g, image.module("dyn1").unwrap().export("g").unwrap());
+}
+
+#[test]
+fn static_mode_rejects_nothing_but_builds_no_machinery() {
+    let lib = exporting_lib("lib", &["f"]);
+    let mut app = ModuleBuilder::new("app");
+    let f = app.import("f");
+    app.begin_function("main", true);
+    app.asm().push_call_extern(f);
+    app.asm().push_load_extern_ptr(Reg::R1, f);
+    app.asm().push(Inst::Halt);
+
+    let mut space = AddressSpace::new(1);
+    let image = Loader::new(LinkOptions {
+        mode: LinkMode::Static,
+        ..LinkOptions::default()
+    })
+    .load(&[app.finish().unwrap(), lib], "main", &mut space)
+    .unwrap();
+    assert_eq!(image.total_plt_slots(), 0);
+    assert!(image.resolution().is_empty());
+    assert!(image.patch_sites().is_empty());
+}

@@ -1,0 +1,72 @@
+//! Memory access errors.
+
+use dynlink_isa::VirtAddr;
+use std::fmt;
+
+use crate::Perms;
+
+/// Errors produced by [`crate::AddressSpace`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The address is not mapped.
+    Unmapped {
+        /// The faulting address.
+        addr: VirtAddr,
+    },
+    /// The page is mapped but lacks the required permission.
+    PermissionDenied {
+        /// The faulting address.
+        addr: VirtAddr,
+        /// The permission that was required.
+        need: Perms,
+        /// The permissions the page actually has.
+        have: Perms,
+    },
+    /// A data access hit a page that holds decoded instructions, or an
+    /// instruction fetch/placement hit a data page.
+    KindMismatch {
+        /// The faulting address.
+        addr: VirtAddr,
+        /// `true` if the access expected a code page.
+        expected_code: bool,
+    },
+    /// A region mapping overlaps an existing mapping.
+    AlreadyMapped {
+        /// First already-mapped page address in the requested range.
+        addr: VirtAddr,
+    },
+    /// No instruction has been placed at this executable address.
+    NoInstruction {
+        /// The fetch address.
+        addr: VirtAddr,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped { addr } => write!(f, "address {addr} is not mapped"),
+            MemError::PermissionDenied { addr, need, have } => {
+                write!(f, "permission denied at {addr}: need {need}, have {have}")
+            }
+            MemError::KindMismatch {
+                addr,
+                expected_code,
+            } => {
+                if *expected_code {
+                    write!(f, "code access at {addr} hit a data page")
+                } else {
+                    write!(f, "data access at {addr} hit a code page")
+                }
+            }
+            MemError::AlreadyMapped { addr } => {
+                write!(f, "page at {addr} is already mapped")
+            }
+            MemError::NoInstruction { addr } => {
+                write!(f, "no instruction placed at {addr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

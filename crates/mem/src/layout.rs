@@ -1,0 +1,160 @@
+//! Conventional process address-space layout.
+//!
+//! Real systems load shared libraries far above the heap — further than
+//! 2 GiB from the executable's call sites — which is why the paper's
+//! naive software solution cannot encode patched `call rel32`
+//! instructions without relocating every library (§2.3). The paper's
+//! evaluation linker instead loads everything "within the 32-bit reach of
+//! the patched call instructions" (§4.3). [`LibraryPlacement`] selects
+//! between the two conventions.
+
+use dynlink_isa::VirtAddr;
+
+use crate::PAGE_BYTES;
+
+/// Base address of the executable's text section (like `ld`'s default).
+pub const EXE_TEXT_BASE: VirtAddr = VirtAddr::new(0x0040_0000);
+
+/// Base address of the heap.
+pub const HEAP_BASE: VirtAddr = VirtAddr::new(0x0200_0000);
+
+/// Library area within rel32 reach of the executable (paper §4.3's
+/// custom allocator).
+pub const NEAR_LIB_BASE: VirtAddr = VirtAddr::new(0x1000_0000);
+
+/// Conventional library area, far above the heap (out of rel32 reach).
+pub const FAR_LIB_BASE: VirtAddr = VirtAddr::new(0x7f00_0000_0000);
+
+/// Top of the downward-growing stack.
+pub const STACK_TOP: VirtAddr = VirtAddr::new(0x7fff_f000_0000);
+
+/// Default stack size in bytes.
+pub const STACK_BYTES: u64 = 1 << 20;
+
+/// Where shared libraries are placed in the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LibraryPlacement {
+    /// Conventional layout: libraries far above the heap (> 2 GiB from
+    /// the executable). Call-site patching to a direct `call rel32` is
+    /// impossible here, which is the software approach's first obstacle
+    /// (§2.3).
+    #[default]
+    Far,
+    /// The paper's evaluation layout: all executable code within a
+    /// contiguous 2 GiB so patched relative calls can reach (§4.3).
+    Near,
+}
+
+impl LibraryPlacement {
+    /// Base address of the library area under this placement.
+    pub fn lib_base(self) -> VirtAddr {
+        match self {
+            LibraryPlacement::Far => FAR_LIB_BASE,
+            LibraryPlacement::Near => NEAR_LIB_BASE,
+        }
+    }
+}
+
+/// A bump allocator handing out page-aligned, non-overlapping regions.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_isa::VirtAddr;
+/// use dynlink_mem::layout::RegionAllocator;
+///
+/// let mut alloc = RegionAllocator::new(VirtAddr::new(0x1000_0000));
+/// let a = alloc.alloc(100);
+/// let b = alloc.alloc(5000);
+/// assert_eq!(a.as_u64(), 0x1000_0000);
+/// assert_eq!(b.as_u64(), 0x1000_1000); // next page boundary
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionAllocator {
+    cursor: VirtAddr,
+}
+
+impl RegionAllocator {
+    /// Creates an allocator starting at `base` (rounded up to a page).
+    pub fn new(base: VirtAddr) -> Self {
+        RegionAllocator {
+            cursor: base.align_up(PAGE_BYTES),
+        }
+    }
+
+    /// Allocates `len` bytes, returning the page-aligned start address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or the cursor overflows.
+    pub fn alloc(&mut self, len: u64) -> VirtAddr {
+        assert!(len > 0, "cannot allocate an empty region");
+        let start = self.cursor;
+        self.cursor = (start + len).align_up(PAGE_BYTES);
+        start
+    }
+
+    /// Allocates `len` bytes with an extra random page-granular offset in
+    /// `[0, slide_pages]` — a simple ASLR model. The caller supplies the
+    /// randomness (`slide` in pages) so this crate stays RNG-free.
+    pub fn alloc_with_slide(&mut self, len: u64, slide_pages: u64) -> VirtAddr {
+        self.cursor += slide_pages * PAGE_BYTES;
+        self.alloc(len)
+    }
+
+    /// The next address that would be returned.
+    pub fn cursor(&self) -> VirtAddr {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_ordered() {
+        assert!(EXE_TEXT_BASE < HEAP_BASE);
+        assert!(HEAP_BASE < NEAR_LIB_BASE);
+        assert!(NEAR_LIB_BASE < FAR_LIB_BASE);
+        assert!(FAR_LIB_BASE < STACK_TOP);
+    }
+
+    #[test]
+    fn near_libs_reachable_far_libs_not() {
+        let call_site = EXE_TEXT_BASE + 0x1000;
+        assert!(call_site.in_rel32_range(NEAR_LIB_BASE + 0x1000));
+        assert!(!call_site.in_rel32_range(FAR_LIB_BASE + 0x1000));
+    }
+
+    #[test]
+    fn placement_selects_base() {
+        assert_eq!(LibraryPlacement::Far.lib_base(), FAR_LIB_BASE);
+        assert_eq!(LibraryPlacement::Near.lib_base(), NEAR_LIB_BASE);
+        assert_eq!(LibraryPlacement::default(), LibraryPlacement::Far);
+    }
+
+    #[test]
+    fn allocator_is_page_aligned_and_disjoint() {
+        let mut alloc = RegionAllocator::new(VirtAddr::new(0x1_0001));
+        let a = alloc.alloc(1);
+        assert_eq!(a.page_offset(PAGE_BYTES), 0);
+        let b = alloc.alloc(PAGE_BYTES + 1);
+        assert_eq!(b, a + PAGE_BYTES);
+        let c = alloc.alloc(16);
+        assert_eq!(c, b + 2 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn slide_offsets_allocation() {
+        let mut alloc = RegionAllocator::new(VirtAddr::new(0x1000));
+        let a = alloc.alloc_with_slide(64, 3);
+        assert_eq!(a.as_u64(), 0x1000 + 3 * PAGE_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn zero_alloc_panics() {
+        RegionAllocator::new(VirtAddr::new(0)).alloc(0);
+    }
+}

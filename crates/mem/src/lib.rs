@@ -1,0 +1,49 @@
+//! # dynlink-mem
+//!
+//! Sparse paged virtual memory for the `dynlink-sim` workspace.
+//!
+//! Provides the [`AddressSpace`] abstraction used by the simulated CPU
+//! and dynamic linker:
+//!
+//! * sparse 4 KiB pages holding either **data bytes** (heap, stack, GOT)
+//!   or **decoded instructions** (text, PLT) — see [`AddressSpace::place_code`];
+//! * per-page [`Perms`] (read/write/execute), so the paper's
+//!   software-emulation caveat of having to unprotect code pages to patch
+//!   call sites (§2.3, §4.3) is modelled faithfully;
+//! * **copy-on-write [`AddressSpace::fork`]** with page-copy accounting,
+//!   reproducing the prefork memory-overhead analysis of §5.5 (a patched
+//!   code page in a forked child forces a private page copy; the
+//!   hardware mechanism never patches and therefore never copies);
+//! * a conventional [`layout`] helper for placing the executable, heap,
+//!   libraries (near or far) and stack.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynlink_isa::VirtAddr;
+//! use dynlink_mem::{AddressSpace, Perms};
+//!
+//! let mut space = AddressSpace::new(1);
+//! space.map_region(VirtAddr::new(0x1000), 0x2000, Perms::RW)?;
+//! space.write_u64(VirtAddr::new(0x1008), 0xdead_beef)?;
+//! assert_eq!(space.read_u64(VirtAddr::new(0x1008))?, 0xdead_beef);
+//!
+//! // Forked children share pages copy-on-write.
+//! let mut child = space.fork(2);
+//! child.write_u64(VirtAddr::new(0x1008), 7)?;
+//! assert_eq!(space.read_u64(VirtAddr::new(0x1008))?, 0xdead_beef);
+//! assert_eq!(child.stats().cow_copies, 1);
+//! # Ok::<(), dynlink_mem::MemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod layout;
+mod perms;
+mod space;
+
+pub use error::MemError;
+pub use perms::Perms;
+pub use space::{AddressSpace, MemStats, PAGE_BYTES};

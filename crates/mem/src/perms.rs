@@ -1,0 +1,117 @@
+//! Page permissions.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Page permission bits (read / write / execute).
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_mem::Perms;
+///
+/// let rx = Perms::R | Perms::X;
+/// assert!(rx.can_exec());
+/// assert!(!rx.can_write());
+/// assert!(rx.contains(Perms::R));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u8);
+
+impl Perms {
+    /// No access.
+    pub const NONE: Perms = Perms(0);
+    /// Read.
+    pub const R: Perms = Perms(1);
+    /// Write.
+    pub const W: Perms = Perms(2);
+    /// Execute.
+    pub const X: Perms = Perms(4);
+    /// Read + write (data pages).
+    pub const RW: Perms = Perms(1 | 2);
+    /// Read + execute (text pages).
+    pub const RX: Perms = Perms(1 | 4);
+    /// Read + write + execute (what the paper's software emulation must
+    /// grant to patch call sites — one of its security costs, §4.3).
+    pub const RWX: Perms = Perms(1 | 2 | 4);
+
+    /// Returns `true` if every bit of `other` is present in `self`.
+    #[inline]
+    pub const fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if the page may be read.
+    #[inline]
+    pub const fn can_read(self) -> bool {
+        self.contains(Perms::R)
+    }
+
+    /// Returns `true` if the page may be written.
+    #[inline]
+    pub const fn can_write(self) -> bool {
+        self.contains(Perms::W)
+    }
+
+    /// Returns `true` if the page may be executed.
+    #[inline]
+    pub const fn can_exec(self) -> bool {
+        self.contains(Perms::X)
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Perms {
+    fn bitor_assign(&mut self, rhs: Perms) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.can_read() { 'r' } else { '-' },
+            if self.can_write() { 'w' } else { '-' },
+            if self.can_exec() { 'x' } else { '-' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_predicates() {
+        assert!(Perms::RWX.contains(Perms::RW));
+        assert!(!Perms::RW.contains(Perms::X));
+        assert!(Perms::R.can_read());
+        assert!(!Perms::R.can_write());
+        assert!(Perms::X.can_exec());
+        assert!(!Perms::NONE.can_read());
+    }
+
+    #[test]
+    fn bitor_combines() {
+        assert_eq!(Perms::R | Perms::W, Perms::RW);
+        let mut p = Perms::R;
+        p |= Perms::X;
+        assert_eq!(p, Perms::RX);
+    }
+
+    #[test]
+    fn display_unix_style() {
+        assert_eq!(Perms::RWX.to_string(), "rwx");
+        assert_eq!(Perms::RX.to_string(), "r-x");
+        assert_eq!(Perms::NONE.to_string(), "---");
+    }
+}

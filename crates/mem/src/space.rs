@@ -1,0 +1,750 @@
+//! The sparse, copy-on-write address space.
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use dynlink_isa::{Inst, VirtAddr};
+
+use crate::{MemError, Perms};
+
+/// Page size in bytes (4 KiB, as on the paper's x86-64 testbed).
+pub const PAGE_BYTES: u64 = 4096;
+
+type DataBytes = [u8; PAGE_BYTES as usize];
+type CodeMap = BTreeMap<u16, Inst>;
+
+#[derive(Debug, Clone)]
+enum PageContent {
+    Data(Rc<DataBytes>),
+    Code(Rc<CodeMap>),
+}
+
+#[derive(Debug, Clone)]
+struct PageEntry {
+    perms: Perms,
+    content: PageContent,
+}
+
+/// Accounting counters for one [`AddressSpace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Number of pages currently mapped.
+    pub pages_mapped: u64,
+    /// Number of private page copies forced by writes to pages shared
+    /// with a fork parent/sibling (the quantity §5.5 of the paper counts
+    /// against the software call-site-patching approach).
+    pub cow_copies: u64,
+    /// Number of runtime instruction patches applied via
+    /// [`AddressSpace::patch_code`].
+    pub code_patches: u64,
+}
+
+impl MemStats {
+    /// Bytes of memory wasted on private copies of formerly shared pages.
+    pub fn cow_bytes(&self) -> u64 {
+        self.cow_copies * PAGE_BYTES
+    }
+}
+
+/// A sparse, paged, copy-on-write virtual address space.
+///
+/// Pages hold either raw data bytes or decoded instructions; see the
+/// crate-level docs for the rationale. All accesses are permission
+/// checked. [`AddressSpace::fork`] shares pages copy-on-write and the
+/// copies forced by later writes are counted in [`MemStats::cow_copies`].
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    asid: u64,
+    pages: HashMap<u64, PageEntry>,
+    stats: MemStats,
+    code_version: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space with the given address-space ID.
+    pub fn new(asid: u64) -> Self {
+        AddressSpace {
+            asid,
+            pages: HashMap::new(),
+            stats: MemStats::default(),
+            code_version: 0,
+        }
+    }
+
+    /// The address-space ID (used by ASID-tagged TLBs/ABTBs).
+    pub fn asid(&self) -> u64 {
+        self.asid
+    }
+
+    /// Accounting counters.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// A counter bumped on every runtime code patch; fetch-side decoded
+    /// caches use it to detect self-modifying code.
+    pub fn code_version(&self) -> u64 {
+        self.code_version
+    }
+
+    /// Returns `true` if the page containing `addr` is mapped.
+    pub fn is_mapped(&self, addr: VirtAddr) -> bool {
+        self.pages.contains_key(&addr.page_number(PAGE_BYTES))
+    }
+
+    /// Returns the permissions of the page containing `addr`, if mapped.
+    pub fn perms_at(&self, addr: VirtAddr) -> Option<Perms> {
+        self.pages
+            .get(&addr.page_number(PAGE_BYTES))
+            .map(|p| p.perms)
+    }
+
+    fn page_range(start: VirtAddr, len: u64) -> std::ops::RangeInclusive<u64> {
+        assert!(len > 0, "cannot map an empty region");
+        let first = start.page_number(PAGE_BYTES);
+        let last = (start + (len - 1)).page_number(PAGE_BYTES);
+        first..=last
+    }
+
+    fn map_with(
+        &mut self,
+        start: VirtAddr,
+        len: u64,
+        perms: Perms,
+        mut make: impl FnMut() -> PageContent,
+    ) -> Result<(), MemError> {
+        let range = Self::page_range(start, len);
+        for pn in range.clone() {
+            if self.pages.contains_key(&pn) {
+                return Err(MemError::AlreadyMapped {
+                    addr: VirtAddr::new(pn * PAGE_BYTES),
+                });
+            }
+        }
+        for pn in range {
+            self.pages.insert(
+                pn,
+                PageEntry {
+                    perms,
+                    content: make(),
+                },
+            );
+            self.stats.pages_mapped += 1;
+        }
+        Ok(())
+    }
+
+    /// Maps `len` bytes of zeroed data pages starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AlreadyMapped`] if any page in the range is
+    /// already mapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn map_region(&mut self, start: VirtAddr, len: u64, perms: Perms) -> Result<(), MemError> {
+        self.map_with(start, len, perms, || {
+            PageContent::Data(Rc::new([0u8; PAGE_BYTES as usize]))
+        })
+    }
+
+    /// Maps `len` bytes of empty code pages starting at `start`.
+    ///
+    /// Instructions are later placed with [`AddressSpace::place_code`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AlreadyMapped`] if any page in the range is
+    /// already mapped.
+    pub fn map_code_region(
+        &mut self,
+        start: VirtAddr,
+        len: u64,
+        perms: Perms,
+    ) -> Result<(), MemError> {
+        self.map_with(start, len, perms, || {
+            PageContent::Code(Rc::new(CodeMap::new()))
+        })
+    }
+
+    /// Changes the permissions of every page overlapping `[start, start+len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unmapped`] if any page in the range is not
+    /// mapped (no partial changes are applied).
+    pub fn protect(&mut self, start: VirtAddr, len: u64, perms: Perms) -> Result<(), MemError> {
+        let range = Self::page_range(start, len);
+        for pn in range.clone() {
+            if !self.pages.contains_key(&pn) {
+                return Err(MemError::Unmapped {
+                    addr: VirtAddr::new(pn * PAGE_BYTES),
+                });
+            }
+        }
+        for pn in range {
+            self.pages.get_mut(&pn).expect("validated above").perms = perms;
+        }
+        Ok(())
+    }
+
+    fn entry(&self, addr: VirtAddr) -> Result<&PageEntry, MemError> {
+        self.pages
+            .get(&addr.page_number(PAGE_BYTES))
+            .ok_or(MemError::Unmapped { addr })
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::Unmapped`], [`MemError::PermissionDenied`]
+    /// (missing read permission) or [`MemError::KindMismatch`] (code
+    /// page). No partial reads occur: the whole range is validated first.
+    pub fn read_bytes(&self, addr: VirtAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        // Validate the whole range first.
+        for pn in Self::page_range(addr, buf.len() as u64) {
+            let page_addr = VirtAddr::new(pn * PAGE_BYTES);
+            let entry = self.entry(page_addr)?;
+            if !entry.perms.can_read() {
+                return Err(MemError::PermissionDenied {
+                    addr: page_addr,
+                    need: Perms::R,
+                    have: entry.perms,
+                });
+            }
+            if !matches!(entry.content, PageContent::Data(_)) {
+                return Err(MemError::KindMismatch {
+                    addr: page_addr,
+                    expected_code: false,
+                });
+            }
+        }
+        for (i, byte) in buf.iter_mut().enumerate() {
+            let cursor = addr + i as u64;
+            let entry = self.entry(cursor).expect("validated");
+            let PageContent::Data(data) = &entry.content else {
+                unreachable!("validated")
+            };
+            *byte = data[cursor.page_offset(PAGE_BYTES) as usize];
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr`, performing copy-on-write if the
+    /// underlying pages are shared with a forked space.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::Unmapped`], [`MemError::PermissionDenied`]
+    /// (missing write permission) or [`MemError::KindMismatch`] (code
+    /// page). No partial writes occur.
+    pub fn write_bytes(&mut self, addr: VirtAddr, buf: &[u8]) -> Result<(), MemError> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        for pn in Self::page_range(addr, buf.len() as u64) {
+            let page_addr = VirtAddr::new(pn * PAGE_BYTES);
+            let entry = self.entry(page_addr)?;
+            if !entry.perms.can_write() {
+                return Err(MemError::PermissionDenied {
+                    addr: page_addr,
+                    need: Perms::W,
+                    have: entry.perms,
+                });
+            }
+            if !matches!(entry.content, PageContent::Data(_)) {
+                return Err(MemError::KindMismatch {
+                    addr: page_addr,
+                    expected_code: false,
+                });
+            }
+        }
+        let mut cursor = addr;
+        let mut i = 0;
+        while i < buf.len() {
+            let pn = cursor.page_number(PAGE_BYTES);
+            let shared = {
+                let entry = self.pages.get(&pn).expect("validated");
+                let PageContent::Data(data) = &entry.content else {
+                    unreachable!("validated")
+                };
+                Rc::strong_count(data) > 1
+            };
+            if shared {
+                self.stats.cow_copies += 1;
+            }
+            let entry = self.pages.get_mut(&pn).expect("validated");
+            let PageContent::Data(data) = &mut entry.content else {
+                unreachable!("validated")
+            };
+            let page = Rc::make_mut(data);
+            let mut off = cursor.page_offset(PAGE_BYTES) as usize;
+            while i < buf.len() && off < PAGE_BYTES as usize {
+                page[off] = buf[i];
+                off += 1;
+                i += 1;
+                cursor += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64` (e.g. a GOT slot).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AddressSpace::read_bytes`].
+    pub fn read_u64(&self, addr: VirtAddr) -> Result<u64, MemError> {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u64` (e.g. a GOT slot).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AddressSpace::write_bytes`].
+    pub fn write_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), MemError> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Places a decoded instruction at `addr` (loader-time operation:
+    /// ignores the write permission and performs no COW accounting).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::Unmapped`] or [`MemError::KindMismatch`] if
+    /// `addr` is not within a mapped code page.
+    pub fn place_code(&mut self, addr: VirtAddr, inst: Inst) -> Result<(), MemError> {
+        let pn = addr.page_number(PAGE_BYTES);
+        let entry = self.pages.get_mut(&pn).ok_or(MemError::Unmapped { addr })?;
+        let PageContent::Code(code) = &mut entry.content else {
+            return Err(MemError::KindMismatch {
+                addr,
+                expected_code: true,
+            });
+        };
+        Rc::make_mut(code).insert(addr.page_offset(PAGE_BYTES) as u16, inst);
+        Ok(())
+    }
+
+    /// Fetches the instruction at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::Unmapped`], [`MemError::PermissionDenied`]
+    /// (missing execute permission), [`MemError::KindMismatch`] (data
+    /// page) or [`MemError::NoInstruction`].
+    pub fn fetch_code(&self, addr: VirtAddr) -> Result<Inst, MemError> {
+        let entry = self.entry(addr)?;
+        if !entry.perms.can_exec() {
+            return Err(MemError::PermissionDenied {
+                addr,
+                need: Perms::X,
+                have: entry.perms,
+            });
+        }
+        let PageContent::Code(code) = &entry.content else {
+            return Err(MemError::KindMismatch {
+                addr,
+                expected_code: true,
+            });
+        };
+        code.get(&(addr.page_offset(PAGE_BYTES) as u16))
+            .copied()
+            .ok_or(MemError::NoInstruction { addr })
+    }
+
+    /// Patches the instruction at `addr` at run time (the paper's §4.3
+    /// software-emulation path). Requires write permission on the code
+    /// page and performs COW accounting: patching a page shared with a
+    /// forked process forces a private copy, which is exactly the memory
+    /// overhead §5.5 charges against the software approach.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::Unmapped`], [`MemError::PermissionDenied`]
+    /// (missing write permission) or [`MemError::KindMismatch`] (data
+    /// page).
+    pub fn patch_code(&mut self, addr: VirtAddr, inst: Inst) -> Result<(), MemError> {
+        let pn = addr.page_number(PAGE_BYTES);
+        let entry = self.pages.get_mut(&pn).ok_or(MemError::Unmapped { addr })?;
+        if !entry.perms.can_write() {
+            return Err(MemError::PermissionDenied {
+                addr,
+                need: Perms::W,
+                have: entry.perms,
+            });
+        }
+        let PageContent::Code(code) = &mut entry.content else {
+            return Err(MemError::KindMismatch {
+                addr,
+                expected_code: true,
+            });
+        };
+        if Rc::strong_count(code) > 1 {
+            self.stats.cow_copies += 1;
+        }
+        Rc::make_mut(code).insert(addr.page_offset(PAGE_BYTES) as u16, inst);
+        self.stats.code_patches += 1;
+        self.code_version += 1;
+        Ok(())
+    }
+
+    /// Returns every placed instruction whose address lies in
+    /// `[start, start+len)`, in address order — the raw material for
+    /// disassembly listings.
+    pub fn code_in_range(&self, start: VirtAddr, len: u64) -> Vec<(VirtAddr, Inst)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let end = start + len;
+        let mut out = Vec::new();
+        for pn in Self::page_range(start, len) {
+            let Some(entry) = self.pages.get(&pn) else {
+                continue;
+            };
+            let PageContent::Code(code) = &entry.content else {
+                continue;
+            };
+            let page_base = VirtAddr::new(pn * PAGE_BYTES);
+            for (&off, &inst) in code.iter() {
+                let addr = page_base + u64::from(off);
+                if addr >= start && addr < end {
+                    out.push((addr, inst));
+                }
+            }
+        }
+        out.sort_by_key(|&(a, _)| a);
+        out
+    }
+
+    /// Forks the address space: the child shares every page
+    /// copy-on-write, like `fork(2)` for a prefork server (§5.5).
+    ///
+    /// The child's statistics start fresh (zero COW copies) and its
+    /// mapped-page count equals the parent's.
+    pub fn fork(&self, child_asid: u64) -> AddressSpace {
+        AddressSpace {
+            asid: child_asid,
+            pages: self.pages.clone(),
+            stats: MemStats {
+                pages_mapped: self.stats.pages_mapped,
+                cow_copies: 0,
+                code_patches: 0,
+            },
+            code_version: self.code_version,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynlink_isa::Reg;
+
+    fn va(raw: u64) -> VirtAddr {
+        VirtAddr::new(raw)
+    }
+
+    #[test]
+    fn map_read_write_roundtrip() {
+        let mut s = AddressSpace::new(0);
+        s.map_region(va(0x1000), 0x1000, Perms::RW).unwrap();
+        s.write_u64(va(0x1010), 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(s.read_u64(va(0x1010)).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(s.stats().pages_mapped, 1);
+    }
+
+    #[test]
+    fn unmapped_access_fails() {
+        let s = AddressSpace::new(0);
+        assert!(matches!(
+            s.read_u64(va(0x5000)),
+            Err(MemError::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn write_requires_write_permission() {
+        let mut s = AddressSpace::new(0);
+        s.map_region(va(0x1000), 0x1000, Perms::R).unwrap();
+        let err = s.write_u64(va(0x1000), 1).unwrap_err();
+        assert!(matches!(err, MemError::PermissionDenied { need, .. } if need == Perms::W));
+    }
+
+    #[test]
+    fn read_requires_read_permission() {
+        let mut s = AddressSpace::new(0);
+        s.map_region(va(0x1000), 0x1000, Perms::W).unwrap();
+        assert!(matches!(
+            s.read_u64(va(0x1000)),
+            Err(MemError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_map_rejected() {
+        let mut s = AddressSpace::new(0);
+        s.map_region(va(0x1000), 0x2000, Perms::RW).unwrap();
+        assert!(matches!(
+            s.map_region(va(0x2000), 0x1000, Perms::RW),
+            Err(MemError::AlreadyMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_page_u64_roundtrip() {
+        let mut s = AddressSpace::new(0);
+        s.map_region(va(0x1000), 0x2000, Perms::RW).unwrap();
+        // Straddles the 0x2000 page boundary.
+        s.write_u64(va(0x1ffc), 0xaabb_ccdd_eeff_0011).unwrap();
+        assert_eq!(s.read_u64(va(0x1ffc)).unwrap(), 0xaabb_ccdd_eeff_0011);
+    }
+
+    #[test]
+    fn cross_page_write_is_atomic_on_failure() {
+        let mut s = AddressSpace::new(0);
+        s.map_region(va(0x1000), 0x1000, Perms::RW).unwrap();
+        // Second page unmapped: nothing must be written to the first.
+        assert!(s.write_u64(va(0x1ffc), u64::MAX).is_err());
+        assert_eq!(s.read_u64(va(0x1ff0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn protect_changes_perms() {
+        let mut s = AddressSpace::new(0);
+        s.map_region(va(0x1000), 0x1000, Perms::R).unwrap();
+        s.protect(va(0x1000), 0x1000, Perms::RW).unwrap();
+        s.write_u64(va(0x1000), 1).unwrap();
+        assert_eq!(s.perms_at(va(0x1000)), Some(Perms::RW));
+        assert!(matches!(
+            s.protect(va(0x9000), 0x1000, Perms::R),
+            Err(MemError::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn fork_shares_until_write() {
+        let mut parent = AddressSpace::new(1);
+        parent.map_region(va(0x1000), 0x1000, Perms::RW).unwrap();
+        parent.write_u64(va(0x1000), 42).unwrap();
+        let mut child = parent.fork(2);
+        assert_eq!(child.asid(), 2);
+        assert_eq!(child.read_u64(va(0x1000)).unwrap(), 42);
+        assert_eq!(child.stats().cow_copies, 0);
+
+        child.write_u64(va(0x1000), 43).unwrap();
+        assert_eq!(child.stats().cow_copies, 1);
+        assert_eq!(
+            parent.read_u64(va(0x1000)).unwrap(),
+            42,
+            "parent unaffected"
+        );
+
+        // A second write to the now-private page copies nothing.
+        child.write_u64(va(0x1008), 44).unwrap();
+        assert_eq!(child.stats().cow_copies, 1);
+    }
+
+    #[test]
+    fn parent_write_after_fork_also_copies() {
+        let mut parent = AddressSpace::new(1);
+        parent.map_region(va(0x1000), 0x1000, Perms::RW).unwrap();
+        let child = parent.fork(2);
+        parent.write_u64(va(0x1000), 7).unwrap();
+        assert_eq!(parent.stats().cow_copies, 1);
+        assert_eq!(child.read_u64(va(0x1000)).unwrap(), 0);
+    }
+
+    #[test]
+    fn code_place_fetch_roundtrip() {
+        let mut s = AddressSpace::new(0);
+        s.map_code_region(va(0x40_0000), 0x1000, Perms::RX).unwrap();
+        s.place_code(va(0x40_0000), Inst::Nop).unwrap();
+        s.place_code(va(0x40_0001), Inst::Ret).unwrap();
+        assert_eq!(s.fetch_code(va(0x40_0000)).unwrap(), Inst::Nop);
+        assert_eq!(s.fetch_code(va(0x40_0001)).unwrap(), Inst::Ret);
+        assert!(matches!(
+            s.fetch_code(va(0x40_0002)),
+            Err(MemError::NoInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn fetch_requires_exec() {
+        let mut s = AddressSpace::new(0);
+        s.map_code_region(va(0x40_0000), 0x1000, Perms::R).unwrap();
+        s.place_code(va(0x40_0000), Inst::Nop).unwrap();
+        assert!(matches!(
+            s.fetch_code(va(0x40_0000)),
+            Err(MemError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn data_access_on_code_page_rejected() {
+        let mut s = AddressSpace::new(0);
+        s.map_code_region(va(0x40_0000), 0x1000, Perms::RWX)
+            .unwrap();
+        assert!(matches!(
+            s.read_u64(va(0x40_0000)),
+            Err(MemError::KindMismatch { .. })
+        ));
+        assert!(matches!(
+            s.write_u64(va(0x40_0000), 0),
+            Err(MemError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn code_access_on_data_page_rejected() {
+        let mut s = AddressSpace::new(0);
+        s.map_region(va(0x1000), 0x1000, Perms::RWX).unwrap();
+        assert!(matches!(
+            s.fetch_code(va(0x1000)),
+            Err(MemError::KindMismatch { .. })
+        ));
+        assert!(matches!(
+            s.place_code(va(0x1000), Inst::Nop),
+            Err(MemError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn patch_requires_writable_text() {
+        let mut s = AddressSpace::new(0);
+        s.map_code_region(va(0x40_0000), 0x1000, Perms::RX).unwrap();
+        s.place_code(va(0x40_0000), Inst::Nop).unwrap();
+        assert!(matches!(
+            s.patch_code(va(0x40_0000), Inst::Ret),
+            Err(MemError::PermissionDenied { .. })
+        ));
+        // The paper's software emulation removes the protection first.
+        s.protect(va(0x40_0000), 0x1000, Perms::RWX).unwrap();
+        s.patch_code(va(0x40_0000), Inst::Ret).unwrap();
+        assert_eq!(s.fetch_code(va(0x40_0000)).unwrap(), Inst::Ret);
+        assert_eq!(s.stats().code_patches, 1);
+    }
+
+    #[test]
+    fn patch_bumps_code_version() {
+        let mut s = AddressSpace::new(0);
+        s.map_code_region(va(0x40_0000), 0x1000, Perms::RWX)
+            .unwrap();
+        s.place_code(va(0x40_0000), Inst::Nop).unwrap();
+        let v0 = s.code_version();
+        s.patch_code(va(0x40_0000), Inst::Ret).unwrap();
+        assert!(s.code_version() > v0);
+    }
+
+    #[test]
+    fn patching_shared_code_page_forces_copy() {
+        // The §5.5 scenario: prefork server patches call sites after fork.
+        let mut parent = AddressSpace::new(1);
+        parent
+            .map_code_region(va(0x40_0000), 0x2000, Perms::RWX)
+            .unwrap();
+        parent.place_code(va(0x40_0000), Inst::Nop).unwrap();
+        parent.place_code(va(0x40_1000), Inst::Nop).unwrap();
+
+        let mut child = parent.fork(2);
+        child
+            .patch_code(
+                va(0x40_0000),
+                Inst::CallDirect {
+                    target: va(0x50_0000),
+                },
+            )
+            .unwrap();
+        assert_eq!(child.stats().cow_copies, 1, "patched page copied");
+        // Patching the same page again copies nothing further.
+        child.patch_code(va(0x40_0004), Inst::Nop).unwrap();
+        assert_eq!(child.stats().cow_copies, 1);
+        // A different page costs another copy.
+        child.patch_code(va(0x40_1000), Inst::Ret).unwrap();
+        assert_eq!(child.stats().cow_copies, 2);
+        // Parent still sees original code.
+        assert_eq!(parent.fetch_code(va(0x40_0000)).unwrap(), Inst::Nop);
+    }
+
+    #[test]
+    fn place_code_before_fork_keeps_sharing() {
+        // Patching *before* fork retains COW (paper §2.3).
+        let mut parent = AddressSpace::new(1);
+        parent
+            .map_code_region(va(0x40_0000), 0x1000, Perms::RWX)
+            .unwrap();
+        parent.place_code(va(0x40_0000), Inst::Nop).unwrap();
+        parent.patch_code(va(0x40_0000), Inst::Ret).unwrap();
+        let child = parent.fork(2);
+        assert_eq!(child.stats().cow_copies, 0);
+        assert_eq!(child.fetch_code(va(0x40_0000)).unwrap(), Inst::Ret);
+    }
+
+    #[test]
+    fn read_write_bytes_bulk() {
+        let mut s = AddressSpace::new(0);
+        s.map_region(va(0x1000), 0x3000, Perms::RW).unwrap();
+        let src: Vec<u8> = (0..9000u32).map(|i| (i % 251) as u8).collect();
+        s.write_bytes(va(0x1100), &src).unwrap();
+        let mut dst = vec![0u8; src.len()];
+        s.read_bytes(va(0x1100), &mut dst).unwrap();
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn empty_rw_is_noop() {
+        let mut s = AddressSpace::new(0);
+        s.write_bytes(va(0x1000), &[]).unwrap();
+        s.read_bytes(va(0x1000), &mut []).unwrap();
+    }
+
+    #[test]
+    fn mem_stats_cow_bytes() {
+        let stats = MemStats {
+            pages_mapped: 10,
+            cow_copies: 3,
+            code_patches: 0,
+        };
+        assert_eq!(stats.cow_bytes(), 3 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn code_in_range_lists_in_address_order() {
+        let mut s = AddressSpace::new(0);
+        s.map_code_region(va(0x40_0000), 0x3000, Perms::RX).unwrap();
+        s.place_code(va(0x40_2000), Inst::Ret).unwrap();
+        s.place_code(va(0x40_0000), Inst::Nop).unwrap();
+        s.place_code(va(0x40_0fff), Inst::Halt).unwrap();
+        let all = s.code_in_range(va(0x40_0000), 0x3000);
+        assert_eq!(
+            all,
+            vec![
+                (va(0x40_0000), Inst::Nop),
+                (va(0x40_0fff), Inst::Halt),
+                (va(0x40_2000), Inst::Ret),
+            ]
+        );
+        // Range is half-open and clipped.
+        let clipped = s.code_in_range(va(0x40_0000), 0x1000);
+        assert_eq!(clipped.len(), 2);
+        assert!(s.code_in_range(va(0x40_0000), 0).is_empty());
+    }
+
+    #[test]
+    fn written_reg_uses_do_not_affect_mem() {
+        // Sanity: instructions are stored by value, unrelated to perms.
+        let mut s = AddressSpace::new(0);
+        s.map_code_region(va(0), 0x1000, Perms::RX).unwrap();
+        s.place_code(va(0), Inst::mov_imm(Reg::R0, 9)).unwrap();
+        assert_eq!(s.fetch_code(va(0)).unwrap(), Inst::mov_imm(Reg::R0, 9));
+    }
+}

@@ -1,0 +1,128 @@
+//! Model-based property tests for the copy-on-write address space.
+//!
+//! A reference model (`HashMap<u64, u8>` per space) is driven with the
+//! same random operation sequence — writes, reads, forks and
+//! post-fork writes — and must always agree with the real
+//! implementation. COW accounting invariants are checked along the way.
+
+use std::collections::HashMap;
+
+use dynlink_isa::VirtAddr;
+use dynlink_mem::{AddressSpace, Perms, PAGE_BYTES};
+use proptest::prelude::*;
+
+const REGION_BASE: u64 = 0x10_000;
+const REGION_LEN: u64 = 8 * PAGE_BYTES;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write `len` bytes of `value` at `offset` in space `who`.
+    Write {
+        who: usize,
+        offset: u64,
+        len: u8,
+        value: u8,
+    },
+    /// Read back and compare at `offset` in space `who`.
+    Read { who: usize, offset: u64, len: u8 },
+    /// Fork the given space (up to a small limit).
+    Fork { who: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let off = 0..(REGION_LEN - 300);
+    prop_oneof![
+        4 => (0..4usize, off.clone(), 1..64u8, any::<u8>())
+            .prop_map(|(who, offset, len, value)| Op::Write { who, offset, len, value }),
+        3 => (0..4usize, off, 1..64u8).prop_map(|(who, offset, len)| Op::Read { who, offset, len }),
+        1 => (0..4usize).prop_map(|who| Op::Fork { who }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Forked spaces behave exactly like independent byte maps.
+    #[test]
+    fn cow_spaces_match_reference_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut root = AddressSpace::new(0);
+        root.map_region(VirtAddr::new(REGION_BASE), REGION_LEN, Perms::RW).unwrap();
+        let mut spaces = vec![root];
+        let mut models: Vec<HashMap<u64, u8>> = vec![HashMap::new()];
+
+        for op in ops {
+            match op {
+                Op::Write { who, offset, len, value } => {
+                    let who = who % spaces.len();
+                    let buf = vec![value; len as usize];
+                    spaces[who]
+                        .write_bytes(VirtAddr::new(REGION_BASE + offset), &buf)
+                        .unwrap();
+                    for i in 0..u64::from(len) {
+                        models[who].insert(offset + i, value);
+                    }
+                }
+                Op::Read { who, offset, len } => {
+                    let who = who % spaces.len();
+                    let mut buf = vec![0u8; len as usize];
+                    spaces[who]
+                        .read_bytes(VirtAddr::new(REGION_BASE + offset), &mut buf)
+                        .unwrap();
+                    for (i, &b) in buf.iter().enumerate() {
+                        let want = models[who].get(&(offset + i as u64)).copied().unwrap_or(0);
+                        prop_assert_eq!(b, want, "space {} at +{}", who, offset + i as u64);
+                    }
+                }
+                Op::Fork { who } => {
+                    if spaces.len() >= 4 {
+                        continue;
+                    }
+                    let who = who % spaces.len();
+                    let child = spaces[who].fork(spaces.len() as u64);
+                    let model = models[who].clone();
+                    spaces.push(child);
+                    models.push(model);
+                }
+            }
+        }
+    }
+
+    /// COW copies are bounded by the number of pages written after a
+    /// fork, and a space that never writes never copies.
+    #[test]
+    fn cow_copy_accounting_is_bounded(
+        write_pages in prop::collection::vec(0u64..8, 0..20),
+    ) {
+        let mut parent = AddressSpace::new(0);
+        parent.map_region(VirtAddr::new(REGION_BASE), REGION_LEN, Perms::RW).unwrap();
+        // Touch every page so the parent owns private copies.
+        for p in 0..8u64 {
+            parent.write_u64(VirtAddr::new(REGION_BASE + p * PAGE_BYTES), p).unwrap();
+        }
+        let mut child = parent.fork(1);
+        let reader = parent.fork(2);
+
+        let distinct: std::collections::HashSet<u64> = write_pages.iter().copied().collect();
+        for &p in &write_pages {
+            child.write_u64(VirtAddr::new(REGION_BASE + p * PAGE_BYTES + 64), 7).unwrap();
+        }
+        prop_assert_eq!(child.stats().cow_copies, distinct.len() as u64);
+        prop_assert_eq!(reader.stats().cow_copies, 0);
+        // Parent data is untouched by child writes.
+        for p in 0..8u64 {
+            prop_assert_eq!(
+                parent.read_u64(VirtAddr::new(REGION_BASE + p * PAGE_BYTES)).unwrap(),
+                p
+            );
+        }
+    }
+
+    /// u64 round-trips at arbitrary (possibly straddling) offsets.
+    #[test]
+    fn u64_roundtrip_anywhere(offset in 0..(REGION_LEN - 8), value in any::<u64>()) {
+        let mut s = AddressSpace::new(0);
+        s.map_region(VirtAddr::new(REGION_BASE), REGION_LEN, Perms::RW).unwrap();
+        s.write_u64(VirtAddr::new(REGION_BASE + offset), value).unwrap();
+        prop_assert_eq!(s.read_u64(VirtAddr::new(REGION_BASE + offset)).unwrap(), value);
+    }
+}

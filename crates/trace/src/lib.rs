@@ -1,0 +1,440 @@
+//! # dynlink-trace
+//!
+//! Pin-like tracing and analysis for the *Architectural Support for
+//! Dynamic Linking* reproduction.
+//!
+//! The paper's methodology (§4.3) uses Intel Pin to observe library-call
+//! behaviour: which trampolines execute, how often, and with which
+//! resolved targets. This crate plays that role for the simulator:
+//!
+//! * [`TrampolineTracer`] — a [`dynlink_cpu::RetireObserver`] that
+//!   records every executed trampoline (a memory-indirect jump retiring
+//!   inside a PLT range), its GOT slot and its target, plus the full
+//!   access sequence.
+//! * [`TrampolineStats`] — per-trampoline execution counts, distinct
+//!   counts (paper Table 3) and the rank–frequency series (Figure 4).
+//! * [`abtb_skip_percentages`] — replays the recorded trampoline access
+//!   sequence through LRU ABTBs of varying capacity to produce the
+//!   "% trampolines skipped vs ABTB size" curve (Figure 5).
+//!
+//! Traces are collected on the **baseline** machine (accelerator off),
+//! exactly as the paper traces an unmodified system with Pin.
+//!
+//! ```
+//! use dynlink_trace::TrampolineTracer;
+//!
+//! let tracer = TrampolineTracer::shared();
+//! // machine.add_observer(tracer.clone());
+//! // ... run ...
+//! let stats = tracer.borrow().stats();
+//! assert_eq!(stats.distinct(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dynlink_cpu::{RetireEvent, RetireObserver};
+use dynlink_isa::VirtAddr;
+use dynlink_uarch::Abtb;
+
+/// One recorded trampoline execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrampolineHit {
+    /// Address of the trampoline's indirect jump.
+    pub pc: VirtAddr,
+    /// The GOT slot the target was loaded from.
+    pub got_slot: VirtAddr,
+    /// The resolved target.
+    pub target: VirtAddr,
+}
+
+/// A retire observer recording trampoline executions (the pintool).
+#[derive(Debug, Default)]
+pub struct TrampolineTracer {
+    counts: HashMap<VirtAddr, u64>,
+    /// Last-seen GOT slot and target per trampoline.
+    details: HashMap<VirtAddr, (VirtAddr, VirtAddr)>,
+    /// The full trampoline access sequence (for ABTB replay).
+    sequence: Vec<VirtAddr>,
+    retired: u64,
+}
+
+impl TrampolineTracer {
+    /// Creates a tracer.
+    pub fn new() -> Self {
+        TrampolineTracer::default()
+    }
+
+    /// Creates a tracer already wrapped for
+    /// [`dynlink_cpu::Machine::add_observer`].
+    pub fn shared() -> Rc<RefCell<TrampolineTracer>> {
+        Rc::new(RefCell::new(TrampolineTracer::new()))
+    }
+
+    /// Snapshot of the aggregate statistics.
+    pub fn stats(&self) -> TrampolineStats {
+        TrampolineStats {
+            counts: self.counts.clone(),
+            retired: self.retired,
+        }
+    }
+
+    /// The raw trampoline access sequence, in execution order.
+    pub fn sequence(&self) -> &[VirtAddr] {
+        &self.sequence
+    }
+
+    /// Last-recorded GOT slot and target for a trampoline.
+    pub fn details(&self, pc: VirtAddr) -> Option<(VirtAddr, VirtAddr)> {
+        self.details.get(&pc).copied()
+    }
+
+    /// Total retired instructions observed.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+}
+
+impl RetireObserver for TrampolineTracer {
+    fn on_retire(&mut self, event: &RetireEvent) {
+        self.retired += 1;
+        if event.in_plt && event.inst.is_mem_indirect_jump() {
+            *self.counts.entry(event.pc).or_insert(0) += 1;
+            if let Some(slot) = event.loaded_slot {
+                self.details.insert(event.pc, (slot, event.next_pc));
+            }
+            self.sequence.push(event.pc);
+        }
+    }
+}
+
+/// Aggregated per-trampoline statistics.
+#[derive(Debug, Clone, Default)]
+pub struct TrampolineStats {
+    counts: HashMap<VirtAddr, u64>,
+    retired: u64,
+}
+
+impl TrampolineStats {
+    /// Number of distinct trampolines executed (paper Table 3).
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total trampoline executions.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Trampoline executions per kilo-instruction over the observed
+    /// window (paper Table 2; one instruction per x86 trampoline).
+    pub fn pki(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.total() as f64 * 1000.0 / self.retired as f64
+        }
+    }
+
+    /// Execution counts sorted descending — the Figure 4 rank–frequency
+    /// series (x = trampoline rank, y = execution count, log–log).
+    pub fn rank_frequency(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// The smallest number of top-ranked trampolines covering `fraction`
+    /// of all executions (e.g. the paper's observation that the majority
+    /// of Memcached calls go to fewer than 10 functions).
+    pub fn coverage_count(&self, fraction: f64) -> usize {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (i, c) in self.rank_frequency().iter().enumerate() {
+            acc += *c as f64;
+            if acc / total >= fraction {
+                return i + 1;
+            }
+        }
+        self.counts.len()
+    }
+}
+
+/// Branch-target-buffer pressure analysis (paper §2.2): dynamically
+/// linked calls occupy **two** BTB entries each — one for the call site
+/// (targeting the trampoline) and one for the trampoline's indirect
+/// jump — where a static call needs one. This observer counts both
+/// populations.
+#[derive(Debug, Default)]
+pub struct BtbPressure {
+    call_sites: std::collections::HashSet<VirtAddr>,
+    trampoline_jumps: std::collections::HashSet<VirtAddr>,
+    other_branches: std::collections::HashSet<VirtAddr>,
+}
+
+impl BtbPressure {
+    /// Creates a fresh analyser.
+    pub fn new() -> Self {
+        BtbPressure::default()
+    }
+
+    /// Creates an analyser wrapped for
+    /// [`dynlink_cpu::Machine::add_observer`].
+    pub fn shared() -> Rc<RefCell<BtbPressure>> {
+        Rc::new(RefCell::new(BtbPressure::new()))
+    }
+
+    /// Distinct call-site PCs observed.
+    pub fn call_sites(&self) -> usize {
+        self.call_sites.len()
+    }
+
+    /// Distinct trampoline indirect-jump PCs observed — the *extra* BTB
+    /// entries dynamic linking costs versus static linking.
+    pub fn trampoline_entries(&self) -> usize {
+        self.trampoline_jumps.len()
+    }
+
+    /// Distinct other control-transfer PCs (loops, returns, ...).
+    pub fn other_branches(&self) -> usize {
+        self.other_branches.len()
+    }
+
+    /// Total BTB entries the dynamically linked program needs.
+    pub fn total_dynamic(&self) -> usize {
+        self.call_sites() + self.trampoline_entries() + self.other_branches()
+    }
+
+    /// BTB entries the equivalent statically linked program would need
+    /// (no trampoline jumps).
+    pub fn total_static(&self) -> usize {
+        self.call_sites() + self.other_branches()
+    }
+
+    /// Fractional BTB-entry overhead of dynamic linking.
+    pub fn overhead_ratio(&self) -> f64 {
+        let s = self.total_static();
+        if s == 0 {
+            0.0
+        } else {
+            self.trampoline_entries() as f64 / s as f64
+        }
+    }
+}
+
+impl RetireObserver for BtbPressure {
+    fn on_retire(&mut self, event: &RetireEvent) {
+        if event.in_plt && event.inst.is_mem_indirect_jump() {
+            self.trampoline_jumps.insert(event.pc);
+        } else if event.inst.is_call() {
+            self.call_sites.insert(event.pc);
+        } else if event.inst.is_control() {
+            self.other_branches.insert(event.pc);
+        }
+    }
+}
+
+/// Replays a trampoline access sequence through an LRU ABTB of
+/// `capacity` entries and returns the fraction (0.0..=1.0) of
+/// executions that would have been skipped — one point of the paper's
+/// Figure 5.
+///
+/// A trampoline execution is skippable when its address already has an
+/// ABTB entry; the first touch (and any touch after LRU eviction)
+/// executes and retrains.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_isa::VirtAddr;
+/// use dynlink_trace::abtb_skip_fraction;
+///
+/// // The same trampoline ten times: only the first touch executes.
+/// let seq = vec![VirtAddr::new(0x401000); 10];
+/// assert_eq!(abtb_skip_fraction(&seq, 16), 0.9);
+/// ```
+pub fn abtb_skip_fraction(sequence: &[VirtAddr], capacity: usize) -> f64 {
+    if sequence.is_empty() {
+        return 0.0;
+    }
+    let mut abtb = Abtb::new(capacity);
+    let mut skipped = 0u64;
+    for &tramp in sequence {
+        if abtb.lookup(tramp).is_some() {
+            skipped += 1;
+        } else {
+            // Executes once and trains at retire.
+            abtb.insert(tramp, VirtAddr::new(tramp.as_u64() ^ 1));
+        }
+    }
+    skipped as f64 / sequence.len() as f64
+}
+
+/// Computes Figure 5's series: percentage of trampolines skipped for
+/// each ABTB capacity in `sizes`.
+pub fn abtb_skip_percentages(sequence: &[VirtAddr], sizes: &[usize]) -> Vec<(usize, f64)> {
+    sizes
+        .iter()
+        .map(|&s| (s, 100.0 * abtb_skip_fraction(sequence, s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynlink_isa::Inst;
+
+    fn fake_event(pc: u64, in_plt: bool) -> RetireEvent {
+        RetireEvent {
+            pc: VirtAddr::new(pc),
+            inst: Inst::JmpIndirectMem {
+                mem: dynlink_isa::MemRef::Abs(VirtAddr::new(0x60_0000)),
+            },
+            next_pc: VirtAddr::new(0x7f_0000),
+            loaded_slot: Some(VirtAddr::new(0x60_0000)),
+            skipped_trampoline: None,
+            in_plt,
+        }
+    }
+
+    #[test]
+    fn tracer_counts_plt_indirect_jumps_only() {
+        let mut t = TrampolineTracer::new();
+        t.on_retire(&fake_event(0x1000, true));
+        t.on_retire(&fake_event(0x1000, true));
+        t.on_retire(&fake_event(0x2000, true));
+        t.on_retire(&fake_event(0x3000, false)); // not in PLT
+        let mut non_tramp = fake_event(0x4000, true);
+        non_tramp.inst = Inst::Nop;
+        t.on_retire(&non_tramp); // in PLT but not an indirect jump
+        let stats = t.stats();
+        assert_eq!(stats.distinct(), 2);
+        assert_eq!(stats.total(), 3);
+        assert_eq!(t.sequence().len(), 3);
+        assert_eq!(t.retired(), 5);
+        assert_eq!(
+            t.details(VirtAddr::new(0x1000)),
+            Some((VirtAddr::new(0x60_0000), VirtAddr::new(0x7f_0000)))
+        );
+    }
+
+    #[test]
+    fn stats_pki() {
+        let mut t = TrampolineTracer::new();
+        for _ in 0..10 {
+            t.on_retire(&fake_event(0x1000, true));
+        }
+        for _ in 0..990 {
+            let mut e = fake_event(0x9000, false);
+            e.inst = Inst::Nop;
+            t.on_retire(&e);
+        }
+        assert!((t.stats().pki() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_frequency_sorted_descending() {
+        let mut t = TrampolineTracer::new();
+        for _ in 0..5 {
+            t.on_retire(&fake_event(0xa, true));
+        }
+        for _ in 0..2 {
+            t.on_retire(&fake_event(0xb, true));
+        }
+        t.on_retire(&fake_event(0xc, true));
+        assert_eq!(t.stats().rank_frequency(), vec![5, 2, 1]);
+    }
+
+    #[test]
+    fn coverage_count_finds_head() {
+        let mut t = TrampolineTracer::new();
+        for _ in 0..90 {
+            t.on_retire(&fake_event(0xa, true));
+        }
+        for i in 0..10 {
+            t.on_retire(&fake_event(0x100 + i, true));
+        }
+        let stats = t.stats();
+        assert_eq!(stats.coverage_count(0.9), 1);
+        assert_eq!(stats.coverage_count(1.0), 11);
+        assert_eq!(TrampolineStats::default().coverage_count(0.5), 0);
+    }
+
+    #[test]
+    fn btb_pressure_counts_both_populations() {
+        let mut p = BtbPressure::new();
+        // Two distinct call sites, one shared trampoline, one loop branch.
+        let mut call = fake_event(0x100, false);
+        call.inst = Inst::CallDirect {
+            target: VirtAddr::new(0x1000),
+        };
+        p.on_retire(&call);
+        call.pc = VirtAddr::new(0x200);
+        p.on_retire(&call);
+        p.on_retire(&fake_event(0x1000, true)); // trampoline jump
+        let mut b = fake_event(0x300, false);
+        b.inst = Inst::BranchCond {
+            cond: dynlink_isa::Cond::Ne,
+            lhs: dynlink_isa::Reg::R0,
+            rhs: dynlink_isa::Operand::Imm(0),
+            target: VirtAddr::new(0x100),
+        };
+        p.on_retire(&b);
+
+        assert_eq!(p.call_sites(), 2);
+        assert_eq!(p.trampoline_entries(), 1);
+        assert_eq!(p.other_branches(), 1);
+        assert_eq!(p.total_dynamic(), 4);
+        assert_eq!(p.total_static(), 3);
+        assert!((p.overhead_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skip_fraction_single_trampoline() {
+        // One trampoline hit N times: first touch misses, rest skip.
+        let seq = vec![VirtAddr::new(0x1000); 100];
+        let f = abtb_skip_fraction(&seq, 16);
+        assert!((f - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skip_fraction_respects_capacity() {
+        // Round-robin over 8 trampolines with capacity 4: always evicted
+        // before reuse, so nothing is ever skipped.
+        let mut seq = Vec::new();
+        for round in 0..50 {
+            let _ = round;
+            for i in 0..8u64 {
+                seq.push(VirtAddr::new(0x1000 + i * 16));
+            }
+        }
+        assert_eq!(abtb_skip_fraction(&seq, 4), 0.0);
+        // With capacity 8 everything after the first round skips.
+        let f = abtb_skip_fraction(&seq, 8);
+        assert!(f > 0.97);
+    }
+
+    #[test]
+    fn skip_percentages_monotone_in_capacity() {
+        let mut seq = Vec::new();
+        for round in 0..20u64 {
+            for i in 0..32u64 {
+                if (round + i) % 3 != 0 {
+                    seq.push(VirtAddr::new(0x1000 + i * 16));
+                }
+            }
+        }
+        let pcts = abtb_skip_percentages(&seq, &[1, 2, 4, 8, 16, 32, 64]);
+        for w in pcts.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "{pcts:?}");
+        }
+        assert_eq!(abtb_skip_fraction(&[], 4), 0.0);
+    }
+}

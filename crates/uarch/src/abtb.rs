@@ -1,0 +1,227 @@
+//! The alternate BTB (ABTB) — the paper's proposed hardware structure.
+
+use std::collections::HashMap;
+
+use dynlink_isa::VirtAddr;
+
+/// Storage cost of one ABTB entry in bytes: six bytes for the call
+/// instruction's target (the trampoline address) and six for the library
+/// function address — x86-64 virtual addresses are 48 bits (paper §5.3).
+pub const ABTB_ENTRY_BYTES: u64 = 12;
+
+/// The retire-time **alternate BTB**: a small, LRU-replaced table mapping
+/// *trampoline addresses* to *library function addresses* (paper §3.1).
+///
+/// When the back end resolves a call whose architectural target hits in
+/// the ABTB, it treats a prediction of the mapped function address as
+/// correct and retrains the BTB with it, so subsequent fetches skip the
+/// trampoline entirely. The table is cleared whenever a retired store
+/// hits the companion [Bloom filter](crate::BloomFilter) or (without
+/// ASIDs) on context switch.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_isa::VirtAddr;
+/// use dynlink_uarch::{Abtb, ABTB_ENTRY_BYTES};
+///
+/// let mut abtb = Abtb::new(128);
+/// assert!(abtb.storage_bytes() <= 1536, "fits in 1.5KB (paper abstract)");
+/// abtb.insert(VirtAddr::new(0x401020), VirtAddr::new(0x7f0000004000));
+/// assert_eq!(abtb.lookup(VirtAddr::new(0x401020)), Some(VirtAddr::new(0x7f0000004000)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Abtb {
+    entries: HashMap<u64, (VirtAddr, u64)>,
+    capacity: usize,
+    tick: u64,
+    lookups: u64,
+    hits: u64,
+    flushes: u64,
+    evictions: u64,
+}
+
+impl Abtb {
+    /// Creates an ABTB with room for `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ABTB capacity must be positive");
+        Abtb {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            lookups: 0,
+            hits: 0,
+            flushes: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up the function address mapped for `trampoline`, refreshing
+    /// its LRU position on a hit.
+    pub fn lookup(&mut self, trampoline: VirtAddr) -> Option<VirtAddr> {
+        self.tick += 1;
+        self.lookups += 1;
+        if let Some((target, last_used)) = self.entries.get_mut(&trampoline.as_u64()) {
+            *last_used = self.tick;
+            self.hits += 1;
+            Some(*target)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts or refreshes the mapping `trampoline → function`,
+    /// evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, trampoline: VirtAddr, function: VirtAddr) {
+        self.tick += 1;
+        let key = trampoline.as_u64();
+        if let Some(slot) = self.entries.get_mut(&key) {
+            *slot = (function, self.tick);
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| *k)
+                .expect("non-empty when full");
+            self.entries.remove(&lru);
+            self.evictions += 1;
+        }
+        self.entries.insert(key, (function, self.tick));
+    }
+
+    /// Clears every entry (Bloom-filter hit or context switch).
+    pub fn clear(&mut self) {
+        if !self.entries.is_empty() {
+            self.entries.clear();
+        }
+        self.flushes += 1;
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total storage cost in bytes (12 bytes per entry, §5.3).
+    pub fn storage_bytes(&self) -> u64 {
+        self.capacity as u64 * ABTB_ENTRY_BYTES
+    }
+
+    /// Total lookups so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that found a mapping.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of whole-table flushes so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Number of LRU evictions so far (capacity pressure diagnostic for
+    /// the Figure 5 sizing analysis).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn va(x: u64) -> VirtAddr {
+        VirtAddr::new(x)
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut a = Abtb::new(4);
+        a.insert(va(0x10), va(0x100));
+        assert_eq!(a.lookup(va(0x10)), Some(va(0x100)));
+        assert_eq!(a.lookup(va(0x20)), None);
+        assert_eq!(a.lookups(), 2);
+        assert_eq!(a.hits(), 1);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_updates_target() {
+        let mut a = Abtb::new(4);
+        a.insert(va(0x10), va(0x100));
+        a.insert(va(0x10), va(0x200));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.lookup(va(0x10)), Some(va(0x200)));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut a = Abtb::new(2);
+        a.insert(va(1), va(0x100));
+        a.insert(va(2), va(0x200));
+        a.lookup(va(1)); // 2 becomes LRU
+        a.insert(va(3), va(0x300)); // evicts 2
+        assert_eq!(a.evictions(), 1);
+        assert_eq!(a.lookup(va(1)), Some(va(0x100)));
+        assert_eq!(a.lookup(va(2)), None);
+        assert_eq!(a.lookup(va(3)), Some(va(0x300)));
+    }
+
+    #[test]
+    fn clear_flushes_everything() {
+        let mut a = Abtb::new(4);
+        a.insert(va(1), va(2));
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.flushes(), 1);
+        assert_eq!(a.lookup(va(1)), None);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut a = Abtb::new(16);
+        for i in 0..100u64 {
+            a.insert(va(i), va(i + 0x1000));
+            assert!(a.len() <= 16);
+        }
+        assert_eq!(a.len(), 16);
+        assert_eq!(a.evictions(), 84);
+    }
+
+    #[test]
+    fn paper_storage_cost_exact() {
+        // 16 entries = 192 bytes (§5.3). A 128-entry table is exactly the
+        // abstract's 1.5KB; the paper's "256 entries < 1.5KB" claim is
+        // internally inconsistent with its own 12-byte entry size (256 x
+        // 12 = 3KB) — see EXPERIMENTS.md.
+        assert_eq!(Abtb::new(16).storage_bytes(), 192);
+        assert_eq!(Abtb::new(128).storage_bytes(), 1536);
+        assert_eq!(Abtb::new(256).storage_bytes(), 3072);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        Abtb::new(0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Bloom filter guarding the GOT slots watched by the ABTB.
+
+/// A Bloom filter over 64-bit keys (GOT slot addresses).
+///
+/// The paper (§3.1) uses a small Bloom filter to record the addresses of
+/// the GOT entries backing each ABTB entry. A retired store (or an
+/// incoming coherence invalidation) whose address hits the filter clears
+/// the entire ABTB, guaranteeing a stale trampoline target can never be
+/// skipped. Bloom filters have **no false negatives** — the property the
+/// correctness of the whole mechanism rests on — and false positives
+/// only cost a harmless flush.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_uarch::BloomFilter;
+///
+/// let mut f = BloomFilter::new(1024, 2);
+/// f.insert(0x60_2018);
+/// assert!(f.maybe_contains(0x60_2018)); // never a false negative
+/// f.clear();
+/// assert!(!f.maybe_contains(0x60_2018));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+    insertions: u64,
+}
+
+/// splitmix64 — a strong, cheap 64-bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl BloomFilter {
+    /// Creates a filter with `num_bits` bits and `num_hashes` hash
+    /// functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits` or `num_hashes` is zero.
+    pub fn new(num_bits: u64, num_hashes: u32) -> Self {
+        assert!(num_bits > 0, "filter must have bits");
+        assert!(num_hashes > 0, "filter must have hash functions");
+        BloomFilter {
+            bits: vec![0u64; num_bits.div_ceil(64) as usize],
+            num_bits,
+            num_hashes,
+            insertions: 0,
+        }
+    }
+
+    fn bit_positions(&self, key: u64) -> impl Iterator<Item = u64> + '_ {
+        let h1 = splitmix64(key);
+        let h2 = splitmix64(key ^ 0xdead_beef_cafe_f00d) | 1;
+        (0..self.num_hashes as u64)
+            .map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: u64) {
+        let positions: Vec<u64> = self.bit_positions(key).collect();
+        for pos in positions {
+            self.bits[(pos / 64) as usize] |= 1u64 << (pos % 64);
+        }
+        self.insertions += 1;
+    }
+
+    /// Tests a key. `false` means *definitely absent*; `true` means
+    /// *possibly present* (false positives are possible, false negatives
+    /// are not).
+    pub fn maybe_contains(&self, key: u64) -> bool {
+        self.bit_positions(key)
+            .all(|pos| self.bits[(pos / 64) as usize] & (1u64 << (pos % 64)) != 0)
+    }
+
+    /// Clears every bit (performed together with an ABTB flush).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.insertions = 0;
+    }
+
+    /// Keys inserted since the last clear.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Capacity of the filter in bits.
+    pub fn num_bits(&self) -> u64 {
+        self.num_bits
+    }
+
+    /// Storage cost in bytes.
+    pub fn storage_bytes(&self) -> u64 {
+        self.num_bits.div_ceil(8)
+    }
+
+    /// Fraction of bits currently set (a saturation diagnostic).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        set as f64 / self.num_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(4096, 3);
+        let keys: Vec<u64> = (0..256).map(|i| i * 8 + 0x60_0000).collect();
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in &keys {
+            assert!(f.maybe_contains(k), "false negative for {k:#x}");
+        }
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(64, 2);
+        for k in 0..1000u64 {
+            assert!(!f.maybe_contains(k));
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = BloomFilter::new(128, 2);
+        f.insert(42);
+        assert_eq!(f.insertions(), 1);
+        f.clear();
+        assert!(!f.maybe_contains(42));
+        assert_eq!(f.insertions(), 0);
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        // 1024 bits, 2 hashes, 64 keys => expected FP rate ~ 1.3%.
+        let mut f = BloomFilter::new(1024, 2);
+        for i in 0..64u64 {
+            f.insert(splitmix64(i));
+        }
+        let trials = 10_000u64;
+        let fps = (0..trials)
+            .filter(|i| f.maybe_contains(splitmix64(i + 1_000_000)))
+            .count();
+        assert!(
+            (fps as f64 / trials as f64) < 0.05,
+            "false positive rate too high: {fps}/{trials}"
+        );
+    }
+
+    #[test]
+    fn fill_ratio_grows() {
+        let mut f = BloomFilter::new(256, 2);
+        let r0 = f.fill_ratio();
+        f.insert(1);
+        f.insert(2);
+        assert!(f.fill_ratio() > r0);
+        assert!(f.fill_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn storage_bytes_rounds_up() {
+        assert_eq!(BloomFilter::new(1024, 2).storage_bytes(), 128);
+        assert_eq!(BloomFilter::new(9, 1).storage_bytes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn zero_bits_panics() {
+        BloomFilter::new(0, 1);
+    }
+}

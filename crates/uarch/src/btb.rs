@@ -1,0 +1,212 @@
+//! Branch target buffer model.
+
+use dynlink_isa::VirtAddr;
+
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    tag: u64,
+    target: VirtAddr,
+    valid: bool,
+    last_used: u64,
+}
+
+/// A set-associative branch target buffer: maps a branch instruction's PC
+/// to its predicted target.
+///
+/// This is the structure the paper's mechanism piggybacks on: instead of
+/// adding hardware on the fetch critical path, the *update* path writes
+/// the library-function address into the BTB entry of the call
+/// instruction, so fetch naturally skips the trampoline (§3.1).
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_isa::VirtAddr;
+/// use dynlink_uarch::Btb;
+///
+/// let mut btb = Btb::new(512, 4);
+/// let call_site = VirtAddr::new(0x400100);
+/// assert_eq!(btb.lookup(call_site), None);
+/// btb.update(call_site, VirtAddr::new(0x401020));
+/// assert_eq!(btb.lookup(call_site), Some(VirtAddr::new(0x401020)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<Vec<BtbEntry>>,
+    set_mask: u64,
+    tick: u64,
+    lookups: u64,
+    hits: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `ways` or the set count
+    /// is not a power of two.
+    pub fn new(entries: u32, ways: u32) -> Self {
+        assert!(ways > 0 && entries > 0, "BTB must have entries");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must be a multiple of ways"
+        );
+        let sets = (entries / ways) as u64;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Btb {
+            sets: vec![
+                vec![
+                    BtbEntry {
+                        tag: 0,
+                        target: VirtAddr::NULL,
+                        valid: false,
+                        last_used: 0
+                    };
+                    ways as usize
+                ];
+                sets as usize
+            ],
+            set_mask: sets - 1,
+            tick: 0,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    fn set_and_tag(&self, pc: VirtAddr) -> (usize, u64) {
+        let word = pc.as_u64() >> 2;
+        (
+            (word & self.set_mask) as usize,
+            word >> self.set_mask.count_ones(),
+        )
+    }
+
+    /// Looks up the predicted target for the branch at `pc`.
+    pub fn lookup(&mut self, pc: VirtAddr) -> Option<VirtAddr> {
+        self.tick += 1;
+        self.lookups += 1;
+        let (set_idx, tag) = self.set_and_tag(pc);
+        let tick = self.tick;
+        if let Some(e) = self.sets[set_idx]
+            .iter_mut()
+            .find(|e| e.valid && e.tag == tag)
+        {
+            e.last_used = tick;
+            self.hits += 1;
+            return Some(e.target);
+        }
+        None
+    }
+
+    /// Installs or updates the target for the branch at `pc`.
+    pub fn update(&mut self, pc: VirtAddr, target: VirtAddr) {
+        self.tick += 1;
+        let (set_idx, tag) = self.set_and_tag(pc);
+        let tick = self.tick;
+        let set = &mut self.sets[set_idx];
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.tag == tag) {
+            e.target = target;
+            e.last_used = tick;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.last_used } else { 0 })
+            .expect("at least one way");
+        *victim = BtbEntry {
+            tag,
+            target,
+            valid: true,
+            last_used: tick,
+        };
+    }
+
+    /// Invalidates every entry (context switch without ASIDs).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for e in set {
+                e.valid = false;
+            }
+        }
+    }
+
+    /// Total lookups so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut b = Btb::new(8, 2);
+        let pc = VirtAddr::new(0x100);
+        assert_eq!(b.lookup(pc), None);
+        b.update(pc, VirtAddr::new(0x200));
+        assert_eq!(b.lookup(pc), Some(VirtAddr::new(0x200)));
+        assert_eq!(b.lookups(), 2);
+        assert_eq!(b.hits(), 1);
+    }
+
+    #[test]
+    fn update_overwrites_target() {
+        let mut b = Btb::new(8, 2);
+        let pc = VirtAddr::new(0x100);
+        b.update(pc, VirtAddr::new(0x200));
+        // The paper's mechanism: retrain the same entry with the
+        // library-function address instead of the trampoline.
+        b.update(pc, VirtAddr::new(0x7000));
+        assert_eq!(b.lookup(pc), Some(VirtAddr::new(0x7000)));
+    }
+
+    #[test]
+    fn conflict_eviction_lru() {
+        // 1 set x 2 ways.
+        let mut b = Btb::new(2, 2);
+        let mk = |i: u64| VirtAddr::new(i * 4);
+        b.update(mk(1), VirtAddr::new(0xa));
+        b.update(mk(2), VirtAddr::new(0xb));
+        b.lookup(mk(1)); // refresh 1
+        b.update(mk(3), VirtAddr::new(0xc)); // evicts 2
+        assert_eq!(b.lookup(mk(1)), Some(VirtAddr::new(0xa)));
+        assert_eq!(b.lookup(mk(2)), None);
+        assert_eq!(b.lookup(mk(3)), Some(VirtAddr::new(0xc)));
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut b = Btb::new(8, 2);
+        b.update(VirtAddr::new(4), VirtAddr::new(8));
+        b.flush();
+        assert_eq!(b.lookup(VirtAddr::new(4)), None);
+    }
+
+    #[test]
+    fn distinct_pcs_distinct_entries() {
+        let mut b = Btb::new(64, 4);
+        for i in 0..16u64 {
+            b.update(VirtAddr::new(i * 4), VirtAddr::new(0x1000 + i));
+        }
+        for i in 0..16u64 {
+            assert_eq!(
+                b.lookup(VirtAddr::new(i * 4)),
+                Some(VirtAddr::new(0x1000 + i))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry() {
+        Btb::new(6, 4);
+    }
+}

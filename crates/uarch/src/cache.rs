@@ -1,0 +1,327 @@
+//! Set-associative cache model with true-LRU replacement.
+
+use dynlink_isa::VirtAddr;
+
+use crate::Lookup;
+
+/// Geometry of a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 8-way, 64 B-line L1 (matching the Xeon E5450's L1).
+    pub const L1_32K: CacheConfig = CacheConfig {
+        size_bytes: 32 * 1024,
+        ways: 8,
+        line_bytes: 64,
+    };
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`Cache::new`]).
+    pub fn sets(&self) -> u64 {
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(self.ways > 0, "cache must have at least one way");
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(
+            lines > 0 && lines.is_multiple_of(self.ways as u64),
+            "size must be a multiple of ways * line size"
+        );
+        let sets = lines / self.ways as u64;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    last_used: u64,
+}
+
+/// A set-associative, true-LRU cache model.
+///
+/// Only hit/miss behaviour is modelled (no data storage, no writeback):
+/// that is all the paper's evaluation measures. Both instruction and
+/// data caches use this type.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_isa::VirtAddr;
+/// use dynlink_uarch::{Cache, CacheConfig};
+///
+/// let mut l1 = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 });
+/// assert!(l1.access(VirtAddr::new(0x1000)).is_miss());
+/// assert!(l1.access(VirtAddr::new(0x1004)).is_hit()); // same line
+/// assert_eq!(l1.misses(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    tick: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size or set count is not a power of two, or the
+    /// capacity is not an exact multiple of `ways * line_bytes`.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Cache {
+            config,
+            sets: vec![
+                vec![
+                    Way {
+                        tag: 0,
+                        valid: false,
+                        last_used: 0
+                    };
+                    config.ways as usize
+                ];
+                sets as usize
+            ],
+            set_mask: sets - 1,
+            tick: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accesses the line containing `addr`, filling it on a miss.
+    pub fn access(&mut self, addr: VirtAddr) -> Lookup {
+        self.tick += 1;
+        self.accesses += 1;
+        let line = addr.as_u64() / self.config.line_bytes;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.last_used = self.tick;
+            return Lookup::Hit;
+        }
+        self.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_used } else { 0 })
+            .expect("at least one way");
+        victim.tag = tag;
+        victim.valid = true;
+        victim.last_used = self.tick;
+        Lookup::Miss
+    }
+
+    /// Inserts the line containing `addr` without counting an access or
+    /// a miss (prefetch fill). Present lines just have their LRU
+    /// position refreshed.
+    pub fn fill(&mut self, addr: VirtAddr) {
+        self.tick += 1;
+        let line = addr.as_u64() / self.config.line_bytes;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let tick = self.tick;
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.last_used = tick;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_used } else { 0 })
+            .expect("at least one way");
+        victim.tag = tag;
+        victim.valid = true;
+        victim.last_used = tick;
+    }
+
+    /// Returns `true` if the line containing `addr` is present, without
+    /// updating replacement state or statistics.
+    pub fn probe(&self, addr: VirtAddr) -> bool {
+        let line = addr.as_u64() / self.config.line_bytes;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Invalidates all lines (statistics are retained).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for way in set {
+                way.valid = false;
+            }
+        }
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resets the statistics (contents are retained), for warmup phases.
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512 B.
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small();
+        assert!(c.access(VirtAddr::new(0)).is_miss());
+        assert!(c.access(VirtAddr::new(63)).is_hit());
+        assert!(c.access(VirtAddr::new(64)).is_miss());
+        assert_eq!(c.accesses(), 3);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small();
+        // Three lines mapping to set 0 (stride = sets * line = 256).
+        let a = VirtAddr::new(0);
+        let b = VirtAddr::new(256);
+        let d = VirtAddr::new(512);
+        c.access(a);
+        c.access(b);
+        c.access(a); // a is MRU, b is LRU
+        assert!(c.access(d).is_miss()); // evicts b
+        assert!(c.access(a).is_hit());
+        assert!(c.access(b).is_miss(), "b was evicted");
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = small();
+        for i in 0..4u64 {
+            assert!(c.access(VirtAddr::new(i * 64)).is_miss());
+        }
+        for i in 0..4u64 {
+            assert!(c.access(VirtAddr::new(i * 64)).is_hit());
+        }
+    }
+
+    #[test]
+    fn probe_does_not_disturb() {
+        let mut c = small();
+        c.access(VirtAddr::new(0));
+        let (acc, miss) = (c.accesses(), c.misses());
+        assert!(c.probe(VirtAddr::new(32)));
+        assert!(!c.probe(VirtAddr::new(64)));
+        assert_eq!((c.accesses(), c.misses()), (acc, miss));
+    }
+
+    #[test]
+    fn flush_invalidates_but_keeps_stats() {
+        let mut c = small();
+        c.access(VirtAddr::new(0));
+        c.flush();
+        assert!(!c.probe(VirtAddr::new(0)));
+        assert_eq!(c.misses(), 1);
+        assert!(c.access(VirtAddr::new(0)).is_miss());
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = small();
+        c.access(VirtAddr::new(0));
+        c.reset_stats();
+        assert_eq!(c.accesses(), 0);
+        assert!(c.access(VirtAddr::new(0)).is_hit());
+    }
+
+    #[test]
+    fn l1_constant_is_valid() {
+        assert_eq!(CacheConfig::L1_32K.sets(), 64);
+        let _ = Cache::new(CacheConfig::L1_32K);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 48,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn bad_capacity_panics() {
+        Cache::new(CacheConfig {
+            size_bytes: 500,
+            ways: 2,
+            line_bytes: 64,
+        });
+    }
+
+    #[test]
+    fn fill_inserts_without_stats() {
+        let mut c = small();
+        c.fill(VirtAddr::new(0x100));
+        assert_eq!((c.accesses(), c.misses()), (0, 0));
+        assert!(c.probe(VirtAddr::new(0x100)));
+        assert!(c.access(VirtAddr::new(0x100)).is_hit());
+    }
+
+    #[test]
+    fn fully_associative_works() {
+        // 1 set x 8 ways.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 8,
+            line_bytes: 64,
+        });
+        for i in 0..8u64 {
+            assert!(c.access(VirtAddr::new(i * 64)).is_miss());
+        }
+        for i in 0..8u64 {
+            assert!(c.access(VirtAddr::new(i * 64)).is_hit());
+        }
+        assert!(c.access(VirtAddr::new(8 * 64)).is_miss());
+        assert!(c.access(VirtAddr::new(0)).is_miss(), "LRU evicted line 0");
+    }
+}

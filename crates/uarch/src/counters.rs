@@ -1,0 +1,226 @@
+//! Machine-level performance counters.
+
+use std::fmt;
+
+/// Performance counters mirroring the paper's Table 4 metrics (values
+/// reported per kilo-instruction) plus mechanism-specific diagnostics.
+///
+/// A passive data structure: the CPU simulator increments the public
+/// fields directly, mirroring how VTune aggregates hardware counters in
+/// the paper's methodology (§4.2).
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_uarch::PerfCounters;
+///
+/// let mut c = PerfCounters::default();
+/// c.instructions = 2_000;
+/// c.icache_misses = 13;
+/// assert_eq!(c.pki(c.icache_misses), 6.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PerfCounters {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Elapsed cycles under the timing model.
+    pub cycles: u64,
+    /// L1 instruction-cache misses.
+    pub icache_misses: u64,
+    /// L1 data-cache misses.
+    pub dcache_misses: u64,
+    /// Instruction-TLB misses.
+    pub itlb_misses: u64,
+    /// Data-TLB misses.
+    pub dtlb_misses: u64,
+    /// Retired control-transfer instructions.
+    pub branches: u64,
+    /// Branch mispredictions (direction or target).
+    pub branch_mispredictions: u64,
+    /// Retired data loads.
+    pub loads: u64,
+    /// Retired data stores.
+    pub stores: u64,
+    /// Retired instructions belonging to PLT trampolines.
+    pub trampoline_instructions: u64,
+    /// Trampoline executions skipped by the ABTB mechanism.
+    pub trampolines_skipped: u64,
+    /// ABTB lookups that hit at branch resolution.
+    pub abtb_hits: u64,
+    /// Whole-ABTB flushes (Bloom hit, explicit invalidate or context switch).
+    pub abtb_flushes: u64,
+    /// Lazy-resolver invocations.
+    pub resolver_invocations: u64,
+}
+
+impl PerfCounters {
+    /// Events per kilo-instruction (the unit of the paper's Tables 2 & 4).
+    ///
+    /// Returns 0.0 when no instructions have retired.
+    pub fn pki(&self, count: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            count as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Returns the per-field difference `self - earlier` (saturating),
+    /// for measuring a steady-state window between two snapshots.
+    pub fn delta(&self, earlier: &PerfCounters) -> PerfCounters {
+        PerfCounters {
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            icache_misses: self.icache_misses.saturating_sub(earlier.icache_misses),
+            dcache_misses: self.dcache_misses.saturating_sub(earlier.dcache_misses),
+            itlb_misses: self.itlb_misses.saturating_sub(earlier.itlb_misses),
+            dtlb_misses: self.dtlb_misses.saturating_sub(earlier.dtlb_misses),
+            branches: self.branches.saturating_sub(earlier.branches),
+            branch_mispredictions: self
+                .branch_mispredictions
+                .saturating_sub(earlier.branch_mispredictions),
+            loads: self.loads.saturating_sub(earlier.loads),
+            stores: self.stores.saturating_sub(earlier.stores),
+            trampoline_instructions: self
+                .trampoline_instructions
+                .saturating_sub(earlier.trampoline_instructions),
+            trampolines_skipped: self
+                .trampolines_skipped
+                .saturating_sub(earlier.trampolines_skipped),
+            abtb_hits: self.abtb_hits.saturating_sub(earlier.abtb_hits),
+            abtb_flushes: self.abtb_flushes.saturating_sub(earlier.abtb_flushes),
+            resolver_invocations: self
+                .resolver_invocations
+                .saturating_sub(earlier.resolver_invocations),
+        }
+    }
+
+    /// Adds every counter of `other` into `self` (multi-run aggregation,
+    /// like VTune aggregating across cores).
+    pub fn accumulate(&mut self, other: &PerfCounters) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.icache_misses += other.icache_misses;
+        self.dcache_misses += other.dcache_misses;
+        self.itlb_misses += other.itlb_misses;
+        self.dtlb_misses += other.dtlb_misses;
+        self.branches += other.branches;
+        self.branch_mispredictions += other.branch_mispredictions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.trampoline_instructions += other.trampoline_instructions;
+        self.trampolines_skipped += other.trampolines_skipped;
+        self.abtb_hits += other.abtb_hits;
+        self.abtb_flushes += other.abtb_flushes;
+        self.resolver_invocations += other.resolver_invocations;
+    }
+}
+
+impl fmt::Display for PerfCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instructions          {:>14}", self.instructions)?;
+        writeln!(f, "cycles                {:>14}", self.cycles)?;
+        writeln!(f, "IPC                   {:>14.3}", self.ipc())?;
+        writeln!(
+            f,
+            "I-$ misses PKI        {:>14.2}",
+            self.pki(self.icache_misses)
+        )?;
+        writeln!(
+            f,
+            "I-TLB misses PKI      {:>14.2}",
+            self.pki(self.itlb_misses)
+        )?;
+        writeln!(
+            f,
+            "D-$ misses PKI        {:>14.2}",
+            self.pki(self.dcache_misses)
+        )?;
+        writeln!(
+            f,
+            "D-TLB misses PKI      {:>14.2}",
+            self.pki(self.dtlb_misses)
+        )?;
+        writeln!(
+            f,
+            "br mispredictions PKI {:>14.2}",
+            self.pki(self.branch_mispredictions)
+        )?;
+        writeln!(
+            f,
+            "trampoline insts PKI  {:>14.2}",
+            self.pki(self.trampoline_instructions)
+        )?;
+        write!(f, "trampolines skipped   {:>14}", self.trampolines_skipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pki_and_rates() {
+        let c = PerfCounters {
+            instructions: 4_000,
+            cycles: 2_000,
+            icache_misses: 8,
+            ..PerfCounters::default()
+        };
+        assert_eq!(c.pki(c.icache_misses), 2.0);
+        assert_eq!(c.ipc(), 2.0);
+        assert_eq!(c.cpi(), 0.5);
+    }
+
+    #[test]
+    fn zero_instruction_guards() {
+        let c = PerfCounters::default();
+        assert_eq!(c.pki(100), 0.0);
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.cpi(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = PerfCounters {
+            instructions: 10,
+            branches: 2,
+            ..PerfCounters::default()
+        };
+        let b = PerfCounters {
+            instructions: 5,
+            branches: 1,
+            trampolines_skipped: 4,
+            ..PerfCounters::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.branches, 3);
+        assert_eq!(a.trampolines_skipped, 4);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let s = PerfCounters::default().to_string();
+        assert!(s.contains("instructions"));
+        assert!(s.contains("PKI"));
+    }
+}

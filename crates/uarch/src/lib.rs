@@ -1,0 +1,84 @@
+//! # dynlink-uarch
+//!
+//! Reusable microarchitectural component models for the `dynlink-sim`
+//! workspace: set-associative [caches](Cache), [TLBs](Tlb), a gshare
+//! [direction predictor](DirectionPredictor), a [branch target
+//! buffer](Btb), a [return-address stack](ReturnAddressStack), a
+//! [Bloom filter](BloomFilter), and the paper's retire-time
+//! [alternate BTB (ABTB)](Abtb).
+//!
+//! Every structure is a self-contained, deterministic model with
+//! hit/miss statistics; the CPU simulator in `dynlink-cpu` composes them
+//! into a machine. The ABTB and Bloom filter are the hardware the paper
+//! proposes (§3): the ABTB maps trampoline addresses to library-function
+//! addresses at retire time, and the Bloom filter guards the GOT slots
+//! those mappings were loaded from, clearing the ABTB whenever a watched
+//! slot may have been stored to.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynlink_isa::VirtAddr;
+//! use dynlink_uarch::{Abtb, BloomFilter};
+//!
+//! let mut abtb = Abtb::new(16);
+//! let tramp = VirtAddr::new(0x40_1020); // printf@plt
+//! let func = VirtAddr::new(0x7f00_0000_4000); // printf
+//! let got = VirtAddr::new(0x60_2018); // printf@got.plt
+//!
+//! let mut bloom = BloomFilter::new(1024, 2);
+//! abtb.insert(tramp, func);
+//! bloom.insert(got.as_u64());
+//!
+//! assert_eq!(abtb.lookup(tramp), Some(func));
+//! // A store to the GOT slot hits the Bloom filter: clear everything.
+//! if bloom.maybe_contains(got.as_u64()) {
+//!     abtb.clear();
+//!     bloom.clear();
+//! }
+//! assert_eq!(abtb.lookup(tramp), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abtb;
+mod bloom;
+mod bpred;
+mod btb;
+mod cache;
+mod counters;
+mod ras;
+mod tlb;
+
+pub use abtb::{Abtb, ABTB_ENTRY_BYTES};
+pub use bloom::BloomFilter;
+pub use bpred::DirectionPredictor;
+pub use btb::Btb;
+pub use cache::{Cache, CacheConfig};
+pub use counters::PerfCounters;
+pub use ras::ReturnAddressStack;
+pub use tlb::Tlb;
+
+/// Hit/miss outcome of an access to a cache-like structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lookup {
+    /// The entry was present.
+    Hit,
+    /// The entry was absent and has been filled.
+    Miss,
+}
+
+impl Lookup {
+    /// Returns `true` on [`Lookup::Hit`].
+    #[inline]
+    pub const fn is_hit(self) -> bool {
+        matches!(self, Lookup::Hit)
+    }
+
+    /// Returns `true` on [`Lookup::Miss`].
+    #[inline]
+    pub const fn is_miss(self) -> bool {
+        matches!(self, Lookup::Miss)
+    }
+}

@@ -1,0 +1,118 @@
+//! Return-address stack model.
+
+use dynlink_isa::VirtAddr;
+
+/// A fixed-depth return-address stack (RAS).
+///
+/// Calls push their return address; `ret` predictions pop. Overflow
+/// silently wraps (overwriting the oldest entry) and underflow returns
+/// `None`, as in real hardware.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_isa::VirtAddr;
+/// use dynlink_uarch::ReturnAddressStack;
+///
+/// let mut ras = ReturnAddressStack::new(16);
+/// ras.push(VirtAddr::new(0x400105));
+/// assert_eq!(ras.pop(), Some(VirtAddr::new(0x400105)));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    entries: Vec<VirtAddr>,
+    top: usize,
+    len: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with `depth` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "RAS depth must be positive");
+        ReturnAddressStack {
+            entries: vec![VirtAddr::NULL; depth],
+            top: 0,
+            len: 0,
+        }
+    }
+
+    /// Pushes a return address, overwriting the oldest entry when full.
+    pub fn push(&mut self, addr: VirtAddr) {
+        self.entries[self.top] = addr;
+        self.top = (self.top + 1) % self.entries.len();
+        self.len = (self.len + 1).min(self.entries.len());
+    }
+
+    /// Pops the most recent return address, or `None` when empty.
+    pub fn pop(&mut self) -> Option<VirtAddr> {
+        if self.len == 0 {
+            return None;
+        }
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.len -= 1;
+        Some(self.entries[self.top])
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Clears the stack (context switch).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.top = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(VirtAddr::new(1));
+        r.push(VirtAddr::new(2));
+        assert_eq!(r.pop(), Some(VirtAddr::new(2)));
+        assert_eq!(r.pop(), Some(VirtAddr::new(1)));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(VirtAddr::new(1));
+        r.push(VirtAddr::new(2));
+        r.push(VirtAddr::new(3)); // overwrites 1
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop(), Some(VirtAddr::new(3)));
+        assert_eq!(r.pop(), Some(VirtAddr::new(2)));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(VirtAddr::new(1));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_depth_panics() {
+        ReturnAddressStack::new(0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Translation lookaside buffer model.
+
+use dynlink_isa::VirtAddr;
+
+use crate::Lookup;
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    asid: u64,
+    page: u64,
+    valid: bool,
+    last_used: u64,
+}
+
+/// A set-associative, ASID-tagged TLB model (used for both the I-TLB and
+/// the D-TLB).
+///
+/// Entries are tagged with an address-space ID so the simulator can model
+/// both flush-on-context-switch ([`Tlb::flush`]) and ASID-retention
+/// policies — the same choice the paper notes applies to the ABTB (§3.3).
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_isa::VirtAddr;
+/// use dynlink_uarch::Tlb;
+///
+/// let mut tlb = Tlb::new(64, 4, 4096);
+/// assert!(tlb.access(1, VirtAddr::new(0x1234)).is_miss());
+/// assert!(tlb.access(1, VirtAddr::new(0x1ffc)).is_hit()); // same page
+/// assert!(tlb.access(2, VirtAddr::new(0x1234)).is_miss()); // other ASID
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    sets: Vec<Vec<TlbEntry>>,
+    set_mask: u64,
+    page_bytes: u64,
+    tick: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` total entries, `ways` associativity
+    /// and the given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `ways`, the set count is
+    /// not a power of two, or `page_bytes` is not a power of two.
+    pub fn new(entries: u32, ways: u32, page_bytes: u64) -> Self {
+        assert!(ways > 0 && entries > 0, "TLB must have entries");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must be a multiple of ways"
+        );
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        let sets = (entries / ways) as u64;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Tlb {
+            sets: vec![
+                vec![
+                    TlbEntry {
+                        asid: 0,
+                        page: 0,
+                        valid: false,
+                        last_used: 0
+                    };
+                    ways as usize
+                ];
+                sets as usize
+            ],
+            set_mask: sets - 1,
+            page_bytes,
+            tick: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates `addr` within address space `asid`, filling on a miss.
+    pub fn access(&mut self, asid: u64, addr: VirtAddr) -> Lookup {
+        self.tick += 1;
+        self.accesses += 1;
+        let page = addr.page_number(self.page_bytes);
+        let set_idx = (page & self.set_mask) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(e) = set
+            .iter_mut()
+            .find(|e| e.valid && e.page == page && e.asid == asid)
+        {
+            e.last_used = self.tick;
+            return Lookup::Hit;
+        }
+        self.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.last_used } else { 0 })
+            .expect("at least one way");
+        *victim = TlbEntry {
+            asid,
+            page,
+            valid: true,
+            last_used: self.tick,
+        };
+        Lookup::Miss
+    }
+
+    /// Invalidates every entry (non-ASID context-switch policy).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for e in set {
+                e.valid = false;
+            }
+        }
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resets statistics, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(16, 4, 4096);
+        assert!(t.access(0, VirtAddr::new(0x1000)).is_miss());
+        assert!(t.access(0, VirtAddr::new(0x1fff)).is_hit());
+        assert!(t.access(0, VirtAddr::new(0x2000)).is_miss());
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn asid_isolation() {
+        let mut t = Tlb::new(16, 4, 4096);
+        t.access(1, VirtAddr::new(0x1000));
+        assert!(t.access(2, VirtAddr::new(0x1000)).is_miss());
+        assert!(t.access(1, VirtAddr::new(0x1000)).is_hit());
+        assert!(t.access(2, VirtAddr::new(0x1000)).is_hit());
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut t = Tlb::new(16, 4, 4096);
+        t.access(0, VirtAddr::new(0x1000));
+        t.flush();
+        assert!(t.access(0, VirtAddr::new(0x1000)).is_miss());
+    }
+
+    #[test]
+    fn lru_within_set() {
+        // 2 entries, 2 ways => 1 set, fully associative.
+        let mut t = Tlb::new(2, 2, 4096);
+        t.access(0, VirtAddr::new(0x1000));
+        t.access(0, VirtAddr::new(0x2000));
+        t.access(0, VirtAddr::new(0x1000)); // 0x2000 now LRU
+        assert!(t.access(0, VirtAddr::new(0x3000)).is_miss()); // evicts 0x2000
+        assert!(t.access(0, VirtAddr::new(0x1000)).is_hit());
+        assert!(t.access(0, VirtAddr::new(0x2000)).is_miss());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_panics() {
+        Tlb::new(10, 4, 4096);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut t = Tlb::new(16, 4, 4096);
+        t.access(0, VirtAddr::new(0));
+        t.reset_stats();
+        assert_eq!((t.accesses(), t.misses()), (0, 0));
+        assert!(t.access(0, VirtAddr::new(0)).is_hit());
+    }
+}

@@ -1,0 +1,260 @@
+//! Property-based tests for the microarchitectural structures.
+//!
+//! The mechanism's correctness rests on a handful of structural
+//! invariants — above all that the Bloom filter never produces a false
+//! negative (a missed GOT-store would let a stale trampoline target be
+//! skipped). These tests check those invariants over randomized inputs,
+//! including model-based equivalence of the ABTB against a reference
+//! LRU map.
+
+use dynlink_isa::VirtAddr;
+use dynlink_uarch::{
+    Abtb, BloomFilter, Btb, Cache, CacheConfig, PerfCounters, ReturnAddressStack, Tlb,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Bloom filter
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The load-bearing invariant: no false negatives, ever.
+    #[test]
+    fn bloom_has_no_false_negatives(
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+        bits in 8u64..2048,
+        hashes in 1u32..5,
+    ) {
+        let mut f = BloomFilter::new(bits, hashes);
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(f.maybe_contains(k), "false negative for {k:#x}");
+        }
+    }
+
+    /// Clearing removes everything.
+    #[test]
+    fn bloom_clear_is_total(keys in prop::collection::vec(any::<u64>(), 1..100)) {
+        let mut f = BloomFilter::new(512, 2);
+        for &k in &keys {
+            f.insert(k);
+        }
+        f.clear();
+        // An empty filter contains nothing (no bit set).
+        for &k in &keys {
+            prop_assert!(!f.maybe_contains(k));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ABTB vs a reference LRU model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AbtbOp {
+    Lookup(u64),
+    Insert(u64, u64),
+    Clear,
+}
+
+fn abtb_op() -> impl Strategy<Value = AbtbOp> {
+    prop_oneof![
+        4 => (0..40u64).prop_map(|k| AbtbOp::Lookup(k * 16)),
+        4 => ((0..40u64), any::<u64>()).prop_map(|(k, v)| AbtbOp::Insert(k * 16, v)),
+        1 => Just(AbtbOp::Clear),
+    ]
+}
+
+/// Reference LRU map: Vec ordered most-recent-first.
+#[derive(Default)]
+struct RefLru {
+    entries: Vec<(u64, u64)>,
+    capacity: usize,
+}
+
+impl RefLru {
+    fn lookup(&mut self, k: u64) -> Option<u64> {
+        if let Some(pos) = self.entries.iter().position(|&(key, _)| key == k) {
+            let e = self.entries.remove(pos);
+            self.entries.insert(0, e);
+            Some(e.1)
+        } else {
+            None
+        }
+    }
+
+    fn insert(&mut self, k: u64, v: u64) {
+        if let Some(pos) = self.entries.iter().position(|&(key, _)| key == k) {
+            self.entries.remove(pos);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, (k, v));
+    }
+}
+
+proptest! {
+    /// The ABTB behaves exactly like a reference LRU map.
+    #[test]
+    fn abtb_matches_reference_lru(
+        ops in prop::collection::vec(abtb_op(), 1..300),
+        capacity in 1usize..24,
+    ) {
+        let mut abtb = Abtb::new(capacity);
+        let mut model = RefLru { capacity, ..RefLru::default() };
+        for op in ops {
+            match op {
+                AbtbOp::Lookup(k) => {
+                    let got = abtb.lookup(VirtAddr::new(k));
+                    let want = model.lookup(k).map(VirtAddr::new);
+                    prop_assert_eq!(got, want);
+                }
+                AbtbOp::Insert(k, v) => {
+                    abtb.insert(VirtAddr::new(k), VirtAddr::new(v));
+                    model.insert(k, v);
+                }
+                AbtbOp::Clear => {
+                    abtb.clear();
+                    model.entries.clear();
+                }
+            }
+            prop_assert_eq!(abtb.len(), model.entries.len());
+            prop_assert!(abtb.len() <= capacity);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Accessing fewer distinct lines than one set's ways can never
+    /// miss twice on the same line.
+    #[test]
+    fn cache_within_capacity_never_remisses(
+        lines in prop::collection::vec(0u64..8, 1..100),
+    ) {
+        // Fully associative: 1 set x 8 ways.
+        let mut c = Cache::new(CacheConfig { size_bytes: 512, ways: 8, line_bytes: 64 });
+        let mut seen = std::collections::HashSet::new();
+        for &l in &lines {
+            let addr = VirtAddr::new(l * 64);
+            let miss = c.access(addr).is_miss();
+            prop_assert_eq!(miss, !seen.contains(&l), "line {}", l);
+            seen.insert(l);
+        }
+    }
+
+    /// Cache behaviour is deterministic: identical access sequences
+    /// produce identical miss counts.
+    #[test]
+    fn cache_is_deterministic(addrs in prop::collection::vec(any::<u32>(), 1..200)) {
+        let cfg = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 };
+        let (mut a, mut b) = (Cache::new(cfg), Cache::new(cfg));
+        for &x in &addrs {
+            a.access(VirtAddr::new(u64::from(x)));
+        }
+        for &x in &addrs {
+            b.access(VirtAddr::new(u64::from(x)));
+        }
+        prop_assert_eq!(a.misses(), b.misses());
+        prop_assert_eq!(a.accesses(), b.accesses());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TLB
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Two ASIDs never share entries: interleaved accesses from a
+    /// second ASID to *different* sets cannot turn a same-page re-access
+    /// into a miss within capacity.
+    #[test]
+    fn tlb_repeated_page_hits_within_capacity(pages in prop::collection::vec(0u64..4, 2..50)) {
+        let mut t = Tlb::new(4, 4, 4096); // fully associative, 4 entries
+        let mut seen = std::collections::HashSet::new();
+        for &p in &pages {
+            let miss = t.access(1, VirtAddr::new(p * 4096)).is_miss();
+            prop_assert_eq!(miss, !seen.contains(&p));
+            seen.insert(p);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BTB
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Within capacity, the last update for a PC always wins.
+    #[test]
+    fn btb_last_update_wins(
+        updates in prop::collection::vec((0u64..8, any::<u32>()), 1..100),
+    ) {
+        let mut btb = Btb::new(8, 8); // fully associative, 8 entries
+        let mut model = std::collections::HashMap::new();
+        for &(pc, target) in &updates {
+            let pc = VirtAddr::new(pc * 4);
+            let target = VirtAddr::new(u64::from(target));
+            btb.update(pc, target);
+            model.insert(pc, target);
+        }
+        for (&pc, &target) in &model {
+            prop_assert_eq!(btb.lookup(pc), Some(target));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Return-address stack
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Below its depth, the RAS is exactly a stack.
+    #[test]
+    fn ras_is_a_stack_within_depth(pushes in prop::collection::vec(any::<u64>(), 1..16)) {
+        let mut ras = ReturnAddressStack::new(16);
+        for &v in &pushes {
+            ras.push(VirtAddr::new(v));
+        }
+        for &v in pushes.iter().rev() {
+            prop_assert_eq!(ras.pop(), Some(VirtAddr::new(v)));
+        }
+        prop_assert_eq!(ras.pop(), None);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// `later.delta(earlier)` accumulated back onto `earlier`
+    /// reconstructs `later` for monotone counter pairs.
+    #[test]
+    fn counters_delta_accumulate_roundtrip(
+        a in 0u64..1_000_000, b in 0u64..1_000, c in 0u64..1_000,
+        da in 0u64..1_000_000, db in 0u64..1_000, dc in 0u64..1_000,
+    ) {
+        let earlier = PerfCounters {
+            instructions: a,
+            icache_misses: b,
+            branch_mispredictions: c,
+            ..PerfCounters::default()
+        };
+        let later = PerfCounters {
+            instructions: a + da,
+            icache_misses: b + db,
+            branch_mispredictions: c + dc,
+            ..PerfCounters::default()
+        };
+        let mut rebuilt = earlier;
+        rebuilt.accumulate(&later.delta(&earlier));
+        prop_assert_eq!(rebuilt, later);
+    }
+}

@@ -1,0 +1,514 @@
+//! The workload generator: profiles → linkable modules.
+
+use dynlink_isa::{AluOp, Cond, ExternRef, Inst, MemRef, Operand, Reg};
+use dynlink_linker::{ModuleBuilder, ModuleSpec};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::profile::WorkloadProfile;
+
+/// Byte offset of the data-walk array within the app's data section
+/// (the per-type request counters live at offset 0).
+const ARRAY_OFF: u64 = 4096;
+
+/// Stride between consecutive requests' walk starting points.
+const WALK_JUMP: u64 = 8192;
+
+/// Stride of the page-touch walk: one page plus a line, so consecutive
+/// touches hit distinct pages *and* distinct cache lines.
+const PAGE_JUMP: u64 = 4096 + 64;
+
+/// A generated, linkable workload.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// Profile name.
+    pub name: String,
+    /// The application module followed by its libraries (load order).
+    pub modules: Vec<ModuleSpec>,
+    /// Request-type names, index = mark id / 2.
+    pub type_names: Vec<String>,
+    /// Requests the generated main loop performs.
+    pub planned_requests: u64,
+    /// Distinct trampolines the program exercises given full tail
+    /// coverage (equals the profile's Table 3 target).
+    pub expected_trampolines: usize,
+    /// Analytic estimate of retired instructions per request (used to
+    /// size run budgets).
+    pub est_insts_per_request: f64,
+}
+
+impl GeneratedWorkload {
+    /// A comfortable instruction budget for running the whole workload.
+    pub fn run_budget(&self) -> u64 {
+        (self.est_insts_per_request * self.planned_requests as f64 * 4.0) as u64 + 2_000_000
+    }
+}
+
+/// One tail call site: which extern it calls and when it fires.
+struct TailSite {
+    ext: ExternRef,
+    /// Fires when `counter & (2^k - 1) == phase`.
+    k: u32,
+    phase: u64,
+}
+
+/// Emits `n` filler ALU instructions on the compute accumulator.
+fn emit_body(asm: &mut dynlink_isa::Assembler, n: u32) {
+    for i in 0..n {
+        let op = if i % 2 == 0 { AluOp::Add } else { AluOp::Xor };
+        asm.push(Inst::Alu {
+            op,
+            dst: Reg::R3,
+            src: Operand::Imm(u64::from(i) + 1),
+        });
+    }
+}
+
+/// Emits a `1 + 2*iters`-instruction compute loop on `R5` (nothing when
+/// `iters == 0`).
+fn emit_compute_loop(app: &mut ModuleBuilder, iters: u64) {
+    if iters == 0 {
+        return;
+    }
+    let l = app.asm().fresh_label("compute");
+    let asm = app.asm();
+    asm.push(Inst::mov_imm(Reg::R5, iters));
+    asm.bind(l);
+    asm.push(Inst::sub_imm(Reg::R5, 1));
+    asm.push_branch_nz(Reg::R5, l);
+}
+
+/// Emits a masked strided walk over the data array:
+/// `count` iterations of load / advance-by-`stride` / mask, with the
+/// start offset derived from the per-type request counter in `R6` plus
+/// `segment` (so request types do not warm each other's lines).
+fn emit_walk(app: &mut ModuleBuilder, count: u32, stride: u64, segment: u64, mask: u64, tag: &str) {
+    if count == 0 {
+        return;
+    }
+    let l = app.asm().fresh_label(tag);
+    let asm = app.asm();
+    asm.push(Inst::MovReg {
+        dst: Reg::R4,
+        src: Reg::R6,
+    });
+    asm.push(Inst::Alu {
+        op: AluOp::Mul,
+        dst: Reg::R4,
+        src: Operand::Imm(WALK_JUMP),
+    });
+    asm.push(Inst::add_imm(Reg::R4, segment));
+    asm.push(Inst::Alu {
+        op: AluOp::And,
+        dst: Reg::R4,
+        src: Operand::Imm(mask),
+    });
+    asm.push(Inst::mov_imm(Reg::R7, u64::from(count)));
+    asm.bind(l);
+    asm.push(Inst::Load {
+        dst: Reg::R3,
+        mem: MemRef::BaseIndexDisp {
+            base: Reg::R8,
+            index: Reg::R4,
+            scale: 1,
+            disp: ARRAY_OFF as i64,
+        },
+    });
+    asm.push(Inst::add_imm(Reg::R4, stride));
+    asm.push(Inst::Alu {
+        op: AluOp::And,
+        dst: Reg::R4,
+        src: Operand::Imm(mask),
+    });
+    asm.push(Inst::sub_imm(Reg::R7, 1));
+    asm.push_branch_nz(Reg::R7, l);
+}
+
+/// Generates the modules for `profile`, sized for `planned_requests`
+/// requests (tail-call coverage is complete when every request type
+/// receives at least `2^k_max` requests).
+///
+/// The generation is fully deterministic in `(profile, planned_requests,
+/// seed)`.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_workloads::{generate, memcached};
+///
+/// let workload = generate(&memcached(), 64, 42);
+/// assert_eq!(workload.modules.len(), 1 + memcached().libraries);
+/// assert_eq!(workload.expected_trampolines, 33); // paper Table 3
+/// ```
+///
+/// # Panics
+///
+/// Panics if the profile is internally inconsistent (see
+/// [`WorkloadProfile::app_symbols`]) or module assembly fails (a
+/// generator bug, not a user error).
+pub fn generate(profile: &WorkloadProfile, planned_requests: u64, seed: u64) -> GeneratedWorkload {
+    if let Err(e) = profile.validate() {
+        panic!("invalid workload profile `{}`: {e}", profile.name);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n_types = profile.request_types.len();
+    let hot = profile.hot_functions;
+    let cpl = profile.chains_per_lib;
+    let tails = profile.tail_symbols();
+    let body = profile.fn_body_insts;
+    let nlibs = profile.libraries;
+    let libs_with_hot = nlibs.min(hot);
+    let per_type_requests = (planned_requests / n_types as u64).max(1);
+    let k_max = (64 - per_type_requests.leading_zeros() - 1).clamp(1, 14);
+
+    // ---- name the functions -------------------------------------------------
+    let hot_names: Vec<String> = (0..hot).map(|i| format!("hot_{i}")).collect();
+    let tail_names: Vec<String> = (0..tails).map(|i| format!("tail_{i}")).collect();
+    let n_pads = (hot + tails) * profile.plt_padding;
+    let pad_names: Vec<String> = (0..n_pads).map(|i| format!("pad_{i}")).collect();
+
+    // ---- tail frequency classes (Figure 4 shape) ----------------------------
+    // Tail i belongs to request type i % n_types with per-type rank i / n_types.
+    let tail_class = |i: usize| -> (u32, u64) {
+        let rank = (i / n_types) as f64;
+        let k = (1.0 + profile.tail_decay * (1.0 + rank).log2()).floor() as u32;
+        let k = k.clamp(1, k_max);
+        let phase = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & ((1u64 << k) - 1);
+        (k, phase)
+    };
+
+    // ---- analytic per-type calibration --------------------------------------
+    // Costs mirror the emission below exactly (see emit_* helpers).
+    let callee = f64::from(body) + 3.0; // call + trampoline + body + ret
+    let chain_extra = cpl as f64 * callee; // shared helpers per hot call
+    let mut iters_per_type = Vec::with_capacity(n_types);
+    let mut est_total = 0.0;
+    for (t, spec) in profile.request_types.iter().enumerate() {
+        let n_tails_t = (t..tails).step_by(n_types).count() as f64;
+        let s2: f64 = (t..tails)
+            .step_by(n_types)
+            .map(|i| {
+                let (k, _) = tail_class(i);
+                0.5f64.powi(k as i32)
+            })
+            .sum();
+        let bursts: f64 = (0..hot)
+            .map(|h| profile.burst_len(h, spec.repeat) as f64)
+            .sum();
+        let tramps = bursts * (1.0 + cpl as f64) + s2;
+        let walks = 10.0 + 5.0 * f64::from(spec.walk_strides) + 5.0 * f64::from(spec.page_touches);
+        let fixed = 16.0 + f64::from(profile.handler_body_insts * spec.repeat);
+        // Hot site: 1 setup + per burst iteration (2 loop + compute + callee + chains).
+        let hot_insts = hot as f64 + bursts * (2.0 + callee + chain_extra);
+        let tail_insts = n_tails_t * 3.0 + s2 * callee;
+        let a0 = fixed + walks + hot_insts + tail_insts;
+        let target = tramps * 1000.0 / profile.trampoline_pki;
+        let fired = bursts + s2;
+        let iters = (((target - a0 - fired) / (2.0 * fired)).max(0.0)).round() as u64;
+        let compute_cost = if iters == 0 {
+            0.0
+        } else {
+            1.0 + 2.0 * iters as f64
+        };
+        est_total += a0 + fired * compute_cost;
+        iters_per_type.push(iters);
+    }
+    let est_insts_per_request = est_total / n_types as f64;
+
+    // ---- library modules -----------------------------------------------------
+    let mut libs: Vec<ModuleBuilder> = (0..nlibs)
+        .map(|i| ModuleBuilder::new(&format!("lib{i}")))
+        .collect();
+
+    // Shared helpers: library L's hot functions all call the same `cpl`
+    // helpers exported by library (L+1) % nlibs — the `memcpy`-style
+    // functions every module needs (paper §2.2).
+    let mut helper_refs: Vec<Vec<ExternRef>> = vec![Vec::new(); nlibs];
+    for l in 0..libs_with_hot {
+        let def_lib = (l + 1) % nlibs;
+        let mut names = Vec::new();
+        for c in 0..cpl {
+            let name = format!("common_{l}_{c}");
+            libs[def_lib].asm().skip(profile.fn_spacing);
+            libs[def_lib].begin_function(&name, true);
+            emit_body(libs[def_lib].asm(), body);
+            libs[def_lib].asm().push(Inst::Ret);
+            names.push(name);
+        }
+        helper_refs[l] = names.iter().map(|n| libs[l].import(n)).collect();
+    }
+
+    // Hot functions: body + calls to the library's shared helpers.
+    for (h, name) in hot_names.iter().enumerate() {
+        let lib_idx = h % nlibs;
+        let refs = helper_refs[lib_idx].clone();
+        let lib = &mut libs[lib_idx];
+        lib.asm().skip(profile.fn_spacing);
+        lib.begin_function(name, true);
+        emit_body(lib.asm(), body);
+        for r in refs {
+            lib.asm().push_call_extern(r);
+        }
+        lib.asm().push(Inst::Ret);
+    }
+
+    // Tail functions.
+    for (i, name) in tail_names.iter().enumerate() {
+        let lib = &mut libs[(hot + i) % nlibs];
+        lib.asm().skip(profile.fn_spacing);
+        lib.begin_function(name, true);
+        emit_body(lib.asm(), body);
+        lib.asm().push(Inst::Ret);
+    }
+
+    // Padding functions (exported, never called; spaced like the rest so
+    // the libraries' text layout is realistically sparse).
+    for (i, name) in pad_names.iter().enumerate() {
+        let lib = &mut libs[i % nlibs];
+        lib.asm().skip(profile.fn_spacing / 4);
+        lib.begin_function(name, true);
+        lib.asm().push(Inst::add_imm(Reg::R3, 1));
+        lib.asm().push(Inst::Ret);
+    }
+
+    // ---- application module ---------------------------------------------------
+    let mut app = ModuleBuilder::new("app");
+    // Import order fixes PLT order: pads interleaved so every used
+    // trampoline sits on its own 64-byte PLT line (paper §2.2).
+    let mut pad_iter = pad_names.iter();
+    let mut import_spaced = |app: &mut ModuleBuilder, name: &str| -> ExternRef {
+        let r = app.import(name);
+        for _ in 0..profile.plt_padding {
+            if let Some(p) = pad_iter.next() {
+                app.import(p);
+            }
+        }
+        r
+    };
+    let hot_refs: Vec<ExternRef> = hot_names
+        .iter()
+        .map(|n| import_spaced(&mut app, n))
+        .collect();
+    let tail_refs: Vec<ExternRef> = tail_names
+        .iter()
+        .map(|n| import_spaced(&mut app, n))
+        .collect();
+
+    // Data: per-type counters at offset 0, walk array at ARRAY_OFF.
+    app.reserve_data(ARRAY_OFF + profile.data_bytes);
+    // Both walks mask to line-aligned offsets: the page walk's 4096+64
+    // stride then drifts one line per page, touching distinct pages AND
+    // distinct cache sets.
+    let line_mask = profile.data_bytes - 64;
+    let page_mask = profile.data_bytes - 64;
+
+    // Handlers.
+    let mut handler_labels = Vec::with_capacity(n_types);
+    for (t, spec) in profile.request_types.iter().enumerate() {
+        app.asm().skip(profile.fn_spacing);
+        let label = app.asm().fresh_label(&format!("handler_{t}"));
+        handler_labels.push(label);
+        app.begin_function(&format!("handler_{t}"), false);
+        let iters = iters_per_type[t];
+        {
+            let asm = app.asm();
+            asm.bind(label);
+            asm.push(Inst::Mark { id: (t as u64) * 2 });
+            asm.push_lea_data(Reg::R8, 0);
+            asm.push(Inst::Load {
+                dst: Reg::R6,
+                mem: MemRef::base(Reg::R8, (t as i64) * 8),
+            });
+        }
+        // Line walk (data-cache pressure) and page walk (D-TLB pressure),
+        // each in a per-type segment of the array.
+        let segment = t as u64 * (profile.data_bytes / n_types as u64);
+        emit_walk(&mut app, spec.walk_strides, 64, segment, line_mask, "lwalk");
+        emit_walk(
+            &mut app,
+            spec.page_touches,
+            PAGE_JUMP,
+            segment + profile.data_bytes / (2 * n_types as u64),
+            page_mask,
+            "pwalk",
+        );
+
+        // Straight-line request-processing code (parsing, formatting).
+        emit_body(app.asm(), profile.handler_body_insts * spec.repeat);
+
+        // Hot sites: bursts of decaying length (Figure 4 head / Figure 5
+        // temporal locality).
+        for (h, &r) in hot_refs.iter().enumerate() {
+            let m = profile.burst_len(h, spec.repeat);
+            let l = app.asm().fresh_label("burst");
+            app.asm().push(Inst::mov_imm(Reg::R7, m));
+            app.asm().bind(l);
+            emit_compute_loop(&mut app, iters);
+            app.asm().push_call_extern(r);
+            app.asm().push(Inst::sub_imm(Reg::R7, 1));
+            app.asm().push_branch_nz(Reg::R7, l);
+        }
+
+        // Tail sites for this type, shuffled for layout realism.
+        let mut sites: Vec<TailSite> = (t..tails)
+            .step_by(n_types)
+            .map(|i| {
+                let (k, phase) = tail_class(i);
+                TailSite {
+                    ext: tail_refs[i],
+                    k,
+                    phase,
+                }
+            })
+            .collect();
+        sites.shuffle(&mut rng);
+        for site in sites {
+            let skip = app.asm().fresh_label("skip");
+            let mask = (1u64 << site.k) - 1;
+            {
+                let asm = app.asm();
+                asm.push(Inst::MovReg {
+                    dst: Reg::R7,
+                    src: Reg::R6,
+                });
+                asm.push(Inst::Alu {
+                    op: AluOp::And,
+                    dst: Reg::R7,
+                    src: Operand::Imm(mask),
+                });
+                asm.push_branch(Cond::Ne, Reg::R7, site.phase, skip);
+            }
+            emit_compute_loop(&mut app, iters);
+            app.asm().push_call_extern(site.ext);
+            app.asm().bind(skip);
+        }
+
+        // Counter update + end mark.
+        {
+            let asm = app.asm();
+            asm.push(Inst::add_imm(Reg::R6, 1));
+            asm.push(Inst::Store {
+                src: Reg::R6,
+                mem: MemRef::base(Reg::R8, (t as i64) * 8),
+            });
+            asm.push(Inst::Mark {
+                id: (t as u64) * 2 + 1,
+            });
+            asm.push(Inst::Ret);
+        }
+    }
+
+    // main: round-robin over request types.
+    app.begin_function("main", true);
+    {
+        let asm = app.asm();
+        let loop_top = asm.fresh_label("req_loop");
+        let join = asm.fresh_label("join");
+        let no_reset = asm.fresh_label("no_reset");
+        asm.push(Inst::mov_imm(Reg::R11, planned_requests));
+        asm.push(Inst::mov_imm(Reg::R9, 0));
+        asm.bind(loop_top);
+        let dispatch_labels: Vec<_> = (0..n_types.saturating_sub(1))
+            .map(|t| asm.fresh_label(&format!("dispatch_{t}")))
+            .collect();
+        for (t, &l) in dispatch_labels.iter().enumerate() {
+            asm.push_branch(Cond::Eq, Reg::R9, t as u64, l);
+        }
+        asm.push_call_label(handler_labels[n_types - 1]);
+        asm.push_jmp_label(join);
+        for (t, &l) in dispatch_labels.iter().enumerate() {
+            asm.bind(l);
+            asm.push_call_label(handler_labels[t]);
+            asm.push_jmp_label(join);
+        }
+        asm.bind(join);
+        asm.push(Inst::add_imm(Reg::R9, 1));
+        asm.push_branch(Cond::Lt, Reg::R9, n_types as u64, no_reset);
+        asm.push(Inst::mov_imm(Reg::R9, 0));
+        asm.bind(no_reset);
+        asm.push(Inst::sub_imm(Reg::R11, 1));
+        asm.push_branch_nz(Reg::R11, loop_top);
+        asm.push(Inst::Halt);
+    }
+
+    let mut modules = Vec::with_capacity(1 + nlibs);
+    modules.push(app.finish().expect("generated app module assembles"));
+    for lib in libs {
+        modules.push(lib.finish().expect("generated library assembles"));
+    }
+
+    GeneratedWorkload {
+        name: profile.name.clone(),
+        modules,
+        type_names: profile
+            .request_types
+            .iter()
+            .map(|t| t.name.clone())
+            .collect(),
+        planned_requests,
+        expected_trampolines: profile.distinct_trampolines,
+        est_insts_per_request,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{apache, memcached};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = memcached();
+        let a = generate(&p, 64, 7);
+        let b = generate(&p, 64, 7);
+        assert_eq!(a.modules.len(), b.modules.len());
+        assert_eq!(a.modules[0].code.len_bytes(), b.modules[0].code.len_bytes());
+        let c = generate(&p, 64, 8);
+        // Different seed shuffles tail sites but keeps sizes identical.
+        assert_eq!(a.modules[0].code.len_bytes(), c.modules[0].code.len_bytes());
+    }
+
+    #[test]
+    fn module_structure_matches_profile() {
+        let p = memcached();
+        let g = generate(&p, 64, 1);
+        assert_eq!(g.modules.len(), 1 + p.libraries);
+        assert_eq!(g.modules[0].name, "app");
+        assert_eq!(g.type_names, vec!["GET", "SET"]);
+        // App imports = used symbols + padding.
+        let expected_imports = p.app_symbols() * (1 + p.plt_padding);
+        assert_eq!(g.modules[0].imports.len(), expected_imports);
+        assert_eq!(g.expected_trampolines, 33);
+    }
+
+    #[test]
+    fn estimates_are_positive_and_plausible() {
+        for p in [apache(), memcached()] {
+            let g = generate(&p, 256, 1);
+            assert!(g.est_insts_per_request > 100.0, "{}", p.name);
+            assert!(g.est_insts_per_request < 1e6, "{}", p.name);
+            assert!(g.run_budget() > g.planned_requests);
+        }
+    }
+
+    #[test]
+    fn library_chains_create_lib_imports() {
+        let p = memcached();
+        let g = generate(&p, 64, 1);
+        let lib_imports: usize = g.modules[1..].iter().map(|m| m.imports.len()).sum();
+        assert_eq!(lib_imports, p.chain_trampolines());
+    }
+
+    #[test]
+    fn function_spacing_spreads_text() {
+        let p = apache();
+        let g = generate(&p, 64, 1);
+        // Library text spans at least (functions x spacing) bytes.
+        let lib_fns = p.distinct_trampolines - p.hot_functions; // rough lower bound
+        let total_lib_text: u64 = g.modules[1..].iter().map(|m| m.code.len_bytes()).sum();
+        assert!(
+            total_lib_text > lib_fns as u64 * p.fn_spacing / 2,
+            "lib text {total_lib_text} too dense"
+        );
+    }
+}

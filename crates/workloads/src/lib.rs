@@ -1,0 +1,49 @@
+//! # dynlink-workloads
+//!
+//! Synthetic workload generators calibrated to the application
+//! statistics published in *Architectural Support for Dynamic Linking*
+//! (ASPLOS 2015).
+//!
+//! The paper evaluates Apache (SPECweb 2009), Firefox (Peacekeeper),
+//! Memcached (CloudSuite) and MySQL (TPC-C). None of those stacks can
+//! run on a simulated ISA, but the proposed hardware is sensitive only
+//! to the *library-call structure* of the instruction stream:
+//!
+//! * how many trampoline instructions execute per kilo-instruction
+//!   (paper Table 2),
+//! * how many **distinct** trampolines are exercised (Table 3),
+//! * the rank–frequency shape of trampoline use (Figure 4),
+//! * and the per-request mix that turns cycle savings into latency
+//!   distributions (Figures 6–8, Tables 5–6).
+//!
+//! Each [`WorkloadProfile`] bakes those published statistics into a
+//! generated program: an application module with per-request-type
+//! handler functions, a set of shared libraries exporting the called
+//! functions (plus library-to-library calls, sparse PLT padding, and a
+//! data working set), and a request loop with [`dynlink_isa::Inst::Mark`]
+//! instrumentation for per-request latency measurement.
+//!
+//! ```
+//! use dynlink_core::{LinkAccel, LinkMode, MachineConfig};
+//! use dynlink_workloads::{memcached, generate, run_workload};
+//!
+//! let profile = memcached();
+//! let workload = generate(&profile, 64, 42);
+//! let run = run_workload(&workload, MachineConfig::enhanced(), LinkMode::DynamicLazy)?;
+//! assert!(run.counters.trampolines_skipped > 0);
+//! assert_eq!(run.type_names, vec!["GET", "SET"]);
+//! # Ok::<(), dynlink_core::SystemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod profile;
+mod runner;
+
+pub use gen::{generate, GeneratedWorkload};
+pub use profile::{
+    apache, compute_bound, firefox, memcached, mysql, RequestTypeSpec, WorkloadProfile,
+};
+pub use runner::{run_workload, run_workload_observed, run_workload_warm, WorkloadRun};

@@ -1,0 +1,388 @@
+//! Workload profiles calibrated to the paper's published statistics.
+
+/// One request type of a server workload (or one benchmark kernel of the
+/// Firefox/Peacekeeper suite).
+#[derive(Debug, Clone)]
+pub struct RequestTypeSpec {
+    /// Display name (matches the paper's figures).
+    pub name: String,
+    /// Hot-burst repetition factor: scales how many library calls one
+    /// request of this type performs. Heavier request types (e.g. TPC-C
+    /// New Order vs Payment) repeat more.
+    pub repeat: u32,
+    /// 64-byte data-array strides walked per request (data-cache
+    /// pressure).
+    pub walk_strides: u32,
+    /// Distinct pages touched per request (data-TLB pressure).
+    pub page_touches: u32,
+}
+
+impl RequestTypeSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, repeat: u32, walk_strides: u32, page_touches: u32) -> Self {
+        RequestTypeSpec {
+            name: name.to_owned(),
+            repeat,
+            walk_strides,
+            page_touches,
+        }
+    }
+}
+
+/// A calibrated workload description.
+///
+/// The calibration targets come straight from the paper:
+/// [`WorkloadProfile::trampoline_pki`] from Table 2 and
+/// [`WorkloadProfile::distinct_trampolines`] from Table 3. The generator
+/// ([`crate::generate`]) solves the per-call computation budget so the
+/// generated program lands on the target PKI, and structures the call
+/// sites so exactly `distinct_trampolines` PLT entries are exercised
+/// (given enough requests for full tail coverage).
+///
+/// Hot functions are called in **bursts** whose lengths decay with hot
+/// rank (`hot_burst / (1+rank)^hot_decay`), reproducing both the steep
+/// head of the Figure 4 rank–frequency curves and the temporal locality
+/// that lets a 16-entry ABTB skip most trampolines (Figure 5): within a
+/// burst the same trampoline (and its library's shared helpers — the
+/// `memcpy`-like functions every hot function calls) repeats
+/// back-to-back.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// Workload name.
+    pub name: String,
+    /// Target trampoline instructions per kilo-instruction (Table 2).
+    pub trampoline_pki: f64,
+    /// Target distinct trampolines (Table 3).
+    pub distinct_trampolines: usize,
+    /// Number of shared libraries.
+    pub libraries: usize,
+    /// Functions called on (almost) every request — the steep head of
+    /// the Figure 4 rank–frequency curve.
+    pub hot_functions: usize,
+    /// Shared helper functions each library's hot functions call in
+    /// *other* libraries (each adds one trampoline to the calling
+    /// library's PLT — the paper's `write`-imported-by-five-modules
+    /// example, §2.2).
+    pub chains_per_lib: usize,
+    /// Burst length of the hottest function's call site.
+    pub hot_burst: f64,
+    /// Decay exponent of burst length over hot rank.
+    pub hot_decay: f64,
+    /// Decay rate of the tail-call frequency classes: tail rank `r`
+    /// fires every `2^(1 + decay·log2(1+r))` requests. Larger = steeper
+    /// cutoff (Memcached); smaller = long shallow tail (Firefox).
+    pub tail_decay: f64,
+    /// ALU instructions in each library function body.
+    pub fn_body_insts: u32,
+    /// Straight-line (unrolled) application instructions executed once
+    /// per request by each handler — request parsing, formatting and
+    /// bookkeeping code, which gives the application a realistic
+    /// instruction footprint and instruction-cache/I-TLB pressure.
+    pub handler_body_insts: u32,
+    /// Data working set in bytes (power of two).
+    pub data_bytes: u64,
+    /// Byte gap left between consecutive library functions, making the
+    /// executed text sparse (instruction-cache / I-TLB pressure, §2.2).
+    pub fn_spacing: u64,
+    /// Never-called imports interleaved between used imports, making the
+    /// PLT sparse so each hot trampoline occupies its own cache line
+    /// (paper §2.2).
+    pub plt_padding: usize,
+    /// Request types (or benchmark kernels).
+    pub request_types: Vec<RequestTypeSpec>,
+}
+
+impl WorkloadProfile {
+    /// Derived: trampolines created by library-to-library helper calls
+    /// (only libraries that host hot functions import helpers).
+    pub fn chain_trampolines(&self) -> usize {
+        self.libraries.min(self.hot_functions) * self.chains_per_lib
+    }
+
+    /// Derived: symbols imported (and called) by the application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is inconsistent (more chain trampolines
+    /// than the distinct-trampoline target).
+    pub fn app_symbols(&self) -> usize {
+        self.distinct_trampolines
+            .checked_sub(self.chain_trampolines())
+            .expect("chain trampolines exceed distinct target")
+    }
+
+    /// Derived: tail (infrequently called) application symbols.
+    pub fn tail_symbols(&self) -> usize {
+        self.app_symbols()
+            .checked_sub(self.hot_functions)
+            .expect("hot functions exceed app symbols")
+    }
+
+    /// Checks the profile for internal consistency, returning a
+    /// human-readable description of the first problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the distinct-trampoline budget cannot cover the
+    /// hot set and chains, the data size is not a power of two, any
+    /// request type is degenerate, or a decay/burst parameter is
+    /// non-positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.libraries == 0 {
+            return Err("profile needs at least one library".into());
+        }
+        if self.hot_functions == 0 {
+            return Err("profile needs at least one hot function".into());
+        }
+        let chains = self.chain_trampolines();
+        let Some(app) = self.distinct_trampolines.checked_sub(chains) else {
+            return Err(format!(
+                "chain trampolines ({chains}) exceed the distinct target ({})",
+                self.distinct_trampolines
+            ));
+        };
+        if app <= self.hot_functions {
+            return Err(format!(
+                "no room for tail symbols: {app} app symbols vs {} hot",
+                self.hot_functions
+            ));
+        }
+        if !self.data_bytes.is_power_of_two() || self.data_bytes < 8192 {
+            return Err("data_bytes must be a power of two >= 8 KiB".into());
+        }
+        if self.request_types.is_empty() {
+            return Err("profile needs at least one request type".into());
+        }
+        for rt in &self.request_types {
+            if rt.repeat == 0 {
+                return Err(format!("request type `{}` has repeat 0", rt.name));
+            }
+        }
+        if self.trampoline_pki <= 0.0 || self.hot_burst < 1.0 || self.hot_decay < 0.0 {
+            return Err("rates and decays must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Burst length of hot function `rank` under repetition `repeat`.
+    pub fn burst_len(&self, rank: usize, repeat: u32) -> u64 {
+        let m = self.hot_burst * f64::from(repeat) / (1.0 + rank as f64).powf(self.hot_decay);
+        (m.round() as u64).max(1)
+    }
+}
+
+/// Apache web server under SPECweb 2009 (paper: 12.23 trampoline PKI,
+/// 501 distinct trampolines, the largest opportunity of the four).
+pub fn apache() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "apache".to_owned(),
+        trampoline_pki: 12.23,
+        distinct_trampolines: 501,
+        libraries: 8,
+        hot_functions: 24,
+        chains_per_lib: 2,
+        hot_burst: 28.0,
+        hot_decay: 1.3,
+        tail_decay: 0.9,
+        fn_body_insts: 12,
+        handler_body_insts: 2400,
+        data_bytes: 1024 * 1024,
+        fn_spacing: 2048,
+        plt_padding: 3,
+        request_types: vec![
+            RequestTypeSpec::new("Index", 1, 48, 48),
+            RequestTypeSpec::new("Search", 2, 64, 64),
+            RequestTypeSpec::new("Catalog", 1, 56, 48),
+            RequestTypeSpec::new("FileCatalog", 1, 64, 56),
+            RequestTypeSpec::new("File", 1, 40, 40),
+            RequestTypeSpec::new("Download", 3, 96, 80),
+        ],
+    }
+}
+
+/// Firefox under Peacekeeper (paper: 0.72 trampoline PKI, 2457 distinct
+/// trampolines — many libraries, each touched rarely).
+pub fn firefox() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "firefox".to_owned(),
+        trampoline_pki: 0.72,
+        distinct_trampolines: 2457,
+        libraries: 24,
+        hot_functions: 6,
+        chains_per_lib: 1,
+        hot_burst: 4.0,
+        hot_decay: 1.0,
+        tail_decay: 1.25,
+        fn_body_insts: 14,
+        handler_body_insts: 6000,
+        data_bytes: 1024 * 1024,
+        fn_spacing: 512,
+        plt_padding: 2,
+        request_types: vec![
+            RequestTypeSpec::new("Rendering", 2, 96, 32),
+            RequestTypeSpec::new("HTML5 Canvas", 2, 96, 32),
+            RequestTypeSpec::new("Data", 1, 64, 24),
+            RequestTypeSpec::new("DOM operations", 1, 64, 24),
+            RequestTypeSpec::new("Text parsing", 1, 48, 16),
+        ],
+    }
+}
+
+/// Memcached under the CloudSuite data-caching workload (paper: 1.75
+/// trampoline PKI, only 33 distinct trampolines, majority of calls to
+/// fewer than 10 functions).
+pub fn memcached() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "memcached".to_owned(),
+        trampoline_pki: 1.75,
+        distinct_trampolines: 33,
+        libraries: 4,
+        hot_functions: 4,
+        chains_per_lib: 1,
+        hot_burst: 12.0,
+        hot_decay: 1.2,
+        tail_decay: 1.4,
+        fn_body_insts: 10,
+        handler_body_insts: 5000,
+        data_bytes: 2 * 1024 * 1024,
+        fn_spacing: 256,
+        plt_padding: 3,
+        request_types: vec![
+            RequestTypeSpec::new("GET", 1, 96, 56),
+            RequestTypeSpec::new("SET", 2, 128, 72),
+        ],
+    }
+}
+
+/// MySQL under TPC-C via OLTP-Bench (paper: 5.56 trampoline PKI, 1611
+/// distinct trampolines; New Order requests are ~2.4x heavier than
+/// Payment).
+pub fn mysql() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "mysql".to_owned(),
+        trampoline_pki: 5.56,
+        distinct_trampolines: 1611,
+        libraries: 12,
+        hot_functions: 10,
+        chains_per_lib: 2,
+        hot_burst: 16.0,
+        hot_decay: 1.2,
+        tail_decay: 1.0,
+        fn_body_insts: 12,
+        handler_body_insts: 3600,
+        data_bytes: 1024 * 1024,
+        fn_spacing: 1024,
+        plt_padding: 3,
+        request_types: vec![
+            RequestTypeSpec::new("New Order", 3, 128, 64),
+            RequestTypeSpec::new("Payment", 1, 64, 32),
+        ],
+    }
+}
+
+/// A compute-bound negative control: almost no library calls (0.05
+/// trampolines per kilo-instruction — SPEC-like kernels). The proposed
+/// hardware should neither help nor hurt here; used to check the
+/// mechanism costs nothing when there is nothing to skip.
+pub fn compute_bound() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "compute".to_owned(),
+        trampoline_pki: 0.05,
+        distinct_trampolines: 12,
+        libraries: 2,
+        hot_functions: 2,
+        chains_per_lib: 1,
+        hot_burst: 1.0,
+        hot_decay: 1.0,
+        tail_decay: 1.5,
+        fn_body_insts: 8,
+        handler_body_insts: 2000,
+        data_bytes: 256 * 1024,
+        fn_spacing: 64,
+        plt_padding: 1,
+        request_types: vec![RequestTypeSpec::new("Kernel", 1, 16, 4)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_targets_match_tables_2_and_3() {
+        let a = apache();
+        assert_eq!(a.trampoline_pki, 12.23);
+        assert_eq!(a.distinct_trampolines, 501);
+        let f = firefox();
+        assert_eq!(f.trampoline_pki, 0.72);
+        assert_eq!(f.distinct_trampolines, 2457);
+        let m = memcached();
+        assert_eq!(m.trampoline_pki, 1.75);
+        assert_eq!(m.distinct_trampolines, 33);
+        let s = mysql();
+        assert_eq!(s.trampoline_pki, 5.56);
+        assert_eq!(s.distinct_trampolines, 1611);
+    }
+
+    #[test]
+    fn derived_counts_are_consistent() {
+        for p in [apache(), firefox(), memcached(), mysql()] {
+            assert_eq!(
+                p.app_symbols() + p.chain_trampolines(),
+                p.distinct_trampolines,
+                "{}",
+                p.name
+            );
+            assert!(p.tail_symbols() > 0, "{}", p.name);
+            assert!(p.data_bytes.is_power_of_two(), "{}", p.name);
+            assert!(!p.request_types.is_empty(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn opportunity_ordering_matches_paper() {
+        // Table 2 ordering: Apache > MySQL > Memcached > Firefox.
+        assert!(apache().trampoline_pki > mysql().trampoline_pki);
+        assert!(mysql().trampoline_pki > memcached().trampoline_pki);
+        assert!(memcached().trampoline_pki > firefox().trampoline_pki);
+    }
+
+    #[test]
+    fn builtin_profiles_validate() {
+        for p in [apache(), firefox(), memcached(), mysql(), compute_bound()] {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_profiles() {
+        let mut p = memcached();
+        p.data_bytes = 1000; // not a power of two
+        assert!(p.validate().is_err());
+
+        let mut p = memcached();
+        p.distinct_trampolines = 2; // less than chains + hot
+        assert!(p.validate().is_err());
+
+        let mut p = memcached();
+        p.request_types.clear();
+        assert!(p.validate().is_err());
+
+        let mut p = memcached();
+        p.request_types[0].repeat = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn burst_lengths_decay_with_rank() {
+        let p = apache();
+        let m0 = p.burst_len(0, 1);
+        let m5 = p.burst_len(5, 1);
+        let m23 = p.burst_len(23, 1);
+        assert!(m0 > m5, "{m0} vs {m5}");
+        assert!(m5 >= m23);
+        assert_eq!(m23, 1, "tail of the hot set flattens to single calls");
+        // Repetition scales bursts.
+        assert!(p.burst_len(0, 3) > m0);
+    }
+}

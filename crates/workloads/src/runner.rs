@@ -1,0 +1,223 @@
+//! Running generated workloads and collecting per-request latencies.
+
+use dynlink_core::{
+    LibraryPlacement, LinkMode, MachineConfig, PerfCounters, RunExit, SystemBuilder, SystemError,
+};
+
+use crate::gen::GeneratedWorkload;
+
+/// The outcome of one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// Machine performance counters for the measured portion.
+    pub counters: PerfCounters,
+    /// Per-request latencies in cycles, one vector per request type.
+    pub latencies: Vec<Vec<u64>>,
+    /// Request-type names (parallel to `latencies`).
+    pub type_names: Vec<String>,
+}
+
+impl WorkloadRun {
+    /// Mean latency in cycles for request type `t`.
+    pub fn mean_latency(&self, t: usize) -> f64 {
+        let v = &self.latencies[t];
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.iter().sum::<u64>() as f64 / v.len() as f64
+    }
+
+    /// The `q`-quantile (0.0..=1.0) latency in cycles for type `t`
+    /// (nearest-rank on the sorted sample).
+    pub fn quantile_latency(&self, t: usize, q: f64) -> u64 {
+        let mut v = self.latencies[t].clone();
+        if v.is_empty() {
+            return 0;
+        }
+        v.sort_unstable();
+        let idx = ((v.len() as f64 - 1.0) * q).round() as usize;
+        v[idx]
+    }
+
+    /// Total requests measured.
+    pub fn total_requests(&self) -> usize {
+        self.latencies.iter().map(Vec::len).sum()
+    }
+}
+
+/// Runs a generated workload to completion under the given machine
+/// configuration and link mode, returning counters and per-request
+/// latencies.
+///
+/// # Errors
+///
+/// Propagates link/load/CPU errors from the system layer.
+pub fn run_workload(
+    workload: &GeneratedWorkload,
+    machine: MachineConfig,
+    mode: LinkMode,
+) -> Result<WorkloadRun, SystemError> {
+    run_workload_warm(workload, machine, mode, 0)
+}
+
+/// Like [`run_workload`], but drops the first `warmup_requests` requests
+/// of **each type** from the latency samples and resets the performance
+/// counters near the warmup boundary, so steady-state rates exclude cold
+/// caches and lazy-resolution effects (the paper measures long,
+/// steady-state runs).
+///
+/// # Errors
+///
+/// Propagates link/load/CPU errors from the system layer.
+pub fn run_workload_warm(
+    workload: &GeneratedWorkload,
+    machine: MachineConfig,
+    mode: LinkMode,
+    warmup_requests: u64,
+) -> Result<WorkloadRun, SystemError> {
+    run_workload_observed(workload, machine, mode, warmup_requests, None)
+}
+
+/// Like [`run_workload_warm`], with an optional retire observer attached
+/// to the machine (e.g. a `dynlink-trace` trampoline tracer playing the
+/// paper's Pin role).
+///
+/// # Errors
+///
+/// Propagates link/load/CPU errors from the system layer.
+pub fn run_workload_observed(
+    workload: &GeneratedWorkload,
+    machine: MachineConfig,
+    mode: LinkMode,
+    warmup_requests: u64,
+    observer: Option<std::rc::Rc<std::cell::RefCell<dyn dynlink_core::RetireObserver>>>,
+) -> Result<WorkloadRun, SystemError> {
+    // The §4.3 patched mode requires near placement to encode rel32.
+    let placement = if mode == LinkMode::Patched {
+        LibraryPlacement::Near
+    } else {
+        LibraryPlacement::Far
+    };
+    let mut system = SystemBuilder::new()
+        .modules(workload.modules.iter().cloned())
+        .link_mode(mode)
+        .placement(placement)
+        .machine_config(machine.clone())
+        .build()?;
+    if let Some(obs) = observer {
+        system.machine_mut().add_observer(obs);
+    }
+
+    let n_types = workload.type_names.len();
+    let mut warm_snapshot = PerfCounters::default();
+    if warmup_requests > 0 {
+        // Run to the exact request boundary where every type has
+        // completed its warmup (requests are round-robin, so that is
+        // `2 * warmup * n_types` marks), then snapshot the counters; the
+        // steady-state window is the difference between the final
+        // counters and the snapshot.
+        let target = (2 * warmup_requests as usize) * n_types;
+        system.run_until_marks(target, workload.run_budget())?;
+        warm_snapshot = system.counters();
+    }
+    let exit = system.run(workload.run_budget())?;
+    debug_assert_eq!(exit, RunExit::Halted, "workload must halt within budget");
+
+    let marks = system.take_marks();
+    let mut latencies: Vec<Vec<u64>> = vec![Vec::new(); n_types];
+    let mut open: Vec<Option<u64>> = vec![None; n_types];
+    for m in marks {
+        let t = (m.id / 2) as usize;
+        if t >= n_types {
+            continue;
+        }
+        if m.id % 2 == 0 {
+            open[t] = Some(m.cycles);
+        } else if let Some(start) = open[t].take() {
+            latencies[t].push(m.cycles.saturating_sub(start));
+        }
+    }
+    for lat in &mut latencies {
+        let drop = (warmup_requests as usize).min(lat.len());
+        lat.drain(..drop);
+    }
+
+    Ok(WorkloadRun {
+        counters: system.counters().delta(&warm_snapshot),
+        latencies,
+        type_names: workload.type_names.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::profile::{apache, memcached};
+
+    #[test]
+    fn memcached_hits_target_pki_on_baseline() {
+        let p = memcached();
+        let g = generate(&p, 128, 3);
+        let run = run_workload(&g, MachineConfig::baseline(), LinkMode::DynamicLazy).unwrap();
+        let pki = run.counters.pki(run.counters.trampoline_instructions);
+        let target = p.trampoline_pki;
+        assert!(
+            (pki - target).abs() / target < 0.35,
+            "measured {pki:.2} PKI vs target {target:.2}"
+        );
+    }
+
+    #[test]
+    fn latencies_are_recorded_per_type() {
+        let p = memcached();
+        let g = generate(&p, 64, 3);
+        let run = run_workload(&g, MachineConfig::baseline(), LinkMode::DynamicLazy).unwrap();
+        assert_eq!(run.latencies.len(), 2);
+        assert_eq!(run.total_requests(), 64);
+        // Round-robin splits evenly.
+        assert_eq!(run.latencies[0].len(), 32);
+        assert_eq!(run.latencies[1].len(), 32);
+        assert!(run.mean_latency(0) > 0.0);
+        // SET (repeat 2) is heavier than GET (repeat 1).
+        assert!(run.mean_latency(1) > run.mean_latency(0));
+        assert!(run.quantile_latency(0, 0.95) >= run.quantile_latency(0, 0.5));
+    }
+
+    #[test]
+    fn warmup_drops_early_requests() {
+        let p = memcached();
+        let g = generate(&p, 64, 3);
+        let run =
+            run_workload_warm(&g, MachineConfig::baseline(), LinkMode::DynamicLazy, 4).unwrap();
+        assert_eq!(run.latencies[0].len(), 28);
+        assert_eq!(run.latencies[1].len(), 28);
+    }
+
+    #[test]
+    fn enhanced_beats_baseline_on_apache() {
+        let p = apache();
+        let g = generate(&p, 96, 3);
+        let base = run_workload(&g, MachineConfig::baseline(), LinkMode::DynamicLazy).unwrap();
+        let enh = run_workload(&g, MachineConfig::enhanced(), LinkMode::DynamicLazy).unwrap();
+        assert!(enh.counters.trampolines_skipped > 0);
+        assert!(
+            enh.counters.cycles < base.counters.cycles,
+            "enhanced {} vs base {} cycles",
+            enh.counters.cycles,
+            base.counters.cycles
+        );
+        assert!(enh.counters.instructions < base.counters.instructions);
+    }
+
+    #[test]
+    fn architectural_equivalence_across_accels() {
+        // Same workload, same inputs: request counts and latencies may
+        // differ, but the requests all complete in both modes.
+        let p = memcached();
+        let g = generate(&p, 48, 9);
+        let base = run_workload(&g, MachineConfig::baseline(), LinkMode::DynamicLazy).unwrap();
+        let enh = run_workload(&g, MachineConfig::enhanced(), LinkMode::DynamicLazy).unwrap();
+        assert_eq!(base.total_requests(), enh.total_requests());
+    }
+}

@@ -1,0 +1,18 @@
+use dynlink_core::{LinkMode, MachineConfig};
+use dynlink_workloads::{apache, generate, run_workload};
+use std::time::Instant;
+
+#[test]
+#[ignore = "throughput measurement; run with --ignored --release"]
+fn simulator_throughput() {
+    let g = generate(&apache(), 400, 1);
+    let t0 = Instant::now();
+    let run = run_workload(&g, MachineConfig::baseline(), LinkMode::DynamicLazy).unwrap();
+    let dt = t0.elapsed();
+    eprintln!(
+        "insts={} in {:?} -> {:.1} M inst/s",
+        run.counters.instructions,
+        dt,
+        run.counters.instructions as f64 / dt.as_secs_f64() / 1e6
+    );
+}

@@ -1,0 +1,46 @@
+//! Inspect what the dynamic linker actually built: an annotated
+//! disassembly of a loaded process, before and after lazy resolution —
+//! watch the GOT slot flip from the resolver stub to the real function.
+//!
+//! ```text
+//! cargo run --release --example disassemble
+//! ```
+
+use dynlink_core::{LinkAccel, SystemBuilder};
+use dynlink_repro::{adder_library, calling_app};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut system = SystemBuilder::new()
+        .module(calling_app("inc", 3)?)
+        .module(adder_library("libinc", "inc", 1)?)
+        .accel(LinkAccel::Abtb)
+        .build()?;
+
+    println!("=== before the first call (GOT points at the resolver stub) ===\n");
+    let image = system.image().clone();
+    print!(
+        "{}",
+        image
+            .disassemble(system.machine().space(), "app")
+            .expect("app is loaded")
+    );
+
+    system.run(1_000_000)?;
+
+    println!("\n=== after resolution (GOT holds the real `inc` address) ===\n");
+    print!(
+        "{}",
+        image
+            .disassemble(system.machine().space(), "app")
+            .expect("app is loaded")
+    );
+
+    println!("\n=== the library itself ===\n");
+    print!(
+        "{}",
+        image
+            .disassemble(system.machine().space(), "libinc")
+            .expect("lib is loaded")
+    );
+    Ok(())
+}

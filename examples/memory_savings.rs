@@ -1,0 +1,40 @@
+//! The §5.5 memory argument: what call-site patching costs a prefork
+//! server, and what the hardware costs instead (nothing).
+//!
+//! ```text
+//! cargo run --release --example memory_savings
+//! ```
+
+use dynlink_bench::memsave::memory_savings;
+use dynlink_mem::PAGE_BYTES;
+use dynlink_workloads::apache;
+
+fn main() {
+    println!("Prefork Apache model: fork N workers, then let the software");
+    println!("emulation patch every library-call site in each worker.\n");
+
+    for workers in [10u64, 100, 1000] {
+        let ms = memory_savings(&apache(), workers);
+        println!(
+            "{:>5} workers: {:>4} patched pages/worker x {} B = {:>8.1} KB each, {:>8.2} MB total",
+            workers,
+            ms.pages_copied_per_worker,
+            PAGE_BYTES,
+            ms.bytes_per_worker() as f64 / 1024.0,
+            ms.total_bytes() as f64 / (1024.0 * 1024.0),
+        );
+    }
+
+    let ms = memory_savings(&apache(), 1000);
+    println!(
+        "\npatching before fork: {} copies (keeps COW but abandons lazy binding, §2.3)",
+        ms.pages_copied_patch_before_fork
+    );
+    println!(
+        "proposed hardware:    {} copies (code pages never written)",
+        ms.pages_copied_hardware
+    );
+    println!("\nThe paper estimates ~1.1 MB per process and ~0.5 GB for a busy");
+    println!("server; our simulated image is smaller, but the linear-per-worker");
+    println!("overhead and the zero-cost hardware alternative are the same.");
+}

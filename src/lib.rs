@@ -1,0 +1,93 @@
+//! # dynlink-repro
+//!
+//! Umbrella crate for the *Architectural Support for Dynamic Linking*
+//! (ASPLOS 2015) reproduction: re-exports the workspace crates and
+//! provides small program-construction helpers shared by the examples
+//! and the integration tests.
+//!
+//! See `README.md` for the repository tour and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dynlink_core as core;
+pub use dynlink_cpu as cpu;
+pub use dynlink_isa as isa;
+pub use dynlink_linker as linker;
+pub use dynlink_mem as mem;
+pub use dynlink_trace as trace;
+pub use dynlink_uarch as uarch;
+pub use dynlink_workloads as workloads;
+
+use dynlink_isa::{Inst, Reg};
+use dynlink_linker::{LinkError, ModuleBuilder, ModuleSpec};
+
+/// Builds a library exporting one function `name` that adds `delta` to
+/// `R0` and returns — the smallest useful shared library.
+///
+/// # Errors
+///
+/// Propagates assembly errors (none occur for this fixed shape).
+///
+/// # Examples
+///
+/// ```
+/// let lib = dynlink_repro::adder_library("libinc", "inc", 1)?;
+/// assert_eq!(lib.functions[0].name, "inc");
+/// # Ok::<(), dynlink_linker::LinkError>(())
+/// ```
+pub fn adder_library(module: &str, name: &str, delta: u64) -> Result<ModuleSpec, LinkError> {
+    let mut lib = ModuleBuilder::new(module);
+    lib.begin_function(name, true);
+    lib.asm().push(Inst::add_imm(Reg::R0, delta));
+    lib.asm().push(Inst::Ret);
+    lib.finish()
+}
+
+/// Builds an application that calls the imported function `callee`
+/// `iterations` times in a loop and halts. The call count accumulates in
+/// `R0` when paired with [`adder_library`].
+///
+/// # Errors
+///
+/// Propagates assembly errors (none occur for this fixed shape).
+///
+/// # Examples
+///
+/// ```
+/// let app = dynlink_repro::calling_app("inc", 100)?;
+/// assert_eq!(app.imports, vec!["inc".to_owned()]);
+/// # Ok::<(), dynlink_linker::LinkError>(())
+/// ```
+pub fn calling_app(callee: &str, iterations: u64) -> Result<ModuleSpec, LinkError> {
+    let mut app = ModuleBuilder::new("app");
+    let f = app.import(callee);
+    app.begin_function("main", true);
+    let top = app.asm().fresh_label("top");
+    app.asm().push(Inst::mov_imm(Reg::R2, iterations));
+    app.asm().bind(top);
+    app.asm().push_call_extern(f);
+    app.asm().push(Inst::sub_imm(Reg::R2, 1));
+    app.asm().push_branch_nz(Reg::R2, top);
+    app.asm().push(Inst::Halt);
+    app.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynlink_core::{LinkAccel, SystemBuilder};
+
+    #[test]
+    fn helpers_compose_into_a_running_system() {
+        let mut system = SystemBuilder::new()
+            .module(calling_app("inc", 25).unwrap())
+            .module(adder_library("libinc", "inc", 1).unwrap())
+            .accel(LinkAccel::Abtb)
+            .build()
+            .unwrap();
+        system.run(100_000).unwrap();
+        assert_eq!(system.reg(Reg::R0), 25);
+    }
+}

@@ -1,0 +1,237 @@
+//! Property tests: the accelerated machine is architecturally invisible.
+//!
+//! The paper's central correctness claim is that the ABTB mechanism
+//! "maintain[s] an architectural state identical to the unmodified
+//! system" (§3). These tests generate random multi-module programs —
+//! library calls, function-pointer (virtual) calls, data traffic,
+//! loops — and check that the baseline and enhanced machines compute
+//! identical results, that the enhanced machine retires exactly the
+//! baseline instruction count minus the skipped trampolines, and that
+//! it never adds branch mispredictions (§3.3).
+
+use dynlink_core::{LinkAccel, LinkMode, MachineConfig, SystemBuilder};
+use dynlink_isa::{AluOp, Inst, Operand, Reg};
+use dynlink_linker::{ModuleBuilder, ModuleSpec};
+use dynlink_uarch::PerfCounters;
+use proptest::prelude::*;
+
+/// One step of the randomly generated `main`.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Call imported function `fn_idx` directly (through the PLT).
+    Call(usize),
+    /// Call imported function `fn_idx` through a function pointer
+    /// (virtual-dispatch style — must never be memoized).
+    CallViaPointer(usize),
+    /// ALU operation on the accumulator.
+    Alu(u8, u64),
+    /// Store then reload a value through app data.
+    DataRoundtrip(u64),
+    /// A counted inner loop accumulating into R1.
+    Loop(u8),
+}
+
+fn step_strategy(n_fns: usize) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..n_fns).prop_map(Step::Call),
+        (0..n_fns).prop_map(Step::CallViaPointer),
+        (0..4u8, 1..1000u64).prop_map(|(op, v)| Step::Alu(op, v)),
+        (1..u64::MAX).prop_map(Step::DataRoundtrip),
+        (1..20u8).prop_map(Step::Loop),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct ProgramSpec {
+    n_libs: usize,
+    /// Per function: (delta added to R0, extra body ops).
+    fns: Vec<(u64, u8)>,
+    steps: Vec<Step>,
+    repeat: u8,
+}
+
+fn program_strategy() -> impl Strategy<Value = ProgramSpec> {
+    (1..4usize, prop::collection::vec((1..100u64, 0..6u8), 1..6))
+        .prop_flat_map(|(n_libs, fns)| {
+            let n = fns.len();
+            (
+                Just(n_libs),
+                Just(fns),
+                prop::collection::vec(step_strategy(n), 1..24),
+                1..6u8,
+            )
+        })
+        .prop_map(|(n_libs, fns, steps, repeat)| ProgramSpec {
+            n_libs,
+            fns,
+            steps,
+            repeat,
+        })
+}
+
+fn build_modules(spec: &ProgramSpec) -> Vec<ModuleSpec> {
+    let mut libs: Vec<ModuleBuilder> = (0..spec.n_libs)
+        .map(|i| ModuleBuilder::new(&format!("lib{i}")))
+        .collect();
+    for (i, &(delta, body)) in spec.fns.iter().enumerate() {
+        let lib = &mut libs[i % spec.n_libs];
+        lib.begin_function(&format!("f{i}"), true);
+        for b in 0..body {
+            lib.asm().push(Inst::Alu {
+                op: AluOp::Xor,
+                dst: Reg::R3,
+                src: Operand::Imm(u64::from(b) + 1),
+            });
+        }
+        lib.asm().push(Inst::add_imm(Reg::R0, delta));
+        lib.asm().push(Inst::Ret);
+    }
+
+    let mut app = ModuleBuilder::new("app");
+    let refs: Vec<_> = (0..spec.fns.len())
+        .map(|i| app.import(&format!("f{i}")))
+        .collect();
+    let data = app.reserve_data(64);
+    app.begin_function("main", true);
+    let top = app.asm().fresh_label("repeat");
+    app.asm()
+        .push(Inst::mov_imm(Reg::R2, u64::from(spec.repeat)));
+    app.asm().bind(top);
+    for step in &spec.steps {
+        match step {
+            Step::Call(i) => {
+                app.asm().push_call_extern(refs[*i]);
+            }
+            Step::CallViaPointer(i) => {
+                app.asm().push_load_extern_ptr(Reg::R10, refs[*i]);
+                app.asm().push(Inst::CallIndirectReg { target: Reg::R10 });
+            }
+            Step::Alu(op, v) => {
+                let op = match op % 4 {
+                    0 => AluOp::Add,
+                    1 => AluOp::Xor,
+                    2 => AluOp::Sub,
+                    _ => AluOp::Or,
+                };
+                app.asm().push(Inst::Alu {
+                    op,
+                    dst: Reg::R1,
+                    src: Operand::Imm(*v),
+                });
+            }
+            Step::DataRoundtrip(v) => {
+                app.asm().push_lea_data(Reg::R8, data);
+                app.asm().push(Inst::mov_imm(Reg::R4, *v));
+                app.asm().push(Inst::Store {
+                    src: Reg::R4,
+                    mem: dynlink_isa::MemRef::base(Reg::R8, 8),
+                });
+                app.asm().push(Inst::Load {
+                    dst: Reg::R5,
+                    mem: dynlink_isa::MemRef::base(Reg::R8, 8),
+                });
+                app.asm().push(Inst::add_reg(Reg::R1, Reg::R5));
+            }
+            Step::Loop(n) => {
+                let l = app.asm().fresh_label("inner");
+                app.asm().push(Inst::mov_imm(Reg::R6, u64::from(*n)));
+                app.asm().bind(l);
+                app.asm().push(Inst::add_imm(Reg::R1, 1));
+                app.asm().push(Inst::sub_imm(Reg::R6, 1));
+                app.asm().push_branch_nz(Reg::R6, l);
+            }
+        }
+    }
+    app.asm().push(Inst::sub_imm(Reg::R2, 1));
+    app.asm().push_branch_nz(Reg::R2, top);
+    app.asm().push(Inst::Halt);
+
+    let mut modules = vec![app.finish().expect("app assembles")];
+    modules.extend(libs.into_iter().map(|l| l.finish().expect("lib assembles")));
+    modules
+}
+
+fn run(spec: &ProgramSpec, accel: LinkAccel, mode: LinkMode) -> ([u64; 3], PerfCounters) {
+    let mut system = SystemBuilder::new()
+        .modules(build_modules(spec))
+        .link_mode(mode)
+        .accel(accel)
+        .machine_config(MachineConfig {
+            accel,
+            ..MachineConfig::default()
+        })
+        .build()
+        .expect("loads");
+    system.run(5_000_000).expect("runs to completion");
+    assert!(system.machine().halted(), "program must halt");
+    (
+        [
+            system.reg(Reg::R0),
+            system.reg(Reg::R1),
+            system.reg(Reg::R3),
+        ],
+        system.counters(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Architectural state is identical with and without the ABTB, and
+    /// the retired-instruction difference is exactly the skipped
+    /// trampolines.
+    #[test]
+    fn abtb_is_architecturally_invisible(spec in program_strategy()) {
+        let (regs_base, c_base) = run(&spec, LinkAccel::Off, LinkMode::DynamicLazy);
+        let (regs_enh, c_enh) = run(&spec, LinkAccel::Abtb, LinkMode::DynamicLazy);
+        prop_assert_eq!(regs_base, regs_enh);
+        prop_assert_eq!(
+            c_base.instructions,
+            c_enh.instructions + c_enh.trampolines_skipped
+        );
+    }
+
+    /// §3.3: the mechanism introduces no branch mispredictions that the
+    /// baseline does not also incur.
+    #[test]
+    fn no_extra_mispredictions(spec in program_strategy()) {
+        let (_, c_base) = run(&spec, LinkAccel::Off, LinkMode::DynamicLazy);
+        let (_, c_enh) = run(&spec, LinkAccel::Abtb, LinkMode::DynamicLazy);
+        prop_assert!(c_enh.branch_mispredictions <= c_base.branch_mispredictions,
+            "enhanced {} > base {}", c_enh.branch_mispredictions, c_base.branch_mispredictions);
+    }
+
+    /// All four link modes compute the same result (static linking is
+    /// the semantic reference).
+    #[test]
+    fn link_modes_agree(spec in program_strategy()) {
+        let (regs_static, _) = run(&spec, LinkAccel::Off, LinkMode::Static);
+        let (regs_lazy, _) = run(&spec, LinkAccel::Off, LinkMode::DynamicLazy);
+        let (regs_now, _) = run(&spec, LinkAccel::Off, LinkMode::DynamicNow);
+        prop_assert_eq!(regs_static, regs_lazy);
+        prop_assert_eq!(regs_static, regs_now);
+    }
+
+    /// The §3.4 no-Bloom variant is also invisible as long as the
+    /// software contract (resolver invalidates after GOT writes) holds.
+    #[test]
+    fn no_bloom_variant_is_correct_under_contract(spec in program_strategy()) {
+        let (regs_base, _) = run(&spec, LinkAccel::Off, LinkMode::DynamicLazy);
+        let (regs_nb, _) = run(&spec, LinkAccel::AbtbNoBloom, LinkMode::DynamicLazy);
+        prop_assert_eq!(regs_base, regs_nb);
+    }
+
+    /// Eager binding (BIND_NOW) with the ABTB never invokes the resolver
+    /// yet still skips trampolines.
+    #[test]
+    fn eager_binding_skips_without_resolver(spec in program_strategy()) {
+        let (regs_base, _) = run(&spec, LinkAccel::Off, LinkMode::DynamicNow);
+        let (regs_enh, c_enh) = run(&spec, LinkAccel::Abtb, LinkMode::DynamicNow);
+        prop_assert_eq!(regs_base, regs_enh);
+        prop_assert_eq!(c_enh.resolver_invocations, 0);
+        let calls = spec.steps.iter().filter(|s| matches!(s, Step::Call(_))).count();
+        if calls > 0 && spec.repeat >= 4 {
+            prop_assert!(c_enh.trampolines_skipped > 0, "repeated calls must skip");
+        }
+    }
+}

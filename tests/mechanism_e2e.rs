@@ -1,0 +1,183 @@
+//! End-to-end mechanism tests across crates: context switches, ARM
+//! trampolines, the patched software emulation, ifuncs and runtime
+//! rebinding — all exercised through the public `dynlink-core` API.
+
+use dynlink_core::{
+    LibraryPlacement, LinkAccel, LinkMode, MachineConfig, SystemBuilder, TrampolineFlavor,
+};
+use dynlink_isa::Reg;
+use dynlink_repro::{adder_library, calling_app};
+
+fn build(accel: LinkAccel, flavor: TrampolineFlavor, calls: u64) -> dynlink_core::System {
+    SystemBuilder::new()
+        .module(calling_app("inc", calls).unwrap())
+        .module(adder_library("libinc", "inc", 1).unwrap())
+        .accel(accel)
+        .trampoline_flavor(flavor)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn context_switches_mid_run_stay_correct() {
+    let mut system = build(LinkAccel::Abtb, TrampolineFlavor::X86, 5000);
+    // Interleave bursts of execution with context switches that flush
+    // the ABTB; correctness and final state must be unaffected.
+    let mut switches = 0;
+    while !system.machine().halted() {
+        system.run(20_000).unwrap();
+        system.context_switch();
+        switches += 1;
+        assert!(switches < 1000, "program must finish");
+    }
+    assert_eq!(system.reg(Reg::R0), 5000);
+    let c = system.counters();
+    assert!(c.abtb_flushes >= switches - 1, "each switch flushes");
+    assert!(
+        c.trampolines_skipped > 0,
+        "the ABTB re-warms after every flush"
+    );
+}
+
+#[test]
+fn context_switch_costs_show_up_as_extra_trampolines() {
+    // Without switches, virtually every call is skipped; flushing every
+    // few calls forces trampolines to re-execute (re-training).
+    let mut quiet = build(LinkAccel::Abtb, TrampolineFlavor::X86, 4000);
+    quiet.run(10_000_000).unwrap();
+    let quiet_tramps = quiet.counters().trampoline_instructions;
+
+    let mut noisy = build(LinkAccel::Abtb, TrampolineFlavor::X86, 4000);
+    while !noisy.machine().halted() {
+        noisy.run(1_000).unwrap();
+        noisy.context_switch();
+    }
+    let noisy_tramps = noisy.counters().trampoline_instructions;
+    assert!(
+        noisy_tramps > quiet_tramps * 4,
+        "flushes force re-training: {noisy_tramps} vs {quiet_tramps}"
+    );
+    assert_eq!(noisy.reg(Reg::R0), 4000);
+}
+
+#[test]
+fn asid_tagged_abtb_survives_switches() {
+    let mut cfg = MachineConfig::enhanced();
+    cfg.flush_abtb_on_context_switch = false;
+    let mut system = SystemBuilder::new()
+        .module(calling_app("inc", 4000).unwrap())
+        .module(adder_library("libinc", "inc", 1).unwrap())
+        .machine_config(cfg)
+        .build()
+        .unwrap();
+    let mut switches = 0u64;
+    while !system.machine().halted() {
+        system.run(1_000).unwrap();
+        system.context_switch();
+        switches += 1;
+    }
+    assert_eq!(system.reg(Reg::R0), 4000);
+    let c = system.counters();
+    // Only the startup GOT-resolution flush occurs; switches retain the
+    // ABTB (paper §3.3, ASID-style retention).
+    assert!(switches > 10);
+    assert!(
+        c.abtb_flushes <= 2,
+        "ASID-tagged ABTB must not flush on switch ({})",
+        c.abtb_flushes
+    );
+}
+
+#[test]
+fn arm_flavor_end_to_end() {
+    for accel in [LinkAccel::Off, LinkAccel::Abtb] {
+        let mut system = build(accel, TrampolineFlavor::Arm, 2000);
+        system.run(10_000_000).unwrap();
+        assert_eq!(system.reg(Reg::R0), 2000, "{accel:?}");
+        let c = system.counters();
+        if accel == LinkAccel::Abtb {
+            // ARM trampolines are three instructions; skipping saves all
+            // of them.
+            assert!(c.trampolines_skipped > 1900, "{}", c.trampolines_skipped);
+        } else {
+            assert!(c.trampoline_instructions >= 3 * 2000);
+        }
+    }
+}
+
+#[test]
+fn arm_trampolines_cost_three_instructions_each() {
+    let mut base = build(LinkAccel::Off, TrampolineFlavor::Arm, 1000);
+    base.run(10_000_000).unwrap();
+    let mut x86 = build(LinkAccel::Off, TrampolineFlavor::X86, 1000);
+    x86.run(10_000_000).unwrap();
+    let arm_t = base.counters().trampoline_instructions;
+    let x86_t = x86.counters().trampoline_instructions;
+    assert_eq!(x86_t, 1000);
+    assert_eq!(arm_t, 3000, "add + add + ldr pc per call (Figure 2b)");
+}
+
+#[test]
+fn patched_mode_matches_enhanced_performance_shape() {
+    // The paper's software emulation and the proposed hardware both
+    // eliminate trampoline execution; compare instruction counts.
+    let mk = |mode, accel, placement| {
+        let mut s = SystemBuilder::new()
+            .module(calling_app("inc", 3000).unwrap())
+            .module(adder_library("libinc", "inc", 1).unwrap())
+            .link_mode(mode)
+            .placement(placement)
+            .accel(accel)
+            .build()
+            .unwrap();
+        s.run(10_000_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 3000);
+        s.counters()
+    };
+    let patched = mk(LinkMode::Patched, LinkAccel::Off, LibraryPlacement::Near);
+    let enhanced = mk(
+        LinkMode::DynamicLazy,
+        LinkAccel::Abtb,
+        LibraryPlacement::Far,
+    );
+    let base = mk(LinkMode::DynamicLazy, LinkAccel::Off, LibraryPlacement::Far);
+
+    assert_eq!(patched.trampoline_instructions, 0);
+    // Enhanced executes only warmup trampolines.
+    assert!(enhanced.trampoline_instructions < 10);
+    assert!(base.trampoline_instructions >= 3000);
+    // Both remove ~1 instruction per call versus base.
+    assert!(patched.instructions < base.instructions);
+    assert!(enhanced.instructions < base.instructions);
+}
+
+#[test]
+fn ifunc_resolution_is_skippable_too() {
+    // GNU ifuncs go through the PLT like ordinary dynamic symbols
+    // (§2.4.1); the ABTB skips their trampolines identically.
+    use dynlink_linker::ModuleBuilder;
+    let make_lib = || {
+        let mut lib = ModuleBuilder::new("libc");
+        lib.begin_function("impl_a", false);
+        lib.asm().push(dynlink_isa::Inst::add_imm(Reg::R0, 1));
+        lib.asm().push(dynlink_isa::Inst::Ret);
+        lib.begin_function("impl_b", false);
+        lib.asm().push(dynlink_isa::Inst::add_imm(Reg::R0, 2));
+        lib.asm().push(dynlink_isa::Inst::Ret);
+        lib.define_ifunc("memcpy", &["impl_a", "impl_b"]);
+        lib.finish().unwrap()
+    };
+
+    for (level, expect) in [(0usize, 1000u64), (1, 2000)] {
+        let mut system = SystemBuilder::new()
+            .module(calling_app("memcpy", 1000).unwrap())
+            .module(make_lib())
+            .accel(LinkAccel::Abtb)
+            .hw_level(level)
+            .build()
+            .unwrap();
+        system.run(10_000_000).unwrap();
+        assert_eq!(system.reg(Reg::R0), expect);
+        assert!(system.counters().trampolines_skipped > 900);
+    }
+}

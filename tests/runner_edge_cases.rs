@@ -1,0 +1,87 @@
+//! Edge cases of the workload runner and system run control.
+
+use dynlink_core::{LinkAccel, LinkMode, MachineConfig, RunExit, SystemBuilder};
+use dynlink_repro::{adder_library, calling_app};
+use dynlink_workloads::{generate, memcached, run_workload_warm};
+
+#[test]
+fn warmup_larger_than_run_does_not_hang() {
+    let workload = generate(&memcached(), 8, 1);
+    // 100 warmup requests per type but only 4 requests per type exist:
+    // the runner must terminate and return empty steady-state samples.
+    let run = run_workload_warm(
+        &workload,
+        MachineConfig::baseline(),
+        LinkMode::DynamicLazy,
+        100,
+    )
+    .unwrap();
+    assert_eq!(run.total_requests(), 0, "everything consumed as warmup");
+    assert_eq!(run.mean_latency(0), 0.0);
+    assert_eq!(run.quantile_latency(0, 0.5), 0);
+}
+
+#[test]
+fn zero_warmup_keeps_every_request() {
+    let workload = generate(&memcached(), 12, 1);
+    let run = run_workload_warm(
+        &workload,
+        MachineConfig::baseline(),
+        LinkMode::DynamicLazy,
+        0,
+    )
+    .unwrap();
+    assert_eq!(run.total_requests(), 12);
+}
+
+#[test]
+fn run_budget_exhaustion_is_reported() {
+    let mut system = SystemBuilder::new()
+        .module(calling_app("inc", 1_000_000).unwrap())
+        .module(adder_library("libinc", "inc", 1).unwrap())
+        .accel(LinkAccel::Abtb)
+        .build()
+        .unwrap();
+    assert_eq!(system.run(5_000).unwrap(), RunExit::InstLimit);
+    assert!(!system.machine().halted());
+    // Execution resumes where it stopped.
+    assert_eq!(system.run(5_000).unwrap(), RunExit::InstLimit);
+    assert!(system.counters().instructions >= 10_000);
+}
+
+#[test]
+fn run_until_marks_stops_at_request_boundary() {
+    let workload = generate(&memcached(), 40, 1);
+    let mut system = SystemBuilder::new()
+        .modules(workload.modules.iter().cloned())
+        .machine_config(MachineConfig::baseline())
+        .build()
+        .unwrap();
+    // 2 types round-robin: 12 marks = 6 ends = 3 requests per type.
+    system.run_until_marks(12, workload.run_budget()).unwrap();
+    let marks = system.take_marks();
+    assert_eq!(marks.len(), 12);
+    assert_eq!(marks.last().unwrap().id % 2, 1, "stopped on an end mark");
+}
+
+#[test]
+fn latency_quantiles_are_monotone() {
+    let workload = generate(&memcached(), 60, 2);
+    let run = run_workload_warm(
+        &workload,
+        MachineConfig::baseline(),
+        LinkMode::DynamicLazy,
+        4,
+    )
+    .unwrap();
+    for t in 0..2 {
+        let qs: Vec<u64> = [0.1, 0.5, 0.9, 0.99]
+            .iter()
+            .map(|&q| run.quantile_latency(t, q))
+            .collect();
+        for w in qs.windows(2) {
+            assert!(w[1] >= w[0], "{qs:?}");
+        }
+        assert!(run.mean_latency(t) >= qs[0] as f64 * 0.5);
+    }
+}
