@@ -6,7 +6,7 @@
 //! * context-switch policy (flush vs ASID-tagged retention, §3.3);
 //! * ARM-flavoured multi-instruction trampolines (Figure 2b).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dynlink_bench::stopwatch::Stopwatch;
 use dynlink_core::{LinkAccel, LinkMode, MachineConfig, SystemBuilder, TrampolineFlavor};
 use dynlink_workloads::{generate, memcached, run_workload_warm};
 
@@ -64,31 +64,27 @@ fn print_ablation_table() {
     row("ABTB 128 + next-line prefetch", prefetch);
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     print_ablation_table();
 
     // ARM-flavour trampoline cost comparison as a measured benchmark.
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(10);
+    let mut g = Stopwatch::group("ablation");
     for (label, flavor) in [
         ("x86_trampolines", TrampolineFlavor::X86),
         ("arm_trampolines", TrampolineFlavor::Arm),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut system = SystemBuilder::new()
-                    .module(dynlink_repro_helpers::calling_app("inc", 2000))
-                    .module(dynlink_repro_helpers::adder_library("libinc", "inc", 1))
-                    .accel(LinkAccel::Abtb)
-                    .trampoline_flavor(flavor)
-                    .build()
-                    .unwrap();
-                system.run(10_000_000).unwrap();
-                system.counters().cycles
-            })
+        g.bench(label, 10, || {
+            let mut system = SystemBuilder::new()
+                .module(dynlink_repro_helpers::calling_app("inc", 2000))
+                .module(dynlink_repro_helpers::adder_library("libinc", "inc", 1))
+                .accel(LinkAccel::Abtb)
+                .trampoline_flavor(flavor)
+                .build()
+                .unwrap();
+            system.run(10_000_000).unwrap();
+            system.counters().cycles
         });
     }
-    g.finish();
 }
 
 /// Local copies of the umbrella-crate helpers (the bench crate cannot
@@ -119,6 +115,3 @@ mod dynlink_repro_helpers {
         app.finish().unwrap()
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,26 +1,19 @@
 //! Regenerates paper Figure 4 (trampoline rank-frequency series) and
 //! benchmarks the rank-frequency analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dynlink_bench::experiments::{collect, collect_all, fig4, Scale};
+use dynlink_bench::stopwatch::Stopwatch;
 use dynlink_workloads::memcached;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let datasets = collect_all(Scale::tiny());
     println!("\n{}", fig4(&datasets));
     drop(datasets);
 
     let ds = collect(&memcached(), 64, 2);
-    let mut g = c.benchmark_group("fig4");
-    g.sample_size(20);
-    g.bench_function("rank_frequency_analysis", |b| {
-        b.iter(|| {
-            let rf = ds.stats.rank_frequency();
-            (rf.len(), ds.stats.coverage_count(0.5))
-        })
+    let mut g = Stopwatch::group("fig4");
+    g.bench("rank_frequency_analysis", 20, || {
+        let rf = ds.stats.rank_frequency();
+        (rf.len(), ds.stats.coverage_count(0.5))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,28 +1,23 @@
 //! Regenerates paper Figure 5 (% trampolines skipped vs ABTB size) and
 //! benchmarks the trace replay.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dynlink_bench::experiments::{collect, collect_all, fig5, Scale};
+use dynlink_bench::stopwatch::Stopwatch;
 use dynlink_trace::abtb_skip_fraction;
 use dynlink_workloads::apache;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let datasets = collect_all(Scale::tiny());
     let sizes = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
     println!("\n{}", fig5(&datasets, &sizes));
     drop(datasets);
 
     let ds = collect(&apache(), 48, 2);
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(20);
-    g.bench_function("replay_16_entries", |b| {
-        b.iter(|| abtb_skip_fraction(&ds.sequence, 16))
+    let mut g = Stopwatch::group("fig5");
+    g.bench("replay_16_entries", 20, || {
+        abtb_skip_fraction(&ds.sequence, 16)
     });
-    g.bench_function("replay_256_entries", |b| {
-        b.iter(|| abtb_skip_fraction(&ds.sequence, 256))
+    g.bench("replay_256_entries", 20, || {
+        abtb_skip_fraction(&ds.sequence, 256)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,33 +1,26 @@
 //! Regenerates paper Figure 6 (Apache/SPECweb response-time CDFs) and
 //! benchmarks the request-latency collection.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dynlink_bench::experiments::{collect, fig6};
+use dynlink_bench::stopwatch::Stopwatch;
 use dynlink_core::{LinkMode, MachineConfig};
 use dynlink_workloads::{apache, generate, run_workload_warm};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ds = collect(&apache(), 150, 6);
     println!("\n{}", fig6(&ds));
     drop(ds);
 
     let workload = generate(&apache(), 24, 1);
-    let mut g = c.benchmark_group("fig6");
-    g.sample_size(10);
-    g.bench_function("apache_latency_run", |b| {
-        b.iter(|| {
-            run_workload_warm(
-                &workload,
-                MachineConfig::enhanced(),
-                LinkMode::DynamicLazy,
-                2,
-            )
-            .unwrap()
-            .total_requests()
-        })
+    let mut g = Stopwatch::group("fig6");
+    g.bench("apache_latency_run", 10, || {
+        run_workload_warm(
+            &workload,
+            MachineConfig::enhanced(),
+            LinkMode::DynamicLazy,
+            2,
+        )
+        .unwrap()
+        .total_requests()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

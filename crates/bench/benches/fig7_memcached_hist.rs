@@ -1,18 +1,13 @@
 //! Regenerates paper Figure 7 (Memcached GET/SET processing-time
 //! histograms) and benchmarks the run + histogram build.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dynlink_bench::experiments::{collect, fig7};
+use dynlink_bench::stopwatch::Stopwatch;
 use dynlink_workloads::memcached;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ds = collect(&memcached(), 300, 8);
     println!("\n{}", fig7(&ds, 1000));
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(20);
-    g.bench_function("histogram_build", |b| b.iter(|| fig7(&ds, 1000).rows.len()));
-    g.finish();
+    let mut g = Stopwatch::group("fig7");
+    g.bench("histogram_build", 20, || fig7(&ds, 1000).rows.len());
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

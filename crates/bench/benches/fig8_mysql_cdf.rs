@@ -1,26 +1,19 @@
 //! Regenerates paper Figure 8 / Table 6 (MySQL New Order & Payment
 //! response-time distributions) and benchmarks the MySQL model run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dynlink_bench::experiments::{collect, fig8_table6};
+use dynlink_bench::stopwatch::Stopwatch;
 use dynlink_core::{LinkMode, MachineConfig};
 use dynlink_workloads::{generate, mysql, run_workload};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ds = collect(&mysql(), 120, 6);
     println!("\n{}", fig8_table6(&ds));
     drop(ds);
 
     let workload = generate(&mysql(), 16, 1);
-    let mut g = c.benchmark_group("fig8");
-    g.sample_size(10);
-    g.bench_function("mysql_run", |b| {
-        b.iter(|| {
-            run_workload(&workload, MachineConfig::enhanced(), LinkMode::DynamicLazy).unwrap()
-        })
+    let mut g = Stopwatch::group("fig8");
+    g.bench("mysql_run", 10, || {
+        run_workload(&workload, MachineConfig::enhanced(), LinkMode::DynamicLazy).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,20 +1,15 @@
 //! Regenerates the paper's §5.5 memory-savings analysis and benchmarks
 //! the fork+patch accounting.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dynlink_bench::memsave::memory_savings;
+use dynlink_bench::stopwatch::Stopwatch;
 use dynlink_workloads::{apache, memcached};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\n{}\n", memory_savings(&apache(), 100));
 
-    let mut g = c.benchmark_group("sec55");
-    g.sample_size(10);
-    g.bench_function("fork_and_patch_memcached", |b| {
-        b.iter(|| memory_savings(&memcached(), 4).pages_copied_per_worker)
+    let mut g = Stopwatch::group("sec55");
+    g.bench("fork_and_patch_memcached", 10, || {
+        memory_savings(&memcached(), 4).pages_copied_per_worker
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,29 +1,22 @@
 //! Regenerates paper Table 2 (trampoline instructions per
 //! kilo-instruction) and benchmarks the baseline measurement run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dynlink_bench::experiments::{collect, collect_all, table2, Scale};
+use dynlink_bench::stopwatch::Stopwatch;
 use dynlink_core::{LinkMode, MachineConfig};
 use dynlink_workloads::{generate, memcached, run_workload};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let datasets = collect_all(Scale::tiny());
     println!("\n{}", table2(&datasets));
     drop(datasets);
 
     let workload = generate(&memcached(), 24, 1);
-    let mut g = c.benchmark_group("table2");
-    g.sample_size(10);
-    g.bench_function("memcached_baseline_run", |b| {
-        b.iter(|| {
-            run_workload(&workload, MachineConfig::baseline(), LinkMode::DynamicLazy).unwrap()
-        })
+    let mut g = Stopwatch::group("table2");
+    g.bench("memcached_baseline_run", 10, || {
+        run_workload(&workload, MachineConfig::baseline(), LinkMode::DynamicLazy).unwrap()
     });
-    g.bench_function("collect_dataset_memcached", |b| {
-        b.iter(|| collect(&memcached(), 24, 2))
+    g.bench("collect_dataset_memcached", 10, || {
+        collect(&memcached(), 24, 2)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,37 +1,30 @@
 //! Regenerates paper Table 3 (distinct trampolines used) and benchmarks
 //! the traced run that discovers them.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dynlink_bench::experiments::{collect_all, table3, Scale};
+use dynlink_bench::stopwatch::Stopwatch;
 use dynlink_core::{LinkMode, MachineConfig};
 use dynlink_trace::TrampolineTracer;
 use dynlink_workloads::{generate, memcached, run_workload_observed};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let datasets = collect_all(Scale::tiny());
     println!("\n{}", table3(&datasets));
     drop(datasets);
 
     let workload = generate(&memcached(), 24, 1);
-    let mut g = c.benchmark_group("table3");
-    g.sample_size(10);
-    g.bench_function("traced_baseline_run", |b| {
-        b.iter(|| {
-            let tracer = TrampolineTracer::shared();
-            run_workload_observed(
-                &workload,
-                MachineConfig::baseline(),
-                LinkMode::DynamicLazy,
-                0,
-                Some(tracer.clone()),
-            )
-            .unwrap();
-            let distinct = tracer.borrow().stats().distinct();
-            distinct
-        })
+    let mut g = Stopwatch::group("table3");
+    g.bench("traced_baseline_run", 10, || {
+        let tracer = TrampolineTracer::shared();
+        run_workload_observed(
+            &workload,
+            MachineConfig::baseline(),
+            LinkMode::DynamicLazy,
+            0,
+            Some(tracer.clone()),
+        )
+        .unwrap();
+        let distinct = tracer.lock().unwrap().stats().distinct();
+        distinct
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

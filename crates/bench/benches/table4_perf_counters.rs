@@ -1,31 +1,22 @@
 //! Regenerates paper Table 4 (performance counters, base vs enhanced)
 //! and benchmarks the enhanced-machine run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dynlink_bench::experiments::{collect_all, table4, Scale};
+use dynlink_bench::stopwatch::Stopwatch;
 use dynlink_core::{LinkMode, MachineConfig};
 use dynlink_workloads::{apache, generate, run_workload};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let datasets = collect_all(Scale::tiny());
     println!("\n{}", table4(&datasets));
     drop(datasets);
 
     let workload = generate(&apache(), 24, 1);
-    let mut g = c.benchmark_group("table4");
-    g.sample_size(10);
-    g.bench_function("apache_baseline", |b| {
-        b.iter(|| {
-            run_workload(&workload, MachineConfig::baseline(), LinkMode::DynamicLazy).unwrap()
-        })
+    let mut g = Stopwatch::group("table4");
+    g.bench("apache_baseline", 10, || {
+        run_workload(&workload, MachineConfig::baseline(), LinkMode::DynamicLazy).unwrap()
     });
-    g.bench_function("apache_enhanced", |b| {
-        b.iter(|| {
-            run_workload(&workload, MachineConfig::enhanced(), LinkMode::DynamicLazy).unwrap()
-        })
+    g.bench("apache_enhanced", 10, || {
+        run_workload(&workload, MachineConfig::enhanced(), LinkMode::DynamicLazy).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

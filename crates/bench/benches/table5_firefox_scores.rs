@@ -1,26 +1,19 @@
 //! Regenerates paper Table 5 (Firefox Peacekeeper scores) and benchmarks
 //! the Firefox kernel run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dynlink_bench::experiments::{collect, table5};
+use dynlink_bench::stopwatch::Stopwatch;
 use dynlink_core::{LinkMode, MachineConfig};
 use dynlink_workloads::{firefox, generate, run_workload};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ds = collect(&firefox(), 150, 6);
     println!("\n{}", table5(&ds));
     drop(ds);
 
     let workload = generate(&firefox(), 15, 1);
-    let mut g = c.benchmark_group("table5");
-    g.sample_size(10);
-    g.bench_function("firefox_kernel_run", |b| {
-        b.iter(|| {
-            run_workload(&workload, MachineConfig::enhanced(), LinkMode::DynamicLazy).unwrap()
-        })
+    let mut g = Stopwatch::group("table5");
+    g.bench("firefox_kernel_run", 10, || {
+        run_workload(&workload, MachineConfig::enhanced(), LinkMode::DynamicLazy).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

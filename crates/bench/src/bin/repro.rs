@@ -1,53 +1,46 @@
 //! `repro` — regenerates every table and figure of the paper's
-//! evaluation section from the simulator.
+//! evaluation section from the simulator, sharding the experiment
+//! matrix across worker threads.
 //!
 //! ```text
-//! repro [--scale quick|full] [--exp all|table2|table3|fig4|table4|fig5|
-//!        fig6|table5|fig7|fig8|mem|cost] [--workers N]
+//! repro [--scale quick|full] [--exp all|NAME] [--jobs N] [--workers N]
+//!       [--data-dir DIR] [--list]
 //! ```
+//!
+//! Experiments are dispatched through `dynlink_bench::registry()`; run
+//! `repro --list` for names and descriptions. Output on stdout is
+//! byte-identical at every `--jobs` level (results are printed in
+//! registry order); per-phase and per-experiment wall-clock timings go
+//! to stderr.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use dynlink_bench::experiments::{
-    btb_pressure, collect_all, context_switch_sweep, cycle_breakdown, export_figure_data, fig4,
-    fig5, fig6, fig7, fig8_table6, hw_cost, multitenant, negative_control, sensitivity, table2,
-    table3, table4, table5, Scale, WorkloadDataset,
-};
-use dynlink_bench::memsave::memory_savings;
-use dynlink_workloads::apache;
-
-const EXPERIMENTS: &[&str] = &[
-    "table2",
-    "table3",
-    "fig4",
-    "table4",
-    "fig5",
-    "fig6",
-    "table5",
-    "fig7",
-    "fig8",
-    "mem",
-    "cost",
-    "switches",
-    "btb",
-    "breakdown",
-    "control",
-    "sensitivity",
-    "tenants",
-];
+use dynlink_bench::experiments::{collect_all_jobs, export_figure_data, Scale, WorkloadDataset};
+use dynlink_bench::registry::{find, registry, suggest, ExperimentCtx};
+use dynlink_bench::runner::{default_jobs, Cell, CellOutcome, ParallelRunner};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--scale quick|full] [--exp all|{}] [--workers N] [--data-dir DIR]",
-        EXPERIMENTS.join("|")
+        "usage: repro [--scale quick|full] [--exp all|NAME] [--jobs N] [--workers N] \
+         [--data-dir DIR] [--list]\n       run `repro --list` for experiment names"
     );
     ExitCode::from(2)
+}
+
+fn list() -> ExitCode {
+    println!("{:<12} description", "name");
+    for e in registry() {
+        println!("{:<12} {}", e.name, e.description);
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let mut scale = Scale::quick();
     let mut scale_name = "quick";
     let mut exp = "all".to_owned();
+    let mut jobs = default_jobs();
     let mut workers = 100u64;
     let mut data_dir: Option<std::path::PathBuf> = None;
 
@@ -72,9 +65,24 @@ fn main() -> ExitCode {
             "--exp" => {
                 i += 1;
                 match args.get(i) {
-                    Some(e) if e == "all" || EXPERIMENTS.contains(&e.as_str()) => {
+                    Some(e) if e == "all" || find(e).is_some() => {
                         exp = e.clone();
                     }
+                    Some(e) => {
+                        eprintln!(
+                            "unknown experiment `{e}`; did you mean `{}`? \
+                             (run `repro --list` for all names)",
+                            suggest(e)
+                        );
+                        return ExitCode::from(2);
+                    }
+                    None => return usage(),
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|j| j.parse::<usize>().ok()) {
+                    Some(j) if j >= 1 => jobs = j,
                     _ => return usage(),
                 }
             }
@@ -92,6 +100,7 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--list" => return list(),
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -101,63 +110,65 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let want = |name: &str| exp == "all" || exp == name;
-    let needs_datasets = EXPERIMENTS[..9].iter().any(|e| want(e));
+    let selected: Vec<_> = registry()
+        .iter()
+        .filter(|e| exp == "all" || exp == e.name)
+        .collect();
+    let needs_datasets = selected.iter().any(|e| e.needs_datasets) || data_dir.is_some();
 
     println!(
         "== dynlink-sim reproduction: Architectural Support for Dynamic Linking (ASPLOS'15) =="
     );
     println!("scale: {scale_name}\n");
 
+    let started = Instant::now();
     let datasets: Vec<WorkloadDataset> = if needs_datasets {
-        eprintln!("collecting workload datasets (base + enhanced runs, traced)...");
-        collect_all(scale)
+        eprintln!(
+            "collecting workload datasets (base + enhanced runs, traced) on {jobs} worker(s)..."
+        );
+        let collected = collect_all_jobs(scale, jobs);
+        eprintln!("datasets collected in {:.2?}", started.elapsed());
+        collected
     } else {
         Vec::new()
     };
 
-    if want("table2") {
-        println!("{}", table2(&datasets));
-    }
-    if want("table3") {
-        println!("{}", table3(&datasets));
-        println!(
-            "(tail trampolines fire as rarely as every 2^k requests; the quick\n\
-             scale under-counts long tails -- use --scale full for coverage)\n"
-        );
-    }
-    if want("fig4") {
-        println!("{}", fig4(&datasets));
-    }
-    if want("table4") {
-        println!("{}", table4(&datasets));
-    }
-    if want("fig5") {
-        let sizes = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
-        println!("{}", fig5(&datasets, &sizes));
-    }
-    let by_name = |n: &str| datasets.iter().find(|d| d.name == n);
-    if want("fig6") {
-        if let Some(d) = by_name("apache") {
-            println!("{}", fig6(d));
+    // Phase 2: render every selected experiment as a runner cell. The
+    // registry order is the print order; parallelism only changes who
+    // computes what, never what lands on stdout.
+    let datasets_ref = &datasets;
+    let cells: Vec<Cell<String>> = selected
+        .iter()
+        .map(|e| {
+            let render = e.render;
+            Cell::new(e.name, move |_ctx| {
+                let ctx = ExperimentCtx {
+                    datasets: datasets_ref,
+                    scale,
+                    workers,
+                };
+                render(&ctx)
+            })
+        })
+        .collect();
+    let report = ParallelRunner::new(jobs).run(0x5eed, cells);
+
+    let mut failed = false;
+    for (e, cell) in selected.iter().zip(report.cells) {
+        match cell.outcome {
+            CellOutcome::Done(text) => print!("{text}"),
+            CellOutcome::Panicked(msg) => {
+                failed = true;
+                eprintln!("experiment `{}` failed: {msg}", e.name);
+            }
         }
+        eprintln!("experiment {:<12} {:>10.2?}", e.name, cell.wall);
     }
-    if want("table5") {
-        if let Some(d) = by_name("firefox") {
-            println!("{}", table5(d));
-            println!();
-        }
-    }
-    if want("fig7") {
-        if let Some(d) = by_name("memcached") {
-            println!("{}", fig7(d, 1000));
-        }
-    }
-    if want("fig8") {
-        if let Some(d) = by_name("mysql") {
-            println!("{}", fig8_table6(d));
-        }
-    }
+    eprintln!(
+        "total wall-clock: {:.2?} ({jobs} job(s))",
+        started.elapsed()
+    );
+
     if let Some(dir) = &data_dir {
         match export_figure_data(&datasets, dir) {
             Ok(files) => eprintln!("wrote {} TSV series to {}", files.len(), dir.display()),
@@ -165,30 +176,9 @@ fn main() -> ExitCode {
         }
     }
 
-    if want("mem") {
-        println!("{}\n", memory_savings(&apache(), workers));
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
-    if want("cost") {
-        println!("{}\n", hw_cost());
-    }
-    if want("switches") {
-        println!("{}", context_switch_sweep(scale.memcached.min(600)));
-    }
-    if want("btb") {
-        println!("{}", btb_pressure(scale));
-    }
-    if want("breakdown") {
-        println!("{}", cycle_breakdown(scale));
-    }
-    if want("control") {
-        println!("{}\n", negative_control(scale.memcached.min(400)));
-    }
-    if want("sensitivity") {
-        println!("{}", sensitivity(scale.apache.min(400)));
-    }
-    if want("tenants") {
-        println!("{}", multitenant(scale.mysql.min(120), 20_000));
-    }
-
-    ExitCode::SUCCESS
 }

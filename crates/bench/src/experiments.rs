@@ -29,7 +29,7 @@ pub struct Scale {
 }
 
 impl Scale {
-    /// A quick scale for tests and Criterion setup (seconds).
+    /// A quick scale for tests and bench setup (seconds).
     pub fn quick() -> Scale {
         Scale {
             apache: 360,
@@ -40,7 +40,7 @@ impl Scale {
         }
     }
 
-    /// A tiny scale for Criterion bench setup (sub-second per workload).
+    /// A tiny scale for bench setup (sub-second per workload).
     pub fn tiny() -> Scale {
         Scale {
             apache: 120,
@@ -117,7 +117,7 @@ pub fn collect(profile: &WorkloadProfile, requests: u64, warmup: u64) -> Workloa
         None,
     )
     .expect("enhanced run completes");
-    let tracer = tracer.borrow();
+    let tracer = tracer.lock().expect("tracer mutex poisoned");
     WorkloadDataset {
         name: profile.name.clone(),
         profile: profile.clone(),
@@ -128,11 +128,96 @@ pub fn collect(profile: &WorkloadProfile, requests: u64, warmup: u64) -> Workloa
     }
 }
 
-/// Collects all four paper workloads.
+/// Collects all four paper workloads serially (the reference path the
+/// parallel collector is checked against).
 pub fn collect_all(scale: Scale) -> Vec<WorkloadDataset> {
     [apache(), firefox(), memcached(), mysql()]
         .iter()
         .map(|p| collect(p, scale.requests_for(&p.name), scale.warmup))
+        .collect()
+}
+
+/// Collects all four paper workloads on `jobs` worker threads.
+///
+/// Each workload's traced baseline run and enhanced run are independent
+/// simulations, so the matrix shards into 8 cells. Results are stitched
+/// back in workload order; every simulation uses the same fixed seeds
+/// as [`collect`], so the output is bit-identical to the serial path at
+/// any `jobs` level.
+pub fn collect_all_jobs(scale: Scale, jobs: usize) -> Vec<WorkloadDataset> {
+    use crate::runner::{Cell, CellCtx, ParallelRunner};
+
+    /// One half of a dataset: either the traced baseline or the
+    /// enhanced run.
+    enum Half {
+        Base(WorkloadRun, TrampolineStats, Vec<VirtAddr>),
+        Enhanced(WorkloadRun),
+    }
+
+    let profiles = [apache(), firefox(), memcached(), mysql()];
+    let mut cells: Vec<Cell<Half>> = Vec::new();
+    for profile in &profiles {
+        let requests = scale.requests_for(&profile.name);
+        let warmup = scale.warmup;
+        let base_profile = profile.clone();
+        cells.push(Cell::new(
+            format!("collect:{}:base", profile.name),
+            move |ctx: &mut CellCtx| {
+                let workload = generate(&base_profile, requests, 0xd1e5e1);
+                let tracer = TrampolineTracer::shared();
+                let run = run_workload_observed(
+                    &workload,
+                    MachineConfig::baseline(),
+                    LinkMode::DynamicLazy,
+                    warmup,
+                    Some(tracer.clone()),
+                )
+                .expect("baseline run completes");
+                ctx.record_counters(&run.counters);
+                let tracer = tracer.lock().expect("tracer mutex poisoned");
+                Half::Base(run, tracer.stats(), tracer.sequence().to_vec())
+            },
+        ));
+        let enh_profile = profile.clone();
+        cells.push(Cell::new(
+            format!("collect:{}:enhanced", profile.name),
+            move |ctx: &mut CellCtx| {
+                let workload = generate(&enh_profile, requests, 0xd1e5e1);
+                let run = run_workload_observed(
+                    &workload,
+                    MachineConfig::enhanced(),
+                    LinkMode::DynamicLazy,
+                    warmup,
+                    None,
+                )
+                .expect("enhanced run completes");
+                ctx.record_counters(&run.counters);
+                Half::Enhanced(run)
+            },
+        ));
+    }
+
+    let mut halves = ParallelRunner::new(jobs).run(0xd1e5e1, cells).into_values();
+    profiles
+        .iter()
+        .map(|profile| {
+            let (base, stats, sequence) = match halves.next().map(|o| o.unwrap()) {
+                Some(Half::Base(run, stats, seq)) => (run, stats, seq),
+                _ => unreachable!("cells alternate base/enhanced per workload"),
+            };
+            let enhanced = match halves.next().map(|o| o.unwrap()) {
+                Some(Half::Enhanced(run)) => run,
+                _ => unreachable!("cells alternate base/enhanced per workload"),
+            };
+            WorkloadDataset {
+                name: profile.name.clone(),
+                profile: profile.clone(),
+                base,
+                enhanced,
+                stats,
+                sequence,
+            }
+        })
         .collect()
 }
 
@@ -1028,7 +1113,7 @@ pub fn btb_pressure(scale: Scale) -> BtbPressureReport {
             Some(obs.clone()),
         )
         .expect("baseline run completes");
-        let p = obs.borrow();
+        let p = obs.lock().expect("observer mutex poisoned");
         rows.push((
             profile.name.clone(),
             p.call_sites(),

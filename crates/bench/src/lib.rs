@@ -3,7 +3,7 @@
 //! Experiment drivers regenerating **every table and figure** of the
 //! evaluation section of *Architectural Support for Dynamic Linking*
 //! (ASPLOS 2015), plus the `repro` binary that prints them and the
-//! Criterion benches that keep them measurable.
+//! bench binaries that keep them measurable.
 //!
 //! Experiment index (see `DESIGN.md` for the full mapping):
 //!
@@ -21,6 +21,12 @@
 //! | §5.5 (memory savings) | [`memsave::memory_savings`] |
 //! | §5.3 (hardware cost) | [`experiments::hw_cost`] |
 //!
+//! All of the above are also listed in [`registry::registry`], the
+//! single dispatch table consumed by the `repro` binary (`--exp`,
+//! `--list`) and the benches. [`runner::ParallelRunner`] shards
+//! experiment cells across `--jobs` worker threads with deterministic
+//! per-cell seeds and panic isolation.
+//!
 //! Beyond the paper: [`experiments::btb_pressure`] (§2.2 quantified),
 //! [`experiments::cycle_breakdown`] (§5.2 first- vs second-order),
 //! [`experiments::context_switch_sweep`] (§3.3 policies),
@@ -34,5 +40,10 @@
 
 pub mod experiments;
 pub mod memsave;
+pub mod registry;
+pub mod runner;
+pub mod stopwatch;
 
-pub use experiments::{collect, collect_all, Scale, WorkloadDataset};
+pub use experiments::{collect, collect_all, collect_all_jobs, Scale, WorkloadDataset};
+pub use registry::{registry, Experiment, ExperimentCtx};
+pub use runner::{default_jobs, Cell, CellOutcome, ParallelRunner, RunReport};

@@ -1,0 +1,262 @@
+//! The experiment registry: every table/figure driver in one table.
+//!
+//! `repro`, the benches and the tests all dispatch through this module
+//! instead of hand-maintained string matches. Each [`Experiment`] knows
+//! its name, a one-line description, whether it needs the shared
+//! workload datasets, and how to render its report to the exact text
+//! the `repro` binary prints — so output stays byte-identical whether
+//! experiments run serially or on a worker pool.
+
+use crate::experiments::{
+    btb_pressure, context_switch_sweep, cycle_breakdown, fig4, fig5, fig6, fig7, fig8_table6,
+    hw_cost, multitenant, negative_control, sensitivity, table2, table3, table4, table5, Scale,
+    WorkloadDataset,
+};
+use crate::memsave::memory_savings;
+use dynlink_workloads::apache;
+
+/// Everything an experiment's render function may consume.
+pub struct ExperimentCtx<'a> {
+    /// The shared per-workload datasets (empty when no selected
+    /// experiment needs them).
+    pub datasets: &'a [WorkloadDataset],
+    /// Request-count sizing.
+    pub scale: Scale,
+    /// Prefork worker count for the §5.5 memory-savings model.
+    pub workers: u64,
+}
+
+impl ExperimentCtx<'_> {
+    fn dataset(&self, name: &str) -> Option<&WorkloadDataset> {
+        self.datasets.iter().find(|d| d.name == name)
+    }
+}
+
+/// One registered experiment.
+pub struct Experiment {
+    /// The `--exp` name.
+    pub name: &'static str,
+    /// One-line description shown by `repro --list`.
+    pub description: &'static str,
+    /// Whether the experiment reads the shared workload datasets (and
+    /// therefore requires the collection phase).
+    pub needs_datasets: bool,
+    /// Renders the experiment's full stdout text, trailing newlines
+    /// included.
+    pub render: fn(&ExperimentCtx<'_>) -> String,
+}
+
+/// ABTB capacities swept by the Figure 5 experiment.
+pub const FIG5_SIZES: [usize; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+static REGISTRY: &[Experiment] = &[
+    Experiment {
+        name: "table2",
+        description: "Table 2: trampoline instructions per kilo-instruction",
+        needs_datasets: true,
+        render: |ctx| format!("{}\n", table2(ctx.datasets)),
+    },
+    Experiment {
+        name: "table3",
+        description: "Table 3: distinct trampolines exercised",
+        needs_datasets: true,
+        render: |ctx| {
+            format!(
+                "{}\n(tail trampolines fire as rarely as every 2^k requests; the quick\n\
+                 scale under-counts long tails -- use --scale full for coverage)\n\n",
+                table3(ctx.datasets)
+            )
+        },
+    },
+    Experiment {
+        name: "fig4",
+        description: "Figure 4: trampoline rank-frequency series",
+        needs_datasets: true,
+        render: |ctx| format!("{}\n", fig4(ctx.datasets)),
+    },
+    Experiment {
+        name: "table4",
+        description: "Table 4: performance counters, baseline vs enhanced",
+        needs_datasets: true,
+        render: |ctx| format!("{}\n", table4(ctx.datasets)),
+    },
+    Experiment {
+        name: "fig5",
+        description: "Figure 5: % trampolines skipped vs ABTB capacity",
+        needs_datasets: true,
+        render: |ctx| format!("{}\n", fig5(ctx.datasets, &FIG5_SIZES)),
+    },
+    Experiment {
+        name: "fig6",
+        description: "Figure 6: Apache request-latency CDF",
+        needs_datasets: true,
+        render: |ctx| match ctx.dataset("apache") {
+            Some(d) => format!("{}\n", fig6(d)),
+            None => String::new(),
+        },
+    },
+    Experiment {
+        name: "table5",
+        description: "Table 5: Firefox/Peacekeeper scores",
+        needs_datasets: true,
+        render: |ctx| match ctx.dataset("firefox") {
+            Some(d) => format!("{}\n\n", table5(d)),
+            None => String::new(),
+        },
+    },
+    Experiment {
+        name: "fig7",
+        description: "Figure 7: Memcached latency histograms",
+        needs_datasets: true,
+        render: |ctx| match ctx.dataset("memcached") {
+            Some(d) => format!("{}\n", fig7(d, 1000)),
+            None => String::new(),
+        },
+    },
+    Experiment {
+        name: "fig8",
+        description: "Figure 8 / Table 6: MySQL latency distribution",
+        needs_datasets: true,
+        render: |ctx| match ctx.dataset("mysql") {
+            Some(d) => format!("{}\n", fig8_table6(d)),
+            None => String::new(),
+        },
+    },
+    Experiment {
+        name: "mem",
+        description: "Sec 5.5: copy-on-write memory savings in prefork servers",
+        needs_datasets: false,
+        render: |ctx| format!("{}\n\n", memory_savings(&apache(), ctx.workers)),
+    },
+    Experiment {
+        name: "cost",
+        description: "Sec 5.3: on-chip hardware cost of the ABTB + Bloom filter",
+        needs_datasets: false,
+        render: |_ctx| format!("{}\n\n", hw_cost()),
+    },
+    Experiment {
+        name: "switches",
+        description: "Sec 3.3: skip-rate decay under context switches (flush vs ASID)",
+        needs_datasets: false,
+        render: |ctx| format!("{}\n", context_switch_sweep(ctx.scale.memcached.min(600))),
+    },
+    Experiment {
+        name: "btb",
+        description: "Sec 2.2: BTB-entry pressure of dynamic linking",
+        needs_datasets: false,
+        render: |ctx| format!("{}\n", btb_pressure(ctx.scale)),
+    },
+    Experiment {
+        name: "breakdown",
+        description: "Sec 5.2: cycle breakdown, first- vs second-order effects",
+        needs_datasets: false,
+        render: |ctx| format!("{}\n", cycle_breakdown(ctx.scale)),
+    },
+    Experiment {
+        name: "control",
+        description: "Negative control: compute-bound workload is unaffected",
+        needs_datasets: false,
+        render: |ctx| format!("{}\n\n", negative_control(ctx.scale.memcached.min(400))),
+    },
+    Experiment {
+        name: "sensitivity",
+        description: "Machine-parameter sensitivity of the headline speedup",
+        needs_datasets: false,
+        render: |ctx| format!("{}\n", sensitivity(ctx.scale.apache.min(400))),
+    },
+    Experiment {
+        name: "tenants",
+        description: "Two tenants on one core: ASID-tagged vs flushed ABTB",
+        needs_datasets: false,
+        render: |ctx| format!("{}\n", multitenant(ctx.scale.mysql.min(120), 20_000)),
+    },
+];
+
+/// All registered experiments, in `repro` print order.
+pub fn registry() -> &'static [Experiment] {
+    REGISTRY
+}
+
+/// Looks up an experiment by exact name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.name == name)
+}
+
+/// The closest registered name to a mistyped one (by edit distance),
+/// for "unknown experiment, did you mean ...?" diagnostics.
+pub fn suggest(name: &str) -> &'static str {
+    REGISTRY
+        .iter()
+        .map(|e| (edit_distance(name, e.name), e.name))
+        .min_by_key(|&(d, n)| (d, n))
+        .map(|(_, n)| n)
+        .expect("registry is never empty")
+}
+
+/// Classic Levenshtein distance (small inputs; O(len_a * len_b)).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_nonempty() {
+        let mut names: Vec<_> = registry().iter().map(|e| e.name).collect();
+        assert!(!names.is_empty());
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry().len(), "duplicate experiment name");
+        assert!(registry().iter().all(|e| !e.description.is_empty()));
+    }
+
+    #[test]
+    fn find_hits_every_registered_name() {
+        for e in registry() {
+            assert_eq!(find(e.name).map(|f| f.name), Some(e.name));
+        }
+        assert!(find("no-such-experiment").is_none());
+    }
+
+    #[test]
+    fn suggestion_catches_typos() {
+        assert_eq!(suggest("tabel2"), "table2");
+        assert_eq!(suggest("fig-5"), "fig5");
+        assert_eq!(suggest("memory"), "mem");
+        assert_eq!(suggest("sensitivty"), "sensitivity");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn dataset_free_experiments_render_without_collection() {
+        let ctx = ExperimentCtx {
+            datasets: &[],
+            scale: Scale::tiny(),
+            workers: 4,
+        };
+        let cost = find("cost").unwrap();
+        assert!(!cost.needs_datasets);
+        let text = (cost.render)(&ctx);
+        assert!(text.contains("ABTB"), "{text}");
+        assert!(text.ends_with("\n\n"));
+    }
+}

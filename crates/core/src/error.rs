@@ -7,7 +7,11 @@ use dynlink_linker::LinkError;
 use dynlink_mem::MemError;
 
 /// Errors produced while building or operating a [`crate::System`].
+///
+/// Marked `#[non_exhaustive]`: downstream `match` arms must carry a
+/// wildcard, so future error classes are not a breaking change.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SystemError {
     /// Linking or loading failed.
     Link(LinkError),

@@ -59,3 +59,23 @@ pub use dynlink_cpu::{
 pub use dynlink_linker::{LinkMode, LinkOptions, TrampolineFlavor};
 pub use dynlink_mem::layout::LibraryPlacement;
 pub use dynlink_uarch::PerfCounters;
+
+/// One-line import of the vocabulary types.
+///
+/// Examples, tests and benches all need the same handful of names;
+/// `use dynlink_core::prelude::*;` brings them in without spelling out
+/// the re-export paths.
+///
+/// ```
+/// use dynlink_core::prelude::*;
+///
+/// let _accel = LinkAccel::Abtb;
+/// let _mode = LinkMode::DynamicLazy;
+/// let _ = SystemBuilder::new();
+/// ```
+pub mod prelude {
+    pub use crate::{
+        LibraryPlacement, LinkAccel, LinkMode, MachineConfig, PerfCounters, System, SystemBuilder,
+        SystemError,
+    };
+}

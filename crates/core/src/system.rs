@@ -1,7 +1,6 @@
 //! The `System`: loaded process + simulated machine.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use dynlink_cpu::{CpuError, LinkAccel, Machine, MachineConfig, MarkEvent, RunExit};
 use dynlink_isa::{Reg, VirtAddr};
@@ -26,6 +25,9 @@ pub struct SystemBuilder {
     modules: Vec<ModuleSpec>,
     link: LinkOptions,
     machine: MachineConfig,
+    /// Recorded separately from `machine` so setter order can't matter:
+    /// `accel(..)` and `machine_config(..)` are merged in [`Self::build`].
+    accel: Option<LinkAccel>,
     entry_symbol: String,
     asid: u64,
 }
@@ -38,6 +40,7 @@ impl SystemBuilder {
             modules: Vec::new(),
             link: LinkOptions::default(),
             machine: MachineConfig::baseline(),
+            accel: None,
             entry_symbol: "main".to_owned(),
             asid: 1,
         }
@@ -62,8 +65,12 @@ impl SystemBuilder {
     }
 
     /// Sets the accelerator (baseline, ABTB, or ABTB-without-Bloom).
+    ///
+    /// Order-independent with respect to [`Self::machine_config`]: the
+    /// accelerator chosen here wins regardless of which setter ran
+    /// first.
     pub fn accel(mut self, accel: LinkAccel) -> Self {
-        self.machine.accel = accel;
+        self.accel = Some(accel);
         self
     }
 
@@ -91,9 +98,12 @@ impl SystemBuilder {
         self
     }
 
-    /// Replaces the whole machine configuration (cache sizes, ABTB
-    /// capacity, penalties, ...). The `accel` previously set is kept
-    /// only if you set it again afterwards.
+    /// Replaces the machine configuration (cache sizes, ABTB capacity,
+    /// penalties, ...).
+    ///
+    /// An accelerator chosen via [`Self::accel`] is merged back in at
+    /// [`Self::build`] time, so `accel(..).machine_config(..)` and
+    /// `machine_config(..).accel(..)` produce the same system.
     pub fn machine_config(mut self, cfg: MachineConfig) -> Self {
         self.machine = cfg;
         self
@@ -121,10 +131,14 @@ impl SystemBuilder {
         if self.modules.is_empty() {
             return Err(SystemError::NoModules);
         }
+        let mut machine_cfg = self.machine;
+        if let Some(accel) = self.accel {
+            machine_cfg.accel = accel;
+        }
         let mut space = AddressSpace::new(self.asid);
         let image = Loader::new(self.link).load(&self.modules, &self.entry_symbol, &mut space)?;
-        let resolution = Rc::new(RefCell::new(image.resolution().clone()));
-        let mut machine = Machine::new(self.machine, space);
+        let resolution = Arc::new(Mutex::new(image.resolution().clone()));
+        let mut machine = Machine::new(machine_cfg, space);
         machine.set_plt_ranges(image.plt_ranges());
         machine.init_stack(STACK_TOP, STACK_BYTES)?;
         machine.reset(image.entry());
@@ -132,14 +146,14 @@ impl SystemBuilder {
         // Wire the lazy resolver: read the binding key from the scratch
         // register, rewrite the GOT slot *through the store path* (so
         // the Bloom filter observes it), and redirect to the target.
-        let table = Rc::clone(&resolution);
+        let table = Arc::clone(&resolution);
         let explicit_invalidate = !machine.config().accel.has_bloom();
         machine.register_host_fn(
             RESOLVER_HOST_FN,
             Box::new(move |ctx| {
                 let key = ctx.reg(Reg::SCRATCH);
                 let (got_slot, target) = {
-                    let table = table.borrow();
+                    let table = table.lock().expect("resolution mutex poisoned");
                     let binding = table
                         .binding_for_key(key)
                         .expect("lazy stub fired with unknown binding key");
@@ -176,7 +190,7 @@ impl SystemBuilder {
 pub struct System {
     machine: Machine,
     image: ProcessImage,
-    resolution: Rc<RefCell<ResolutionTable>>,
+    resolution: Arc<Mutex<ResolutionTable>>,
     link: LinkOptions,
 }
 
@@ -330,7 +344,10 @@ impl System {
     pub fn dlopen(&mut self, spec: ModuleSpec) -> Result<(), SystemError> {
         let loader = Loader::new(self.link);
         let bindings = loader.load_additional(&mut self.image, &spec, self.machine.space_mut())?;
-        self.resolution.borrow_mut().push_module(bindings);
+        self.resolution
+            .lock()
+            .expect("resolution mutex poisoned")
+            .push_module(bindings);
         let ranges = self.image.plt_ranges().to_vec();
         self.machine.set_plt_ranges(&ranges);
         Ok(())
@@ -411,7 +428,8 @@ impl System {
             self.machine.external_store(got_slot);
             if let Some(b) = self
                 .resolution
-                .borrow_mut()
+                .lock()
+                .expect("resolution mutex poisoned")
                 .binding_mut(module_idx, import_idx)
             {
                 b.target = new_target;
@@ -546,6 +564,52 @@ mod tests {
             SystemBuilder::new().build(),
             Err(SystemError::NoModules)
         ));
+    }
+
+    /// Compile-time guarantee underpinning the parallel experiment
+    /// runner: a built `System` can move to another thread.
+    #[test]
+    fn system_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<System>();
+        assert_send::<SystemBuilder>();
+    }
+
+    /// Regression test for the builder ordering footgun:
+    /// `accel(..).machine_config(..)` used to silently discard the
+    /// accelerator. Both orders must now produce the same machine.
+    #[test]
+    fn builder_setters_are_order_independent() {
+        let modules = || {
+            let mut lib = ModuleBuilder::new("libinc");
+            lib.begin_function("inc", true);
+            lib.asm().push(Inst::add_imm(Reg::R0, 1));
+            lib.asm().push(Inst::Ret);
+            let mut app = ModuleBuilder::new("app");
+            let inc = app.import("inc");
+            app.begin_function("main", true);
+            app.asm().push_call_extern(inc);
+            app.asm().push(Inst::Halt);
+            vec![app.finish().unwrap(), lib.finish().unwrap()]
+        };
+        let cfg = MachineConfig::baseline();
+        let accel_first = SystemBuilder::new()
+            .modules(modules())
+            .accel(LinkAccel::Abtb)
+            .machine_config(cfg.clone())
+            .build()
+            .unwrap();
+        let config_first = SystemBuilder::new()
+            .modules(modules())
+            .machine_config(cfg)
+            .accel(LinkAccel::Abtb)
+            .build()
+            .unwrap();
+        assert_eq!(accel_first.machine().config().accel, LinkAccel::Abtb);
+        assert_eq!(
+            accel_first.machine().config().accel,
+            config_first.machine().config().accel
+        );
     }
 
     #[test]

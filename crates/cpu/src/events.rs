@@ -9,7 +9,11 @@ use dynlink_uarch::PerfCounters;
 use crate::machine::Core;
 
 /// A fatal execution error: the machine cannot make progress.
+///
+/// Marked `#[non_exhaustive]`: future fault classes (e.g. illegal
+/// instruction, watchdog) may add fields without a breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct CpuError {
     /// Program counter at the fault.
     pub pc: VirtAddr,
@@ -143,7 +147,11 @@ impl<'a> HostCtx<'a> {
 }
 
 /// A registered host callback.
-pub type HostFn = Box<dyn FnMut(&mut HostCtx<'_>)>;
+///
+/// `Send` so a [`crate::Machine`] (and any `System` wrapping it) can
+/// move between threads — the parallel experiment runner ships whole
+/// systems to `std::thread::scope` workers.
+pub type HostFn = Box<dyn FnMut(&mut HostCtx<'_>) + Send>;
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,7 @@
 //! The machine: functional execution + microarchitectural accounting.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use dynlink_isa::{Inst, MemRef, Operand, Reg, VirtAddr};
 use dynlink_mem::{AddressSpace, MemError, Perms};
@@ -669,7 +669,7 @@ pub struct ComponentStats {
 pub struct Machine {
     core: Core,
     host_fns: HashMap<u32, HostFn>,
-    observers: Vec<Rc<std::cell::RefCell<dyn RetireObserver>>>,
+    observers: Vec<Arc<Mutex<dyn RetireObserver + Send>>>,
 }
 
 impl Machine {
@@ -710,7 +710,12 @@ impl Machine {
     }
 
     /// Adds a retire observer (tracing hook).
-    pub fn add_observer(&mut self, obs: Rc<std::cell::RefCell<dyn RetireObserver>>) {
+    ///
+    /// Observers are `Arc<Mutex<_>>` so callers can keep a handle for
+    /// inspection after the run while the machine — and any thread it
+    /// was shipped to — drives the callbacks. `Machine` itself stays
+    /// `Send`.
+    pub fn add_observer(&mut self, obs: Arc<Mutex<dyn RetireObserver + Send>>) {
         self.observers.push(obs);
     }
 
@@ -799,7 +804,9 @@ impl Machine {
                 in_plt,
             };
             for obs in &self.observers {
-                obs.borrow_mut().on_retire(&event);
+                obs.lock()
+                    .expect("observer mutex poisoned")
+                    .on_retire(&event);
             }
         }
         self.core.pc = exec.next_pc;
@@ -1592,8 +1599,6 @@ mod tests {
 
     #[test]
     fn observer_sees_retired_instructions() {
-        use std::cell::RefCell;
-
         #[derive(Default)]
         struct Collect {
             pcs: Vec<VirtAddr>,
@@ -1606,11 +1611,11 @@ mod tests {
         let mut s = space();
         place(&mut s, &[Inst::Nop, Inst::Nop, Inst::Halt]);
         let mut m = machine_with(MachineConfig::baseline(), s);
-        let obs = Rc::new(RefCell::new(Collect::default()));
+        let obs = Arc::new(Mutex::new(Collect::default()));
         m.add_observer(obs.clone());
         m.run(10).unwrap();
-        assert_eq!(obs.borrow().pcs.len(), 3);
-        assert_eq!(obs.borrow().pcs[0], VirtAddr::new(TEXT));
+        assert_eq!(obs.lock().unwrap().pcs.len(), 3);
+        assert_eq!(obs.lock().unwrap().pcs[0], VirtAddr::new(TEXT));
     }
 
     #[test]

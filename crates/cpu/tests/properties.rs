@@ -1,15 +1,17 @@
 //! Property tests: the machine's functional execution matches a simple
 //! reference interpreter, independent of the accelerator and of the
-//! microarchitectural configuration.
+//! microarchitectural configuration. Random programs come from seeded
+//! `dynlink_rng` loops, so every run is deterministic.
 
 use dynlink_cpu::{LinkAccel, Machine, MachineConfig};
 use dynlink_isa::{AluOp, Inst, MemRef, Operand, Reg, VirtAddr};
 use dynlink_mem::{AddressSpace, Perms};
-use proptest::prelude::*;
+use dynlink_rng::Rng;
 
 const TEXT: u64 = 0x40_0000;
 const DATA: u64 = 0x60_0000;
 const STACK_TOP: u64 = 0x100_0000;
+const CASES: u64 = 64;
 
 /// A straight-line program step (no control flow: the reference model
 /// stays trivial while still covering the whole data path).
@@ -22,28 +24,37 @@ enum Step {
     PushPop(usize, usize),
 }
 
-fn any_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Mul),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-    ]
+fn any_op(rng: &mut Rng) -> AluOp {
+    *rng.choose(&[
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Mul,
+        AluOp::Shl,
+        AluOp::Shr,
+    ])
+    .unwrap()
 }
 
-fn step() -> impl Strategy<Value = Step> {
+fn step(rng: &mut Rng) -> Step {
     // Registers restricted to R0..R7 so SP/FP stay machine-managed.
-    prop_oneof![
-        (any_op(), 0..8usize, any::<u64>()).prop_map(|(op, r, v)| Step::Alu(op, r, v)),
-        (0..8usize, any::<u64>()).prop_map(|(r, v)| Step::MovImm(r, v)),
-        (0..8usize, 0..8usize).prop_map(|(d, s)| Step::MovReg(d, s)),
-        (0..8usize, 0..8usize, 0..64u64).prop_map(|(s, d, slot)| Step::StoreLoad(s, d, slot)),
-        (0..8usize, 0..8usize).prop_map(|(s, d)| Step::PushPop(s, d)),
-    ]
+    match rng.next_below(5) {
+        0 => Step::Alu(any_op(rng), rng.gen_index(0..8), rng.next_u64()),
+        1 => Step::MovImm(rng.gen_index(0..8), rng.next_u64()),
+        2 => Step::MovReg(rng.gen_index(0..8), rng.gen_index(0..8)),
+        3 => Step::StoreLoad(
+            rng.gen_index(0..8),
+            rng.gen_index(0..8),
+            rng.gen_range(0..64),
+        ),
+        _ => Step::PushPop(rng.gen_index(0..8), rng.gen_index(0..8)),
+    }
+}
+
+fn steps(rng: &mut Rng, max: usize) -> Vec<Step> {
+    (0..rng.gen_index(0..max)).map(|_| step(rng)).collect()
 }
 
 fn reg(i: usize) -> Reg {
@@ -127,43 +138,56 @@ fn run_machine(steps: &[Step], accel: LinkAccel) -> [u64; 8] {
     std::array::from_fn(|i| m.reg(reg(i)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Machine execution matches the reference interpreter exactly.
-    #[test]
-    fn machine_matches_interpreter(steps in prop::collection::vec(step(), 0..60)) {
+/// Machine execution matches the reference interpreter exactly.
+#[test]
+fn machine_matches_interpreter() {
+    let rng = Rng::seed_from_u64(0xc40_0001);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let steps = steps(&mut rng, 60);
         let want = interpret(&steps);
-        prop_assert_eq!(run_machine(&steps, LinkAccel::Off), want);
+        assert_eq!(run_machine(&steps, LinkAccel::Off), want);
     }
+}
 
-    /// The accelerator changes nothing architecturally, even on plain
-    /// straight-line code.
-    #[test]
-    fn accel_is_identity_on_straightline_code(steps in prop::collection::vec(step(), 0..40)) {
-        prop_assert_eq!(
+/// The accelerator changes nothing architecturally, even on plain
+/// straight-line code.
+#[test]
+fn accel_is_identity_on_straightline_code() {
+    let rng = Rng::seed_from_u64(0xc40_0002);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let steps = steps(&mut rng, 40);
+        assert_eq!(
             run_machine(&steps, LinkAccel::Off),
             run_machine(&steps, LinkAccel::Abtb)
         );
     }
+}
 
-    /// The stack pointer always returns to its initial value after a
-    /// balanced program, and cycle/instruction counters are positive.
-    #[test]
-    fn stack_balance_and_counters(steps in prop::collection::vec(step(), 1..40)) {
-        let mut space = AddressSpace::new(1);
-        space.map_code_region(VirtAddr::new(TEXT), 0x10000, Perms::RX).unwrap();
-        space.place_code(VirtAddr::new(TEXT), Inst::Push { src: Reg::R0 }).unwrap();
-        space.place_code(VirtAddr::new(TEXT + 2), Inst::Pop { dst: Reg::R1 }).unwrap();
-        space.place_code(VirtAddr::new(TEXT + 4), Inst::Halt).unwrap();
-        let mut m = Machine::new(MachineConfig::baseline(), space);
-        m.init_stack(VirtAddr::new(STACK_TOP), 0x8000).unwrap();
-        m.reset(VirtAddr::new(TEXT));
-        m.run(1000).unwrap();
-        prop_assert_eq!(m.reg(Reg::SP), STACK_TOP);
-        let c = m.counters();
-        prop_assert_eq!(c.instructions, 3);
-        prop_assert!(c.cycles >= 1);
-        let _ = steps;
-    }
+/// The stack pointer always returns to its initial value after a
+/// balanced program, and cycle/instruction counters are positive.
+#[test]
+fn stack_balance_and_counters() {
+    let mut space = AddressSpace::new(1);
+    space
+        .map_code_region(VirtAddr::new(TEXT), 0x10000, Perms::RX)
+        .unwrap();
+    space
+        .place_code(VirtAddr::new(TEXT), Inst::Push { src: Reg::R0 })
+        .unwrap();
+    space
+        .place_code(VirtAddr::new(TEXT + 2), Inst::Pop { dst: Reg::R1 })
+        .unwrap();
+    space
+        .place_code(VirtAddr::new(TEXT + 4), Inst::Halt)
+        .unwrap();
+    let mut m = Machine::new(MachineConfig::baseline(), space);
+    m.init_stack(VirtAddr::new(STACK_TOP), 0x8000).unwrap();
+    m.reset(VirtAddr::new(TEXT));
+    m.run(1000).unwrap();
+    assert_eq!(m.reg(Reg::SP), STACK_TOP);
+    let c = m.counters();
+    assert_eq!(c.instructions, 3);
+    assert!(c.cycles >= 1);
 }

@@ -1,62 +1,70 @@
-//! Property tests for the instruction set and assembler.
+//! Property tests for the instruction set and assembler, driven by
+//! seeded `dynlink_rng` loops (deterministic, no external framework).
 
 use dynlink_isa::{
     relocate_item, AluOp, Assembler, CodeItem, Cond, ExternRef, Inst, Operand, Reg, VirtAddr,
 };
-use proptest::prelude::*;
+use dynlink_rng::Rng;
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
+const CASES: u64 = 256;
+
+fn any_reg(rng: &mut Rng) -> Reg {
+    Reg::from_index(rng.gen_index(0..16)).unwrap()
 }
 
-fn any_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Mul),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-    ]
+fn any_alu_op(rng: &mut Rng) -> AluOp {
+    *rng.choose(&[
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Mul,
+        AluOp::Shl,
+        AluOp::Shr,
+    ])
+    .unwrap()
 }
 
-fn any_cond() -> impl Strategy<Value = Cond> {
-    prop_oneof![
-        Just(Cond::Eq),
-        Just(Cond::Ne),
-        Just(Cond::Lt),
-        Just(Cond::Le),
-        Just(Cond::Gt),
-        Just(Cond::Ge),
-    ]
+fn any_cond(rng: &mut Rng) -> Cond {
+    *rng.choose(&[Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge])
+        .unwrap()
 }
 
-fn simple_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (any_alu_op(), any_reg(), any::<u64>()).prop_map(|(op, dst, imm)| Inst::Alu {
-            op,
-            dst,
-            src: Operand::Imm(imm)
-        }),
-        (any_reg(), any::<u64>()).prop_map(|(dst, imm)| Inst::MovImm { dst, imm }),
-        (any_reg(), any_reg()).prop_map(|(dst, src)| Inst::MovReg { dst, src }),
-        (any_reg()).prop_map(|src| Inst::Push { src }),
-        (any_reg()).prop_map(|dst| Inst::Pop { dst }),
-        Just(Inst::Nop),
-        Just(Inst::Ret),
-        Just(Inst::Halt),
-    ]
+fn simple_inst(rng: &mut Rng) -> Inst {
+    match rng.next_below(8) {
+        0 => Inst::Alu {
+            op: any_alu_op(rng),
+            dst: any_reg(rng),
+            src: Operand::Imm(rng.next_u64()),
+        },
+        1 => Inst::MovImm {
+            dst: any_reg(rng),
+            imm: rng.next_u64(),
+        },
+        2 => Inst::MovReg {
+            dst: any_reg(rng),
+            src: any_reg(rng),
+        },
+        3 => Inst::Push { src: any_reg(rng) },
+        4 => Inst::Pop { dst: any_reg(rng) },
+        5 => Inst::Nop,
+        6 => Inst::Ret,
+        _ => Inst::Halt,
+    }
 }
 
-proptest! {
-    /// Item offsets are strictly increasing and match the cumulative
-    /// encoded lengths, including explicit layout gaps.
-    #[test]
-    fn assembler_offsets_are_cumulative(
-        items in prop::collection::vec((simple_inst(), 0u64..32), 1..100),
-    ) {
+/// Item offsets are strictly increasing and match the cumulative
+/// encoded lengths, including explicit layout gaps.
+#[test]
+fn assembler_offsets_are_cumulative() {
+    let rng = Rng::seed_from_u64(0x15a_0001);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let n = rng.gen_index(1..100);
+        let items: Vec<(Inst, u64)> = (0..n)
+            .map(|_| (simple_inst(&mut rng), rng.gen_range(0..32)))
+            .collect();
         let mut asm = Assembler::new();
         let mut expected = Vec::new();
         let mut cursor = 0u64;
@@ -69,17 +77,24 @@ proptest! {
         }
         let code = asm.finish().unwrap();
         let offsets: Vec<u64> = code.iter().map(|p| p.offset).collect();
-        prop_assert_eq!(offsets, expected);
-        prop_assert_eq!(code.len_bytes(), cursor);
+        assert_eq!(offsets, expected);
+        assert_eq!(code.len_bytes(), cursor);
     }
+}
 
-    /// Labels resolve to exactly the offset at which they were bound,
-    /// regardless of where in the stream the references appear.
-    #[test]
-    fn labels_resolve_to_bind_positions(
-        before in prop::collection::vec(simple_inst(), 0..20),
-        after in prop::collection::vec(simple_inst(), 0..20),
-    ) {
+/// Labels resolve to exactly the offset at which they were bound,
+/// regardless of where in the stream the references appear.
+#[test]
+fn labels_resolve_to_bind_positions() {
+    let rng = Rng::seed_from_u64(0x15a_0002);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let before: Vec<Inst> = (0..rng.gen_index(0..20))
+            .map(|_| simple_inst(&mut rng))
+            .collect();
+        let after: Vec<Inst> = (0..rng.gen_index(0..20))
+            .map(|_| simple_inst(&mut rng))
+            .collect();
         let mut asm = Assembler::new();
         let l = asm.fresh_label("x");
         asm.push_jmp_label(l); // forward reference, 5 bytes
@@ -100,22 +115,35 @@ proptest! {
                 _ => None,
             })
             .collect();
-        prop_assert_eq!(targets, vec![bind_at, bind_at]);
+        assert_eq!(targets, vec![bind_at, bind_at]);
     }
+}
 
-    /// Relocation is a pure function of (item, bases, extern table).
-    #[test]
-    fn relocation_is_deterministic(
-        offset in 0u64..1_000_000,
-        text in 1u64..u32::MAX as u64,
-        data in 1u64..u32::MAX as u64,
-        plt in 1u64..u32::MAX as u64,
-    ) {
+/// Relocation is a pure function of (item, bases, extern table).
+#[test]
+fn relocation_is_deterministic() {
+    let rng = Rng::seed_from_u64(0x15a_0003);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let offset = rng.gen_range(0..1_000_000);
+        let text = rng.gen_range(1..u32::MAX as u64);
+        let data = rng.gen_range(1..u32::MAX as u64);
+        let plt = rng.gen_range(1..u32::MAX as u64);
+
         let item = CodeItem::CallLocal { offset };
-        let a = relocate_item(item, VirtAddr::new(text), VirtAddr::new(data), |_| VirtAddr::new(plt));
-        let b = relocate_item(item, VirtAddr::new(text), VirtAddr::new(data), |_| VirtAddr::new(plt));
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(a, Inst::CallDirect { target: VirtAddr::new(text + offset) });
+        let a = relocate_item(item, VirtAddr::new(text), VirtAddr::new(data), |_| {
+            VirtAddr::new(plt)
+        });
+        let b = relocate_item(item, VirtAddr::new(text), VirtAddr::new(data), |_| {
+            VirtAddr::new(plt)
+        });
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            Inst::CallDirect {
+                target: VirtAddr::new(text + offset)
+            }
+        );
 
         let call = relocate_item(
             CodeItem::CallExtern { ext: ExternRef(0) },
@@ -123,57 +151,102 @@ proptest! {
             VirtAddr::new(data),
             |_| VirtAddr::new(plt),
         );
-        prop_assert_eq!(call, Inst::CallDirect { target: VirtAddr::new(plt) });
+        assert_eq!(
+            call,
+            Inst::CallDirect {
+                target: VirtAddr::new(plt)
+            }
+        );
     }
+}
 
-    /// Condition negation is complementary on all inputs.
-    #[test]
-    fn cond_negation_complementary(c in any_cond(), l in any::<u64>(), r in any::<u64>()) {
-        prop_assert_ne!(c.eval(l, r), c.negate().eval(l, r));
-        prop_assert_eq!(c.negate().negate(), c);
+/// Condition negation is complementary on all inputs.
+#[test]
+fn cond_negation_complementary() {
+    let rng = Rng::seed_from_u64(0x15a_0004);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let c = any_cond(&mut rng);
+        // Mix equal and unequal operand pairs: equality-sensitive
+        // conditions differ exactly there.
+        let l = rng.gen_range(0..16);
+        let r = if rng.gen_ratio(1, 4) {
+            l
+        } else {
+            rng.next_u64()
+        };
+        assert_ne!(c.eval(l, r), c.negate().eval(l, r));
+        assert_eq!(c.negate().negate(), c);
     }
+}
 
-    /// ALU algebraic identities.
-    #[test]
-    fn alu_identities(x in any::<u64>(), y in any::<u64>()) {
-        prop_assert_eq!(AluOp::Sub.apply(AluOp::Add.apply(x, y), y), x, "add/sub roundtrip");
-        prop_assert_eq!(AluOp::Xor.apply(AluOp::Xor.apply(x, y), y), x, "xor self-inverse");
-        prop_assert_eq!(AluOp::And.apply(x, x), x);
-        prop_assert_eq!(AluOp::Or.apply(x, 0), x);
-        prop_assert_eq!(AluOp::Mul.apply(x, 1), x);
+/// ALU algebraic identities.
+#[test]
+fn alu_identities() {
+    let rng = Rng::seed_from_u64(0x15a_0005);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let x = rng.next_u64();
+        let y = rng.next_u64();
+        assert_eq!(
+            AluOp::Sub.apply(AluOp::Add.apply(x, y), y),
+            x,
+            "add/sub roundtrip"
+        );
+        assert_eq!(
+            AluOp::Xor.apply(AluOp::Xor.apply(x, y), y),
+            x,
+            "xor self-inverse"
+        );
+        assert_eq!(AluOp::And.apply(x, x), x);
+        assert_eq!(AluOp::Or.apply(x, 0), x);
+        assert_eq!(AluOp::Mul.apply(x, 1), x);
     }
+}
 
-    /// Every instruction's encoded length is within x86-64's 1..=15.
-    #[test]
-    fn encoded_lengths_in_x86_range(inst in simple_inst()) {
-        let len = inst.encoded_len();
-        prop_assert!((1..=15).contains(&len));
+/// Every instruction's encoded length is within x86-64's 1..=15.
+#[test]
+fn encoded_lengths_in_x86_range() {
+    let rng = Rng::seed_from_u64(0x15a_0006);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let len = simple_inst(&mut rng).encoded_len();
+        assert!((1..=15).contains(&len));
     }
+}
 
-    /// Classification predicates are mutually consistent.
-    #[test]
-    fn classification_consistency(inst in simple_inst()) {
+/// Classification predicates are mutually consistent.
+#[test]
+fn classification_consistency() {
+    let rng = Rng::seed_from_u64(0x15a_0007);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let inst = simple_inst(&mut rng);
         if inst.is_call() {
-            prop_assert!(inst.is_control());
-            prop_assert!(inst.is_store(), "calls push the return address");
+            assert!(inst.is_control());
+            assert!(inst.is_store(), "calls push the return address");
         }
         if inst.is_mem_indirect_jump() {
-            prop_assert!(inst.is_indirect());
-            prop_assert!(inst.is_load());
+            assert!(inst.is_indirect());
+            assert!(inst.is_load());
         }
         if let Some(t) = inst.direct_target() {
-            prop_assert!(inst.is_control());
+            assert!(inst.is_control());
             let _ = t;
         }
     }
+}
 
-    /// Address helpers: cache-line and page arithmetic agree.
-    #[test]
-    fn addr_line_and_page_consistent(raw in any::<u64>()) {
-        let a = VirtAddr::new(raw & 0x7fff_ffff_ffff); // avoid align_up overflow
+/// Address helpers: cache-line and page arithmetic agree.
+#[test]
+fn addr_line_and_page_consistent() {
+    let rng = Rng::seed_from_u64(0x15a_0008);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let a = VirtAddr::new(rng.next_u64() & 0x7fff_ffff_ffff); // avoid align_up overflow
         let line = a.cache_line(64);
-        prop_assert!(line <= a);
-        prop_assert!(a - line < 64);
-        prop_assert_eq!(a.page_number(4096) * 4096 + a.page_offset(4096), a.as_u64());
+        assert!(line <= a);
+        assert!(a - line < 64);
+        assert_eq!(a.page_number(4096) * 4096 + a.page_offset(4096), a.as_u64());
     }
 }

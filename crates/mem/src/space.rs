@@ -1,7 +1,7 @@
 //! The sparse, copy-on-write address space.
 
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dynlink_isa::{Inst, VirtAddr};
 
@@ -15,8 +15,8 @@ type CodeMap = BTreeMap<u16, Inst>;
 
 #[derive(Debug, Clone)]
 enum PageContent {
-    Data(Rc<DataBytes>),
-    Code(Rc<CodeMap>),
+    Data(Arc<DataBytes>),
+    Code(Arc<CodeMap>),
 }
 
 #[derive(Debug, Clone)]
@@ -146,7 +146,7 @@ impl AddressSpace {
     /// Panics if `len == 0`.
     pub fn map_region(&mut self, start: VirtAddr, len: u64, perms: Perms) -> Result<(), MemError> {
         self.map_with(start, len, perms, || {
-            PageContent::Data(Rc::new([0u8; PAGE_BYTES as usize]))
+            PageContent::Data(Arc::new([0u8; PAGE_BYTES as usize]))
         })
     }
 
@@ -165,7 +165,7 @@ impl AddressSpace {
         perms: Perms,
     ) -> Result<(), MemError> {
         self.map_with(start, len, perms, || {
-            PageContent::Code(Rc::new(CodeMap::new()))
+            PageContent::Code(Arc::new(CodeMap::new()))
         })
     }
 
@@ -274,7 +274,7 @@ impl AddressSpace {
                 let PageContent::Data(data) = &entry.content else {
                     unreachable!("validated")
                 };
-                Rc::strong_count(data) > 1
+                Arc::strong_count(data) > 1
             };
             if shared {
                 self.stats.cow_copies += 1;
@@ -283,7 +283,7 @@ impl AddressSpace {
             let PageContent::Data(data) = &mut entry.content else {
                 unreachable!("validated")
             };
-            let page = Rc::make_mut(data);
+            let page = Arc::make_mut(data);
             let mut off = cursor.page_offset(PAGE_BYTES) as usize;
             while i < buf.len() && off < PAGE_BYTES as usize {
                 page[off] = buf[i];
@@ -331,7 +331,7 @@ impl AddressSpace {
                 expected_code: true,
             });
         };
-        Rc::make_mut(code).insert(addr.page_offset(PAGE_BYTES) as u16, inst);
+        Arc::make_mut(code).insert(addr.page_offset(PAGE_BYTES) as u16, inst);
         Ok(())
     }
 
@@ -389,10 +389,10 @@ impl AddressSpace {
                 expected_code: true,
             });
         };
-        if Rc::strong_count(code) > 1 {
+        if Arc::strong_count(code) > 1 {
             self.stats.cow_copies += 1;
         }
-        Rc::make_mut(code).insert(addr.page_offset(PAGE_BYTES) as u16, inst);
+        Arc::make_mut(code).insert(addr.page_offset(PAGE_BYTES) as u16, inst);
         self.stats.code_patches += 1;
         self.code_version += 1;
         Ok(())

@@ -4,12 +4,14 @@
 //! same random operation sequence — writes, reads, forks and
 //! post-fork writes — and must always agree with the real
 //! implementation. COW accounting invariants are checked along the way.
+//! Sequences come from seeded `dynlink_rng` loops, so every run is
+//! deterministic.
 
 use std::collections::HashMap;
 
 use dynlink_isa::VirtAddr;
 use dynlink_mem::{AddressSpace, Perms, PAGE_BYTES};
-use proptest::prelude::*;
+use dynlink_rng::Rng;
 
 const REGION_BASE: u64 = 0x10_000;
 const REGION_LEN: u64 = 8 * PAGE_BYTES;
@@ -29,30 +31,51 @@ enum Op {
     Fork { who: usize },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let off = 0..(REGION_LEN - 300);
-    prop_oneof![
-        4 => (0..4usize, off.clone(), 1..64u8, any::<u8>())
-            .prop_map(|(who, offset, len, value)| Op::Write { who, offset, len, value }),
-        3 => (0..4usize, off, 1..64u8).prop_map(|(who, offset, len)| Op::Read { who, offset, len }),
-        1 => (0..4usize).prop_map(|who| Op::Fork { who }),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    let offset = rng.gen_range(0..(REGION_LEN - 300));
+    // Weighted 4:3:1 like the original strategy.
+    match rng.next_below(8) {
+        0..=3 => Op::Write {
+            who: rng.gen_index(0..4),
+            offset,
+            len: rng.gen_range(1..64) as u8,
+            value: rng.next_u64() as u8,
+        },
+        4..=6 => Op::Read {
+            who: rng.gen_index(0..4),
+            offset,
+            len: rng.gen_range(1..64) as u8,
+        },
+        _ => Op::Fork {
+            who: rng.gen_index(0..4),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Forked spaces behave exactly like independent byte maps.
+#[test]
+fn cow_spaces_match_reference_model() {
+    let rng = Rng::seed_from_u64(0x3e3_0001);
+    for case in 0..64 {
+        let mut rng = rng.derive(case);
+        let ops: Vec<Op> = (0..rng.gen_index(1..120))
+            .map(|_| random_op(&mut rng))
+            .collect();
 
-    /// Forked spaces behave exactly like independent byte maps.
-    #[test]
-    fn cow_spaces_match_reference_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
         let mut root = AddressSpace::new(0);
-        root.map_region(VirtAddr::new(REGION_BASE), REGION_LEN, Perms::RW).unwrap();
+        root.map_region(VirtAddr::new(REGION_BASE), REGION_LEN, Perms::RW)
+            .unwrap();
         let mut spaces = vec![root];
         let mut models: Vec<HashMap<u64, u8>> = vec![HashMap::new()];
 
         for op in ops {
             match op {
-                Op::Write { who, offset, len, value } => {
+                Op::Write {
+                    who,
+                    offset,
+                    len,
+                    value,
+                } => {
                     let who = who % spaces.len();
                     let buf = vec![value; len as usize];
                     spaces[who]
@@ -70,7 +93,7 @@ proptest! {
                         .unwrap();
                     for (i, &b) in buf.iter().enumerate() {
                         let want = models[who].get(&(offset + i as u64)).copied().unwrap_or(0);
-                        prop_assert_eq!(b, want, "space {} at +{}", who, offset + i as u64);
+                        assert_eq!(b, want, "space {} at +{}", who, offset + i as u64);
                     }
                 }
                 Op::Fork { who } => {
@@ -86,43 +109,68 @@ proptest! {
             }
         }
     }
+}
 
-    /// COW copies are bounded by the number of pages written after a
-    /// fork, and a space that never writes never copies.
-    #[test]
-    fn cow_copy_accounting_is_bounded(
-        write_pages in prop::collection::vec(0u64..8, 0..20),
-    ) {
+/// COW copies are bounded by the number of pages written after a
+/// fork, and a space that never writes never copies.
+#[test]
+fn cow_copy_accounting_is_bounded() {
+    let rng = Rng::seed_from_u64(0x3e3_0002);
+    for case in 0..64 {
+        let mut rng = rng.derive(case);
+        let write_pages: Vec<u64> = (0..rng.gen_index(0..20))
+            .map(|_| rng.gen_range(0..8))
+            .collect();
+
         let mut parent = AddressSpace::new(0);
-        parent.map_region(VirtAddr::new(REGION_BASE), REGION_LEN, Perms::RW).unwrap();
+        parent
+            .map_region(VirtAddr::new(REGION_BASE), REGION_LEN, Perms::RW)
+            .unwrap();
         // Touch every page so the parent owns private copies.
         for p in 0..8u64 {
-            parent.write_u64(VirtAddr::new(REGION_BASE + p * PAGE_BYTES), p).unwrap();
+            parent
+                .write_u64(VirtAddr::new(REGION_BASE + p * PAGE_BYTES), p)
+                .unwrap();
         }
         let mut child = parent.fork(1);
         let reader = parent.fork(2);
 
         let distinct: std::collections::HashSet<u64> = write_pages.iter().copied().collect();
         for &p in &write_pages {
-            child.write_u64(VirtAddr::new(REGION_BASE + p * PAGE_BYTES + 64), 7).unwrap();
+            child
+                .write_u64(VirtAddr::new(REGION_BASE + p * PAGE_BYTES + 64), 7)
+                .unwrap();
         }
-        prop_assert_eq!(child.stats().cow_copies, distinct.len() as u64);
-        prop_assert_eq!(reader.stats().cow_copies, 0);
+        assert_eq!(child.stats().cow_copies, distinct.len() as u64);
+        assert_eq!(reader.stats().cow_copies, 0);
         // Parent data is untouched by child writes.
         for p in 0..8u64 {
-            prop_assert_eq!(
-                parent.read_u64(VirtAddr::new(REGION_BASE + p * PAGE_BYTES)).unwrap(),
+            assert_eq!(
+                parent
+                    .read_u64(VirtAddr::new(REGION_BASE + p * PAGE_BYTES))
+                    .unwrap(),
                 p
             );
         }
     }
+}
 
-    /// u64 round-trips at arbitrary (possibly straddling) offsets.
-    #[test]
-    fn u64_roundtrip_anywhere(offset in 0..(REGION_LEN - 8), value in any::<u64>()) {
+/// u64 round-trips at arbitrary (possibly straddling) offsets.
+#[test]
+fn u64_roundtrip_anywhere() {
+    let rng = Rng::seed_from_u64(0x3e3_0003);
+    for case in 0..256 {
+        let mut rng = rng.derive(case);
+        let offset = rng.gen_range(0..(REGION_LEN - 8));
+        let value = rng.next_u64();
         let mut s = AddressSpace::new(0);
-        s.map_region(VirtAddr::new(REGION_BASE), REGION_LEN, Perms::RW).unwrap();
-        s.write_u64(VirtAddr::new(REGION_BASE + offset), value).unwrap();
-        prop_assert_eq!(s.read_u64(VirtAddr::new(REGION_BASE + offset)).unwrap(), value);
+        s.map_region(VirtAddr::new(REGION_BASE), REGION_LEN, Perms::RW)
+            .unwrap();
+        s.write_u64(VirtAddr::new(REGION_BASE + offset), value)
+            .unwrap();
+        assert_eq!(
+            s.read_u64(VirtAddr::new(REGION_BASE + offset)).unwrap(),
+            value
+        );
     }
 }

@@ -26,16 +26,15 @@
 //! let tracer = TrampolineTracer::shared();
 //! // machine.add_observer(tracer.clone());
 //! // ... run ...
-//! let stats = tracer.borrow().stats();
+//! let stats = tracer.lock().unwrap().stats();
 //! assert_eq!(stats.distinct(), 0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use dynlink_cpu::{RetireEvent, RetireObserver};
 use dynlink_isa::VirtAddr;
@@ -70,9 +69,10 @@ impl TrampolineTracer {
     }
 
     /// Creates a tracer already wrapped for
-    /// [`dynlink_cpu::Machine::add_observer`].
-    pub fn shared() -> Rc<RefCell<TrampolineTracer>> {
-        Rc::new(RefCell::new(TrampolineTracer::new()))
+    /// [`dynlink_cpu::Machine::add_observer`]. The handle is `Send`, so
+    /// traced systems can run on worker threads.
+    pub fn shared() -> Arc<Mutex<TrampolineTracer>> {
+        Arc::new(Mutex::new(TrampolineTracer::new()))
     }
 
     /// Snapshot of the aggregate statistics.
@@ -186,9 +186,10 @@ impl BtbPressure {
     }
 
     /// Creates an analyser wrapped for
-    /// [`dynlink_cpu::Machine::add_observer`].
-    pub fn shared() -> Rc<RefCell<BtbPressure>> {
-        Rc::new(RefCell::new(BtbPressure::new()))
+    /// [`dynlink_cpu::Machine::add_observer`]. The handle is `Send`, so
+    /// traced systems can run on worker threads.
+    pub fn shared() -> Arc<Mutex<BtbPressure>> {
+        Arc::new(Mutex::new(BtbPressure::new()))
     }
 
     /// Distinct call-site PCs observed.

@@ -3,40 +3,48 @@
 //! The mechanism's correctness rests on a handful of structural
 //! invariants — above all that the Bloom filter never produces a false
 //! negative (a missed GOT-store would let a stale trampoline target be
-//! skipped). These tests check those invariants over randomized inputs,
-//! including model-based equivalence of the ABTB against a reference
-//! LRU map.
+//! skipped). These tests check those invariants over randomized inputs
+//! (seeded `dynlink_rng` loops), including model-based equivalence of
+//! the ABTB against a reference LRU map.
 
 use dynlink_isa::VirtAddr;
+use dynlink_rng::Rng;
 use dynlink_uarch::{
     Abtb, BloomFilter, Btb, Cache, CacheConfig, PerfCounters, ReturnAddressStack, Tlb,
 };
-use proptest::prelude::*;
+
+const CASES: u64 = 128;
 
 // ---------------------------------------------------------------------------
 // Bloom filter
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// The load-bearing invariant: no false negatives, ever.
-    #[test]
-    fn bloom_has_no_false_negatives(
-        keys in prop::collection::vec(any::<u64>(), 1..200),
-        bits in 8u64..2048,
-        hashes in 1u32..5,
-    ) {
+/// The load-bearing invariant: no false negatives, ever.
+#[test]
+fn bloom_has_no_false_negatives() {
+    let rng = Rng::seed_from_u64(0x0a9c_0001);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let keys: Vec<u64> = (0..rng.gen_index(1..200)).map(|_| rng.next_u64()).collect();
+        let bits = rng.gen_range(8..2048);
+        let hashes = rng.gen_range(1..5) as u32;
         let mut f = BloomFilter::new(bits, hashes);
         for &k in &keys {
             f.insert(k);
         }
         for &k in &keys {
-            prop_assert!(f.maybe_contains(k), "false negative for {k:#x}");
+            assert!(f.maybe_contains(k), "false negative for {k:#x}");
         }
     }
+}
 
-    /// Clearing removes everything.
-    #[test]
-    fn bloom_clear_is_total(keys in prop::collection::vec(any::<u64>(), 1..100)) {
+/// Clearing removes everything.
+#[test]
+fn bloom_clear_is_total() {
+    let rng = Rng::seed_from_u64(0x0a9c_0002);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let keys: Vec<u64> = (0..rng.gen_index(1..100)).map(|_| rng.next_u64()).collect();
         let mut f = BloomFilter::new(512, 2);
         for &k in &keys {
             f.insert(k);
@@ -44,7 +52,7 @@ proptest! {
         f.clear();
         // An empty filter contains nothing (no bit set).
         for &k in &keys {
-            prop_assert!(!f.maybe_contains(k));
+            assert!(!f.maybe_contains(k));
         }
     }
 }
@@ -60,12 +68,13 @@ enum AbtbOp {
     Clear,
 }
 
-fn abtb_op() -> impl Strategy<Value = AbtbOp> {
-    prop_oneof![
-        4 => (0..40u64).prop_map(|k| AbtbOp::Lookup(k * 16)),
-        4 => ((0..40u64), any::<u64>()).prop_map(|(k, v)| AbtbOp::Insert(k * 16, v)),
-        1 => Just(AbtbOp::Clear),
-    ]
+fn abtb_op(rng: &mut Rng) -> AbtbOp {
+    // Weighted 4:4:1 like the original strategy.
+    match rng.next_below(9) {
+        0..=3 => AbtbOp::Lookup(rng.gen_range(0..40) * 16),
+        4..=7 => AbtbOp::Insert(rng.gen_range(0..40) * 16, rng.next_u64()),
+        _ => AbtbOp::Clear,
+    }
 }
 
 /// Reference LRU map: Vec ordered most-recent-first.
@@ -96,21 +105,27 @@ impl RefLru {
     }
 }
 
-proptest! {
-    /// The ABTB behaves exactly like a reference LRU map.
-    #[test]
-    fn abtb_matches_reference_lru(
-        ops in prop::collection::vec(abtb_op(), 1..300),
-        capacity in 1usize..24,
-    ) {
+/// The ABTB behaves exactly like a reference LRU map.
+#[test]
+fn abtb_matches_reference_lru() {
+    let rng = Rng::seed_from_u64(0x0a9c_0003);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let capacity = rng.gen_index(1..24);
+        let ops: Vec<AbtbOp> = (0..rng.gen_index(1..300))
+            .map(|_| abtb_op(&mut rng))
+            .collect();
         let mut abtb = Abtb::new(capacity);
-        let mut model = RefLru { capacity, ..RefLru::default() };
+        let mut model = RefLru {
+            capacity,
+            ..RefLru::default()
+        };
         for op in ops {
             match op {
                 AbtbOp::Lookup(k) => {
                     let got = abtb.lookup(VirtAddr::new(k));
                     let want = model.lookup(k).map(VirtAddr::new);
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
                 AbtbOp::Insert(k, v) => {
                     abtb.insert(VirtAddr::new(k), VirtAddr::new(v));
@@ -121,8 +136,8 @@ proptest! {
                     model.entries.clear();
                 }
             }
-            prop_assert_eq!(abtb.len(), model.entries.len());
-            prop_assert!(abtb.len() <= capacity);
+            assert_eq!(abtb.len(), model.entries.len());
+            assert!(abtb.len() <= capacity);
         }
     }
 }
@@ -131,29 +146,47 @@ proptest! {
 // Cache
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Accessing fewer distinct lines than one set's ways can never
-    /// miss twice on the same line.
-    #[test]
-    fn cache_within_capacity_never_remisses(
-        lines in prop::collection::vec(0u64..8, 1..100),
-    ) {
+/// Accessing fewer distinct lines than one set's ways can never
+/// miss twice on the same line.
+#[test]
+fn cache_within_capacity_never_remisses() {
+    let rng = Rng::seed_from_u64(0x0a9c_0004);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let lines: Vec<u64> = (0..rng.gen_index(1..100))
+            .map(|_| rng.gen_range(0..8))
+            .collect();
         // Fully associative: 1 set x 8 ways.
-        let mut c = Cache::new(CacheConfig { size_bytes: 512, ways: 8, line_bytes: 64 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 8,
+            line_bytes: 64,
+        });
         let mut seen = std::collections::HashSet::new();
         for &l in &lines {
             let addr = VirtAddr::new(l * 64);
             let miss = c.access(addr).is_miss();
-            prop_assert_eq!(miss, !seen.contains(&l), "line {}", l);
+            assert_eq!(miss, !seen.contains(&l), "line {}", l);
             seen.insert(l);
         }
     }
+}
 
-    /// Cache behaviour is deterministic: identical access sequences
-    /// produce identical miss counts.
-    #[test]
-    fn cache_is_deterministic(addrs in prop::collection::vec(any::<u32>(), 1..200)) {
-        let cfg = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 };
+/// Cache behaviour is deterministic: identical access sequences
+/// produce identical miss counts.
+#[test]
+fn cache_is_deterministic() {
+    let rng = Rng::seed_from_u64(0x0a9c_0005);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let addrs: Vec<u32> = (0..rng.gen_index(1..200))
+            .map(|_| rng.next_u64() as u32)
+            .collect();
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 64,
+        };
         let (mut a, mut b) = (Cache::new(cfg), Cache::new(cfg));
         for &x in &addrs {
             a.access(VirtAddr::new(u64::from(x)));
@@ -161,8 +194,8 @@ proptest! {
         for &x in &addrs {
             b.access(VirtAddr::new(u64::from(x)));
         }
-        prop_assert_eq!(a.misses(), b.misses());
-        prop_assert_eq!(a.accesses(), b.accesses());
+        assert_eq!(a.misses(), b.misses());
+        assert_eq!(a.accesses(), b.accesses());
     }
 }
 
@@ -170,17 +203,20 @@ proptest! {
 // TLB
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Two ASIDs never share entries: interleaved accesses from a
-    /// second ASID to *different* sets cannot turn a same-page re-access
-    /// into a miss within capacity.
-    #[test]
-    fn tlb_repeated_page_hits_within_capacity(pages in prop::collection::vec(0u64..4, 2..50)) {
+/// Repeated same-page accesses within capacity always hit.
+#[test]
+fn tlb_repeated_page_hits_within_capacity() {
+    let rng = Rng::seed_from_u64(0x0a9c_0006);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let pages: Vec<u64> = (0..rng.gen_index(2..50))
+            .map(|_| rng.gen_range(0..4))
+            .collect();
         let mut t = Tlb::new(4, 4, 4096); // fully associative, 4 entries
         let mut seen = std::collections::HashSet::new();
         for &p in &pages {
             let miss = t.access(1, VirtAddr::new(p * 4096)).is_miss();
-            prop_assert_eq!(miss, !seen.contains(&p));
+            assert_eq!(miss, !seen.contains(&p));
             seen.insert(p);
         }
     }
@@ -190,12 +226,15 @@ proptest! {
 // BTB
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Within capacity, the last update for a PC always wins.
-    #[test]
-    fn btb_last_update_wins(
-        updates in prop::collection::vec((0u64..8, any::<u32>()), 1..100),
-    ) {
+/// Within capacity, the last update for a PC always wins.
+#[test]
+fn btb_last_update_wins() {
+    let rng = Rng::seed_from_u64(0x0a9c_0007);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let updates: Vec<(u64, u32)> = (0..rng.gen_index(1..100))
+            .map(|_| (rng.gen_range(0..8), rng.next_u64() as u32))
+            .collect();
         let mut btb = Btb::new(8, 8); // fully associative, 8 entries
         let mut model = std::collections::HashMap::new();
         for &(pc, target) in &updates {
@@ -205,7 +244,7 @@ proptest! {
             model.insert(pc, target);
         }
         for (&pc, &target) in &model {
-            prop_assert_eq!(btb.lookup(pc), Some(target));
+            assert_eq!(btb.lookup(pc), Some(target));
         }
     }
 }
@@ -214,18 +253,21 @@ proptest! {
 // Return-address stack
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Below its depth, the RAS is exactly a stack.
-    #[test]
-    fn ras_is_a_stack_within_depth(pushes in prop::collection::vec(any::<u64>(), 1..16)) {
+/// Below its depth, the RAS is exactly a stack.
+#[test]
+fn ras_is_a_stack_within_depth() {
+    let rng = Rng::seed_from_u64(0x0a9c_0008);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let pushes: Vec<u64> = (0..rng.gen_index(1..16)).map(|_| rng.next_u64()).collect();
         let mut ras = ReturnAddressStack::new(16);
         for &v in &pushes {
             ras.push(VirtAddr::new(v));
         }
         for &v in pushes.iter().rev() {
-            prop_assert_eq!(ras.pop(), Some(VirtAddr::new(v)));
+            assert_eq!(ras.pop(), Some(VirtAddr::new(v)));
         }
-        prop_assert_eq!(ras.pop(), None);
+        assert_eq!(ras.pop(), None);
     }
 }
 
@@ -233,14 +275,23 @@ proptest! {
 // Counters
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// `later.delta(earlier)` accumulated back onto `earlier`
-    /// reconstructs `later` for monotone counter pairs.
-    #[test]
-    fn counters_delta_accumulate_roundtrip(
-        a in 0u64..1_000_000, b in 0u64..1_000, c in 0u64..1_000,
-        da in 0u64..1_000_000, db in 0u64..1_000, dc in 0u64..1_000,
-    ) {
+/// `later.delta(earlier)` accumulated back onto `earlier`
+/// reconstructs `later` for monotone counter pairs.
+#[test]
+fn counters_delta_accumulate_roundtrip() {
+    let rng = Rng::seed_from_u64(0x0a9c_0009);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let (a, b, c) = (
+            rng.gen_range(0..1_000_000),
+            rng.gen_range(0..1_000),
+            rng.gen_range(0..1_000),
+        );
+        let (da, db, dc) = (
+            rng.gen_range(0..1_000_000),
+            rng.gen_range(0..1_000),
+            rng.gen_range(0..1_000),
+        );
         let earlier = PerfCounters {
             instructions: a,
             icache_misses: b,
@@ -255,6 +306,6 @@ proptest! {
         };
         let mut rebuilt = earlier;
         rebuilt.accumulate(&later.delta(&earlier));
-        prop_assert_eq!(rebuilt, later);
+        assert_eq!(rebuilt, later);
     }
 }

@@ -2,8 +2,7 @@
 
 use dynlink_isa::{AluOp, Cond, ExternRef, Inst, MemRef, Operand, Reg};
 use dynlink_linker::{ModuleBuilder, ModuleSpec};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use dynlink_rng::Rng;
 
 use crate::profile::WorkloadProfile;
 
@@ -150,7 +149,7 @@ pub fn generate(profile: &WorkloadProfile, planned_requests: u64, seed: u64) -> 
     if let Err(e) = profile.validate() {
         panic!("invalid workload profile `{}`: {e}", profile.name);
     }
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n_types = profile.request_types.len();
     let hot = profile.hot_functions;
     let cpl = profile.chains_per_lib;
@@ -361,7 +360,7 @@ pub fn generate(profile: &WorkloadProfile, planned_requests: u64, seed: u64) -> 
                 }
             })
             .collect();
-        sites.shuffle(&mut rng);
+        rng.shuffle(&mut sites);
         for site in sites {
             let skip = app.asm().fresh_label("skip");
             let mask = (1u64 << site.k) - 1;

@@ -90,7 +90,7 @@ pub fn run_workload_observed(
     machine: MachineConfig,
     mode: LinkMode,
     warmup_requests: u64,
-    observer: Option<std::rc::Rc<std::cell::RefCell<dyn dynlink_core::RetireObserver>>>,
+    observer: Option<std::sync::Arc<std::sync::Mutex<dyn dynlink_core::RetireObserver + Send>>>,
 ) -> Result<WorkloadRun, SystemError> {
     // The §4.3 patched mode requires near placement to encode rel32.
     let placement = if mode == LinkMode::Patched {

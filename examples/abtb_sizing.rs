@@ -9,7 +9,7 @@
 //! cargo run --release --example abtb_sizing
 //! ```
 
-use dynlink_core::{LinkAccel, LinkMode, MachineConfig};
+use dynlink_core::prelude::*;
 use dynlink_uarch::ABTB_ENTRY_BYTES;
 use dynlink_workloads::{generate, memcached, run_workload_warm};
 

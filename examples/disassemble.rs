@@ -6,7 +6,7 @@
 //! cargo run --release --example disassemble
 //! ```
 
-use dynlink_core::{LinkAccel, SystemBuilder};
+use dynlink_core::prelude::*;
 use dynlink_repro::{adder_library, calling_app};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -11,7 +11,7 @@
 //! cargo run --release --example library_upgrade
 //! ```
 
-use dynlink_core::{LinkAccel, SystemBuilder};
+use dynlink_core::prelude::*;
 use dynlink_isa::Reg;
 use dynlink_repro::{adder_library, calling_app};
 

@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use dynlink_core::{LinkAccel, LinkMode, SystemBuilder};
+use dynlink_core::prelude::*;
 use dynlink_isa::Reg;
 use dynlink_repro::{adder_library, calling_app};
 

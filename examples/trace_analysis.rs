@@ -8,7 +8,7 @@
 //! cargo run --release --example trace_analysis
 //! ```
 
-use dynlink_core::{LinkMode, MachineConfig};
+use dynlink_core::prelude::*;
 use dynlink_trace::{abtb_skip_percentages, BtbPressure, TrampolineTracer};
 use dynlink_workloads::{generate, mysql, run_workload_observed};
 
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let _ = run_workload_observed; // the one-observer convenience path
     };
 
-    let stats = tramps.borrow().stats();
+    let stats = tramps.lock().unwrap().stats();
     println!("MySQL model, 200 TPC-C requests, baseline machine\n");
     println!("opportunity (sec 5.1):");
     println!("  trampoline PKI        {:>10.2}", stats.pki());
@@ -52,12 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nABTB working set (Figure 5):");
-    let seq = tramps.borrow().sequence().to_vec();
+    let seq = tramps.lock().unwrap().sequence().to_vec();
     for (size, pct) in abtb_skip_percentages(&seq, &[4, 16, 64, 256]) {
         println!("  {size:>4} entries -> {pct:>5.1}% skipped");
     }
 
-    let p = pressure.borrow();
+    let p = pressure.lock().unwrap();
     println!("\nBTB pressure (sec 2.2):");
     println!("  call sites            {:>10}", p.call_sites());
     println!("  trampoline entries    {:>10}", p.trampoline_entries());

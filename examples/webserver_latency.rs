@@ -6,7 +6,7 @@
 //! cargo run --release --example webserver_latency
 //! ```
 
-use dynlink_core::{LinkMode, MachineConfig};
+use dynlink_core::prelude::*;
 use dynlink_workloads::{apache, generate, run_workload_warm};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -54,7 +54,7 @@ fn custom_profile_generates_and_calibrates() {
         (pki - 8.0).abs() / 8.0 < 0.2,
         "custom profile calibrates: {pki:.2} vs 8.0"
     );
-    assert_eq!(tracer.borrow().stats().distinct(), 240);
+    assert_eq!(tracer.lock().unwrap().stats().distinct(), 240);
     assert_eq!(run.latencies.len(), 3);
 }
 

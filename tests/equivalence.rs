@@ -7,13 +7,16 @@
 //! loops — and check that the baseline and enhanced machines compute
 //! identical results, that the enhanced machine retires exactly the
 //! baseline instruction count minus the skipped trampolines, and that
-//! it never adds branch mispredictions (§3.3).
+//! it never adds branch mispredictions (§3.3). Programs come from
+//! seeded `dynlink_rng` loops, so every run is deterministic.
 
 use dynlink_core::{LinkAccel, LinkMode, MachineConfig, SystemBuilder};
 use dynlink_isa::{AluOp, Inst, Operand, Reg};
 use dynlink_linker::{ModuleBuilder, ModuleSpec};
+use dynlink_rng::Rng;
 use dynlink_uarch::PerfCounters;
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 /// One step of the randomly generated `main`.
 #[derive(Debug, Clone)]
@@ -31,14 +34,14 @@ enum Step {
     Loop(u8),
 }
 
-fn step_strategy(n_fns: usize) -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0..n_fns).prop_map(Step::Call),
-        (0..n_fns).prop_map(Step::CallViaPointer),
-        (0..4u8, 1..1000u64).prop_map(|(op, v)| Step::Alu(op, v)),
-        (1..u64::MAX).prop_map(Step::DataRoundtrip),
-        (1..20u8).prop_map(Step::Loop),
-    ]
+fn random_step(rng: &mut Rng, n_fns: usize) -> Step {
+    match rng.next_below(5) {
+        0 => Step::Call(rng.gen_index(0..n_fns)),
+        1 => Step::CallViaPointer(rng.gen_index(0..n_fns)),
+        2 => Step::Alu(rng.gen_range(0..4) as u8, rng.gen_range(1..1000)),
+        3 => Step::DataRoundtrip(rng.gen_range(1..u64::MAX)),
+        _ => Step::Loop(rng.gen_range(1..20) as u8),
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -50,23 +53,22 @@ struct ProgramSpec {
     repeat: u8,
 }
 
-fn program_strategy() -> impl Strategy<Value = ProgramSpec> {
-    (1..4usize, prop::collection::vec((1..100u64, 0..6u8), 1..6))
-        .prop_flat_map(|(n_libs, fns)| {
-            let n = fns.len();
-            (
-                Just(n_libs),
-                Just(fns),
-                prop::collection::vec(step_strategy(n), 1..24),
-                1..6u8,
-            )
-        })
-        .prop_map(|(n_libs, fns, steps, repeat)| ProgramSpec {
-            n_libs,
-            fns,
-            steps,
-            repeat,
-        })
+fn random_program(rng: &mut Rng) -> ProgramSpec {
+    let n_libs = rng.gen_index(1..4);
+    let fns: Vec<(u64, u8)> = (0..rng.gen_index(1..6))
+        .map(|_| (rng.gen_range(1..100), rng.gen_range(0..6) as u8))
+        .collect();
+    let n = fns.len();
+    let steps: Vec<Step> = (0..rng.gen_index(1..24))
+        .map(|_| random_step(rng, n))
+        .collect();
+    let repeat = rng.gen_range(1..6) as u8;
+    ProgramSpec {
+        n_libs,
+        fns,
+        steps,
+        repeat,
+    }
 }
 
 fn build_modules(spec: &ProgramSpec) -> Vec<ModuleSpec> {
@@ -174,64 +176,93 @@ fn run(spec: &ProgramSpec, accel: LinkAccel, mode: LinkMode) -> ([u64; 3], PerfC
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Architectural state is identical with and without the ABTB, and
-    /// the retired-instruction difference is exactly the skipped
-    /// trampolines.
-    #[test]
-    fn abtb_is_architecturally_invisible(spec in program_strategy()) {
+/// Architectural state is identical with and without the ABTB, and
+/// the retired-instruction difference is exactly the skipped
+/// trampolines.
+#[test]
+fn abtb_is_architecturally_invisible() {
+    let rng = Rng::seed_from_u64(0xe9_0001);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let spec = random_program(&mut rng);
         let (regs_base, c_base) = run(&spec, LinkAccel::Off, LinkMode::DynamicLazy);
         let (regs_enh, c_enh) = run(&spec, LinkAccel::Abtb, LinkMode::DynamicLazy);
-        prop_assert_eq!(regs_base, regs_enh);
-        prop_assert_eq!(
+        assert_eq!(regs_base, regs_enh);
+        assert_eq!(
             c_base.instructions,
             c_enh.instructions + c_enh.trampolines_skipped
         );
     }
+}
 
-    /// §3.3: the mechanism introduces no branch mispredictions that the
-    /// baseline does not also incur.
-    #[test]
-    fn no_extra_mispredictions(spec in program_strategy()) {
+/// §3.3: the mechanism introduces no branch mispredictions that the
+/// baseline does not also incur.
+#[test]
+fn no_extra_mispredictions() {
+    let rng = Rng::seed_from_u64(0xe9_0002);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let spec = random_program(&mut rng);
         let (_, c_base) = run(&spec, LinkAccel::Off, LinkMode::DynamicLazy);
         let (_, c_enh) = run(&spec, LinkAccel::Abtb, LinkMode::DynamicLazy);
-        prop_assert!(c_enh.branch_mispredictions <= c_base.branch_mispredictions,
-            "enhanced {} > base {}", c_enh.branch_mispredictions, c_base.branch_mispredictions);
+        assert!(
+            c_enh.branch_mispredictions <= c_base.branch_mispredictions,
+            "enhanced {} > base {}",
+            c_enh.branch_mispredictions,
+            c_base.branch_mispredictions
+        );
     }
+}
 
-    /// All four link modes compute the same result (static linking is
-    /// the semantic reference).
-    #[test]
-    fn link_modes_agree(spec in program_strategy()) {
+/// All link modes compute the same result (static linking is the
+/// semantic reference).
+#[test]
+fn link_modes_agree() {
+    let rng = Rng::seed_from_u64(0xe9_0003);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let spec = random_program(&mut rng);
         let (regs_static, _) = run(&spec, LinkAccel::Off, LinkMode::Static);
         let (regs_lazy, _) = run(&spec, LinkAccel::Off, LinkMode::DynamicLazy);
         let (regs_now, _) = run(&spec, LinkAccel::Off, LinkMode::DynamicNow);
-        prop_assert_eq!(regs_static, regs_lazy);
-        prop_assert_eq!(regs_static, regs_now);
+        assert_eq!(regs_static, regs_lazy);
+        assert_eq!(regs_static, regs_now);
     }
+}
 
-    /// The §3.4 no-Bloom variant is also invisible as long as the
-    /// software contract (resolver invalidates after GOT writes) holds.
-    #[test]
-    fn no_bloom_variant_is_correct_under_contract(spec in program_strategy()) {
+/// The §3.4 no-Bloom variant is also invisible as long as the
+/// software contract (resolver invalidates after GOT writes) holds.
+#[test]
+fn no_bloom_variant_is_correct_under_contract() {
+    let rng = Rng::seed_from_u64(0xe9_0004);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let spec = random_program(&mut rng);
         let (regs_base, _) = run(&spec, LinkAccel::Off, LinkMode::DynamicLazy);
         let (regs_nb, _) = run(&spec, LinkAccel::AbtbNoBloom, LinkMode::DynamicLazy);
-        prop_assert_eq!(regs_base, regs_nb);
+        assert_eq!(regs_base, regs_nb);
     }
+}
 
-    /// Eager binding (BIND_NOW) with the ABTB never invokes the resolver
-    /// yet still skips trampolines.
-    #[test]
-    fn eager_binding_skips_without_resolver(spec in program_strategy()) {
+/// Eager binding (BIND_NOW) with the ABTB never invokes the resolver
+/// yet still skips trampolines.
+#[test]
+fn eager_binding_skips_without_resolver() {
+    let rng = Rng::seed_from_u64(0xe9_0005);
+    for case in 0..CASES {
+        let mut rng = rng.derive(case);
+        let spec = random_program(&mut rng);
         let (regs_base, _) = run(&spec, LinkAccel::Off, LinkMode::DynamicNow);
         let (regs_enh, c_enh) = run(&spec, LinkAccel::Abtb, LinkMode::DynamicNow);
-        prop_assert_eq!(regs_base, regs_enh);
-        prop_assert_eq!(c_enh.resolver_invocations, 0);
-        let calls = spec.steps.iter().filter(|s| matches!(s, Step::Call(_))).count();
+        assert_eq!(regs_base, regs_enh);
+        assert_eq!(c_enh.resolver_invocations, 0);
+        let calls = spec
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Call(_)))
+            .count();
         if calls > 0 && spec.repeat >= 4 {
-            prop_assert!(c_enh.trampolines_skipped > 0, "repeated calls must skip");
+            assert!(c_enh.trampolines_skipped > 0, "repeated calls must skip");
         }
     }
 }

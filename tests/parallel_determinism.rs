@@ -1,0 +1,56 @@
+//! The parallel experiment engine must be architecturally invisible
+//! too: sharding the collection matrix across worker threads may change
+//! *who* computes each dataset, never *what* is computed.
+//!
+//! For all four paper workloads, `collect_all_jobs` at jobs = 1, 2 and
+//! 8 must produce bit-identical performance counters and per-request
+//! latency series compared to the serial `collect_all` path.
+
+use dynlink_bench::experiments::{collect_all, collect_all_jobs, Scale, WorkloadDataset};
+
+fn assert_datasets_identical(
+    serial: &[WorkloadDataset],
+    parallel: &[WorkloadDataset],
+    jobs: usize,
+) {
+    assert_eq!(serial.len(), parallel.len(), "jobs={jobs}: dataset count");
+    for (s, p) in serial.iter().zip(parallel) {
+        assert_eq!(s.name, p.name, "jobs={jobs}: workload order");
+        for (label, a, b) in [
+            ("base", &s.base, &p.base),
+            ("enhanced", &s.enhanced, &p.enhanced),
+        ] {
+            assert_eq!(
+                a.counters, b.counters,
+                "jobs={jobs}: {} {label} counters differ",
+                s.name
+            );
+            assert_eq!(
+                a.latencies, b.latencies,
+                "jobs={jobs}: {} {label} latency series differ",
+                s.name
+            );
+            assert_eq!(
+                a.type_names, b.type_names,
+                "jobs={jobs}: {} {label} request types differ",
+                s.name
+            );
+        }
+        assert_eq!(
+            s.sequence, p.sequence,
+            "jobs={jobs}: {} trampoline sequence differs",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn parallel_collection_is_bit_identical_to_serial() {
+    let scale = Scale::tiny();
+    let serial = collect_all(scale);
+    assert_eq!(serial.len(), 4, "all four workload profiles collected");
+    for jobs in [1, 2, 8] {
+        let parallel = collect_all_jobs(scale, jobs);
+        assert_datasets_identical(&serial, &parallel, jobs);
+    }
+}

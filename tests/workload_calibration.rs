@@ -27,7 +27,7 @@ fn traced(
         Some(tracer.clone()),
     )
     .unwrap();
-    let stats = tracer.borrow().stats();
+    let stats = tracer.lock().unwrap().stats();
     (run, stats)
 }
 
