@@ -1,0 +1,88 @@
+//! `difftest` — differential fuzzing of the accelerated machine
+//! against the golden architectural oracle.
+//!
+//! ```text
+//! difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale]
+//!          [--no-shrink]
+//! ```
+//!
+//! Every case is generated from its seed (`seed_start + index`), run
+//! through the `dynlink-oracle` interpreter and through the full
+//! `System` under `{Off, Abtb, AbtbNoBloom} x {X86, Arm}`, and checked
+//! for architectural divergence and counter-invariant violations.
+//! Stdout is byte-identical at every `--jobs` level; exit status is
+//! non-zero when any case fails. `--inject-stale` enables the
+//! intentional stale-ABTB bug (raw GOT rewrites that bypass the store
+//! path and skip the §3.4 invalidate) to prove the harness catches and
+//! shrinks real divergences. See `docs/TESTING.md` for the workflow.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dynlink_bench::difftest::{run_difftest, Injection};
+use dynlink_bench::runner::default_jobs;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--no-shrink]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut seed_start = 0u64;
+    let mut cases = 500u64;
+    let mut jobs = default_jobs();
+    let mut injection = Injection::None;
+    let mut shrink = true;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed-start" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(s) => seed_start = s,
+                    None => return usage(),
+                }
+            }
+            "--cases" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(c) if c >= 1 => cases = c,
+                    _ => return usage(),
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(j) if j >= 1 => jobs = j,
+                    _ => return usage(),
+                }
+            }
+            "--inject-stale" => injection = Injection::DropInvalidate,
+            "--no-shrink" => shrink = false,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    let started = Instant::now();
+    let report = run_difftest(seed_start, cases, jobs, injection, shrink);
+    print!("{}", report.output);
+    eprintln!(
+        "total wall-clock: {:.2?} ({jobs} job(s))",
+        started.elapsed()
+    );
+
+    if report.failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

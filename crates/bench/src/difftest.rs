@@ -1,0 +1,484 @@
+//! Differential-testing harness: fuzz cases vs the golden oracle.
+//!
+//! Each fuzz case (see `dynlink_workloads::fuzz`) is run once through
+//! the golden architectural [`Oracle`] and once through the full
+//! [`System`] under *every* `LinkAccel` mode and both trampoline
+//! flavors — six system runs per oracle digest. The harness fails a
+//! case on:
+//!
+//! * **architectural divergence** — any [`ArchDigest`] mismatch
+//!   (registers, pc, halted flag, GOT/data memory) between a system
+//!   run and the oracle;
+//! * **counter-invariant violations** — e.g. a baseline machine that
+//!   skips trampolines, `trampolines_skipped > abtb_hits`, a resolver
+//!   invocation count different from the oracle's, fewer ABTB flushes
+//!   than injected flush events, or a retired-instruction count that
+//!   does not equal the baseline count minus the skipped trampoline
+//!   instructions.
+//!
+//! [`Injection::DropInvalidate`] models the §3.4 bug this subsystem
+//! exists to catch: event GOT rewrites performed as raw memory writes,
+//! bypassing the store path (so the Bloom filter never observes them)
+//! and omitting the explicit ABTB invalidate. The harness must detect
+//! it, and [`run_difftest`] shrinks the first failing case to a minimal
+//! reproducer.
+//!
+//! Cases are independent, so [`run_difftest`] shards them over the
+//! [`ParallelRunner`]; seeds are derived per cell (`seed_start + index`)
+//! and results are aggregated in submission order, making the report
+//! byte-identical at every `--jobs` level.
+
+use dynlink_core::{LinkAccel, System, SystemBuilder};
+use dynlink_linker::{LinkOptions, TrampolineFlavor};
+use dynlink_oracle::{ArchDigest, Oracle};
+use dynlink_uarch::PerfCounters;
+use dynlink_workloads::fuzz::{shrink_case, FuzzCase, FuzzEvent};
+
+use crate::runner::{Cell, CellOutcome, ParallelRunner};
+
+/// Instruction budget per (partial) run; fuzz programs are tiny, so
+/// hitting this means a hang and is reported as a failure.
+pub const RUN_BUDGET: u64 = 2_000_000;
+
+/// Every accelerator mode a case is checked under.
+pub const ACCELS: [LinkAccel; 3] = [LinkAccel::Off, LinkAccel::Abtb, LinkAccel::AbtbNoBloom];
+
+/// Both trampoline flavors a case is checked under.
+pub const FLAVORS: [TrampolineFlavor; 2] = [TrampolineFlavor::X86, TrampolineFlavor::Arm];
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fold64(mut hash: u64, value: u64) -> u64 {
+    for b in value.to_le_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Fault-injection mode for the system side of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Events are applied through the correct runtime entry points
+    /// (`System::unbind_library` / `System::rebind_symbol`).
+    None,
+    /// The intentional stale-ABTB bug (test hook): unbind/rebind GOT
+    /// rewrites are raw memory writes — no store-path notification for
+    /// the Bloom filter, no explicit ABTB invalidate, no resolver-table
+    /// update. The §3.4 failure mode the harness must detect.
+    DropInvalidate,
+}
+
+/// Trampoline length in instructions for the instruction-count
+/// identity `insts(Off) = insts(mode) + skips × len`.
+fn trampoline_len(flavor: TrampolineFlavor) -> u64 {
+    match flavor {
+        TrampolineFlavor::X86 => 1,
+        TrampolineFlavor::Arm => 3,
+    }
+}
+
+struct OracleRun {
+    digest: ArchDigest,
+    resolver_invocations: u64,
+}
+
+struct SystemRun {
+    digest: ArchDigest,
+    counters: PerfCounters,
+}
+
+fn link_options(case: &FuzzCase, flavor: TrampolineFlavor) -> LinkOptions {
+    LinkOptions {
+        mode: case.mode,
+        flavor,
+        hw_level: case.hw_level,
+        ..LinkOptions::default()
+    }
+}
+
+fn run_oracle(case: &FuzzCase, flavor: TrampolineFlavor) -> Result<OracleRun, String> {
+    let specs = case.modules();
+    let mut oracle = Oracle::new(&specs, link_options(case, flavor), "main")
+        .map_err(|e| format!("oracle load: {e}"))?;
+    for ev in &case.schedule {
+        oracle
+            .run_until_marks(ev.at_mark, RUN_BUDGET)
+            .map_err(|e| format!("oracle run: {e}"))?;
+        match ev.event {
+            // Architecturally invisible by definition; the oracle has
+            // nothing to flush.
+            FuzzEvent::ContextSwitch | FuzzEvent::AbtbInvalidate => {}
+            FuzzEvent::Unbind { lib } => {
+                oracle
+                    .apply_unbind(&format!("lib{lib}"))
+                    .map_err(|e| format!("oracle unbind: {e}"))?;
+            }
+            FuzzEvent::Rebind { lib } => {
+                oracle
+                    .apply_rebind(&format!("f{lib}"), "shadow")
+                    .map_err(|e| format!("oracle rebind: {e}"))?;
+            }
+        }
+    }
+    oracle
+        .run(RUN_BUDGET)
+        .map_err(|e| format!("oracle run: {e}"))?;
+    if !oracle.halted() {
+        return Err("oracle exhausted its instruction budget".to_owned());
+    }
+    Ok(OracleRun {
+        digest: oracle.digest(),
+        resolver_invocations: oracle.resolver_invocations(),
+    })
+}
+
+fn apply_system_event(
+    sys: &mut System,
+    event: FuzzEvent,
+    injection: Injection,
+) -> Result<(), String> {
+    match event {
+        FuzzEvent::ContextSwitch => {
+            sys.context_switch();
+            Ok(())
+        }
+        FuzzEvent::AbtbInvalidate => {
+            sys.machine_mut().invalidate_abtb();
+            Ok(())
+        }
+        FuzzEvent::Unbind { lib } => {
+            let name = format!("lib{lib}");
+            match injection {
+                Injection::None => sys
+                    .unbind_library(&name)
+                    .map(|_| ())
+                    .map_err(|e| format!("unbind: {e}")),
+                Injection::DropInvalidate => {
+                    let writes = sys.image().unbind_writes_for(&name);
+                    for (slot, stub) in writes {
+                        sys.machine_mut()
+                            .space_mut()
+                            .write_u64(slot, stub.as_u64())
+                            .map_err(|e| format!("raw unbind write: {e}"))?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        FuzzEvent::Rebind { lib } => {
+            let symbol = format!("f{lib}");
+            match injection {
+                Injection::None => sys
+                    .rebind_symbol(&symbol, "shadow")
+                    .map(|_| ())
+                    .map_err(|e| format!("rebind: {e}")),
+                Injection::DropInvalidate => {
+                    let target = sys
+                        .image()
+                        .module("shadow")
+                        .and_then(|m| m.export(&symbol))
+                        .ok_or_else(|| format!("shadow does not export {symbol}"))?;
+                    let slots: Vec<_> = sys
+                        .image()
+                        .modules()
+                        .iter()
+                        .flat_map(|m| m.plt_slots.iter())
+                        .filter(|s| s.symbol == symbol)
+                        .map(|s| s.got_slot)
+                        .collect();
+                    for slot in slots {
+                        sys.machine_mut()
+                            .space_mut()
+                            .write_u64(slot, target.as_u64())
+                            .map_err(|e| format!("raw rebind write: {e}"))?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+fn run_system(
+    case: &FuzzCase,
+    flavor: TrampolineFlavor,
+    accel: LinkAccel,
+    injection: Injection,
+) -> Result<SystemRun, String> {
+    let mut sys = SystemBuilder::new()
+        .modules(case.modules())
+        .link_mode(case.mode)
+        .trampoline_flavor(flavor)
+        .hw_level(case.hw_level)
+        .accel(accel)
+        .build()
+        .map_err(|e| format!("system build: {e}"))?;
+    for ev in &case.schedule {
+        sys.run_until_marks(ev.at_mark as usize, RUN_BUDGET)
+            .map_err(|e| format!("system run: {e}"))?;
+        apply_system_event(&mut sys, ev.event, injection)?;
+    }
+    sys.run(RUN_BUDGET)
+        .map_err(|e| format!("system run: {e}"))?;
+    if !sys.machine().halted() {
+        return Err("system exhausted its instruction budget".to_owned());
+    }
+    let digest = ArchDigest::capture(
+        |r| sys.reg(r),
+        sys.machine().pc(),
+        sys.machine().halted(),
+        sys.machine().space(),
+        sys.image(),
+    );
+    Ok(SystemRun {
+        digest,
+        counters: sys.counters(),
+    })
+}
+
+/// Counter cross-checks for one system run against the oracle and the
+/// baseline (`Off`) run of the same flavor.
+fn check_counters(
+    case: &FuzzCase,
+    flavor: TrampolineFlavor,
+    accel: LinkAccel,
+    counters: &PerfCounters,
+    baseline: Option<&PerfCounters>,
+    oracle: &OracleRun,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let c = counters;
+    if !accel.has_abtb() && (c.trampolines_skipped != 0 || c.abtb_hits != 0 || c.abtb_flushes != 0)
+    {
+        failures.push(format!(
+            "baseline machine touched the ABTB: skipped={} hits={} flushes={}",
+            c.trampolines_skipped, c.abtb_hits, c.abtb_flushes
+        ));
+    }
+    if c.trampolines_skipped > c.abtb_hits {
+        failures.push(format!(
+            "trampolines_skipped {} exceeds abtb_hits {}",
+            c.trampolines_skipped, c.abtb_hits
+        ));
+    }
+    if c.abtb_hits > c.branches {
+        failures.push(format!(
+            "abtb_hits {} exceeds retired branches {}",
+            c.abtb_hits, c.branches
+        ));
+    }
+    if c.resolver_invocations != oracle.resolver_invocations {
+        failures.push(format!(
+            "resolver ran {} time(s), oracle ran it {}",
+            c.resolver_invocations, oracle.resolver_invocations
+        ));
+    }
+    if let Some(base) = baseline {
+        let expected = c
+            .instructions
+            .saturating_add(c.trampolines_skipped.saturating_mul(trampoline_len(flavor)));
+        if base.instructions != expected {
+            failures.push(format!(
+                "instruction identity broken: baseline {} != {} + {} skips x {}",
+                base.instructions,
+                c.instructions,
+                c.trampolines_skipped,
+                trampoline_len(flavor)
+            ));
+        }
+    }
+    if accel.has_abtb() {
+        let injected_flushes = case
+            .schedule
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    FuzzEvent::ContextSwitch | FuzzEvent::AbtbInvalidate
+                )
+            })
+            .count() as u64;
+        if c.abtb_flushes < injected_flushes {
+            failures.push(format!(
+                "only {} ABTB flush(es) for {} injected flush event(s)",
+                c.abtb_flushes, injected_flushes
+            ));
+        }
+    }
+    failures
+}
+
+/// Outcome of checking one fuzz case across every mode and flavor.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// The case's seed.
+    pub seed: u64,
+    /// FNV fold of the oracle digests (both flavors) — the value that
+    /// must be byte-identical at every `--jobs` level.
+    pub digest_fold: u64,
+    /// Human-readable failure descriptions; empty means the case passed.
+    pub failures: Vec<String>,
+}
+
+/// Runs one case through the oracle and through the system under every
+/// `LinkAccel` mode and both trampoline flavors, collecting divergences
+/// and counter-invariant violations.
+pub fn check_case(case: &FuzzCase, injection: Injection) -> CaseReport {
+    let mut failures = Vec::new();
+    let mut digest_fold = FNV_OFFSET;
+    for &flavor in &FLAVORS {
+        let oracle = match run_oracle(case, flavor) {
+            Ok(o) => o,
+            Err(e) => {
+                failures.push(format!("[{flavor:?}/oracle] {e}"));
+                continue;
+            }
+        };
+        digest_fold = fold64(digest_fold, oracle.digest.fold());
+        let mut baseline: Option<PerfCounters> = None;
+        for &accel in &ACCELS {
+            match run_system(case, flavor, accel, injection) {
+                Err(e) => failures.push(format!("[{flavor:?}/{accel:?}] {e}")),
+                Ok(run) => {
+                    if run.digest != oracle.digest {
+                        failures.push(format!(
+                            "[{flavor:?}/{accel:?}] architectural divergence: {}",
+                            oracle.digest.describe_diff(&run.digest)
+                        ));
+                    }
+                    for msg in check_counters(
+                        case,
+                        flavor,
+                        accel,
+                        &run.counters,
+                        baseline.as_ref(),
+                        &oracle,
+                    ) {
+                        failures.push(format!("[{flavor:?}/{accel:?}] {msg}"));
+                    }
+                    if accel == LinkAccel::Off {
+                        baseline = Some(run.counters);
+                    }
+                }
+            }
+        }
+    }
+    CaseReport {
+        seed: case.seed,
+        digest_fold,
+        failures,
+    }
+}
+
+/// Aggregate result of a [`run_difftest`] sweep.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// The full report text (stdout of the `difftest` binary); built in
+    /// submission order, so byte-identical at every `--jobs` level.
+    pub output: String,
+    /// Total failure lines across all cases.
+    pub failures: usize,
+    /// Number of cases checked.
+    pub cases: u64,
+    /// FNV fold of every case's digest fold.
+    pub digest: u64,
+}
+
+/// Checks `cases` consecutive seeds starting at `seed_start`, sharded
+/// over `jobs` workers. When `shrink` is set and at least one case
+/// fails, the first failing case is delta-debugged to a minimal
+/// reproducer which is appended to the report.
+pub fn run_difftest(
+    seed_start: u64,
+    cases: u64,
+    jobs: usize,
+    injection: Injection,
+    shrink: bool,
+) -> DiffReport {
+    let cells: Vec<Cell<CaseReport>> = (0..cases)
+        .map(|i| {
+            let seed = seed_start + i;
+            Cell::new(format!("seed{seed}"), move |_ctx| {
+                check_case(&FuzzCase::generate(seed), injection)
+            })
+        })
+        .collect();
+    let report = ParallelRunner::new(jobs).run(seed_start ^ 0xd1ff_7e57, cells);
+
+    let mut output = format!(
+        "difftest: {cases} case(s), seeds {seed_start}..{}, {{Off,Abtb,AbtbNoBloom}} x {{X86,Arm}}{}\n",
+        seed_start + cases,
+        match injection {
+            Injection::None => "",
+            Injection::DropInvalidate => ", injecting stale-ABTB bug",
+        }
+    );
+    let mut digest = FNV_OFFSET;
+    let mut failures = 0usize;
+    let mut first_failing: Option<u64> = None;
+    for cell in report.cells {
+        match cell.outcome {
+            CellOutcome::Done(r) => {
+                digest = fold64(digest, r.digest_fold);
+                if !r.failures.is_empty() && first_failing.is_none() {
+                    first_failing = Some(r.seed);
+                }
+                for f in &r.failures {
+                    output.push_str(&format!("FAIL seed {}: {f}\n", r.seed));
+                    failures += 1;
+                }
+            }
+            CellOutcome::Panicked(msg) => {
+                output.push_str(&format!("FAIL {}: panicked: {msg}\n", cell.label));
+                failures += 1;
+            }
+        }
+    }
+
+    if let Some(seed) = first_failing.filter(|_| shrink) {
+        let case = FuzzCase::generate(seed);
+        let shrunk = shrink_case(&case, |c| !check_case(c, injection).failures.is_empty());
+        output.push_str(&format!("shrunk minimal reproducer for seed {seed}:\n"));
+        output.push_str(&format!("  {shrunk}\n"));
+        for f in check_case(&shrunk, injection).failures {
+            output.push_str(&format!("  {f}\n"));
+        }
+    }
+
+    output.push_str(&format!(
+        "difftest: {failures} failure(s) across {cases} case(s); state digest {digest:#018x}\n"
+    ));
+    DiffReport {
+        output,
+        failures,
+        cases,
+        digest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_cases_produce_no_failures() {
+        for seed in 0..15 {
+            let report = check_case(&FuzzCase::generate(seed), Injection::None);
+            assert!(
+                report.failures.is_empty(),
+                "seed {seed}: {:?}",
+                report.failures
+            );
+        }
+    }
+
+    #[test]
+    fn report_counts_match_failure_lines() {
+        let r = run_difftest(0, 6, 2, Injection::None, false);
+        assert_eq!(r.cases, 6);
+        assert_eq!(r.failures, 0, "{}", r.output);
+        assert!(r.output.contains("0 failure(s) across 6 case(s)"));
+    }
+}

@@ -34,10 +34,16 @@
 //! [`experiments::sensitivity`] (machine-parameter robustness) and
 //! [`experiments::multitenant`] (two processes co-scheduled on one
 //! core with ASID-tagged vs flushed ABTBs).
+//!
+//! Correctness at scale: [`difftest`] (driven by the `difftest`
+//! binary) fuzzes random programs and event schedules against the
+//! golden `dynlink-oracle` interpreter under every accelerator mode,
+//! with fault injection and automatic shrinking — see `docs/TESTING.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod difftest;
 pub mod experiments;
 pub mod memsave;
 pub mod registry;

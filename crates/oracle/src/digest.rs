@@ -1,0 +1,208 @@
+//! Canonical architectural state digests.
+//!
+//! An [`ArchDigest`] captures everything the paper's correctness
+//! argument promises stays invariant under trampoline skipping:
+//! register file, program counter, halted flag, and the contents of
+//! every writable region the loader placed (GOT and data). Both the
+//! golden [`crate::Oracle`] and a full `Machine`-backed system can
+//! produce one, and two runs agree architecturally iff their digests
+//! are equal.
+//!
+//! The linker scratch register is *excluded*: it is linker-owned and
+//! architecturally dead across calls (paper §3.1), and legitimately
+//! differs when a skipped trampoline elides its scratch-only body.
+
+use std::fmt;
+
+use dynlink_isa::{Reg, VirtAddr, NUM_REGS};
+use dynlink_linker::ProcessImage;
+use dynlink_mem::AddressSpace;
+
+/// FNV-1a 64-bit offset basis.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Folds one 64-bit value (little-endian) into an FNV-1a hash.
+pub(crate) fn fnv1a_u64(hash: u64, value: u64) -> u64 {
+    fnv1a_bytes(hash, &value.to_le_bytes())
+}
+
+/// Hashes every writable region the loader placed — each module's GOT
+/// and data region, in module order. Unmapped or short regions fold a
+/// sentinel instead of panicking so a digest can always be formed.
+pub fn hash_rw_regions(space: &AddressSpace, image: &ProcessImage) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for module in image.modules() {
+        for (base, len) in [
+            (module.got_base, module.got_len),
+            (module.data_base, module.data_len),
+        ] {
+            hash = fnv1a_u64(hash, base.as_u64());
+            hash = fnv1a_u64(hash, len);
+            if len == 0 {
+                continue;
+            }
+            let mut buf = vec![0u8; len as usize];
+            match space.read_bytes(base, &mut buf) {
+                Ok(()) => hash = fnv1a_bytes(hash, &buf),
+                Err(_) => hash = fnv1a_u64(hash, u64::MAX),
+            }
+        }
+    }
+    hash
+}
+
+/// A canonical digest of architectural state.
+///
+/// Two runs of the same program (same modules, link options and event
+/// schedule) are architecturally equivalent iff their digests compare
+/// equal — regardless of which `LinkAccel` mode either ran under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchDigest {
+    /// Register file with the linker scratch register zeroed.
+    pub regs: [u64; NUM_REGS],
+    /// Final program counter.
+    pub pc: u64,
+    /// Whether the machine halted.
+    pub halted: bool,
+    /// [`hash_rw_regions`] over the image's GOT and data regions.
+    pub mem_hash: u64,
+}
+
+impl ArchDigest {
+    /// Captures a digest from any machine that can expose per-register
+    /// reads, a pc, a halted flag and its address space.
+    pub fn capture(
+        read_reg: impl Fn(Reg) -> u64,
+        pc: VirtAddr,
+        halted: bool,
+        space: &AddressSpace,
+        image: &ProcessImage,
+    ) -> ArchDigest {
+        let mut regs = [0u64; NUM_REGS];
+        for r in Reg::ALL {
+            if !r.is_linker_scratch() {
+                regs[r.index()] = read_reg(r);
+            }
+        }
+        ArchDigest {
+            regs,
+            pc: pc.as_u64(),
+            halted,
+            mem_hash: hash_rw_regions(space, image),
+        }
+    }
+
+    /// Folds the whole digest into one 64-bit value (for run summaries
+    /// and byte-identical `--jobs` checks).
+    pub fn fold(&self) -> u64 {
+        let mut hash = FNV_OFFSET;
+        for &r in &self.regs {
+            hash = fnv1a_u64(hash, r);
+        }
+        hash = fnv1a_u64(hash, self.pc);
+        hash = fnv1a_u64(hash, u64::from(self.halted));
+        fnv1a_u64(hash, self.mem_hash)
+    }
+
+    /// Human-readable description of how `other` differs from `self`
+    /// (empty when equal). `self` is labelled as the oracle.
+    pub fn describe_diff(&self, other: &ArchDigest) -> String {
+        let mut out = String::new();
+        for r in Reg::ALL {
+            let (a, b) = (self.regs[r.index()], other.regs[r.index()]);
+            if a != b {
+                out.push_str(&format!("{r}: oracle {a:#x} vs system {b:#x}; "));
+            }
+        }
+        if self.pc != other.pc {
+            out.push_str(&format!(
+                "pc: oracle {:#x} vs system {:#x}; ",
+                self.pc, other.pc
+            ));
+        }
+        if self.halted != other.halted {
+            out.push_str(&format!(
+                "halted: oracle {} vs system {}; ",
+                self.halted, other.halted
+            ));
+        }
+        if self.mem_hash != other.mem_hash {
+            out.push_str(&format!(
+                "mem: oracle {:#x} vs system {:#x}; ",
+                self.mem_hash, other.mem_hash
+            ));
+        }
+        out.trim_end_matches("; ").to_owned()
+    }
+}
+
+impl fmt::Display for ArchDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "digest {:#018x} (pc {:#x}, halted {})",
+            self.fold(),
+            self.pc,
+            self.halted
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv1a_bytes(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn fold_changes_with_any_field() {
+        let base = ArchDigest {
+            regs: [0; NUM_REGS],
+            pc: 0x1000,
+            halted: true,
+            mem_hash: 7,
+        };
+        let mut r = base;
+        r.regs[3] = 1;
+        let mut p = base;
+        p.pc = 0x1001;
+        let mut m = base;
+        m.mem_hash = 8;
+        let folds = [base.fold(), r.fold(), p.fold(), m.fold()];
+        for i in 0..folds.len() {
+            for j in i + 1..folds.len() {
+                assert_ne!(folds[i], folds[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn describe_diff_names_the_field() {
+        let a = ArchDigest {
+            regs: [0; NUM_REGS],
+            pc: 0x1000,
+            halted: true,
+            mem_hash: 7,
+        };
+        let mut b = a;
+        b.regs[0] = 5;
+        b.mem_hash = 9;
+        let msg = a.describe_diff(&b);
+        assert!(msg.contains("r0"), "{msg}");
+        assert!(msg.contains("mem"), "{msg}");
+        assert!(a.describe_diff(&a).is_empty());
+    }
+}

@@ -1,0 +1,634 @@
+//! The golden architectural interpreter.
+//!
+//! [`Oracle`] executes `dynlink-isa` programs with *only* architectural
+//! state: sixteen registers, a program counter, a halted flag and an
+//! address space. There is no BTB, no return-address stack, no ABTB, no
+//! Bloom filter and no cache or TLB model — so nothing here can skip a
+//! trampoline or retain a stale binding. Any run of the full
+//! `dynlink_cpu::Machine` that diverges architecturally from this
+//! interpreter (same modules, same link options, same event schedule) is
+//! a correctness bug in the accelerated machine.
+
+use std::fmt;
+
+use dynlink_isa::{Inst, Reg, VirtAddr};
+use dynlink_linker::{
+    LinkError, LinkOptions, Loader, ModuleSpec, ProcessImage, ResolutionTable, RESOLVER_HOST_FN,
+};
+use dynlink_mem::layout::{STACK_BYTES, STACK_TOP};
+use dynlink_mem::{AddressSpace, MemError, Perms};
+
+use crate::digest::{fnv1a_u64, ArchDigest, FNV_OFFSET};
+
+/// Why a call to [`Oracle::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleExit {
+    /// The program executed a `Halt` instruction.
+    Halted,
+    /// The instruction budget (or mark target) was reached first.
+    InstLimit,
+}
+
+/// Errors from constructing or running the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OracleError {
+    /// Loading the modules failed.
+    Link(LinkError),
+    /// A memory fault at the given program counter.
+    Mem {
+        /// Program counter of the faulting instruction.
+        pc: VirtAddr,
+        /// The underlying fault.
+        source: MemError,
+    },
+    /// A `HostCall` with an id the oracle does not implement.
+    UnknownHostFn {
+        /// Program counter of the host call.
+        pc: VirtAddr,
+    },
+    /// The resolver was invoked with a key that maps to no binding.
+    UnknownBinding {
+        /// Program counter of the host call.
+        pc: VirtAddr,
+        /// The unrecognised stub key (from the scratch register).
+        key: u64,
+    },
+    /// An event named a module or symbol the image does not contain.
+    UnknownName {
+        /// The offending module or symbol name.
+        name: String,
+    },
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Link(e) => write!(f, "link error: {e}"),
+            OracleError::Mem { pc, source } => write!(f, "memory fault at {pc}: {source}"),
+            OracleError::UnknownHostFn { pc } => write!(f, "unknown host function at {pc}"),
+            OracleError::UnknownBinding { pc, key } => {
+                write!(f, "resolver key {key:#x} has no binding (at {pc})")
+            }
+            OracleError::UnknownName { name } => write!(f, "unknown module or symbol `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+impl From<LinkError> for OracleError {
+    fn from(e: LinkError) -> Self {
+        OracleError::Link(e)
+    }
+}
+
+/// The architectural reference machine.
+///
+/// Construction loads the given modules with the *same* deterministic
+/// [`Loader`] the full system uses (identical layout when `aslr_seed`
+/// is `None`), maps an identical stack, and starts at the image entry.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_isa::{Inst, Reg};
+/// use dynlink_linker::{LinkOptions, ModuleBuilder};
+/// use dynlink_oracle::Oracle;
+///
+/// let mut lib = ModuleBuilder::new("libinc");
+/// lib.begin_function("inc", true);
+/// lib.asm().push(Inst::add_imm(Reg::R0, 1));
+/// lib.asm().push(Inst::Ret);
+/// let mut app = ModuleBuilder::new("app");
+/// let inc = app.import("inc");
+/// app.begin_function("main", true);
+/// app.asm().push_call_extern(inc);
+/// app.asm().push(Inst::Halt);
+///
+/// let specs = vec![app.finish()?, lib.finish()?];
+/// let mut oracle = Oracle::new(&specs, LinkOptions::default(), "main")?;
+/// oracle.run(10_000)?;
+/// assert_eq!(oracle.reg(Reg::R0), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Oracle {
+    space: AddressSpace,
+    image: ProcessImage,
+    /// Live binding table, mutated by [`Oracle::apply_rebind`] exactly
+    /// like the system's resolver-shared table; `image.resolution()`
+    /// stays at its as-loaded state (also mirroring the system).
+    resolution: ResolutionTable,
+    regs: [u64; dynlink_isa::NUM_REGS],
+    pc: VirtAddr,
+    halted: bool,
+    marks: u64,
+    instructions: u64,
+    resolver_invocations: u64,
+    /// FNV-1a fold of every (address, value) store the oracle performs,
+    /// including resolver GOT writes and injected event writes.
+    write_log: u64,
+}
+
+impl Oracle {
+    /// Loads `specs` under `opts` and prepares to run from
+    /// `entry_symbol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::Link`] when loading fails, or
+    /// [`OracleError::Mem`] if the stack cannot be mapped.
+    pub fn new(
+        specs: &[ModuleSpec],
+        opts: LinkOptions,
+        entry_symbol: &str,
+    ) -> Result<Self, OracleError> {
+        let mut space = AddressSpace::new(1);
+        let image = Loader::new(opts).load(specs, entry_symbol, &mut space)?;
+        space
+            .map_region(
+                VirtAddr::new(STACK_TOP.as_u64() - STACK_BYTES),
+                STACK_BYTES,
+                Perms::RW,
+            )
+            .map_err(|source| OracleError::Mem {
+                pc: VirtAddr::NULL,
+                source,
+            })?;
+        let mut regs = [0u64; dynlink_isa::NUM_REGS];
+        regs[Reg::SP.index()] = STACK_TOP.as_u64();
+        regs[Reg::FP.index()] = STACK_TOP.as_u64();
+        let pc = image.entry();
+        let resolution = image.resolution().clone();
+        Ok(Oracle {
+            space,
+            image,
+            resolution,
+            regs,
+            pc,
+            halted: false,
+            marks: 0,
+            instructions: 0,
+            resolver_invocations: 0,
+            write_log: FNV_OFFSET,
+        })
+    }
+
+    /// The loaded process image (layout identical to the system's).
+    pub fn image(&self) -> &ProcessImage {
+        &self.image
+    }
+
+    /// The address space (for digests or inspection).
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (for seeding inputs before a run).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.regs[r.index()] = value;
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> VirtAddr {
+        self.pc
+    }
+
+    /// `true` once a `Halt` instruction has retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of `Mark` instructions retired so far.
+    pub fn marks(&self) -> u64 {
+        self.marks
+    }
+
+    /// Number of instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// How many times the lazy-binding resolver ran.
+    pub fn resolver_invocations(&self) -> u64 {
+        self.resolver_invocations
+    }
+
+    /// FNV-1a hash over the ordered (address, value) store log.
+    pub fn write_log_hash(&self) -> u64 {
+        self.write_log
+    }
+
+    fn store(&mut self, addr: VirtAddr, value: u64) -> Result<(), MemError> {
+        self.space.write_u64(addr, value)?;
+        self.write_log = fnv1a_u64(fnv1a_u64(self.write_log, addr.as_u64()), value);
+        Ok(())
+    }
+
+    fn mem_err(&self, source: MemError) -> OracleError {
+        OracleError::Mem {
+            pc: self.pc,
+            source,
+        }
+    }
+
+    fn effective_addr(&self, mem: dynlink_isa::MemRef) -> VirtAddr {
+        use dynlink_isa::MemRef;
+        match mem {
+            MemRef::Abs(a) => a,
+            MemRef::BaseDisp { base, disp } => {
+                VirtAddr::new(self.reg(base).wrapping_add(disp as u64))
+            }
+            MemRef::BaseIndexDisp {
+                base,
+                index,
+                scale,
+                disp,
+            } => VirtAddr::new(
+                self.reg(base)
+                    .wrapping_add(self.reg(index).wrapping_mul(u64::from(scale)))
+                    .wrapping_add(disp as u64),
+            ),
+        }
+    }
+
+    fn operand(&self, op: dynlink_isa::Operand) -> u64 {
+        use dynlink_isa::Operand;
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(i) => i,
+        }
+    }
+
+    fn push_stack(&mut self, value: u64) -> Result<(), MemError> {
+        let sp = self.reg(Reg::SP).wrapping_sub(8);
+        self.set_reg(Reg::SP, sp);
+        self.store(VirtAddr::new(sp), value)
+    }
+
+    fn pop_stack(&mut self) -> Result<u64, MemError> {
+        let sp = self.reg(Reg::SP);
+        let value = self.space.read_u64(VirtAddr::new(sp))?;
+        self.set_reg(Reg::SP, sp.wrapping_add(8));
+        Ok(value)
+    }
+
+    /// The lazy resolver, executed inline (architecturally a host call
+    /// has no microarchitectural side): read the stub key from the
+    /// scratch register, rewrite the GOT slot, jump to the target.
+    fn resolver(&mut self, pc: VirtAddr) -> Result<VirtAddr, OracleError> {
+        let key = self.reg(Reg::SCRATCH);
+        let binding = self
+            .resolution
+            .binding_for_key(key)
+            .ok_or(OracleError::UnknownBinding { pc, key })?;
+        let (slot, target) = (binding.got_slot, binding.target);
+        self.store(slot, target.as_u64())
+            .map_err(|e| self.mem_err(e))?;
+        self.resolver_invocations += 1;
+        Ok(target)
+    }
+
+    /// Retires exactly one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::Mem`] on a fetch or data fault,
+    /// [`OracleError::UnknownHostFn`] / [`OracleError::UnknownBinding`]
+    /// for bad host calls. A halted oracle is a no-op.
+    pub fn step(&mut self) -> Result<(), OracleError> {
+        if self.halted {
+            return Ok(());
+        }
+        let pc = self.pc;
+        let inst = self.space.fetch_code(pc).map_err(|e| self.mem_err(e))?;
+        let fall = pc + inst.encoded_len();
+        let next_pc = match inst {
+            Inst::Alu { op, dst, src } => {
+                let rhs = self.operand(src);
+                let value = op.apply(self.reg(dst), rhs);
+                self.set_reg(dst, value);
+                fall
+            }
+            Inst::MovImm { dst, imm } => {
+                self.set_reg(dst, imm);
+                fall
+            }
+            Inst::MovReg { dst, src } => {
+                let v = self.reg(src);
+                self.set_reg(dst, v);
+                fall
+            }
+            Inst::Lea { dst, mem } => {
+                let ea = self.effective_addr(mem);
+                self.set_reg(dst, ea.as_u64());
+                fall
+            }
+            Inst::Load { dst, mem } => {
+                let ea = self.effective_addr(mem);
+                let v = self.space.read_u64(ea).map_err(|e| self.mem_err(e))?;
+                self.set_reg(dst, v);
+                fall
+            }
+            Inst::Store { src, mem } => {
+                let ea = self.effective_addr(mem);
+                let v = self.reg(src);
+                self.store(ea, v).map_err(|e| self.mem_err(e))?;
+                fall
+            }
+            Inst::Push { src } => {
+                let v = self.reg(src);
+                self.push_stack(v).map_err(|e| self.mem_err(e))?;
+                fall
+            }
+            Inst::Pop { dst } => {
+                let v = self.pop_stack().map_err(|e| self.mem_err(e))?;
+                self.set_reg(dst, v);
+                fall
+            }
+            Inst::CallDirect { target } => {
+                self.push_stack(fall.as_u64())
+                    .map_err(|e| self.mem_err(e))?;
+                target
+            }
+            Inst::CallIndirectReg { target } => {
+                let t = VirtAddr::new(self.reg(target));
+                self.push_stack(fall.as_u64())
+                    .map_err(|e| self.mem_err(e))?;
+                t
+            }
+            Inst::CallIndirectMem { mem } => {
+                let ea = self.effective_addr(mem);
+                let t = self.space.read_u64(ea).map_err(|e| self.mem_err(e))?;
+                self.push_stack(fall.as_u64())
+                    .map_err(|e| self.mem_err(e))?;
+                VirtAddr::new(t)
+            }
+            Inst::JmpDirect { target } => target,
+            Inst::JmpIndirectMem { mem } => {
+                let ea = self.effective_addr(mem);
+                let t = self.space.read_u64(ea).map_err(|e| self.mem_err(e))?;
+                VirtAddr::new(t)
+            }
+            Inst::JmpIndirectReg { target } => VirtAddr::new(self.reg(target)),
+            Inst::BranchCond {
+                cond,
+                lhs,
+                rhs,
+                target,
+            } => {
+                if cond.eval(self.reg(lhs), self.operand(rhs)) {
+                    target
+                } else {
+                    fall
+                }
+            }
+            Inst::Ret => {
+                let t = self.pop_stack().map_err(|e| self.mem_err(e))?;
+                VirtAddr::new(t)
+            }
+            Inst::Nop => fall,
+            Inst::Halt => {
+                self.halted = true;
+                pc
+            }
+            Inst::Mark { .. } => {
+                self.marks += 1;
+                fall
+            }
+            Inst::HostCall { id } => {
+                if id != RESOLVER_HOST_FN {
+                    return Err(OracleError::UnknownHostFn { pc });
+                }
+                self.resolver(pc)?
+            }
+        };
+        self.instructions += 1;
+        self.pc = next_pc;
+        Ok(())
+    }
+
+    /// Runs until halt or until `max_instructions` more instructions
+    /// have retired, mirroring `Machine::run`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Oracle::step`] errors.
+    pub fn run(&mut self, max_instructions: u64) -> Result<OracleExit, OracleError> {
+        self.run_until_marks(u64::MAX, max_instructions)
+    }
+
+    /// Runs until at least `target_marks` `Mark` instructions have
+    /// retired in total, until halt, or until the instruction budget is
+    /// exhausted — the same stopping rule as
+    /// `Machine::run_until_marks`, so event schedules applied at mark
+    /// boundaries line up instruction-for-instruction with the system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Oracle::step`] errors.
+    pub fn run_until_marks(
+        &mut self,
+        target_marks: u64,
+        max_instructions: u64,
+    ) -> Result<OracleExit, OracleError> {
+        let budget_end = self.instructions.saturating_add(max_instructions);
+        while !self.halted {
+            if self.marks >= target_marks || self.instructions >= budget_end {
+                return Ok(OracleExit::InstLimit);
+            }
+            self.step()?;
+        }
+        Ok(OracleExit::Halted)
+    }
+
+    /// Architecturally applies `dlclose(victim)`: every GOT slot in
+    /// *other* modules that currently binds into `victim` is re-armed to
+    /// its lazy-resolution stub — the same writes
+    /// `System::unbind_library` performs.
+    ///
+    /// Returns the number of slots rewritten.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::UnknownName`] when `victim` is not loaded;
+    /// [`OracleError::Mem`] if a GOT write faults.
+    pub fn apply_unbind(&mut self, victim: &str) -> Result<u64, OracleError> {
+        if self.image.module(victim).is_none() {
+            return Err(OracleError::UnknownName {
+                name: victim.to_owned(),
+            });
+        }
+        let writes = self.image.unbind_writes_for(victim);
+        let mut n = 0;
+        for (slot, stub) in writes {
+            self.store(slot, stub.as_u64())
+                .map_err(|e| self.mem_err(e))?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Architecturally rebinds `symbol` to the copy exported by
+    /// `provider`: every importer's GOT slot is rewritten and the live
+    /// resolution table is updated so future lazy resolutions see the
+    /// new target — the same writes `System::rebind_symbol` performs.
+    ///
+    /// Returns the number of slots rewritten.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::UnknownName`] when `provider` does not export
+    /// `symbol`; [`OracleError::Mem`] if a GOT write faults.
+    pub fn apply_rebind(&mut self, symbol: &str, provider: &str) -> Result<u64, OracleError> {
+        let target = self
+            .image
+            .module(provider)
+            .and_then(|m| m.export(symbol))
+            .ok_or_else(|| OracleError::UnknownName {
+                name: format!("{provider}:{symbol}"),
+            })?;
+        let mut slots = Vec::new();
+        for (mi, module) in self.image.modules().iter().enumerate() {
+            for (ii, plt) in module.plt_slots.iter().enumerate() {
+                if plt.symbol == symbol {
+                    slots.push((mi, ii, plt.got_slot));
+                }
+            }
+        }
+        let mut n = 0;
+        for (mi, ii, slot) in slots {
+            self.store(slot, target.as_u64())
+                .map_err(|e| self.mem_err(e))?;
+            if let Some(binding) = self.resolution.binding_mut(mi, ii) {
+                binding.target = target;
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// The canonical architectural digest of the current state.
+    pub fn digest(&self) -> ArchDigest {
+        ArchDigest::capture(
+            |r| self.reg(r),
+            self.pc,
+            self.halted,
+            &self.space,
+            &self.image,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynlink_isa::Inst;
+    use dynlink_linker::{LinkMode, ModuleBuilder};
+
+    fn adder(module: &str, name: &str, delta: u64) -> ModuleSpec {
+        let mut lib = ModuleBuilder::new(module);
+        lib.begin_function(name, true);
+        lib.asm().push(Inst::add_imm(Reg::R0, delta));
+        lib.asm().push(Inst::Ret);
+        lib.finish().unwrap()
+    }
+
+    fn caller(callee: &str, iterations: u64) -> ModuleSpec {
+        let mut app = ModuleBuilder::new("app");
+        let f = app.import(callee);
+        app.begin_function("main", true);
+        let top = app.asm().fresh_label("top");
+        app.asm().push(Inst::mov_imm(Reg::R2, iterations));
+        app.asm().bind(top);
+        app.asm().push(Inst::Mark { id: 0 });
+        app.asm().push_call_extern(f);
+        app.asm().push(Inst::sub_imm(Reg::R2, 1));
+        app.asm().push_branch_nz(Reg::R2, top);
+        app.asm().push(Inst::Halt);
+        app.finish().unwrap()
+    }
+
+    #[test]
+    fn lazy_resolution_runs_resolver_once_per_import() {
+        let specs = vec![caller("inc", 10), adder("libinc", "inc", 1)];
+        let mut o = Oracle::new(&specs, LinkOptions::default(), "main").unwrap();
+        assert_eq!(o.run(100_000).unwrap(), OracleExit::Halted);
+        assert_eq!(o.reg(Reg::R0), 10);
+        assert_eq!(o.resolver_invocations(), 1);
+        assert_eq!(o.marks(), 10);
+    }
+
+    #[test]
+    fn eager_binding_never_invokes_resolver() {
+        let specs = vec![caller("inc", 7), adder("libinc", "inc", 1)];
+        let opts = LinkOptions {
+            mode: LinkMode::DynamicNow,
+            ..LinkOptions::default()
+        };
+        let mut o = Oracle::new(&specs, opts, "main").unwrap();
+        o.run(100_000).unwrap();
+        assert_eq!(o.reg(Reg::R0), 7);
+        assert_eq!(o.resolver_invocations(), 0);
+    }
+
+    #[test]
+    fn run_until_marks_stops_at_boundary() {
+        let specs = vec![caller("inc", 10), adder("libinc", "inc", 1)];
+        let mut o = Oracle::new(&specs, LinkOptions::default(), "main").unwrap();
+        assert_eq!(
+            o.run_until_marks(3, 100_000).unwrap(),
+            OracleExit::InstLimit
+        );
+        assert_eq!(o.marks(), 3);
+        assert!(!o.halted());
+        o.run(100_000).unwrap();
+        assert_eq!(o.reg(Reg::R0), 10);
+    }
+
+    #[test]
+    fn unbind_then_call_resolves_again() {
+        let specs = vec![caller("inc", 10), adder("libinc", "inc", 1)];
+        let mut o = Oracle::new(&specs, LinkOptions::default(), "main").unwrap();
+        o.run_until_marks(5, 100_000).unwrap();
+        assert_eq!(o.apply_unbind("libinc").unwrap(), 1);
+        o.run(100_000).unwrap();
+        assert_eq!(o.reg(Reg::R0), 10);
+        assert_eq!(o.resolver_invocations(), 2, "stub re-armed");
+    }
+
+    #[test]
+    fn rebind_switches_provider_mid_run() {
+        let specs = vec![
+            caller("inc", 10),
+            adder("libinc", "inc", 1),
+            adder("shadow", "inc", 100),
+        ];
+        let mut o = Oracle::new(&specs, LinkOptions::default(), "main").unwrap();
+        o.run_until_marks(5, 100_000).unwrap();
+        assert_eq!(o.apply_rebind("inc", "shadow").unwrap(), 1);
+        o.run(100_000).unwrap();
+        // 5 calls at +1 (marks 1..=5 retired, but the 5th call has not
+        // happened yet when the event lands), then 6 calls at +100.
+        assert_eq!(o.reg(Reg::R0), 4 + 6 * 100);
+    }
+
+    #[test]
+    fn digest_is_stable_and_scratch_blind() {
+        let specs = vec![caller("inc", 3), adder("libinc", "inc", 1)];
+        let mut o = Oracle::new(&specs, LinkOptions::default(), "main").unwrap();
+        o.run(100_000).unwrap();
+        let d1 = o.digest();
+        let d2 = o.digest();
+        assert_eq!(d1, d2);
+        o.set_reg(Reg::SCRATCH, 0xdead_beef);
+        assert_eq!(o.digest(), d1, "scratch register is excluded");
+        o.set_reg(Reg::R9, 1);
+        assert_ne!(o.digest(), d1);
+    }
+}

@@ -1,0 +1,38 @@
+//! # dynlink-oracle
+//!
+//! Golden *architectural* oracle for differential testing.
+//!
+//! The simulator's whole correctness argument (paper §3.2–§3.4) is that
+//! trampoline skipping is architecturally invisible: GOT rewrites, lazy
+//! resolution, `dlclose`/rebind and context switches must never let a
+//! stale ABTB mapping change program results. This crate provides the
+//! reference side of that argument:
+//!
+//! - [`Oracle`] — an interpreter that executes the same `dynlink-isa`
+//!   programs with *no* microarchitectural machinery at all (no BTB, no
+//!   ABTB, no Bloom filter, no caches): just registers, memory and a
+//!   program counter. Whatever it computes *is* the architecture.
+//! - [`ArchDigest`] — a canonical digest of architectural state
+//!   (registers, halted flag, program counter, and a hash of the
+//!   process's writable memory regions) that both the oracle and a full
+//!   `dynlink_cpu::Machine`-backed system can produce, so the two can
+//!   be compared after identical runs.
+//! - [`Minimizer`] — a delta-debugging shrink loop (`ddmin`) reusable by
+//!   any fuzz harness to reduce a failing input to a 1-minimal one.
+//!
+//! The fuzz-case generator lives in `dynlink-workloads::fuzz` and the
+//! differential driver in `dynlink-bench` (`difftest` binary); this
+//! crate deliberately depends only on the architectural layers
+//! (`isa`/`mem`/`linker`) so the oracle cannot accidentally share
+//! microarchitectural code with the system under test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod digest;
+mod interp;
+mod minimize;
+
+pub use digest::{hash_rw_regions, ArchDigest};
+pub use interp::{Oracle, OracleError, OracleExit};
+pub use minimize::Minimizer;

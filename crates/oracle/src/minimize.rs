@@ -1,0 +1,152 @@
+//! Delta-debugging minimization (`ddmin`).
+//!
+//! Zeller-style shrink loop: given a failing input (a sequence of
+//! items) and a predicate that re-checks failure, repeatedly remove
+//! chunks of decreasing granularity until the result is *1-minimal* —
+//! removing any single remaining item makes the failure disappear.
+//! Fuzz harnesses use this to reduce a failing program/schedule to the
+//! smallest reproducer worth reading.
+
+/// A reusable delta-debugging shrink loop.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_oracle::Minimizer;
+///
+/// // "Fails" whenever both 3 and 7 survive in the input.
+/// let mut mz = Minimizer::new();
+/// let shrunk = mz.minimize(&[1, 2, 3, 4, 5, 6, 7, 8], |s| {
+///     s.contains(&3) && s.contains(&7)
+/// });
+/// assert_eq!(shrunk, vec![3, 7]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Minimizer {
+    tests_run: u64,
+}
+
+impl Minimizer {
+    /// Creates a fresh minimizer.
+    pub fn new() -> Self {
+        Minimizer::default()
+    }
+
+    /// How many predicate evaluations all `minimize` calls on this
+    /// value have used (each one typically re-runs the program under
+    /// test, so this is the shrink cost).
+    pub fn tests_run(&self) -> u64 {
+        self.tests_run
+    }
+
+    /// Shrinks `input` to a 1-minimal subsequence that still satisfies
+    /// `fails`. If `input` itself does not fail, it is returned
+    /// unchanged. The relative order of surviving items is preserved.
+    pub fn minimize<T: Clone, F: FnMut(&[T]) -> bool>(
+        &mut self,
+        input: &[T],
+        mut fails: F,
+    ) -> Vec<T> {
+        let mut check = |items: &[T]| {
+            self.tests_run += 1;
+            fails(items)
+        };
+        if !check(input) {
+            return input.to_vec();
+        }
+        if check(&[]) {
+            return Vec::new();
+        }
+        let mut current = input.to_vec();
+        let mut granularity = 2usize;
+        while current.len() >= 2 {
+            let chunk = current.len().div_ceil(granularity);
+            let mut reduced = false;
+            let mut start = 0;
+            while start < current.len() {
+                let end = (start + chunk).min(current.len());
+                // Complement: drop current[start..end], keep the rest.
+                let mut candidate = Vec::with_capacity(current.len() - (end - start));
+                candidate.extend_from_slice(&current[..start]);
+                candidate.extend_from_slice(&current[end..]);
+                if !candidate.is_empty() && check(&candidate) {
+                    current = candidate;
+                    granularity = (granularity - 1).max(2);
+                    reduced = true;
+                    break;
+                }
+                start = end;
+            }
+            if !reduced {
+                if granularity >= current.len() {
+                    break; // Every single-item removal passes: 1-minimal.
+                }
+                granularity = (granularity * 2).min(current.len());
+            }
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_minimal_pair() {
+        let mut mz = Minimizer::new();
+        let input: Vec<u32> = (0..32).collect();
+        let shrunk = mz.minimize(&input, |s| s.contains(&5) && s.contains(&23));
+        assert_eq!(shrunk, vec![5, 23]);
+        assert!(mz.tests_run() > 0);
+    }
+
+    #[test]
+    fn passing_input_is_returned_unchanged() {
+        let mut mz = Minimizer::new();
+        let shrunk = mz.minimize(&[1, 2, 3], |_| false);
+        assert_eq!(shrunk, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn always_failing_shrinks_to_empty() {
+        let mut mz = Minimizer::new();
+        let shrunk: Vec<u8> = mz.minimize(&[9, 9, 9, 9], |_| true);
+        assert!(shrunk.is_empty());
+    }
+
+    #[test]
+    fn single_failing_item_survives() {
+        let mut mz = Minimizer::new();
+        let shrunk = mz.minimize(&[4, 8, 15, 16, 23, 42], |s| s.contains(&16));
+        assert_eq!(shrunk, vec![16]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Failure: sum of surviving items >= 30.
+        let mut mz = Minimizer::new();
+        let input = vec![10u64, 1, 2, 20, 3, 4, 5, 11];
+        let fails = |s: &[u64]| s.iter().sum::<u64>() >= 30;
+        let shrunk = mz.minimize(&input, fails);
+        assert!(fails(&shrunk));
+        for i in 0..shrunk.len() {
+            let mut without: Vec<u64> = shrunk.clone();
+            without.remove(i);
+            assert!(
+                !fails(&without),
+                "removing {} still fails: {without:?}",
+                shrunk[i]
+            );
+        }
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let mut mz = Minimizer::new();
+        let shrunk = mz.minimize(&[7, 1, 9, 2, 8], |s| {
+            s.contains(&9) && s.contains(&7) && s.contains(&8)
+        });
+        assert_eq!(shrunk, vec![7, 9, 8]);
+    }
+}

@@ -76,6 +76,14 @@ impl Abtb {
 
     /// Inserts or refreshes the mapping `trampoline → function`,
     /// evicting the least-recently-used entry when full.
+    ///
+    /// The map never holds more than [`Abtb::capacity`] entries, even
+    /// transiently: a refresh mutates in place, and a new key evicts
+    /// the LRU victim *before* inserting, so the backing `HashMap` can
+    /// never reallocate past the footprint reserved at construction
+    /// (the hardware table it models has a fixed entry count, §5.3).
+    /// Eviction is deterministic — `tick` strictly increases, so LRU
+    /// timestamps are unique and the victim choice has no ties.
     pub fn insert(&mut self, trampoline: VirtAddr, function: VirtAddr) {
         self.tick += 1;
         let key = trampoline.as_u64();
@@ -90,10 +98,15 @@ impl Abtb {
                 .min_by_key(|(_, (_, t))| *t)
                 .map(|(k, _)| *k)
                 .expect("non-empty when full");
-            self.entries.remove(&lru);
+            let removed = self.entries.remove(&lru);
+            debug_assert!(removed.is_some(), "LRU victim vanished before removal");
             self.evictions += 1;
         }
         self.entries.insert(key, (function, self.tick));
+        debug_assert!(
+            self.entries.len() <= self.capacity,
+            "ABTB grew past its configured capacity"
+        );
     }
 
     /// Clears every entry (Bloom-filter hit or context switch).
@@ -223,5 +236,49 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         Abtb::new(0);
+    }
+
+    /// Regression: hammer insertions far past capacity, interleaved
+    /// with lookups and flushes, and check after every operation that
+    /// the map never exceeds `capacity` (not even transiently — a
+    /// `debug_assert` inside `insert` guards the mid-operation state)
+    /// and that the eviction and flush counters only ever grow.
+    #[test]
+    fn hammering_past_capacity_stays_bounded_with_monotone_counters() {
+        let mut a = Abtb::new(8);
+        let mut last_evictions = 0;
+        let mut last_flushes = 0;
+        for round in 0..50u64 {
+            for i in 0..40u64 {
+                a.insert(va(round * 1000 + i), va(0x7f00_0000 + i));
+                assert!(a.len() <= a.capacity(), "len {} > capacity", a.len());
+                assert!(a.evictions() >= last_evictions, "evictions went backwards");
+                last_evictions = a.evictions();
+                if i % 7 == 0 {
+                    a.lookup(va(round * 1000 + i));
+                }
+                // Refreshing an existing key must not evict.
+                let before = a.evictions();
+                a.insert(va(round * 1000 + i), va(0x7f00_1000 + i));
+                assert_eq!(a.evictions(), before);
+                assert!(a.len() <= a.capacity());
+            }
+            assert_eq!(
+                a.len(),
+                a.capacity(),
+                "table should be full after 40 inserts"
+            );
+            if round % 5 == 0 {
+                a.clear();
+                assert!(a.flushes() > last_flushes, "flushes must be monotone");
+                last_flushes = a.flushes();
+                assert!(a.is_empty());
+            }
+        }
+        // 40 distinct keys per round, capacity 8. A round starting
+        // empty (the first round and each round after a flush: 11 of
+        // 50) fills 8 slots free and evicts 32; a round starting full
+        // evicts on all 40 inserts. Exact totals pin the counter.
+        assert_eq!(a.evictions(), 11 * 32 + 39 * 40);
     }
 }

@@ -1,0 +1,501 @@
+//! Seeded program/schedule fuzzer for differential testing.
+//!
+//! [`FuzzCase::generate`] derives a random multi-module program (random
+//! acyclic call graph, optional ifunc, optional interposing "shadow"
+//! library, lazy vs eager binding) and a random *event schedule*
+//! (context switches, `dlclose`/unbind, rebind-to-shadow GOT rewrites,
+//! explicit ABTB invalidates per paper §3.4) from a single
+//! [`dynlink_rng::Rng`] seed.
+//!
+//! The case is an explicit, plain-data description — [`FuzzCase::modules`]
+//! rebuilds the module specs deterministically from the fields, *not*
+//! from the seed — so a failing case can be shrunk field-by-field with
+//! [`shrink_case`] and still rebuilt, and a printed case is a complete
+//! reproducer on its own.
+//!
+//! Events fire at `Mark` boundaries (the app's request loop retires one
+//! `Mark` per iteration), which are architecturally aligned across every
+//! `LinkAccel` mode and the golden oracle, so a schedule means the same
+//! thing to all machines being compared.
+
+use std::fmt;
+
+use dynlink_isa::{Inst, MemRef, Reg};
+use dynlink_linker::{LinkMode, ModuleBuilder, ModuleSpec};
+use dynlink_oracle::Minimizer;
+use dynlink_rng::Rng;
+
+/// A runtime event injected into a run at a mark boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzEvent {
+    /// A context switch away and back (flushes per machine policy).
+    ContextSwitch,
+    /// An explicit software ABTB invalidate (paper §3.4).
+    AbtbInvalidate,
+    /// `dlclose`-style unbind: re-arm every GOT slot bound into
+    /// `lib{lib}` back to its lazy-resolution stub.
+    Unbind {
+        /// Index of the victim library.
+        lib: usize,
+    },
+    /// Library-upgrade-style rebind: point every importer of `f{lib}`
+    /// at the interposing `shadow` module's copy.
+    Rebind {
+        /// Index of the symbol's home library.
+        lib: usize,
+    },
+}
+
+impl fmt::Display for FuzzEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzEvent::ContextSwitch => write!(f, "cs"),
+            FuzzEvent::AbtbInvalidate => write!(f, "inval"),
+            FuzzEvent::Unbind { lib } => write!(f, "unbind({lib})"),
+            FuzzEvent::Rebind { lib } => write!(f, "rebind({lib})"),
+        }
+    }
+}
+
+/// An event plus the mark count at which it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent {
+    /// Fire once at least this many marks have retired.
+    pub at_mark: u64,
+    /// What happens.
+    pub event: FuzzEvent,
+}
+
+/// A complete, self-describing fuzz case.
+///
+/// Every field that shapes the program is explicit so shrinking can
+/// edit the case and rebuild it; `seed` is retained only for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// The generating seed (reporting only; the other fields fully
+    /// determine the program).
+    pub seed: u64,
+    /// Lazy or eager binding.
+    pub mode: LinkMode,
+    /// Hardware capability level for ifunc candidate selection.
+    pub hw_level: usize,
+    /// Per-library increment applied to `R0` by `f{i}`.
+    pub lib_delta: Vec<u64>,
+    /// Optional library-to-library call: `f{i}` tail-calls `f{j}` with
+    /// `j > i` (acyclic by construction).
+    pub lib_callee: Vec<Option<usize>>,
+    /// Whether `f{i}` also load/increment/stores a private data word.
+    pub lib_store: Vec<bool>,
+    /// Whether an interposing `shadow` module (exporting every `f{i}`
+    /// with `delta + 1000`) is loaded last.
+    pub shadow: bool,
+    /// Whether `lib0` defines an ifunc `gsel` the app imports.
+    pub use_ifunc: bool,
+    /// Request-loop iteration count (one `Mark` each).
+    pub iterations: u64,
+    /// Imports the app calls each iteration, as indices into
+    /// [`FuzzCase::import_names`].
+    pub calls: Vec<usize>,
+    /// Events to inject, sorted by `at_mark`.
+    pub schedule: Vec<ScheduledEvent>,
+}
+
+impl FuzzCase {
+    /// Derives a complete case from `seed`.
+    pub fn generate(seed: u64) -> FuzzCase {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n_libs = rng.gen_index(1..5);
+        let lib_delta: Vec<u64> = (0..n_libs).map(|_| rng.gen_range(1..100)).collect();
+        let lib_callee: Vec<Option<usize>> = (0..n_libs)
+            .map(|i| {
+                if i + 1 < n_libs && rng.gen_ratio(1, 3) {
+                    Some(rng.gen_index(i + 1..n_libs))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let lib_store: Vec<bool> = (0..n_libs).map(|_| rng.gen_ratio(1, 3)).collect();
+        let use_ifunc = rng.gen_ratio(1, 3);
+        let hw_level = rng.gen_index(0..2);
+        let shadow = rng.gen_ratio(1, 2);
+        let mode = if rng.gen_ratio(7, 10) {
+            LinkMode::DynamicLazy
+        } else {
+            LinkMode::DynamicNow
+        };
+        let iterations = rng.gen_range(4..20);
+        let n_imports = n_libs + usize::from(use_ifunc);
+        let n_calls = rng.gen_index(1..5);
+        let calls: Vec<usize> = (0..n_calls).map(|_| rng.gen_index(0..n_imports)).collect();
+
+        // Weighted event-kind pool; rebinds only make sense with a
+        // shadow provider to rebind to.
+        let mut kinds: Vec<u8> = vec![0, 0, 1, 1, 2, 2, 2];
+        if shadow {
+            kinds.extend([3, 3, 3, 3]);
+        }
+        let n_events = rng.gen_index(0..5);
+        let mut schedule: Vec<ScheduledEvent> = (0..n_events)
+            .map(|_| {
+                let kind = *rng.choose(&kinds).expect("kind pool is never empty");
+                let event = match kind {
+                    0 => FuzzEvent::ContextSwitch,
+                    1 => FuzzEvent::AbtbInvalidate,
+                    2 => FuzzEvent::Unbind {
+                        lib: rng.gen_index(0..n_libs),
+                    },
+                    _ => FuzzEvent::Rebind {
+                        lib: rng.gen_index(0..n_libs),
+                    },
+                };
+                ScheduledEvent {
+                    at_mark: rng.gen_range(2..iterations),
+                    event,
+                }
+            })
+            .collect();
+        // Bias: a shadowed case should usually exercise a rebind — the
+        // schedule shape most likely to expose stale-ABTB bugs.
+        let has_rebind = schedule
+            .iter()
+            .any(|e| matches!(e.event, FuzzEvent::Rebind { .. }));
+        if shadow && !has_rebind && rng.gen_ratio(3, 4) {
+            schedule.push(ScheduledEvent {
+                at_mark: rng.gen_range(2..iterations),
+                event: FuzzEvent::Rebind {
+                    lib: rng.gen_index(0..n_libs),
+                },
+            });
+        }
+        schedule.sort_by_key(|e| e.at_mark);
+
+        FuzzCase {
+            seed,
+            mode,
+            hw_level,
+            lib_delta,
+            lib_callee,
+            lib_store,
+            shadow,
+            use_ifunc,
+            iterations,
+            calls,
+            schedule,
+        }
+    }
+
+    /// Number of generated libraries.
+    pub fn n_libs(&self) -> usize {
+        self.lib_delta.len()
+    }
+
+    /// The app's import list, in GOT-slot order: `f0..f{n-1}`, then
+    /// `gsel` when an ifunc is in play. [`FuzzCase::calls`] indexes
+    /// into this list.
+    pub fn import_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = (0..self.n_libs()).map(|i| format!("f{i}")).collect();
+        if self.use_ifunc {
+            names.push("gsel".to_owned());
+        }
+        names
+    }
+
+    /// Rebuilds the module specs described by this case: the app first,
+    /// then `lib0..`, then (optionally) the interposing `shadow` module
+    /// loaded last so the primary libraries win initial resolution.
+    ///
+    /// Construction is deterministic in the *fields* (not the seed), so
+    /// shrunk variants rebuild faithfully.
+    pub fn modules(&self) -> Vec<ModuleSpec> {
+        let mut specs = Vec::new();
+
+        let mut app = ModuleBuilder::new("app");
+        let exts: Vec<_> = self.import_names().iter().map(|n| app.import(n)).collect();
+        app.begin_function("main", true);
+        let top = app.asm().fresh_label("top");
+        app.asm().push(Inst::mov_imm(Reg::R2, self.iterations));
+        app.asm().bind(top);
+        app.asm().push(Inst::Mark { id: 0 });
+        for &c in &self.calls {
+            app.asm().push_call_extern(exts[c]);
+        }
+        app.asm().push(Inst::sub_imm(Reg::R2, 1));
+        app.asm().push_branch_nz(Reg::R2, top);
+        app.asm().push(Inst::Halt);
+        specs.push(app.finish().expect("fuzz app module is well-formed"));
+
+        for i in 0..self.n_libs() {
+            let name = format!("lib{i}");
+            let mut lib = ModuleBuilder::new(&name);
+            let callee = self.lib_callee[i].map(|j| lib.import(&format!("f{j}")));
+            let data_off = if self.lib_store[i] {
+                Some(lib.data_word(0))
+            } else {
+                None
+            };
+            lib.begin_function(&format!("f{i}"), true);
+            lib.asm().push(Inst::add_imm(Reg::R0, self.lib_delta[i]));
+            if let Some(off) = data_off {
+                lib.asm().push_lea_data(Reg::R4, off);
+                lib.asm().push(Inst::Load {
+                    dst: Reg::R5,
+                    mem: MemRef::BaseDisp {
+                        base: Reg::R4,
+                        disp: 0,
+                    },
+                });
+                lib.asm().push(Inst::add_imm(Reg::R5, 1));
+                lib.asm().push(Inst::Store {
+                    src: Reg::R5,
+                    mem: MemRef::BaseDisp {
+                        base: Reg::R4,
+                        disp: 0,
+                    },
+                });
+            }
+            if let Some(ext) = callee {
+                lib.asm().push_call_extern(ext);
+            }
+            lib.asm().push(Inst::Ret);
+            if i == 0 && self.use_ifunc {
+                lib.begin_function("gsel_base", false);
+                lib.asm().push(Inst::add_imm(Reg::R1, 3));
+                lib.asm().push(Inst::Ret);
+                lib.begin_function("gsel_fast", false);
+                lib.asm().push(Inst::add_imm(Reg::R1, 7));
+                lib.asm().push(Inst::Ret);
+                lib.define_ifunc("gsel", &["gsel_base", "gsel_fast"]);
+            }
+            specs.push(lib.finish().expect("fuzz library module is well-formed"));
+        }
+
+        if self.shadow {
+            let mut sh = ModuleBuilder::new("shadow");
+            for i in 0..self.n_libs() {
+                sh.begin_function(&format!("f{i}"), true);
+                sh.asm()
+                    .push(Inst::add_imm(Reg::R0, self.lib_delta[i].wrapping_add(1000)));
+                sh.asm().push(Inst::Ret);
+            }
+            specs.push(sh.finish().expect("fuzz shadow module is well-formed"));
+        }
+
+        specs
+    }
+}
+
+impl fmt::Display for FuzzCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} mode={:?} hw={} deltas={:?} callees={:?} stores={:?} \
+             shadow={} ifunc={} iters={} calls={:?} schedule=[",
+            self.seed,
+            self.mode,
+            self.hw_level,
+            self.lib_delta,
+            self.lib_callee,
+            self.lib_store,
+            self.shadow,
+            self.use_ifunc,
+            self.iterations,
+            self.calls,
+        )?;
+        for (i, ev) in self.schedule.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}@{}", ev.event, ev.at_mark)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Shrinks a failing case to a small reproducer: delta-debugs the event
+/// schedule and the call list (via [`Minimizer`]), then reduces the
+/// iteration count, then drops the ifunc and shadow module when the
+/// failure survives without them. `fails` must return `true` while the
+/// case still reproduces the failure.
+pub fn shrink_case<F: FnMut(&FuzzCase) -> bool>(case: &FuzzCase, mut fails: F) -> FuzzCase {
+    let mut best = case.clone();
+    let mut mz = Minimizer::new();
+
+    let base = best.clone();
+    best.schedule = mz.minimize(&base.schedule, |s| {
+        let mut c = base.clone();
+        c.schedule = s.to_vec();
+        fails(&c)
+    });
+
+    let base = best.clone();
+    best.calls = mz.minimize(&base.calls, |cs| {
+        let mut c = base.clone();
+        c.calls = cs.to_vec();
+        fails(&c)
+    });
+
+    while best.iterations > 1 {
+        let halved = best.iterations / 2;
+        let decremented = best.iterations - 1;
+        let mut reduced = false;
+        for cand in [halved, decremented] {
+            if cand == 0 || cand >= best.iterations {
+                continue;
+            }
+            let mut c = best.clone();
+            c.iterations = cand;
+            if fails(&c) {
+                best = c;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+
+    if best.use_ifunc {
+        let n_libs = best.n_libs();
+        let mut c = best.clone();
+        c.use_ifunc = false;
+        c.calls.retain(|&i| i < n_libs);
+        if fails(&c) {
+            best = c;
+        }
+    }
+
+    if best.shadow
+        && !best
+            .schedule
+            .iter()
+            .any(|e| matches!(e.event, FuzzEvent::Rebind { .. }))
+    {
+        let mut c = best.clone();
+        c.shadow = false;
+        if fails(&c) {
+            best = c;
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynlink_linker::LinkOptions;
+    use dynlink_oracle::Oracle;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(FuzzCase::generate(42), FuzzCase::generate(42));
+        assert_eq!(FuzzCase::generate(0), FuzzCase::generate(0));
+    }
+
+    #[test]
+    fn generated_cases_build_and_run_in_the_oracle() {
+        for seed in 0..25 {
+            let case = FuzzCase::generate(seed);
+            let specs = case.modules();
+            let opts = LinkOptions {
+                mode: case.mode,
+                hw_level: case.hw_level,
+                ..LinkOptions::default()
+            };
+            let mut oracle =
+                Oracle::new(&specs, opts, "main").unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            oracle
+                .run(2_000_000)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(oracle.halted(), "seed {seed} did not halt");
+            assert_eq!(oracle.marks(), case.iterations, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_in_range() {
+        for seed in 0..100 {
+            let case = FuzzCase::generate(seed);
+            let mut prev = 0;
+            for ev in &case.schedule {
+                assert!(ev.at_mark >= prev, "seed {seed} schedule unsorted");
+                assert!(
+                    ev.at_mark >= 2 && ev.at_mark < case.iterations,
+                    "seed {seed}: event at mark {} outside [2, {})",
+                    ev.at_mark,
+                    case.iterations
+                );
+                prev = ev.at_mark;
+                if let FuzzEvent::Rebind { .. } = ev.event {
+                    assert!(case.shadow, "seed {seed}: rebind without shadow module");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calls_index_into_import_list() {
+        for seed in 0..100 {
+            let case = FuzzCase::generate(seed);
+            let imports = case.import_names();
+            assert!(!case.calls.is_empty());
+            for &c in &case.calls {
+                assert!(c < imports.len(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_reduces_schedule_and_iterations() {
+        // Synthetic failure: reproduces iff a rebind event survives and
+        // at least 3 iterations remain.
+        let mut case = FuzzCase::generate(3);
+        case.shadow = true;
+        case.iterations = 16;
+        case.schedule = vec![
+            ScheduledEvent {
+                at_mark: 2,
+                event: FuzzEvent::ContextSwitch,
+            },
+            ScheduledEvent {
+                at_mark: 3,
+                event: FuzzEvent::Rebind { lib: 0 },
+            },
+            ScheduledEvent {
+                at_mark: 4,
+                event: FuzzEvent::Unbind { lib: 0 },
+            },
+            ScheduledEvent {
+                at_mark: 5,
+                event: FuzzEvent::AbtbInvalidate,
+            },
+        ];
+        let fails = |c: &FuzzCase| {
+            c.iterations >= 3
+                && c.schedule
+                    .iter()
+                    .any(|e| matches!(e.event, FuzzEvent::Rebind { .. }))
+        };
+        let shrunk = shrink_case(&case, fails);
+        assert!(fails(&shrunk));
+        assert_eq!(shrunk.schedule.len(), 1, "{shrunk}");
+        assert!(matches!(shrunk.schedule[0].event, FuzzEvent::Rebind { .. }));
+        assert_eq!(shrunk.iterations, 3);
+        assert!(shrunk.shadow, "rebind still present, shadow must stay");
+    }
+
+    #[test]
+    fn shrink_drops_unneeded_shadow_and_ifunc() {
+        let mut case = FuzzCase::generate(5);
+        case.shadow = true;
+        case.use_ifunc = true;
+        case.calls = vec![0, 0, 0];
+        case.schedule.clear();
+        // Failure independent of shadow/ifunc entirely.
+        let shrunk = shrink_case(&case, |c| !c.calls.is_empty());
+        assert!(!shrunk.shadow);
+        assert!(!shrunk.use_ifunc);
+    }
+}

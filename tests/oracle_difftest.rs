@@ -1,0 +1,181 @@
+//! End-to-end tests of the differential-testing subsystem: the §3.4
+//! software-invalidate contract, fault-injection detection, shrinking,
+//! and `--jobs` determinism of the difftest report.
+
+use dynlink_bench::difftest::{check_case, run_difftest, Injection};
+use dynlink_core::{LinkAccel, LinkMode, System, SystemBuilder};
+use dynlink_isa::Reg;
+use dynlink_repro::{adder_library, calling_app};
+use dynlink_workloads::fuzz::{shrink_case, FuzzCase, FuzzEvent, ScheduledEvent};
+
+/// An app calling `inc` ten times, bound to `libinc` (+1 per call),
+/// with a `shadow` provider (+5 per call) loaded last, on a machine
+/// whose ABTB has no companion Bloom filter — the §3.4 configuration
+/// where software is responsible for invalidation.
+fn shadowed_system() -> System {
+    SystemBuilder::new()
+        .module(calling_app("inc", 10).unwrap())
+        .module(adder_library("libinc", "inc", 1).unwrap())
+        .module(adder_library("shadow", "inc", 5).unwrap())
+        .link_mode(LinkMode::DynamicLazy)
+        .accel(LinkAccel::AbtbNoBloom)
+        .build()
+        .unwrap()
+}
+
+/// Rewrites every GOT slot bound to `inc` so it points at the `shadow`
+/// provider, as a raw memory write: no store-path notification and no
+/// ABTB invalidate — the runtime bug §3.4 warns about.
+fn raw_rebind_to_shadow(sys: &mut System) {
+    let target = sys
+        .image()
+        .module("shadow")
+        .and_then(|m| m.export("inc"))
+        .expect("shadow exports inc");
+    let slots: Vec<_> = sys
+        .image()
+        .modules()
+        .iter()
+        .flat_map(|m| m.plt_slots.iter())
+        .filter(|s| s.symbol == "inc")
+        .map(|s| s.got_slot)
+        .collect();
+    assert!(!slots.is_empty(), "no GOT slot bound to inc");
+    for slot in slots {
+        sys.machine_mut()
+            .space_mut()
+            .write_u64(slot, target.as_u64())
+            .unwrap();
+    }
+}
+
+#[test]
+fn explicit_invalidate_after_got_rewrite_restores_correctness() {
+    let mut sys = shadowed_system();
+    sys.run(100_000).unwrap();
+    assert_eq!(sys.reg(Reg::R0), 10, "initial binding adds 1 per call");
+    assert!(
+        sys.counters().trampolines_skipped > 0,
+        "ABTB must be trained for the invalidate to matter"
+    );
+
+    // Correct §3.4 sequence: rewrite the GOT, then explicitly
+    // invalidate the ABTB (there is no Bloom filter to catch the
+    // store). Restart keeps the microarchitectural state.
+    raw_rebind_to_shadow(&mut sys);
+    sys.machine_mut().invalidate_abtb();
+    sys.set_reg(Reg::R0, 0);
+    sys.restart();
+    sys.run(100_000).unwrap();
+    assert_eq!(sys.reg(Reg::R0), 50, "rebound provider adds 5 per call");
+}
+
+#[test]
+fn missing_invalidate_leaves_stale_abtb_divergence() {
+    // The negative twin of the test above: identical GOT rewrite but
+    // no invalidate. The trained ABTB keeps skipping to the *old*
+    // provider, so the architectural result is stale — exactly the
+    // divergence class the difftest harness exists to catch.
+    let mut sys = shadowed_system();
+    sys.run(100_000).unwrap();
+    assert_eq!(sys.reg(Reg::R0), 10);
+    assert!(sys.counters().trampolines_skipped > 0);
+
+    raw_rebind_to_shadow(&mut sys);
+    sys.set_reg(Reg::R0, 0);
+    sys.restart();
+    sys.run(100_000).unwrap();
+    assert_eq!(
+        sys.reg(Reg::R0),
+        10,
+        "without the invalidate the stale ABTB target keeps winning"
+    );
+}
+
+/// A handcrafted one-library case with a single late rebind: the
+/// smallest schedule that exercises the §3.4 path.
+///
+/// The rebind must land *after* the BTB has been retrained to the
+/// mapped function (≥3 calls), so post-rebind calls skip the
+/// trampoline outright. If the trampoline still executed, its retired
+/// call + indirect-jump pattern would re-train the ABTB with the new
+/// GOT target and heal the stale entry on the very next call.
+fn rebind_case() -> FuzzCase {
+    FuzzCase {
+        seed: 0xdead_beef,
+        mode: LinkMode::DynamicLazy,
+        hw_level: 0,
+        lib_delta: vec![7],
+        lib_callee: vec![None],
+        lib_store: vec![false],
+        shadow: true,
+        use_ifunc: false,
+        iterations: 8,
+        calls: vec![0],
+        schedule: vec![ScheduledEvent {
+            at_mark: 6,
+            event: FuzzEvent::Rebind { lib: 0 },
+        }],
+    }
+}
+
+#[test]
+fn harness_detects_dropped_invalidate_on_handcrafted_case() {
+    let case = rebind_case();
+    let clean = check_case(&case, Injection::None);
+    assert!(
+        clean.failures.is_empty(),
+        "correct runtime entry points must pass: {:?}",
+        clean.failures
+    );
+
+    let buggy = check_case(&case, Injection::DropInvalidate);
+    assert!(
+        !buggy.failures.is_empty(),
+        "raw GOT rewrite without invalidate must be caught"
+    );
+    assert!(
+        buggy.failures.iter().any(|f| f.contains("divergence")),
+        "expected an architectural divergence, got: {:?}",
+        buggy.failures
+    );
+}
+
+#[test]
+fn injected_bug_is_found_and_shrunk_to_a_smaller_case() {
+    // Scan generated seeds until the injection bites (most schedules
+    // contain a rebind or unbind, so this terminates fast).
+    let failing = (0..64)
+        .map(FuzzCase::generate)
+        .find(|c| !check_case(c, Injection::DropInvalidate).failures.is_empty())
+        .expect("no seed in 0..64 triggered the injected bug");
+
+    let shrunk = shrink_case(&failing, |c| {
+        !check_case(c, Injection::DropInvalidate).failures.is_empty()
+    });
+    assert!(
+        !check_case(&shrunk, Injection::DropInvalidate)
+            .failures
+            .is_empty(),
+        "shrunk case must still reproduce the failure"
+    );
+    assert!(shrunk.schedule.len() <= failing.schedule.len());
+    assert!(shrunk.calls.len() <= failing.calls.len());
+    assert!(shrunk.iterations <= failing.iterations);
+    // And the clean runtime still passes the minimal case — the
+    // failure is the injection, not the program.
+    assert!(check_case(&shrunk, Injection::None).failures.is_empty());
+}
+
+#[test]
+fn difftest_report_is_identical_across_job_counts() {
+    let serial = run_difftest(100, 24, 1, Injection::None, false);
+    let sharded = run_difftest(100, 24, 4, Injection::None, false);
+    assert_eq!(serial.failures, 0, "{}", serial.output);
+    assert_eq!(
+        serial.output, sharded.output,
+        "report must not depend on --jobs"
+    );
+    assert_eq!(serial.digest, sharded.digest);
+    assert!(serial.output.contains("0 failure(s) across 24 case(s)"));
+}

@@ -1,5 +1,8 @@
-//! Edge cases of the workload runner and system run control.
+//! Edge cases of the workload runner, the sharded parallel runner and
+//! system run control.
 
+use dynlink_bench::registry::find;
+use dynlink_bench::runner::{Cell, CellOutcome, ParallelRunner};
 use dynlink_core::{LinkAccel, LinkMode, MachineConfig, RunExit, SystemBuilder};
 use dynlink_repro::{adder_library, calling_app};
 use dynlink_workloads::{generate, memcached, run_workload_warm};
@@ -62,6 +65,68 @@ fn run_until_marks_stops_at_request_boundary() {
     let marks = system.take_marks();
     assert_eq!(marks.len(), 12);
     assert_eq!(marks.last().unwrap().id % 2, 1, "stopped on an end mark");
+}
+
+#[test]
+fn more_jobs_than_cells_completes_in_order() {
+    // 16 workers, 3 cells: the excess workers must park without
+    // stealing, deadlocking or perturbing result order.
+    let report = ParallelRunner::new(16).run(
+        7,
+        (0..3u64)
+            .map(|i| Cell::new(format!("c{i}"), move |_ctx| i * 10))
+            .collect(),
+    );
+    assert_eq!(report.cells.len(), 3);
+    let values: Vec<u64> = report.into_values().map(|v| v.unwrap()).collect();
+    assert_eq!(values, vec![0, 10, 20]);
+}
+
+#[test]
+fn panicking_cell_mid_shard_keeps_remaining_results() {
+    // Cell 2 of 5 dies; aggregation must still report every other cell
+    // (in submission order) and carry the panic message.
+    let report = ParallelRunner::new(2).run(
+        0x5eed,
+        (0..5u64)
+            .map(|i| {
+                Cell::new(format!("cell{i}"), move |_ctx| {
+                    assert!(i != 2, "injected failure in cell 2");
+                    i + 100
+                })
+            })
+            .collect(),
+    );
+    assert_eq!(report.cells.len(), 5);
+    let mut done = Vec::new();
+    let mut panics = Vec::new();
+    for cell in report.cells {
+        match cell.outcome {
+            CellOutcome::Done(v) => done.push(v),
+            CellOutcome::Panicked(msg) => panics.push((cell.label, msg)),
+        }
+    }
+    assert_eq!(done, vec![100, 101, 103, 104]);
+    assert_eq!(panics.len(), 1);
+    assert_eq!(panics[0].0, "cell2");
+    assert!(
+        panics[0].1.contains("injected failure"),
+        "panic message lost: {}",
+        panics[0].1
+    );
+}
+
+#[test]
+fn empty_experiment_selection_yields_empty_report() {
+    // An unknown --exp name selects nothing from the registry…
+    assert!(find("no-such-experiment").is_none());
+    // …and running the resulting empty cell list is a clean no-op at
+    // any jobs level, not a hang or a panic.
+    for jobs in [1, 4] {
+        let report = ParallelRunner::new(jobs).run(1, Vec::<Cell<u64>>::new());
+        assert!(report.cells.is_empty());
+        assert_eq!(report.into_values().count(), 0);
+    }
 }
 
 #[test]
