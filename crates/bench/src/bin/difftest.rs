@@ -3,13 +3,17 @@
 //!
 //! ```text
 //! difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale]
-//!          [--no-shrink]
+//!          [--no-shrink] [--multi]
 //! ```
 //!
 //! Every case is generated from its seed (`seed_start + index`), run
 //! through the `dynlink-oracle` interpreter and through the full
 //! `System` under `{Off, Abtb, AbtbNoBloom} x {X86, Arm}`, and checked
 //! for architectural divergence and counter-invariant violations.
+//! `--multi` switches to multi-process cases (paper §3.3): 2–4
+//! processes with context switches, ASID-aliasing layouts and an
+//! optional shared-GOT pair, each checked additionally across
+//! `{FlushOnSwitch, AsidTagged}` switch policies.
 //! Stdout is byte-identical at every `--jobs` level; exit status is
 //! non-zero when any case fails. `--inject-stale` enables the
 //! intentional stale-ABTB bug (raw GOT rewrites that bypass the store
@@ -19,12 +23,12 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use dynlink_bench::difftest::{run_difftest, Injection};
+use dynlink_bench::difftest::{run_difftest, run_multi_difftest, Injection};
 use dynlink_bench::runner::default_jobs;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--no-shrink]"
+        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--no-shrink] [--multi]"
     );
     ExitCode::from(2)
 }
@@ -35,6 +39,7 @@ fn main() -> ExitCode {
     let mut jobs = default_jobs();
     let mut injection = Injection::None;
     let mut shrink = true;
+    let mut multi = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -63,6 +68,7 @@ fn main() -> ExitCode {
             }
             "--inject-stale" => injection = Injection::DropInvalidate,
             "--no-shrink" => shrink = false,
+            "--multi" => multi = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -73,7 +79,11 @@ fn main() -> ExitCode {
     }
 
     let started = Instant::now();
-    let report = run_difftest(seed_start, cases, jobs, injection, shrink);
+    let report = if multi {
+        run_multi_difftest(seed_start, cases, jobs, injection, shrink)
+    } else {
+        run_difftest(seed_start, cases, jobs, injection, shrink)
+    };
     print!("{}", report.output);
     eprintln!(
         "total wall-clock: {:.2?} ({jobs} job(s))",

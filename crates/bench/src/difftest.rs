@@ -28,11 +28,13 @@
 //! and results are aggregated in submission order, making the report
 //! byte-identical at every `--jobs` level.
 
-use dynlink_core::{LinkAccel, System, SystemBuilder};
+use dynlink_core::{LinkAccel, MachineConfig, MultiProcessSystem, System, SystemBuilder};
 use dynlink_linker::{LinkOptions, TrampolineFlavor};
-use dynlink_oracle::{ArchDigest, Oracle};
+use dynlink_oracle::{ArchDigest, MultiOracle, Oracle};
 use dynlink_uarch::PerfCounters;
-use dynlink_workloads::fuzz::{shrink_case, FuzzCase, FuzzEvent};
+use dynlink_workloads::fuzz::{
+    shrink_case, shrink_multi_case, FuzzCase, FuzzEvent, MultiFuzzCase, MultiFuzzEvent,
+};
 
 use crate::runner::{Cell, CellOutcome, ParallelRunner};
 
@@ -45,6 +47,22 @@ pub const ACCELS: [LinkAccel; 3] = [LinkAccel::Off, LinkAccel::Abtb, LinkAccel::
 
 /// Both trampoline flavors a case is checked under.
 pub const FLAVORS: [TrampolineFlavor; 2] = [TrampolineFlavor::X86, TrampolineFlavor::Arm];
+
+/// The paper's §3.3 context-switch policies for ABTB state: flush the
+/// ABTB (and Bloom filter) at every switch, or salt its keys with the
+/// ASID and retain entries across switches. Multi-process cases are
+/// checked under both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchPolicy {
+    /// `flush_abtb_on_context_switch = true` (the default hardware).
+    FlushOnSwitch,
+    /// ASID-tagged retention: switches never flush; correctness rests
+    /// on the salted ABTB keys plus the *unsalted* Bloom keys.
+    AsidTagged,
+}
+
+/// Both §3.3 policies a multi-process case is checked under.
+pub const POLICIES: [SwitchPolicy; 2] = [SwitchPolicy::FlushOnSwitch, SwitchPolicy::AsidTagged];
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -458,6 +476,425 @@ pub fn run_difftest(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-process difftest (paper §3.3)
+// ---------------------------------------------------------------------------
+
+struct MultiOracleRun {
+    digests: Vec<ArchDigest>,
+    resolver_invocations: u64,
+}
+
+struct MultiSystemRun {
+    digests: Vec<ArchDigest>,
+    counters: PerfCounters,
+    switches: u64,
+}
+
+fn multi_machine_config(accel: LinkAccel, policy: SwitchPolicy) -> MachineConfig {
+    MachineConfig {
+        accel,
+        flush_abtb_on_context_switch: matches!(policy, SwitchPolicy::FlushOnSwitch),
+        ..MachineConfig::default()
+    }
+}
+
+fn run_multi_oracle(
+    case: &MultiFuzzCase,
+    flavor: TrampolineFlavor,
+) -> Result<MultiOracleRun, String> {
+    let mut oracles = Vec::with_capacity(case.procs.len());
+    for (p, proc) in case.procs.iter().enumerate() {
+        let specs = proc.modules();
+        oracles.push(
+            Oracle::new(&specs, link_options(proc, flavor), "main")
+                .map_err(|e| format!("oracle load (process {p}): {e}"))?,
+        );
+    }
+    let mut mo = MultiOracle::new(oracles, case.shared_got_pair);
+    for ev in &case.schedule {
+        mo.run_active_until_marks(ev.at_mark, RUN_BUDGET)
+            .map_err(|e| format!("oracle run (process {}): {e}", mo.active()))?;
+        if !case.applicable(mo.active(), &ev.event) {
+            continue;
+        }
+        match ev.event {
+            MultiFuzzEvent::Switch { to } => {
+                mo.switch_to(to);
+            }
+            // Architecturally invisible; the oracle has nothing to flush.
+            MultiFuzzEvent::AbtbInvalidate => {}
+            MultiFuzzEvent::Unbind { lib } => {
+                mo.apply_unbind_active(&format!("lib{lib}"))
+                    .map_err(|e| format!("oracle unbind (process {}): {e}", mo.active()))?;
+            }
+            MultiFuzzEvent::Rebind { lib } => {
+                mo.apply_rebind_active(&format!("f{lib}"), "shadow")
+                    .map_err(|e| format!("oracle rebind (process {}): {e}", mo.active()))?;
+            }
+        }
+    }
+    for p in 0..mo.n_procs() {
+        mo.switch_to(p);
+        mo.run_active(RUN_BUDGET)
+            .map_err(|e| format!("oracle run (process {p}): {e}"))?;
+        if !mo.oracle(p).halted() {
+            return Err(format!(
+                "oracle process {p} exhausted its instruction budget"
+            ));
+        }
+    }
+    Ok(MultiOracleRun {
+        digests: mo.digests(),
+        resolver_invocations: mo.resolver_invocations(),
+    })
+}
+
+fn apply_multi_system_event(
+    mps: &mut MultiProcessSystem,
+    event: MultiFuzzEvent,
+    injection: Injection,
+) -> Result<(), String> {
+    match event {
+        MultiFuzzEvent::Switch { to } => {
+            mps.switch_to(to);
+            Ok(())
+        }
+        MultiFuzzEvent::AbtbInvalidate => {
+            mps.invalidate_abtb();
+            Ok(())
+        }
+        MultiFuzzEvent::Unbind { lib } => {
+            let name = format!("lib{lib}");
+            match injection {
+                Injection::None => mps
+                    .unbind_active(&name)
+                    .map(|_| ())
+                    .map_err(|e| format!("unbind: {e}")),
+                Injection::DropInvalidate => {
+                    let writes = mps.image(mps.active()).unbind_writes_for(&name);
+                    for (slot, stub) in writes {
+                        mps.machine_mut()
+                            .space_mut()
+                            .write_u64(slot, stub.as_u64())
+                            .map_err(|e| format!("raw unbind write: {e}"))?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        MultiFuzzEvent::Rebind { lib } => {
+            let symbol = format!("f{lib}");
+            match injection {
+                Injection::None => mps
+                    .rebind_active(&symbol, "shadow")
+                    .map(|_| ())
+                    .map_err(|e| format!("rebind: {e}")),
+                Injection::DropInvalidate => {
+                    let image = mps.image(mps.active());
+                    let target = image
+                        .module("shadow")
+                        .and_then(|m| m.export(&symbol))
+                        .ok_or_else(|| format!("shadow does not export {symbol}"))?;
+                    let slots: Vec<_> = image
+                        .modules()
+                        .iter()
+                        .flat_map(|m| m.plt_slots.iter())
+                        .filter(|s| s.symbol == symbol)
+                        .map(|s| s.got_slot)
+                        .collect();
+                    for slot in slots {
+                        mps.machine_mut()
+                            .space_mut()
+                            .write_u64(slot, target.as_u64())
+                            .map_err(|e| format!("raw rebind write: {e}"))?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+fn run_multi_system(
+    case: &MultiFuzzCase,
+    flavor: TrampolineFlavor,
+    accel: LinkAccel,
+    policy: SwitchPolicy,
+    injection: Injection,
+) -> Result<MultiSystemRun, String> {
+    let procs = case
+        .procs
+        .iter()
+        .map(|p| (p.modules(), link_options(p, flavor)))
+        .collect();
+    let mut mps = MultiProcessSystem::new(
+        procs,
+        multi_machine_config(accel, policy),
+        case.shared_got_pair,
+    )
+    .map_err(|e| format!("system build: {e}"))?;
+    for ev in &case.schedule {
+        mps.run_active_until_marks(ev.at_mark, RUN_BUDGET)
+            .map_err(|e| format!("system run (process {}): {e}", mps.active()))?;
+        if !case.applicable(mps.active(), &ev.event) {
+            continue;
+        }
+        apply_multi_system_event(&mut mps, ev.event, injection)?;
+    }
+    for p in 0..mps.n_procs() {
+        mps.switch_to(p);
+        mps.run_active(RUN_BUDGET)
+            .map_err(|e| format!("system run (process {p}): {e}"))?;
+        if !mps.halted(p) {
+            return Err(format!(
+                "system process {p} exhausted its instruction budget"
+            ));
+        }
+    }
+    let digests = (0..mps.n_procs())
+        .map(|p| {
+            ArchDigest::capture(
+                |r| mps.reg_of(p, r),
+                mps.pc_of(p),
+                mps.halted(p),
+                mps.space_of(p),
+                mps.image(p),
+            )
+        })
+        .collect();
+    Ok(MultiSystemRun {
+        digests,
+        counters: mps.counters(),
+        switches: mps.switches(),
+    })
+}
+
+/// Counter cross-checks for one multi-process system run. On top of the
+/// single-process invariants, the §3.3 policy determines an *exact*
+/// switch-flush count: under [`SwitchPolicy::FlushOnSwitch`] every
+/// context switch flushes (switch-caused flushes == switches), under
+/// [`SwitchPolicy::AsidTagged`] no switch ever does (== 0); in both the
+/// published total must equal switch-caused + coherence-caused.
+fn check_multi_counters(
+    flavor: TrampolineFlavor,
+    accel: LinkAccel,
+    policy: SwitchPolicy,
+    run: &MultiSystemRun,
+    baseline: Option<&PerfCounters>,
+    oracle: &MultiOracleRun,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let c = &run.counters;
+    if !accel.has_abtb()
+        && (c.trampolines_skipped != 0
+            || c.abtb_hits != 0
+            || c.abtb_flushes != 0
+            || c.abtb_switch_flushes != 0
+            || c.abtb_coherence_flushes != 0)
+    {
+        failures.push(format!(
+            "baseline machine touched the ABTB: skipped={} hits={} flushes={}",
+            c.trampolines_skipped, c.abtb_hits, c.abtb_flushes
+        ));
+    }
+    if c.trampolines_skipped > c.abtb_hits {
+        failures.push(format!(
+            "trampolines_skipped {} exceeds abtb_hits {}",
+            c.trampolines_skipped, c.abtb_hits
+        ));
+    }
+    if c.abtb_hits > c.branches {
+        failures.push(format!(
+            "abtb_hits {} exceeds retired branches {}",
+            c.abtb_hits, c.branches
+        ));
+    }
+    if c.resolver_invocations != oracle.resolver_invocations {
+        failures.push(format!(
+            "resolver ran {} time(s), oracle ran it {}",
+            c.resolver_invocations, oracle.resolver_invocations
+        ));
+    }
+    if let Some(base) = baseline {
+        let expected = c
+            .instructions
+            .saturating_add(c.trampolines_skipped.saturating_mul(trampoline_len(flavor)));
+        if base.instructions != expected {
+            failures.push(format!(
+                "instruction identity broken: baseline {} != {} + {} skips x {}",
+                base.instructions,
+                c.instructions,
+                c.trampolines_skipped,
+                trampoline_len(flavor)
+            ));
+        }
+    }
+    if accel.has_abtb() {
+        if c.abtb_flushes != c.abtb_switch_flushes + c.abtb_coherence_flushes {
+            failures.push(format!(
+                "flush counters inconsistent: total {} != switch {} + coherence {}",
+                c.abtb_flushes, c.abtb_switch_flushes, c.abtb_coherence_flushes
+            ));
+        }
+        match policy {
+            SwitchPolicy::FlushOnSwitch => {
+                if c.abtb_switch_flushes != run.switches {
+                    failures.push(format!(
+                        "flush-on-switch: {} switch flush(es) for {} context switch(es)",
+                        c.abtb_switch_flushes, run.switches
+                    ));
+                }
+            }
+            SwitchPolicy::AsidTagged => {
+                if c.abtb_switch_flushes != 0 {
+                    failures.push(format!(
+                        "ASID-tagged machine flushed on {} switch(es)",
+                        c.abtb_switch_flushes
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Runs one multi-process case through the [`MultiOracle`] and through
+/// [`MultiProcessSystem`] under every `LinkAccel` mode, both trampoline
+/// flavors and both §3.3 switch policies — twelve system runs per case,
+/// with per-process digest comparison.
+pub fn check_multi_case(case: &MultiFuzzCase, injection: Injection) -> CaseReport {
+    let mut failures = Vec::new();
+    let mut digest_fold = FNV_OFFSET;
+    for &flavor in &FLAVORS {
+        let oracle = match run_multi_oracle(case, flavor) {
+            Ok(o) => o,
+            Err(e) => {
+                failures.push(format!("[{flavor:?}/oracle] {e}"));
+                continue;
+            }
+        };
+        for d in &oracle.digests {
+            digest_fold = fold64(digest_fold, d.fold());
+        }
+        for &policy in &POLICIES {
+            let mut baseline: Option<PerfCounters> = None;
+            for &accel in &ACCELS {
+                match run_multi_system(case, flavor, accel, policy, injection) {
+                    Err(e) => failures.push(format!("[{flavor:?}/{accel:?}/{policy:?}] {e}")),
+                    Ok(run) => {
+                        for (p, (got, want)) in
+                            run.digests.iter().zip(oracle.digests.iter()).enumerate()
+                        {
+                            if got != want {
+                                failures.push(format!(
+                                    "[{flavor:?}/{accel:?}/{policy:?}] process {p} architectural divergence: {}",
+                                    want.describe_diff(got)
+                                ));
+                            }
+                        }
+                        for msg in check_multi_counters(
+                            flavor,
+                            accel,
+                            policy,
+                            &run,
+                            baseline.as_ref(),
+                            &oracle,
+                        ) {
+                            failures.push(format!("[{flavor:?}/{accel:?}/{policy:?}] {msg}"));
+                        }
+                        if accel == LinkAccel::Off {
+                            baseline = Some(run.counters);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    CaseReport {
+        seed: case.seed,
+        digest_fold,
+        failures,
+    }
+}
+
+/// Multi-process analogue of [`run_difftest`]: checks `cases`
+/// consecutive [`MultiFuzzCase`] seeds, sharded over `jobs` workers,
+/// optionally shrinking the first failure with
+/// [`shrink_multi_case`] (which reduces the schedule *and* the process
+/// count). Output is byte-identical at every `--jobs` level.
+pub fn run_multi_difftest(
+    seed_start: u64,
+    cases: u64,
+    jobs: usize,
+    injection: Injection,
+    shrink: bool,
+) -> DiffReport {
+    let cells: Vec<Cell<CaseReport>> = (0..cases)
+        .map(|i| {
+            let seed = seed_start + i;
+            Cell::new(format!("seed{seed}"), move |_ctx| {
+                check_multi_case(&MultiFuzzCase::generate(seed), injection)
+            })
+        })
+        .collect();
+    let report = ParallelRunner::new(jobs).run(seed_start ^ 0x6d75_6c74, cells);
+
+    let mut output = format!(
+        "multi difftest: {cases} case(s), seeds {seed_start}..{}, {{Off,Abtb,AbtbNoBloom}} x {{X86,Arm}} x {{FlushOnSwitch,AsidTagged}}{}\n",
+        seed_start + cases,
+        match injection {
+            Injection::None => "",
+            Injection::DropInvalidate => ", injecting stale-ABTB bug",
+        }
+    );
+    let mut digest = FNV_OFFSET;
+    let mut failures = 0usize;
+    let mut first_failing: Option<u64> = None;
+    for cell in report.cells {
+        match cell.outcome {
+            CellOutcome::Done(r) => {
+                digest = fold64(digest, r.digest_fold);
+                if !r.failures.is_empty() && first_failing.is_none() {
+                    first_failing = Some(r.seed);
+                }
+                for f in &r.failures {
+                    output.push_str(&format!("FAIL seed {}: {f}\n", r.seed));
+                    failures += 1;
+                }
+            }
+            CellOutcome::Panicked(msg) => {
+                output.push_str(&format!("FAIL {}: panicked: {msg}\n", cell.label));
+                failures += 1;
+            }
+        }
+    }
+
+    if let Some(seed) = first_failing.filter(|_| shrink) {
+        let case = MultiFuzzCase::generate(seed);
+        let shrunk = shrink_multi_case(&case, |c| {
+            !check_multi_case(c, injection).failures.is_empty()
+        });
+        output.push_str(&format!("shrunk minimal reproducer for seed {seed}:\n"));
+        for line in shrunk.to_string().lines() {
+            output.push_str(&format!("  {line}\n"));
+        }
+        for f in check_multi_case(&shrunk, injection).failures {
+            output.push_str(&format!("  {f}\n"));
+        }
+    }
+
+    output.push_str(&format!(
+        "multi difftest: {failures} failure(s) across {cases} case(s); state digest {digest:#018x}\n"
+    ));
+    DiffReport {
+        output,
+        failures,
+        cases,
+        digest,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,5 +917,26 @@ mod tests {
         assert_eq!(r.cases, 6);
         assert_eq!(r.failures, 0, "{}", r.output);
         assert!(r.output.contains("0 failure(s) across 6 case(s)"));
+    }
+
+    #[test]
+    fn clean_multi_cases_produce_no_failures() {
+        for seed in 0..6 {
+            let report = check_multi_case(&MultiFuzzCase::generate(seed), Injection::None);
+            assert!(
+                report.failures.is_empty(),
+                "seed {seed}: {:?}",
+                report.failures
+            );
+        }
+    }
+
+    #[test]
+    fn multi_report_counts_match_failure_lines() {
+        let r = run_multi_difftest(0, 4, 2, Injection::None, false);
+        assert_eq!(r.cases, 4);
+        assert_eq!(r.failures, 0, "{}", r.output);
+        assert!(r.output.contains("0 failure(s) across 4 case(s)"));
+        assert!(r.output.contains("FlushOnSwitch,AsidTagged"));
     }
 }

@@ -48,9 +48,11 @@
 #![warn(missing_docs)]
 
 mod error;
+mod multi;
 mod system;
 
 pub use error::SystemError;
+pub use multi::MultiProcessSystem;
 pub use system::{System, SystemBuilder};
 
 pub use dynlink_cpu::{

@@ -1,0 +1,534 @@
+//! OS-level multiprogramming over one simulated core (paper §3.3).
+//!
+//! [`MultiProcessSystem`] loads several independent processes — each
+//! with its own [`AddressSpace`], [`ProcessImage`] and live resolution
+//! table — onto a single [`Machine`], switching between them with
+//! [`dynlink_cpu::Machine::swap_process`]. This is the system-under-test
+//! counterpart of `dynlink_oracle::MultiOracle`: the machine carries all
+//! the microarchitectural state (BTB, ABTB, Bloom filter, caches) across
+//! switches per its configured §3.3 policy, while the oracle switches
+//! trivially; any architectural divergence between the two is a bug in
+//! the accelerated machine's switch handling.
+
+use std::sync::{Arc, Mutex};
+
+use dynlink_cpu::{CpuError, Machine, MachineConfig, ProcessContext};
+use dynlink_isa::{Reg, VirtAddr};
+use dynlink_linker::{
+    LinkOptions, Loader, ModuleSpec, ProcessImage, ResolutionTable, RESOLVER_HOST_FN,
+};
+use dynlink_mem::layout::STACK_TOP;
+use dynlink_mem::AddressSpace;
+use dynlink_uarch::PerfCounters;
+
+use crate::SystemError;
+
+/// Default stack size for simulated processes (matches `System`).
+const STACK_BYTES: u64 = 1 << 20;
+
+/// The shared resolver state: which process is active, plus one live
+/// binding table per process. The single registered resolver host
+/// function dispatches on the active index — necessary because
+/// deliberately aliasing layouts give different processes *identical*
+/// stub keys.
+type SharedTables = Arc<Mutex<(usize, Vec<ResolutionTable>)>>;
+
+/// Several loaded processes time-sharing one simulated [`Machine`].
+///
+/// Process 0 starts active. `contexts[i]` always parks process `i`'s
+/// state while it is suspended; the slot of the *active* process holds
+/// the throwaway boot context instead.
+pub struct MultiProcessSystem {
+    machine: Machine,
+    contexts: Vec<ProcessContext>,
+    images: Vec<ProcessImage>,
+    tables: SharedTables,
+    shared_got_pair: Option<(usize, usize)>,
+    active: usize,
+    switches: u64,
+    /// Marks retired by each process so far; `Machine`'s mark buffer is
+    /// drained into the active slot after every run segment so schedule
+    /// targets are relative to the process they name.
+    marks_per_proc: Vec<u64>,
+}
+
+impl MultiProcessSystem {
+    /// Loads each `(modules, options)` pair into its own address space
+    /// (ASIDs `1..=n`, all sharing one virtual layout recipe so spaces
+    /// deliberately alias) and boots process 0 onto a machine built
+    /// from `cfg`. `shared_got_pair` marks two processes as mapping one
+    /// physical GOT page; their GOT bytes are mirrored from the
+    /// departing process to its partner at every switch.
+    ///
+    /// Performance counters are reset after boot, so the boot swap does
+    /// not count toward switch-flush totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loader and memory-mapping failures; rejects an empty
+    /// process list or bad pair indices via [`SystemError::NoModules`].
+    pub fn new(
+        procs: Vec<(Vec<ModuleSpec>, LinkOptions)>,
+        cfg: MachineConfig,
+        shared_got_pair: Option<(usize, usize)>,
+    ) -> Result<Self, SystemError> {
+        if procs.is_empty() {
+            return Err(SystemError::NoModules);
+        }
+        if let Some((a, b)) = shared_got_pair {
+            if a >= procs.len() || b >= procs.len() || a == b {
+                return Err(SystemError::NoModules);
+            }
+        }
+        let n = procs.len();
+        let mut contexts = Vec::with_capacity(n);
+        let mut images = Vec::with_capacity(n);
+        let mut table_vec = Vec::with_capacity(n);
+        for (i, (specs, opts)) in procs.iter().enumerate() {
+            let mut space = AddressSpace::new(i as u64 + 1);
+            let image = Loader::new(*opts).load(specs, "main", &mut space)?;
+            let ctx = ProcessContext::new(space, image.entry(), STACK_TOP, STACK_BYTES)?;
+            table_vec.push(image.resolution().clone());
+            images.push(image);
+            contexts.push(ctx);
+        }
+        let tables: SharedTables = Arc::new(Mutex::new((0, table_vec)));
+
+        let mut machine = Machine::new(cfg, AddressSpace::new(0));
+        let dispatch = Arc::clone(&tables);
+        let explicit_invalidate = !machine.config().accel.has_bloom();
+        machine.register_host_fn(
+            RESOLVER_HOST_FN,
+            Box::new(move |ctx| {
+                let key = ctx.reg(Reg::SCRATCH);
+                let (got_slot, target) = {
+                    let guard = dispatch.lock().expect("resolution mutex poisoned");
+                    let (active, ref tables) = *guard;
+                    let binding = tables[active]
+                        .binding_for_key(key)
+                        .expect("lazy stub fired with unknown binding key");
+                    (binding.got_slot, binding.target)
+                };
+                ctx.store_u64(got_slot, target.as_u64())
+                    .expect("GOT slot is mapped read-write");
+                if explicit_invalidate {
+                    ctx.invalidate_abtb();
+                }
+                ctx.set_pc(target);
+                ctx.count_resolver();
+            }),
+        );
+
+        // Boot: swap process 0 onto the machine (its slot now parks the
+        // placeholder) and neutralise the boot swap's counter effects.
+        machine.swap_process(&mut contexts[0]);
+        let ranges = images[0].plt_ranges().to_vec();
+        machine.set_plt_ranges(&ranges);
+        machine.reset_counters();
+        machine.take_marks();
+
+        Ok(MultiProcessSystem {
+            machine,
+            contexts,
+            images,
+            tables,
+            shared_got_pair,
+            active: 0,
+            switches: 0,
+            marks_per_proc: vec![0; n],
+        })
+    }
+
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Index of the active process.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Context switches performed so far (excluding boot).
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Process `p`'s image.
+    pub fn image(&self, p: usize) -> &ProcessImage {
+        &self.images[p]
+    }
+
+    /// The underlying machine (which holds the *active* process).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access (fault injection, raw writes).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Marks retired by process `p` so far.
+    pub fn marks_of(&self, p: usize) -> u64 {
+        self.marks_per_proc[p]
+    }
+
+    /// Whether process `p` has halted. The active process's flag lives
+    /// on the machine; suspended processes carry their own.
+    pub fn halted(&self, p: usize) -> bool {
+        if p == self.active {
+            self.machine.halted()
+        } else {
+            self.contexts[p].halted()
+        }
+    }
+
+    /// Snapshot of the (machine-wide) performance counters.
+    pub fn counters(&self) -> PerfCounters {
+        self.machine.counters()
+    }
+
+    fn drain_marks(&mut self) {
+        self.marks_per_proc[self.active] += self.machine.take_marks().len() as u64;
+    }
+
+    /// See `MultiOracle::mirror_shared_got_from_active`: copies the
+    /// pair's GOT bytes from the active process (on the machine) into
+    /// its suspended partner, modelling one shared physical GOT page.
+    /// A raw copy — the store that changed the bytes already went
+    /// through the machine's coherence machinery when it retired.
+    fn mirror_shared_got_from_active(&mut self) {
+        let Some((a, b)) = self.shared_got_pair else {
+            return;
+        };
+        let partner = match self.active {
+            p if p == a => b,
+            p if p == b => a,
+            _ => return,
+        };
+        let mut blocks: Vec<(VirtAddr, Vec<u8>)> = Vec::new();
+        for m in self.images[self.active].modules() {
+            if m.got_len == 0 {
+                continue;
+            }
+            let mut buf = vec![0u8; m.got_len as usize];
+            if self
+                .machine
+                .space()
+                .read_bytes(m.got_base, &mut buf)
+                .is_ok()
+            {
+                blocks.push((m.got_base, buf));
+            }
+        }
+        for (base, buf) in blocks {
+            let _ = self.contexts[partner].space_mut().write_bytes(base, &buf);
+        }
+    }
+
+    /// Switches the core to process `p`. Out-of-range targets and
+    /// switches to the already-active process are no-ops returning
+    /// `false` — the same rule as the oracle, so shrunk schedules stay
+    /// comparable. Mirrors the shared GOT out of the departing process
+    /// first, then swaps, then repoints trampoline classification and
+    /// the resolver dispatch at the incoming process.
+    pub fn switch_to(&mut self, p: usize) -> bool {
+        if p == self.active || p >= self.contexts.len() {
+            return false;
+        }
+        self.drain_marks();
+        self.mirror_shared_got_from_active();
+        self.machine.swap_process(&mut self.contexts[p]);
+        // `contexts[p]` now parks the old active process; swap slots so
+        // every suspended process sits at its own index and the active
+        // index parks the placeholder.
+        self.contexts.swap(self.active, p);
+        let ranges = self.images[p].plt_ranges().to_vec();
+        self.machine.set_plt_ranges(&ranges);
+        self.active = p;
+        self.switches += 1;
+        self.tables.lock().expect("resolution mutex poisoned").0 = p;
+        true
+    }
+
+    /// Runs the active process until *its* total mark count reaches
+    /// `at_mark` (no-op if already there, or halted), mirroring
+    /// `MultiOracle::run_active_until_marks`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPU faults.
+    pub fn run_active_until_marks(
+        &mut self,
+        at_mark: u64,
+        max_instructions: u64,
+    ) -> Result<(), CpuError> {
+        let needed = at_mark.saturating_sub(self.marks_per_proc[self.active]);
+        if needed > 0 {
+            self.machine
+                .run_until_marks(needed as usize, max_instructions)?;
+        }
+        self.drain_marks();
+        Ok(())
+    }
+
+    /// Runs the active process until halt or budget exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPU faults.
+    pub fn run_active(&mut self, max_instructions: u64) -> Result<(), CpuError> {
+        self.machine.run(max_instructions)?;
+        self.drain_marks();
+        Ok(())
+    }
+
+    /// Explicitly clears the ABTB (§3.4 software invalidate).
+    pub fn invalidate_abtb(&mut self) {
+        self.machine.invalidate_abtb();
+    }
+
+    /// `System::unbind_library` scoped to the active process: re-arms
+    /// every GOT slot bound into `victim`, notifying the machine of
+    /// each external store (plus the §3.4 explicit invalidate when no
+    /// Bloom filter watches the slots).
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::UnknownModule`] when `victim` is not loaded.
+    pub fn unbind_active(&mut self, victim: &str) -> Result<u64, SystemError> {
+        if self.images[self.active].module(victim).is_none() {
+            return Err(SystemError::UnknownModule {
+                name: victim.to_owned(),
+            });
+        }
+        let writes = self.images[self.active].unbind_writes_for(victim);
+        let mut n = 0;
+        for (got_slot, stub) in writes {
+            self.machine
+                .space_mut()
+                .write_u64(got_slot, stub.as_u64())?;
+            self.machine.external_store(got_slot);
+            n += 1;
+        }
+        if n > 0 && !self.machine.config().accel.has_bloom() {
+            self.machine.invalidate_abtb();
+        }
+        Ok(n)
+    }
+
+    /// `System::rebind_symbol` scoped to the active process: rewrites
+    /// every importer's GOT slot to `provider`'s copy of `symbol` and
+    /// updates the active process's live resolution table.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::UnknownModule`] / [`SystemError::UnknownSymbol`]
+    /// when the provider or symbol is missing.
+    pub fn rebind_active(&mut self, symbol: &str, provider: &str) -> Result<u64, SystemError> {
+        let image = &self.images[self.active];
+        let module = image
+            .module(provider)
+            .ok_or_else(|| SystemError::UnknownModule {
+                name: provider.to_owned(),
+            })?;
+        let new_target = module
+            .export(symbol)
+            .ok_or_else(|| SystemError::UnknownSymbol {
+                symbol: symbol.to_owned(),
+                provider: provider.to_owned(),
+            })?;
+        let slots: Vec<(usize, usize, VirtAddr)> = image
+            .modules()
+            .iter()
+            .flat_map(|m| {
+                m.plt_slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.symbol == symbol)
+                    .map(move |(i, s)| (m.index, i, s.got_slot))
+            })
+            .collect();
+        let mut n = 0;
+        for (module_idx, import_idx, got_slot) in slots {
+            self.machine
+                .space_mut()
+                .write_u64(got_slot, new_target.as_u64())?;
+            self.machine.external_store(got_slot);
+            let mut guard = self.tables.lock().expect("resolution mutex poisoned");
+            let active = guard.0;
+            if let Some(b) = guard.1[active].binding_mut(module_idx, import_idx) {
+                b.target = new_target;
+            }
+            n += 1;
+        }
+        if n > 0 && !self.machine.config().accel.has_bloom() {
+            self.machine.invalidate_abtb();
+        }
+        Ok(n)
+    }
+
+    /// Reads a register of process `p` (from the machine when active,
+    /// from its parked context otherwise).
+    pub fn reg_of(&self, p: usize, r: Reg) -> u64 {
+        if p == self.active {
+            self.machine.reg(r)
+        } else {
+            self.contexts[p].reg(r)
+        }
+    }
+
+    /// Program counter of process `p`.
+    pub fn pc_of(&self, p: usize) -> VirtAddr {
+        if p == self.active {
+            self.machine.pc()
+        } else {
+            self.contexts[p].pc()
+        }
+    }
+
+    /// Address space of process `p` (the machine's when active, the
+    /// parked context's otherwise). Together with [`Self::reg_of`],
+    /// [`Self::pc_of`] and [`Self::halted`] this gives the difftest
+    /// harness everything `ArchDigest::capture` needs per process,
+    /// without `dynlink-core` depending on the oracle crate.
+    pub fn space_of(&self, p: usize) -> &AddressSpace {
+        if p == self.active {
+            self.machine.space()
+        } else {
+            self.contexts[p].space()
+        }
+    }
+}
+
+impl std::fmt::Debug for MultiProcessSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiProcessSystem")
+            .field("n_procs", &self.n_procs())
+            .field("active", &self.active)
+            .field("switches", &self.switches)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynlink_isa::Inst;
+    use dynlink_linker::{LinkMode, ModuleBuilder};
+
+    fn counting_proc(n: u64, delta: u64) -> (Vec<ModuleSpec>, LinkOptions) {
+        let mut lib = ModuleBuilder::new("libinc");
+        lib.begin_function("inc", true);
+        lib.asm().push(Inst::add_imm(Reg::R0, delta));
+        lib.asm().push(Inst::Ret);
+        let mut app = ModuleBuilder::new("app");
+        let inc = app.import("inc");
+        app.begin_function("main", true);
+        let top = app.asm().fresh_label("top");
+        app.asm().push(Inst::mov_imm(Reg::R2, n));
+        app.asm().bind(top);
+        app.asm().push(Inst::Mark { id: 0 });
+        app.asm().push_call_extern(inc);
+        app.asm().push(Inst::sub_imm(Reg::R2, 1));
+        app.asm().push_branch_nz(Reg::R2, top);
+        app.asm().push(Inst::Halt);
+        let opts = LinkOptions {
+            mode: LinkMode::DynamicLazy,
+            ..LinkOptions::default()
+        };
+        (vec![app.finish().unwrap(), lib.finish().unwrap()], opts)
+    }
+
+    #[test]
+    fn interleaved_processes_compute_independently() {
+        let mut mps = MultiProcessSystem::new(
+            vec![counting_proc(6, 1), counting_proc(4, 10)],
+            MachineConfig::enhanced(),
+            None,
+        )
+        .unwrap();
+        mps.run_active_until_marks(3, 100_000).unwrap();
+        assert_eq!(mps.marks_of(0), 3);
+        assert!(mps.switch_to(1));
+        mps.run_active_until_marks(2, 100_000).unwrap();
+        assert!(mps.switch_to(0));
+        mps.run_active(100_000).unwrap();
+        assert!(mps.switch_to(1));
+        mps.run_active(100_000).unwrap();
+        assert!(mps.halted(0) && mps.halted(1));
+        assert_eq!(mps.reg_of(0, Reg::R0), 6);
+        assert_eq!(mps.reg_of(1, Reg::R0), 40);
+        assert_eq!(mps.switches(), 3);
+    }
+
+    #[test]
+    fn switch_flush_accounting_matches_policy() {
+        // Flush-on-switch: every switch flushes; boot swap excluded.
+        let mut mps = MultiProcessSystem::new(
+            vec![counting_proc(4, 1), counting_proc(4, 1)],
+            MachineConfig::enhanced(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(mps.counters().abtb_switch_flushes, 0, "boot excluded");
+        mps.run_active_until_marks(2, 100_000).unwrap();
+        mps.switch_to(1);
+        mps.run_active(100_000).unwrap();
+        mps.switch_to(0);
+        mps.run_active(100_000).unwrap();
+        assert_eq!(mps.counters().abtb_switch_flushes, mps.switches());
+
+        // ASID-tagged: switches never flush.
+        let mut cfg = MachineConfig::enhanced();
+        cfg.flush_abtb_on_context_switch = false;
+        let mut mps =
+            MultiProcessSystem::new(vec![counting_proc(4, 1), counting_proc(4, 1)], cfg, None)
+                .unwrap();
+        mps.run_active_until_marks(2, 100_000).unwrap();
+        mps.switch_to(1);
+        mps.run_active(100_000).unwrap();
+        mps.switch_to(0);
+        mps.run_active(100_000).unwrap();
+        assert!(mps.switches() > 0);
+        assert_eq!(mps.counters().abtb_switch_flushes, 0);
+    }
+
+    #[test]
+    fn resolver_dispatches_to_the_active_processes_table() {
+        // Identical layouts mean identical stub keys; each process must
+        // still resolve against its own table and compute its own sum.
+        let mut mps = MultiProcessSystem::new(
+            vec![counting_proc(5, 1), counting_proc(5, 100)],
+            MachineConfig::enhanced(),
+            None,
+        )
+        .unwrap();
+        mps.run_active_until_marks(2, 100_000).unwrap();
+        mps.switch_to(1);
+        mps.run_active(100_000).unwrap();
+        mps.switch_to(0);
+        mps.run_active(100_000).unwrap();
+        assert_eq!(mps.reg_of(0, Reg::R0), 5);
+        assert_eq!(mps.reg_of(1, Reg::R0), 500);
+        assert_eq!(mps.counters().resolver_invocations, 2, "one per process");
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_pairs() {
+        assert!(MultiProcessSystem::new(vec![], MachineConfig::baseline(), None).is_err());
+        assert!(MultiProcessSystem::new(
+            vec![counting_proc(1, 1), counting_proc(1, 1)],
+            MachineConfig::baseline(),
+            Some((0, 0)),
+        )
+        .is_err());
+        assert!(MultiProcessSystem::new(
+            vec![counting_proc(1, 1), counting_proc(1, 1)],
+            MachineConfig::baseline(),
+            Some((0, 5)),
+        )
+        .is_err());
+    }
+}

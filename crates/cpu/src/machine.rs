@@ -6,7 +6,8 @@ use std::sync::{Arc, Mutex};
 use dynlink_isa::{Inst, MemRef, Operand, Reg, VirtAddr};
 use dynlink_mem::{AddressSpace, MemError, Perms};
 use dynlink_uarch::{
-    Abtb, BloomFilter, Btb, Cache, DirectionPredictor, PerfCounters, ReturnAddressStack, Tlb,
+    Abtb, BloomFilter, Btb, Cache, DirectionPredictor, FlushCause, PerfCounters,
+    ReturnAddressStack, Tlb,
 };
 
 use crate::config::MachineConfig;
@@ -245,16 +246,25 @@ impl Core {
         self.charge_data(addr);
         self.counters.stores += 1;
         self.space.write_u64(addr, value)?;
-        if self.cfg.accel.has_bloom() && self.bloom.maybe_contains(self.tagged(addr).as_u64()) {
-            self.flush_abtb();
+        if self.cfg.accel.has_bloom() && self.bloom.maybe_contains(addr.as_u64()) {
+            self.flush_abtb(FlushCause::Coherence);
         }
         Ok(())
     }
 
-    /// ASID-salts an address for ABTB/Bloom keys when the ABTB is
+    /// ASID-salts an address for **ABTB keys** when the ABTB is
     /// configured as ASID-tagged (retained across context switches, like
     /// an ASID-tagged TLB, paper §3.3). With the default flush-on-switch
     /// policy the address is used raw — the flush makes tagging moot.
+    ///
+    /// Bloom-filter keys are deliberately *not* salted: the Bloom filter
+    /// watches physical GOT slots, and the paper's coherence rule is
+    /// that *any* writer to a watched slot must flush, whichever address
+    /// space it runs in. Salting the membership check with the writer's
+    /// ASID would let a store from process B to a GOT slot shared with
+    /// process A miss A's entry and leave a stale skip (see
+    /// `crates/cpu/tests/multiprocess.rs`). A raw key can only
+    /// over-flush, which is architecturally safe.
     #[inline]
     fn tagged(&self, a: VirtAddr) -> VirtAddr {
         if self.cfg.flush_abtb_on_context_switch {
@@ -264,15 +274,34 @@ impl Core {
         }
     }
 
-    fn flush_abtb(&mut self) {
-        self.abtb.clear();
+    fn flush_abtb(&mut self, cause: FlushCause) {
+        self.abtb.clear_for(cause);
         self.bloom.clear();
         self.counters.abtb_flushes += 1;
+        match cause {
+            FlushCause::Switch => self.counters.abtb_switch_flushes += 1,
+            FlushCause::Coherence => self.counters.abtb_coherence_flushes += 1,
+        }
     }
 
     pub(crate) fn invalidate_abtb(&mut self) {
         if self.cfg.accel.has_abtb() {
-            self.flush_abtb();
+            self.flush_abtb(FlushCause::Coherence);
+        }
+    }
+
+    /// The microarchitectural side of any context switch, shared by
+    /// [`Machine::context_switch`] and [`Machine::swap_process`]: flush
+    /// the untagged predictors (BTB, RAS) and, under the flush-on-switch
+    /// policy, the ABTB *together with* its companion Bloom filter —
+    /// clearing one without the other would either leak stale mappings
+    /// or leave the filter watching slots that back no entries.
+    fn on_context_switch(&mut self) {
+        self.btb.flush();
+        self.ras.clear();
+        self.pending = None;
+        if self.cfg.accel.has_abtb() && self.cfg.flush_abtb_on_context_switch {
+            self.flush_abtb(FlushCause::Switch);
         }
     }
 
@@ -514,7 +543,10 @@ impl Core {
                 let key = self.tagged(p.call_target);
                 self.abtb.insert(key, exec.next_pc);
                 if self.cfg.accel.has_bloom() {
-                    self.bloom.insert(self.tagged(slot).as_u64());
+                    // Raw (unsalted) key: any writer to this slot —
+                    // whatever its ASID — must be able to hit the
+                    // filter. See the coherence note on `tagged`.
+                    self.bloom.insert(slot.as_u64());
                 }
             }
             return;
@@ -616,9 +648,23 @@ impl ProcessContext {
         self.regs[r.index()]
     }
 
+    /// The suspended process's saved program counter.
+    pub fn pc(&self) -> VirtAddr {
+        self.pc
+    }
+
     /// The suspended process's address space.
     pub fn space(&self) -> &AddressSpace {
         &self.space
+    }
+
+    /// Mutable access to the suspended process's address space, for OS-
+    /// level writes into a parked process (e.g. mirroring a shared GOT
+    /// page). Such writes bypass the store path, so callers are
+    /// responsible for any required ABTB invalidation — see
+    /// [`Machine::external_store`].
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
     }
 }
 
@@ -860,13 +906,9 @@ impl Machine {
     /// untagged) and — unless the ABTB is configured as ASID-tagged —
     /// the ABTB, mirroring the paper's §3.3 discussion.
     pub fn context_switch(&mut self) {
-        self.core.btb.flush();
-        self.core.ras.clear();
+        self.core.on_context_switch();
         self.core.itlb.flush();
         self.core.dtlb.flush();
-        if self.core.cfg.accel.has_abtb() && self.core.cfg.flush_abtb_on_context_switch {
-            self.core.flush_abtb();
-        }
     }
 
     /// Suspends the currently running process into `ctx` and resumes the
@@ -881,13 +923,8 @@ impl Machine {
         std::mem::swap(&mut self.core.pc, &mut ctx.pc);
         std::mem::swap(&mut self.core.halted, &mut ctx.halted);
         std::mem::swap(&mut self.core.space, &mut ctx.space);
-        self.core.btb.flush();
-        self.core.ras.clear();
-        self.core.pending = None;
         self.core.decoded.clear();
-        if self.core.cfg.accel.has_abtb() && self.core.cfg.flush_abtb_on_context_switch {
-            self.core.flush_abtb();
-        }
+        self.core.on_context_switch();
     }
 
     /// Invalidates the L1/L2 cache contents (e.g. to model worst-case
@@ -902,9 +939,11 @@ impl Machine {
     /// (another core, DMA, or the host runtime rewriting a GOT slot):
     /// the coherence-invalidation path of §3.2.
     pub fn external_store(&mut self, addr: VirtAddr) {
-        let key = self.core.tagged(addr);
-        if self.core.cfg.accel.has_bloom() && self.core.bloom.maybe_contains(key.as_u64()) {
-            self.core.flush_abtb();
+        // Raw key: the Bloom filter is keyed by the slot address alone,
+        // never by the writer's ASID (see the coherence note on
+        // `Core::tagged`), so notifications from any agent hit.
+        if self.core.cfg.accel.has_bloom() && self.core.bloom.maybe_contains(addr.as_u64()) {
+            self.core.flush_abtb(FlushCause::Coherence);
         }
     }
 

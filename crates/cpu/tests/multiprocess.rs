@@ -139,3 +139,165 @@ fn baseline_multiprocessing_is_also_correct() {
     assert_eq!(rb, 400_000);
     assert_eq!(c.trampolines_skipped, 0);
 }
+
+/// Builds one of the two processes for the shared-GOT coherence test.
+/// Both map the same virtual layout (modelling a shared physical GOT
+/// page mapped at the same VA). `f1` at FUNC adds to R0, `f2` at
+/// FUNC+0x100 adds to R1; got0 initially binds to `f1`.
+///
+/// The reader (process A) calls through the PLT six times with a mark
+/// after each call; the writer (process B) stores `f2` into got0
+/// through the normal store path and halts.
+fn make_shared_got_process(asid: u64, writer: bool) -> ProcessContext {
+    let mut s = AddressSpace::new(asid);
+    s.map_code_region(VirtAddr::new(TEXT), 0x1000, Perms::RX)
+        .unwrap();
+    s.map_code_region(VirtAddr::new(PLT), 0x1000, Perms::RX)
+        .unwrap();
+    s.map_region(VirtAddr::new(GOT), 0x1000, Perms::RW).unwrap();
+    s.map_code_region(VirtAddr::new(FUNC), 0x1000, Perms::RX)
+        .unwrap();
+
+    let plt0 = VirtAddr::new(PLT);
+    let got0 = VirtAddr::new(GOT + 16);
+    let f1 = VirtAddr::new(FUNC);
+    let f2 = VirtAddr::new(FUNC + 0x100);
+
+    let mut at = VirtAddr::new(TEXT);
+    let mut emit = |s: &mut AddressSpace, i: Inst| {
+        s.place_code(at, i).unwrap();
+        at += i.encoded_len();
+    };
+    if writer {
+        emit(&mut s, Inst::mov_imm(Reg::R5, f2.as_u64()));
+        emit(
+            &mut s,
+            Inst::Store {
+                src: Reg::R5,
+                mem: MemRef::Abs(got0),
+            },
+        );
+        emit(&mut s, Inst::Halt);
+    } else {
+        for _ in 0..6 {
+            emit(&mut s, Inst::CallDirect { target: plt0 });
+            emit(&mut s, Inst::Mark { id: 0 });
+        }
+        emit(&mut s, Inst::Halt);
+    }
+
+    s.place_code(
+        plt0,
+        Inst::JmpIndirectMem {
+            mem: MemRef::Abs(got0),
+        },
+    )
+    .unwrap();
+    s.write_u64(got0, f1.as_u64()).unwrap();
+    s.place_code(f1, Inst::add_imm(Reg::R0, 1)).unwrap();
+    s.place_code(f1 + 4, Inst::Ret).unwrap();
+    s.place_code(f2, Inst::add_imm(Reg::R1, 1)).unwrap();
+    s.place_code(f2 + 4, Inst::Ret).unwrap();
+
+    ProcessContext::new(s, VirtAddr::new(TEXT), VirtAddr::new(STACK_TOP), 0x8000).unwrap()
+}
+
+/// The §3.3 shared-GOT coherence hazard, pinned: in ASID-tagged mode a
+/// retired store by process B to a GOT slot shared with process A must
+/// still hit the Bloom filter and flush the ABTB. Before the fix the
+/// membership check was salted with B's ASID, missed A's entry, and
+/// process A kept skipping to the *old* binding after the rebind — an
+/// architectural divergence (R0 == 6, R1 == 0 instead of 3 and 3).
+#[test]
+fn shared_got_store_from_other_process_flushes_tagged_abtb() {
+    let mut cfg = MachineConfig::enhanced();
+    cfg.flush_abtb_on_context_switch = false; // ASID-tagged retention
+
+    let mut a = make_shared_got_process(1, false);
+    let mut b = make_shared_got_process(2, true);
+    let got0 = VirtAddr::new(GOT + 16);
+    let f2 = VirtAddr::new(FUNC + 0x100);
+
+    let mut machine = Machine::new(cfg, AddressSpace::new(99));
+    machine.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
+    machine.swap_process(&mut a); // run A; `a` parks the placeholder
+
+    // Three calls: call 1 trains the ABTB, call 2 retrains the BTB to
+    // the mapped function, call 3 skips the trampoline outright.
+    machine.run_until_marks(3, 100_000).unwrap();
+    assert_eq!(machine.reg(Reg::R0), 3);
+    assert!(
+        machine.counters().trampolines_skipped > 0,
+        "call 3 must skip, else the hazard cannot manifest"
+    );
+
+    // Switch to B (ASID 2), which rewrites the shared GOT slot through
+    // the ordinary store path. The Bloom filter is keyed by the raw
+    // slot address, so the foreign-ASID writer must hit it.
+    machine.swap_process(&mut b); // run B; `b` parks A
+    machine.run(10_000).unwrap();
+    assert!(machine.halted(), "writer process must finish");
+    assert!(
+        machine.counters().abtb_coherence_flushes >= 1,
+        "B's store to the shared GOT slot must flush the ABTB"
+    );
+
+    // Model the shared physical page: mirror B's write into A's parked
+    // address space, then resume A.
+    b.space_mut().write_u64(got0, f2.as_u64()).unwrap();
+    machine.swap_process(&mut b); // run A again; `b` parks B
+
+    machine.run(100_000).unwrap();
+    assert!(machine.halted());
+    assert_eq!(
+        machine.reg(Reg::R0),
+        3,
+        "calls after the rebind must not keep skipping to the old target"
+    );
+    assert_eq!(
+        machine.reg(Reg::R1),
+        3,
+        "calls after the rebind must reach the new target"
+    );
+}
+
+/// Regression for the deduplicated flush-on-switch path: `swap_process`
+/// must clear the ABTB *and* its companion Bloom filter together, and
+/// the flush must be attributed to the switch counter (not coherence).
+#[test]
+fn swap_process_flushes_abtb_and_bloom_together() {
+    let mut a = make_process(1, 50, 1);
+    let mut machine = Machine::new(MachineConfig::enhanced(), AddressSpace::new(99));
+    machine.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
+    machine.swap_process(&mut a); // boot swap: counts one switch flush
+
+    machine.run(2_000).unwrap();
+    let stats = machine.component_stats();
+    assert!(stats.abtb_occupancy > 0, "ABTB must be trained");
+    assert!(stats.bloom_fill_ratio > 0.0, "Bloom must watch the slot");
+
+    let before = machine.counters();
+    machine.swap_process(&mut a);
+    let after = machine.counters();
+    let stats = machine.component_stats();
+
+    assert_eq!(stats.abtb_occupancy, 0, "swap must clear the ABTB");
+    assert_eq!(
+        stats.bloom_fill_ratio, 0.0,
+        "swap must clear the Bloom filter together with the ABTB"
+    );
+    assert_eq!(
+        after.abtb_switch_flushes - before.abtb_switch_flushes,
+        1,
+        "exactly one switch-attributed flush"
+    );
+    assert_eq!(
+        after.abtb_coherence_flushes, before.abtb_coherence_flushes,
+        "a process swap is not a coherence event"
+    );
+    assert_eq!(
+        after.abtb_flushes,
+        after.abtb_switch_flushes + after.abtb_coherence_flushes,
+        "public total must stay the sum of the split counters"
+    );
+}

@@ -184,6 +184,14 @@ impl Oracle {
         &self.space
     }
 
+    /// Mutable address-space access for OS-level writes that bypass the
+    /// oracle's own store path (and therefore its write log) — used by
+    /// [`crate::MultiOracle`] to mirror shared GOT pages between
+    /// processes at context-switch points.
+    pub(crate) fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
     /// Reads a register.
     pub fn reg(&self, r: Reg) -> u64 {
         self.regs[r.index()]

@@ -17,6 +17,10 @@
 //!   process's writable memory regions) that both the oracle and a full
 //!   `dynlink_cpu::Machine`-backed system can produce, so the two can
 //!   be compared after identical runs.
+//! - [`MultiOracle`] — a set of per-process interpreters time-sharing
+//!   one simulated core with explicit switch points and an optional
+//!   shared GOT page, the reference model for the paper's §3.3
+//!   context-switch policies (flush-on-switch vs ASID-tagged).
 //! - [`Minimizer`] — a delta-debugging shrink loop (`ddmin`) reusable by
 //!   any fuzz harness to reduce a failing input to a 1-minimal one.
 //!
@@ -32,7 +36,9 @@
 mod digest;
 mod interp;
 mod minimize;
+mod multi;
 
 pub use digest::{hash_rw_regions, ArchDigest};
 pub use interp::{Oracle, OracleError, OracleExit};
 pub use minimize::Minimizer;
+pub use multi::MultiOracle;

@@ -1,0 +1,253 @@
+//! The multi-process architectural oracle (paper §3.3).
+//!
+//! [`MultiOracle`] owns one [`Oracle`] per simulated process and an
+//! `active` index. A context switch is architecturally *trivial* — the
+//! whole point of §3.3 is that the ABTB policies (flush-on-switch vs
+//! ASID-tagged retention) are microarchitectural choices that must not
+//! change program results — so the reference model simply stops running
+//! one interpreter and starts running another.
+//!
+//! The one architectural subtlety is a *shared GOT page*: when two
+//! processes map the same physical GOT (`shared_got_pair`), a store by
+//! one is visible to the other. Only one process runs at a time, so it
+//! is sufficient to mirror the pair's GOT bytes from the process being
+//! switched *away from* into its partner at every switch point. The
+//! mirror is a raw byte copy outside the write log — the original store
+//! was already logged (and, on the system side, already went through
+//! the Bloom-filter store path), so the copy itself models page-table
+//! aliasing, not a second store.
+
+use dynlink_isa::VirtAddr;
+
+use crate::digest::ArchDigest;
+use crate::interp::{Oracle, OracleError, OracleExit};
+
+/// A set of architectural interpreters time-sharing one simulated core.
+///
+/// Processes are indexed `0..n_procs()`; process 0 starts active.
+pub struct MultiOracle {
+    procs: Vec<Oracle>,
+    active: usize,
+    /// Two process indices whose GOT pages alias the same physical
+    /// memory; their GOT bytes are mirrored active → partner at every
+    /// switch away from either of them.
+    shared_got_pair: Option<(usize, usize)>,
+}
+
+impl MultiOracle {
+    /// Wraps `procs` (process 0 active) with an optional shared-GOT
+    /// pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is empty or the pair indices are out of range
+    /// or equal.
+    pub fn new(procs: Vec<Oracle>, shared_got_pair: Option<(usize, usize)>) -> Self {
+        assert!(!procs.is_empty(), "need at least one process");
+        if let Some((a, b)) = shared_got_pair {
+            assert!(a < procs.len() && b < procs.len() && a != b, "bad pair");
+        }
+        MultiOracle {
+            procs,
+            active: 0,
+            shared_got_pair,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Index of the active process.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// The interpreter for process `p`.
+    pub fn oracle(&self, p: usize) -> &Oracle {
+        &self.procs[p]
+    }
+
+    /// If the active process is half of the shared-GOT pair, copies
+    /// every module's GOT bytes from the active interpreter's address
+    /// space into its partner's — the architectural effect of both
+    /// processes mapping one physical GOT page. Layouts are identical
+    /// by construction (the fuzzer clones the pair's module shape), so
+    /// the copy is address-for-address.
+    fn mirror_shared_got_from_active(&mut self) {
+        let Some((a, b)) = self.shared_got_pair else {
+            return;
+        };
+        let partner = match self.active {
+            p if p == a => b,
+            p if p == b => a,
+            _ => return,
+        };
+        let mut blocks: Vec<(VirtAddr, Vec<u8>)> = Vec::new();
+        {
+            let src = &self.procs[self.active];
+            for m in src.image().modules() {
+                if m.got_len == 0 {
+                    continue;
+                }
+                let mut buf = vec![0u8; m.got_len as usize];
+                if src.space().read_bytes(m.got_base, &mut buf).is_ok() {
+                    blocks.push((m.got_base, buf));
+                }
+            }
+        }
+        for (base, buf) in blocks {
+            // Ignore faults: a partner that never mapped the region
+            // (layout drift after shrinking) simply does not share it.
+            let _ = self.procs[partner].space_mut().write_bytes(base, &buf);
+        }
+    }
+
+    /// Switches to process `p`. Out-of-range targets and switches to
+    /// the already-active process are no-ops (returning `false`), so a
+    /// shrunk schedule never needs re-validation. Mirrors the shared
+    /// GOT out of the departing process first.
+    pub fn switch_to(&mut self, p: usize) -> bool {
+        if p == self.active || p >= self.procs.len() {
+            return false;
+        }
+        self.mirror_shared_got_from_active();
+        self.active = p;
+        true
+    }
+
+    /// Runs the active process until its own mark count reaches
+    /// `target_marks` (see [`Oracle::run_until_marks`]); a process
+    /// already past the target, or halted, is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors.
+    pub fn run_active_until_marks(
+        &mut self,
+        target_marks: u64,
+        max_instructions: u64,
+    ) -> Result<OracleExit, OracleError> {
+        self.procs[self.active].run_until_marks(target_marks, max_instructions)
+    }
+
+    /// Runs the active process until halt or budget exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors.
+    pub fn run_active(&mut self, max_instructions: u64) -> Result<OracleExit, OracleError> {
+        self.procs[self.active].run(max_instructions)
+    }
+
+    /// Applies `dlclose(victim)` to the active process only (each
+    /// process has its own image and live resolution table).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Oracle::apply_unbind`] errors.
+    pub fn apply_unbind_active(&mut self, victim: &str) -> Result<u64, OracleError> {
+        self.procs[self.active].apply_unbind(victim)
+    }
+
+    /// Rebinds `symbol` to `provider` in the active process only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Oracle::apply_rebind`] errors.
+    pub fn apply_rebind_active(
+        &mut self,
+        symbol: &str,
+        provider: &str,
+    ) -> Result<u64, OracleError> {
+        self.procs[self.active].apply_rebind(symbol, provider)
+    }
+
+    /// Per-process architectural digests, indexed like the processes.
+    pub fn digests(&self) -> Vec<ArchDigest> {
+        self.procs.iter().map(Oracle::digest).collect()
+    }
+
+    /// Total resolver invocations summed over every process.
+    pub fn resolver_invocations(&self) -> u64 {
+        self.procs.iter().map(Oracle::resolver_invocations).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynlink_isa::{Inst, Reg};
+    use dynlink_linker::{LinkOptions, ModuleBuilder, ModuleSpec};
+
+    fn adder(module: &str, name: &str, delta: u64) -> ModuleSpec {
+        let mut lib = ModuleBuilder::new(module);
+        lib.begin_function(name, true);
+        lib.asm().push(Inst::add_imm(Reg::R0, delta));
+        lib.asm().push(Inst::Ret);
+        lib.finish().unwrap()
+    }
+
+    fn caller(iterations: u64) -> ModuleSpec {
+        let mut app = ModuleBuilder::new("app");
+        let f = app.import("inc");
+        app.begin_function("main", true);
+        let top = app.asm().fresh_label("top");
+        app.asm().push(Inst::mov_imm(Reg::R2, iterations));
+        app.asm().bind(top);
+        app.asm().push(Inst::Mark { id: 0 });
+        app.asm().push_call_extern(f);
+        app.asm().push(Inst::sub_imm(Reg::R2, 1));
+        app.asm().push_branch_nz(Reg::R2, top);
+        app.asm().push(Inst::Halt);
+        app.finish().unwrap()
+    }
+
+    fn proc(iterations: u64, delta: u64) -> Oracle {
+        let specs = vec![caller(iterations), adder("libinc", "inc", delta)];
+        Oracle::new(&specs, LinkOptions::default(), "main").unwrap()
+    }
+
+    #[test]
+    fn interleaved_processes_finish_with_independent_results() {
+        let mut mo = MultiOracle::new(vec![proc(6, 1), proc(4, 10)], None);
+        mo.run_active_until_marks(3, 100_000).unwrap();
+        assert!(mo.switch_to(1));
+        mo.run_active_until_marks(2, 100_000).unwrap();
+        assert!(mo.switch_to(0));
+        mo.run_active(100_000).unwrap();
+        assert!(mo.switch_to(1));
+        mo.run_active(100_000).unwrap();
+        assert!(mo.oracle(0).halted() && mo.oracle(1).halted());
+        assert_eq!(mo.oracle(0).reg(Reg::R0), 6);
+        assert_eq!(mo.oracle(1).reg(Reg::R0), 40);
+    }
+
+    #[test]
+    fn invalid_switches_are_no_ops() {
+        let mut mo = MultiOracle::new(vec![proc(2, 1), proc(2, 1)], None);
+        assert!(!mo.switch_to(0), "already active");
+        assert!(!mo.switch_to(7), "out of range");
+        assert_eq!(mo.active(), 0);
+    }
+
+    #[test]
+    fn shared_got_pair_mirrors_bindings_across_switches() {
+        // Identical layouts (same module shapes); pair (0, 1). Process
+        // 0 resolves `inc` lazily, then switching away mirrors the
+        // resolved GOT into process 1 — whose first call therefore
+        // jumps straight to the target without its own resolution.
+        let mut mo = MultiOracle::new(vec![proc(4, 1), proc(4, 1)], Some((0, 1)));
+        mo.run_active_until_marks(2, 100_000).unwrap();
+        assert_eq!(mo.oracle(0).resolver_invocations(), 1);
+        assert!(mo.switch_to(1));
+        mo.run_active(100_000).unwrap();
+        assert_eq!(
+            mo.oracle(1).resolver_invocations(),
+            0,
+            "mirrored GOT already holds the resolved target"
+        );
+        assert_eq!(mo.oracle(1).reg(Reg::R0), 4);
+    }
+}

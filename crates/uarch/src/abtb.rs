@@ -9,6 +9,25 @@ use dynlink_isa::VirtAddr;
 /// function address — x86-64 virtual addresses are 48 bits (paper §5.3).
 pub const ABTB_ENTRY_BYTES: u64 = 12;
 
+/// Why the ABTB was flushed — the two classes the paper's §3.3
+/// correctness argument treats differently.
+///
+/// Without ASID tags the table must be cleared on every context switch
+/// (like a non-ASID TLB); with tags those flushes disappear but
+/// *coherence* flushes (a retired store hitting the Bloom filter, or an
+/// explicit software invalidate in the §3.4 no-Bloom configuration)
+/// remain. Distinguishing the two lets the difftest state invariants
+/// such as "switch flushes == context switches in flush-on-switch mode"
+/// and "zero switch flushes in ASID-tagged mode".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushCause {
+    /// Context-switch flush (flush-on-switch policy, §3.3).
+    Switch,
+    /// Coherence flush: Bloom-filter hit on a retired or external store,
+    /// or an explicit software invalidate (§3.2/§3.4).
+    Coherence,
+}
+
 /// The retire-time **alternate BTB**: a small, LRU-replaced table mapping
 /// *trampoline addresses* to *library function addresses* (paper §3.1).
 ///
@@ -37,7 +56,8 @@ pub struct Abtb {
     tick: u64,
     lookups: u64,
     hits: u64,
-    flushes: u64,
+    switch_flushes: u64,
+    coherence_flushes: u64,
     evictions: u64,
 }
 
@@ -55,7 +75,8 @@ impl Abtb {
             tick: 0,
             lookups: 0,
             hits: 0,
-            flushes: 0,
+            switch_flushes: 0,
+            coherence_flushes: 0,
             evictions: 0,
         }
     }
@@ -109,12 +130,22 @@ impl Abtb {
         );
     }
 
-    /// Clears every entry (Bloom-filter hit or context switch).
-    pub fn clear(&mut self) {
+    /// Clears every entry, attributing the flush to `cause`.
+    pub fn clear_for(&mut self, cause: FlushCause) {
         if !self.entries.is_empty() {
             self.entries.clear();
         }
-        self.flushes += 1;
+        match cause {
+            FlushCause::Switch => self.switch_flushes += 1,
+            FlushCause::Coherence => self.coherence_flushes += 1,
+        }
+    }
+
+    /// Clears every entry as a coherence flush (Bloom-filter hit or
+    /// explicit invalidate). Shorthand for
+    /// `clear_for(FlushCause::Coherence)`.
+    pub fn clear(&mut self) {
+        self.clear_for(FlushCause::Coherence);
     }
 
     /// Number of live entries.
@@ -147,9 +178,21 @@ impl Abtb {
         self.hits
     }
 
-    /// Number of whole-table flushes so far.
+    /// Number of whole-table flushes so far, regardless of cause
+    /// (always `switch_flushes() + coherence_flushes()`).
     pub fn flushes(&self) -> u64 {
-        self.flushes
+        self.switch_flushes + self.coherence_flushes
+    }
+
+    /// Flushes caused by context switches (flush-on-switch policy).
+    pub fn switch_flushes(&self) -> u64 {
+        self.switch_flushes
+    }
+
+    /// Flushes caused by coherence events: Bloom hits and explicit
+    /// software invalidates.
+    pub fn coherence_flushes(&self) -> u64 {
+        self.coherence_flushes
     }
 
     /// Number of LRU evictions so far (capacity pressure diagnostic for
@@ -208,6 +251,22 @@ mod tests {
         assert!(a.is_empty());
         assert_eq!(a.flushes(), 1);
         assert_eq!(a.lookup(va(1)), None);
+    }
+
+    #[test]
+    fn flush_causes_are_attributed_and_sum() {
+        let mut a = Abtb::new(4);
+        a.insert(va(1), va(2));
+        a.clear_for(FlushCause::Switch);
+        assert!(a.is_empty());
+        assert_eq!(a.switch_flushes(), 1);
+        assert_eq!(a.coherence_flushes(), 0);
+        a.insert(va(1), va(2));
+        a.clear_for(FlushCause::Coherence);
+        a.clear(); // plain clear() counts as coherence
+        assert_eq!(a.switch_flushes(), 1);
+        assert_eq!(a.coherence_flushes(), 2);
+        assert_eq!(a.flushes(), a.switch_flushes() + a.coherence_flushes());
     }
 
     #[test]

@@ -47,8 +47,16 @@ pub struct PerfCounters {
     pub trampolines_skipped: u64,
     /// ABTB lookups that hit at branch resolution.
     pub abtb_hits: u64,
-    /// Whole-ABTB flushes (Bloom hit, explicit invalidate or context switch).
+    /// Whole-ABTB flushes (Bloom hit, explicit invalidate or context
+    /// switch). Always equals `abtb_switch_flushes +
+    /// abtb_coherence_flushes`; kept as its own field so existing
+    /// consumers of the total are unaffected by the split.
     pub abtb_flushes: u64,
+    /// ABTB flushes caused by context switches (flush-on-switch §3.3).
+    pub abtb_switch_flushes: u64,
+    /// ABTB flushes caused by coherence events: Bloom-filter hits on
+    /// retired/external stores and explicit software invalidates.
+    pub abtb_coherence_flushes: u64,
     /// Lazy-resolver invocations.
     pub resolver_invocations: u64,
 }
@@ -107,6 +115,12 @@ impl PerfCounters {
                 .saturating_sub(earlier.trampolines_skipped),
             abtb_hits: self.abtb_hits.saturating_sub(earlier.abtb_hits),
             abtb_flushes: self.abtb_flushes.saturating_sub(earlier.abtb_flushes),
+            abtb_switch_flushes: self
+                .abtb_switch_flushes
+                .saturating_sub(earlier.abtb_switch_flushes),
+            abtb_coherence_flushes: self
+                .abtb_coherence_flushes
+                .saturating_sub(earlier.abtb_coherence_flushes),
             resolver_invocations: self
                 .resolver_invocations
                 .saturating_sub(earlier.resolver_invocations),
@@ -130,6 +144,8 @@ impl PerfCounters {
         self.trampolines_skipped += other.trampolines_skipped;
         self.abtb_hits += other.abtb_hits;
         self.abtb_flushes += other.abtb_flushes;
+        self.abtb_switch_flushes += other.abtb_switch_flushes;
+        self.abtb_coherence_flushes += other.abtb_coherence_flushes;
         self.resolver_invocations += other.resolver_invocations;
     }
 }

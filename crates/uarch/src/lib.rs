@@ -51,7 +51,7 @@ mod counters;
 mod ras;
 mod tlb;
 
-pub use abtb::{Abtb, ABTB_ENTRY_BYTES};
+pub use abtb::{Abtb, FlushCause, ABTB_ENTRY_BYTES};
 pub use bloom::BloomFilter;
 pub use bpred::DirectionPredictor;
 pub use btb::Btb;

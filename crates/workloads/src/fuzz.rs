@@ -101,9 +101,14 @@ pub struct FuzzCase {
 }
 
 impl FuzzCase {
-    /// Derives a complete case from `seed`.
-    pub fn generate(seed: u64) -> FuzzCase {
-        let mut rng = Rng::seed_from_u64(seed);
+    /// Derives the *program-shaping* fields (everything except the
+    /// event schedule) from `rng`, consuming it in exactly the order
+    /// [`FuzzCase::generate`] historically did so single-process seeds
+    /// keep producing byte-identical cases. The returned case has an
+    /// empty schedule; multi-process generation
+    /// ([`MultiFuzzCase::generate`]) reuses this to derive each
+    /// process's program and supplies its own cross-process schedule.
+    fn generate_program(seed: u64, rng: &mut Rng) -> FuzzCase {
         let n_libs = rng.gen_index(1..5);
         let lib_delta: Vec<u64> = (0..n_libs).map(|_| rng.gen_range(1..100)).collect();
         let lib_callee: Vec<Option<usize>> = (0..n_libs)
@@ -128,6 +133,26 @@ impl FuzzCase {
         let n_imports = n_libs + usize::from(use_ifunc);
         let n_calls = rng.gen_index(1..5);
         let calls: Vec<usize> = (0..n_calls).map(|_| rng.gen_index(0..n_imports)).collect();
+        FuzzCase {
+            seed,
+            mode,
+            hw_level,
+            lib_delta,
+            lib_callee,
+            lib_store,
+            shadow,
+            use_ifunc,
+            iterations,
+            calls,
+            schedule: Vec::new(),
+        }
+    }
+
+    /// Derives a complete case from `seed`.
+    pub fn generate(seed: u64) -> FuzzCase {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut case = Self::generate_program(seed, &mut rng);
+        let (n_libs, shadow, iterations) = (case.n_libs(), case.shadow, case.iterations);
 
         // Weighted event-kind pool; rebinds only make sense with a
         // shadow provider to rebind to.
@@ -170,19 +195,8 @@ impl FuzzCase {
         }
         schedule.sort_by_key(|e| e.at_mark);
 
-        FuzzCase {
-            seed,
-            mode,
-            hw_level,
-            lib_delta,
-            lib_callee,
-            lib_store,
-            shadow,
-            use_ifunc,
-            iterations,
-            calls,
-            schedule,
-        }
+        case.schedule = schedule;
+        case
     }
 
     /// Number of generated libraries.
@@ -382,6 +396,298 @@ pub fn shrink_case<F: FnMut(&FuzzCase) -> bool>(case: &FuzzCase, mut fails: F) -
     best
 }
 
+/// A runtime event in a multi-process schedule (paper §3.3).
+///
+/// Unlike [`FuzzEvent::ContextSwitch`] (a switch away-and-back within a
+/// single-process run), [`MultiFuzzEvent::Switch`] names the process to
+/// resume; unbind/rebind apply to whichever process is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiFuzzEvent {
+    /// Switch the core to process `to`.
+    Switch {
+        /// Index of the process to resume.
+        to: usize,
+    },
+    /// An explicit software ABTB invalidate (paper §3.4).
+    AbtbInvalidate,
+    /// `dlclose`-style unbind of `lib{lib}` in the *active* process.
+    Unbind {
+        /// Index of the victim library.
+        lib: usize,
+    },
+    /// Rebind every importer of `f{lib}` to the shadow copy, in the
+    /// *active* process.
+    Rebind {
+        /// Index of the symbol's home library.
+        lib: usize,
+    },
+}
+
+impl fmt::Display for MultiFuzzEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiFuzzEvent::Switch { to } => write!(f, "switch({to})"),
+            MultiFuzzEvent::AbtbInvalidate => write!(f, "inval"),
+            MultiFuzzEvent::Unbind { lib } => write!(f, "unbind({lib})"),
+            MultiFuzzEvent::Rebind { lib } => write!(f, "rebind({lib})"),
+        }
+    }
+}
+
+/// One step of a multi-process schedule: run the *active* process until
+/// its own mark count reaches `at_mark`, then apply `event`.
+///
+/// The schedule is a sequential program, not a globally sorted
+/// timeline: `at_mark` is always relative to whichever process is
+/// active when the step is reached. A process already past `at_mark`
+/// (or halted) just doesn't run further before the event applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiScheduledEvent {
+    /// Run the active process until it has retired this many marks.
+    pub at_mark: u64,
+    /// What happens then.
+    pub event: MultiFuzzEvent,
+}
+
+impl fmt::Display for MultiScheduledEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.event, self.at_mark)
+    }
+}
+
+/// A multi-process fuzz case: 2–4 per-process programs (each a
+/// schedule-less [`FuzzCase`] sharing one virtual layout recipe, so
+/// their address spaces deliberately alias), an optional shared-GOT
+/// pair, and a cross-process event schedule.
+///
+/// Like [`FuzzCase`], everything is explicit plain data so
+/// [`shrink_multi_case`] can edit and rebuild it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiFuzzCase {
+    /// The generating seed (reporting only).
+    pub seed: u64,
+    /// Per-process programs; `schedule` fields are empty (events live
+    /// in [`MultiFuzzCase::schedule`]).
+    pub procs: Vec<FuzzCase>,
+    /// Two process indices modelled as mapping one physical GOT page:
+    /// structurally identical programs whose GOT bytes are mirrored
+    /// from the departing process to its partner at every switch.
+    pub shared_got_pair: Option<(usize, usize)>,
+    /// The sequential cross-process schedule.
+    pub schedule: Vec<MultiScheduledEvent>,
+}
+
+impl MultiFuzzCase {
+    /// Derives a complete multi-process case from `seed`.
+    ///
+    /// Each process's program comes from the same generator as
+    /// single-process cases (so the per-process state machines are the
+    /// ones already known to difftest cleanly); with probability 2/3
+    /// processes 0 and 1 become a shared-GOT pair — process 1 is a
+    /// structural clone of process 0 (identical module shapes, hence
+    /// identical loader layout and full virtual-address aliasing)
+    /// differing only in its library deltas and iteration count.
+    pub fn generate(seed: u64) -> MultiFuzzCase {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x6d75_6c74_6900_0000);
+        let n_procs = rng.gen_index(2..5);
+        let mut procs: Vec<FuzzCase> = (0..n_procs)
+            .map(|i| FuzzCase::generate_program(seed, &mut rng.derive(i as u64 + 1)))
+            .collect();
+
+        let shared_got_pair = if rng.gen_ratio(2, 3) {
+            let mut clone = procs[0].clone();
+            clone.lib_delta = (0..clone.n_libs()).map(|_| rng.gen_range(1..100)).collect();
+            clone.iterations = rng.gen_range(4..20);
+            procs[1] = clone;
+            Some((0, 1))
+        } else {
+            None
+        };
+
+        // A sequential schedule, switch-heavy by construction. Each
+        // process's `at_mark` floor only moves forward so every event
+        // lands at or after the previous one for that process.
+        let n_events = rng.gen_index(2..9);
+        let mut sim_active = 0usize;
+        let mut next_mark: Vec<u64> = vec![1; n_procs];
+        let mut schedule: Vec<MultiScheduledEvent> = Vec::with_capacity(n_events + 1);
+        let mut have_switch = false;
+        for _ in 0..n_events {
+            let p = &procs[sim_active];
+            let at_mark = (next_mark[sim_active] + rng.gen_range(0..3)).min(p.iterations);
+            next_mark[sim_active] = at_mark;
+            let kind = rng.gen_index(0..9);
+            let event = match kind {
+                0..=4 => {
+                    let mut to = rng.gen_index(0..n_procs - 1);
+                    if to >= sim_active {
+                        to += 1; // any process except the active one
+                    }
+                    sim_active = to;
+                    have_switch = true;
+                    MultiFuzzEvent::Switch { to }
+                }
+                5 => MultiFuzzEvent::AbtbInvalidate,
+                6 | 7 => MultiFuzzEvent::Unbind {
+                    lib: rng.gen_index(0..p.n_libs()),
+                },
+                _ if p.shadow => MultiFuzzEvent::Rebind {
+                    lib: rng.gen_index(0..p.n_libs()),
+                },
+                _ => MultiFuzzEvent::Unbind {
+                    lib: rng.gen_index(0..p.n_libs()),
+                },
+            };
+            schedule.push(MultiScheduledEvent { at_mark, event });
+        }
+        if !have_switch {
+            // A multi-process case without a switch tests nothing new.
+            schedule.push(MultiScheduledEvent {
+                at_mark: next_mark[sim_active],
+                event: MultiFuzzEvent::Switch {
+                    to: (sim_active + 1) % n_procs,
+                },
+            });
+        }
+
+        MultiFuzzCase {
+            seed,
+            procs,
+            shared_got_pair,
+            schedule,
+        }
+    }
+
+    /// Whether `event` does anything when process `active` is running —
+    /// the shared validity rule both the oracle driver and the system
+    /// driver apply, so invalid events (e.g. after shrinking removed a
+    /// process) are identical no-ops on both sides.
+    pub fn applicable(&self, active: usize, event: &MultiFuzzEvent) -> bool {
+        let p = &self.procs[active];
+        match *event {
+            MultiFuzzEvent::Switch { to } => to != active && to < self.procs.len(),
+            MultiFuzzEvent::AbtbInvalidate => true,
+            MultiFuzzEvent::Unbind { lib } => lib < p.n_libs(),
+            MultiFuzzEvent::Rebind { lib } => p.shadow && lib < p.n_libs(),
+        }
+    }
+}
+
+impl fmt::Display for MultiFuzzCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "multi seed={} procs={} pair={:?}",
+            self.seed,
+            self.procs.len(),
+            self.shared_got_pair
+        )?;
+        for (i, p) in self.procs.iter().enumerate() {
+            writeln!(f, "  proc{i}: {p}")?;
+        }
+        write!(f, "  schedule=[")?;
+        for (i, ev) in self.schedule.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{ev}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Shrinks a failing multi-process case: delta-debugs the schedule,
+/// drops trailing processes (rewriting the pair and pruning switches to
+/// removed indices), dissolves the shared-GOT pair, reduces each
+/// process's iteration count, and delta-debugs non-pair call lists.
+/// `fails` must return `true` while the case still reproduces.
+pub fn shrink_multi_case<F: FnMut(&MultiFuzzCase) -> bool>(
+    case: &MultiFuzzCase,
+    mut fails: F,
+) -> MultiFuzzCase {
+    let mut best = case.clone();
+    let mut mz = Minimizer::new();
+
+    let base = best.clone();
+    best.schedule = mz.minimize(&base.schedule, |s| {
+        let mut c = base.clone();
+        c.schedule = s.to_vec();
+        fails(&c)
+    });
+
+    // Drop trailing processes while the failure survives. Only the last
+    // process is ever removed so surviving indices never shift.
+    while best.procs.len() > 1 {
+        let last = best.procs.len() - 1;
+        let mut c = best.clone();
+        c.procs.pop();
+        c.schedule
+            .retain(|ev| !matches!(ev.event, MultiFuzzEvent::Switch { to } if to >= last));
+        if let Some((a, b)) = c.shared_got_pair {
+            if a >= last || b >= last {
+                c.shared_got_pair = None;
+            }
+        }
+        if fails(&c) {
+            best = c;
+        } else {
+            break;
+        }
+    }
+
+    if best.shared_got_pair.is_some() {
+        let mut c = best.clone();
+        c.shared_got_pair = None;
+        if fails(&c) {
+            best = c;
+        }
+    }
+
+    for i in 0..best.procs.len() {
+        while best.procs[i].iterations > 1 {
+            let halved = best.procs[i].iterations / 2;
+            let decremented = best.procs[i].iterations - 1;
+            let mut reduced = false;
+            for cand in [halved, decremented] {
+                if cand == 0 || cand >= best.procs[i].iterations {
+                    continue;
+                }
+                let mut c = best.clone();
+                c.procs[i].iterations = cand;
+                if fails(&c) {
+                    best = c;
+                    reduced = true;
+                    break;
+                }
+            }
+            if !reduced {
+                break;
+            }
+        }
+    }
+
+    let in_pair = |pair: Option<(usize, usize)>, i: usize| {
+        pair.map(|(a, b)| i == a || i == b).unwrap_or(false)
+    };
+    for i in 0..best.procs.len() {
+        if in_pair(best.shared_got_pair, i) {
+            continue; // pair members must stay structurally identical
+        }
+        let base = best.clone();
+        let shrunk_calls = mz.minimize(&base.procs[i].calls, |cs| {
+            if cs.is_empty() {
+                return false; // a process must call something
+            }
+            let mut c = base.clone();
+            c.procs[i].calls = cs.to_vec();
+            fails(&c)
+        });
+        best.procs[i].calls = shrunk_calls;
+    }
+
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,5 +803,128 @@ mod tests {
         let shrunk = shrink_case(&case, |c| !c.calls.is_empty());
         assert!(!shrunk.shadow);
         assert!(!shrunk.use_ifunc);
+    }
+
+    #[test]
+    fn multi_generation_is_deterministic() {
+        assert_eq!(MultiFuzzCase::generate(42), MultiFuzzCase::generate(42));
+        assert_eq!(MultiFuzzCase::generate(0), MultiFuzzCase::generate(0));
+    }
+
+    #[test]
+    fn multi_cases_have_2_to_4_procs_and_at_least_one_switch() {
+        for seed in 0..100 {
+            let case = MultiFuzzCase::generate(seed);
+            assert!((2..=4).contains(&case.procs.len()), "seed {seed}");
+            assert!(
+                case.schedule
+                    .iter()
+                    .any(|e| matches!(e.event, MultiFuzzEvent::Switch { .. })),
+                "seed {seed}: no switch event"
+            );
+            for p in &case.procs {
+                assert!(p.schedule.is_empty(), "per-proc schedules must be empty");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_got_pair_members_are_structurally_identical() {
+        let mut saw_pair = false;
+        for seed in 0..50 {
+            let case = MultiFuzzCase::generate(seed);
+            let Some((a, b)) = case.shared_got_pair else {
+                continue;
+            };
+            saw_pair = true;
+            let (pa, pb) = (&case.procs[a], &case.procs[b]);
+            // Identical module *shapes* (so the deterministic loader
+            // produces identical layouts and full VA aliasing); only
+            // data immediates — deltas and the loop bound — may differ.
+            assert_eq!(pa.n_libs(), pb.n_libs(), "seed {seed}");
+            assert_eq!(pa.lib_callee, pb.lib_callee, "seed {seed}");
+            assert_eq!(pa.lib_store, pb.lib_store, "seed {seed}");
+            assert_eq!(pa.shadow, pb.shadow, "seed {seed}");
+            assert_eq!(pa.use_ifunc, pb.use_ifunc, "seed {seed}");
+            assert_eq!(pa.mode, pb.mode, "seed {seed}");
+            assert_eq!(pa.hw_level, pb.hw_level, "seed {seed}");
+            assert_eq!(pa.calls, pb.calls, "seed {seed}");
+            assert_eq!(pa.modules().len(), pb.modules().len(), "seed {seed}");
+        }
+        assert!(saw_pair, "no seed in 0..50 produced a pair");
+    }
+
+    #[test]
+    fn multi_programs_build_and_run_in_the_oracle() {
+        for seed in 0..15 {
+            let case = MultiFuzzCase::generate(seed);
+            for (pi, p) in case.procs.iter().enumerate() {
+                let opts = LinkOptions {
+                    mode: p.mode,
+                    hw_level: p.hw_level,
+                    ..LinkOptions::default()
+                };
+                let mut oracle = Oracle::new(&p.modules(), opts, "main")
+                    .unwrap_or_else(|e| panic!("seed {seed} proc {pi}: {e}"));
+                oracle
+                    .run(2_000_000)
+                    .unwrap_or_else(|e| panic!("seed {seed} proc {pi}: {e}"));
+                assert!(oracle.halted(), "seed {seed} proc {pi} did not halt");
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_multi_reduces_procs_and_schedule() {
+        // Synthetic failure: reproduces iff some switch event survives
+        // and at least two processes remain. The switch targets process
+        // 1, so every trailing process above it is droppable.
+        let mut case = MultiFuzzCase::generate(7);
+        assert!(case.procs.len() > 2, "need trailing procs to drop");
+        case.schedule = vec![
+            MultiScheduledEvent {
+                at_mark: 1,
+                event: MultiFuzzEvent::Switch { to: 1 },
+            },
+            MultiScheduledEvent {
+                at_mark: 1,
+                event: MultiFuzzEvent::AbtbInvalidate,
+            },
+            MultiScheduledEvent {
+                at_mark: 2,
+                event: MultiFuzzEvent::Switch {
+                    to: case.procs.len() - 1,
+                },
+            },
+        ];
+        let fails = |c: &MultiFuzzCase| {
+            c.procs.len() >= 2
+                && c.schedule
+                    .iter()
+                    .any(|e| matches!(e.event, MultiFuzzEvent::Switch { to: 1 }))
+        };
+        let shrunk = shrink_multi_case(&case, fails);
+        assert!(fails(&shrunk));
+        assert_eq!(shrunk.procs.len(), 2, "{shrunk}");
+        assert_eq!(shrunk.schedule.len(), 1, "{shrunk}");
+        assert!(shrunk.procs.len() <= case.procs.len());
+        assert!(shrunk.schedule.len() <= case.schedule.len());
+    }
+
+    #[test]
+    fn applicable_rejects_out_of_range_events() {
+        let case = MultiFuzzCase::generate(1);
+        let n = case.procs.len();
+        assert!(!case.applicable(0, &MultiFuzzEvent::Switch { to: 0 }));
+        assert!(!case.applicable(0, &MultiFuzzEvent::Switch { to: n }));
+        assert!(case.applicable(0, &MultiFuzzEvent::Switch { to: 1 }));
+        assert!(case.applicable(0, &MultiFuzzEvent::AbtbInvalidate));
+        assert!(!case.applicable(0, &MultiFuzzEvent::Unbind { lib: 99 }));
+        assert!(!case.applicable(
+            0,
+            &MultiFuzzEvent::Rebind {
+                lib: case.procs[0].n_libs()
+            }
+        ));
     }
 }

@@ -2,11 +2,16 @@
 //! software-invalidate contract, fault-injection detection, shrinking,
 //! and `--jobs` determinism of the difftest report.
 
-use dynlink_bench::difftest::{check_case, run_difftest, Injection};
+use dynlink_bench::difftest::{
+    check_case, check_multi_case, run_difftest, run_multi_difftest, Injection,
+};
 use dynlink_core::{LinkAccel, LinkMode, System, SystemBuilder};
 use dynlink_isa::Reg;
 use dynlink_repro::{adder_library, calling_app};
-use dynlink_workloads::fuzz::{shrink_case, FuzzCase, FuzzEvent, ScheduledEvent};
+use dynlink_workloads::fuzz::{
+    shrink_case, shrink_multi_case, FuzzCase, FuzzEvent, MultiFuzzCase, MultiFuzzEvent,
+    MultiScheduledEvent, ScheduledEvent,
+};
 
 /// An app calling `inc` ten times, bound to `libinc` (+1 per call),
 /// with a `shadow` provider (+5 per call) loaded last, on a machine
@@ -165,6 +170,147 @@ fn injected_bug_is_found_and_shrunk_to_a_smaller_case() {
     // And the clean runtime still passes the minimal case — the
     // failure is the injection, not the program.
     assert!(check_case(&shrunk, Injection::None).failures.is_empty());
+}
+
+/// The minimal §3.3 policy discriminator: a stale ABTB entry created by
+/// a raw (uninvalidated) rebind in process 0, carried *across* a
+/// context switch.
+///
+/// Process 0 trains its ABTB, gets its GOT rebound to the shadow as a
+/// raw write at mark 6 — with no instructions run before the switch
+/// away, so the stale entry cannot self-heal — and resumes after
+/// process 1 has run. Under `FlushOnSwitch` the switch itself clears
+/// the stale entry, so even the buggy rewrite is architecturally
+/// invisible; under `AsidTagged` the entry is retained (that is the
+/// policy's whole point) and process 0's remaining calls skip to the
+/// *old* provider.
+///
+/// Process 1 binds eagerly (`DynamicNow`) so its run performs no GOT
+/// stores: a lazy resolution in process 1 would hit the (deliberately
+/// unsalted) Bloom filter on the aliased slot address and heal process
+/// 0's stale entry — the exact over-flush conservatism the satellite
+/// bugfix introduced.
+fn cross_switch_rebind_case() -> MultiFuzzCase {
+    let proc0 = FuzzCase {
+        seed: 0xc0de,
+        mode: LinkMode::DynamicLazy,
+        hw_level: 0,
+        lib_delta: vec![7],
+        lib_callee: vec![None],
+        lib_store: vec![false],
+        shadow: true,
+        use_ifunc: false,
+        iterations: 8,
+        calls: vec![0],
+        schedule: Vec::new(),
+    };
+    let proc1 = FuzzCase {
+        seed: 0xc0de,
+        mode: LinkMode::DynamicNow,
+        hw_level: 0,
+        lib_delta: vec![3],
+        lib_callee: vec![None],
+        lib_store: vec![false],
+        shadow: false,
+        use_ifunc: false,
+        iterations: 4,
+        calls: vec![0],
+        schedule: Vec::new(),
+    };
+    MultiFuzzCase {
+        seed: 0xc0de,
+        procs: vec![proc0, proc1],
+        shared_got_pair: None,
+        schedule: vec![
+            MultiScheduledEvent {
+                at_mark: 6,
+                event: MultiFuzzEvent::Rebind { lib: 0 },
+            },
+            MultiScheduledEvent {
+                at_mark: 6,
+                event: MultiFuzzEvent::Switch { to: 1 },
+            },
+            MultiScheduledEvent {
+                at_mark: 3,
+                event: MultiFuzzEvent::Switch { to: 0 },
+            },
+        ],
+    }
+}
+
+#[test]
+fn stale_entry_across_switch_is_caught_only_under_asid_retention() {
+    let case = cross_switch_rebind_case();
+    let clean = check_multi_case(&case, Injection::None);
+    assert!(
+        clean.failures.is_empty(),
+        "correct runtime entry points must pass under both policies: {:?}",
+        clean.failures
+    );
+
+    let buggy = check_multi_case(&case, Injection::DropInvalidate);
+    assert!(
+        !buggy.failures.is_empty(),
+        "raw cross-switch rebind must be caught"
+    );
+    assert!(
+        buggy.failures.iter().all(|f| f.contains("AsidTagged")),
+        "every failure must be under ASID retention: {:?}",
+        buggy.failures
+    );
+    assert!(
+        buggy
+            .failures
+            .iter()
+            .any(|f| f.contains("architectural divergence")),
+        "expected a per-process divergence, got: {:?}",
+        buggy.failures
+    );
+}
+
+#[test]
+fn injected_multi_bug_is_found_and_shrunk() {
+    let failing = (0..32)
+        .map(MultiFuzzCase::generate)
+        .find(|c| {
+            !check_multi_case(c, Injection::DropInvalidate)
+                .failures
+                .is_empty()
+        })
+        .expect("no seed in 0..32 triggered the injected bug");
+
+    let shrunk = shrink_multi_case(&failing, |c| {
+        !check_multi_case(c, Injection::DropInvalidate)
+            .failures
+            .is_empty()
+    });
+    assert!(
+        !check_multi_case(&shrunk, Injection::DropInvalidate)
+            .failures
+            .is_empty(),
+        "shrunk case must still reproduce the failure"
+    );
+    assert!(shrunk.procs.len() <= failing.procs.len());
+    assert!(shrunk.schedule.len() <= failing.schedule.len());
+    assert!(
+        check_multi_case(&shrunk, Injection::None)
+            .failures
+            .is_empty(),
+        "the failure is the injection, not the program"
+    );
+}
+
+#[test]
+fn multi_difftest_report_is_identical_across_job_counts() {
+    let serial = run_multi_difftest(40, 12, 1, Injection::None, false);
+    let sharded = run_multi_difftest(40, 12, 4, Injection::None, false);
+    assert_eq!(serial.failures, 0, "{}", serial.output);
+    assert_eq!(
+        serial.output, sharded.output,
+        "report must not depend on --jobs"
+    );
+    assert_eq!(serial.digest, sharded.digest);
+    assert!(serial.output.contains("0 failure(s) across 12 case(s)"));
 }
 
 #[test]
