@@ -1,0 +1,133 @@
+//! `simspeed` — host-side simulator-throughput benchmark.
+//!
+//! ```text
+//! simspeed [--budget N] [--label S] [--out PATH] [--no-record]
+//! simspeed --validate PATH
+//! ```
+//!
+//! Runs the three representative workloads (trampoline-heavy,
+//! data-heavy, switch-heavy) for `--budget` simulated instructions
+//! each, prints the MIPS table, and appends a machine-readable run
+//! record to `--out` (default `BENCH_simspeed.json`). `--validate`
+//! skips the benchmark and only checks a file against the
+//! `dynlink-simspeed/1` schema — the timing-free mode CI uses.
+//! See `docs/PERF.md` for the methodology.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dynlink_bench::simspeed::{
+    append_record, measure_all, render_table, run_mips, validate, RunRecord,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: simspeed [--budget N] [--label S] [--out PATH] [--no-record]\n\
+                simspeed --validate PATH"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut budget = 16_000_000u64;
+    let mut label = String::from("dev");
+    let mut out = PathBuf::from("BENCH_simspeed.json");
+    let mut record = true;
+    let mut validate_path: Option<PathBuf> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--budget" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(b) if b >= 1 => budget = b,
+                    _ => return usage(),
+                }
+            }
+            "--label" => {
+                i += 1;
+                match args.get(i) {
+                    Some(l) if !l.is_empty() => label = l.clone(),
+                    _ => return usage(),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = PathBuf::from(p),
+                    None => return usage(),
+                }
+            }
+            "--no-record" => record = false,
+            "--validate" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => validate_path = Some(PathBuf::from(p)),
+                    None => return usage(),
+                }
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = validate_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("simspeed: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate(&text) {
+            Ok(runs) => {
+                println!(
+                    "{}: valid dynlink-simspeed/1 document, {} run(s)",
+                    path.display(),
+                    runs.len()
+                );
+                for run in &runs {
+                    if let Some(mips) = run_mips(run, "trampoline-heavy") {
+                        if mips <= 0.0 {
+                            eprintln!("simspeed: non-positive trampoline-heavy MIPS");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("simspeed: {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let run = RunRecord {
+        label,
+        budget,
+        workloads: measure_all(budget),
+    };
+    print!("{}", render_table(&run));
+
+    if record {
+        match append_record(&out, &run) {
+            Ok(count) => println!(
+                "recorded run {count} as `{}` in {}",
+                run.label,
+                out.display()
+            ),
+            Err(e) => {
+                eprintln!("simspeed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -39,6 +39,11 @@
 //! binary) fuzzes random programs and event schedules against the
 //! golden `dynlink-oracle` interpreter under every accelerator mode,
 //! with fault injection and automatic shrinking — see `docs/TESTING.md`.
+//!
+//! Simulator speed: [`simspeed`] (driven by the `simspeed` binary)
+//! measures host-side simulated-MIPS on representative workloads and
+//! appends the trajectory to `BENCH_simspeed.json` — see
+//! `docs/PERF.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +53,7 @@ pub mod experiments;
 pub mod memsave;
 pub mod registry;
 pub mod runner;
+pub mod simspeed;
 pub mod stopwatch;
 
 pub use experiments::{collect, collect_all, collect_all_jobs, Scale, WorkloadDataset};

@@ -1,0 +1,503 @@
+//! Sim-speed (simulated-MIPS) benchmark: how fast does the *simulator*
+//! run, in millions of simulated instructions per host second?
+//!
+//! Everything else in this crate measures the *simulated* machine
+//! (cycles, misses, trampolines). This module measures the simulator
+//! itself, because wall-clock throughput is what bounds difftest depth,
+//! fuzz case counts and experiment sweeps. Three representative
+//! workloads cover the hot paths:
+//!
+//! * **trampoline-heavy** — the paper's §2 shape: a tight library-call
+//!   loop through a PLT trampoline and a GOT load, on the baseline
+//!   machine so every trampoline executes. Stresses instruction
+//!   dispatch and the memory-indirect jump path.
+//! * **data-heavy** — a load/store sweep over a 64 KiB buffer.
+//!   Stresses the `AddressSpace` data fast paths.
+//! * **switch-heavy** — two processes running the trampoline loop,
+//!   swapped every 64 instructions. Stresses `swap_process` and
+//!   decode-cache retention across context switches.
+//!
+//! Results are appended to `BENCH_simspeed.json` (a JSON array of run
+//! records, schema `dynlink-simspeed/1`) so the performance trajectory
+//! is tracked in-repo across PRs. Wall-clock numbers are only
+//! meaningful on the machine that produced them; CI therefore runs the
+//! benchmark with a tiny budget and validates the schema, never a
+//! timing threshold — see `docs/PERF.md`.
+
+use std::time::Instant;
+
+use dynlink_cpu::{Machine, MachineConfig, ProcessContext};
+use dynlink_isa::{Cond, Inst, MemRef, Operand, Reg, VirtAddr};
+use dynlink_mem::{AddressSpace, Perms};
+
+pub mod json;
+
+const TEXT: u64 = 0x40_0000;
+const PLT: u64 = 0x41_0000;
+const GOT: u64 = 0x60_0000;
+const FUNC: u64 = 0x7f_0000;
+const BUF: u64 = 0x80_0000;
+const STACK_TOP: u64 = 0x100_0000;
+
+/// The schema tag written into every run record.
+pub const SCHEMA: &str = "dynlink-simspeed/1";
+
+/// One timed workload result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload name (stable identifier, e.g. `trampoline-heavy`).
+    pub name: &'static str,
+    /// Simulated instructions retired during the timed run.
+    pub instructions: u64,
+    /// Host wall-clock nanoseconds for the timed run.
+    pub nanos: u128,
+}
+
+impl Measurement {
+    /// Millions of simulated instructions per host second.
+    pub fn mips(&self) -> f64 {
+        if self.nanos == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 * 1e3 / self.nanos as f64
+    }
+}
+
+/// A complete benchmark run: one measurement per workload.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Free-form label distinguishing the code state measured (e.g.
+    /// `pr4-baseline`, `pr4-predecoded`).
+    pub label: String,
+    /// Instruction budget each workload executed.
+    pub budget: u64,
+    /// Per-workload measurements.
+    pub workloads: Vec<Measurement>,
+}
+
+/// Stable list of workload names, in report order.
+pub const WORKLOADS: [&str; 3] = ["trampoline-heavy", "data-heavy", "switch-heavy"];
+
+fn place(s: &mut AddressSpace, at: VirtAddr, insts: &[Inst]) {
+    let mut cursor = at;
+    for &i in insts {
+        s.place_code(cursor, i)
+            .expect("benchmark program placement");
+        cursor += i.encoded_len();
+    }
+}
+
+/// Builds the canonical dynamic-linking loop (call → PLT trampoline →
+/// GOT load → library function → return) in `s`, iterating practically
+/// forever so runs are bounded by the instruction budget alone.
+fn build_trampoline_program(s: &mut AddressSpace) {
+    s.map_code_region(VirtAddr::new(TEXT), 0x1000, Perms::RX)
+        .unwrap();
+    s.map_code_region(VirtAddr::new(PLT), 0x1000, Perms::RX)
+        .unwrap();
+    s.map_region(VirtAddr::new(GOT), 0x1000, Perms::RW).unwrap();
+    s.map_code_region(VirtAddr::new(FUNC), 0x1000, Perms::RX)
+        .unwrap();
+    let plt0 = VirtAddr::new(PLT);
+    let got0 = VirtAddr::new(GOT + 16);
+    let func = VirtAddr::new(FUNC);
+    let i0 = Inst::mov_imm(Reg::R2, u64::MAX);
+    let loop_pc = VirtAddr::new(TEXT) + i0.encoded_len();
+    place(
+        s,
+        VirtAddr::new(TEXT),
+        &[
+            i0,
+            Inst::CallDirect { target: plt0 },
+            Inst::sub_imm(Reg::R2, 1),
+            Inst::BranchCond {
+                cond: Cond::Ne,
+                lhs: Reg::R2,
+                rhs: Operand::Imm(0),
+                target: loop_pc,
+            },
+            Inst::Halt,
+        ],
+    );
+    place(
+        s,
+        plt0,
+        &[Inst::JmpIndirectMem {
+            mem: MemRef::Abs(got0),
+        }],
+    );
+    s.write_u64(got0, func.as_u64()).unwrap();
+    place(s, func, &[Inst::add_imm(Reg::R0, 1), Inst::Ret]);
+}
+
+fn trampoline_machine(asid: u64) -> Machine {
+    let mut s = AddressSpace::new(asid);
+    build_trampoline_program(&mut s);
+    let mut m = Machine::new(MachineConfig::baseline(), s);
+    m.init_stack(VirtAddr::new(STACK_TOP), 0x10000).unwrap();
+    m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
+    m.reset(VirtAddr::new(TEXT));
+    m
+}
+
+fn run_trampoline_heavy(budget: u64) -> u64 {
+    let mut m = trampoline_machine(1);
+    m.run(budget).expect("trampoline workload");
+    m.counters().instructions
+}
+
+/// A load/store sweep: two stores and two loads per iteration walking a
+/// 64 KiB buffer with wraparound, exercising the single-page data fast
+/// paths (the §2 GOT-slot access pattern, scaled up).
+fn run_data_heavy(budget: u64) -> u64 {
+    let mut s = AddressSpace::new(1);
+    s.map_code_region(VirtAddr::new(TEXT), 0x1000, Perms::RX)
+        .unwrap();
+    s.map_region(VirtAddr::new(BUF), 0x10000, Perms::RW)
+        .unwrap();
+    let i0 = Inst::mov_imm(Reg::R1, BUF);
+    let i1 = Inst::mov_imm(Reg::R5, 0);
+    let i2 = Inst::mov_imm(Reg::R2, u64::MAX);
+    let loop_pc = VirtAddr::new(TEXT) + i0.encoded_len() + i1.encoded_len() + i2.encoded_len();
+    let slot = |disp: i64| MemRef::BaseIndexDisp {
+        base: Reg::R1,
+        index: Reg::R5,
+        scale: 1,
+        disp,
+    };
+    place(
+        &mut s,
+        VirtAddr::new(TEXT),
+        &[
+            i0,
+            i1,
+            i2,
+            Inst::Store {
+                src: Reg::R0,
+                mem: slot(0),
+            },
+            Inst::Store {
+                src: Reg::R2,
+                mem: slot(8),
+            },
+            Inst::Load {
+                dst: Reg::R3,
+                mem: slot(0),
+            },
+            Inst::Load {
+                dst: Reg::R4,
+                mem: slot(8),
+            },
+            Inst::add_imm(Reg::R5, 16),
+            Inst::Alu {
+                op: dynlink_isa::AluOp::And,
+                dst: Reg::R5,
+                src: Operand::Imm(0xFFF0),
+            },
+            Inst::sub_imm(Reg::R2, 1),
+            Inst::BranchCond {
+                cond: Cond::Ne,
+                lhs: Reg::R2,
+                rhs: Operand::Imm(0),
+                target: loop_pc,
+            },
+            Inst::Halt,
+        ],
+    );
+    let mut m = Machine::new(MachineConfig::baseline(), s);
+    m.init_stack(VirtAddr::new(STACK_TOP), 0x10000).unwrap();
+    m.reset(VirtAddr::new(TEXT));
+    m.run(budget).expect("data workload");
+    m.counters().instructions
+}
+
+/// Two trampoline-loop processes multiplexed on one machine, swapped
+/// every 64 instructions: the §3.3 context-switch shape, dominated by
+/// `swap_process` cost when timeslices are this short.
+fn run_switch_heavy(budget: u64) -> u64 {
+    const SLICE: u64 = 64;
+    let mut m = Machine::new(MachineConfig::baseline(), AddressSpace::new(0));
+    m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
+    let mut procs: Vec<ProcessContext> = (1..=2)
+        .map(|asid| {
+            let mut s = AddressSpace::new(asid);
+            build_trampoline_program(&mut s);
+            ProcessContext::new(s, VirtAddr::new(TEXT), VirtAddr::new(STACK_TOP), 0x10000).unwrap()
+        })
+        .collect();
+    let mut current = 0usize;
+    m.swap_process(&mut procs[current]);
+    while m.counters().instructions < budget {
+        let left = budget - m.counters().instructions;
+        m.run(SLICE.min(left)).expect("switch workload");
+        m.swap_process(&mut procs[current]);
+        current ^= 1;
+        m.swap_process(&mut procs[current]);
+    }
+    m.counters().instructions
+}
+
+fn run_workload(name: &str, budget: u64) -> u64 {
+    match name {
+        "trampoline-heavy" => run_trampoline_heavy(budget),
+        "data-heavy" => run_data_heavy(budget),
+        "switch-heavy" => run_switch_heavy(budget),
+        other => panic!("unknown simspeed workload `{other}`"),
+    }
+}
+
+/// Runs every workload for `budget` simulated instructions (after an
+/// untimed warmup at one eighth of the budget) and returns the timed
+/// measurements, in [`WORKLOADS`] order.
+pub fn measure_all(budget: u64) -> Vec<Measurement> {
+    WORKLOADS
+        .iter()
+        .map(|&name| {
+            run_workload(name, (budget / 8).max(1));
+            let start = Instant::now();
+            let instructions = run_workload(name, budget);
+            let nanos = start.elapsed().as_nanos();
+            Measurement {
+                name: match name {
+                    "trampoline-heavy" => "trampoline-heavy",
+                    "data-heavy" => "data-heavy",
+                    _ => "switch-heavy",
+                },
+                instructions,
+                nanos,
+            }
+        })
+        .collect()
+}
+
+/// Renders the fixed-layout result table. Workload order and the
+/// instruction column are deterministic; the timing columns are
+/// host-dependent by nature.
+pub fn render_table(record: &RunRecord) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "sim-speed `{}` (budget {} instructions per workload)\n",
+        record.label, record.budget
+    ));
+    out.push_str(&format!(
+        "  {:<20} {:>14} {:>12} {:>10}\n",
+        "workload", "instructions", "millis", "MIPS"
+    ));
+    for m in &record.workloads {
+        out.push_str(&format!(
+            "  {:<20} {:>14} {:>12.2} {:>10.2}\n",
+            m.name,
+            m.instructions,
+            m.nanos as f64 / 1e6,
+            m.mips()
+        ));
+    }
+    out
+}
+
+/// Serializes a run record as a `dynlink-simspeed/1` JSON object.
+pub fn record_to_json(record: &RunRecord) -> json::Value {
+    let workloads = record
+        .workloads
+        .iter()
+        .map(|m| {
+            json::Value::Object(vec![
+                ("name".into(), json::Value::String(m.name.into())),
+                (
+                    "instructions".into(),
+                    json::Value::Number(m.instructions as f64),
+                ),
+                ("nanos".into(), json::Value::Number(m.nanos as f64)),
+                ("mips".into(), json::Value::Number(m.mips())),
+            ])
+        })
+        .collect();
+    json::Value::Object(vec![
+        ("schema".into(), json::Value::String(SCHEMA.into())),
+        ("label".into(), json::Value::String(record.label.clone())),
+        ("budget".into(), json::Value::Number(record.budget as f64)),
+        ("workloads".into(), json::Value::Array(workloads)),
+    ])
+}
+
+/// Appends `record` to the JSON array in `path` (creating the file as a
+/// one-element array if absent) and returns the new run count.
+///
+/// # Errors
+///
+/// Returns a message if the existing file fails to parse or validate,
+/// or on I/O failure.
+pub fn append_record(path: &std::path::Path, record: &RunRecord) -> Result<usize, String> {
+    let mut runs = match std::fs::read_to_string(path) {
+        Ok(text) => match validate(&text) {
+            Ok(v) => v,
+            Err(e) => return Err(format!("{}: existing file invalid: {e}", path.display())),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    runs.push(record_to_json(record));
+    let text = json::Value::Array(runs.clone()).pretty();
+    std::fs::write(path, text + "\n").map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(runs.len())
+}
+
+/// Parses `text` and checks it against the `dynlink-simspeed/1` schema:
+/// a JSON array of run objects, each with a `schema` tag, a `label`, a
+/// positive `budget` and a non-empty `workloads` array of
+/// `{name, instructions, nanos, mips}` objects. Returns the run values.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn validate(text: &str) -> Result<Vec<json::Value>, String> {
+    let value = json::parse(text)?;
+    let json::Value::Array(runs) = value else {
+        return Err("top level is not a JSON array".into());
+    };
+    for (i, run) in runs.iter().enumerate() {
+        let json::Value::Object(fields) = run else {
+            return Err(format!("run {i}: not an object"));
+        };
+        let get = |key: &str| -> Option<&json::Value> {
+            fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        };
+        match get("schema") {
+            Some(json::Value::String(s)) if s == SCHEMA => {}
+            _ => return Err(format!("run {i}: missing or wrong `schema` tag")),
+        }
+        match get("label") {
+            Some(json::Value::String(s)) if !s.is_empty() => {}
+            _ => return Err(format!("run {i}: missing `label`")),
+        }
+        match get("budget") {
+            Some(json::Value::Number(n)) if *n > 0.0 => {}
+            _ => return Err(format!("run {i}: missing positive `budget`")),
+        }
+        let Some(json::Value::Array(workloads)) = get("workloads") else {
+            return Err(format!("run {i}: missing `workloads` array"));
+        };
+        if workloads.is_empty() {
+            return Err(format!("run {i}: empty `workloads`"));
+        }
+        for (j, w) in workloads.iter().enumerate() {
+            let json::Value::Object(wf) = w else {
+                return Err(format!("run {i} workload {j}: not an object"));
+            };
+            let wget = |key: &str| -> Option<&json::Value> {
+                wf.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            };
+            match wget("name") {
+                Some(json::Value::String(s)) if !s.is_empty() => {}
+                _ => return Err(format!("run {i} workload {j}: missing `name`")),
+            }
+            for key in ["instructions", "nanos", "mips"] {
+                match wget(key) {
+                    Some(json::Value::Number(n)) if *n >= 0.0 => {}
+                    _ => return Err(format!("run {i} workload {j}: missing numeric `{key}`")),
+                }
+            }
+        }
+    }
+    Ok(runs)
+}
+
+/// Extracts the MIPS figure for `workload` from a validated run value,
+/// if present (used by the trajectory summary and tests).
+pub fn run_mips(run: &json::Value, workload: &str) -> Option<f64> {
+    let json::Value::Object(fields) = run else {
+        return None;
+    };
+    let (_, json::Value::Array(workloads)) = fields.iter().find(|(k, _)| k == "workloads")? else {
+        return None;
+    };
+    for w in workloads {
+        let json::Value::Object(wf) = w else { continue };
+        let name_ok = wf
+            .iter()
+            .any(|(k, v)| k == "name" && matches!(v, json::Value::String(s) if s == workload));
+        if name_ok {
+            if let Some((_, json::Value::Number(n))) = wf.iter().find(|(k, _)| k == "mips") {
+                return Some(*n);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_execute_their_budget() {
+        for name in WORKLOADS {
+            let executed = run_workload(name, 20_000);
+            assert!(
+                executed >= 20_000,
+                "{name}: executed only {executed} of 20000"
+            );
+            // The switch-heavy slice granularity may run a hair over.
+            assert!(executed < 21_000, "{name}: ran far past budget");
+        }
+    }
+
+    #[test]
+    fn measurements_report_positive_mips() {
+        let ms = measure_all(10_000);
+        assert_eq!(ms.len(), WORKLOADS.len());
+        for m in &ms {
+            assert!(m.mips() > 0.0, "{}: zero MIPS", m.name);
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_schema_validation() {
+        let record = RunRecord {
+            label: "test".into(),
+            budget: 10_000,
+            workloads: measure_all(10_000),
+        };
+        let text = json::Value::Array(vec![record_to_json(&record)]).pretty();
+        let runs = validate(&text).expect("self-produced record validates");
+        assert_eq!(runs.len(), 1);
+        assert!(run_mips(&runs[0], "trampoline-heavy").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn append_grows_the_array() {
+        let dir = std::env::temp_dir().join(format!("simspeed-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+        let record = RunRecord {
+            label: "a".into(),
+            budget: 1,
+            workloads: vec![Measurement {
+                name: "trampoline-heavy",
+                instructions: 1,
+                nanos: 1,
+            }],
+        };
+        assert_eq!(append_record(&path, &record).unwrap(), 1);
+        assert_eq!(append_record(&path, &record).unwrap(), 2);
+        let runs = validate(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(runs.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        assert!(validate("{}").is_err(), "object top level");
+        assert!(validate("[1]").is_err(), "non-object run");
+        assert!(
+            validate("[{\"schema\": \"wrong/9\"}]").is_err(),
+            "wrong schema tag"
+        );
+        let missing_mips = format!(
+            "[{{\"schema\": \"{SCHEMA}\", \"label\": \"x\", \"budget\": 5, \
+             \"workloads\": [{{\"name\": \"t\", \"instructions\": 1, \"nanos\": 1}}]}}]"
+        );
+        assert!(validate(&missing_mips).is_err(), "workload missing mips");
+    }
+}
