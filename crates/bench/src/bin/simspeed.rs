@@ -1,17 +1,18 @@
 //! `simspeed` — host-side simulator-throughput benchmark.
 //!
 //! ```text
-//! simspeed [--budget N] [--label S] [--out PATH] [--no-record]
+//! simspeed [--budget N] [--reps N] [--label S] [--out PATH] [--no-record]
 //! simspeed --validate PATH
 //! ```
 //!
 //! Runs the three representative workloads (trampoline-heavy,
 //! data-heavy, switch-heavy) for `--budget` simulated instructions
-//! each, prints the MIPS table, and appends a machine-readable run
-//! record to `--out` (default `BENCH_simspeed.json`). `--validate`
-//! skips the benchmark and only checks a file against the
-//! `dynlink-simspeed/1` schema — the timing-free mode CI uses.
-//! See `docs/PERF.md` for the methodology.
+//! each (best of `--reps` timed repetitions, default 3), prints the
+//! MIPS table, and appends a machine-readable run record to `--out`
+//! (default `BENCH_simspeed.json`). `--validate` skips the benchmark
+//! and only checks a file against the `dynlink-simspeed/1` schema —
+//! the timing-free mode CI uses. See `docs/PERF.md` for the
+//! methodology.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,7 +23,7 @@ use dynlink_bench::simspeed::{
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: simspeed [--budget N] [--label S] [--out PATH] [--no-record]\n\
+        "usage: simspeed [--budget N] [--reps N] [--label S] [--out PATH] [--no-record]\n\
                 simspeed --validate PATH"
     );
     ExitCode::from(2)
@@ -30,6 +31,7 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let mut budget = 16_000_000u64;
+    let mut reps = 3u32;
     let mut label = String::from("dev");
     let mut out = PathBuf::from("BENCH_simspeed.json");
     let mut record = true;
@@ -43,6 +45,13 @@ fn main() -> ExitCode {
                 i += 1;
                 match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
                     Some(b) if b >= 1 => budget = b,
+                    _ => return usage(),
+                }
+            }
+            "--reps" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u32>().ok()) {
+                    Some(r) if r >= 1 => reps = r,
                     _ => return usage(),
                 }
             }
@@ -112,7 +121,7 @@ fn main() -> ExitCode {
     let run = RunRecord {
         label,
         budget,
-        workloads: measure_all(budget),
+        workloads: measure_all(budget, reps),
     };
     print!("{}", render_table(&run));
 

@@ -249,23 +249,35 @@ fn run_workload(name: &str, budget: u64) -> u64 {
 /// Runs every workload for `budget` simulated instructions (after an
 /// untimed warmup at one eighth of the budget) and returns the timed
 /// measurements, in [`WORKLOADS`] order.
-pub fn measure_all(budget: u64) -> Vec<Measurement> {
+///
+/// Each workload is timed `reps` times and the *fastest* repetition is
+/// kept. The workloads are deterministic, so host scheduler preemption
+/// can only add time, never remove it — the minimum is the least-noisy
+/// estimate of true simulator cost on a shared machine (see
+/// `docs/PERF.md`).
+pub fn measure_all(budget: u64, reps: u32) -> Vec<Measurement> {
+    let reps = reps.max(1);
     WORKLOADS
         .iter()
         .map(|&name| {
             run_workload(name, (budget / 8).max(1));
-            let start = Instant::now();
-            let instructions = run_workload(name, budget);
-            let nanos = start.elapsed().as_nanos();
-            Measurement {
-                name: match name {
-                    "trampoline-heavy" => "trampoline-heavy",
-                    "data-heavy" => "data-heavy",
-                    _ => "switch-heavy",
-                },
-                instructions,
-                nanos,
-            }
+            (0..reps)
+                .map(|_| {
+                    let start = Instant::now();
+                    let instructions = run_workload(name, budget);
+                    let nanos = start.elapsed().as_nanos();
+                    Measurement {
+                        name: match name {
+                            "trampoline-heavy" => "trampoline-heavy",
+                            "data-heavy" => "data-heavy",
+                            _ => "switch-heavy",
+                        },
+                        instructions,
+                        nanos,
+                    }
+                })
+                .min_by_key(|m| m.nanos)
+                .expect("at least one repetition")
         })
         .collect()
 }
@@ -444,7 +456,7 @@ mod tests {
 
     #[test]
     fn measurements_report_positive_mips() {
-        let ms = measure_all(10_000);
+        let ms = measure_all(10_000, 2);
         assert_eq!(ms.len(), WORKLOADS.len());
         for m in &ms {
             assert!(m.mips() > 0.0, "{}: zero MIPS", m.name);
@@ -456,7 +468,7 @@ mod tests {
         let record = RunRecord {
             label: "test".into(),
             budget: 10_000,
-            workloads: measure_all(10_000),
+            workloads: measure_all(10_000, 1),
         };
         let text = json::Value::Array(vec![record_to_json(&record)]).pretty();
         let runs = validate(&text).expect("self-produced record validates");

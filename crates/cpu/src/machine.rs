@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use dynlink_isa::{Inst, MemRef, Operand, Reg, VirtAddr};
-use dynlink_mem::{AddressSpace, MemError, Perms};
+use dynlink_mem::{AddressSpace, MemError, Perms, PAGE_BYTES};
 use dynlink_uarch::{
     Abtb, BloomFilter, Btb, Cache, DirectionPredictor, FlushCause, PerfCounters,
     ReturnAddressStack, Tlb,
@@ -86,6 +86,33 @@ struct Exec {
     skipped: Option<VirtAddr>,
 }
 
+/// A predecoded slot: the instruction at a byte offset plus its
+/// precomputed PLT membership, or `None` where no instruction starts.
+type PredecodedSlot = Option<(Inst, bool)>;
+
+/// One page worth of predecoded instructions, tagged with everything
+/// that could invalidate it. Purely a simulator speedup: the dense
+/// `slots` array turns the per-instruction decode into an index load,
+/// and each entry carries its precomputed PLT membership so the retire
+/// stage never rescans `plt_ranges` for the common (executed-pc) case.
+struct PredecodedPage {
+    /// Identity of the space the page was decoded from
+    /// ([`AddressSpace::uid`] — never reused across space instances,
+    /// unlike the ASID, which experiments deliberately alias).
+    uid: u64,
+    /// Virtual page number.
+    pn: u64,
+    /// [`AddressSpace::code_version`] at decode time (runtime patches
+    /// bump it, invalidating this page).
+    version: u64,
+    /// `Core::plt_epoch` at decode time (re-declaring PLT ranges
+    /// invalidates the cached `in_plt` flags).
+    plt_epoch: u64,
+    /// One slot per byte offset: `Some((inst, in_plt))` where an
+    /// instruction was placed at decode time, `None` elsewhere.
+    slots: Box<[PredecodedSlot]>,
+}
+
 /// All simulation state except host callbacks and observers (split out
 /// so host callbacks can borrow it mutably while the callback table is
 /// held by [`Machine`]).
@@ -108,12 +135,22 @@ pub(crate) struct Core {
     pub(crate) counters: PerfCounters,
     cycle_millis: u64,
     breakdown_millis: [u64; 7],
-    /// Decoded-instruction cache: pc -> instruction, invalidated when
-    /// the address space's code version changes (runtime patching).
-    /// Purely a simulator speedup; no architectural effect.
-    decoded: HashMap<u64, Inst>,
-    decoded_version: u64,
+    /// Predecoded-page arena (see `Core::fetch_decoded`): per-page dense
+    /// decode caches, looked up through `page_index` and fronted by
+    /// `last_page`. Purely a simulator speedup; no architectural effect.
+    predecoded: Vec<PredecodedPage>,
+    /// `(space uid, page number)` -> index into `predecoded`.
+    page_index: HashMap<(u64, u64), usize>,
+    /// Arena index of the most recently fetched page (`usize::MAX`
+    /// before anything is cached): straight-line code revalidates with
+    /// four compares and zero hash lookups.
+    last_page: usize,
+    /// Bumped by [`Machine::set_plt_ranges`]; predecoded pages carry the
+    /// epoch their `in_plt` flags were computed under.
+    plt_epoch: u64,
     pending: Option<Pending>,
+    /// Sorted, non-overlapping, non-empty — normalized by
+    /// [`Machine::set_plt_ranges`] so `is_plt` can binary-search.
     plt_ranges: Vec<(VirtAddr, VirtAddr)>,
     marks: Vec<MarkEvent>,
 }
@@ -139,8 +176,10 @@ impl Core {
             counters: PerfCounters::default(),
             cycle_millis: 0,
             breakdown_millis: [0; 7],
-            decoded: HashMap::new(),
-            decoded_version: 0,
+            predecoded: Vec::new(),
+            page_index: HashMap::new(),
+            last_page: usize::MAX,
+            plt_epoch: 0,
             pending: None,
             plt_ranges: Vec::new(),
             marks: Vec::new(),
@@ -168,10 +207,100 @@ impl Core {
         self.cycle_millis / 1000
     }
 
+    /// PLT membership via binary search over the sorted, disjoint
+    /// ranges normalized by [`Machine::set_plt_ranges`]. The hot path
+    /// (retired pcs) answers this from the predecoded slot instead;
+    /// this is the fallback for addresses outside predecoded pages
+    /// (e.g. skipped-trampoline targets) and for page predecode itself.
     fn is_plt(&self, addr: VirtAddr) -> bool {
-        self.plt_ranges
-            .iter()
-            .any(|&(start, end)| addr >= start && addr < end)
+        let i = self.plt_ranges.partition_point(|&(start, _)| start <= addr);
+        i > 0 && addr < self.plt_ranges[i - 1].1
+    }
+
+    /// Decodes the instruction at `pc` — plus its precomputed PLT flag —
+    /// through the predecoded-page arena.
+    ///
+    /// Fast path: `pc` lands on the same page as the previous fetch and
+    /// the page's tags are still current, so the answer is one bounds-
+    /// checked index away. Slow path: consult `page_index`, rebuilding
+    /// or creating the page as needed.
+    #[inline]
+    fn fetch_decoded(&mut self, pc: VirtAddr) -> Result<(Inst, bool), MemError> {
+        let pn = pc.page_number(PAGE_BYTES);
+        let off = pc.page_offset(PAGE_BYTES) as usize;
+        let uid = self.space.uid();
+        let version = self.space.code_version();
+        let idx = match self.predecoded.get(self.last_page) {
+            Some(p)
+                if p.pn == pn
+                    && p.uid == uid
+                    && p.version == version
+                    && p.plt_epoch == self.plt_epoch =>
+            {
+                self.last_page
+            }
+            _ => self.locate_page(uid, pn, version, pc)?,
+        };
+        self.last_page = idx;
+        if let Some(entry) = self.predecoded[idx].slots[off] {
+            return Ok(entry);
+        }
+        // No instruction here at predecode time. `place_code` may have
+        // added one since (it deliberately does not bump
+        // `code_version`), so fall back to a direct fetch — whose
+        // errors, including `NoInstruction`, are exactly what the
+        // uncached path reports — and backfill the slot on success.
+        let inst = self.space.fetch_code(pc)?;
+        let in_plt = self.is_plt(pc);
+        self.predecoded[idx].slots[off] = Some((inst, in_plt));
+        Ok((inst, in_plt))
+    }
+
+    /// Slow path of [`Core::fetch_decoded`]: find the arena page for
+    /// `(uid, pn)`, refreshing a stale one in place, or decode and
+    /// insert a new page.
+    fn locate_page(
+        &mut self,
+        uid: u64,
+        pn: u64,
+        version: u64,
+        pc: VirtAddr,
+    ) -> Result<usize, MemError> {
+        if let Some(&idx) = self.page_index.get(&(uid, pn)) {
+            let p = &self.predecoded[idx];
+            if p.version != version || p.plt_epoch != self.plt_epoch {
+                let slots = self.decode_page(pn, pc)?;
+                let p = &mut self.predecoded[idx];
+                p.version = version;
+                p.plt_epoch = self.plt_epoch;
+                p.slots = slots;
+            }
+            return Ok(idx);
+        }
+        let slots = self.decode_page(pn, pc)?;
+        let idx = self.predecoded.len();
+        self.predecoded.push(PredecodedPage {
+            uid,
+            pn,
+            version,
+            plt_epoch: self.plt_epoch,
+            slots,
+        });
+        self.page_index.insert((uid, pn), idx);
+        Ok(idx)
+    }
+
+    /// Decodes every placed instruction on `pc`'s page into a dense
+    /// slot array, pairing each with its PLT membership. Page-level
+    /// checks (mapped, executable, code kind) error against `pc` just
+    /// as `fetch_code(pc)` would.
+    fn decode_page(&self, pn: u64, pc: VirtAddr) -> Result<Box<[PredecodedSlot]>, MemError> {
+        let mut slots = vec![None; PAGE_BYTES as usize].into_boxed_slice();
+        let base = VirtAddr::new(pn * PAGE_BYTES);
+        for (off, inst) in self.space.code_page_insts(pc)? {
+            slots[off as usize] = Some((inst, self.is_plt(base + u64::from(off))));
+        }
+        Ok(slots)
     }
 
     /// Instruction-side fetch accounting for one executed instruction.
@@ -767,8 +896,34 @@ impl Machine {
 
     /// Declares the PLT address ranges used to classify trampoline
     /// instructions (from `ProcessImage::plt_ranges`).
+    ///
+    /// Ranges are normalized on ingestion: empty ranges are dropped,
+    /// the rest are sorted and coalesced so membership tests can
+    /// binary-search. Overlapping input trips a debug assertion (it is
+    /// almost certainly a linker-layout bug) but is merged — not
+    /// misclassified — in release builds.
     pub fn set_plt_ranges(&mut self, ranges: &[(VirtAddr, VirtAddr)]) {
-        self.core.plt_ranges = ranges.to_vec();
+        let mut sorted: Vec<(VirtAddr, VirtAddr)> =
+            ranges.iter().copied().filter(|&(s, e)| s < e).collect();
+        sorted.sort_by_key(|&(s, _)| s);
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0].1 <= w[1].0),
+            "overlapping PLT ranges: {sorted:?}"
+        );
+        let mut merged: Vec<(VirtAddr, VirtAddr)> = Vec::with_capacity(sorted.len());
+        for (s, e) in sorted {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => {
+                    if e > last.1 {
+                        last.1 = e;
+                    }
+                }
+                _ => merged.push((s, e)),
+            }
+        }
+        self.core.plt_ranges = merged;
+        // Predecoded pages carry stale `in_plt` flags now; retag lazily.
+        self.core.plt_epoch += 1;
     }
 
     /// Executes a single instruction.
@@ -781,23 +936,23 @@ impl Machine {
         if self.core.halted {
             return Ok(());
         }
-        let pc = self.core.pc;
-        if self.core.decoded_version != self.core.space.code_version() {
-            self.core.decoded.clear();
-            self.core.decoded_version = self.core.space.code_version();
+        if self.observers.is_empty() {
+            self.step_one::<false>()
+        } else {
+            self.step_one::<true>()
         }
-        let inst = match self.core.decoded.get(&pc.as_u64()) {
-            Some(&i) => i,
-            None => {
-                let i = self
-                    .core
-                    .space
-                    .fetch_code(pc)
-                    .map_err(|source| CpuError { pc, source })?;
-                self.core.decoded.insert(pc.as_u64(), i);
-                i
-            }
-        };
+    }
+
+    /// The per-instruction hot path, monomorphized over whether retire
+    /// observers are attached so the observer-free dispatch loop pays
+    /// nothing for the hook. Callers check `halted` (and pick `OBSERVE`)
+    /// once per dispatch batch, not per instruction.
+    fn step_one<const OBSERVE: bool>(&mut self) -> Result<(), CpuError> {
+        let pc = self.core.pc;
+        let (inst, in_plt) = self
+            .core
+            .fetch_decoded(pc)
+            .map_err(|source| CpuError { pc, source })?;
         self.core.charge_fetch(pc);
         self.core.cycle_millis += self.core.cfg.penalties.base_milli_cycles;
         self.core.breakdown_millis[Cause::Base as usize] +=
@@ -806,7 +961,11 @@ impl Machine {
         let exec = if let Inst::HostCall { id } = inst {
             self.core
                 .charge_cause(self.core.cfg.penalties.host_call, Cause::HostCall);
-            let mut f = self.host_fns.remove(&id.0).ok_or(CpuError {
+            // Split borrow: the callback table and the core are disjoint
+            // fields, so the callback can run against `&mut self.core`
+            // while borrowed from the map in place — no remove/re-insert
+            // (two hash-table writes) per host call.
+            let f = self.host_fns.get_mut(&id.0).ok_or(CpuError {
                 pc,
                 source: MemError::NoInstruction { addr: pc },
             })?;
@@ -816,7 +975,6 @@ impl Machine {
             };
             f(&mut ctx);
             let next_pc = ctx.redirect.unwrap_or(pc + inst.encoded_len());
-            self.host_fns.insert(id.0, f);
             Exec {
                 next_pc,
                 loaded_slot: None,
@@ -828,9 +986,8 @@ impl Machine {
                 .map_err(|source| CpuError { pc, source })?
         };
 
-        // Retire.
+        // Retire. `in_plt` comes precomputed from the predecoded slot.
         self.core.counters.instructions += 1;
-        let in_plt = self.core.is_plt(pc);
         if in_plt {
             self.core.counters.trampoline_instructions += 1;
         }
@@ -840,7 +997,7 @@ impl Machine {
             }
         }
         self.core.train_pattern(inst, &exec);
-        if !self.observers.is_empty() {
+        if OBSERVE {
             let event = RetireEvent {
                 pc,
                 inst,
@@ -859,6 +1016,27 @@ impl Machine {
         Ok(())
     }
 
+    /// The batched dispatch loop behind [`Machine::run`] and
+    /// [`Machine::run_until_marks`]: the observer check is hoisted into
+    /// the monomorphization and the mark-count check is compiled out of
+    /// plain runs.
+    fn run_loop<const OBSERVE: bool, const MARKS: bool>(
+        &mut self,
+        budget_end: u64,
+        target_marks: usize,
+    ) -> Result<RunExit, CpuError> {
+        while !self.core.halted {
+            if MARKS && self.core.marks.len() >= target_marks {
+                return Ok(RunExit::InstLimit);
+            }
+            if self.core.counters.instructions >= budget_end {
+                return Ok(RunExit::InstLimit);
+            }
+            self.step_one::<OBSERVE>()?;
+        }
+        Ok(RunExit::Halted)
+    }
+
     /// Runs until `halt` retires or `max_instructions` more instructions
     /// have executed.
     ///
@@ -867,13 +1045,11 @@ impl Machine {
     /// Propagates the first [`CpuError`].
     pub fn run(&mut self, max_instructions: u64) -> Result<RunExit, CpuError> {
         let budget_end = self.core.counters.instructions + max_instructions;
-        while !self.core.halted {
-            if self.core.counters.instructions >= budget_end {
-                return Ok(RunExit::InstLimit);
-            }
-            self.step()?;
+        if self.observers.is_empty() {
+            self.run_loop::<false, false>(budget_end, usize::MAX)
+        } else {
+            self.run_loop::<true, false>(budget_end, usize::MAX)
         }
-        Ok(RunExit::Halted)
     }
 
     /// Runs until the machine has recorded at least `target_marks` mark
@@ -890,16 +1066,11 @@ impl Machine {
         max_instructions: u64,
     ) -> Result<RunExit, CpuError> {
         let budget_end = self.core.counters.instructions + max_instructions;
-        while !self.core.halted {
-            if self.core.marks.len() >= target_marks {
-                return Ok(RunExit::InstLimit);
-            }
-            if self.core.counters.instructions >= budget_end {
-                return Ok(RunExit::InstLimit);
-            }
-            self.step()?;
+        if self.observers.is_empty() {
+            self.run_loop::<false, true>(budget_end, target_marks)
+        } else {
+            self.run_loop::<true, true>(budget_end, target_marks)
         }
-        Ok(RunExit::Halted)
     }
 
     /// A context switch: flushes the BTB and RAS (virtually-indexed,
@@ -923,7 +1094,10 @@ impl Machine {
         std::mem::swap(&mut self.core.pc, &mut ctx.pc);
         std::mem::swap(&mut self.core.halted, &mut ctx.halted);
         std::mem::swap(&mut self.core.space, &mut ctx.space);
-        self.core.decoded.clear();
+        // No decode-cache flush: predecoded pages are tagged with the
+        // incoming space's uid (not its ASID, which may alias), so stale
+        // pages simply stop matching and each process's predecode stays
+        // warm across switches.
         self.core.on_context_switch();
     }
 

@@ -1,0 +1,232 @@
+//! Regression tests for predecoded-page coherence.
+//!
+//! The machine caches decoded instructions per page (plus a
+//! precomputed `in_plt` flag per slot) purely as a simulator speedup.
+//! These tests pin the invalidation rules that keep the cache
+//! architecturally invisible:
+//!
+//! - `patch_code` bumps `code_version` and must invalidate the
+//!   predecoded page mid-run;
+//! - `swap_process` between ASID-*aliasing* processes must never serve
+//!   one process's predecode to the other (the simulator-layer mirror
+//!   of the PR 3 Bloom-key hazard);
+//! - `place_code` after a page was predecoded (it does not bump
+//!   `code_version`) must still be picked up via the empty-slot
+//!   fallback;
+//! - PLT ranges declared in any order classify correctly, and
+//!   re-declaring them retags cached `in_plt` flags.
+
+use dynlink_cpu::{Machine, MachineConfig, ProcessContext};
+use dynlink_isa::{Inst, Reg, VirtAddr};
+use dynlink_mem::{AddressSpace, Perms};
+
+const TEXT: u64 = 0x40_0000;
+const STACK_TOP: u64 = 0x100_0000;
+
+fn va(raw: u64) -> VirtAddr {
+    VirtAddr::new(raw)
+}
+
+fn code_space(asid: u64) -> AddressSpace {
+    let mut s = AddressSpace::new(asid);
+    s.map_code_region(va(TEXT), 0x1000, Perms::RWX).unwrap();
+    s
+}
+
+#[test]
+fn patch_code_invalidates_predecoded_page_mid_run() {
+    // nop; nop; halt — run one step so the page predecodes, then patch
+    // the *next* pc. The patched instruction must execute.
+    let mut s = code_space(1);
+    s.place_code(va(TEXT), Inst::Nop).unwrap();
+    s.place_code(va(TEXT + 1), Inst::Nop).unwrap();
+    s.place_code(va(TEXT + 2), Inst::Halt).unwrap();
+    // Landing pad for the patched (longer) mov at TEXT+1.
+    let mov_len = Inst::mov_imm(Reg::R0, 99).encoded_len();
+    s.place_code(va(TEXT + 1) + mov_len, Inst::Halt).unwrap();
+    let mut m = Machine::new(MachineConfig::baseline(), s);
+    m.init_stack(va(STACK_TOP), 0x1000).unwrap();
+    m.reset(va(TEXT));
+
+    m.step().unwrap(); // predecodes the page, retires the first nop
+    m.space_mut()
+        .patch_code(va(TEXT + 1), Inst::mov_imm(Reg::R0, 99))
+        .unwrap();
+    m.run(10).unwrap();
+    assert!(m.halted());
+    assert_eq!(m.reg(Reg::R0), 99, "stale predecode served the old nop");
+}
+
+#[test]
+fn asid_aliasing_swap_never_serves_stale_predecode() {
+    // Two processes with the SAME ASID and DIFFERENT code at the same
+    // virtual address. ASID-based invalidation would alias them; the
+    // per-space uid must not.
+    let build = |asid: u64, value: u64| {
+        let mut s = AddressSpace::new(asid);
+        s.map_code_region(va(TEXT), 0x1000, Perms::RX).unwrap();
+        s.place_code(va(TEXT), Inst::mov_imm(Reg::R0, value))
+            .unwrap();
+        s.place_code(va(TEXT + 7), Inst::Halt).unwrap();
+        ProcessContext::new(s, va(TEXT), va(STACK_TOP), 0x1000).unwrap()
+    };
+    let mut pa = build(5, 111);
+    let mut pb = build(5, 222);
+
+    let mut m = Machine::new(MachineConfig::enhanced(), AddressSpace::new(0));
+    m.swap_process(&mut pa);
+    m.run(10).unwrap();
+    let a_result = m.reg(Reg::R0);
+    m.swap_process(&mut pa); // park A (now halted), resume the idle slot
+    m.swap_process(&mut pb);
+    m.run(10).unwrap();
+    let b_result = m.reg(Reg::R0);
+
+    assert_eq!(a_result, 111);
+    assert_eq!(b_result, 222, "process B executed process A's predecode");
+}
+
+#[test]
+fn swapping_back_and_forth_keeps_each_process_correct() {
+    // Interleave two ASID-aliasing spinners; each must keep counting
+    // with its own increment even though both loop at the same pc.
+    let build = |inc: u64| {
+        let mut s = AddressSpace::new(9);
+        s.map_code_region(va(TEXT), 0x1000, Perms::RX).unwrap();
+        let add = Inst::add_imm(Reg::R1, inc);
+        s.place_code(va(TEXT), add).unwrap();
+        s.place_code(
+            va(TEXT) + add.encoded_len(),
+            Inst::JmpDirect { target: va(TEXT) },
+        )
+        .unwrap();
+        ProcessContext::new(s, va(TEXT), va(STACK_TOP), 0x1000).unwrap()
+    };
+    let mut pa = build(1);
+    let mut pb = build(1000);
+
+    let mut m = Machine::new(MachineConfig::enhanced(), AddressSpace::new(0));
+    let mut expect_a = 0u64;
+    let mut expect_b = 0u64;
+    m.swap_process(&mut pa);
+    for _ in 0..4 {
+        m.run(20).unwrap(); // 10 add+jmp pairs
+        expect_a += 10;
+        m.swap_process(&mut pa);
+        m.swap_process(&mut pb);
+        m.run(20).unwrap();
+        expect_b += 10_000;
+        m.swap_process(&mut pb);
+        m.swap_process(&mut pa);
+    }
+    m.swap_process(&mut pa); // park A so both contexts hold their state
+    assert_eq!(pa.reg(Reg::R1), expect_a);
+    assert_eq!(pb.reg(Reg::R1), expect_b);
+}
+
+#[test]
+fn place_code_after_predecode_is_picked_up() {
+    // Predecode happens on first fetch; an instruction placed *later*
+    // on the same page (no code_version bump) must still execute via
+    // the empty-slot fallback.
+    let mut s = code_space(1);
+    s.place_code(va(TEXT), Inst::Nop).unwrap();
+    // Nothing at TEXT+1 yet.
+    let mut m = Machine::new(MachineConfig::baseline(), s);
+    m.init_stack(va(STACK_TOP), 0x1000).unwrap();
+    m.reset(va(TEXT));
+    m.step().unwrap(); // page predecoded with a hole at TEXT+1
+
+    m.space_mut()
+        .place_code(va(TEXT + 1), Inst::mov_imm(Reg::R2, 7))
+        .unwrap();
+    m.space_mut().place_code(va(TEXT + 8), Inst::Halt).unwrap();
+    m.run(10).unwrap();
+    assert!(m.halted());
+    assert_eq!(m.reg(Reg::R2), 7);
+}
+
+#[test]
+fn fetch_from_hole_still_reports_no_instruction() {
+    let mut s = code_space(1);
+    s.place_code(va(TEXT), Inst::Nop).unwrap();
+    let mut m = Machine::new(MachineConfig::baseline(), s);
+    m.init_stack(va(STACK_TOP), 0x1000).unwrap();
+    m.reset(va(TEXT));
+    m.step().unwrap();
+    // TEXT+1 is a hole on an already-predecoded page.
+    let err = m.step().unwrap_err();
+    assert_eq!(err.pc, va(TEXT + 1));
+    assert!(matches!(
+        err.source,
+        dynlink_mem::MemError::NoInstruction { addr } if addr == va(TEXT + 1)
+    ));
+}
+
+#[test]
+fn unsorted_plt_ranges_classify_correctly() {
+    // Three disjoint ranges declared out of order; pcs inside any of
+    // them must count as trampoline instructions, pcs outside must not.
+    let mut s = code_space(1);
+    s.place_code(va(TEXT), Inst::Nop).unwrap(); // outside
+    s.place_code(va(TEXT + 1), Inst::Nop).unwrap(); // inside range C
+    s.place_code(va(TEXT + 2), Inst::Nop).unwrap(); // inside range A
+    s.place_code(va(TEXT + 3), Inst::Nop).unwrap(); // gap
+    s.place_code(va(TEXT + 4), Inst::Nop).unwrap(); // inside range B
+    s.place_code(va(TEXT + 5), Inst::Halt).unwrap(); // outside
+    let mut m = Machine::new(MachineConfig::baseline(), s);
+    m.init_stack(va(STACK_TOP), 0x1000).unwrap();
+    m.reset(va(TEXT));
+    m.set_plt_ranges(&[
+        (va(TEXT + 4), va(TEXT + 5)), // B
+        (va(TEXT + 1), va(TEXT + 2)), // C
+        (va(TEXT + 2), va(TEXT + 3)), // A (abuts C)
+    ]);
+    m.run(10).unwrap();
+    assert_eq!(m.counters().trampoline_instructions, 3);
+}
+
+#[test]
+fn redeclaring_plt_ranges_retags_predecoded_pages() {
+    // Run once with no PLT ranges (predecode caches in_plt=false),
+    // then declare a range covering the loop and run again: the cached
+    // flags must be refreshed, not reused.
+    let mut s = code_space(1);
+    let add = Inst::add_imm(Reg::R3, 1);
+    s.place_code(va(TEXT), add).unwrap();
+    s.place_code(
+        va(TEXT) + add.encoded_len(),
+        Inst::JmpDirect { target: va(TEXT) },
+    )
+    .unwrap();
+    let mut m = Machine::new(MachineConfig::baseline(), s);
+    m.init_stack(va(STACK_TOP), 0x1000).unwrap();
+    m.reset(va(TEXT));
+    m.run(10).unwrap();
+    assert_eq!(m.counters().trampoline_instructions, 0);
+
+    m.set_plt_ranges(&[(va(TEXT), va(TEXT + 0x100))]);
+    let before = m.counters().instructions;
+    m.run(10).unwrap();
+    let executed = m.counters().instructions - before;
+    assert_eq!(
+        m.counters().trampoline_instructions,
+        executed,
+        "every instruction of the loop now lies in a PLT range"
+    );
+}
+
+#[test]
+fn empty_and_reversed_ranges_are_ignored() {
+    let mut s = code_space(1);
+    s.place_code(va(TEXT), Inst::Nop).unwrap();
+    s.place_code(va(TEXT + 1), Inst::Halt).unwrap();
+    let mut m = Machine::new(MachineConfig::baseline(), s);
+    m.init_stack(va(STACK_TOP), 0x1000).unwrap();
+    m.reset(va(TEXT));
+    // An empty range can never contain an address (old linear scan
+    // agreed); it must not confuse the normalized representation.
+    m.set_plt_ranges(&[(va(TEXT + 1), va(TEXT + 1))]);
+    m.run(10).unwrap();
+    assert_eq!(m.counters().trampoline_instructions, 0);
+}

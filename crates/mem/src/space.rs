@@ -1,6 +1,7 @@
 //! The sparse, copy-on-write address space.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dynlink_isa::{Inst, VirtAddr};
@@ -9,6 +10,16 @@ use crate::{MemError, Perms};
 
 /// Page size in bytes (4 KiB, as on the paper's x86-64 testbed).
 pub const PAGE_BYTES: u64 = 4096;
+
+/// Process-wide counter backing [`AddressSpace::uid`]. Every distinct
+/// space instance (new, fork, clone) gets a fresh value, so fetch-side
+/// caches can tag entries by space identity rather than by ASID (which
+/// deliberately aliases in the §3.3 experiments).
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_uid() -> u64 {
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
+}
 
 type DataBytes = [u8; PAGE_BYTES as usize];
 type CodeMap = BTreeMap<u16, Inst>;
@@ -52,12 +63,30 @@ impl MemStats {
 /// crate-level docs for the rationale. All accesses are permission
 /// checked. [`AddressSpace::fork`] shares pages copy-on-write and the
 /// copies forced by later writes are counted in [`MemStats::cow_copies`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AddressSpace {
     asid: u64,
+    uid: u64,
     pages: HashMap<u64, PageEntry>,
     stats: MemStats,
     code_version: u64,
+}
+
+impl Clone for AddressSpace {
+    /// Cloning yields an independent space, so the clone gets a fresh
+    /// [`AddressSpace::uid`] — a clone may diverge from the original
+    /// (e.g. via [`AddressSpace::place_code`], which does not bump
+    /// [`AddressSpace::code_version`]) and must never alias it in
+    /// fetch-side caches.
+    fn clone(&self) -> Self {
+        AddressSpace {
+            asid: self.asid,
+            uid: fresh_uid(),
+            pages: self.pages.clone(),
+            stats: self.stats,
+            code_version: self.code_version,
+        }
+    }
 }
 
 impl AddressSpace {
@@ -65,6 +94,7 @@ impl AddressSpace {
     pub fn new(asid: u64) -> Self {
         AddressSpace {
             asid,
+            uid: fresh_uid(),
             pages: HashMap::new(),
             stats: MemStats::default(),
             code_version: 0,
@@ -74,6 +104,17 @@ impl AddressSpace {
     /// The address-space ID (used by ASID-tagged TLBs/ABTBs).
     pub fn asid(&self) -> u64 {
         self.asid
+    }
+
+    /// A process-wide unique identity for this space instance.
+    ///
+    /// Unlike [`AddressSpace::asid`] — which experiments deliberately
+    /// alias across processes — the uid is never reused: `new`, `fork`
+    /// and `clone` all mint a fresh one. Fetch-side predecode caches
+    /// key on `(uid, page, code_version)` so a context switch between
+    /// ASID-aliasing processes can never serve stale instructions.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Accounting counters.
@@ -207,33 +248,107 @@ impl AddressSpace {
         if buf.is_empty() {
             return Ok(());
         }
-        // Validate the whole range first.
-        for pn in Self::page_range(addr, buf.len() as u64) {
-            let page_addr = VirtAddr::new(pn * PAGE_BYTES);
-            let entry = self.entry(page_addr)?;
-            if !entry.perms.can_read() {
-                return Err(MemError::PermissionDenied {
-                    addr: page_addr,
-                    need: Perms::R,
-                    have: entry.perms,
-                });
-            }
-            if !matches!(entry.content, PageContent::Data(_)) {
-                return Err(MemError::KindMismatch {
-                    addr: page_addr,
-                    expected_code: false,
-                });
-            }
+        // Fast path: the whole range sits on one page (the common case —
+        // GOT slots, stack words, small buffers), so one map lookup and
+        // one slice copy suffice.
+        let first_pn = addr.page_number(PAGE_BYTES);
+        let last_pn = (addr + (buf.len() as u64 - 1)).page_number(PAGE_BYTES);
+        if first_pn == last_pn {
+            let data = self.readable_data_page(first_pn)?;
+            let off = addr.page_offset(PAGE_BYTES) as usize;
+            buf.copy_from_slice(&data[off..off + buf.len()]);
+            return Ok(());
         }
-        for (i, byte) in buf.iter_mut().enumerate() {
-            let cursor = addr + i as u64;
-            let entry = self.entry(cursor).expect("validated");
+        // Multi-page: validate the whole range first, then copy with one
+        // slice op per page.
+        for pn in first_pn..=last_pn {
+            self.readable_data_page(pn)?;
+        }
+        let mut i = 0usize;
+        let mut cursor = addr;
+        while i < buf.len() {
+            let pn = cursor.page_number(PAGE_BYTES);
+            let entry = self.pages.get(&pn).expect("validated");
             let PageContent::Data(data) = &entry.content else {
                 unreachable!("validated")
             };
-            *byte = data[cursor.page_offset(PAGE_BYTES) as usize];
+            let off = cursor.page_offset(PAGE_BYTES) as usize;
+            let n = (PAGE_BYTES as usize - off).min(buf.len() - i);
+            buf[i..i + n].copy_from_slice(&data[off..off + n]);
+            i += n;
+            cursor += n as u64;
         }
         Ok(())
+    }
+
+    /// Resolves page `pn` for a data read, reporting errors against the
+    /// page base address exactly as the historical per-page validation
+    /// loop did.
+    fn readable_data_page(&self, pn: u64) -> Result<&DataBytes, MemError> {
+        let page_addr = VirtAddr::new(pn * PAGE_BYTES);
+        let entry = self
+            .pages
+            .get(&pn)
+            .ok_or(MemError::Unmapped { addr: page_addr })?;
+        if !entry.perms.can_read() {
+            return Err(MemError::PermissionDenied {
+                addr: page_addr,
+                need: Perms::R,
+                have: entry.perms,
+            });
+        }
+        match &entry.content {
+            PageContent::Data(data) => Ok(data),
+            PageContent::Code(_) => Err(MemError::KindMismatch {
+                addr: page_addr,
+                expected_code: false,
+            }),
+        }
+    }
+
+    /// Validates page `pn` for a data write (same error reporting rules
+    /// as [`AddressSpace::readable_data_page`]).
+    fn check_writable_data_page(&self, pn: u64) -> Result<(), MemError> {
+        let page_addr = VirtAddr::new(pn * PAGE_BYTES);
+        let entry = self
+            .pages
+            .get(&pn)
+            .ok_or(MemError::Unmapped { addr: page_addr })?;
+        if !entry.perms.can_write() {
+            return Err(MemError::PermissionDenied {
+                addr: page_addr,
+                need: Perms::W,
+                have: entry.perms,
+            });
+        }
+        if !matches!(entry.content, PageContent::Data(_)) {
+            return Err(MemError::KindMismatch {
+                addr: page_addr,
+                expected_code: false,
+            });
+        }
+        Ok(())
+    }
+
+    /// Copies `src` into page `pn` at `off`, doing the COW accounting.
+    /// The page must already be validated as writable data.
+    fn write_into_page(&mut self, pn: u64, off: usize, src: &[u8]) {
+        let shared = {
+            let entry = self.pages.get(&pn).expect("validated");
+            let PageContent::Data(data) = &entry.content else {
+                unreachable!("validated")
+            };
+            Arc::strong_count(data) > 1
+        };
+        if shared {
+            self.stats.cow_copies += 1;
+        }
+        let entry = self.pages.get_mut(&pn).expect("validated");
+        let PageContent::Data(data) = &mut entry.content else {
+            unreachable!("validated")
+        };
+        let page = Arc::make_mut(data);
+        page[off..off + src.len()].copy_from_slice(src);
     }
 
     /// Writes `buf` starting at `addr`, performing copy-on-write if the
@@ -248,49 +363,28 @@ impl AddressSpace {
         if buf.is_empty() {
             return Ok(());
         }
-        for pn in Self::page_range(addr, buf.len() as u64) {
-            let page_addr = VirtAddr::new(pn * PAGE_BYTES);
-            let entry = self.entry(page_addr)?;
-            if !entry.perms.can_write() {
-                return Err(MemError::PermissionDenied {
-                    addr: page_addr,
-                    need: Perms::W,
-                    have: entry.perms,
-                });
-            }
-            if !matches!(entry.content, PageContent::Data(_)) {
-                return Err(MemError::KindMismatch {
-                    addr: page_addr,
-                    expected_code: false,
-                });
-            }
+        // Fast path: single destination page.
+        let first_pn = addr.page_number(PAGE_BYTES);
+        let last_pn = (addr + (buf.len() as u64 - 1)).page_number(PAGE_BYTES);
+        if first_pn == last_pn {
+            self.check_writable_data_page(first_pn)?;
+            let off = addr.page_offset(PAGE_BYTES) as usize;
+            self.write_into_page(first_pn, off, buf);
+            return Ok(());
         }
+        // Multi-page: validate everything, then one slice copy per page.
+        for pn in first_pn..=last_pn {
+            self.check_writable_data_page(pn)?;
+        }
+        let mut i = 0usize;
         let mut cursor = addr;
-        let mut i = 0;
         while i < buf.len() {
             let pn = cursor.page_number(PAGE_BYTES);
-            let shared = {
-                let entry = self.pages.get(&pn).expect("validated");
-                let PageContent::Data(data) = &entry.content else {
-                    unreachable!("validated")
-                };
-                Arc::strong_count(data) > 1
-            };
-            if shared {
-                self.stats.cow_copies += 1;
-            }
-            let entry = self.pages.get_mut(&pn).expect("validated");
-            let PageContent::Data(data) = &mut entry.content else {
-                unreachable!("validated")
-            };
-            let page = Arc::make_mut(data);
-            let mut off = cursor.page_offset(PAGE_BYTES) as usize;
-            while i < buf.len() && off < PAGE_BYTES as usize {
-                page[off] = buf[i];
-                off += 1;
-                i += 1;
-                cursor += 1;
-            }
+            let off = cursor.page_offset(PAGE_BYTES) as usize;
+            let n = (PAGE_BYTES as usize - off).min(buf.len() - i);
+            self.write_into_page(pn, off, &buf[i..i + n]);
+            i += n;
+            cursor += n as u64;
         }
         Ok(())
     }
@@ -360,6 +454,41 @@ impl AddressSpace {
         code.get(&(addr.page_offset(PAGE_BYTES) as u16))
             .copied()
             .ok_or(MemError::NoInstruction { addr })
+    }
+
+    /// Returns every placed instruction on the executable code page
+    /// containing `addr`, as `(page_offset, inst)` pairs in offset
+    /// order — the bulk-read primitive behind fetch-side predecode
+    /// caches, which decode a whole page in one map lookup instead of
+    /// one [`AddressSpace::fetch_code`] per pc.
+    ///
+    /// # Errors
+    ///
+    /// Performs the same checks as [`AddressSpace::fetch_code`] and
+    /// reports errors against `addr` itself: [`MemError::Unmapped`],
+    /// [`MemError::PermissionDenied`] (missing execute permission) or
+    /// [`MemError::KindMismatch`] (data page). An empty page is not an
+    /// error — absent offsets surface as [`MemError::NoInstruction`]
+    /// only when actually fetched.
+    pub fn code_page_insts(
+        &self,
+        addr: VirtAddr,
+    ) -> Result<impl Iterator<Item = (u16, Inst)> + '_, MemError> {
+        let entry = self.entry(addr)?;
+        if !entry.perms.can_exec() {
+            return Err(MemError::PermissionDenied {
+                addr,
+                need: Perms::X,
+                have: entry.perms,
+            });
+        }
+        let PageContent::Code(code) = &entry.content else {
+            return Err(MemError::KindMismatch {
+                addr,
+                expected_code: true,
+            });
+        };
+        Ok(code.iter().map(|(&off, &inst)| (off, inst)))
     }
 
     /// Patches the instruction at `addr` at run time (the paper's §4.3
@@ -434,6 +563,7 @@ impl AddressSpace {
     pub fn fork(&self, child_asid: u64) -> AddressSpace {
         AddressSpace {
             asid: child_asid,
+            uid: fresh_uid(),
             pages: self.pages.clone(),
             stats: MemStats {
                 pages_mapped: self.stats.pages_mapped,
@@ -737,6 +867,61 @@ mod tests {
         let clipped = s.code_in_range(va(0x40_0000), 0x1000);
         assert_eq!(clipped.len(), 2);
         assert!(s.code_in_range(va(0x40_0000), 0).is_empty());
+    }
+
+    #[test]
+    fn uid_is_fresh_for_new_fork_and_clone() {
+        let a = AddressSpace::new(7);
+        let b = AddressSpace::new(7);
+        let fork = a.fork(7);
+        let clone = a.clone();
+        let uids = [a.uid(), b.uid(), fork.uid(), clone.uid()];
+        for (i, x) in uids.iter().enumerate() {
+            for y in &uids[i + 1..] {
+                assert_ne!(x, y, "every space instance gets a distinct uid");
+            }
+        }
+        // Same ASID throughout: uid is the disambiguator, not asid.
+        assert_eq!(fork.asid(), 7);
+        assert_eq!(clone.asid(), 7);
+    }
+
+    #[test]
+    fn code_page_insts_lists_page_in_offset_order() {
+        let mut s = AddressSpace::new(0);
+        s.map_code_region(va(0x40_0000), 0x2000, Perms::RX).unwrap();
+        s.place_code(va(0x40_0004), Inst::Ret).unwrap();
+        s.place_code(va(0x40_0000), Inst::Nop).unwrap();
+        s.place_code(va(0x40_1000), Inst::Halt).unwrap();
+        let page: Vec<(u16, Inst)> = s.code_page_insts(va(0x40_0002)).unwrap().collect();
+        assert_eq!(page, vec![(0, Inst::Nop), (4, Inst::Ret)]);
+        // Empty page: fine, just no instructions.
+        let mut s2 = AddressSpace::new(0);
+        s2.map_code_region(va(0x50_0000), 0x1000, Perms::RX)
+            .unwrap();
+        assert_eq!(s2.code_page_insts(va(0x50_0000)).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn code_page_insts_checks_mirror_fetch_code() {
+        let mut s = AddressSpace::new(0);
+        assert!(matches!(
+            s.code_page_insts(va(0x9000)).map(|_| ()),
+            Err(MemError::Unmapped { .. })
+        ));
+        s.map_code_region(va(0x40_0000), 0x1000, Perms::R).unwrap();
+        assert!(matches!(
+            s.code_page_insts(va(0x40_0000)).map(|_| ()),
+            Err(MemError::PermissionDenied { need, .. }) if need == Perms::X
+        ));
+        s.map_region(va(0x1000), 0x1000, Perms::RWX).unwrap();
+        assert!(matches!(
+            s.code_page_insts(va(0x1000)).map(|_| ()),
+            Err(MemError::KindMismatch {
+                expected_code: true,
+                ..
+            })
+        ));
     }
 
     #[test]

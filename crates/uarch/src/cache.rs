@@ -72,12 +72,30 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// All ways, flattened as `sets * ways_per_set` (one allocation,
+    /// no per-set indirection on the hot path).
+    ways: Box<[Way]>,
+    ways_per_set: usize,
     set_mask: u64,
+    /// `log2(line_bytes)`, precomputed so `access` shifts instead of
+    /// dividing by a runtime value.
+    line_shift: u32,
+    /// `log2(sets)`, precomputed (was `set_mask.count_ones()` per access).
+    tag_shift: u32,
+    /// Memo of the most recent access: the line number and the flat slot
+    /// that served it. Straight-line code hits the same line repeatedly,
+    /// so this turns the common access into one compare + one LRU stamp.
+    /// The slot is re-verified (`valid && tag` match) before use, so an
+    /// interleaved eviction can never turn it into a false hit.
+    last_line: u64,
+    last_slot: usize,
     tick: u64,
     accesses: u64,
     misses: u64,
 }
+
+/// Sentinel for "no memoized slot" (set at construction and on flush).
+const NO_SLOT: usize = usize::MAX;
 
 impl Cache {
     /// Creates a cache with the given geometry.
@@ -90,18 +108,21 @@ impl Cache {
         let sets = config.sets();
         Cache {
             config,
-            sets: vec![
-                vec![
-                    Way {
-                        tag: 0,
-                        valid: false,
-                        last_used: 0
-                    };
-                    config.ways as usize
-                ];
-                sets as usize
-            ],
+            ways: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    last_used: 0
+                };
+                (sets * config.ways as u64) as usize
+            ]
+            .into_boxed_slice(),
+            ways_per_set: config.ways as usize,
             set_mask: sets - 1,
+            line_shift: config.line_bytes.trailing_zeros(),
+            tag_shift: sets.trailing_zeros(),
+            last_line: 0,
+            last_slot: NO_SLOT,
             tick: 0,
             accesses: 0,
             misses: 0,
@@ -114,25 +135,48 @@ impl Cache {
     }
 
     /// Accesses the line containing `addr`, filling it on a miss.
+    #[inline]
     pub fn access(&mut self, addr: VirtAddr) -> Lookup {
         self.tick += 1;
         self.accesses += 1;
-        let line = addr.as_u64() / self.config.line_bytes;
-        let set_idx = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+        let line = addr.as_u64() >> self.line_shift;
+        if line == self.last_line && self.last_slot != NO_SLOT {
+            // Same line as the previous access and the slot still holds
+            // it: identical state transition to the slow path's hit.
+            let w = &mut self.ways[self.last_slot];
+            if w.valid && w.tag == line >> self.tag_shift {
+                w.last_used = self.tick;
+                return Lookup::Hit;
+            }
+        }
+        self.access_slow(line)
+    }
+
+    fn access_slow(&mut self, line: u64) -> Lookup {
+        let start = (line & self.set_mask) as usize * self.ways_per_set;
+        let tag = line >> self.tag_shift;
+        let set = &mut self.ways[start..start + self.ways_per_set];
+        if let Some((i, way)) = set
+            .iter_mut()
+            .enumerate()
+            .find(|(_, w)| w.valid && w.tag == tag)
+        {
             way.last_used = self.tick;
+            self.last_line = line;
+            self.last_slot = start + i;
             return Lookup::Hit;
         }
         self.misses += 1;
-        let victim = set
+        let (i, victim) = set
             .iter_mut()
-            .min_by_key(|w| if w.valid { w.last_used } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid { w.last_used } else { 0 })
             .expect("at least one way");
         victim.tag = tag;
         victim.valid = true;
         victim.last_used = self.tick;
+        self.last_line = line;
+        self.last_slot = start + i;
         Lookup::Miss
     }
 
@@ -141,40 +185,46 @@ impl Cache {
     /// position refreshed.
     pub fn fill(&mut self, addr: VirtAddr) {
         self.tick += 1;
-        let line = addr.as_u64() / self.config.line_bytes;
-        let set_idx = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
+        let line = addr.as_u64() >> self.line_shift;
+        let start = (line & self.set_mask) as usize * self.ways_per_set;
+        let tag = line >> self.tag_shift;
         let tick = self.tick;
-        let set = &mut self.sets[set_idx];
+        let set = &mut self.ways[start..start + self.ways_per_set];
         if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
             way.last_used = tick;
             return;
         }
-        let victim = set
+        let (i, victim) = set
             .iter_mut()
-            .min_by_key(|w| if w.valid { w.last_used } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid { w.last_used } else { 0 })
             .expect("at least one way");
         victim.tag = tag;
         victim.valid = true;
         victim.last_used = tick;
+        // The fill may have evicted the memoized slot; repoint the memo
+        // at the line this slot now verifiably holds.
+        self.last_line = line;
+        self.last_slot = start + i;
     }
 
     /// Returns `true` if the line containing `addr` is present, without
     /// updating replacement state or statistics.
     pub fn probe(&self, addr: VirtAddr) -> bool {
-        let line = addr.as_u64() / self.config.line_bytes;
-        let set_idx = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
-        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+        let line = addr.as_u64() >> self.line_shift;
+        let start = (line & self.set_mask) as usize * self.ways_per_set;
+        let tag = line >> self.tag_shift;
+        self.ways[start..start + self.ways_per_set]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
     }
 
     /// Invalidates all lines (statistics are retained).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for way in set {
-                way.valid = false;
-            }
+        for way in &mut self.ways {
+            way.valid = false;
         }
+        self.last_slot = NO_SLOT;
     }
 
     /// Total accesses so far.

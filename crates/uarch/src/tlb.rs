@@ -32,13 +32,28 @@ struct TlbEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    sets: Vec<Vec<TlbEntry>>,
+    /// All entries, flattened as `sets * ways_per_set`.
+    entries: Box<[TlbEntry]>,
+    ways_per_set: usize,
     set_mask: u64,
-    page_bytes: u64,
+    /// `log2(page_bytes)`, precomputed so `access` shifts instead of
+    /// dividing by a runtime page size.
+    page_shift: u32,
+    /// Memo of the most recent translation (page, ASID, and the flat
+    /// slot that served it). Consecutive fetches overwhelmingly stay on
+    /// one page, so this turns the common access into one compare + one
+    /// LRU stamp. The slot is re-verified before use, so an interleaved
+    /// eviction can never turn it into a false hit.
+    last_page: u64,
+    last_asid: u64,
+    last_slot: usize,
     tick: u64,
     accesses: u64,
     misses: u64,
 }
+
+/// Sentinel for "no memoized slot" (set at construction and on flush).
+const NO_SLOT: usize = usize::MAX;
 
 impl Tlb {
     /// Creates a TLB with `entries` total entries, `ways` associativity
@@ -61,20 +76,22 @@ impl Tlb {
         let sets = (entries / ways) as u64;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Tlb {
-            sets: vec![
-                vec![
-                    TlbEntry {
-                        asid: 0,
-                        page: 0,
-                        valid: false,
-                        last_used: 0
-                    };
-                    ways as usize
-                ];
-                sets as usize
-            ],
+            entries: vec![
+                TlbEntry {
+                    asid: 0,
+                    page: 0,
+                    valid: false,
+                    last_used: 0
+                };
+                entries as usize
+            ]
+            .into_boxed_slice(),
+            ways_per_set: ways as usize,
             set_mask: sets - 1,
-            page_bytes,
+            page_shift: page_bytes.trailing_zeros(),
+            last_page: 0,
+            last_asid: 0,
+            last_slot: NO_SLOT,
             tick: 0,
             accesses: 0,
             misses: 0,
@@ -82,23 +99,43 @@ impl Tlb {
     }
 
     /// Translates `addr` within address space `asid`, filling on a miss.
+    #[inline]
     pub fn access(&mut self, asid: u64, addr: VirtAddr) -> Lookup {
         self.tick += 1;
         self.accesses += 1;
-        let page = addr.page_number(self.page_bytes);
-        let set_idx = (page & self.set_mask) as usize;
-        let set = &mut self.sets[set_idx];
-        if let Some(e) = set
+        let page = addr.as_u64() >> self.page_shift;
+        if page == self.last_page && asid == self.last_asid && self.last_slot != NO_SLOT {
+            // Same page and ASID as the previous translation, and the
+            // slot still holds it: identical state transition to the
+            // slow path's hit.
+            let e = &mut self.entries[self.last_slot];
+            if e.valid && e.page == page && e.asid == asid {
+                e.last_used = self.tick;
+                return Lookup::Hit;
+            }
+        }
+        self.access_slow(asid, page)
+    }
+
+    fn access_slow(&mut self, asid: u64, page: u64) -> Lookup {
+        let start = (page & self.set_mask) as usize * self.ways_per_set;
+        let set = &mut self.entries[start..start + self.ways_per_set];
+        if let Some((i, e)) = set
             .iter_mut()
-            .find(|e| e.valid && e.page == page && e.asid == asid)
+            .enumerate()
+            .find(|(_, e)| e.valid && e.page == page && e.asid == asid)
         {
             e.last_used = self.tick;
+            self.last_page = page;
+            self.last_asid = asid;
+            self.last_slot = start + i;
             return Lookup::Hit;
         }
         self.misses += 1;
-        let victim = set
+        let (i, victim) = set
             .iter_mut()
-            .min_by_key(|e| if e.valid { e.last_used } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.last_used } else { 0 })
             .expect("at least one way");
         *victim = TlbEntry {
             asid,
@@ -106,16 +143,18 @@ impl Tlb {
             valid: true,
             last_used: self.tick,
         };
+        self.last_page = page;
+        self.last_asid = asid;
+        self.last_slot = start + i;
         Lookup::Miss
     }
 
     /// Invalidates every entry (non-ASID context-switch policy).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for e in set {
-                e.valid = false;
-            }
+        for e in &mut self.entries {
+            e.valid = false;
         }
+        self.last_slot = NO_SLOT;
     }
 
     /// Total accesses so far.
