@@ -4,6 +4,8 @@
 //! ```text
 //! difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale]
 //!          [--no-shrink] [--multi]
+//!          [--guided [--rounds N] [--round-size N]
+//!                    [--corpus DIR] [--save-corpus DIR]]
 //! ```
 //!
 //! Every case is generated from its seed (`seed_start + index`), run
@@ -14,6 +16,11 @@
 //! processes with context switches, ASID-aliasing layouts and an
 //! optional shared-GOT pair, each checked additionally across
 //! `{FlushOnSwitch, AsidTagged}` switch policies.
+//! `--guided` switches to coverage-guided mutational fuzzing:
+//! `--rounds` rounds of `--round-size` candidates, keeping
+//! behavioral-coverage-novel cases as mutation parents; `--corpus DIR`
+//! seeds from checked-in reproducers, `--save-corpus DIR` persists
+//! minimized novel cases in the same reproducer format.
 //! Stdout is byte-identical at every `--jobs` level; exit status is
 //! non-zero when any case fails. `--inject-stale` enables the
 //! intentional stale-ABTB bug (raw GOT rewrites that bypass the store
@@ -24,11 +31,13 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use dynlink_bench::difftest::{run_difftest, run_multi_difftest, Injection};
+use dynlink_bench::guided::{run_guided, GuidedConfig};
 use dynlink_bench::runner::default_jobs;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--no-shrink] [--multi]"
+        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--no-shrink] [--multi]\n\
+         \x20               [--guided [--rounds N] [--round-size N] [--corpus DIR] [--save-corpus DIR]]"
     );
     ExitCode::from(2)
 }
@@ -40,6 +49,11 @@ fn main() -> ExitCode {
     let mut injection = Injection::None;
     let mut shrink = true;
     let mut multi = false;
+    let mut guided = false;
+    let mut rounds = 8u64;
+    let mut round_size = 64u64;
+    let mut corpus_dir: Option<std::path::PathBuf> = None;
+    let mut save_dir: Option<std::path::PathBuf> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -66,9 +80,38 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
+            "--rounds" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(r) if r >= 1 => rounds = r,
+                    _ => return usage(),
+                }
+            }
+            "--round-size" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(r) if r >= 1 => round_size = r,
+                    _ => return usage(),
+                }
+            }
+            "--corpus" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => corpus_dir = Some(d.into()),
+                    None => return usage(),
+                }
+            }
+            "--save-corpus" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => save_dir = Some(d.into()),
+                    None => return usage(),
+                }
+            }
             "--inject-stale" => injection = Injection::DropInvalidate,
             "--no-shrink" => shrink = false,
             "--multi" => multi = true,
+            "--guided" => guided = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -77,9 +120,26 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    if guided && multi {
+        eprintln!(
+            "difftest: --guided is single-process; combine coverage from --multi runs instead"
+        );
+        return usage();
+    }
 
     let started = Instant::now();
-    let report = if multi {
+    let report = if guided {
+        run_guided(&GuidedConfig {
+            seed_start,
+            rounds,
+            round_size,
+            jobs,
+            injection,
+            shrink,
+            corpus_dir,
+            save_dir,
+        })
+    } else if multi {
         run_multi_difftest(seed_start, cases, jobs, injection, shrink)
     } else {
         run_difftest(seed_start, cases, jobs, injection, shrink)

@@ -32,6 +32,7 @@ use dynlink_core::{LinkAccel, MachineConfig, MultiProcessSystem, System, SystemB
 use dynlink_linker::{LinkOptions, TrampolineFlavor};
 use dynlink_oracle::{ArchDigest, MultiOracle, Oracle};
 use dynlink_uarch::PerfCounters;
+use dynlink_workloads::coverage::{CoverageMap, EventKind, EventWindow, PolicyCtx};
 use dynlink_workloads::fuzz::{
     shrink_case, shrink_multi_case, FuzzCase, FuzzEvent, MultiFuzzCase, MultiFuzzEvent,
 };
@@ -64,11 +65,29 @@ pub enum SwitchPolicy {
 /// Both §3.3 policies a multi-process case is checked under.
 pub const POLICIES: [SwitchPolicy; 2] = [SwitchPolicy::FlushOnSwitch, SwitchPolicy::AsidTagged];
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+impl From<SwitchPolicy> for PolicyCtx {
+    fn from(p: SwitchPolicy) -> PolicyCtx {
+        match p {
+            SwitchPolicy::FlushOnSwitch => PolicyCtx::FlushOnSwitch,
+            SwitchPolicy::AsidTagged => PolicyCtx::AsidTagged,
+        }
+    }
+}
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fold64(mut hash: u64, value: u64) -> u64 {
+pub(crate) fn fold64(mut hash: u64, value: u64) -> u64 {
     for b in value.to_le_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV fold of a string (corpus texts into the report digest).
+pub(crate) fn fold_str(mut hash: u64, s: &str) -> u64 {
+    for &b in s.as_bytes() {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(FNV_PRIME);
     }
@@ -105,6 +124,31 @@ struct OracleRun {
 struct SystemRun {
     digest: ArchDigest,
     counters: PerfCounters,
+    /// One entry per applied schedule event: its kind and the counter
+    /// window around it (cumulative counters at the event, delta from
+    /// the event to the end of the run) — the coverage map's event
+    /// facets are computed from these.
+    events: Vec<(EventKind, EventWindow)>,
+}
+
+/// Converts `(kind, counters-at-event)` snapshots into event windows
+/// once the run's final counters are known.
+fn close_windows(
+    snaps: Vec<(EventKind, PerfCounters)>,
+    final_counters: &PerfCounters,
+) -> Vec<(EventKind, EventWindow)> {
+    snaps
+        .into_iter()
+        .map(|(kind, before)| {
+            (
+                kind,
+                EventWindow {
+                    after: final_counters.delta(&before),
+                    before,
+                },
+            )
+        })
+        .collect()
 }
 
 fn link_options(case: &FuzzCase, flavor: TrampolineFlavor) -> LinkOptions {
@@ -233,9 +277,11 @@ fn run_system(
         .accel(accel)
         .build()
         .map_err(|e| format!("system build: {e}"))?;
+    let mut snaps: Vec<(EventKind, PerfCounters)> = Vec::new();
     for ev in &case.schedule {
         sys.run_until_marks(ev.at_mark as usize, RUN_BUDGET)
             .map_err(|e| format!("system run: {e}"))?;
+        snaps.push((EventKind::from(&ev.event), sys.counters()));
         apply_system_event(&mut sys, ev.event, injection)?;
     }
     sys.run(RUN_BUDGET)
@@ -250,9 +296,11 @@ fn run_system(
         sys.machine().space(),
         sys.image(),
     );
+    let counters = sys.counters();
     Ok(SystemRun {
         digest,
-        counters: sys.counters(),
+        events: close_windows(snaps, &counters),
+        counters,
     })
 }
 
@@ -268,11 +316,22 @@ fn check_counters(
 ) -> Vec<String> {
     let mut failures = Vec::new();
     let c = counters;
-    if !accel.has_abtb() && (c.trampolines_skipped != 0 || c.abtb_hits != 0 || c.abtb_flushes != 0)
+    if !accel.has_abtb()
+        && (c.trampolines_skipped != 0
+            || c.abtb_hits != 0
+            || c.abtb_flushes != 0
+            || c.abtb_inserts != 0
+            || c.btb_function_trains != 0)
     {
         failures.push(format!(
-            "baseline machine touched the ABTB: skipped={} hits={} flushes={}",
-            c.trampolines_skipped, c.abtb_hits, c.abtb_flushes
+            "baseline machine touched the ABTB: skipped={} hits={} flushes={} inserts={} fn-trains={}",
+            c.trampolines_skipped, c.abtb_hits, c.abtb_flushes, c.abtb_inserts, c.btb_function_trains
+        ));
+    }
+    if !accel.has_bloom() && c.bloom_store_hits != 0 {
+        failures.push(format!(
+            "machine without a Bloom filter reported {} Bloom store hit(s)",
+            c.bloom_store_hits
         ));
     }
     if c.trampolines_skipped > c.abtb_hits {
@@ -344,8 +403,18 @@ pub struct CaseReport {
 /// `LinkAccel` mode and both trampoline flavors, collecting divergences
 /// and counter-invariant violations.
 pub fn check_case(case: &FuzzCase, injection: Injection) -> CaseReport {
+    check_case_coverage(case, injection).0
+}
+
+/// [`check_case`] plus the behavioral [`CoverageMap`] the case's system
+/// runs exercised: every run's counter delta and every applied event
+/// window is recorded on the [`PolicyCtx::SingleProcess`] plane. The
+/// map is a pure function of the case (the same runs already paid for),
+/// so coverage-guided scheduling costs no extra simulation.
+pub fn check_case_coverage(case: &FuzzCase, injection: Injection) -> (CaseReport, CoverageMap) {
     let mut failures = Vec::new();
     let mut digest_fold = FNV_OFFSET;
+    let mut coverage = CoverageMap::new();
     for &flavor in &FLAVORS {
         let oracle = match run_oracle(case, flavor) {
             Ok(o) => o,
@@ -360,6 +429,10 @@ pub fn check_case(case: &FuzzCase, injection: Injection) -> CaseReport {
             match run_system(case, flavor, accel, injection) {
                 Err(e) => failures.push(format!("[{flavor:?}/{accel:?}] {e}")),
                 Ok(run) => {
+                    coverage.record_run(accel, PolicyCtx::SingleProcess, &run.counters);
+                    for (kind, window) in &run.events {
+                        coverage.record_event(accel, PolicyCtx::SingleProcess, *kind, window);
+                    }
                     if run.digest != oracle.digest {
                         failures.push(format!(
                             "[{flavor:?}/{accel:?}] architectural divergence: {}",
@@ -383,11 +456,14 @@ pub fn check_case(case: &FuzzCase, injection: Injection) -> CaseReport {
             }
         }
     }
-    CaseReport {
-        seed: case.seed,
-        digest_fold,
-        failures,
-    }
+    (
+        CaseReport {
+            seed: case.seed,
+            digest_fold,
+            failures,
+        },
+        coverage,
+    )
 }
 
 /// Aggregate result of a [`run_difftest`] sweep.
@@ -402,6 +478,9 @@ pub struct DiffReport {
     pub cases: u64,
     /// FNV fold of every case's digest fold.
     pub digest: u64,
+    /// Behavioral-coverage count: distinct [`CoverageMap`] keys the
+    /// whole sweep exercised (merged in submission order).
+    pub coverage: usize,
 }
 
 /// Checks `cases` consecutive seeds starting at `seed_start`, sharded
@@ -415,11 +494,11 @@ pub fn run_difftest(
     injection: Injection,
     shrink: bool,
 ) -> DiffReport {
-    let cells: Vec<Cell<CaseReport>> = (0..cases)
+    let cells: Vec<Cell<(CaseReport, CoverageMap)>> = (0..cases)
         .map(|i| {
             let seed = seed_start + i;
             Cell::new(format!("seed{seed}"), move |_ctx| {
-                check_case(&FuzzCase::generate(seed), injection)
+                check_case_coverage(&FuzzCase::generate(seed), injection)
             })
         })
         .collect();
@@ -434,12 +513,14 @@ pub fn run_difftest(
         }
     );
     let mut digest = FNV_OFFSET;
+    let mut coverage = CoverageMap::new();
     let mut failures = 0usize;
     let mut first_failing: Option<u64> = None;
     for cell in report.cells {
         match cell.outcome {
-            CellOutcome::Done(r) => {
+            CellOutcome::Done((r, map)) => {
                 digest = fold64(digest, r.digest_fold);
+                coverage.merge(&map);
                 if !r.failures.is_empty() && first_failing.is_none() {
                     first_failing = Some(r.seed);
                 }
@@ -466,13 +547,15 @@ pub fn run_difftest(
     }
 
     output.push_str(&format!(
-        "difftest: {failures} failure(s) across {cases} case(s); state digest {digest:#018x}\n"
+        "difftest: {failures} failure(s) across {cases} case(s); coverage {} key(s); state digest {digest:#018x}\n",
+        coverage.count()
     ));
     DiffReport {
         output,
         failures,
         cases,
         digest,
+        coverage: coverage.count(),
     }
 }
 
@@ -489,6 +572,9 @@ struct MultiSystemRun {
     digests: Vec<ArchDigest>,
     counters: PerfCounters,
     switches: u64,
+    /// Applied schedule events with their counter windows (see
+    /// [`SystemRun::events`]); inapplicable no-op events are skipped.
+    events: Vec<(EventKind, EventWindow)>,
 }
 
 fn multi_machine_config(accel: LinkAccel, policy: SwitchPolicy) -> MachineConfig {
@@ -634,12 +720,14 @@ fn run_multi_system(
         case.shared_got_pair,
     )
     .map_err(|e| format!("system build: {e}"))?;
+    let mut snaps: Vec<(EventKind, PerfCounters)> = Vec::new();
     for ev in &case.schedule {
         mps.run_active_until_marks(ev.at_mark, RUN_BUDGET)
             .map_err(|e| format!("system run (process {}): {e}", mps.active()))?;
         if !case.applicable(mps.active(), &ev.event) {
             continue;
         }
+        snaps.push((EventKind::from(&ev.event), mps.counters()));
         apply_multi_system_event(&mut mps, ev.event, injection)?;
     }
     for p in 0..mps.n_procs() {
@@ -663,9 +751,11 @@ fn run_multi_system(
             )
         })
         .collect();
+    let counters = mps.counters();
     Ok(MultiSystemRun {
         digests,
-        counters: mps.counters(),
+        events: close_windows(snaps, &counters),
+        counters,
         switches: mps.switches(),
     })
 }
@@ -691,11 +781,19 @@ fn check_multi_counters(
             || c.abtb_hits != 0
             || c.abtb_flushes != 0
             || c.abtb_switch_flushes != 0
-            || c.abtb_coherence_flushes != 0)
+            || c.abtb_coherence_flushes != 0
+            || c.abtb_inserts != 0
+            || c.btb_function_trains != 0)
     {
         failures.push(format!(
             "baseline machine touched the ABTB: skipped={} hits={} flushes={}",
             c.trampolines_skipped, c.abtb_hits, c.abtb_flushes
+        ));
+    }
+    if !accel.has_bloom() && c.bloom_store_hits != 0 {
+        failures.push(format!(
+            "machine without a Bloom filter reported {} Bloom store hit(s)",
+            c.bloom_store_hits
         ));
     }
     if c.trampolines_skipped > c.abtb_hits {
@@ -764,8 +862,19 @@ fn check_multi_counters(
 /// flavors and both §3.3 switch policies — twelve system runs per case,
 /// with per-process digest comparison.
 pub fn check_multi_case(case: &MultiFuzzCase, injection: Injection) -> CaseReport {
+    check_multi_case_coverage(case, injection).0
+}
+
+/// [`check_multi_case`] plus the behavioral [`CoverageMap`] its runs
+/// exercised: each system run records onto the §3.3 policy plane it
+/// executed under.
+pub fn check_multi_case_coverage(
+    case: &MultiFuzzCase,
+    injection: Injection,
+) -> (CaseReport, CoverageMap) {
     let mut failures = Vec::new();
     let mut digest_fold = FNV_OFFSET;
+    let mut coverage = CoverageMap::new();
     for &flavor in &FLAVORS {
         let oracle = match run_multi_oracle(case, flavor) {
             Ok(o) => o,
@@ -783,6 +892,10 @@ pub fn check_multi_case(case: &MultiFuzzCase, injection: Injection) -> CaseRepor
                 match run_multi_system(case, flavor, accel, policy, injection) {
                     Err(e) => failures.push(format!("[{flavor:?}/{accel:?}/{policy:?}] {e}")),
                     Ok(run) => {
+                        coverage.record_run(accel, policy.into(), &run.counters);
+                        for (kind, window) in &run.events {
+                            coverage.record_event(accel, policy.into(), *kind, window);
+                        }
                         for (p, (got, want)) in
                             run.digests.iter().zip(oracle.digests.iter()).enumerate()
                         {
@@ -811,11 +924,14 @@ pub fn check_multi_case(case: &MultiFuzzCase, injection: Injection) -> CaseRepor
             }
         }
     }
-    CaseReport {
-        seed: case.seed,
-        digest_fold,
-        failures,
-    }
+    (
+        CaseReport {
+            seed: case.seed,
+            digest_fold,
+            failures,
+        },
+        coverage,
+    )
 }
 
 /// Multi-process analogue of [`run_difftest`]: checks `cases`
@@ -830,11 +946,11 @@ pub fn run_multi_difftest(
     injection: Injection,
     shrink: bool,
 ) -> DiffReport {
-    let cells: Vec<Cell<CaseReport>> = (0..cases)
+    let cells: Vec<Cell<(CaseReport, CoverageMap)>> = (0..cases)
         .map(|i| {
             let seed = seed_start + i;
             Cell::new(format!("seed{seed}"), move |_ctx| {
-                check_multi_case(&MultiFuzzCase::generate(seed), injection)
+                check_multi_case_coverage(&MultiFuzzCase::generate(seed), injection)
             })
         })
         .collect();
@@ -849,12 +965,14 @@ pub fn run_multi_difftest(
         }
     );
     let mut digest = FNV_OFFSET;
+    let mut coverage = CoverageMap::new();
     let mut failures = 0usize;
     let mut first_failing: Option<u64> = None;
     for cell in report.cells {
         match cell.outcome {
-            CellOutcome::Done(r) => {
+            CellOutcome::Done((r, map)) => {
                 digest = fold64(digest, r.digest_fold);
+                coverage.merge(&map);
                 if !r.failures.is_empty() && first_failing.is_none() {
                     first_failing = Some(r.seed);
                 }
@@ -885,13 +1003,15 @@ pub fn run_multi_difftest(
     }
 
     output.push_str(&format!(
-        "multi difftest: {failures} failure(s) across {cases} case(s); state digest {digest:#018x}\n"
+        "multi difftest: {failures} failure(s) across {cases} case(s); coverage {} key(s); state digest {digest:#018x}\n",
+        coverage.count()
     ));
     DiffReport {
         output,
         failures,
         cases,
         digest,
+        coverage: coverage.count(),
     }
 }
 

@@ -376,6 +376,7 @@ impl Core {
         self.counters.stores += 1;
         self.space.write_u64(addr, value)?;
         if self.cfg.accel.has_bloom() && self.bloom.maybe_contains(addr.as_u64()) {
+            self.counters.bloom_store_hits += 1;
             self.flush_abtb(FlushCause::Coherence);
         }
         Ok(())
@@ -463,6 +464,7 @@ impl Core {
                 if pred == Some(arch_target) {
                     return (arch_target, None);
                 }
+                self.counters.btb_function_trains += 1;
                 return (mapped, Some(arch_target));
             }
         }
@@ -670,6 +672,7 @@ impl Core {
         if inst.is_mem_indirect_jump() {
             if let (Some(p), Some(slot)) = (self.pending.take(), exec.loaded_slot) {
                 let key = self.tagged(p.call_target);
+                self.counters.abtb_inserts += 1;
                 self.abtb.insert(key, exec.next_pc);
                 if self.cfg.accel.has_bloom() {
                     // Raw (unsalted) key: any writer to this slot —
@@ -899,17 +902,13 @@ impl Machine {
     ///
     /// Ranges are normalized on ingestion: empty ranges are dropped,
     /// the rest are sorted and coalesced so membership tests can
-    /// binary-search. Overlapping input trips a debug assertion (it is
-    /// almost certainly a linker-layout bug) but is merged — not
-    /// misclassified — in release builds.
+    /// binary-search. Overlapping input is legal — multitenant setups
+    /// union the PLT ranges of VA-aliased process images — and is
+    /// merged, not misclassified.
     pub fn set_plt_ranges(&mut self, ranges: &[(VirtAddr, VirtAddr)]) {
         let mut sorted: Vec<(VirtAddr, VirtAddr)> =
             ranges.iter().copied().filter(|&(s, e)| s < e).collect();
         sorted.sort_by_key(|&(s, _)| s);
-        debug_assert!(
-            sorted.windows(2).all(|w| w[0].1 <= w[1].0),
-            "overlapping PLT ranges: {sorted:?}"
-        );
         let mut merged: Vec<(VirtAddr, VirtAddr)> = Vec::with_capacity(sorted.len());
         for (s, e) in sorted {
             match merged.last_mut() {
@@ -1117,6 +1116,7 @@ impl Machine {
         // never by the writer's ASID (see the coherence note on
         // `Core::tagged`), so notifications from any agent hit.
         if self.core.cfg.accel.has_bloom() && self.core.bloom.maybe_contains(addr.as_u64()) {
+            self.core.counters.bloom_store_hits += 1;
             self.core.flush_abtb(FlushCause::Coherence);
         }
     }

@@ -57,6 +57,18 @@ pub struct PerfCounters {
     /// ABTB flushes caused by coherence events: Bloom-filter hits on
     /// retired/external stores and explicit software invalidates.
     pub abtb_coherence_flushes: u64,
+    /// ABTB insertions by the retire-stage pattern detector — each one
+    /// is a trampoline that executed end-to-end and trained the
+    /// mechanism (paper §3.2, "Populating the ABTB").
+    pub abtb_inserts: u64,
+    /// Bloom-filter membership hits on observed stores (retired stores
+    /// and external-store notifications) — the coherence events of
+    /// §3.2, as opposed to explicit §3.4 invalidates.
+    pub bloom_store_hits: u64,
+    /// BTB retrainings to the ABTB-mapped *function* address (the skip
+    /// path of the modified branch-resolution rule), as opposed to
+    /// ordinary training toward the architectural trampoline target.
+    pub btb_function_trains: u64,
     /// Lazy-resolver invocations.
     pub resolver_invocations: u64,
 }
@@ -121,6 +133,13 @@ impl PerfCounters {
             abtb_coherence_flushes: self
                 .abtb_coherence_flushes
                 .saturating_sub(earlier.abtb_coherence_flushes),
+            abtb_inserts: self.abtb_inserts.saturating_sub(earlier.abtb_inserts),
+            bloom_store_hits: self
+                .bloom_store_hits
+                .saturating_sub(earlier.bloom_store_hits),
+            btb_function_trains: self
+                .btb_function_trains
+                .saturating_sub(earlier.btb_function_trains),
             resolver_invocations: self
                 .resolver_invocations
                 .saturating_sub(earlier.resolver_invocations),
@@ -146,6 +165,9 @@ impl PerfCounters {
         self.abtb_flushes += other.abtb_flushes;
         self.abtb_switch_flushes += other.abtb_switch_flushes;
         self.abtb_coherence_flushes += other.abtb_coherence_flushes;
+        self.abtb_inserts += other.abtb_inserts;
+        self.bloom_store_hits += other.bloom_store_hits;
+        self.btb_function_trains += other.btb_function_trains;
         self.resolver_invocations += other.resolver_invocations;
     }
 }

@@ -1,0 +1,569 @@
+//! Behavioral coverage map for coverage-guided differential fuzzing.
+//!
+//! Random fuzzing samples the mechanism's state machine blindly: rare
+//! interactions — a rebind landing while the BTB already skips the
+//! trampoline, a Bloom-filter hit under ASID-tagged retention, a §3.4
+//! invalidate racing lazy resolution — are only hit by luck. This
+//! module gives the guided fuzzer a *deterministic* feedback signal: a
+//! fixed-size bitmap keyed on microarchitectural transition signatures,
+//! computed purely from [`PerfCounters`] deltas (plus per-event counter
+//! windows the difftest driver snapshots around each scheduled event).
+//!
+//! Two key families make up the map:
+//!
+//! * **Run signals** — for each whole system run, every
+//!   [`Signal`] with a nonzero counter delta sets one bit per
+//!   `(signal, accel mode, switch policy, log-bucketed count)`. The
+//!   count bucket gives the scheduler a magnitude gradient (1 hit vs a
+//!   steady stream of hits are different behaviors).
+//! * **Event facets** — for each scheduled fuzz event that was applied,
+//!   one bit per `(event kind, facet, accel mode, switch policy)`,
+//!   where the [`EventFacet`]s classify the counter *window* around the
+//!   event: did trampolines already skip before it fired? did skips,
+//!   resolver runs, or coherence flushes follow it? These are exactly
+//!   the orderings the §3.2/§3.4 staleness arguments hinge on.
+//!
+//! Everything is a pure function of its inputs, so coverage is
+//! identical at every `--jobs` level and across runs — the property the
+//! guided scheduler's byte-identical reports rest on.
+
+use std::fmt;
+
+use dynlink_core::LinkAccel;
+use dynlink_uarch::PerfCounters;
+
+use crate::fuzz::{FuzzEvent, MultiFuzzEvent};
+
+/// A whole-run behavioral signal, observed as a nonzero counter delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// The retire-stage detector inserted an ABTB entry (a trampoline
+    /// executed end-to-end and trained the mechanism).
+    AbtbInsert,
+    /// An ABTB lookup hit at branch resolution.
+    AbtbHit,
+    /// A trampoline execution was skipped outright.
+    TrampolineSkipped,
+    /// Trampoline instructions retired (the BTB steered fetch *into*
+    /// the trampoline — the trained-to-trampoline regime).
+    TrampolineExecuted,
+    /// The BTB was retrained to the ABTB-mapped function address (the
+    /// trained-to-function regime of the modified resolution rule).
+    BtbFunctionTrain,
+    /// The ABTB was flushed by a context switch (§3.3 flush-on-switch).
+    SwitchFlush,
+    /// The ABTB was flushed by a coherence event (Bloom hit or explicit
+    /// §3.4 invalidate).
+    CoherenceFlush,
+    /// The Bloom filter matched an observed store to a watched GOT slot.
+    BloomStoreHit,
+    /// The lazy resolver ran.
+    ResolverInvoked,
+}
+
+/// Every [`Signal`], in bit order.
+pub const SIGNALS: [Signal; 9] = [
+    Signal::AbtbInsert,
+    Signal::AbtbHit,
+    Signal::TrampolineSkipped,
+    Signal::TrampolineExecuted,
+    Signal::BtbFunctionTrain,
+    Signal::SwitchFlush,
+    Signal::CoherenceFlush,
+    Signal::BloomStoreHit,
+    Signal::ResolverInvoked,
+];
+
+impl Signal {
+    /// Extracts this signal's count from a counter delta.
+    fn count(self, d: &PerfCounters) -> u64 {
+        match self {
+            Signal::AbtbInsert => d.abtb_inserts,
+            Signal::AbtbHit => d.abtb_hits,
+            Signal::TrampolineSkipped => d.trampolines_skipped,
+            Signal::TrampolineExecuted => d.trampoline_instructions,
+            Signal::BtbFunctionTrain => d.btb_function_trains,
+            Signal::SwitchFlush => d.abtb_switch_flushes,
+            Signal::CoherenceFlush => d.abtb_coherence_flushes,
+            Signal::BloomStoreHit => d.bloom_store_hits,
+            Signal::ResolverInvoked => d.resolver_invocations,
+        }
+    }
+
+    fn index(self) -> usize {
+        SIGNALS.iter().position(|&s| s == self).expect("in table")
+    }
+}
+
+/// The kind of an applied fuzz-schedule event, unifying the
+/// single-process and multi-process vocabularies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A context switch away-and-back within one process.
+    ContextSwitch,
+    /// An explicit §3.4 software ABTB invalidate.
+    Invalidate,
+    /// A `dlclose`-style library unbind.
+    Unbind,
+    /// A library-upgrade-style symbol rebind.
+    Rebind,
+    /// A switch to a *different* process (multi-process schedules).
+    SwitchProcess,
+}
+
+const EVENT_KINDS: [EventKind; 5] = [
+    EventKind::ContextSwitch,
+    EventKind::Invalidate,
+    EventKind::Unbind,
+    EventKind::Rebind,
+    EventKind::SwitchProcess,
+];
+
+impl EventKind {
+    fn index(self) -> usize {
+        EVENT_KINDS
+            .iter()
+            .position(|&k| k == self)
+            .expect("in table")
+    }
+}
+
+impl From<&FuzzEvent> for EventKind {
+    fn from(ev: &FuzzEvent) -> EventKind {
+        match ev {
+            FuzzEvent::ContextSwitch => EventKind::ContextSwitch,
+            FuzzEvent::AbtbInvalidate => EventKind::Invalidate,
+            FuzzEvent::Unbind { .. } => EventKind::Unbind,
+            FuzzEvent::Rebind { .. } => EventKind::Rebind,
+        }
+    }
+}
+
+impl From<&MultiFuzzEvent> for EventKind {
+    fn from(ev: &MultiFuzzEvent) -> EventKind {
+        match ev {
+            MultiFuzzEvent::Switch { .. } => EventKind::SwitchProcess,
+            MultiFuzzEvent::AbtbInvalidate => EventKind::Invalidate,
+            MultiFuzzEvent::Unbind { .. } => EventKind::Unbind,
+            MultiFuzzEvent::Rebind { .. } => EventKind::Rebind,
+        }
+    }
+}
+
+/// What the counter window around an applied event looked like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventFacet {
+    /// The event was applied at all under this context.
+    Applied,
+    /// Trampolines were already being skipped *before* the event fired
+    /// — the regime where a stale mapping cannot self-heal.
+    SkipsBefore,
+    /// Trampolines were skipped *after* the event.
+    SkipsAfter,
+    /// The lazy resolver ran after the event (e.g. re-resolution after
+    /// an unbind).
+    ResolverAfter,
+    /// A coherence flush followed the event.
+    CoherenceFlushAfter,
+}
+
+const EVENT_FACETS: [EventFacet; 5] = [
+    EventFacet::Applied,
+    EventFacet::SkipsBefore,
+    EventFacet::SkipsAfter,
+    EventFacet::ResolverAfter,
+    EventFacet::CoherenceFlushAfter,
+];
+
+impl EventFacet {
+    fn index(self) -> usize {
+        EVENT_FACETS
+            .iter()
+            .position(|&f| f == self)
+            .expect("in table")
+    }
+}
+
+/// The §3.3 context-switch-policy coordinate of a run. Single-process
+/// runs have no policy axis, so they occupy their own plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyCtx {
+    /// A single-process run (no switch-policy axis).
+    SingleProcess,
+    /// Multi-process under flush-on-switch.
+    FlushOnSwitch,
+    /// Multi-process under ASID-tagged retention.
+    AsidTagged,
+}
+
+const POLICIES: [PolicyCtx; 3] = [
+    PolicyCtx::SingleProcess,
+    PolicyCtx::FlushOnSwitch,
+    PolicyCtx::AsidTagged,
+];
+
+impl PolicyCtx {
+    fn index(self) -> usize {
+        POLICIES.iter().position(|&p| p == self).expect("in table")
+    }
+}
+
+fn accel_index(accel: LinkAccel) -> usize {
+    match accel {
+        LinkAccel::Off => 0,
+        LinkAccel::Abtb => 1,
+        LinkAccel::AbtbNoBloom => 2,
+    }
+}
+
+fn accel_name(i: usize) -> &'static str {
+    ["Off", "Abtb", "AbtbNoBloom"][i]
+}
+
+fn policy_name(i: usize) -> &'static str {
+    ["Single", "FlushOnSwitch", "AsidTagged"][i]
+}
+
+const N_ACCEL: usize = 3;
+const N_POLICY: usize = 3;
+const N_BUCKET: usize = 4;
+const RUN_BITS: usize = SIGNALS.len() * N_ACCEL * N_POLICY * N_BUCKET;
+const EVENT_BITS: usize = EVENT_KINDS.len() * EVENT_FACETS.len() * N_ACCEL * N_POLICY;
+
+/// Log-style magnitude bucket: 1, 2–4, 5–16, 17+.
+fn bucket(count: u64) -> usize {
+    match count {
+        0 => unreachable!("bucket of zero count"),
+        1 => 0,
+        2..=4 => 1,
+        5..=16 => 2,
+        _ => 3,
+    }
+}
+
+/// The counter window the difftest driver snapshots around one applied
+/// schedule event: the cumulative counters when the event fired, and
+/// the delta accumulated from the event to the end of the run.
+#[derive(Debug, Clone, Copy)]
+pub struct EventWindow {
+    /// Cumulative counters at the moment the event was applied.
+    pub before: PerfCounters,
+    /// Counter delta from the event to the end of the run.
+    pub after: PerfCounters,
+}
+
+/// A fixed-size deterministic behavioral coverage bitmap.
+///
+/// # Examples
+///
+/// ```
+/// use dynlink_core::LinkAccel;
+/// use dynlink_uarch::PerfCounters;
+/// use dynlink_workloads::coverage::{CoverageMap, PolicyCtx};
+///
+/// let mut map = CoverageMap::new();
+/// let delta = PerfCounters { abtb_hits: 3, ..PerfCounters::default() };
+/// map.record_run(LinkAccel::Abtb, PolicyCtx::SingleProcess, &delta);
+/// assert_eq!(map.count(), 1);
+/// // Same observation again: no new coverage.
+/// let mut again = CoverageMap::new();
+/// again.record_run(LinkAccel::Abtb, PolicyCtx::SingleProcess, &delta);
+/// assert!(map.merge(&again).is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CoverageMap {
+    words: Vec<u64>,
+}
+
+impl CoverageMap {
+    /// Total number of distinct coverage keys.
+    pub const BITS: usize = RUN_BITS + EVENT_BITS;
+
+    /// Creates an empty map.
+    pub fn new() -> CoverageMap {
+        CoverageMap {
+            words: vec![0; Self::BITS.div_ceil(64)],
+        }
+    }
+
+    fn set(&mut self, bit: usize) {
+        debug_assert!(bit < Self::BITS);
+        if self.words.is_empty() {
+            *self = Self::new();
+        }
+        self.words[bit / 64] |= 1 << (bit % 64);
+    }
+
+    /// Whether `bit` is set.
+    pub fn contains(&self, bit: usize) -> bool {
+        self.words
+            .get(bit / 64)
+            .is_some_and(|w| w & (1 << (bit % 64)) != 0)
+    }
+
+    /// Number of set bits — the behavioral-coverage count.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every bit set in `self` is also set in `other`.
+    pub fn subset_of(&self, other: &CoverageMap) -> bool {
+        self.iter_set().all(|b| other.contains(b))
+    }
+
+    /// Folds `other` into `self`, returning the bits that were newly
+    /// set (in ascending order) — the novelty signal the corpus
+    /// scheduler keys on.
+    pub fn merge(&mut self, other: &CoverageMap) -> Vec<usize> {
+        if self.words.is_empty() {
+            *self = Self::new();
+        }
+        let mut novel = Vec::new();
+        for (i, &w) in other.words.iter().enumerate() {
+            let mut new_bits = w & !self.words[i];
+            self.words[i] |= w;
+            while new_bits != 0 {
+                let b = new_bits.trailing_zeros() as usize;
+                novel.push(i * 64 + b);
+                new_bits &= new_bits - 1;
+            }
+        }
+        novel
+    }
+
+    /// Iterates the set bits in ascending order.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| i * 64 + b)
+        })
+    }
+
+    /// Records the run-signal bits for one system run: every signal
+    /// with a nonzero delta sets its `(signal, accel, policy, bucket)`
+    /// key.
+    pub fn record_run(&mut self, accel: LinkAccel, policy: PolicyCtx, delta: &PerfCounters) {
+        for &sig in &SIGNALS {
+            let n = sig.count(delta);
+            if n > 0 {
+                self.set(run_bit(sig, accel, policy, bucket(n)));
+            }
+        }
+    }
+
+    /// Records the facet bits for one applied schedule event, given its
+    /// surrounding counter window.
+    pub fn record_event(
+        &mut self,
+        accel: LinkAccel,
+        policy: PolicyCtx,
+        kind: EventKind,
+        window: &EventWindow,
+    ) {
+        self.set(event_bit(kind, EventFacet::Applied, accel, policy));
+        if window.before.trampolines_skipped > 0 {
+            self.set(event_bit(kind, EventFacet::SkipsBefore, accel, policy));
+        }
+        if window.after.trampolines_skipped > 0 {
+            self.set(event_bit(kind, EventFacet::SkipsAfter, accel, policy));
+        }
+        if window.after.resolver_invocations > 0 {
+            self.set(event_bit(kind, EventFacet::ResolverAfter, accel, policy));
+        }
+        if window.after.abtb_coherence_flushes > 0 {
+            self.set(event_bit(
+                kind,
+                EventFacet::CoherenceFlushAfter,
+                accel,
+                policy,
+            ));
+        }
+    }
+}
+
+/// Bit index of a run-signal key.
+fn run_bit(sig: Signal, accel: LinkAccel, policy: PolicyCtx, bucket: usize) -> usize {
+    ((sig.index() * N_ACCEL + accel_index(accel)) * N_POLICY + policy.index()) * N_BUCKET + bucket
+}
+
+/// Bit index of an event-facet key.
+fn event_bit(kind: EventKind, facet: EventFacet, accel: LinkAccel, policy: PolicyCtx) -> usize {
+    RUN_BITS
+        + ((kind.index() * EVENT_FACETS.len() + facet.index()) * N_ACCEL + accel_index(accel))
+            * N_POLICY
+        + policy.index()
+}
+
+/// Human-readable name of a coverage key, for reports and debugging.
+pub fn describe_bit(bit: usize) -> String {
+    if bit < RUN_BITS {
+        let b = bit % N_BUCKET;
+        let p = (bit / N_BUCKET) % N_POLICY;
+        let a = (bit / (N_BUCKET * N_POLICY)) % N_ACCEL;
+        let s = bit / (N_BUCKET * N_POLICY * N_ACCEL);
+        let range = ["1", "2-4", "5-16", "17+"][b];
+        format!(
+            "run:{:?}x{}/{}/{}",
+            SIGNALS[s],
+            range,
+            accel_name(a),
+            policy_name(p)
+        )
+    } else {
+        let e = bit - RUN_BITS;
+        let p = e % N_POLICY;
+        let a = (e / N_POLICY) % N_ACCEL;
+        let f = (e / (N_POLICY * N_ACCEL)) % EVENT_FACETS.len();
+        let k = e / (N_POLICY * N_ACCEL * EVENT_FACETS.len());
+        format!(
+            "event:{:?}.{:?}/{}/{}",
+            EVENT_KINDS[k],
+            EVENT_FACETS[f],
+            accel_name(a),
+            policy_name(p)
+        )
+    }
+}
+
+impl fmt::Display for CoverageMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "coverage {}/{} keys", self.count(), Self::BITS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_has_no_coverage() {
+        let m = CoverageMap::new();
+        assert_eq!(m.count(), 0);
+        assert!(!m.contains(0));
+        assert_eq!(m.iter_set().count(), 0);
+    }
+
+    #[test]
+    fn bit_indices_are_unique_and_in_range() {
+        let mut seen = std::collections::HashSet::new();
+        for &sig in &SIGNALS {
+            for accel in [LinkAccel::Off, LinkAccel::Abtb, LinkAccel::AbtbNoBloom] {
+                for &policy in &POLICIES {
+                    for b in 0..N_BUCKET {
+                        let bit = run_bit(sig, accel, policy, b);
+                        assert!(bit < RUN_BITS);
+                        assert!(seen.insert(bit), "duplicate run bit {bit}");
+                    }
+                }
+            }
+        }
+        for &kind in &EVENT_KINDS {
+            for &facet in &EVENT_FACETS {
+                for accel in [LinkAccel::Off, LinkAccel::Abtb, LinkAccel::AbtbNoBloom] {
+                    for &policy in &POLICIES {
+                        let bit = event_bit(kind, facet, accel, policy);
+                        assert!((RUN_BITS..CoverageMap::BITS).contains(&bit));
+                        assert!(seen.insert(bit), "duplicate event bit {bit}");
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), CoverageMap::BITS);
+    }
+
+    #[test]
+    fn record_run_buckets_by_magnitude() {
+        let mut m = CoverageMap::new();
+        let one = PerfCounters {
+            abtb_hits: 1,
+            ..PerfCounters::default()
+        };
+        let many = PerfCounters {
+            abtb_hits: 100,
+            ..PerfCounters::default()
+        };
+        m.record_run(LinkAccel::Abtb, PolicyCtx::SingleProcess, &one);
+        assert_eq!(m.count(), 1);
+        m.record_run(LinkAccel::Abtb, PolicyCtx::SingleProcess, &one);
+        assert_eq!(m.count(), 1, "same observation is not new coverage");
+        m.record_run(LinkAccel::Abtb, PolicyCtx::SingleProcess, &many);
+        assert_eq!(m.count(), 2, "a different magnitude is");
+        m.record_run(LinkAccel::AbtbNoBloom, PolicyCtx::SingleProcess, &one);
+        assert_eq!(m.count(), 3, "a different accel mode is");
+        m.record_run(LinkAccel::Abtb, PolicyCtx::AsidTagged, &one);
+        assert_eq!(m.count(), 4, "a different policy is");
+    }
+
+    #[test]
+    fn merge_reports_exactly_the_novel_bits() {
+        let mut base = CoverageMap::new();
+        let mut add = CoverageMap::new();
+        base.set(3);
+        base.set(70);
+        add.set(70);
+        add.set(71);
+        add.set(500);
+        let novel = base.merge(&add);
+        assert_eq!(novel, vec![71, 500]);
+        assert_eq!(base.count(), 4);
+        assert!(add.subset_of(&base));
+        assert!(!base.subset_of(&add));
+        assert!(base.merge(&add).is_empty(), "re-merge adds nothing");
+    }
+
+    #[test]
+    fn event_facets_follow_the_window() {
+        let mut m = CoverageMap::new();
+        let w = EventWindow {
+            before: PerfCounters {
+                trampolines_skipped: 2,
+                ..PerfCounters::default()
+            },
+            after: PerfCounters {
+                resolver_invocations: 1,
+                ..PerfCounters::default()
+            },
+        };
+        m.record_event(
+            LinkAccel::Abtb,
+            PolicyCtx::SingleProcess,
+            EventKind::Rebind,
+            &w,
+        );
+        // Applied + SkipsBefore + ResolverAfter, not SkipsAfter/Flush.
+        assert_eq!(m.count(), 3);
+        for bit in m.iter_set() {
+            let name = describe_bit(bit);
+            assert!(name.contains("Rebind"), "{name}");
+        }
+    }
+
+    #[test]
+    fn describe_names_every_bit_uniquely() {
+        let mut names = std::collections::HashSet::new();
+        for bit in 0..CoverageMap::BITS {
+            assert!(names.insert(describe_bit(bit)), "duplicate name at {bit}");
+        }
+    }
+
+    #[test]
+    fn event_kind_mapping_covers_both_vocabularies() {
+        assert_eq!(
+            EventKind::from(&FuzzEvent::ContextSwitch),
+            EventKind::ContextSwitch
+        );
+        assert_eq!(
+            EventKind::from(&FuzzEvent::Rebind { lib: 0 }),
+            EventKind::Rebind
+        );
+        assert_eq!(
+            EventKind::from(&MultiFuzzEvent::Switch { to: 1 }),
+            EventKind::SwitchProcess
+        );
+        assert_eq!(
+            EventKind::from(&MultiFuzzEvent::Unbind { lib: 0 }),
+            EventKind::Unbind
+        );
+    }
+}

@@ -38,9 +38,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coverage;
 pub mod fuzz;
 mod gen;
+pub mod mutate;
 mod profile;
+pub mod repro;
 mod runner;
 
 pub use gen::{generate, GeneratedWorkload};

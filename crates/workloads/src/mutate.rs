@@ -1,0 +1,489 @@
+//! Structure-aware mutation operators for coverage-guided fuzzing.
+//!
+//! Classic byte-level mutation is useless against [`FuzzCase`]: almost
+//! any bit flip yields a case the builders reject. These operators work
+//! on the *fields* — splice event schedules between corpus parents,
+//! duplicate/retime/drop events, toggle the ifunc/shadow/lazy axes,
+//! perturb the acyclic call graph — and every one is followed by a
+//! [`sanitize_case`] pass that restores the generator's invariants, so
+//! **every mutant builds its modules and runs** (the property the
+//! mutation-validity test pins).
+//!
+//! Mutation is deterministic in `(input, pool, rng state)`; the guided
+//! scheduler derives per-candidate RNGs from the run seed, so the whole
+//! fuzzing campaign replays bit-for-bit.
+
+use dynlink_rng::Rng;
+
+use crate::fuzz::{
+    FuzzCase, FuzzEvent, MultiFuzzCase, MultiFuzzEvent, MultiScheduledEvent, ScheduledEvent,
+};
+
+/// Upper bound a mutant's iteration count is clamped to, keeping runs
+/// within the difftest budget no matter how many duplications pile up.
+const MAX_ITERATIONS: u64 = 64;
+
+/// Upper bound on schedule length after mutation.
+const MAX_EVENTS: usize = 12;
+
+/// Restores the generator invariants on a mutated single-process case
+/// so it is guaranteed to build and run:
+///
+/// * at least one library; `lib_callee`/`lib_store` lengths match
+///   `lib_delta`; callees are in-range and acyclic (`j > i`),
+/// * `calls` is non-empty and indexes the import list,
+/// * `iterations` is clamped to `[1, 64]`,
+/// * scheduled events land in `[2, iterations)` (dropped when the run
+///   is too short for any), event lib indices are in range, rebinds
+///   only survive alongside a shadow module, the schedule is sorted by
+///   mark and capped in length.
+///
+/// Idempotent: sanitizing a sanitized case changes nothing.
+pub fn sanitize_case(case: &mut FuzzCase) {
+    if case.lib_delta.is_empty() {
+        case.lib_delta.push(1);
+    }
+    let n_libs = case.lib_delta.len();
+    case.lib_callee.resize(n_libs, None);
+    case.lib_callee.truncate(n_libs);
+    case.lib_store.resize(n_libs, false);
+    case.lib_store.truncate(n_libs);
+    for (i, callee) in case.lib_callee.iter_mut().enumerate() {
+        if callee.is_some_and(|j| j <= i || j >= n_libs) {
+            *callee = None;
+        }
+    }
+
+    case.hw_level = case.hw_level.min(1);
+    let n_imports = n_libs + usize::from(case.use_ifunc);
+    case.calls.retain(|&c| c < n_imports);
+    if case.calls.is_empty() {
+        case.calls.push(0);
+    }
+
+    case.iterations = case.iterations.clamp(1, MAX_ITERATIONS);
+    if case.iterations < 3 {
+        // No mark in [2, iterations) exists; events can never fire.
+        case.schedule.clear();
+    } else {
+        let iters = case.iterations;
+        let shadow = case.shadow;
+        case.schedule
+            .retain(|ev| shadow || !matches!(ev.event, FuzzEvent::Rebind { .. }));
+        for ev in &mut case.schedule {
+            ev.at_mark = ev.at_mark.clamp(2, iters - 1);
+            match &mut ev.event {
+                FuzzEvent::Unbind { lib } | FuzzEvent::Rebind { lib } => *lib %= n_libs,
+                FuzzEvent::ContextSwitch | FuzzEvent::AbtbInvalidate => {}
+            }
+        }
+    }
+    case.schedule.truncate(MAX_EVENTS);
+    case.schedule.sort_by_key(|e| e.at_mark);
+}
+
+/// Restores the invariants on a mutated multi-process case: every
+/// process program is sanitized with an empty per-process schedule,
+/// the shared-GOT pair is either structurally re-mirrored or dissolved,
+/// and cross-process schedule marks are clamped. Events that remain
+/// inapplicable (a switch to the active process, say) are harmless:
+/// [`MultiFuzzCase::applicable`] makes them identical no-ops on the
+/// oracle and system sides.
+pub fn sanitize_multi_case(case: &mut MultiFuzzCase) {
+    if case.procs.is_empty() {
+        case.procs.push(FuzzCase {
+            seed: case.seed,
+            ..FuzzCase::generate(case.seed)
+        });
+    }
+    case.procs.truncate(4);
+    for p in &mut case.procs {
+        p.schedule.clear();
+        sanitize_case(p);
+    }
+
+    let n_procs = case.procs.len();
+    match case.shared_got_pair {
+        Some((a, b)) if a < n_procs && b < n_procs && a != b => {
+            // Pair members must stay structurally identical (same
+            // module shapes → same deterministic layout → full VA
+            // aliasing); only data immediates may differ. Re-mirror the
+            // structure of `a` onto `b`, preserving `b`'s deltas where
+            // the shapes still line up.
+            let mut mirror = case.procs[a].clone();
+            let donor = &case.procs[b];
+            if donor.lib_delta.len() == mirror.lib_delta.len() {
+                mirror.lib_delta = donor.lib_delta.clone();
+            }
+            mirror.iterations = donor.iterations;
+            mirror.seed = donor.seed;
+            case.procs[b] = mirror;
+        }
+        _ => case.shared_got_pair = None,
+    }
+
+    case.schedule.truncate(MAX_EVENTS);
+    for ev in &mut case.schedule {
+        ev.at_mark = ev.at_mark.clamp(1, MAX_ITERATIONS);
+    }
+}
+
+fn random_event(case: &FuzzCase, rng: &mut Rng) -> FuzzEvent {
+    let n_libs = case.n_libs();
+    match rng.gen_index(0..4) {
+        0 => FuzzEvent::ContextSwitch,
+        1 => FuzzEvent::AbtbInvalidate,
+        2 => FuzzEvent::Unbind {
+            lib: rng.gen_index(0..n_libs),
+        },
+        _ if case.shadow => FuzzEvent::Rebind {
+            lib: rng.gen_index(0..n_libs),
+        },
+        _ => FuzzEvent::Unbind {
+            lib: rng.gen_index(0..n_libs),
+        },
+    }
+}
+
+/// Mutates the program-shaping fields (everything but the schedule).
+fn mutate_program(case: &mut FuzzCase, rng: &mut Rng) {
+    match rng.gen_index(0..9) {
+        0 => case.shadow = !case.shadow,
+        1 => case.use_ifunc = !case.use_ifunc,
+        2 => {
+            case.mode = match case.mode {
+                dynlink_linker::LinkMode::DynamicLazy => dynlink_linker::LinkMode::DynamicNow,
+                _ => dynlink_linker::LinkMode::DynamicLazy,
+            }
+        }
+        3 => {
+            let i = rng.gen_index(0..case.lib_delta.len());
+            case.lib_delta[i] = rng.gen_range(1..100);
+        }
+        4 => {
+            // Rewire one library-to-library call (or cut it).
+            let n = case.n_libs();
+            let i = rng.gen_index(0..n);
+            case.lib_callee[i] = if i + 1 < n && rng.gen_ratio(2, 3) {
+                Some(rng.gen_index(i + 1..n))
+            } else {
+                None
+            };
+        }
+        5 => {
+            let i = rng.gen_index(0..case.lib_store.len());
+            case.lib_store[i] = !case.lib_store[i];
+        }
+        6 => {
+            // Perturb the per-iteration call list.
+            let n_imports = case.n_libs() + usize::from(case.use_ifunc);
+            match rng.gen_index(0..3) {
+                0 if case.calls.len() < 6 => case.calls.push(rng.gen_index(0..n_imports)),
+                1 if case.calls.len() > 1 => {
+                    let i = rng.gen_index(0..case.calls.len());
+                    case.calls.remove(i);
+                }
+                _ => {
+                    let i = rng.gen_index(0..case.calls.len());
+                    case.calls[i] = rng.gen_index(0..n_imports);
+                }
+            }
+        }
+        7 => {
+            // Perturb or amplify the iteration count. Doubling jumps
+            // straight toward the high count buckets (17+) that the
+            // generator's 4..20 range can never reach — small additive
+            // steps would need many generations to get there.
+            case.iterations = match rng.gen_index(0..3) {
+                0 => case.iterations.saturating_add(rng.gen_range(1..8)),
+                1 => case.iterations.saturating_sub(rng.gen_range(1..4)),
+                _ => case.iterations.saturating_mul(2),
+            };
+        }
+        _ => {
+            // Grow or shrink the library set.
+            if case.n_libs() < 4 && rng.gen_ratio(1, 2) {
+                case.lib_delta.push(rng.gen_range(1..100));
+                case.lib_callee.push(None);
+                case.lib_store.push(rng.gen_ratio(1, 3));
+            } else if case.n_libs() > 1 {
+                case.lib_delta.pop();
+                case.lib_callee.pop();
+                case.lib_store.pop();
+            }
+        }
+    }
+}
+
+/// Mutates the event schedule.
+fn mutate_schedule(case: &mut FuzzCase, pool: &[FuzzCase], rng: &mut Rng) {
+    match rng.gen_index(0..6) {
+        // Splice: adopt a slice of another corpus member's schedule.
+        0 if !pool.is_empty() => {
+            let donor = &pool[rng.gen_index(0..pool.len())];
+            if donor.schedule.is_empty() {
+                case.schedule.push(ScheduledEvent {
+                    at_mark: 2 + rng.gen_range(0..8),
+                    event: random_event(case, rng),
+                });
+            } else {
+                let start = rng.gen_index(0..donor.schedule.len());
+                case.schedule.extend_from_slice(&donor.schedule[start..]);
+            }
+        }
+        1 if !case.schedule.is_empty() => {
+            // Duplicate an event (possibly landing at a different mark).
+            let i = rng.gen_index(0..case.schedule.len());
+            let mut ev = case.schedule[i];
+            if rng.gen_ratio(1, 2) {
+                ev.at_mark = 2 + rng.gen_range(0..8);
+            }
+            case.schedule.push(ev);
+        }
+        2 if !case.schedule.is_empty() => {
+            // Retime an event.
+            let i = rng.gen_index(0..case.schedule.len());
+            case.schedule[i].at_mark = 2 + rng.gen_range(0..8);
+        }
+        3 if !case.schedule.is_empty() => {
+            let i = rng.gen_index(0..case.schedule.len());
+            case.schedule.remove(i);
+        }
+        4 if !case.schedule.is_empty() => {
+            // Event storm: replay the whole schedule again at later
+            // marks. Generated schedules top out at ~5 events, so the
+            // event-count buckets past that are only reachable by
+            // compounding — one doubling op gets there in a step.
+            let shift = rng.gen_range(1..6);
+            let extra: Vec<ScheduledEvent> = case
+                .schedule
+                .iter()
+                .map(|ev| ScheduledEvent {
+                    at_mark: ev.at_mark + shift,
+                    event: ev.event,
+                })
+                .collect();
+            case.schedule.extend(extra);
+        }
+        _ => {
+            case.schedule.push(ScheduledEvent {
+                at_mark: 2 + rng.gen_range(0..8),
+                event: random_event(case, rng),
+            });
+        }
+    }
+}
+
+/// Produces one structure-aware mutant of `case`. `pool` supplies
+/// splice donors (the current corpus); it may be empty. The result is
+/// always sanitized, so it builds and runs under every driver.
+pub fn mutate_case(case: &FuzzCase, pool: &[FuzzCase], rng: &mut Rng) -> FuzzCase {
+    let mut m = case.clone();
+    // Usually one to three stacked operators (neighborhood search);
+    // one mutant in four goes havoc with up to eight, which is what
+    // reaches compound states — long event storms, amplified iteration
+    // counts — that no single step produces.
+    let n_ops = if rng.gen_ratio(1, 4) {
+        1 + rng.gen_index(0..8)
+    } else {
+        1 + rng.gen_index(0..3)
+    };
+    for _ in 0..n_ops {
+        if rng.gen_ratio(1, 2) {
+            mutate_program(&mut m, rng);
+        } else {
+            mutate_schedule(&mut m, pool, rng);
+        }
+        sanitize_case(&mut m);
+    }
+    m
+}
+
+fn random_multi_event(case: &MultiFuzzCase, active_hint: usize, rng: &mut Rng) -> MultiFuzzEvent {
+    let n_procs = case.procs.len();
+    let p = &case.procs[active_hint.min(n_procs - 1)];
+    match rng.gen_index(0..4) {
+        0 if n_procs > 1 => MultiFuzzEvent::Switch {
+            to: rng.gen_index(0..n_procs),
+        },
+        1 => MultiFuzzEvent::AbtbInvalidate,
+        2 => MultiFuzzEvent::Unbind {
+            lib: rng.gen_index(0..p.n_libs()),
+        },
+        _ if p.shadow => MultiFuzzEvent::Rebind {
+            lib: rng.gen_index(0..p.n_libs()),
+        },
+        _ => MultiFuzzEvent::Unbind {
+            lib: rng.gen_index(0..p.n_libs()),
+        },
+    }
+}
+
+/// Produces one structure-aware mutant of a multi-process case. `pool`
+/// supplies splice donors; the result is always sanitized.
+pub fn mutate_multi_case(
+    case: &MultiFuzzCase,
+    pool: &[MultiFuzzCase],
+    rng: &mut Rng,
+) -> MultiFuzzCase {
+    let mut m = case.clone();
+    let n_ops = 1 + rng.gen_index(0..3);
+    for _ in 0..n_ops {
+        match rng.gen_index(0..6) {
+            0 => {
+                // Mutate one process's program in place.
+                let i = rng.gen_index(0..m.procs.len());
+                mutate_program(&mut m.procs[i], rng);
+            }
+            1 if !pool.is_empty() => {
+                // Splice a tail of another corpus member's schedule.
+                let donor = &pool[rng.gen_index(0..pool.len())];
+                if !donor.schedule.is_empty() {
+                    let start = rng.gen_index(0..donor.schedule.len());
+                    m.schedule.extend_from_slice(&donor.schedule[start..]);
+                }
+            }
+            2 if !m.schedule.is_empty() => {
+                // Duplicate or retime an event.
+                let i = rng.gen_index(0..m.schedule.len());
+                if rng.gen_ratio(1, 2) {
+                    let ev = m.schedule[i];
+                    m.schedule.push(ev);
+                } else {
+                    m.schedule[i].at_mark = 1 + rng.gen_range(0..8);
+                }
+            }
+            3 if m.schedule.len() > 1 => {
+                let i = rng.gen_index(0..m.schedule.len());
+                m.schedule.remove(i);
+            }
+            4 => {
+                // Toggle the shared-GOT pair: dissolve it, or forge one
+                // from processes 0 and 1 (sanitize re-mirrors them).
+                m.shared_got_pair = match m.shared_got_pair {
+                    Some(_) => None,
+                    None if m.procs.len() >= 2 => Some((0, 1)),
+                    None => None,
+                };
+            }
+            _ => {
+                m.schedule.push(MultiScheduledEvent {
+                    at_mark: 1 + rng.gen_range(0..8),
+                    event: random_multi_event(&m, rng.gen_index(0..m.procs.len()), rng),
+                });
+            }
+        }
+        sanitize_multi_case(&mut m);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynlink_linker::LinkOptions;
+    use dynlink_oracle::Oracle;
+
+    fn run_in_oracle(case: &FuzzCase) {
+        let opts = LinkOptions {
+            mode: case.mode,
+            hw_level: case.hw_level,
+            ..LinkOptions::default()
+        };
+        let mut oracle = Oracle::new(&case.modules(), opts, "main")
+            .unwrap_or_else(|e| panic!("mutant failed to build: {e}\n{case}"));
+        oracle
+            .run(2_000_000)
+            .unwrap_or_else(|e| panic!("mutant faulted: {e}\n{case}"));
+        assert!(oracle.halted(), "mutant did not halt: {case}");
+    }
+
+    #[test]
+    fn sanitize_is_idempotent_on_generated_cases() {
+        for seed in 0..50 {
+            let case = FuzzCase::generate(seed);
+            let mut s = case.clone();
+            sanitize_case(&mut s);
+            assert_eq!(case, s, "generator output must already be sanitary");
+        }
+    }
+
+    #[test]
+    fn sanitize_repairs_a_broken_case() {
+        let mut case = FuzzCase::generate(11);
+        case.lib_delta.clear();
+        case.lib_callee = vec![Some(0), Some(9)];
+        case.calls = vec![99];
+        case.iterations = 1_000_000;
+        case.shadow = false;
+        case.schedule = vec![ScheduledEvent {
+            at_mark: 500,
+            event: FuzzEvent::Rebind { lib: 77 },
+        }];
+        sanitize_case(&mut case);
+        assert_eq!(case.n_libs(), 1);
+        assert_eq!(case.lib_callee, vec![None]);
+        assert_eq!(case.calls, vec![0]);
+        assert!(case.iterations <= MAX_ITERATIONS);
+        assert!(case.schedule.is_empty(), "rebind without shadow dropped");
+        run_in_oracle(&case);
+    }
+
+    #[test]
+    fn mutants_build_and_run() {
+        let mut rng = dynlink_rng::Rng::seed_from_u64(0xabc);
+        let pool: Vec<FuzzCase> = (0..8).map(FuzzCase::generate).collect();
+        for seed in 0..30 {
+            let mut case = FuzzCase::generate(seed);
+            for step in 0..4 {
+                case = mutate_case(&case, &pool, &mut rng);
+                let mut s = case.clone();
+                sanitize_case(&mut s);
+                assert_eq!(case, s, "mutant not sanitary at step {step}: {case}");
+                run_in_oracle(&case);
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_in_the_rng() {
+        let pool: Vec<FuzzCase> = (0..4).map(FuzzCase::generate).collect();
+        let case = FuzzCase::generate(9);
+        let mut a = dynlink_rng::Rng::seed_from_u64(77);
+        let mut b = dynlink_rng::Rng::seed_from_u64(77);
+        for _ in 0..20 {
+            assert_eq!(
+                mutate_case(&case, &pool, &mut a),
+                mutate_case(&case, &pool, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn multi_mutants_keep_pair_structural_identity() {
+        let mut rng = dynlink_rng::Rng::seed_from_u64(0xdef);
+        let pool: Vec<MultiFuzzCase> = (0..6).map(MultiFuzzCase::generate).collect();
+        for seed in 0..20 {
+            let mut case = MultiFuzzCase::generate(seed);
+            for _ in 0..4 {
+                case = mutate_multi_case(&case, &pool, &mut rng);
+                let mut s = case.clone();
+                sanitize_multi_case(&mut s);
+                assert_eq!(case, s, "multi mutant not sanitary: {case}");
+                if let Some((a, b)) = case.shared_got_pair {
+                    let (pa, pb) = (&case.procs[a], &case.procs[b]);
+                    assert_eq!(pa.lib_callee, pb.lib_callee, "{case}");
+                    assert_eq!(pa.lib_store, pb.lib_store, "{case}");
+                    assert_eq!(pa.shadow, pb.shadow, "{case}");
+                    assert_eq!(pa.use_ifunc, pb.use_ifunc, "{case}");
+                    assert_eq!(pa.mode, pb.mode, "{case}");
+                    assert_eq!(pa.calls, pb.calls, "{case}");
+                }
+                for p in &case.procs {
+                    assert!(p.schedule.is_empty());
+                    run_in_oracle(p);
+                }
+            }
+        }
+    }
+}

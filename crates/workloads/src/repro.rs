@@ -1,0 +1,384 @@
+//! Parsers for the plain-text reproducer format.
+//!
+//! The shrinker prints failing cases in the single-line
+//! [`FuzzCase`] / multiline [`MultiFuzzCase`] `Display` formats; this
+//! module parses those exact formats back, so a printed reproducer can
+//! be pasted into a `corpus/` file and replayed forever. Round-trip is
+//! exact: `parse(case.to_string()) == case` for every case the
+//! generator or mutator can produce (pinned by tests here and in the
+//! mutation-validity suite).
+//!
+//! Corpus files allow `#` comment lines and blank lines around the
+//! case text; [`parse_corpus_file`] strips those and dispatches on the
+//! `multi ` prefix.
+
+use std::str::FromStr;
+
+use dynlink_linker::LinkMode;
+
+use crate::fuzz::{
+    FuzzCase, FuzzEvent, MultiFuzzCase, MultiFuzzEvent, MultiScheduledEvent, ScheduledEvent,
+};
+
+/// A parsed corpus entry: either flavor of reproducer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusCase {
+    /// A single-process reproducer (one line).
+    Single(FuzzCase),
+    /// A multi-process reproducer (multiline, `multi `-prefixed).
+    Multi(MultiFuzzCase),
+}
+
+impl std::fmt::Display for CorpusCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusCase::Single(c) => write!(f, "{c}"),
+            CorpusCase::Multi(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Parses one corpus file: `#` comments and blank lines are ignored;
+/// the remaining text must be exactly one reproducer.
+pub fn parse_corpus_file(text: &str) -> Result<CorpusCase, String> {
+    let body: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .collect();
+    if body.is_empty() {
+        return Err("corpus file holds no case".to_owned());
+    }
+    let joined = body.join("\n");
+    if joined.starts_with("multi ") {
+        Ok(CorpusCase::Multi(joined.parse()?))
+    } else if body.len() == 1 {
+        Ok(CorpusCase::Single(body[0].parse()?))
+    } else {
+        Err(format!(
+            "single-process case must be one line, found {}",
+            body.len()
+        ))
+    }
+}
+
+/// Extracts the value of `key=` from a reproducer line. The value runs
+/// to the next space at bracket depth zero, so `[7, 50]` and
+/// `Some((0, 1))` survive intact.
+fn field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("{key}=");
+    let mut search = 0;
+    let start = loop {
+        let rel = line[search..]
+            .find(&pat)
+            .ok_or_else(|| format!("missing field `{key}` in `{line}`"))?;
+        let abs = search + rel;
+        // Must start a field: beginning of line or preceded by a space.
+        if abs == 0 || line.as_bytes()[abs - 1] == b' ' {
+            break abs + pat.len();
+        }
+        search = abs + pat.len();
+    };
+    let bytes = line.as_bytes();
+    let mut depth = 0usize;
+    let mut end = line.len();
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        match b {
+            b'[' | b'(' => depth += 1,
+            b']' | b')' => depth = depth.saturating_sub(1),
+            b' ' if depth == 0 => {
+                end = i;
+                break;
+            }
+            _ => {}
+        }
+    }
+    Ok(&line[start..end])
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.trim()
+        .parse()
+        .map_err(|e| format!("bad {what} `{s}`: {e}"))
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
+    s.trim()
+        .parse()
+        .map_err(|e| format!("bad {what} `{s}`: {e}"))
+}
+
+/// Splits a `[a, b, c]` list body into top-level comma-separated items.
+fn list_items(s: &str) -> Result<Vec<&str>, String> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a [list], got `{s}`"))?;
+    if inner.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, b) in inner.bytes().enumerate() {
+        match b {
+            b'[' | b'(' => depth += 1,
+            b']' | b')' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => {
+                items.push(inner[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(inner[start..].trim());
+    Ok(items)
+}
+
+fn parse_mode(s: &str) -> Result<LinkMode, String> {
+    match s {
+        "DynamicLazy" => Ok(LinkMode::DynamicLazy),
+        "DynamicNow" => Ok(LinkMode::DynamicNow),
+        "Static" => Ok(LinkMode::Static),
+        "Patched" => Ok(LinkMode::Patched),
+        other => Err(format!("unknown link mode `{other}`")),
+    }
+}
+
+/// Parses `name(arg)` shapes; returns the arg text.
+fn call_arg<'a>(s: &'a str, name: &str) -> Option<&'a str> {
+    s.strip_prefix(name)?.strip_prefix('(')?.strip_suffix(')')
+}
+
+fn parse_event(s: &str) -> Result<FuzzEvent, String> {
+    if s == "cs" {
+        Ok(FuzzEvent::ContextSwitch)
+    } else if s == "inval" {
+        Ok(FuzzEvent::AbtbInvalidate)
+    } else if let Some(arg) = call_arg(s, "unbind") {
+        Ok(FuzzEvent::Unbind {
+            lib: parse_usize(arg, "unbind lib")?,
+        })
+    } else if let Some(arg) = call_arg(s, "rebind") {
+        Ok(FuzzEvent::Rebind {
+            lib: parse_usize(arg, "rebind lib")?,
+        })
+    } else {
+        Err(format!("unknown event `{s}`"))
+    }
+}
+
+fn parse_multi_event(s: &str) -> Result<MultiFuzzEvent, String> {
+    if s == "inval" {
+        Ok(MultiFuzzEvent::AbtbInvalidate)
+    } else if let Some(arg) = call_arg(s, "switch") {
+        Ok(MultiFuzzEvent::Switch {
+            to: parse_usize(arg, "switch target")?,
+        })
+    } else if let Some(arg) = call_arg(s, "unbind") {
+        Ok(MultiFuzzEvent::Unbind {
+            lib: parse_usize(arg, "unbind lib")?,
+        })
+    } else if let Some(arg) = call_arg(s, "rebind") {
+        Ok(MultiFuzzEvent::Rebind {
+            lib: parse_usize(arg, "rebind lib")?,
+        })
+    } else {
+        Err(format!("unknown multi event `{s}`"))
+    }
+}
+
+/// Splits `event@mark` into its parts at the *last* `@`.
+fn split_at_mark(s: &str) -> Result<(&str, u64), String> {
+    let at = s
+        .rfind('@')
+        .ok_or_else(|| format!("scheduled event `{s}` missing @mark"))?;
+    Ok((&s[..at], parse_u64(&s[at + 1..], "at_mark")?))
+}
+
+impl FromStr for FuzzCase {
+    type Err = String;
+
+    /// Parses the exact single-line `Display` format.
+    fn from_str(line: &str) -> Result<FuzzCase, String> {
+        let line = line.trim();
+        let schedule = list_items(field(line, "schedule")?)?
+            .into_iter()
+            .map(|item| {
+                let (ev, at_mark) = split_at_mark(item)?;
+                Ok(ScheduledEvent {
+                    at_mark,
+                    event: parse_event(ev)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(FuzzCase {
+            seed: parse_u64(field(line, "seed")?, "seed")?,
+            mode: parse_mode(field(line, "mode")?)?,
+            hw_level: parse_usize(field(line, "hw")?, "hw level")?,
+            lib_delta: list_items(field(line, "deltas")?)?
+                .into_iter()
+                .map(|s| parse_u64(s, "delta"))
+                .collect::<Result<_, _>>()?,
+            lib_callee: list_items(field(line, "callees")?)?
+                .into_iter()
+                .map(|s| {
+                    if s == "None" {
+                        Ok(None)
+                    } else if let Some(arg) = call_arg(s, "Some") {
+                        parse_usize(arg, "callee").map(Some)
+                    } else {
+                        Err(format!("bad callee `{s}`"))
+                    }
+                })
+                .collect::<Result<_, String>>()?,
+            lib_store: list_items(field(line, "stores")?)?
+                .into_iter()
+                .map(|s| match s {
+                    "true" => Ok(true),
+                    "false" => Ok(false),
+                    other => Err(format!("bad store flag `{other}`")),
+                })
+                .collect::<Result<_, String>>()?,
+            shadow: field(line, "shadow")? == "true",
+            use_ifunc: field(line, "ifunc")? == "true",
+            iterations: parse_u64(field(line, "iters")?, "iterations")?,
+            calls: list_items(field(line, "calls")?)?
+                .into_iter()
+                .map(|s| parse_usize(s, "call index"))
+                .collect::<Result<_, _>>()?,
+            schedule,
+        })
+    }
+}
+
+impl FromStr for MultiFuzzCase {
+    type Err = String;
+
+    /// Parses the exact multiline `Display` format.
+    fn from_str(text: &str) -> Result<MultiFuzzCase, String> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        let header = lines.next().ok_or("empty multi case")?;
+        let header = header
+            .strip_prefix("multi ")
+            .ok_or_else(|| format!("multi case must start with `multi `, got `{header}`"))?;
+        let seed = parse_u64(field(header, "seed")?, "seed")?;
+        let n_procs = parse_usize(field(header, "procs")?, "proc count")?;
+        let pair_text = field(header, "pair")?;
+        let shared_got_pair = if pair_text == "None" {
+            None
+        } else if let Some(arg) = call_arg(pair_text, "Some") {
+            let inner = arg
+                .strip_prefix('(')
+                .and_then(|t| t.strip_suffix(')'))
+                .ok_or_else(|| format!("bad pair `{pair_text}`"))?;
+            let (a, b) = inner
+                .split_once(',')
+                .ok_or_else(|| format!("bad pair `{pair_text}`"))?;
+            Some((parse_usize(a, "pair.0")?, parse_usize(b, "pair.1")?))
+        } else {
+            return Err(format!("bad pair `{pair_text}`"));
+        };
+
+        let mut procs = Vec::with_capacity(n_procs);
+        for i in 0..n_procs {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("multi case truncated before proc{i}"))?;
+            let body = line
+                .strip_prefix(&format!("proc{i}:"))
+                .ok_or_else(|| format!("expected `proc{i}:`, got `{line}`"))?;
+            procs.push(body.trim().parse::<FuzzCase>()?);
+        }
+
+        let sched_line = lines.next().ok_or("multi case truncated before schedule")?;
+        let sched_text = sched_line
+            .strip_prefix("schedule=")
+            .ok_or_else(|| format!("expected `schedule=[...]`, got `{sched_line}`"))?;
+        let schedule = list_items(sched_text)?
+            .into_iter()
+            .map(|item| {
+                let (ev, at_mark) = split_at_mark(item)?;
+                Ok(MultiScheduledEvent {
+                    at_mark,
+                    event: parse_multi_event(ev)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if let Some(extra) = lines.next() {
+            return Err(format!("trailing text after multi case: `{extra}`"));
+        }
+
+        Ok(MultiFuzzCase {
+            seed,
+            procs,
+            shared_got_pair,
+            schedule,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cases_round_trip() {
+        for seed in 0..100 {
+            let case = FuzzCase::generate(seed);
+            let text = case.to_string();
+            let back: FuzzCase = text.parse().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(case, back, "seed {seed}: {text}");
+        }
+    }
+
+    #[test]
+    fn multi_cases_round_trip() {
+        for seed in 0..100 {
+            let case = MultiFuzzCase::generate(seed);
+            let text = case.to_string();
+            let back: MultiFuzzCase = text.parse().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(case, back, "seed {seed}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn corpus_file_strips_comments_and_dispatches() {
+        let single = FuzzCase::generate(3);
+        let text = format!("# a reproducer from PR 2\n\n{single}\n");
+        assert_eq!(
+            parse_corpus_file(&text).unwrap(),
+            CorpusCase::Single(single)
+        );
+
+        let multi = MultiFuzzCase::generate(4);
+        let text = format!("# cross-switch case\n{multi}\n\n# trailing note\n");
+        assert_eq!(parse_corpus_file(&text).unwrap(), CorpusCase::Multi(multi));
+    }
+
+    #[test]
+    fn corpus_case_display_round_trips() {
+        let c = CorpusCase::Multi(MultiFuzzCase::generate(9));
+        assert_eq!(parse_corpus_file(&c.to_string()).unwrap(), c);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_panicked() {
+        assert!("".parse::<FuzzCase>().is_err());
+        assert!("seed=1".parse::<FuzzCase>().is_err());
+        assert!("multi seed=1 procs=2 pair=None"
+            .parse::<MultiFuzzCase>()
+            .is_err());
+        assert!(parse_corpus_file("# only comments\n").is_err());
+        let mangled = FuzzCase::generate(1).to_string().replace("mode=", "mood=");
+        assert!(mangled.parse::<FuzzCase>().is_err());
+    }
+
+    #[test]
+    fn field_extraction_respects_nesting() {
+        let line = "pair=Some((0, 1)) deltas=[7, 50] shadow=true";
+        assert_eq!(field(line, "pair").unwrap(), "Some((0, 1))");
+        assert_eq!(field(line, "deltas").unwrap(), "[7, 50]");
+        assert_eq!(field(line, "shadow").unwrap(), "true");
+        assert!(field(line, "nope").is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Replays every checked-in reproducer in `corpus/` against the full
+//! differential harness on each `cargo test`.
+//!
+//! Each corpus file is a shrunk reproducer in the plain-text format the
+//! shrinker prints (see `docs/TESTING.md`). Replaying them here turns
+//! one-off fuzzing discoveries into permanent regression tests: a
+//! single-process case runs under every `{LinkAccel, Flavor}` combo, a
+//! multi-process case additionally under both context-switch policies,
+//! and any architectural divergence or counter-invariant violation
+//! fails the suite.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dynlink_bench::difftest::{check_case, check_multi_case, Injection};
+use dynlink_workloads::repro::{parse_corpus_file, CorpusCase};
+
+/// The checked-in corpus directory at the workspace root.
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Every `corpus/*.txt` file, sorted by name for stable iteration.
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("corpus/ directory must exist at the workspace root")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_nonempty_and_parses() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 3,
+        "expected at least the three PR 2–3 reproducers, found {files:?}"
+    );
+    for path in files {
+        let text = fs::read_to_string(&path).unwrap();
+        parse_corpus_file(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
+
+#[test]
+fn corpus_cases_round_trip_through_the_reproducer_format() {
+    for path in corpus_files() {
+        let text = fs::read_to_string(&path).unwrap();
+        let case = parse_corpus_file(&text).unwrap();
+        let reprinted = case.to_string();
+        let reparsed = parse_corpus_file(&reprinted)
+            .unwrap_or_else(|e| panic!("{}: reprint did not parse: {e}", path.display()));
+        assert_eq!(
+            case,
+            reparsed,
+            "{}: Display/FromStr must round-trip",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_replays_clean_under_every_accel_flavor_combo() {
+    for path in corpus_files() {
+        let text = fs::read_to_string(&path).unwrap();
+        let failures = match parse_corpus_file(&text).unwrap() {
+            CorpusCase::Single(case) => check_case(&case, Injection::None).failures,
+            CorpusCase::Multi(case) => check_multi_case(&case, Injection::None).failures,
+        };
+        assert!(
+            failures.is_empty(),
+            "{}: corpus replay failed:\n{}",
+            path.display(),
+            failures.join("\n")
+        );
+    }
+}
+
+/// The single-process `DropInvalidate` reproducer must still reproduce:
+/// if the injected stale-ABTB bug stops diverging on it, the corpus
+/// entry has rotted (or the harness has gone blind).
+#[test]
+fn drop_invalidate_reproducer_still_bites_under_injection() {
+    let text = fs::read_to_string(corpus_dir().join("drop_invalidate_rebind.txt")).unwrap();
+    let CorpusCase::Single(case) = parse_corpus_file(&text).unwrap() else {
+        panic!("drop_invalidate_rebind.txt must be a single-process case");
+    };
+    let buggy = check_case(&case, Injection::DropInvalidate);
+    assert!(
+        !buggy.failures.is_empty(),
+        "the checked-in reproducer no longer triggers the injected bug"
+    );
+}

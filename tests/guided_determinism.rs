@@ -1,0 +1,60 @@
+//! Determinism of `difftest --guided`: the same seed and round budget
+//! must produce a byte-identical report — same per-round coverage
+//! lines, same final coverage count, same corpus listing, same state
+//! digest — at every `--jobs` level.
+//!
+//! Candidates are constructed sequentially on the main thread and only
+//! *evaluated* on the sharded runner, with a barrier merge per round in
+//! submission order, so parallelism can affect wall-clock but never the
+//! output. This is the property that makes guided campaigns citable:
+//! a coverage number in a report can be reproduced on any machine.
+
+use std::path::PathBuf;
+
+use dynlink_bench::difftest::Injection;
+use dynlink_bench::guided::{run_guided, GuidedConfig};
+
+fn config(jobs: usize) -> GuidedConfig {
+    GuidedConfig {
+        seed_start: 7,
+        rounds: 2,
+        round_size: 6,
+        jobs,
+        injection: Injection::None,
+        shrink: false,
+        corpus_dir: None,
+        save_dir: None,
+    }
+}
+
+#[test]
+fn guided_report_is_identical_at_jobs_1_2_4() {
+    let serial = run_guided(&config(1));
+    assert_eq!(serial.failures, 0, "{}", serial.output);
+    assert!(serial.coverage > 0, "{}", serial.output);
+    for jobs in [2, 4] {
+        let sharded = run_guided(&config(jobs));
+        assert_eq!(
+            serial.output, sharded.output,
+            "guided output differs between 1 and {jobs} job(s)"
+        );
+        assert_eq!(serial.coverage, sharded.coverage);
+    }
+}
+
+#[test]
+fn corpus_seeded_guided_report_is_identical_across_jobs() {
+    let corpus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let seeded = |jobs| {
+        let mut cfg = config(jobs);
+        cfg.corpus_dir = Some(corpus.clone());
+        run_guided(&cfg)
+    };
+    let serial = seeded(1);
+    let sharded = seeded(4);
+    assert_eq!(serial.failures, 0, "{}", serial.output);
+    assert_eq!(
+        serial.output, sharded.output,
+        "corpus-seeded guided output differs between 1 and 4 job(s)"
+    );
+}

@@ -1,0 +1,79 @@
+//! Mutation-validity property test: every mutant of a valid
+//! `FuzzCase`/`MultiFuzzCase` must (a) build its modules and run to
+//! halt under the golden oracle without panicking, and (b) round-trip
+//! through the plain-text reproducer format unchanged.
+//!
+//! This is the contract the guided fuzzer leans on: mutation never
+//! produces an unbuildable candidate (so every case in a round costs
+//! one comparison, not a build failure), and every candidate can be
+//! persisted to `corpus/` and replayed byte-for-byte.
+
+use dynlink_linker::LinkOptions;
+use dynlink_oracle::Oracle;
+use dynlink_rng::Rng;
+use dynlink_workloads::fuzz::{FuzzCase, MultiFuzzCase};
+use dynlink_workloads::mutate::{mutate_case, mutate_multi_case};
+
+const SEEDS: u64 = 24;
+const STEPS: usize = 5;
+
+/// Builds the case's modules and runs them to halt under the oracle.
+fn runs_under_oracle(case: &FuzzCase) {
+    let opts = LinkOptions {
+        mode: case.mode,
+        hw_level: case.hw_level,
+        ..LinkOptions::default()
+    };
+    let mut oracle = Oracle::new(&case.modules(), opts, "main")
+        .unwrap_or_else(|e| panic!("mutant failed to build: {e}\n{case}"));
+    oracle
+        .run(2_000_000)
+        .unwrap_or_else(|e| panic!("mutant faulted under the oracle: {e}\n{case}"));
+    assert!(
+        oracle.halted(),
+        "mutant did not halt under the oracle: {case}"
+    );
+}
+
+/// Round-trips the case through the reproducer text format.
+fn round_trips(case: &FuzzCase) {
+    let text = case.to_string();
+    let parsed: FuzzCase = text
+        .parse()
+        .unwrap_or_else(|e| panic!("mutant text did not parse: {e}\n{text}"));
+    assert_eq!(*case, parsed, "round-trip changed the case:\n{text}");
+}
+
+#[test]
+fn single_mutants_run_under_oracle_and_round_trip() {
+    let pool: Vec<FuzzCase> = (100..108).map(FuzzCase::generate).collect();
+    let mut rng = Rng::seed_from_u64(0x5eed_5eed);
+    for seed in 0..SEEDS {
+        let mut case = FuzzCase::generate(seed);
+        for _ in 0..STEPS {
+            case = mutate_case(&case, &pool, &mut rng);
+            runs_under_oracle(&case);
+            round_trips(&case);
+        }
+    }
+}
+
+#[test]
+fn multi_mutants_run_under_oracle_and_round_trip() {
+    let pool: Vec<MultiFuzzCase> = (200..206).map(MultiFuzzCase::generate).collect();
+    let mut rng = Rng::seed_from_u64(0x6d75_7461_7465);
+    for seed in 0..SEEDS / 2 {
+        let mut case = MultiFuzzCase::generate(seed);
+        for _ in 0..STEPS {
+            case = mutate_multi_case(&case, &pool, &mut rng);
+            for p in &case.procs {
+                runs_under_oracle(p);
+            }
+            let text = case.to_string();
+            let parsed: MultiFuzzCase = text
+                .parse()
+                .unwrap_or_else(|e| panic!("multi mutant text did not parse: {e}\n{text}"));
+            assert_eq!(case, parsed, "round-trip changed the case:\n{text}");
+        }
+    }
+}
