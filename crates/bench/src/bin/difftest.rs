@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale]
-//!          [--no-shrink] [--multi]
+//!          [--no-shrink] [--multi [--cores N]]
 //!          [--guided [--rounds N] [--round-size N]
 //!                    [--corpus DIR] [--save-corpus DIR]]
 //! ```
@@ -15,7 +15,11 @@
 //! `--multi` switches to multi-process cases (paper §3.3): 2–4
 //! processes with context switches, ASID-aliasing layouts and an
 //! optional shared-GOT pair, each checked additionally across
-//! `{FlushOnSwitch, AsidTagged}` switch policies.
+//! `{FlushOnSwitch, AsidTagged}` switch policies. `--cores N` runs the
+//! system side of each multi case on an N-core machine (processes
+//! pinned round-robin, GOT stores snooping remote Bloom filters over
+//! the coherence bus); the oracle is architectural, so the state
+//! digest is identical at every `--cores` level.
 //! `--guided` switches to coverage-guided mutational fuzzing:
 //! `--rounds` rounds of `--round-size` candidates, keeping
 //! behavioral-coverage-novel cases as mutation parents; `--corpus DIR`
@@ -36,7 +40,7 @@ use dynlink_bench::runner::default_jobs;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--no-shrink] [--multi]\n\
+        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--no-shrink] [--multi [--cores N]]\n\
          \x20               [--guided [--rounds N] [--round-size N] [--corpus DIR] [--save-corpus DIR]]"
     );
     ExitCode::from(2)
@@ -49,6 +53,7 @@ fn main() -> ExitCode {
     let mut injection = Injection::None;
     let mut shrink = true;
     let mut multi = false;
+    let mut cores = 1usize;
     let mut guided = false;
     let mut rounds = 8u64;
     let mut round_size = 64u64;
@@ -108,6 +113,13 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--cores" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(c) if (1..=8).contains(&c) => cores = c,
+                    _ => return usage(),
+                }
+            }
             "--inject-stale" => injection = Injection::DropInvalidate,
             "--no-shrink" => shrink = false,
             "--multi" => multi = true,
@@ -126,6 +138,10 @@ fn main() -> ExitCode {
         );
         return usage();
     }
+    if cores > 1 && !multi {
+        eprintln!("difftest: --cores applies to multi-process cases; add --multi");
+        return usage();
+    }
 
     let started = Instant::now();
     let report = if guided {
@@ -140,7 +156,7 @@ fn main() -> ExitCode {
             save_dir,
         })
     } else if multi {
-        run_multi_difftest(seed_start, cases, jobs, injection, shrink)
+        run_multi_difftest(seed_start, cases, jobs, injection, shrink, cores)
     } else {
         run_difftest(seed_start, cases, jobs, injection, shrink)
     };

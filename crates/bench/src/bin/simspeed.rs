@@ -5,8 +5,9 @@
 //! simspeed --validate PATH
 //! ```
 //!
-//! Runs the three representative workloads (trampoline-heavy,
-//! data-heavy, switch-heavy) for `--budget` simulated instructions
+//! Runs the four representative workloads (trampoline-heavy,
+//! data-heavy, switch-heavy, switch-heavy-2core — the last on a 2-core
+//! machine) for `--budget` simulated instructions
 //! each (best of `--reps` timed repetitions, default 3), prints the
 //! MIPS table, and appends a machine-readable run record to `--out`
 //! (default `BENCH_simspeed.json`). `--validate` skips the benchmark

@@ -571,16 +571,28 @@ struct MultiOracleRun {
 struct MultiSystemRun {
     digests: Vec<ArchDigest>,
     counters: PerfCounters,
-    switches: u64,
+    /// Per-core counter snapshots; `counters` is their sum. One entry on
+    /// a 1-core machine, so the per-core invariants degenerate to the
+    /// aggregate ones there.
+    per_core: Vec<PerfCounters>,
+    /// Displacements: switches that landed a process on a core which
+    /// last ran a different process (equal to plain switches on 1 core).
+    thread_switches: u64,
+    thread_switches_per_core: Vec<u64>,
     /// Applied schedule events with their counter windows (see
     /// [`SystemRun::events`]); inapplicable no-op events are skipped.
     events: Vec<(EventKind, EventWindow)>,
 }
 
-fn multi_machine_config(accel: LinkAccel, policy: SwitchPolicy) -> MachineConfig {
+fn multi_machine_config(
+    accel: LinkAccel,
+    policy: SwitchPolicy,
+    coherence_bus: bool,
+) -> MachineConfig {
     MachineConfig {
         accel,
         flush_abtb_on_context_switch: matches!(policy, SwitchPolicy::FlushOnSwitch),
+        coherence_bus,
         ..MachineConfig::default()
     }
 }
@@ -708,16 +720,18 @@ fn run_multi_system(
     accel: LinkAccel,
     policy: SwitchPolicy,
     injection: Injection,
+    coherence_bus: bool,
 ) -> Result<MultiSystemRun, String> {
     let procs = case
         .procs
         .iter()
         .map(|p| (p.modules(), link_options(p, flavor)))
         .collect();
-    let mut mps = MultiProcessSystem::new(
+    let mut mps = MultiProcessSystem::new_with_cores(
         procs,
-        multi_machine_config(accel, policy),
+        multi_machine_config(accel, policy, coherence_bus),
         case.shared_got_pair,
+        case.cores.max(1),
     )
     .map_err(|e| format!("system build: {e}"))?;
     let mut snaps: Vec<(EventKind, PerfCounters)> = Vec::new();
@@ -752,20 +766,30 @@ fn run_multi_system(
         })
         .collect();
     let counters = mps.counters();
+    let per_core = (0..mps.core_count()).map(|c| mps.counters_for(c)).collect();
+    let thread_switches_per_core = (0..mps.core_count())
+        .map(|c| mps.thread_switches_of(c))
+        .collect();
     Ok(MultiSystemRun {
         digests,
         events: close_windows(snaps, &counters),
         counters,
-        switches: mps.switches(),
+        per_core,
+        thread_switches: mps.thread_switches(),
+        thread_switches_per_core,
     })
 }
 
 /// Counter cross-checks for one multi-process system run. On top of the
 /// single-process invariants, the §3.3 policy determines an *exact*
 /// switch-flush count: under [`SwitchPolicy::FlushOnSwitch`] every
-/// context switch flushes (switch-caused flushes == switches), under
-/// [`SwitchPolicy::AsidTagged`] no switch ever does (== 0); in both the
-/// published total must equal switch-caused + coherence-caused.
+/// displacement flushes (switch-caused flushes == thread switches — on
+/// one core every switch displaces, so this is the old switches
+/// identity), under [`SwitchPolicy::AsidTagged`] no switch ever does
+/// (== 0); in both the published total must equal switch-caused +
+/// coherence-caused. Every purity and consistency invariant is then
+/// re-checked *per core* against `Machine::counters_for`, so a rogue
+/// core cannot hide inside a clean-looking aggregate.
 fn check_multi_counters(
     flavor: TrampolineFlavor,
     accel: LinkAccel,
@@ -837,10 +861,10 @@ fn check_multi_counters(
         }
         match policy {
             SwitchPolicy::FlushOnSwitch => {
-                if c.abtb_switch_flushes != run.switches {
+                if c.abtb_switch_flushes != run.thread_switches {
                     failures.push(format!(
                         "flush-on-switch: {} switch flush(es) for {} context switch(es)",
-                        c.abtb_switch_flushes, run.switches
+                        c.abtb_switch_flushes, run.thread_switches
                     ));
                 }
             }
@@ -854,23 +878,100 @@ fn check_multi_counters(
             }
         }
     }
+    for (i, pc) in run.per_core.iter().enumerate() {
+        if !accel.has_abtb()
+            && (pc.trampolines_skipped != 0
+                || pc.abtb_hits != 0
+                || pc.abtb_flushes != 0
+                || pc.abtb_switch_flushes != 0
+                || pc.abtb_coherence_flushes != 0
+                || pc.abtb_inserts != 0
+                || pc.btb_function_trains != 0)
+        {
+            failures.push(format!(
+                "core {i} of a baseline machine touched the ABTB: skipped={} hits={} flushes={}",
+                pc.trampolines_skipped, pc.abtb_hits, pc.abtb_flushes
+            ));
+        }
+        if !accel.has_bloom() && pc.bloom_store_hits != 0 {
+            failures.push(format!(
+                "core {i} without a Bloom filter reported {} Bloom store hit(s)",
+                pc.bloom_store_hits
+            ));
+        }
+        if pc.trampolines_skipped > pc.abtb_hits {
+            failures.push(format!(
+                "core {i}: trampolines_skipped {} exceeds abtb_hits {}",
+                pc.trampolines_skipped, pc.abtb_hits
+            ));
+        }
+        if pc.abtb_hits > pc.branches {
+            failures.push(format!(
+                "core {i}: abtb_hits {} exceeds retired branches {}",
+                pc.abtb_hits, pc.branches
+            ));
+        }
+        if accel.has_abtb() {
+            if pc.abtb_flushes != pc.abtb_switch_flushes + pc.abtb_coherence_flushes {
+                failures.push(format!(
+                    "core {i} flush counters inconsistent: total {} != switch {} + coherence {}",
+                    pc.abtb_flushes, pc.abtb_switch_flushes, pc.abtb_coherence_flushes
+                ));
+            }
+            let want = match policy {
+                SwitchPolicy::FlushOnSwitch => run.thread_switches_per_core[i],
+                SwitchPolicy::AsidTagged => 0,
+            };
+            if pc.abtb_switch_flushes != want {
+                failures.push(format!(
+                    "core {i} under {policy:?}: {} switch flush(es) for {} displacement(s)",
+                    pc.abtb_switch_flushes, run.thread_switches_per_core[i]
+                ));
+            }
+        }
+    }
     failures
 }
 
 /// Runs one multi-process case through the [`MultiOracle`] and through
 /// [`MultiProcessSystem`] under every `LinkAccel` mode, both trampoline
 /// flavors and both §3.3 switch policies — twelve system runs per case,
-/// with per-process digest comparison.
+/// with per-process digest comparison. The system side honours
+/// `case.cores`; the oracle is architectural, so core count never
+/// changes the expected digests.
 pub fn check_multi_case(case: &MultiFuzzCase, injection: Injection) -> CaseReport {
     check_multi_case_coverage(case, injection).0
 }
 
+/// [`check_multi_case`] with the coherence bus switched explicitly.
+/// `coherence_bus = false` is the negative control: on a multi-core
+/// case, a remote rebind then cannot reach a resident core's Bloom
+/// filter, so the stale-skip divergence the §3.2 broadcast exists to
+/// prevent becomes observable (the cross-core corpus regression relies
+/// on exactly this).
+pub fn check_multi_case_with_bus(
+    case: &MultiFuzzCase,
+    injection: Injection,
+    coherence_bus: bool,
+) -> CaseReport {
+    check_multi_case_coverage_with_bus(case, injection, coherence_bus).0
+}
+
 /// [`check_multi_case`] plus the behavioral [`CoverageMap`] its runs
 /// exercised: each system run records onto the §3.3 policy plane it
-/// executed under.
+/// executed under, and multi-core runs additionally record the
+/// core-count facets.
 pub fn check_multi_case_coverage(
     case: &MultiFuzzCase,
     injection: Injection,
+) -> (CaseReport, CoverageMap) {
+    check_multi_case_coverage_with_bus(case, injection, true)
+}
+
+fn check_multi_case_coverage_with_bus(
+    case: &MultiFuzzCase,
+    injection: Injection,
+    coherence_bus: bool,
 ) -> (CaseReport, CoverageMap) {
     let mut failures = Vec::new();
     let mut digest_fold = FNV_OFFSET;
@@ -889,10 +990,16 @@ pub fn check_multi_case_coverage(
         for &policy in &POLICIES {
             let mut baseline: Option<PerfCounters> = None;
             for &accel in &ACCELS {
-                match run_multi_system(case, flavor, accel, policy, injection) {
+                match run_multi_system(case, flavor, accel, policy, injection, coherence_bus) {
                     Err(e) => failures.push(format!("[{flavor:?}/{accel:?}/{policy:?}] {e}")),
                     Ok(run) => {
                         coverage.record_run(accel, policy.into(), &run.counters);
+                        coverage.record_multicore_run(
+                            accel,
+                            policy.into(),
+                            case.cores,
+                            &run.counters,
+                        );
                         for (kind, window) in &run.events {
                             coverage.record_event(accel, policy.into(), *kind, window);
                         }
@@ -939,26 +1046,41 @@ pub fn check_multi_case_coverage(
 /// optionally shrinking the first failure with
 /// [`shrink_multi_case`] (which reduces the schedule *and* the process
 /// count). Output is byte-identical at every `--jobs` level.
+///
+/// `cores` overrides every generated case's core count *after*
+/// generation, so the schedules — and therefore the oracle digests —
+/// are identical at every `--cores` level; only the system side (and
+/// the coverage footer) changes. At `cores <= 1` the report is
+/// byte-identical to the historical single-core sweep.
 pub fn run_multi_difftest(
     seed_start: u64,
     cases: u64,
     jobs: usize,
     injection: Injection,
     shrink: bool,
+    cores: usize,
 ) -> DiffReport {
+    let cores = cores.max(1);
     let cells: Vec<Cell<(CaseReport, CoverageMap)>> = (0..cases)
         .map(|i| {
             let seed = seed_start + i;
             Cell::new(format!("seed{seed}"), move |_ctx| {
-                check_multi_case_coverage(&MultiFuzzCase::generate(seed), injection)
+                let mut case = MultiFuzzCase::generate(seed);
+                case.cores = cores;
+                check_multi_case_coverage(&case, injection)
             })
         })
         .collect();
     let report = ParallelRunner::new(jobs).run(seed_start ^ 0x6d75_6c74, cells);
 
     let mut output = format!(
-        "multi difftest: {cases} case(s), seeds {seed_start}..{}, {{Off,Abtb,AbtbNoBloom}} x {{X86,Arm}} x {{FlushOnSwitch,AsidTagged}}{}\n",
+        "multi difftest: {cases} case(s), seeds {seed_start}..{}, {{Off,Abtb,AbtbNoBloom}} x {{X86,Arm}} x {{FlushOnSwitch,AsidTagged}}{}{}\n",
         seed_start + cases,
+        if cores > 1 {
+            format!(" on {cores} cores")
+        } else {
+            String::new()
+        },
         match injection {
             Injection::None => "",
             Injection::DropInvalidate => ", injecting stale-ABTB bug",
@@ -989,7 +1111,8 @@ pub fn run_multi_difftest(
     }
 
     if let Some(seed) = first_failing.filter(|_| shrink) {
-        let case = MultiFuzzCase::generate(seed);
+        let mut case = MultiFuzzCase::generate(seed);
+        case.cores = cores;
         let shrunk = shrink_multi_case(&case, |c| {
             !check_multi_case(c, injection).failures.is_empty()
         });
@@ -1002,6 +1125,12 @@ pub fn run_multi_difftest(
         }
     }
 
+    if cores > 1 {
+        output.push_str(&format!(
+            "multi difftest: core coverage {} key(s)\n",
+            coverage.count_core_facets()
+        ));
+    }
     output.push_str(&format!(
         "multi difftest: {failures} failure(s) across {cases} case(s); coverage {} key(s); state digest {digest:#018x}\n",
         coverage.count()
@@ -1053,10 +1182,50 @@ mod tests {
 
     #[test]
     fn multi_report_counts_match_failure_lines() {
-        let r = run_multi_difftest(0, 4, 2, Injection::None, false);
+        let r = run_multi_difftest(0, 4, 2, Injection::None, false, 1);
         assert_eq!(r.cases, 4);
         assert_eq!(r.failures, 0, "{}", r.output);
         assert!(r.output.contains("0 failure(s) across 4 case(s)"));
         assert!(r.output.contains("FlushOnSwitch,AsidTagged"));
+        assert!(
+            !r.output.contains("core coverage"),
+            "single-core reports must stay byte-identical to the historical format"
+        );
+    }
+
+    #[test]
+    fn clean_multi_cases_stay_clean_on_more_cores() {
+        for seed in 0..4 {
+            for cores in [2, 4] {
+                let mut case = MultiFuzzCase::generate(seed);
+                case.cores = cores;
+                let report = check_multi_case(&case, Injection::None);
+                assert!(
+                    report.failures.is_empty(),
+                    "seed {seed} on {cores} cores: {:?}",
+                    report.failures
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multicore_report_carries_core_coverage() {
+        let r = run_multi_difftest(0, 3, 2, Injection::None, false, 2);
+        assert_eq!(r.failures, 0, "{}", r.output);
+        assert!(r.output.contains("on 2 cores"), "{}", r.output);
+        let line = r
+            .output
+            .lines()
+            .find(|l| l.contains("core coverage"))
+            .expect("multicore footer line");
+        assert!(
+            !line.contains("core coverage 0 key(s)"),
+            "a 2-core sweep must exercise at least one core-count facet: {line}"
+        );
+        // The oracle never sees the core count, so the digest matches
+        // the single-core sweep over the same seeds.
+        let single = run_multi_difftest(0, 3, 2, Injection::None, false, 1);
+        assert_eq!(r.digest, single.digest);
     }
 }

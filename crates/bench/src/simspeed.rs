@@ -16,6 +16,10 @@
 //! * **switch-heavy** — two processes running the trampoline loop,
 //!   swapped every 64 instructions. Stresses `swap_process` and
 //!   decode-cache retention across context switches.
+//! * **switch-heavy-2core** — the same two processes, each pinned to
+//!   its own core of a 2-core machine and swapped at the same cadence.
+//!   Stresses the multi-core dispatch path (per-core state custody plus
+//!   the coherence-bus drain after every instruction).
 //!
 //! Results are appended to `BENCH_simspeed.json` (a JSON array of run
 //! records, schema `dynlink-simspeed/1`) so the performance trajectory
@@ -26,7 +30,7 @@
 
 use std::time::Instant;
 
-use dynlink_cpu::{Machine, MachineConfig, ProcessContext};
+use dynlink_cpu::{Machine, MachineBuilder, MachineConfig, ProcessContext};
 use dynlink_isa::{Cond, Inst, MemRef, Operand, Reg, VirtAddr};
 use dynlink_mem::{AddressSpace, Perms};
 
@@ -76,7 +80,12 @@ pub struct RunRecord {
 }
 
 /// Stable list of workload names, in report order.
-pub const WORKLOADS: [&str; 3] = ["trampoline-heavy", "data-heavy", "switch-heavy"];
+pub const WORKLOADS: [&str; 4] = [
+    "trampoline-heavy",
+    "data-heavy",
+    "switch-heavy",
+    "switch-heavy-2core",
+];
 
 fn place(s: &mut AddressSpace, at: VirtAddr, insts: &[Inst]) {
     let mut cursor = at;
@@ -237,11 +246,47 @@ fn run_switch_heavy(budget: u64) -> u64 {
     m.counters().instructions
 }
 
+/// The switch-heavy shape on a 2-core machine: process `p` is pinned to
+/// core `p`, the active core alternates every 64 instructions, and the
+/// suspended core keeps its warm microarchitectural state while
+/// snooping the coherence bus — the multi-core dispatch overhead the
+/// `--cores` difftest axis pays on every instruction.
+fn run_switch_heavy_2core(budget: u64) -> u64 {
+    const SLICE: u64 = 64;
+    let mut m = MachineBuilder::new(MachineConfig::baseline())
+        .cores(2)
+        .build(AddressSpace::new(0));
+    m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
+    let mut procs: Vec<ProcessContext> = (1..=2)
+        .map(|asid| {
+            let mut s = AddressSpace::new(asid);
+            build_trampoline_program(&mut s);
+            ProcessContext::new(s, VirtAddr::new(TEXT), VirtAddr::new(STACK_TOP), 0x10000).unwrap()
+        })
+        .collect();
+    let mut current = 0usize;
+    m.swap_space_with(procs[current].space_mut());
+    m.load_thread(current, &procs[current]);
+    m.set_active_core(current);
+    while m.counters().instructions < budget {
+        let left = budget - m.counters().instructions;
+        m.run(SLICE.min(left)).expect("2-core switch workload");
+        m.park_thread(current, &mut procs[current]);
+        m.swap_space_with(procs[current].space_mut());
+        current ^= 1;
+        m.swap_space_with(procs[current].space_mut());
+        m.load_thread(current, &procs[current]);
+        m.set_active_core(current);
+    }
+    m.counters().instructions
+}
+
 fn run_workload(name: &str, budget: u64) -> u64 {
     match name {
         "trampoline-heavy" => run_trampoline_heavy(budget),
         "data-heavy" => run_data_heavy(budget),
         "switch-heavy" => run_switch_heavy(budget),
+        "switch-heavy-2core" => run_switch_heavy_2core(budget),
         other => panic!("unknown simspeed workload `{other}`"),
     }
 }
@@ -270,6 +315,7 @@ pub fn measure_all(budget: u64, reps: u32) -> Vec<Measurement> {
                         name: match name {
                             "trampoline-heavy" => "trampoline-heavy",
                             "data-heavy" => "data-heavy",
+                            "switch-heavy-2core" => "switch-heavy-2core",
                             _ => "switch-heavy",
                         },
                         instructions,

@@ -12,7 +12,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use dynlink_cpu::{CpuError, Machine, MachineConfig, ProcessContext};
+use dynlink_cpu::{CpuError, Machine, MachineBuilder, MachineConfig, ProcessContext};
 use dynlink_isa::{Reg, VirtAddr};
 use dynlink_linker::{
     LinkOptions, Loader, ModuleSpec, ProcessImage, ResolutionTable, RESOLVER_HOST_FN,
@@ -46,6 +46,18 @@ pub struct MultiProcessSystem {
     shared_got_pair: Option<(usize, usize)>,
     active: usize,
     switches: u64,
+    /// Which process's microarchitectural context last ran on each
+    /// core. A switch that lands a process back on a core where it
+    /// stayed resident is a *warm resume*: no structures are flushed
+    /// (that is what makes cross-core staleness reachable); landing on
+    /// a core that last ran a different process is a *displacement*
+    /// and flushes per the core's §3.3 policy.
+    resident: Vec<Option<usize>>,
+    /// Displacements (per-core flush events), total and per core.
+    /// Equal to `switches` on a 1-core machine, where every switch
+    /// displaces.
+    thread_switches: u64,
+    thread_switches_per_core: Vec<u64>,
     /// Marks retired by each process so far; `Machine`'s mark buffer is
     /// drained into the active slot after every run segment so schedule
     /// targets are relative to the process they name.
@@ -72,7 +84,27 @@ impl MultiProcessSystem {
         cfg: MachineConfig,
         shared_got_pair: Option<(usize, usize)>,
     ) -> Result<Self, SystemError> {
-        if procs.is_empty() {
+        Self::new_with_cores(procs, cfg, shared_got_pair, 1)
+    }
+
+    /// [`MultiProcessSystem::new`] over a machine with `cores` cores.
+    /// Process `p` is pinned to core `p % cores`; a switch that resumes
+    /// a process on a core where it stayed resident is warm (nothing is
+    /// flushed), so with the coherence bus disabled a remote rebind can
+    /// leave a resident core's ABTB stale — the cross-core divergence
+    /// the difftest `--cores` axis hunts.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiProcessSystem::new`]; additionally rejects `cores ==
+    /// 0` via [`SystemError::NoModules`].
+    pub fn new_with_cores(
+        procs: Vec<(Vec<ModuleSpec>, LinkOptions)>,
+        cfg: MachineConfig,
+        shared_got_pair: Option<(usize, usize)>,
+        cores: usize,
+    ) -> Result<Self, SystemError> {
+        if procs.is_empty() || cores == 0 {
             return Err(SystemError::NoModules);
         }
         if let Some((a, b)) = shared_got_pair {
@@ -94,7 +126,9 @@ impl MultiProcessSystem {
         }
         let tables: SharedTables = Arc::new(Mutex::new((0, table_vec)));
 
-        let mut machine = Machine::new(cfg, AddressSpace::new(0));
+        let mut machine = MachineBuilder::new(cfg)
+            .cores(cores)
+            .build(AddressSpace::new(0));
         let dispatch = Arc::clone(&tables);
         let explicit_invalidate = !machine.config().accel.has_bloom();
         machine.register_host_fn(
@@ -119,13 +153,20 @@ impl MultiProcessSystem {
             }),
         );
 
-        // Boot: swap process 0 onto the machine (its slot now parks the
-        // placeholder) and neutralise the boot swap's counter effects.
-        machine.swap_process(&mut contexts[0]);
+        // Boot: hand process 0's address space to the machine (its
+        // context slot now parks the placeholder space), load its
+        // thread state onto core 0, and neutralise the boot switch's
+        // counter effects.
+        machine.swap_space_with(contexts[0].space_mut());
+        machine.load_thread(0, &contexts[0]);
+        machine.set_active_core(0);
+        machine.core_context_switch(0);
         let ranges = images[0].plt_ranges().to_vec();
         machine.set_plt_ranges(&ranges);
         machine.reset_counters();
         machine.take_marks();
+        let mut resident = vec![None; cores];
+        resident[0] = Some(0);
 
         Ok(MultiProcessSystem {
             machine,
@@ -135,6 +176,9 @@ impl MultiProcessSystem {
             shared_got_pair,
             active: 0,
             switches: 0,
+            resident,
+            thread_switches: 0,
+            thread_switches_per_core: vec![0; cores],
             marks_per_proc: vec![0; n],
         })
     }
@@ -152,6 +196,23 @@ impl MultiProcessSystem {
     /// Context switches performed so far (excluding boot).
     pub fn switches(&self) -> u64 {
         self.switches
+    }
+
+    /// Number of cores on the underlying machine.
+    pub fn core_count(&self) -> usize {
+        self.machine.core_count()
+    }
+
+    /// Displacements so far: switches that landed a process on a core
+    /// which last ran a *different* process, flushing per the core's
+    /// policy. Equal to [`MultiProcessSystem::switches`] on one core.
+    pub fn thread_switches(&self) -> u64 {
+        self.thread_switches
+    }
+
+    /// Displacements of core `core`.
+    pub fn thread_switches_of(&self, core: usize) -> u64 {
+        self.thread_switches_per_core[core]
     }
 
     /// Process `p`'s image.
@@ -184,9 +245,15 @@ impl MultiProcessSystem {
         }
     }
 
-    /// Snapshot of the (machine-wide) performance counters.
+    /// Snapshot of the machine-wide performance counters (the sum over
+    /// cores).
     pub fn counters(&self) -> PerfCounters {
         self.machine.counters()
+    }
+
+    /// Snapshot of core `core`'s performance counters.
+    pub fn counters_for(&self, core: usize) -> PerfCounters {
+        self.machine.counters_for(core)
     }
 
     fn drain_marks(&mut self) {
@@ -227,23 +294,41 @@ impl MultiProcessSystem {
         }
     }
 
-    /// Switches the core to process `p`. Out-of-range targets and
-    /// switches to the already-active process are no-ops returning
-    /// `false` — the same rule as the oracle, so shrunk schedules stay
-    /// comparable. Mirrors the shared GOT out of the departing process
-    /// first, then swaps, then repoints trampoline classification and
-    /// the resolver dispatch at the incoming process.
+    /// Switches execution to process `p` (on its pinned core `p %
+    /// cores`). Out-of-range targets and switches to the already-active
+    /// process are no-ops returning `false` — the same rule as the
+    /// oracle, so shrunk schedules stay comparable. Mirrors the shared
+    /// GOT out of the departing process first, then parks the departing
+    /// thread and its space, loads the incoming thread onto its core,
+    /// and repoints trampoline classification and the resolver dispatch
+    /// at the incoming process. Structures are flushed (per the core's
+    /// §3.3 policy) only when the incoming thread *displaces* a
+    /// different resident thread; a warm resume flushes nothing.
     pub fn switch_to(&mut self, p: usize) -> bool {
         if p == self.active || p >= self.contexts.len() {
             return false;
         }
         self.drain_marks();
         self.mirror_shared_got_from_active();
-        self.machine.swap_process(&mut self.contexts[p]);
-        // `contexts[p]` now parks the old active process; swap slots so
-        // every suspended process sits at its own index and the active
-        // index parks the placeholder.
-        self.contexts.swap(self.active, p);
+        let old = self.active;
+        let ncores = self.machine.core_count();
+        let (old_core, new_core) = (old % ncores, p % ncores);
+        // Park the departing thread's architectural state and hand its
+        // address space back to its own context slot (which was parking
+        // the placeholder space).
+        self.machine.park_thread(old_core, &mut self.contexts[old]);
+        self.machine.swap_space_with(self.contexts[old].space_mut());
+        // Pull the incoming thread's space onto the machine (its slot
+        // now parks the placeholder) and its state onto its core.
+        self.machine.swap_space_with(self.contexts[p].space_mut());
+        self.machine.load_thread(new_core, &self.contexts[p]);
+        self.machine.set_active_core(new_core);
+        if self.resident[new_core] != Some(p) {
+            self.machine.core_context_switch(new_core);
+            self.thread_switches += 1;
+            self.thread_switches_per_core[new_core] += 1;
+        }
+        self.resident[new_core] = Some(p);
         let ranges = self.images[p].plt_ranges().to_vec();
         self.machine.set_plt_ranges(&ranges);
         self.active = p;
@@ -291,8 +376,11 @@ impl MultiProcessSystem {
 
     /// `System::unbind_library` scoped to the active process: re-arms
     /// every GOT slot bound into `victim`, notifying the machine of
-    /// each external store (plus the §3.4 explicit invalidate when no
-    /// Bloom filter watches the slots).
+    /// each store on the active core's broadcast path (plus the §3.4
+    /// explicit invalidate when no Bloom filter watches the slots).
+    /// On a multi-core machine the notification reaches remote cores
+    /// only through the coherence bus, so disabling `coherence_bus`
+    /// leaves resident remote ABTBs stale.
     ///
     /// # Errors
     ///
@@ -309,7 +397,7 @@ impl MultiProcessSystem {
             self.machine
                 .space_mut()
                 .write_u64(got_slot, stub.as_u64())?;
-            self.machine.external_store(got_slot);
+            self.machine.broadcast_store(got_slot);
             n += 1;
         }
         if n > 0 && !self.machine.config().accel.has_bloom() {
@@ -355,7 +443,7 @@ impl MultiProcessSystem {
             self.machine
                 .space_mut()
                 .write_u64(got_slot, new_target.as_u64())?;
-            self.machine.external_store(got_slot);
+            self.machine.broadcast_store(got_slot);
             let mut guard = self.tables.lock().expect("resolution mutex poisoned");
             let active = guard.0;
             if let Some(b) = guard.1[active].binding_mut(module_idx, import_idx) {
@@ -513,6 +601,76 @@ mod tests {
         assert_eq!(mps.reg_of(0, Reg::R0), 5);
         assert_eq!(mps.reg_of(1, Reg::R0), 500);
         assert_eq!(mps.counters().resolver_invocations, 2, "one per process");
+    }
+
+    #[test]
+    fn warm_resume_keeps_a_resident_core_trained() {
+        // Bus off so process 1's own resolver store (layouts alias, so
+        // its GOT slot VA matches process 0's) cannot conservatively
+        // wipe core 0's Bloom mid-test.
+        let mut cfg = MachineConfig::enhanced();
+        cfg.coherence_bus = false;
+        let mut mps = MultiProcessSystem::new_with_cores(
+            vec![counting_proc(6, 1), counting_proc(6, 10)],
+            cfg,
+            None,
+            2,
+        )
+        .unwrap();
+        assert_eq!(mps.core_count(), 2);
+        mps.run_active_until_marks(4, 100_000).unwrap();
+        assert!(mps.machine().abtb_len() > 0, "core 0 trained");
+        assert!(mps.switch_to(1)); // displaces core 1 (first use)
+        mps.run_active_until_marks(2, 100_000).unwrap();
+        assert!(mps.switch_to(0)); // warm resume on core 0
+        assert!(mps.machine().abtb_len() > 0, "warm resume kept the ABTB");
+        mps.run_active(100_000).unwrap();
+        assert!(mps.switch_to(1)); // warm resume on core 1
+        mps.run_active(100_000).unwrap();
+        assert!(mps.halted(0) && mps.halted(1));
+        assert_eq!(mps.reg_of(0, Reg::R0), 6);
+        assert_eq!(mps.reg_of(1, Reg::R0), 60);
+        assert_eq!(mps.switches(), 3);
+        assert_eq!(mps.thread_switches(), 1, "only the first switch displaced");
+        assert_eq!(mps.thread_switches_of(0), 0);
+        assert_eq!(mps.thread_switches_of(1), 1);
+        assert_eq!(mps.counters().abtb_switch_flushes, mps.thread_switches());
+    }
+
+    #[test]
+    fn remote_rebind_reaches_a_resident_core_only_via_the_bus() {
+        for bus in [true, false] {
+            let mut cfg = MachineConfig::enhanced();
+            cfg.coherence_bus = bus;
+            let mut mps = MultiProcessSystem::new_with_cores(
+                vec![counting_proc(8, 1), counting_proc(8, 1)],
+                cfg,
+                Some((0, 1)),
+                2,
+            )
+            .unwrap();
+            // Train process 0's ABTB on core 0, then leave it resident.
+            mps.run_active_until_marks(4, 100_000).unwrap();
+            assert!(mps.machine().abtb_len() > 0);
+            assert!(mps.switch_to(1));
+            mps.run_active_until_marks(2, 100_000).unwrap();
+            // Process 1 rebinds; the layouts alias, so the rewritten GOT
+            // slot address is exactly the one core 0's Bloom watches.
+            // (Delta across the rebind: a core's *own* resolver stores
+            // can self-hit its Bloom earlier, bus or no bus.)
+            let before = mps.counters_for(0).abtb_coherence_flushes;
+            let n = mps.rebind_active("inc", "libinc").unwrap();
+            assert!(n > 0);
+            let delta = mps.counters_for(0).abtb_coherence_flushes - before;
+            if bus {
+                assert!(
+                    delta >= 1,
+                    "the bus delivered the rebind to the resident core"
+                );
+            } else {
+                assert_eq!(delta, 0, "bus off: the resident core was left stale");
+            }
+        }
     }
 
     #[test]

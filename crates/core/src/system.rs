@@ -374,7 +374,7 @@ impl System {
             self.machine
                 .space_mut()
                 .write_u64(got_slot, stub.as_u64())?;
-            self.machine.external_store(got_slot);
+            self.machine.broadcast_store(got_slot);
             n += 1;
         }
         if n > 0 && !self.machine.config().accel.has_bloom() {
@@ -425,7 +425,7 @@ impl System {
             self.machine
                 .space_mut()
                 .write_u64(got_slot, new_target.as_u64())?;
-            self.machine.external_store(got_slot);
+            self.machine.broadcast_store(got_slot);
             if let Some(b) = self
                 .resolution
                 .lock()

@@ -28,6 +28,41 @@ impl LinkAccel {
     }
 }
 
+/// Per-core ABTB context-switch policy (paper §3.3): what happens to a
+/// core's ABTB when the OS schedules a different thread onto it.
+///
+/// This is the topology-level spelling of
+/// [`MachineConfig::flush_abtb_on_context_switch`]; the
+/// `MachineBuilder` translates a per-core policy into that flag on the
+/// core's config clone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SwitchPolicy {
+    /// The ABTB (and its companion Bloom filter) is flushed on every
+    /// context switch — the paper's conservative default.
+    #[default]
+    FlushOnSwitch,
+    /// ABTB entries are ASID-tagged and survive context switches, like
+    /// an ASID-tagged TLB (§3.3).
+    AsidTagged,
+}
+
+impl SwitchPolicy {
+    /// Whether a context switch flushes the ABTB under this policy.
+    pub fn flushes_on_switch(self) -> bool {
+        matches!(self, SwitchPolicy::FlushOnSwitch)
+    }
+
+    /// The policy encoded by a [`MachineConfig`]'s
+    /// `flush_abtb_on_context_switch` flag.
+    pub fn from_flush_flag(flush: bool) -> Self {
+        if flush {
+            SwitchPolicy::FlushOnSwitch
+        } else {
+            SwitchPolicy::AsidTagged
+        }
+    }
+}
+
 /// Cycle costs charged by the timing model.
 ///
 /// The timing layer is an event-cost model (base cost per retired
@@ -120,6 +155,14 @@ pub struct MachineConfig {
     /// this model); useful as an ablation, since prefetching hides some
     /// of the trampolines' I-cache cost.
     pub icache_next_line_prefetch: bool,
+    /// Whether retired GOT-slot stores broadcast on the inter-core
+    /// invalidation bus of a multi-core machine, so they can hit every
+    /// *other* core's Bloom filter (the §3.2 coherence-invalidation
+    /// path). On by default; disabling it on a multi-core machine makes
+    /// stale-skip-after-remote-rebind reachable — the negative control
+    /// the cross-core difftest regression uses. Irrelevant on a 1-core
+    /// machine.
+    pub coherence_bus: bool,
     /// Timing penalties.
     pub penalties: Penalties,
     /// Page size used by the TLBs.
@@ -160,6 +203,7 @@ impl Default for MachineConfig {
             max_trampoline_body: 2,
             flush_abtb_on_context_switch: true,
             icache_next_line_prefetch: false,
+            coherence_bus: true,
             penalties: Penalties::default(),
             page_bytes: dynlink_mem::PAGE_BYTES,
         }
@@ -221,6 +265,19 @@ mod tests {
         assert_eq!(
             MachineConfig::enhanced().with_abtb_entries(16).abtb_entries,
             16
+        );
+    }
+
+    #[test]
+    fn switch_policy_round_trips_through_the_flush_flag() {
+        assert!(SwitchPolicy::FlushOnSwitch.flushes_on_switch());
+        assert!(!SwitchPolicy::AsidTagged.flushes_on_switch());
+        for p in [SwitchPolicy::FlushOnSwitch, SwitchPolicy::AsidTagged] {
+            assert_eq!(SwitchPolicy::from_flush_flag(p.flushes_on_switch()), p);
+        }
+        assert!(
+            MachineConfig::default().coherence_bus,
+            "the coherence bus is on by default"
         );
     }
 

@@ -6,7 +6,7 @@ use dynlink_isa::{Inst, Reg, VirtAddr};
 use dynlink_mem::MemError;
 use dynlink_uarch::PerfCounters;
 
-use crate::machine::Core;
+use crate::machine::{Core, Shared};
 
 /// A fatal execution error: the machine cannot make progress.
 ///
@@ -85,19 +85,21 @@ pub trait RetireObserver {
 /// memory (through the machine's store path, so the Bloom filter sees
 /// GOT rewrites), control flow and the accelerator.
 pub struct HostCtx<'a> {
-    pub(crate) core: &'a mut Core,
+    pub(crate) cores: &'a mut Vec<Core>,
+    pub(crate) active: usize,
+    pub(crate) shared: &'a mut Shared,
     pub(crate) redirect: Option<VirtAddr>,
 }
 
 impl<'a> HostCtx<'a> {
-    /// Reads a register.
+    /// Reads a register (of the core that executed the host call).
     pub fn reg(&self, r: Reg) -> u64 {
-        self.core.reg(r)
+        self.cores[self.active].reg(r)
     }
 
-    /// Writes a register.
+    /// Writes a register (of the core that executed the host call).
     pub fn set_reg(&mut self, r: Reg, value: u64) {
-        self.core.set_reg(r, value);
+        self.cores[self.active].set_reg(r, value);
     }
 
     /// Reads simulated memory without microarchitectural side effects
@@ -107,19 +109,20 @@ impl<'a> HostCtx<'a> {
     ///
     /// Propagates [`MemError`] from the address space.
     pub fn peek_u64(&self, addr: VirtAddr) -> Result<u64, MemError> {
-        self.core.space.read_u64(addr)
+        self.shared.space.read_u64(addr)
     }
 
     /// Writes simulated memory *through the machine's store path*: the
     /// store is counted, charged, and checked against the Bloom filter
-    /// exactly like a retired store instruction. The lazy resolver uses
-    /// this for GOT rewrites.
+    /// exactly like a retired store instruction — including the
+    /// coherence-bus broadcast to the other cores of a multi-core
+    /// machine. The lazy resolver uses this for GOT rewrites.
     ///
     /// # Errors
     ///
     /// Propagates [`MemError`] from the address space.
     pub fn store_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), MemError> {
-        self.core.retire_store(addr, value)
+        self.cores[self.active].retire_store(self.shared, addr, value)
     }
 
     /// Redirects execution: the instruction after the host call resumes
@@ -128,21 +131,25 @@ impl<'a> HostCtx<'a> {
         self.redirect = Some(target);
     }
 
-    /// Explicitly clears the ABTB — the §3.4 software-visible
-    /// invalidation instruction.
+    /// Explicitly clears the ABTB on *every* core — the §3.4
+    /// software-visible invalidation instruction, which reaches all
+    /// cores like an IPI-backed TLB shootdown.
     pub fn invalidate_abtb(&mut self) {
-        self.core.invalidate_abtb();
+        for core in self.cores.iter_mut() {
+            core.invalidate_abtb();
+        }
     }
 
     /// Marks this host call as a lazy-resolver invocation in the
-    /// counters.
+    /// counters (of the core that executed the host call).
     pub fn count_resolver(&mut self) {
-        self.core.counters.resolver_invocations += 1;
+        self.cores[self.active].counters.resolver_invocations += 1;
     }
 
-    /// Read-only access to the performance counters.
+    /// Read-only access to the performance counters (of the core that
+    /// executed the host call).
     pub fn counters(&self) -> &PerfCounters {
-        &self.core.counters
+        &self.cores[self.active].counters
     }
 }
 

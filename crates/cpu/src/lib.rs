@@ -43,6 +43,8 @@ mod config;
 mod events;
 mod machine;
 
-pub use config::{LinkAccel, MachineConfig, Penalties};
+pub use config::{LinkAccel, MachineConfig, Penalties, SwitchPolicy};
 pub use events::{CpuError, HostCtx, HostFn, MarkEvent, RetireEvent, RetireObserver, RunExit};
-pub use machine::{ComponentStats, CycleBreakdown, Machine, ProcessContext};
+pub use machine::{
+    ComponentStats, CycleBreakdown, Machine, MachineBuilder, ProcessContext, Topology,
+};

@@ -10,7 +10,7 @@ use dynlink_uarch::{
     ReturnAddressStack, Tlb,
 };
 
-use crate::config::MachineConfig;
+use crate::config::{MachineConfig, SwitchPolicy};
 use crate::events::{CpuError, HostCtx, HostFn, MarkEvent, RetireEvent, RetireObserver, RunExit};
 
 /// Where a charged cycle went (index into the breakdown array).
@@ -113,98 +113,51 @@ struct PredecodedPage {
     slots: Box<[PredecodedSlot]>,
 }
 
-/// All simulation state except host callbacks and observers (split out
-/// so host callbacks can borrow it mutably while the callback table is
-/// held by [`Machine`]).
-pub(crate) struct Core {
-    cfg: MachineConfig,
-    regs: [u64; dynlink_isa::NUM_REGS],
-    pc: VirtAddr,
-    halted: bool,
+/// State shared by every core of a [`Machine`]: the (active) address
+/// space, the predecoded-page arena, the normalized PLT range table and
+/// the inter-core store-broadcast bus.
+///
+/// The predecode arena lives here — not per core — because pages are
+/// tagged by space uid/version/PLT epoch, so decoded code is identical
+/// from every core's point of view and sharing it keeps each process's
+/// predecode warm wherever it is scheduled. What *is* per core is the
+/// `last_page` memo (a fetch-locality hint that would thrash if cores
+/// shared it).
+pub(crate) struct Shared {
     pub(crate) space: AddressSpace,
-    icache: Cache,
-    dcache: Cache,
-    l2: Cache,
-    itlb: Tlb,
-    dtlb: Tlb,
-    bpred: DirectionPredictor,
-    btb: Btb,
-    ras: ReturnAddressStack,
-    abtb: Abtb,
-    bloom: BloomFilter,
-    pub(crate) counters: PerfCounters,
-    cycle_millis: u64,
-    breakdown_millis: [u64; 7],
     /// Predecoded-page arena (see `Core::fetch_decoded`): per-page dense
-    /// decode caches, looked up through `page_index` and fronted by
-    /// `last_page`. Purely a simulator speedup; no architectural effect.
+    /// decode caches, looked up through `page_index` and fronted by each
+    /// core's `last_page`. Purely a simulator speedup; no architectural
+    /// effect.
     predecoded: Vec<PredecodedPage>,
     /// `(space uid, page number)` -> index into `predecoded`.
     page_index: HashMap<(u64, u64), usize>,
-    /// Arena index of the most recently fetched page (`usize::MAX`
-    /// before anything is cached): straight-line code revalidates with
-    /// four compares and zero hash lookups.
-    last_page: usize,
     /// Bumped by [`Machine::set_plt_ranges`]; predecoded pages carry the
     /// epoch their `in_plt` flags were computed under.
     plt_epoch: u64,
-    pending: Option<Pending>,
     /// Sorted, non-overlapping, non-empty — normalized by
     /// [`Machine::set_plt_ranges`] so `is_plt` can binary-search.
     plt_ranges: Vec<(VirtAddr, VirtAddr)>,
-    marks: Vec<MarkEvent>,
+    /// The invalidation bus: addresses of stores retired by the active
+    /// core this step, drained into every *other* core's Bloom filter
+    /// after the instruction completes (the §3.2 coherence path).
+    bus: Vec<VirtAddr>,
+    /// Whether retired stores broadcast at all: true only on a
+    /// multi-core machine with [`MachineConfig::coherence_bus`] enabled.
+    snoop: bool,
 }
 
-impl Core {
-    fn new(cfg: MachineConfig, space: AddressSpace) -> Self {
-        Core {
-            icache: Cache::new(cfg.icache),
-            dcache: Cache::new(cfg.dcache),
-            l2: Cache::new(cfg.l2),
-            itlb: Tlb::new(cfg.itlb_entries, cfg.itlb_ways, cfg.page_bytes),
-            dtlb: Tlb::new(cfg.dtlb_entries, cfg.dtlb_ways, cfg.page_bytes),
-            bpred: DirectionPredictor::with_history(cfg.bpred_bits, cfg.bpred_history_bits),
-            btb: Btb::new(cfg.btb_entries, cfg.btb_ways),
-            ras: ReturnAddressStack::new(cfg.ras_depth),
-            abtb: Abtb::new(cfg.abtb_entries),
-            bloom: BloomFilter::new(cfg.bloom_bits, cfg.bloom_hashes),
-            cfg,
-            regs: [0; dynlink_isa::NUM_REGS],
-            pc: VirtAddr::NULL,
-            halted: true,
+impl Shared {
+    fn new(space: AddressSpace, snoop: bool) -> Self {
+        Shared {
             space,
-            counters: PerfCounters::default(),
-            cycle_millis: 0,
-            breakdown_millis: [0; 7],
             predecoded: Vec::new(),
             page_index: HashMap::new(),
-            last_page: usize::MAX,
             plt_epoch: 0,
-            pending: None,
             plt_ranges: Vec::new(),
-            marks: Vec::new(),
+            bus: Vec::new(),
+            snoop,
         }
-    }
-
-    #[inline]
-    pub(crate) fn reg(&self, r: Reg) -> u64 {
-        self.regs[r.index()]
-    }
-
-    #[inline]
-    pub(crate) fn set_reg(&mut self, r: Reg, value: u64) {
-        self.regs[r.index()] = value;
-    }
-
-    #[inline]
-    fn charge_cause(&mut self, cycles: u64, cause: Cause) {
-        self.cycle_millis += cycles * 1000;
-        self.breakdown_millis[cause as usize] += cycles * 1000;
-    }
-
-    #[inline]
-    fn cycles(&self) -> u64 {
-        self.cycle_millis / 1000
     }
 
     /// PLT membership via binary search over the sorted, disjoint
@@ -215,45 +168,6 @@ impl Core {
     fn is_plt(&self, addr: VirtAddr) -> bool {
         let i = self.plt_ranges.partition_point(|&(start, _)| start <= addr);
         i > 0 && addr < self.plt_ranges[i - 1].1
-    }
-
-    /// Decodes the instruction at `pc` — plus its precomputed PLT flag —
-    /// through the predecoded-page arena.
-    ///
-    /// Fast path: `pc` lands on the same page as the previous fetch and
-    /// the page's tags are still current, so the answer is one bounds-
-    /// checked index away. Slow path: consult `page_index`, rebuilding
-    /// or creating the page as needed.
-    #[inline]
-    fn fetch_decoded(&mut self, pc: VirtAddr) -> Result<(Inst, bool), MemError> {
-        let pn = pc.page_number(PAGE_BYTES);
-        let off = pc.page_offset(PAGE_BYTES) as usize;
-        let uid = self.space.uid();
-        let version = self.space.code_version();
-        let idx = match self.predecoded.get(self.last_page) {
-            Some(p)
-                if p.pn == pn
-                    && p.uid == uid
-                    && p.version == version
-                    && p.plt_epoch == self.plt_epoch =>
-            {
-                self.last_page
-            }
-            _ => self.locate_page(uid, pn, version, pc)?,
-        };
-        self.last_page = idx;
-        if let Some(entry) = self.predecoded[idx].slots[off] {
-            return Ok(entry);
-        }
-        // No instruction here at predecode time. `place_code` may have
-        // added one since (it deliberately does not bump
-        // `code_version`), so fall back to a direct fetch — whose
-        // errors, including `NoInstruction`, are exactly what the
-        // uncached path reports — and backfill the slot on success.
-        let inst = self.space.fetch_code(pc)?;
-        let in_plt = self.is_plt(pc);
-        self.predecoded[idx].slots[off] = Some((inst, in_plt));
-        Ok((inst, in_plt))
     }
 
     /// Slow path of [`Core::fetch_decoded`]: find the arena page for
@@ -302,10 +216,133 @@ impl Core {
         }
         Ok(slots)
     }
+}
+
+/// One simulated core: architectural register file plus every private
+/// microarchitectural structure (caches, TLBs, predictors, ABTB +
+/// Bloom filter, performance counters). Everything cross-core-visible —
+/// the address space, the predecode arena, the invalidation bus — lives
+/// in [`Shared`], so `Core` methods take the shared state as an
+/// explicit parameter.
+pub(crate) struct Core {
+    cfg: MachineConfig,
+    regs: [u64; dynlink_isa::NUM_REGS],
+    pc: VirtAddr,
+    halted: bool,
+    icache: Cache,
+    dcache: Cache,
+    l2: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    bpred: DirectionPredictor,
+    btb: Btb,
+    ras: ReturnAddressStack,
+    abtb: Abtb,
+    bloom: BloomFilter,
+    pub(crate) counters: PerfCounters,
+    cycle_millis: u64,
+    breakdown_millis: [u64; 7],
+    /// Arena index of the most recently fetched page (`usize::MAX`
+    /// before anything is cached): straight-line code revalidates with
+    /// four compares and zero hash lookups. Per core — it is a fetch
+    /// locality hint, and cores fetch from different pages.
+    last_page: usize,
+    pending: Option<Pending>,
+    marks: Vec<MarkEvent>,
+}
+
+impl Core {
+    fn new(cfg: MachineConfig) -> Self {
+        Core {
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            l2: Cache::new(cfg.l2),
+            itlb: Tlb::new(cfg.itlb_entries, cfg.itlb_ways, cfg.page_bytes),
+            dtlb: Tlb::new(cfg.dtlb_entries, cfg.dtlb_ways, cfg.page_bytes),
+            bpred: DirectionPredictor::with_history(cfg.bpred_bits, cfg.bpred_history_bits),
+            btb: Btb::new(cfg.btb_entries, cfg.btb_ways),
+            ras: ReturnAddressStack::new(cfg.ras_depth),
+            abtb: Abtb::new(cfg.abtb_entries),
+            bloom: BloomFilter::new(cfg.bloom_bits, cfg.bloom_hashes),
+            cfg,
+            regs: [0; dynlink_isa::NUM_REGS],
+            pc: VirtAddr::NULL,
+            halted: true,
+            counters: PerfCounters::default(),
+            cycle_millis: 0,
+            breakdown_millis: [0; 7],
+            last_page: usize::MAX,
+            pending: None,
+            marks: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    #[inline]
+    pub(crate) fn set_reg(&mut self, r: Reg, value: u64) {
+        self.regs[r.index()] = value;
+    }
+
+    #[inline]
+    fn charge_cause(&mut self, cycles: u64, cause: Cause) {
+        self.cycle_millis += cycles * 1000;
+        self.breakdown_millis[cause as usize] += cycles * 1000;
+    }
+
+    #[inline]
+    fn cycles(&self) -> u64 {
+        self.cycle_millis / 1000
+    }
+
+    /// Decodes the instruction at `pc` — plus its precomputed PLT flag —
+    /// through the shared predecoded-page arena.
+    ///
+    /// Fast path: `pc` lands on the same page as this core's previous
+    /// fetch and the page's tags are still current, so the answer is one
+    /// bounds-checked index away. Slow path: consult the shared
+    /// `page_index`, rebuilding or creating the page as needed.
+    #[inline]
+    fn fetch_decoded(
+        &mut self,
+        shared: &mut Shared,
+        pc: VirtAddr,
+    ) -> Result<(Inst, bool), MemError> {
+        let pn = pc.page_number(PAGE_BYTES);
+        let off = pc.page_offset(PAGE_BYTES) as usize;
+        let uid = shared.space.uid();
+        let version = shared.space.code_version();
+        let idx = match shared.predecoded.get(self.last_page) {
+            Some(p)
+                if p.pn == pn
+                    && p.uid == uid
+                    && p.version == version
+                    && p.plt_epoch == shared.plt_epoch =>
+            {
+                self.last_page
+            }
+            _ => shared.locate_page(uid, pn, version, pc)?,
+        };
+        self.last_page = idx;
+        if let Some(entry) = shared.predecoded[idx].slots[off] {
+            return Ok(entry);
+        }
+        // No instruction here at predecode time. `place_code` may have
+        // added one since (it deliberately does not bump
+        // `code_version`), so fall back to a direct fetch — whose
+        // errors, including `NoInstruction`, are exactly what the
+        // uncached path reports — and backfill the slot on success.
+        let inst = shared.space.fetch_code(pc)?;
+        let in_plt = shared.is_plt(pc);
+        shared.predecoded[idx].slots[off] = Some((inst, in_plt));
+        Ok((inst, in_plt))
+    }
 
     /// Instruction-side fetch accounting for one executed instruction.
-    fn charge_fetch(&mut self, pc: VirtAddr) {
-        let asid = self.space.asid();
+    fn charge_fetch(&mut self, asid: u64, pc: VirtAddr) {
         if self.itlb.access(asid, pc).is_miss() {
             self.counters.itlb_misses += 1;
             self.charge_cause(self.cfg.penalties.tlb_walk, Cause::ITlb);
@@ -327,8 +364,7 @@ impl Core {
     }
 
     /// Data-side access accounting.
-    fn charge_data(&mut self, addr: VirtAddr) {
-        let asid = self.space.asid();
+    fn charge_data(&mut self, asid: u64, addr: VirtAddr) {
         if self.dtlb.access(asid, addr).is_miss() {
             self.counters.dtlb_misses += 1;
             self.charge_cause(self.cfg.penalties.tlb_walk, Cause::DTlb);
@@ -363,23 +399,43 @@ impl Core {
         }
     }
 
-    fn load_u64(&mut self, addr: VirtAddr) -> Result<u64, MemError> {
-        self.charge_data(addr);
+    fn load_u64(&mut self, shared: &mut Shared, addr: VirtAddr) -> Result<u64, MemError> {
+        self.charge_data(shared.space.asid(), addr);
         self.counters.loads += 1;
-        self.space.read_u64(addr)
+        shared.space.read_u64(addr)
     }
 
-    /// A retired store: counted, charged and checked against the Bloom
-    /// filter (the guard that keeps skipped trampolines correct).
-    pub(crate) fn retire_store(&mut self, addr: VirtAddr, value: u64) -> Result<(), MemError> {
-        self.charge_data(addr);
+    /// A retired store: counted, charged, checked against this core's
+    /// Bloom filter (the guard that keeps skipped trampolines correct)
+    /// and — on a multi-core machine with the coherence bus enabled —
+    /// queued on the bus so every *other* core's filter sees it too.
+    pub(crate) fn retire_store(
+        &mut self,
+        shared: &mut Shared,
+        addr: VirtAddr,
+        value: u64,
+    ) -> Result<(), MemError> {
+        self.charge_data(shared.space.asid(), addr);
         self.counters.stores += 1;
-        self.space.write_u64(addr, value)?;
+        shared.space.write_u64(addr, value)?;
         if self.cfg.accel.has_bloom() && self.bloom.maybe_contains(addr.as_u64()) {
             self.counters.bloom_store_hits += 1;
             self.flush_abtb(FlushCause::Coherence);
         }
+        if shared.snoop {
+            shared.bus.push(addr);
+        }
         Ok(())
+    }
+
+    /// A store observed from *outside* this core — a bus broadcast from
+    /// another core or an external-agent notification — checked against
+    /// this core's Bloom filter exactly like a retired store.
+    fn snoop_store(&mut self, addr: VirtAddr) {
+        if self.cfg.accel.has_bloom() && self.bloom.maybe_contains(addr.as_u64()) {
+            self.counters.bloom_store_hits += 1;
+            self.flush_abtb(FlushCause::Coherence);
+        }
     }
 
     /// ASID-salts an address for **ABTB keys** when the ABTB is
@@ -396,11 +452,11 @@ impl Core {
     /// `crates/cpu/tests/multiprocess.rs`). A raw key can only
     /// over-flush, which is architecturally safe.
     #[inline]
-    fn tagged(&self, a: VirtAddr) -> VirtAddr {
+    fn tagged(&self, asid: u64, a: VirtAddr) -> VirtAddr {
         if self.cfg.flush_abtb_on_context_switch {
             a
         } else {
-            VirtAddr::new(a.as_u64() ^ self.space.asid().wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            VirtAddr::new(a.as_u64() ^ asid.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         }
     }
 
@@ -445,12 +501,13 @@ impl Core {
     /// trampoline whenever the mapped address is used.
     fn resolve_btb_branch(
         &mut self,
+        asid: u64,
         pc: VirtAddr,
         arch_target: VirtAddr,
     ) -> (VirtAddr, Option<VirtAddr>) {
         let pred = self.btb.lookup(pc);
         if self.cfg.accel.has_abtb() {
-            let key = self.tagged(arch_target);
+            let key = self.tagged(asid, arch_target);
             if let Some(mapped) = self.abtb.lookup(key) {
                 self.counters.abtb_hits += 1;
                 let correct = pred == Some(mapped) || pred == Some(arch_target);
@@ -476,21 +533,22 @@ impl Core {
         (arch_target, None)
     }
 
-    fn push_stack(&mut self, value: u64) -> Result<(), MemError> {
+    fn push_stack(&mut self, shared: &mut Shared, value: u64) -> Result<(), MemError> {
         let sp = VirtAddr::new(self.reg(Reg::SP).wrapping_sub(8));
         self.set_reg(Reg::SP, sp.as_u64());
-        self.retire_store(sp, value)
+        self.retire_store(shared, sp, value)
     }
 
-    fn pop_stack(&mut self) -> Result<u64, MemError> {
+    fn pop_stack(&mut self, shared: &mut Shared) -> Result<u64, MemError> {
         let sp = VirtAddr::new(self.reg(Reg::SP));
-        let value = self.load_u64(sp)?;
+        let value = self.load_u64(shared, sp)?;
         self.set_reg(Reg::SP, sp.as_u64().wrapping_add(8));
         Ok(value)
     }
 
     /// Executes one (non-host-call) instruction functionally.
-    fn exec(&mut self, pc: VirtAddr, inst: Inst) -> Result<Exec, MemError> {
+    fn exec(&mut self, shared: &mut Shared, pc: VirtAddr, inst: Inst) -> Result<Exec, MemError> {
+        let asid = shared.space.asid();
         let fall = pc + inst.encoded_len();
         let mut loaded_slot = None;
         let mut skipped = None;
@@ -517,73 +575,73 @@ impl Core {
             }
             Inst::Load { dst, mem } => {
                 let ea = self.effective_addr(mem);
-                let v = self.load_u64(ea)?;
+                let v = self.load_u64(shared, ea)?;
                 self.set_reg(dst, v);
                 fall
             }
             Inst::Store { src, mem } => {
                 let ea = self.effective_addr(mem);
                 let v = self.reg(src);
-                self.retire_store(ea, v)?;
+                self.retire_store(shared, ea, v)?;
                 fall
             }
             Inst::Push { src } => {
                 let v = self.reg(src);
-                self.push_stack(v)?;
+                self.push_stack(shared, v)?;
                 fall
             }
             Inst::Pop { dst } => {
-                let v = self.pop_stack()?;
+                let v = self.pop_stack(shared)?;
                 self.set_reg(dst, v);
                 fall
             }
             Inst::CallDirect { target } => {
                 self.counters.branches += 1;
-                self.push_stack(fall.as_u64())?;
+                self.push_stack(shared, fall.as_u64())?;
                 self.ras.push(fall);
-                let (next, skip) = self.resolve_btb_branch(pc, target);
+                let (next, skip) = self.resolve_btb_branch(asid, pc, target);
                 skipped = skip;
                 next
             }
             Inst::CallIndirectReg { target } => {
                 self.counters.branches += 1;
                 let t = VirtAddr::new(self.reg(target));
-                self.push_stack(fall.as_u64())?;
+                self.push_stack(shared, fall.as_u64())?;
                 self.ras.push(fall);
-                let (next, skip) = self.resolve_btb_branch(pc, t);
+                let (next, skip) = self.resolve_btb_branch(asid, pc, t);
                 skipped = skip;
                 next
             }
             Inst::CallIndirectMem { mem } => {
                 self.counters.branches += 1;
                 let ea = self.effective_addr(mem);
-                let t = VirtAddr::new(self.load_u64(ea)?);
+                let t = VirtAddr::new(self.load_u64(shared, ea)?);
                 loaded_slot = Some(ea);
-                self.push_stack(fall.as_u64())?;
+                self.push_stack(shared, fall.as_u64())?;
                 self.ras.push(fall);
-                let (next, skip) = self.resolve_btb_branch(pc, t);
+                let (next, skip) = self.resolve_btb_branch(asid, pc, t);
                 skipped = skip;
                 next
             }
             Inst::JmpDirect { target } => {
                 self.counters.branches += 1;
-                let (next, skip) = self.resolve_btb_branch(pc, target);
+                let (next, skip) = self.resolve_btb_branch(asid, pc, target);
                 skipped = skip;
                 next
             }
             Inst::JmpIndirectMem { mem } => {
                 self.counters.branches += 1;
                 let ea = self.effective_addr(mem);
-                let t = VirtAddr::new(self.load_u64(ea)?);
+                let t = VirtAddr::new(self.load_u64(shared, ea)?);
                 loaded_slot = Some(ea);
-                let (next, skip) = self.resolve_btb_branch(pc, t);
+                let (next, skip) = self.resolve_btb_branch(asid, pc, t);
                 skipped = skip;
                 next
             }
             Inst::JmpIndirectReg { target } => {
                 self.counters.branches += 1;
                 let t = VirtAddr::new(self.reg(target));
-                let (next, skip) = self.resolve_btb_branch(pc, t);
+                let (next, skip) = self.resolve_btb_branch(asid, pc, t);
                 skipped = skip;
                 next
             }
@@ -612,7 +670,7 @@ impl Core {
             Inst::Ret => {
                 self.counters.branches += 1;
                 let predicted = self.ras.pop();
-                let actual = VirtAddr::new(self.pop_stack()?);
+                let actual = VirtAddr::new(self.pop_stack(shared)?);
                 if predicted != Some(actual) {
                     self.counters.branch_mispredictions += 1;
                     self.charge_cause(self.cfg.penalties.branch_mispredict, Cause::Mispredict);
@@ -654,7 +712,7 @@ impl Core {
     /// detector; an immediately following memory-indirect jump (with up
     /// to `max_trampoline_body` scratch-only instructions in between,
     /// for ARM-style trampolines) trains the ABTB and the Bloom filter.
-    fn train_pattern(&mut self, inst: Inst, exec: &Exec) {
+    fn train_pattern(&mut self, asid: u64, inst: Inst, exec: &Exec) {
         if !self.cfg.accel.has_abtb() {
             return;
         }
@@ -671,7 +729,7 @@ impl Core {
         }
         if inst.is_mem_indirect_jump() {
             if let (Some(p), Some(slot)) = (self.pending.take(), exec.loaded_slot) {
-                let key = self.tagged(p.call_target);
+                let key = self.tagged(asid, p.call_target);
                 self.counters.abtb_inserts += 1;
                 self.abtb.insert(key, exec.next_pc);
                 if self.cfg.accel.has_bloom() {
@@ -794,7 +852,7 @@ impl ProcessContext {
     /// level writes into a parked process (e.g. mirroring a shared GOT
     /// page). Such writes bypass the store path, so callers are
     /// responsible for any required ABTB invalidation — see
-    /// [`Machine::external_store`].
+    /// [`Machine::broadcast_store`].
     pub fn space_mut(&mut self) -> &mut AddressSpace {
         &mut self.space
     }
@@ -845,18 +903,173 @@ pub struct ComponentStats {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Machine {
-    core: Core,
+    shared: Shared,
+    cores: Vec<Core>,
+    /// Index of the core currently executing instructions. Exactly one
+    /// core runs at a time (the interleaving is deterministic and
+    /// driven by the scheduler above, e.g. `MultiProcessSystem`); the
+    /// other cores' private state stays warm and snoops the bus.
+    active: usize,
     host_fns: HashMap<u32, HostFn>,
     observers: Vec<Arc<Mutex<dyn RetireObserver + Send>>>,
 }
 
-impl Machine {
-    /// Creates a machine over a loaded address space.
-    pub fn new(cfg: MachineConfig, space: AddressSpace) -> Self {
+/// The core layout of a [`Machine`]: how many cores, and each core's
+/// §3.3 ABTB context-switch policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    policies: Vec<SwitchPolicy>,
+}
+
+impl Topology {
+    /// `cores` identical cores, all running `policy`. Panics if `cores`
+    /// is zero.
+    pub fn symmetric(cores: usize, policy: SwitchPolicy) -> Topology {
+        assert!(cores > 0, "a machine needs at least one core");
+        Topology {
+            policies: vec![policy; cores],
+        }
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// The switch policy of core `core`.
+    pub fn policy(&self, core: usize) -> SwitchPolicy {
+        self.policies[core]
+    }
+}
+
+/// Builder for multi-core [`Machine`]s.
+///
+/// `Machine::new(cfg, space)` remains the 1-core compatibility
+/// constructor; the builder is the general spelling:
+///
+/// ```
+/// use dynlink_cpu::{MachineBuilder, MachineConfig, SwitchPolicy};
+/// use dynlink_mem::AddressSpace;
+///
+/// let m = MachineBuilder::new(MachineConfig::enhanced())
+///     .cores(2)
+///     .policy(1, SwitchPolicy::AsidTagged)
+///     .build(AddressSpace::new(0));
+/// assert_eq!(m.core_count(), 2);
+/// assert_eq!(m.topology().policy(0), SwitchPolicy::FlushOnSwitch);
+/// assert_eq!(m.topology().policy(1), SwitchPolicy::AsidTagged);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    cfg: MachineConfig,
+    topology: Topology,
+}
+
+impl MachineBuilder {
+    /// Starts from `cfg` with a single core whose switch policy is the
+    /// one `cfg.flush_abtb_on_context_switch` encodes.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let policy = SwitchPolicy::from_flush_flag(cfg.flush_abtb_on_context_switch);
+        MachineBuilder {
+            cfg,
+            topology: Topology::symmetric(1, policy),
+        }
+    }
+
+    /// Sets the core count, resetting every core to the base config's
+    /// switch policy (apply [`MachineBuilder::policy`] afterwards for
+    /// per-core overrides). Panics if `n` is zero.
+    pub fn cores(mut self, n: usize) -> Self {
+        let policy = SwitchPolicy::from_flush_flag(self.cfg.flush_abtb_on_context_switch);
+        self.topology = Topology::symmetric(n, policy);
+        self
+    }
+
+    /// Overrides the switch policy of core `core`. Panics if `core` is
+    /// out of range for the current core count.
+    pub fn policy(mut self, core: usize, policy: SwitchPolicy) -> Self {
+        self.topology.policies[core] = policy;
+        self
+    }
+
+    /// Replaces the whole topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Builds the machine over `space`. Core `i` gets a clone of the
+    /// base config with `flush_abtb_on_context_switch` set per its
+    /// topology policy; the store-broadcast bus is armed only when the
+    /// machine has more than one core and `cfg.coherence_bus` is on.
+    pub fn build(self, space: AddressSpace) -> Machine {
+        let n = self.topology.core_count();
+        let snoop = n > 1 && self.cfg.coherence_bus;
+        let cores = (0..n)
+            .map(|i| {
+                let mut cfg = self.cfg.clone();
+                cfg.flush_abtb_on_context_switch = self.topology.policy(i).flushes_on_switch();
+                Core::new(cfg)
+            })
+            .collect();
         Machine {
-            core: Core::new(cfg, space),
+            shared: Shared::new(space, snoop),
+            cores,
+            active: 0,
             host_fns: HashMap::new(),
             observers: Vec::new(),
+        }
+    }
+}
+
+impl Machine {
+    /// Creates a single-core machine over a loaded address space — the
+    /// 1-core compatibility constructor; multi-core machines come from
+    /// [`MachineBuilder`].
+    pub fn new(cfg: MachineConfig, space: AddressSpace) -> Self {
+        MachineBuilder::new(cfg).build(space)
+    }
+
+    /// The active core (all single-core accessors read through it).
+    #[inline]
+    fn core(&self) -> &Core {
+        &self.cores[self.active]
+    }
+
+    /// Mutable active core.
+    #[inline]
+    fn core_mut(&mut self) -> &mut Core {
+        &mut self.cores[self.active]
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Index of the core currently executing.
+    pub fn active_core(&self) -> usize {
+        self.active
+    }
+
+    /// Selects which core executes subsequent instructions. The
+    /// scheduler (e.g. `MultiProcessSystem`) pairs this with
+    /// [`Machine::park_thread`]/[`Machine::load_thread`] and
+    /// [`Machine::swap_space_with`] when migrating the running thread.
+    /// Panics if `core` is out of range.
+    pub fn set_active_core(&mut self, core: usize) {
+        assert!(core < self.cores.len(), "core {core} out of range");
+        self.active = core;
+    }
+
+    /// The machine's core layout.
+    pub fn topology(&self) -> Topology {
+        Topology {
+            policies: self
+                .cores
+                .iter()
+                .map(|c| SwitchPolicy::from_flush_flag(c.cfg.flush_abtb_on_context_switch))
+                .collect(),
         }
     }
 
@@ -867,18 +1080,19 @@ impl Machine {
     ///
     /// Fails if the region overlaps an existing mapping.
     pub fn init_stack(&mut self, top: VirtAddr, bytes: u64) -> Result<(), MemError> {
-        self.core
+        self.shared
             .space
             .map_region(VirtAddr::new(top.as_u64() - bytes), bytes, Perms::RW)?;
-        self.core.set_reg(Reg::SP, top.as_u64());
-        self.core.set_reg(Reg::FP, top.as_u64());
+        self.core_mut().set_reg(Reg::SP, top.as_u64());
+        self.core_mut().set_reg(Reg::FP, top.as_u64());
         Ok(())
     }
 
-    /// Resets the program counter and unhalts the machine.
+    /// Resets the program counter and unhalts the machine (the active
+    /// core).
     pub fn reset(&mut self, entry: VirtAddr) {
-        self.core.pc = entry;
-        self.core.halted = false;
+        self.core_mut().pc = entry;
+        self.core_mut().halted = false;
     }
 
     /// Registers a host callback (e.g. the dynamic linker's lazy
@@ -920,9 +1134,9 @@ impl Machine {
                 _ => merged.push((s, e)),
             }
         }
-        self.core.plt_ranges = merged;
+        self.shared.plt_ranges = merged;
         // Predecoded pages carry stale `in_plt` flags now; retag lazily.
-        self.core.plt_epoch += 1;
+        self.shared.plt_epoch += 1;
     }
 
     /// Executes a single instruction.
@@ -932,7 +1146,7 @@ impl Machine {
     /// Returns [`CpuError`] on an unrecoverable fault (unmapped fetch,
     /// bad data access, unknown host function).
     pub fn step(&mut self) -> Result<(), CpuError> {
-        if self.core.halted {
+        if self.core().halted {
             return Ok(());
         }
         if self.observers.is_empty() {
@@ -947,29 +1161,37 @@ impl Machine {
     /// nothing for the hook. Callers check `halted` (and pick `OBSERVE`)
     /// once per dispatch batch, not per instruction.
     fn step_one<const OBSERVE: bool>(&mut self) -> Result<(), CpuError> {
-        let pc = self.core.pc;
-        let (inst, in_plt) = self
-            .core
-            .fetch_decoded(pc)
+        let active = self.active;
+        let asid = self.shared.space.asid();
+        let pc = self.cores[active].pc;
+        let (inst, in_plt) = self.cores[active]
+            .fetch_decoded(&mut self.shared, pc)
             .map_err(|source| CpuError { pc, source })?;
-        self.core.charge_fetch(pc);
-        self.core.cycle_millis += self.core.cfg.penalties.base_milli_cycles;
-        self.core.breakdown_millis[Cause::Base as usize] +=
-            self.core.cfg.penalties.base_milli_cycles;
+        {
+            let core = &mut self.cores[active];
+            core.charge_fetch(asid, pc);
+            core.cycle_millis += core.cfg.penalties.base_milli_cycles;
+            core.breakdown_millis[Cause::Base as usize] += core.cfg.penalties.base_milli_cycles;
+        }
 
         let exec = if let Inst::HostCall { id } = inst {
-            self.core
-                .charge_cause(self.core.cfg.penalties.host_call, Cause::HostCall);
-            // Split borrow: the callback table and the core are disjoint
-            // fields, so the callback can run against `&mut self.core`
-            // while borrowed from the map in place — no remove/re-insert
-            // (two hash-table writes) per host call.
+            {
+                let core = &mut self.cores[active];
+                let cost = core.cfg.penalties.host_call;
+                core.charge_cause(cost, Cause::HostCall);
+            }
+            // Split borrow: the callback table, the core array and the
+            // shared state are disjoint fields, so the callback can run
+            // against them while borrowed from the map in place — no
+            // remove/re-insert (two hash-table writes) per host call.
             let f = self.host_fns.get_mut(&id.0).ok_or(CpuError {
                 pc,
                 source: MemError::NoInstruction { addr: pc },
             })?;
             let mut ctx = HostCtx {
-                core: &mut self.core,
+                cores: &mut self.cores,
+                active,
+                shared: &mut self.shared,
                 redirect: None,
             };
             f(&mut ctx);
@@ -980,22 +1202,41 @@ impl Machine {
                 skipped: None,
             }
         } else {
-            self.core
-                .exec(pc, inst)
+            self.cores[active]
+                .exec(&mut self.shared, pc, inst)
                 .map_err(|source| CpuError { pc, source })?
         };
 
+        // Drain the invalidation bus: every store the active core
+        // retired this instruction is snooped by every *other* core's
+        // Bloom filter (cross-core §3.2 coherence). Empty — and free —
+        // on single-core machines or with the bus disabled.
+        if !self.shared.bus.is_empty() {
+            let bus = std::mem::take(&mut self.shared.bus);
+            for &addr in &bus {
+                for (i, core) in self.cores.iter_mut().enumerate() {
+                    if i != active {
+                        core.snoop_store(addr);
+                    }
+                }
+            }
+            // Hand the allocation back for reuse.
+            self.shared.bus = bus;
+            self.shared.bus.clear();
+        }
+
         // Retire. `in_plt` comes precomputed from the predecoded slot.
-        self.core.counters.instructions += 1;
+        let core = &mut self.cores[active];
+        core.counters.instructions += 1;
         if in_plt {
-            self.core.counters.trampoline_instructions += 1;
+            core.counters.trampoline_instructions += 1;
         }
         if let Some(tramp) = exec.skipped {
-            if self.core.is_plt(tramp) {
-                self.core.counters.trampolines_skipped += 1;
+            if self.shared.is_plt(tramp) {
+                core.counters.trampolines_skipped += 1;
             }
         }
-        self.core.train_pattern(inst, &exec);
+        core.train_pattern(asid, inst, &exec);
         if OBSERVE {
             let event = RetireEvent {
                 pc,
@@ -1011,7 +1252,7 @@ impl Machine {
                     .on_retire(&event);
             }
         }
-        self.core.pc = exec.next_pc;
+        self.cores[active].pc = exec.next_pc;
         Ok(())
     }
 
@@ -1024,11 +1265,11 @@ impl Machine {
         budget_end: u64,
         target_marks: usize,
     ) -> Result<RunExit, CpuError> {
-        while !self.core.halted {
-            if MARKS && self.core.marks.len() >= target_marks {
+        while !self.core().halted {
+            if MARKS && self.core().marks.len() >= target_marks {
                 return Ok(RunExit::InstLimit);
             }
-            if self.core.counters.instructions >= budget_end {
+            if self.core().counters.instructions >= budget_end {
                 return Ok(RunExit::InstLimit);
             }
             self.step_one::<OBSERVE>()?;
@@ -1043,7 +1284,7 @@ impl Machine {
     ///
     /// Propagates the first [`CpuError`].
     pub fn run(&mut self, max_instructions: u64) -> Result<RunExit, CpuError> {
-        let budget_end = self.core.counters.instructions + max_instructions;
+        let budget_end = self.core().counters.instructions + max_instructions;
         if self.observers.is_empty() {
             self.run_loop::<false, false>(budget_end, usize::MAX)
         } else {
@@ -1064,7 +1305,7 @@ impl Machine {
         target_marks: usize,
         max_instructions: u64,
     ) -> Result<RunExit, CpuError> {
-        let budget_end = self.core.counters.instructions + max_instructions;
+        let budget_end = self.core().counters.instructions + max_instructions;
         if self.observers.is_empty() {
             self.run_loop::<false, true>(budget_end, target_marks)
         } else {
@@ -1072,63 +1313,149 @@ impl Machine {
         }
     }
 
-    /// A context switch: flushes the BTB and RAS (virtually-indexed,
-    /// untagged) and — unless the ABTB is configured as ASID-tagged —
-    /// the ABTB, mirroring the paper's §3.3 discussion.
+    /// A context switch on the active core: flushes the BTB and RAS
+    /// (virtually-indexed, untagged), the TLBs, and — unless the core's
+    /// ABTB is configured as ASID-tagged — the ABTB, mirroring the
+    /// paper's §3.3 discussion.
     pub fn context_switch(&mut self) {
-        self.core.on_context_switch();
-        self.core.itlb.flush();
-        self.core.dtlb.flush();
+        let core = self.core_mut();
+        core.on_context_switch();
+        core.itlb.flush();
+        core.dtlb.flush();
+    }
+
+    /// The microarchitectural side of scheduling a *different* thread
+    /// onto `core` (the multi-core analogue of what
+    /// [`Machine::swap_process`] does on the active core): untagged
+    /// structures (BTB, RAS) are flushed, ASID-tagged TLBs retain their
+    /// entries, and the ABTB follows the core's configured policy. Not
+    /// needed — and not called by schedulers — when a thread resumes on
+    /// a core where it stayed resident. Panics if `core` is out of
+    /// range.
+    pub fn core_context_switch(&mut self, core: usize) {
+        self.cores[core].on_context_switch();
+    }
+
+    /// Copies the running thread's architectural state (registers, pc,
+    /// halt flag — not the address space) out of `core` into `ctx`.
+    /// Pair with [`Machine::swap_space_with`] to park the address space
+    /// and [`Machine::load_thread`] to resume another thread. Panics if
+    /// `core` is out of range.
+    pub fn park_thread(&self, core: usize, ctx: &mut ProcessContext) {
+        let c = &self.cores[core];
+        ctx.regs = c.regs;
+        ctx.pc = c.pc;
+        ctx.halted = c.halted;
+    }
+
+    /// Copies `ctx`'s architectural state (registers, pc, halt flag —
+    /// not the address space) onto `core`. Panics if `core` is out of
+    /// range.
+    pub fn load_thread(&mut self, core: usize, ctx: &ProcessContext) {
+        let c = &mut self.cores[core];
+        c.regs = ctx.regs;
+        c.pc = ctx.pc;
+        c.halted = ctx.halted;
+    }
+
+    /// Swaps the machine's shared address space with `space` — the
+    /// space-custody half of a multi-core thread switch (a placeholder
+    /// space circulates through the parked contexts). Predecoded pages
+    /// are uid-tagged, so each space's predecode stays warm across
+    /// swaps.
+    pub fn swap_space_with(&mut self, space: &mut AddressSpace) {
+        std::mem::swap(&mut self.shared.space, space);
     }
 
     /// Suspends the currently running process into `ctx` and resumes the
     /// process previously stored there — an OS context switch between
-    /// two different programs on one core. Untagged structures (BTB,
-    /// RAS) are flushed; ASID-tagged TLBs retain their entries; the ABTB
-    /// follows its configured policy (and in ASID-tagged mode its keys
-    /// are salted per address space, so entries from different processes
-    /// can never alias).
+    /// two different programs on the active core. Untagged structures
+    /// (BTB, RAS) are flushed; ASID-tagged TLBs retain their entries;
+    /// the ABTB follows its configured policy (and in ASID-tagged mode
+    /// its keys are salted per address space, so entries from different
+    /// processes can never alias).
     pub fn swap_process(&mut self, ctx: &mut ProcessContext) {
-        std::mem::swap(&mut self.core.regs, &mut ctx.regs);
-        std::mem::swap(&mut self.core.pc, &mut ctx.pc);
-        std::mem::swap(&mut self.core.halted, &mut ctx.halted);
-        std::mem::swap(&mut self.core.space, &mut ctx.space);
+        let core = &mut self.cores[self.active];
+        std::mem::swap(&mut core.regs, &mut ctx.regs);
+        std::mem::swap(&mut core.pc, &mut ctx.pc);
+        std::mem::swap(&mut core.halted, &mut ctx.halted);
+        std::mem::swap(&mut self.shared.space, &mut ctx.space);
         // No decode-cache flush: predecoded pages are tagged with the
         // incoming space's uid (not its ASID, which may alias), so stale
         // pages simply stop matching and each process's predecode stays
         // warm across switches.
-        self.core.on_context_switch();
+        core.on_context_switch();
     }
 
-    /// Invalidates the L1/L2 cache contents (e.g. to model worst-case
-    /// pollution around a context switch); statistics are retained.
+    /// Invalidates the active core's L1/L2 cache contents (e.g. to
+    /// model worst-case pollution around a context switch); statistics
+    /// are retained.
     pub fn flush_caches(&mut self) {
-        self.core.icache.flush();
-        self.core.dcache.flush();
-        self.core.l2.flush();
+        let core = self.core_mut();
+        core.icache.flush();
+        core.dcache.flush();
+        core.l2.flush();
     }
 
-    /// Notifies the machine of a store performed by another agent
-    /// (another core, DMA, or the host runtime rewriting a GOT slot):
-    /// the coherence-invalidation path of §3.2.
+    /// Notifies the machine of a store performed by an agent outside it
+    /// entirely (DMA, or a host runtime rewriting a GOT slot behind the
+    /// simulator's back): the coherence-invalidation path of §3.2,
+    /// delivered to **every** core's Bloom filter unconditionally.
+    ///
+    /// Deprecated: this was the hand-crafted stand-in for coherence
+    /// invalidation while the machine only had one core. Software
+    /// stores now go through [`Machine::broadcast_store`] (identical on
+    /// one core, and honouring the coherence bus on many), and pipeline
+    /// stores broadcast at retire; only a model of a truly busless
+    /// outside agent still wants the unconditional delivery this
+    /// performs.
+    #[deprecated(
+        note = "use Machine::broadcast_store, which routes through the §3.2 coherence bus"
+    )]
     pub fn external_store(&mut self, addr: VirtAddr) {
         // Raw key: the Bloom filter is keyed by the slot address alone,
         // never by the writer's ASID (see the coherence note on
         // `Core::tagged`), so notifications from any agent hit.
-        if self.core.cfg.accel.has_bloom() && self.core.bloom.maybe_contains(addr.as_u64()) {
-            self.core.counters.bloom_store_hits += 1;
-            self.core.flush_abtb(FlushCause::Coherence);
+        for core in &mut self.cores {
+            core.snoop_store(addr);
+        }
+    }
+
+    /// Notifies the machine of a store performed by software running on
+    /// the **active core** without going through the simulated store
+    /// pipeline (e.g. the runtime loader rewriting GOT slots during a
+    /// rebind): the active core's Bloom filter is checked directly, and
+    /// the store broadcasts to the other cores only when the coherence
+    /// bus is enabled. On a 1-core machine this is identical to
+    /// [`Machine::external_store`]; on a multi-core machine with
+    /// `coherence_bus` disabled, remote cores are left stale — the
+    /// negative control for cross-core staleness experiments.
+    pub fn broadcast_store(&mut self, addr: VirtAddr) {
+        self.cores[self.active].snoop_store(addr);
+        if self.shared.snoop {
+            let active = self.active;
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                if i != active {
+                    core.snoop_store(addr);
+                }
+            }
         }
     }
 
     /// Explicitly clears the ABTB (the §3.4 software-managed variant).
+    /// The invalidate is global: like an `icache`-flush IPI, it reaches
+    /// every core, so a rebind on one core cannot leave another core's
+    /// ABTB stale.
     pub fn invalidate_abtb(&mut self) {
-        self.core.invalidate_abtb();
+        for core in &mut self.cores {
+            core.invalidate_abtb();
+        }
     }
 
-    /// Cycles attributed to each cost source (see [`CycleBreakdown`]).
+    /// Cycles attributed to each cost source on the active core (see
+    /// [`CycleBreakdown`]).
     pub fn cycle_breakdown(&self) -> CycleBreakdown {
-        let b = &self.core.breakdown_millis;
+        let b = &self.core().breakdown_millis;
         CycleBreakdown {
             base: b[0] / 1000,
             icache: b[1] / 1000,
@@ -1140,103 +1467,134 @@ impl Machine {
         }
     }
 
-    /// Per-structure access/miss statistics (observability beyond the
-    /// Table 4 counters).
+    /// Per-structure access/miss statistics for the active core
+    /// (observability beyond the Table 4 counters).
     pub fn component_stats(&self) -> ComponentStats {
+        let core = self.core();
         ComponentStats {
-            icache_accesses: self.core.icache.accesses(),
-            icache_misses: self.core.icache.misses(),
-            dcache_accesses: self.core.dcache.accesses(),
-            dcache_misses: self.core.dcache.misses(),
-            l2_accesses: self.core.l2.accesses(),
-            l2_misses: self.core.l2.misses(),
-            itlb_accesses: self.core.itlb.accesses(),
-            itlb_misses: self.core.itlb.misses(),
-            dtlb_accesses: self.core.dtlb.accesses(),
-            dtlb_misses: self.core.dtlb.misses(),
-            btb_lookups: self.core.btb.lookups(),
-            btb_hits: self.core.btb.hits(),
-            abtb_occupancy: self.core.abtb.len(),
-            abtb_capacity: self.core.abtb.capacity(),
-            abtb_evictions: self.core.abtb.evictions(),
-            bloom_fill_ratio: self.core.bloom.fill_ratio(),
+            icache_accesses: core.icache.accesses(),
+            icache_misses: core.icache.misses(),
+            dcache_accesses: core.dcache.accesses(),
+            dcache_misses: core.dcache.misses(),
+            l2_accesses: core.l2.accesses(),
+            l2_misses: core.l2.misses(),
+            itlb_accesses: core.itlb.accesses(),
+            itlb_misses: core.itlb.misses(),
+            dtlb_accesses: core.dtlb.accesses(),
+            dtlb_misses: core.dtlb.misses(),
+            btb_lookups: core.btb.lookups(),
+            btb_hits: core.btb.hits(),
+            abtb_occupancy: core.abtb.len(),
+            abtb_capacity: core.abtb.capacity(),
+            abtb_evictions: core.abtb.evictions(),
+            bloom_fill_ratio: core.bloom.fill_ratio(),
         }
     }
 
-    /// Snapshot of the performance counters (cycles filled in from the
-    /// timing accumulator).
+    /// Snapshot of the machine-wide performance counters: the per-field
+    /// **sum over every core** (cycles filled in from each core's timing
+    /// accumulator), the way VTune aggregates hardware counters across
+    /// cores. On a 1-core machine this is exactly the active core's
+    /// counters; use [`Machine::counters_for`] for a single core's view.
     pub fn counters(&self) -> PerfCounters {
-        let mut c = self.core.counters;
-        c.cycles = self.core.cycles();
-        c
+        let mut total = PerfCounters::default();
+        for i in 0..self.cores.len() {
+            total.accumulate(&self.counters_for(i));
+        }
+        total
     }
 
-    /// Resets the performance counters and timing accumulator while
-    /// keeping all microarchitectural state (cache contents, predictor
-    /// training, ABTB entries) warm — used to exclude warmup from
-    /// steady-state measurements, as the paper's methodology does.
+    /// Snapshot of one core's performance counters (cycles filled in
+    /// from that core's timing accumulator). Panics if `core` is out of
+    /// range.
+    pub fn counters_for(&self, core: usize) -> PerfCounters {
+        let c = &self.cores[core];
+        let mut out = c.counters;
+        out.cycles = c.cycles();
+        out
+    }
+
+    /// Resets the performance counters and timing accumulators of
+    /// **every** core while keeping all microarchitectural state (cache
+    /// contents, predictor training, ABTB entries) warm — used to
+    /// exclude warmup from steady-state measurements, as the paper's
+    /// methodology does.
     pub fn reset_counters(&mut self) {
-        self.core.counters = PerfCounters::default();
-        self.core.cycle_millis = 0;
-        self.core.breakdown_millis = [0; 7];
-        self.core.marks.clear();
+        for core in &mut self.cores {
+            core.counters = PerfCounters::default();
+            core.cycle_millis = 0;
+            core.breakdown_millis = [0; 7];
+            core.marks.clear();
+        }
     }
 
-    /// Drains the recorded [`MarkEvent`]s.
+    /// Drains the [`MarkEvent`]s recorded by the active core.
     pub fn take_marks(&mut self) -> Vec<MarkEvent> {
-        std::mem::take(&mut self.core.marks)
+        std::mem::take(&mut self.core_mut().marks)
     }
 
-    /// Reads a register (for tests and harnesses).
+    /// Reads a register of the active core (for tests and harnesses).
     pub fn reg(&self, r: Reg) -> u64 {
-        self.core.reg(r)
+        self.core().reg(r)
     }
 
-    /// Writes a register (for harness setup, e.g. passing arguments).
+    /// Writes a register of the active core (for harness setup, e.g.
+    /// passing arguments).
     pub fn set_reg(&mut self, r: Reg, value: u64) {
-        self.core.set_reg(r, value);
+        self.core_mut().set_reg(r, value);
     }
 
-    /// The current program counter.
+    /// The active core's program counter.
     pub fn pc(&self) -> VirtAddr {
-        self.core.pc
+        self.core().pc
     }
 
-    /// Returns `true` once `halt` has retired.
+    /// Returns `true` once `halt` has retired on the active core.
     pub fn halted(&self) -> bool {
-        self.core.halted
+        self.core().halted
     }
 
     /// Shared access to the address space.
     pub fn space(&self) -> &AddressSpace {
-        &self.core.space
+        &self.shared.space
     }
 
     /// Mutable access to the address space (runtime loading, dlclose).
     /// Writes made this way bypass the store path; call
-    /// [`Machine::external_store`] for each GOT slot rewritten.
+    /// [`Machine::broadcast_store`] for each GOT slot rewritten so the
+    /// Bloom filters (local and, over the bus, remote) can observe it.
     pub fn space_mut(&mut self) -> &mut AddressSpace {
-        &mut self.core.space
+        &mut self.shared.space
     }
 
-    /// Live ABTB occupancy (diagnostics).
+    /// Live ABTB occupancy of the active core (diagnostics).
     pub fn abtb_len(&self) -> usize {
-        self.core.abtb.len()
+        self.core().abtb.len()
     }
 
-    /// The machine configuration.
+    /// Live ABTB occupancy of core `core` (diagnostics). Panics if
+    /// `core` is out of range.
+    pub fn abtb_len_for(&self, core: usize) -> usize {
+        self.cores[core].abtb.len()
+    }
+
+    /// The machine configuration (the active core's clone; cores differ
+    /// only in `flush_abtb_on_context_switch` per their topology
+    /// policy).
     pub fn config(&self) -> &MachineConfig {
-        &self.core.cfg
+        &self.core().cfg
     }
 }
 
 impl std::fmt::Debug for Machine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Machine")
-            .field("pc", &self.core.pc)
-            .field("halted", &self.core.halted)
-            .field("accel", &self.core.cfg.accel)
-            .field("instructions", &self.core.counters.instructions)
+            .field("cores", &self.cores.len())
+            .field("active", &self.active)
+            .field("pc", &self.core().pc)
+            .field("halted", &self.core().halted)
+            .field("accel", &self.core().cfg.accel)
+            .field("instructions", &self.core().counters.instructions)
             .finish_non_exhaustive()
     }
 }
@@ -1615,6 +1973,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the deprecated path must keep working
     fn external_store_notification_flushes() {
         let (mut m, _c) = run_library_calls(MachineConfig::enhanced(), 10);
         assert!(m.abtb_len() > 0);
@@ -1884,5 +2243,253 @@ mod tests {
         let (bb, be) = (mb.cycle_breakdown(), me.cycle_breakdown());
         assert!(be.base < bb.base, "fewer instructions retire");
         assert!(be.total() <= bb.total());
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-core: builder, bus, coherence.
+    // ------------------------------------------------------------------
+
+    /// Address of the store-program placed after the library-call loop:
+    /// a second entry point another core can run to rewrite the GOT.
+    const STORE_PROG: u64 = TEXT + 0x800;
+
+    /// A 2-core machine over the canonical library-call program, with an
+    /// extra program at STORE_PROG that stores `0xbeef` into the GOT
+    /// slot the trampoline loads through.
+    fn two_core_machine(cfg: MachineConfig) -> Machine {
+        let mut s = space();
+        library_call_program(&mut s, 50);
+        let got0 = VirtAddr::new(GOT + 16);
+        let mut at = VirtAddr::new(STORE_PROG);
+        for inst in [
+            Inst::mov_imm(Reg::R5, 0xbeef),
+            Inst::Store {
+                src: Reg::R5,
+                mem: MemRef::Abs(got0),
+            },
+            Inst::Halt,
+        ] {
+            s.place_code(at, inst).unwrap();
+            at += inst.encoded_len();
+        }
+        let mut m = MachineBuilder::new(cfg).cores(2).build(s);
+        m.init_stack(VirtAddr::new(STACK_TOP), 0x10000).unwrap();
+        m.reset(VirtAddr::new(TEXT));
+        m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
+        m
+    }
+
+    /// Trains core 0's ABTB by running the library-call loop there.
+    fn train_core0(m: &mut Machine) {
+        m.run(100_000).unwrap();
+        assert!(m.abtb_len_for(0) > 0, "core 0 trained its ABTB");
+        assert!(m.counters_for(0).trampolines_skipped > 0);
+    }
+
+    #[test]
+    fn builder_topology_round_trips() {
+        let m = MachineBuilder::new(MachineConfig::enhanced())
+            .cores(3)
+            .policy(2, SwitchPolicy::AsidTagged)
+            .build(space());
+        assert_eq!(m.core_count(), 3);
+        assert_eq!(m.active_core(), 0);
+        let t = m.topology();
+        assert_eq!(t.core_count(), 3);
+        assert_eq!(t.policy(0), SwitchPolicy::FlushOnSwitch);
+        assert_eq!(t.policy(1), SwitchPolicy::FlushOnSwitch);
+        assert_eq!(t.policy(2), SwitchPolicy::AsidTagged);
+    }
+
+    #[test]
+    fn retired_store_on_one_core_snoops_the_others() {
+        let mut m = two_core_machine(MachineConfig::enhanced());
+        train_core0(&mut m);
+
+        // Run the GOT-rewriting store program on core 1.
+        m.set_active_core(1);
+        m.reset(VirtAddr::new(STORE_PROG));
+        m.run(100).unwrap();
+
+        // The store broadcast on the bus and hit core 0's Bloom filter.
+        assert_eq!(m.abtb_len_for(0), 0, "core 0's ABTB was flushed");
+        let c0 = m.counters_for(0);
+        assert!(c0.abtb_coherence_flushes >= 1, "coherence flush witness");
+        assert!(c0.bloom_store_hits >= 1);
+        // Core 1 executed no trampolines and took no coherence flush of
+        // its own training (it never trained).
+        assert_eq!(m.counters_for(1).trampolines_skipped, 0);
+    }
+
+    #[test]
+    fn bus_off_leaves_the_remote_core_stale() {
+        let mut cfg = MachineConfig::enhanced();
+        cfg.coherence_bus = false;
+        let mut m = two_core_machine(cfg);
+        train_core0(&mut m);
+        let len_before = m.abtb_len_for(0);
+
+        m.set_active_core(1);
+        m.reset(VirtAddr::new(STORE_PROG));
+        m.run(100).unwrap();
+
+        // No broadcast: core 0 still holds its (now stale) entries.
+        assert_eq!(m.abtb_len_for(0), len_before);
+        assert_eq!(m.counters_for(0).abtb_coherence_flushes, 0);
+        // Core 1's own pipeline store still checked its *local* filter.
+        assert_eq!(m.counters_for(1).abtb_coherence_flushes, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)] // contrasts broadcast_store with the legacy external_store
+    fn broadcast_store_respects_the_bus_switch() {
+        for (bus, expect_remote_flush) in [(true, true), (false, false)] {
+            let mut cfg = MachineConfig::enhanced();
+            cfg.coherence_bus = bus;
+            let mut m = two_core_machine(cfg);
+            train_core0(&mut m);
+            m.set_active_core(1);
+            m.broadcast_store(VirtAddr::new(GOT + 16));
+            assert_eq!(
+                m.counters_for(0).abtb_coherence_flushes >= 1,
+                expect_remote_flush,
+                "bus={bus}"
+            );
+            // external_store always reaches every core, bus or not.
+            let mut m2 = two_core_machine(cfg2(bus));
+            train_core0(&mut m2);
+            m2.set_active_core(1);
+            m2.external_store(VirtAddr::new(GOT + 16));
+            assert!(m2.counters_for(0).abtb_coherence_flushes >= 1);
+        }
+
+        fn cfg2(bus: bool) -> MachineConfig {
+            let mut cfg = MachineConfig::enhanced();
+            cfg.coherence_bus = bus;
+            cfg
+        }
+    }
+
+    #[test]
+    fn invalidate_abtb_reaches_every_core() {
+        let mut m = two_core_machine(MachineConfig::enhanced_no_bloom());
+        train_core0(&mut m);
+        m.set_active_core(1);
+        m.invalidate_abtb();
+        assert_eq!(m.abtb_len_for(0), 0);
+        assert_eq!(m.abtb_len_for(1), 0);
+    }
+
+    #[test]
+    fn aggregate_counters_sum_over_cores() {
+        let mut m = two_core_machine(MachineConfig::enhanced());
+        train_core0(&mut m);
+        m.set_active_core(1);
+        m.reset(VirtAddr::new(STORE_PROG));
+        m.run(100).unwrap();
+
+        let (c0, c1) = (m.counters_for(0), m.counters_for(1));
+        let total = m.counters();
+        assert_eq!(total.instructions, c0.instructions + c1.instructions);
+        assert_eq!(total.cycles, c0.cycles + c1.cycles);
+        assert_eq!(total.stores, c0.stores + c1.stores);
+        assert!(c1.instructions >= 3, "core 1 ran the store program");
+
+        m.reset_counters();
+        assert_eq!(m.counters().instructions, 0);
+        assert_eq!(m.counters_for(0).cycles, 0);
+    }
+
+    #[test]
+    fn park_load_and_space_swap_round_trip() {
+        let mut m = two_core_machine(MachineConfig::enhanced());
+        train_core0(&mut m);
+        let r2 = m.reg(Reg::R2);
+
+        // Park core 0's thread, run something else on it, then resume.
+        let mut parked = ProcessContext::new(
+            AddressSpace::new(99),
+            VirtAddr::new(0),
+            VirtAddr::new(0x10_0000),
+            0x1000,
+        )
+        .unwrap();
+        m.park_thread(0, &mut parked);
+        assert_eq!(parked.reg(Reg::R2), r2);
+        assert!(parked.halted());
+
+        m.reset(VirtAddr::new(STORE_PROG));
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::R5), 0xbeef);
+
+        m.load_thread(0, &parked);
+        assert_eq!(m.reg(Reg::R2), r2);
+        assert!(m.halted());
+
+        // Space custody: swapping out and back leaves execution intact.
+        let mut placeholder = AddressSpace::new(0);
+        m.swap_space_with(&mut placeholder);
+        m.swap_space_with(&mut placeholder);
+        // Repair the GOT slot the store program clobbered, with the
+        // proper invalidation notification.
+        m.space_mut()
+            .write_u64(VirtAddr::new(GOT + 16), FUNC)
+            .unwrap();
+        m.broadcast_store(VirtAddr::new(GOT + 16));
+        m.reset(VirtAddr::new(TEXT));
+        m.run(100_000).unwrap();
+        assert!(m.halted());
+    }
+
+    #[test]
+    fn per_core_switch_policy_controls_the_abtb_flush() {
+        let mut m = MachineBuilder::new(MachineConfig::enhanced())
+            .cores(2)
+            .policy(1, SwitchPolicy::AsidTagged)
+            .build({
+                let mut s = space();
+                library_call_program(&mut s, 50);
+                s
+            });
+        m.init_stack(VirtAddr::new(STACK_TOP), 0x10000).unwrap();
+        m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
+
+        // Train both cores on the same loop.
+        for core in 0..2 {
+            m.set_active_core(core);
+            m.set_reg(Reg::SP, STACK_TOP);
+            m.set_reg(Reg::FP, STACK_TOP);
+            m.reset(VirtAddr::new(TEXT));
+            m.run(100_000).unwrap();
+            assert!(m.abtb_len_for(core) > 0);
+        }
+
+        m.core_context_switch(0);
+        m.core_context_switch(1);
+        assert_eq!(m.abtb_len_for(0), 0, "FlushOnSwitch core flushed");
+        assert!(m.abtb_len_for(1) > 0, "AsidTagged core survived");
+        assert!(m.counters_for(0).abtb_switch_flushes >= 1);
+        assert_eq!(m.counters_for(1).abtb_switch_flushes, 0);
+    }
+
+    #[test]
+    fn single_core_builder_matches_compat_constructor() {
+        let run = |m: &mut Machine| {
+            m.init_stack(VirtAddr::new(STACK_TOP), 0x10000).unwrap();
+            m.reset(VirtAddr::new(TEXT));
+            m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
+            m.run(100_000).unwrap();
+            m.counters()
+        };
+        let mk_space = || {
+            let mut s = space();
+            library_call_program(&mut s, 100);
+            s
+        };
+        let mut a = Machine::new(MachineConfig::enhanced(), mk_space());
+        let mut b = MachineBuilder::new(MachineConfig::enhanced())
+            .cores(1)
+            .build(mk_space());
+        assert_eq!(run(&mut a), run(&mut b));
     }
 }

@@ -23,6 +23,13 @@
 //!   resolver runs, or coherence flushes follow it? These are exactly
 //!   the orderings the §3.2/§3.4 staleness arguments hinge on.
 //!
+//! A third family, **core facets**, covers multi-core runs: one bit
+//! per `(core facet, core-count bucket, accel mode, switch policy)`,
+//! recorded only when the simulated machine has at least two cores —
+//! did a coherence flush cross the bus? did skips happen on a
+//! multi-core machine at all? These keys are appended after the first
+//! two families, so single-core bit indices are unchanged.
+//!
 //! Everything is a pure function of its inputs, so coverage is
 //! identical at every `--jobs` level and across runs — the property the
 //! guided scheduler's byte-identical reports rest on.
@@ -224,11 +231,53 @@ fn policy_name(i: usize) -> &'static str {
     ["Single", "FlushOnSwitch", "AsidTagged"][i]
 }
 
+/// A multi-core run facet, keyed per core-count bucket. Only recorded
+/// for runs on machines with at least two cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreFacet {
+    /// The run happened on a multi-core machine at all.
+    MultiCore,
+    /// A coherence flush fired (a bus broadcast hit a remote Bloom
+    /// filter, or a store self-hit the local one) during the run.
+    CoherenceFlush,
+    /// Trampolines were skipped during the run — the regime where a
+    /// missed cross-core invalidation would actually diverge.
+    Skips,
+}
+
+const CORE_FACETS: [CoreFacet; 3] = [
+    CoreFacet::MultiCore,
+    CoreFacet::CoherenceFlush,
+    CoreFacet::Skips,
+];
+
+impl CoreFacet {
+    fn index(self) -> usize {
+        CORE_FACETS
+            .iter()
+            .position(|&f| f == self)
+            .expect("in table")
+    }
+}
+
+/// Core-count bucket: 2, 3-4, 5+. Callers never record 0- or 1-core
+/// runs in this family.
+fn core_bucket(cores: usize) -> usize {
+    match cores {
+        0 | 1 => unreachable!("core bucket of a single-core run"),
+        2 => 0,
+        3..=4 => 1,
+        _ => 2,
+    }
+}
+
 const N_ACCEL: usize = 3;
 const N_POLICY: usize = 3;
 const N_BUCKET: usize = 4;
+const N_CORE_BUCKET: usize = 3;
 const RUN_BITS: usize = SIGNALS.len() * N_ACCEL * N_POLICY * N_BUCKET;
 const EVENT_BITS: usize = EVENT_KINDS.len() * EVENT_FACETS.len() * N_ACCEL * N_POLICY;
+const CORE_BITS: usize = CORE_FACETS.len() * N_CORE_BUCKET * N_ACCEL * N_POLICY;
 
 /// Log-style magnitude bucket: 1, 2–4, 5–16, 17+.
 fn bucket(count: u64) -> usize {
@@ -277,7 +326,7 @@ pub struct CoverageMap {
 
 impl CoverageMap {
     /// Total number of distinct coverage keys.
-    pub const BITS: usize = RUN_BITS + EVENT_BITS;
+    pub const BITS: usize = RUN_BITS + EVENT_BITS + CORE_BITS;
 
     /// Creates an empty map.
     pub fn new() -> CoverageMap {
@@ -352,6 +401,36 @@ impl CoverageMap {
         }
     }
 
+    /// Records the core-facet bits for one run on a `cores`-core
+    /// machine. A no-op below two cores, so single-core campaigns
+    /// produce maps identical to those from before this family existed.
+    pub fn record_multicore_run(
+        &mut self,
+        accel: LinkAccel,
+        policy: PolicyCtx,
+        cores: usize,
+        delta: &PerfCounters,
+    ) {
+        if cores < 2 {
+            return;
+        }
+        self.set(core_bit(CoreFacet::MultiCore, cores, accel, policy));
+        if delta.abtb_coherence_flushes > 0 {
+            self.set(core_bit(CoreFacet::CoherenceFlush, cores, accel, policy));
+        }
+        if delta.trampolines_skipped > 0 {
+            self.set(core_bit(CoreFacet::Skips, cores, accel, policy));
+        }
+    }
+
+    /// Number of set bits in the core-facet family alone — the signal
+    /// CI greps to prove a multi-core campaign exercised the bus.
+    pub fn count_core_facets(&self) -> usize {
+        (RUN_BITS + EVENT_BITS..Self::BITS)
+            .filter(|&b| self.contains(b))
+            .count()
+    }
+
     /// Records the facet bits for one applied schedule event, given its
     /// surrounding counter window.
     pub fn record_event(
@@ -395,6 +474,15 @@ fn event_bit(kind: EventKind, facet: EventFacet, accel: LinkAccel, policy: Polic
         + policy.index()
 }
 
+/// Bit index of a core-facet key.
+fn core_bit(facet: CoreFacet, cores: usize, accel: LinkAccel, policy: PolicyCtx) -> usize {
+    RUN_BITS
+        + EVENT_BITS
+        + ((facet.index() * N_CORE_BUCKET + core_bucket(cores)) * N_ACCEL + accel_index(accel))
+            * N_POLICY
+        + policy.index()
+}
+
 /// Human-readable name of a coverage key, for reports and debugging.
 pub fn describe_bit(bit: usize) -> String {
     if bit < RUN_BITS {
@@ -410,7 +498,7 @@ pub fn describe_bit(bit: usize) -> String {
             accel_name(a),
             policy_name(p)
         )
-    } else {
+    } else if bit < RUN_BITS + EVENT_BITS {
         let e = bit - RUN_BITS;
         let p = e % N_POLICY;
         let a = (e / N_POLICY) % N_ACCEL;
@@ -420,6 +508,20 @@ pub fn describe_bit(bit: usize) -> String {
             "event:{:?}.{:?}/{}/{}",
             EVENT_KINDS[k],
             EVENT_FACETS[f],
+            accel_name(a),
+            policy_name(p)
+        )
+    } else {
+        let e = bit - RUN_BITS - EVENT_BITS;
+        let p = e % N_POLICY;
+        let a = (e / N_POLICY) % N_ACCEL;
+        let cb = (e / (N_POLICY * N_ACCEL)) % N_CORE_BUCKET;
+        let f = e / (N_POLICY * N_ACCEL * N_CORE_BUCKET);
+        let cores = ["2", "3-4", "5+"][cb];
+        format!(
+            "core:{:?}x{}/{}/{}",
+            CORE_FACETS[f],
+            cores,
             accel_name(a),
             policy_name(p)
         )
@@ -469,7 +571,45 @@ mod tests {
                 }
             }
         }
+        for &facet in &CORE_FACETS {
+            for cores in [2, 3, 5] {
+                for accel in [LinkAccel::Off, LinkAccel::Abtb, LinkAccel::AbtbNoBloom] {
+                    for &policy in &POLICIES {
+                        let bit = core_bit(facet, cores, accel, policy);
+                        assert!((RUN_BITS + EVENT_BITS..CoverageMap::BITS).contains(&bit));
+                        assert!(seen.insert(bit), "duplicate core bit {bit}");
+                    }
+                }
+            }
+        }
         assert_eq!(seen.len(), CoverageMap::BITS);
+    }
+
+    #[test]
+    fn core_facets_only_record_multicore_runs() {
+        let mut m = CoverageMap::new();
+        let delta = PerfCounters {
+            trampolines_skipped: 5,
+            abtb_coherence_flushes: 1,
+            ..PerfCounters::default()
+        };
+        m.record_multicore_run(LinkAccel::Abtb, PolicyCtx::FlushOnSwitch, 1, &delta);
+        assert_eq!(m.count(), 0, "single-core runs set no core facets");
+        m.record_multicore_run(LinkAccel::Abtb, PolicyCtx::FlushOnSwitch, 2, &delta);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.count_core_facets(), 3);
+        for bit in m.iter_set() {
+            assert!(
+                describe_bit(bit).starts_with("core:"),
+                "{}",
+                describe_bit(bit)
+            );
+        }
+        // A different core-count bucket is new coverage; 3 and 4 share.
+        m.record_multicore_run(LinkAccel::Abtb, PolicyCtx::FlushOnSwitch, 3, &delta);
+        assert_eq!(m.count_core_facets(), 6);
+        m.record_multicore_run(LinkAccel::Abtb, PolicyCtx::FlushOnSwitch, 4, &delta);
+        assert_eq!(m.count_core_facets(), 6, "3 and 4 cores share a bucket");
     }
 
     #[test]

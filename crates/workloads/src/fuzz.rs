@@ -473,6 +473,11 @@ pub struct MultiFuzzCase {
     /// structurally identical programs whose GOT bytes are mirrored
     /// from the departing process to its partner at every switch.
     pub shared_got_pair: Option<(usize, usize)>,
+    /// Number of cores on the simulated machine (process `p` is pinned
+    /// to core `p % cores`). The generator always emits 1; the difftest
+    /// `--cores` axis overrides it after generation, so schedules and
+    /// oracle digests are independent of the core count.
+    pub cores: usize,
     /// The sequential cross-process schedule.
     pub schedule: Vec<MultiScheduledEvent>,
 }
@@ -554,6 +559,7 @@ impl MultiFuzzCase {
             seed,
             procs,
             shared_got_pair,
+            cores: 1,
             schedule,
         }
     }
@@ -577,9 +583,10 @@ impl fmt::Display for MultiFuzzCase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "multi seed={} procs={} pair={:?}",
+            "multi seed={} procs={} cores={} pair={:?}",
             self.seed,
             self.procs.len(),
+            self.cores,
             self.shared_got_pair
         )?;
         for (i, p) in self.procs.iter().enumerate() {
@@ -638,6 +645,16 @@ pub fn shrink_multi_case<F: FnMut(&MultiFuzzCase) -> bool>(
     if best.shared_got_pair.is_some() {
         let mut c = best.clone();
         c.shared_got_pair = None;
+        if fails(&c) {
+            best = c;
+        }
+    }
+
+    if best.cores > 1 {
+        // A failure that survives on one core is not a cross-core bug;
+        // prefer the simpler machine.
+        let mut c = best.clone();
+        c.cores = 1;
         if fails(&c) {
             best = c;
         }

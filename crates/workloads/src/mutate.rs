@@ -122,6 +122,8 @@ pub fn sanitize_multi_case(case: &mut MultiFuzzCase) {
         _ => case.shared_got_pair = None,
     }
 
+    case.cores = case.cores.clamp(1, 8);
+
     case.schedule.truncate(MAX_EVENTS);
     for ev in &mut case.schedule {
         ev.at_mark = ev.at_mark.clamp(1, MAX_ITERATIONS);

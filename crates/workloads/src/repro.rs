@@ -263,6 +263,12 @@ impl FromStr for MultiFuzzCase {
             .ok_or_else(|| format!("multi case must start with `multi `, got `{header}`"))?;
         let seed = parse_u64(field(header, "seed")?, "seed")?;
         let n_procs = parse_usize(field(header, "procs")?, "proc count")?;
+        // `cores` joined the header format after the first corpus files
+        // were checked in; absent means a 1-core machine.
+        let cores = match field(header, "cores") {
+            Ok(v) => parse_usize(v, "core count")?,
+            Err(_) => 1,
+        };
         let pair_text = field(header, "pair")?;
         let shared_got_pair = if pair_text == "None" {
             None
@@ -312,6 +318,7 @@ impl FromStr for MultiFuzzCase {
             seed,
             procs,
             shared_got_pair,
+            cores,
             schedule,
         })
     }

@@ -12,7 +12,10 @@
 use std::fs;
 use std::path::PathBuf;
 
-use dynlink_bench::difftest::{check_case, check_multi_case, Injection};
+use dynlink_bench::difftest::{
+    check_case, check_multi_case, check_multi_case_coverage, check_multi_case_with_bus, Injection,
+};
+use dynlink_workloads::coverage::describe_bit;
 use dynlink_workloads::repro::{parse_corpus_file, CorpusCase};
 
 /// The checked-in corpus directory at the workspace root.
@@ -35,8 +38,8 @@ fn corpus_files() -> Vec<PathBuf> {
 fn corpus_is_nonempty_and_parses() {
     let files = corpus_files();
     assert!(
-        files.len() >= 3,
-        "expected at least the three PR 2–3 reproducers, found {files:?}"
+        files.len() >= 4,
+        "expected at least the PR 2–3 reproducers plus the PR 6 cross-core case, found {files:?}"
     );
     for path in files {
         let text = fs::read_to_string(&path).unwrap();
@@ -76,6 +79,51 @@ fn corpus_replays_clean_under_every_accel_flavor_combo() {
             failures.join("\n")
         );
     }
+}
+
+/// The cross-core reproducer must stay an exact witness of the §3.2
+/// coherence path: with the broadcast bus on, the case is clean and
+/// core 0's Bloom filter visibly absorbs the remote rebind (nonzero
+/// coherence flushes, recorded as the `CoherenceFlush` core-count
+/// coverage facet); with the bus off, the resident core's retained
+/// ABTB entry goes stale and the oracle catches the skip divergence.
+#[test]
+fn cross_core_stale_rebind_needs_the_coherence_bus() {
+    let text = fs::read_to_string(corpus_dir().join("cross_core_stale_rebind.txt")).unwrap();
+    let CorpusCase::Multi(case) = parse_corpus_file(&text).unwrap() else {
+        panic!("cross_core_stale_rebind.txt must be a multi-process case");
+    };
+    assert_eq!(
+        case.cores, 2,
+        "the cores field must round-trip from the file"
+    );
+
+    let (clean, map) = check_multi_case_coverage(&case, Injection::None);
+    assert!(
+        clean.failures.is_empty(),
+        "with the coherence bus the case must pass: {:?}",
+        clean.failures
+    );
+    assert!(
+        map.iter_set()
+            .map(describe_bit)
+            .any(|d| d.contains("CoherenceFlush")),
+        "the clean replay must witness a coherence-caused flush on a remote core"
+    );
+
+    let stale = check_multi_case_with_bus(&case, Injection::None, false);
+    assert!(
+        !stale.failures.is_empty(),
+        "disabling the broadcast must leave the resident core stale"
+    );
+    assert!(
+        stale
+            .failures
+            .iter()
+            .any(|f| f.contains("architectural divergence")),
+        "expected a stale-skip divergence, got: {:?}",
+        stale.failures
+    );
 }
 
 /// The single-process `DropInvalidate` reproducer must still reproduce:

@@ -220,6 +220,7 @@ fn cross_switch_rebind_case() -> MultiFuzzCase {
     MultiFuzzCase {
         seed: 0xc0de,
         procs: vec![proc0, proc1],
+        cores: 1,
         shared_got_pair: None,
         schedule: vec![
             MultiScheduledEvent {
@@ -302,8 +303,8 @@ fn injected_multi_bug_is_found_and_shrunk() {
 
 #[test]
 fn multi_difftest_report_is_identical_across_job_counts() {
-    let serial = run_multi_difftest(40, 12, 1, Injection::None, false);
-    let sharded = run_multi_difftest(40, 12, 4, Injection::None, false);
+    let serial = run_multi_difftest(40, 12, 1, Injection::None, false, 1);
+    let sharded = run_multi_difftest(40, 12, 4, Injection::None, false, 1);
     assert_eq!(serial.failures, 0, "{}", serial.output);
     assert_eq!(
         serial.output, sharded.output,
@@ -311,6 +312,19 @@ fn multi_difftest_report_is_identical_across_job_counts() {
     );
     assert_eq!(serial.digest, sharded.digest);
     assert!(serial.output.contains("0 failure(s) across 12 case(s)"));
+}
+
+#[test]
+fn multicore_difftest_report_is_identical_across_job_counts() {
+    let serial = run_multi_difftest(40, 8, 1, Injection::None, false, 2);
+    let sharded = run_multi_difftest(40, 8, 4, Injection::None, false, 2);
+    assert_eq!(serial.failures, 0, "{}", serial.output);
+    assert_eq!(
+        serial.output, sharded.output,
+        "multicore report must not depend on --jobs"
+    );
+    assert_eq!(serial.digest, sharded.digest);
+    assert!(serial.output.contains("core coverage"));
 }
 
 #[test]
