@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale]
-//!          [--no-shrink] [--multi [--cores N]]
+//!          [--demand] [--no-shrink] [--multi [--cores N]]
 //!          [--guided [--rounds N] [--round-size N]
 //!                    [--corpus DIR] [--save-corpus DIR]]
 //! ```
@@ -19,7 +19,10 @@
 //! system side of each multi case on an N-core machine (processes
 //! pinned round-robin, GOT stores snooping remote Bloom filters over
 //! the coherence bus); the oracle is architectural, so the state
-//! digest is identical at every `--cores` level.
+//! digest is identical at every `--cores` level. `--demand` turns
+//! every generated case into a demand-paging case *after* generation
+//! (lazy code pages fault in on first fetch; evict/dlclose/reopen
+//! events join the schedule), so the demand-off digests are untouched.
 //! `--guided` switches to coverage-guided mutational fuzzing:
 //! `--rounds` rounds of `--round-size` candidates, keeping
 //! behavioral-coverage-novel cases as mutation parents; `--corpus DIR`
@@ -40,7 +43,7 @@ use dynlink_bench::runner::default_jobs;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--no-shrink] [--multi [--cores N]]\n\
+        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--demand] [--no-shrink] [--multi [--cores N]]\n\
          \x20               [--guided [--rounds N] [--round-size N] [--corpus DIR] [--save-corpus DIR]]"
     );
     ExitCode::from(2)
@@ -54,6 +57,7 @@ fn main() -> ExitCode {
     let mut shrink = true;
     let mut multi = false;
     let mut cores = 1usize;
+    let mut demand = false;
     let mut guided = false;
     let mut rounds = 8u64;
     let mut round_size = 64u64;
@@ -121,6 +125,7 @@ fn main() -> ExitCode {
                 }
             }
             "--inject-stale" => injection = Injection::DropInvalidate,
+            "--demand" => demand = true,
             "--no-shrink" => shrink = false,
             "--multi" => multi = true,
             "--guided" => guided = true,
@@ -131,6 +136,10 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
         i += 1;
+    }
+    if guided && demand {
+        eprintln!("difftest: --guided reaches demand cases through mutation; drop --demand");
+        return usage();
     }
     if guided && multi {
         eprintln!(
@@ -156,9 +165,9 @@ fn main() -> ExitCode {
             save_dir,
         })
     } else if multi {
-        run_multi_difftest(seed_start, cases, jobs, injection, shrink, cores)
+        run_multi_difftest(seed_start, cases, jobs, injection, shrink, cores, demand)
     } else {
-        run_difftest(seed_start, cases, jobs, injection, shrink)
+        run_difftest(seed_start, cases, jobs, injection, shrink, demand)
     };
     print!("{}", report.output);
     eprintln!(

@@ -156,6 +156,7 @@ fn link_options(case: &FuzzCase, flavor: TrampolineFlavor) -> LinkOptions {
         mode: case.mode,
         flavor,
         hw_level: case.hw_level,
+        demand_paging: case.demand,
         ..LinkOptions::default()
     }
 }
@@ -168,10 +169,16 @@ fn run_oracle(case: &FuzzCase, flavor: TrampolineFlavor) -> Result<OracleRun, St
         oracle
             .run_until_marks(ev.at_mark, RUN_BUDGET)
             .map_err(|e| format!("oracle run: {e}"))?;
+        if !case.applicable(&ev.event) {
+            continue;
+        }
         match ev.event {
             // Architecturally invisible by definition; the oracle has
-            // nothing to flush.
-            FuzzEvent::ContextSwitch | FuzzEvent::AbtbInvalidate => {}
+            // nothing to flush. Page eviction is likewise pure
+            // microarchitecture: the system faults the page back in.
+            FuzzEvent::ContextSwitch
+            | FuzzEvent::AbtbInvalidate
+            | FuzzEvent::EvictColdPage { .. } => {}
             FuzzEvent::Unbind { lib } => {
                 oracle
                     .apply_unbind(&format!("lib{lib}"))
@@ -181,6 +188,16 @@ fn run_oracle(case: &FuzzCase, flavor: TrampolineFlavor) -> Result<OracleRun, St
                 oracle
                     .apply_rebind(&format!("f{lib}"), "shadow")
                     .map_err(|e| format!("oracle rebind: {e}"))?;
+            }
+            FuzzEvent::DlcloseModule { lib } => {
+                oracle
+                    .apply_dlclose(&format!("lib{lib}"))
+                    .map_err(|e| format!("oracle dlclose: {e}"))?;
+            }
+            FuzzEvent::ReopenModule { lib } => {
+                oracle
+                    .apply_reopen(&format!("lib{lib}"))
+                    .map_err(|e| format!("oracle reopen: {e}"))?;
             }
         }
     }
@@ -260,6 +277,22 @@ fn apply_system_event(
                 }
             }
         }
+        // The demand-event class has its own bug model: the
+        // `demand_invalidate` machine knob (see
+        // [`check_case_with_demand_invalidation`]), not `Injection` —
+        // so these always go through the real runtime entry points.
+        FuzzEvent::EvictColdPage { lib, page } => sys
+            .evict_lib_page(&format!("lib{lib}"), page)
+            .map(|_| ())
+            .map_err(|e| format!("evict: {e}")),
+        FuzzEvent::DlcloseModule { lib } => sys
+            .dlclose(&format!("lib{lib}"))
+            .map(|_| ())
+            .map_err(|e| format!("dlclose: {e}")),
+        FuzzEvent::ReopenModule { lib } => sys
+            .dlreopen(&format!("lib{lib}"))
+            .map(|_| ())
+            .map_err(|e| format!("reopen: {e}")),
     }
 }
 
@@ -268,12 +301,18 @@ fn run_system(
     flavor: TrampolineFlavor,
     accel: LinkAccel,
     injection: Injection,
+    demand_invalidate: bool,
 ) -> Result<SystemRun, String> {
     let mut sys = SystemBuilder::new()
         .modules(case.modules())
         .link_mode(case.mode)
         .trampoline_flavor(flavor)
         .hw_level(case.hw_level)
+        .demand_paging(case.demand)
+        .machine_config(MachineConfig {
+            demand_invalidate,
+            ..MachineConfig::baseline()
+        })
         .accel(accel)
         .build()
         .map_err(|e| format!("system build: {e}"))?;
@@ -281,6 +320,9 @@ fn run_system(
     for ev in &case.schedule {
         sys.run_until_marks(ev.at_mark as usize, RUN_BUDGET)
             .map_err(|e| format!("system run: {e}"))?;
+        if !case.applicable(&ev.event) {
+            continue;
+        }
         snaps.push((EventKind::from(&ev.event), sys.counters()));
         apply_system_event(&mut sys, ev.event, injection)?;
     }
@@ -406,12 +448,36 @@ pub fn check_case(case: &FuzzCase, injection: Injection) -> CaseReport {
     check_case_coverage(case, injection).0
 }
 
+/// [`check_case`] with the machine's demand-GC invalidation knob
+/// switched explicitly. `invalidate = false` is the negative control
+/// for the demand-paging event class: `dlclose` still re-arms GOT
+/// slots and unmaps the module's code pages, but skips the explicit
+/// ABTB/BTB/predecode invalidation — so a trained machine keeps
+/// skipping into the unmapped (or later recycled) page and diverges
+/// from the oracle. The checked-in
+/// `corpus/stale_skip_unmapped_page.txt` witness pins exactly this.
+pub fn check_case_with_demand_invalidation(
+    case: &FuzzCase,
+    injection: Injection,
+    invalidate: bool,
+) -> CaseReport {
+    check_case_coverage_with_invalidation(case, injection, invalidate).0
+}
+
 /// [`check_case`] plus the behavioral [`CoverageMap`] the case's system
 /// runs exercised: every run's counter delta and every applied event
 /// window is recorded on the [`PolicyCtx::SingleProcess`] plane. The
 /// map is a pure function of the case (the same runs already paid for),
 /// so coverage-guided scheduling costs no extra simulation.
 pub fn check_case_coverage(case: &FuzzCase, injection: Injection) -> (CaseReport, CoverageMap) {
+    check_case_coverage_with_invalidation(case, injection, true)
+}
+
+fn check_case_coverage_with_invalidation(
+    case: &FuzzCase,
+    injection: Injection,
+    demand_invalidate: bool,
+) -> (CaseReport, CoverageMap) {
     let mut failures = Vec::new();
     let mut digest_fold = FNV_OFFSET;
     let mut coverage = CoverageMap::new();
@@ -426,7 +492,7 @@ pub fn check_case_coverage(case: &FuzzCase, injection: Injection) -> (CaseReport
         digest_fold = fold64(digest_fold, oracle.digest.fold());
         let mut baseline: Option<PerfCounters> = None;
         for &accel in &ACCELS {
-            match run_system(case, flavor, accel, injection) {
+            match run_system(case, flavor, accel, injection, demand_invalidate) {
                 Err(e) => failures.push(format!("[{flavor:?}/{accel:?}] {e}")),
                 Ok(run) => {
                     coverage.record_run(accel, PolicyCtx::SingleProcess, &run.counters);
@@ -487,26 +553,44 @@ pub struct DiffReport {
 /// over `jobs` workers. When `shrink` is set and at least one case
 /// fails, the first failing case is delta-debugged to a minimal
 /// reproducer which is appended to the report.
+///
+/// `demand` turns every generated case into a demand-paging case
+/// *after* generation (via [`FuzzCase::enable_demand`], salted with the
+/// case seed), so the demand-off report — and its state digest — stays
+/// bit-identical to the historical sweep.
 pub fn run_difftest(
     seed_start: u64,
     cases: u64,
     jobs: usize,
     injection: Injection,
     shrink: bool,
+    demand: bool,
 ) -> DiffReport {
+    let gen_case = move |seed: u64| {
+        let mut case = FuzzCase::generate(seed);
+        if demand {
+            case.enable_demand(seed);
+        }
+        case
+    };
     let cells: Vec<Cell<(CaseReport, CoverageMap)>> = (0..cases)
         .map(|i| {
             let seed = seed_start + i;
             Cell::new(format!("seed{seed}"), move |_ctx| {
-                check_case_coverage(&FuzzCase::generate(seed), injection)
+                check_case_coverage(&gen_case(seed), injection)
             })
         })
         .collect();
     let report = ParallelRunner::new(jobs).run(seed_start ^ 0xd1ff_7e57, cells);
 
     let mut output = format!(
-        "difftest: {cases} case(s), seeds {seed_start}..{}, {{Off,Abtb,AbtbNoBloom}} x {{X86,Arm}}{}\n",
+        "difftest: {cases} case(s), seeds {seed_start}..{}, {{Off,Abtb,AbtbNoBloom}} x {{X86,Arm}}{}{}\n",
         seed_start + cases,
+        if demand {
+            ", demand-fault events enabled"
+        } else {
+            ""
+        },
         match injection {
             Injection::None => "",
             Injection::DropInvalidate => ", injecting stale-ABTB bug",
@@ -537,7 +621,7 @@ pub fn run_difftest(
     }
 
     if let Some(seed) = first_failing.filter(|_| shrink) {
-        let case = FuzzCase::generate(seed);
+        let case = gen_case(seed);
         let shrunk = shrink_case(&case, |c| !check_case(c, injection).failures.is_empty());
         output.push_str(&format!("shrunk minimal reproducer for seed {seed}:\n"));
         output.push_str(&format!("  {shrunk}\n"));
@@ -620,8 +704,9 @@ fn run_multi_oracle(
             MultiFuzzEvent::Switch { to } => {
                 mo.switch_to(to);
             }
-            // Architecturally invisible; the oracle has nothing to flush.
-            MultiFuzzEvent::AbtbInvalidate => {}
+            // Architecturally invisible; the oracle has nothing to
+            // flush — and nothing to fault out or back in.
+            MultiFuzzEvent::AbtbInvalidate | MultiFuzzEvent::EvictColdPage { .. } => {}
             MultiFuzzEvent::Unbind { lib } => {
                 mo.apply_unbind_active(&format!("lib{lib}"))
                     .map_err(|e| format!("oracle unbind (process {}): {e}", mo.active()))?;
@@ -629,6 +714,14 @@ fn run_multi_oracle(
             MultiFuzzEvent::Rebind { lib } => {
                 mo.apply_rebind_active(&format!("f{lib}"), "shadow")
                     .map_err(|e| format!("oracle rebind (process {}): {e}", mo.active()))?;
+            }
+            MultiFuzzEvent::DlcloseModule { lib } => {
+                mo.apply_dlclose_active(&format!("lib{lib}"))
+                    .map_err(|e| format!("oracle dlclose (process {}): {e}", mo.active()))?;
+            }
+            MultiFuzzEvent::ReopenModule { lib } => {
+                mo.apply_reopen_active(&format!("lib{lib}"))
+                    .map_err(|e| format!("oracle reopen (process {}): {e}", mo.active()))?;
             }
         }
     }
@@ -711,6 +804,20 @@ fn apply_multi_system_event(
                 }
             }
         }
+        // Demand events use the `demand_invalidate` knob as their bug
+        // model, not `Injection` (see [`apply_system_event`]).
+        MultiFuzzEvent::EvictColdPage { lib, page } => mps
+            .evict_active_page(&format!("lib{lib}"), page)
+            .map(|_| ())
+            .map_err(|e| format!("evict: {e}")),
+        MultiFuzzEvent::DlcloseModule { lib } => mps
+            .dlclose_active(&format!("lib{lib}"))
+            .map(|_| ())
+            .map_err(|e| format!("dlclose: {e}")),
+        MultiFuzzEvent::ReopenModule { lib } => mps
+            .reopen_active(&format!("lib{lib}"))
+            .map(|_| ())
+            .map_err(|e| format!("reopen: {e}")),
     }
 }
 
@@ -725,7 +832,13 @@ fn run_multi_system(
     let procs = case
         .procs
         .iter()
-        .map(|p| (p.modules(), link_options(p, flavor)))
+        .map(|p| {
+            // The demand flag lives on the multi case, not the per-proc
+            // programs; honoured per process under lazy binding.
+            let mut opts = link_options(p, flavor);
+            opts.demand_paging = case.demand;
+            (p.modules(), opts)
+        })
         .collect();
     let mut mps = MultiProcessSystem::new_with_cores(
         procs,
@@ -1059,27 +1172,39 @@ pub fn run_multi_difftest(
     injection: Injection,
     shrink: bool,
     cores: usize,
+    demand: bool,
 ) -> DiffReport {
     let cores = cores.max(1);
+    let gen_case = move |seed: u64| {
+        let mut case = MultiFuzzCase::generate(seed);
+        case.cores = cores;
+        if demand {
+            case.enable_demand(seed);
+        }
+        case
+    };
     let cells: Vec<Cell<(CaseReport, CoverageMap)>> = (0..cases)
         .map(|i| {
             let seed = seed_start + i;
             Cell::new(format!("seed{seed}"), move |_ctx| {
-                let mut case = MultiFuzzCase::generate(seed);
-                case.cores = cores;
-                check_multi_case_coverage(&case, injection)
+                check_multi_case_coverage(&gen_case(seed), injection)
             })
         })
         .collect();
     let report = ParallelRunner::new(jobs).run(seed_start ^ 0x6d75_6c74, cells);
 
     let mut output = format!(
-        "multi difftest: {cases} case(s), seeds {seed_start}..{}, {{Off,Abtb,AbtbNoBloom}} x {{X86,Arm}} x {{FlushOnSwitch,AsidTagged}}{}{}\n",
+        "multi difftest: {cases} case(s), seeds {seed_start}..{}, {{Off,Abtb,AbtbNoBloom}} x {{X86,Arm}} x {{FlushOnSwitch,AsidTagged}}{}{}{}\n",
         seed_start + cases,
         if cores > 1 {
             format!(" on {cores} cores")
         } else {
             String::new()
+        },
+        if demand {
+            ", demand-fault events enabled"
+        } else {
+            ""
         },
         match injection {
             Injection::None => "",
@@ -1111,8 +1236,7 @@ pub fn run_multi_difftest(
     }
 
     if let Some(seed) = first_failing.filter(|_| shrink) {
-        let mut case = MultiFuzzCase::generate(seed);
-        case.cores = cores;
+        let case = gen_case(seed);
         let shrunk = shrink_multi_case(&case, |c| {
             !check_multi_case(c, injection).failures.is_empty()
         });
@@ -1162,7 +1286,7 @@ mod tests {
 
     #[test]
     fn report_counts_match_failure_lines() {
-        let r = run_difftest(0, 6, 2, Injection::None, false);
+        let r = run_difftest(0, 6, 2, Injection::None, false, false);
         assert_eq!(r.cases, 6);
         assert_eq!(r.failures, 0, "{}", r.output);
         assert!(r.output.contains("0 failure(s) across 6 case(s)"));
@@ -1182,7 +1306,7 @@ mod tests {
 
     #[test]
     fn multi_report_counts_match_failure_lines() {
-        let r = run_multi_difftest(0, 4, 2, Injection::None, false, 1);
+        let r = run_multi_difftest(0, 4, 2, Injection::None, false, 1, false);
         assert_eq!(r.cases, 4);
         assert_eq!(r.failures, 0, "{}", r.output);
         assert!(r.output.contains("0 failure(s) across 4 case(s)"));
@@ -1210,8 +1334,65 @@ mod tests {
     }
 
     #[test]
+    fn demand_cases_produce_no_failures() {
+        for seed in 0..15 {
+            let mut case = FuzzCase::generate(seed);
+            case.enable_demand(seed);
+            let report = check_case(&case, Injection::None);
+            assert!(
+                report.failures.is_empty(),
+                "seed {seed}: {:?}\n{case}",
+                report.failures
+            );
+        }
+    }
+
+    #[test]
+    fn demand_multi_cases_produce_no_failures() {
+        for seed in 0..6 {
+            for cores in [1, 2] {
+                let mut case = MultiFuzzCase::generate(seed);
+                case.cores = cores;
+                case.enable_demand(seed);
+                let report = check_multi_case(&case, Injection::None);
+                assert!(
+                    report.failures.is_empty(),
+                    "seed {seed} on {cores} core(s): {:?}\n{case}",
+                    report.failures
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demand_sweeps_are_clean_and_deterministic() {
+        // Both regimes must be clean. Their digests legitimately differ
+        // (dlclose/reopen events change architecture: GOT re-arm), but
+        // the demand report must be byte-identical at every job level —
+        // and the demand-off sweep's digest is the historical one, so
+        // the demand flag provably never leaks into generation.
+        let eager = run_difftest(0, 20, 2, Injection::None, false, false);
+        let demand = run_difftest(0, 20, 2, Injection::None, false, true);
+        assert_eq!(eager.failures, 0, "{}", eager.output);
+        assert_eq!(demand.failures, 0, "{}", demand.output);
+        assert!(demand.output.contains("demand-fault events enabled"));
+        let demand4 = run_difftest(0, 20, 4, Injection::None, false, true);
+        assert_eq!(demand.output, demand4.output);
+    }
+
+    #[test]
+    fn demand_invalidation_knob_on_matches_plain_check() {
+        let mut case = FuzzCase::generate(1);
+        case.enable_demand(1);
+        let plain = check_case(&case, Injection::None);
+        let knob_on = check_case_with_demand_invalidation(&case, Injection::None, true);
+        assert_eq!(plain.failures, knob_on.failures);
+        assert_eq!(plain.digest_fold, knob_on.digest_fold);
+    }
+
+    #[test]
     fn multicore_report_carries_core_coverage() {
-        let r = run_multi_difftest(0, 3, 2, Injection::None, false, 2);
+        let r = run_multi_difftest(0, 3, 2, Injection::None, false, 2, false);
         assert_eq!(r.failures, 0, "{}", r.output);
         assert!(r.output.contains("on 2 cores"), "{}", r.output);
         let line = r
@@ -1225,7 +1406,7 @@ mod tests {
         );
         // The oracle never sees the core count, so the digest matches
         // the single-core sweep over the same seeds.
-        let single = run_multi_difftest(0, 3, 2, Injection::None, false, 1);
+        let single = run_multi_difftest(0, 3, 2, Injection::None, false, 1, false);
         assert_eq!(r.digest, single.digest);
     }
 }

@@ -378,7 +378,7 @@ mod tests {
     #[test]
     fn injected_bug_stops_the_campaign_and_is_shrunk() {
         let mut cfg = small_cfg();
-        cfg.rounds = 4;
+        cfg.rounds = 8;
         cfg.injection = Injection::DropInvalidate;
         cfg.shrink = true;
         let r = run_guided(&cfg);
@@ -389,7 +389,7 @@ mod tests {
             r.output
         );
         assert!(
-            r.cases < 4 * cfg.round_size,
+            r.cases < 8 * cfg.round_size,
             "campaign must stop at the failing round: {}",
             r.output
         );

@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use dynlink_core::SystemBuilder;
 use dynlink_linker::{apply_call_site_patches, LinkMode, LinkOptions, Loader};
 use dynlink_mem::layout::LibraryPlacement;
 use dynlink_mem::{AddressSpace, Perms, PAGE_BYTES};
@@ -31,6 +32,16 @@ pub struct MemorySavings {
     pub pages_copied_patch_before_fork: u64,
     /// Private page copies under the proposed hardware (no patching).
     pub pages_copied_hardware: u64,
+    /// Code pages the image maps in total (eager load maps all of them
+    /// up front; this is the denominator for the residency ratio).
+    pub code_pages_total: u64,
+    /// Code pages actually resident after one demand-paged run of the
+    /// workload: lazy loading leaves library code not-present and only
+    /// fetch faults map it in.
+    pub code_pages_demand_resident: u64,
+    /// Fetch faults (fault-ins) the demand-paged run took to reach that
+    /// residency.
+    pub demand_faults_in: u64,
 }
 
 impl MemorySavings {
@@ -66,10 +77,15 @@ impl fmt::Display for MemorySavings {
             "  pre-fork patching   : {} extra pages copied (COW preserved, but lazy resolution lost)",
             self.pages_copied_patch_before_fork
         )?;
-        write!(
+        writeln!(
             f,
             "  proposed hardware   : {} pages copied (code pages stay shared)",
             self.pages_copied_hardware
+        )?;
+        write!(
+            f,
+            "  demand paging       : {}/{} code pages resident after one run ({} fault-ins)",
+            self.code_pages_demand_resident, self.code_pages_total, self.demand_faults_in
         )
     }
 }
@@ -122,6 +138,23 @@ pub fn memory_savings(profile: &WorkloadProfile, workers: u64) -> MemorySavings 
     let child3 = space.fork(100);
     let pages_copied_hardware = child3.stats().cow_copies;
 
+    // Demand paging: load the same workload lazily with code pages
+    // absent, run it once, and count how much library code the run
+    // actually touched. Residency is the companion metric to the COW
+    // numbers above: eager loading maps every code page; demand loading
+    // only maps what executes.
+    let mut sys = SystemBuilder::new()
+        .modules(workload.modules.clone())
+        .link_mode(LinkMode::DynamicLazy)
+        .demand_paging(true)
+        .build()
+        .expect("demand-paged workload builds");
+    sys.run(2_000_000).expect("demand-paged workload runs");
+    let demand_space = sys.machine().space();
+    let code_pages_demand_resident = demand_space.resident_code_pages();
+    let code_pages_total = code_pages_demand_resident + demand_space.not_present_code_pages();
+    let demand_faults_in = sys.counters().demand_faults_in;
+
     MemorySavings {
         workload: profile.name.clone(),
         patch_sites,
@@ -129,6 +162,9 @@ pub fn memory_savings(profile: &WorkloadProfile, workers: u64) -> MemorySavings 
         workers,
         pages_copied_patch_before_fork,
         pages_copied_hardware,
+        code_pages_total,
+        code_pages_demand_resident,
+        demand_faults_in,
     }
 }
 
@@ -154,5 +190,29 @@ mod tests {
         let text = ms.to_string();
         assert!(text.contains("Section 5.5"));
         assert!(text.contains("proposed hardware"));
+        assert!(text.contains("code pages resident"));
+    }
+
+    #[test]
+    fn demand_paging_leaves_cold_code_not_present() {
+        let ms = memory_savings(&apache(), 10);
+        assert!(ms.code_pages_total > 0, "image has code pages");
+        assert!(
+            ms.code_pages_demand_resident <= ms.code_pages_total,
+            "resident pages are a subset of the image"
+        );
+        assert!(
+            ms.demand_faults_in > 0,
+            "a lazy run must fault library code in"
+        );
+        // The loader only evicts library code behind the main module's
+        // text, so a run that does not touch every library page keeps
+        // part of the image not-present.
+        assert!(
+            ms.code_pages_demand_resident < ms.code_pages_total,
+            "some library code must stay cold: {}/{}",
+            ms.code_pages_demand_resident,
+            ms.code_pages_total
+        );
     }
 }

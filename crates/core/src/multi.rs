@@ -10,17 +10,19 @@
 //! trivially; any architectural divergence between the two is a bug in
 //! the accelerated machine's switch handling.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use dynlink_cpu::{CpuError, Machine, MachineBuilder, MachineConfig, ProcessContext};
 use dynlink_isa::{Reg, VirtAddr};
 use dynlink_linker::{
-    LinkOptions, Loader, ModuleSpec, ProcessImage, ResolutionTable, RESOLVER_HOST_FN,
+    LinkMode, LinkOptions, Loader, ModuleSpec, ProcessImage, ResolutionTable, RESOLVER_HOST_FN,
 };
 use dynlink_mem::layout::STACK_TOP;
-use dynlink_mem::AddressSpace;
+use dynlink_mem::{AddressSpace, Perms, PAGE_BYTES};
 use dynlink_uarch::PerfCounters;
 
+use crate::system::GcRemnant;
 use crate::SystemError;
 
 /// Default stack size for simulated processes (matches `System`).
@@ -62,6 +64,17 @@ pub struct MultiProcessSystem {
     /// drained into the active slot after every run segment so schedule
     /// targets are relative to the process they name.
     marks_per_proc: Vec<u64>,
+    /// Module name → number of processes holding it open. The code
+    /// pages model OS-shared physical frames: each `dlclose` tears down
+    /// the closing process's own mapping, but the module counts as
+    /// garbage-collected (and `modules_gcd` ticks) only when the last
+    /// reference drops.
+    module_refs: HashMap<String, usize>,
+    /// Per-process code snapshots of closed modules, for reopening.
+    gc_remnants: Vec<HashMap<String, GcRemnant>>,
+    /// Whether each process was loaded with demand paging (lazy mode),
+    /// so a reopen re-registers extents without faulting them in.
+    demand: Vec<bool>,
 }
 
 impl MultiProcessSystem {
@@ -116,10 +129,16 @@ impl MultiProcessSystem {
         let mut contexts = Vec::with_capacity(n);
         let mut images = Vec::with_capacity(n);
         let mut table_vec = Vec::with_capacity(n);
+        let mut module_refs: HashMap<String, usize> = HashMap::new();
+        let mut demand = Vec::with_capacity(n);
         for (i, (specs, opts)) in procs.iter().enumerate() {
             let mut space = AddressSpace::new(i as u64 + 1);
             let image = Loader::new(*opts).load(specs, "main", &mut space)?;
             let ctx = ProcessContext::new(space, image.entry(), STACK_TOP, STACK_BYTES)?;
+            for m in image.modules() {
+                *module_refs.entry(m.name.clone()).or_insert(0) += 1;
+            }
+            demand.push(opts.demand_paging && opts.mode == LinkMode::DynamicLazy);
             table_vec.push(image.resolution().clone());
             images.push(image);
             contexts.push(ctx);
@@ -141,7 +160,12 @@ impl MultiProcessSystem {
                     let binding = tables[active]
                         .binding_for_key(key)
                         .expect("lazy stub fired with unknown binding key");
-                    (binding.got_slot, binding.target)
+                    // A binding into a `dlclose`d module resolves
+                    // through to the next open provider.
+                    (
+                        binding.got_slot,
+                        tables[active].effective_target(&binding.symbol, binding.target),
+                    )
                 };
                 ctx.store_u64(got_slot, target.as_u64())
                     .expect("GOT slot is mapped read-write");
@@ -180,6 +204,9 @@ impl MultiProcessSystem {
             thread_switches: 0,
             thread_switches_per_core: vec![0; cores],
             marks_per_proc: vec![0; n],
+            module_refs,
+            gc_remnants: vec![HashMap::new(); n],
+            demand,
         })
     }
 
@@ -457,6 +484,147 @@ impl MultiProcessSystem {
         Ok(n)
     }
 
+    /// Open-reference count of module `name` across all processes.
+    pub fn module_refs(&self, name: &str) -> usize {
+        self.module_refs.get(name).copied().unwrap_or(0)
+    }
+
+    /// `System::dlclose` scoped to the active process, with the module
+    /// refcounted across processes: the closing process's GOT slots are
+    /// re-armed (raw kernel-side writes — *not* broadcast on the store
+    /// snoop path), its mapping of the module's code pages is torn
+    /// down, and the module counts as garbage-collected only when the
+    /// last process-level reference drops. The mandated front-end
+    /// invalidation (fresh predecode identity for the *active* space,
+    /// ABTB + BTB shootdown) is gated on
+    /// [`MachineConfig::demand_invalidate`]; suspended processes keep
+    /// their own predecode identities, so their pages stay warm.
+    ///
+    /// Closing an already-closed module is a no-op returning `Ok(0)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::UnknownModule`] when `victim` is not loaded in
+    /// the active process.
+    pub fn dlclose_active(&mut self, victim: &str) -> Result<u64, SystemError> {
+        let p = self.active;
+        let idx =
+            self.images[p]
+                .module_index(victim)
+                .ok_or_else(|| SystemError::UnknownModule {
+                    name: victim.to_owned(),
+                })?;
+        {
+            let guard = self.tables.lock().expect("resolution mutex poisoned");
+            if guard.1[p].is_closed(idx) {
+                return Ok(0);
+            }
+        }
+        let mut n = 0;
+        for (got_slot, stub) in self.images[p].unbind_writes_for(victim) {
+            self.machine
+                .space_mut()
+                .write_u64(got_slot, stub.as_u64())?;
+            n += 1;
+        }
+        self.tables.lock().expect("resolution mutex poisoned").1[p].close_module(idx);
+        let extents = self.images[p].code_extents_of(victim);
+        let code = extents
+            .iter()
+            .flat_map(|&(base, len)| self.machine.space().code_in_range(base, len))
+            .collect();
+        for &(base, len) in &extents {
+            self.machine.gc_unmap_code_region(base, len);
+        }
+        self.gc_remnants[p].insert(victim.to_owned(), GcRemnant { extents, code });
+        let refs = self
+            .module_refs
+            .get_mut(victim)
+            .expect("loaded module is refcounted");
+        *refs -= 1;
+        if *refs == 0 {
+            self.machine.note_module_gc();
+        }
+        if self.machine.config().demand_invalidate {
+            self.machine.invalidate_for_module_gc();
+        }
+        Ok(n)
+    }
+
+    /// `System::dlreopen` scoped to the active process: rebuilds the
+    /// module's code at its original addresses (lazily, if the process
+    /// was loaded with demand paging), restores its interposition rank
+    /// in the active resolution table, and takes a fresh process-level
+    /// reference. `Ok(false)` when the module is not closed.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::UnknownModule`] when `name` was never loaded in
+    /// the active process.
+    pub fn reopen_active(&mut self, name: &str) -> Result<bool, SystemError> {
+        let p = self.active;
+        let idx = self.images[p]
+            .module_index(name)
+            .ok_or_else(|| SystemError::UnknownModule {
+                name: name.to_owned(),
+            })?;
+        {
+            let guard = self.tables.lock().expect("resolution mutex poisoned");
+            if !guard.1[p].is_closed(idx) {
+                return Ok(false);
+            }
+        }
+        let remnant = self.gc_remnants[p]
+            .remove(name)
+            .expect("closed module has a GC remnant");
+        for &(base, len) in &remnant.extents {
+            self.machine
+                .space_mut()
+                .map_code_region(base, len, Perms::RX)?;
+        }
+        for &(addr, inst) in &remnant.code {
+            self.machine.space_mut().place_code(addr, inst)?;
+        }
+        if self.demand[p] {
+            for &(base, len) in &remnant.extents {
+                self.machine.space_mut().evict_code_region(base, len);
+            }
+        }
+        self.tables.lock().expect("resolution mutex poisoned").1[p].reopen_module(idx);
+        *self
+            .module_refs
+            .get_mut(name)
+            .expect("loaded module is refcounted") += 1;
+        Ok(true)
+    }
+
+    /// `System::evict_lib_page` scoped to the active process: evicts
+    /// one resident text page of `lib` (chosen by `page` modulo the
+    /// text size), to be faulted back in on next fetch. `Ok(false)`
+    /// when nothing was resident or the module is closed.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::UnknownModule`] when `lib` is not loaded in the
+    /// active process.
+    pub fn evict_active_page(&mut self, lib: &str, page: u64) -> Result<bool, SystemError> {
+        let p = self.active;
+        let (idx, text_base, text_len) = {
+            let m = self.images[p]
+                .module(lib)
+                .ok_or_else(|| SystemError::UnknownModule {
+                    name: lib.to_owned(),
+                })?;
+            (m.index, m.text_base, m.text_len.max(1))
+        };
+        if self.tables.lock().expect("resolution mutex poisoned").1[p].is_closed(idx) {
+            return Ok(false);
+        }
+        let pages = text_len.div_ceil(PAGE_BYTES);
+        let addr = text_base + (page % pages) * PAGE_BYTES;
+        Ok(self.machine.evict_code_page(addr)?)
+    }
+
     /// Reads a register of process `p` (from the machine when active,
     /// from its parked context otherwise).
     pub fn reg_of(&self, p: usize, r: Reg) -> u64 {
@@ -671,6 +839,101 @@ mod tests {
                 assert_eq!(delta, 0, "bus off: the resident core was left stale");
             }
         }
+    }
+
+    #[test]
+    fn dlclose_refcounts_across_processes() {
+        // Both processes load `libinc`; closing it in process 0 must
+        // not count as a GC (process 1 still holds it), and process 1
+        // keeps running out of its own warm mapping.
+        let mut mps = MultiProcessSystem::new(
+            vec![counting_proc(6, 1), counting_proc(6, 10)],
+            MachineConfig::enhanced(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(mps.module_refs("libinc"), 2);
+        mps.run_active_until_marks(3, 100_000).unwrap();
+        mps.dlclose_active("libinc").unwrap();
+        assert_eq!(mps.module_refs("libinc"), 1);
+        assert_eq!(
+            mps.counters().modules_gcd,
+            0,
+            "another process still references the module"
+        );
+        // The suspended process's pages were untouched by the close.
+        let resident_before = mps.space_of(1).resident_code_pages();
+        assert!(resident_before > 0);
+        assert!(mps.switch_to(1));
+        mps.run_active(100_000).unwrap();
+        assert!(mps.halted(1));
+        assert_eq!(mps.reg_of(1, Reg::R0), 60);
+
+        // The last reference dropping is the GC.
+        mps.dlclose_active("libinc").unwrap();
+        assert_eq!(mps.module_refs("libinc"), 0);
+        assert_eq!(mps.counters().modules_gcd, 1);
+
+        // Reopening takes a fresh reference and restores resolution.
+        assert!(mps.reopen_active("libinc").unwrap());
+        assert_eq!(mps.module_refs("libinc"), 1);
+        assert!(
+            !mps.reopen_active("libinc").unwrap(),
+            "reopen is idempotent"
+        );
+    }
+
+    #[test]
+    fn close_continues_via_shadow_and_double_close_is_noop() {
+        // Process 0's app imports `inc` provided by both libinc and a
+        // shadow copy; after dlclose(libinc) mid-run the next stub fire
+        // must land in the shadow.
+        let proc_with_shadow = |n: u64| {
+            let (mut specs, opts) = counting_proc(n, 1);
+            let mut shadow = ModuleBuilder::new("libshadow");
+            shadow.begin_function("inc", true);
+            shadow.asm().push(Inst::add_imm(Reg::R0, 1000));
+            shadow.asm().push(Inst::Ret);
+            specs.push(shadow.finish().unwrap());
+            (specs, opts)
+        };
+        let mut mps = MultiProcessSystem::new(
+            vec![proc_with_shadow(6), counting_proc(2, 1)],
+            MachineConfig::enhanced(),
+            None,
+        )
+        .unwrap();
+        mps.run_active_until_marks(3, 100_000).unwrap();
+        let n = mps.dlclose_active("libinc").unwrap();
+        assert!(n >= 1, "the bound GOT slot was re-armed");
+        assert_eq!(mps.dlclose_active("libinc").unwrap(), 0, "double close");
+        mps.run_active(100_000).unwrap();
+        assert!(mps.halted(0));
+        // Each mark retires just before its iteration's call, so the
+        // stop at mark 3 leaves 2 calls through libinc (+1 each) and 4
+        // through the shadow (+1000 each).
+        assert_eq!(mps.reg_of(0, Reg::R0), 2 + 4 * 1000);
+    }
+
+    #[test]
+    fn evict_active_page_is_transparent() {
+        let mut mps = MultiProcessSystem::new(
+            vec![counting_proc(6, 1), counting_proc(2, 1)],
+            MachineConfig::enhanced(),
+            None,
+        )
+        .unwrap();
+        mps.run_active_until_marks(3, 100_000).unwrap();
+        assert!(mps.evict_active_page("libinc", 0).unwrap());
+        mps.run_active(100_000).unwrap();
+        assert!(mps.halted(0));
+        assert_eq!(mps.reg_of(0, Reg::R0), 6);
+        assert_eq!(mps.counters().demand_faults_in, 1);
+        assert_eq!(mps.counters().demand_faults_out, 1);
+        assert!(matches!(
+            mps.evict_active_page("nope", 0),
+            Err(SystemError::UnknownModule { .. })
+        ));
     }
 
     #[test]

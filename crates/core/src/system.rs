@@ -1,15 +1,16 @@
 //! The `System`: loaded process + simulated machine.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use dynlink_cpu::{CpuError, LinkAccel, Machine, MachineConfig, MarkEvent, RunExit};
-use dynlink_isa::{Reg, VirtAddr};
+use dynlink_isa::{Inst, Reg, VirtAddr};
 use dynlink_linker::{
     apply_call_site_patches, LinkMode, LinkOptions, Loader, ModuleSpec, ProcessImage,
     ResolutionTable, TrampolineFlavor, RESOLVER_HOST_FN,
 };
 use dynlink_mem::layout::{LibraryPlacement, STACK_TOP};
-use dynlink_mem::{AddressSpace, MemStats};
+use dynlink_mem::{AddressSpace, MemStats, Perms, PAGE_BYTES};
 use dynlink_uarch::PerfCounters;
 
 use crate::SystemError;
@@ -98,6 +99,14 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables demand paging of library code (honoured under lazy
+    /// dynamic linking): code pages are registered but faulted in only
+    /// on first fetch.
+    pub fn demand_paging(mut self, on: bool) -> Self {
+        self.link.demand_paging = on;
+        self
+    }
+
     /// Replaces the machine configuration (cache sizes, ABTB capacity,
     /// penalties, ...).
     ///
@@ -157,7 +166,12 @@ impl SystemBuilder {
                     let binding = table
                         .binding_for_key(key)
                         .expect("lazy stub fired with unknown binding key");
-                    (binding.got_slot, binding.target)
+                    // A binding into a `dlclose`d module resolves through
+                    // to the next open provider in interposition order.
+                    (
+                        binding.got_slot,
+                        table.effective_target(&binding.symbol, binding.target),
+                    )
                 };
                 ctx.store_u64(got_slot, target.as_u64())
                     .expect("GOT slot is mapped read-write");
@@ -176,8 +190,19 @@ impl SystemBuilder {
             image,
             resolution,
             link: self.link,
+            gc_remnants: HashMap::new(),
         })
     }
+}
+
+/// What module GC tore down, kept so a later reopen can rebuild the
+/// module's code at the same virtual addresses.
+#[derive(Debug, Clone)]
+pub(crate) struct GcRemnant {
+    /// The unmapped code extents (`(base, len)`).
+    pub(crate) extents: Vec<(VirtAddr, u64)>,
+    /// The instructions that lived there.
+    pub(crate) code: Vec<(VirtAddr, Inst)>,
 }
 
 /// A loaded, runnable simulated process.
@@ -192,6 +217,8 @@ pub struct System {
     image: ProcessImage,
     resolution: Arc<Mutex<ResolutionTable>>,
     link: LinkOptions,
+    /// Code snapshots of `dlclose`d modules, for [`System::dlreopen`].
+    gc_remnants: HashMap<String, GcRemnant>,
 }
 
 impl System {
@@ -440,6 +467,160 @@ impl System {
             self.machine.invalidate_abtb();
         }
         Ok(n)
+    }
+
+    /// Closes a module — `dlclose(3)` with module garbage collection.
+    ///
+    /// Architecturally: every GOT slot bound into `victim` is re-armed
+    /// to its lazy stub, and the module stops providing symbols (later
+    /// resolutions fall through to the next open provider in
+    /// interposition order). Microarchitecturally: the module's code
+    /// pages (text, PLT, stubs — never its GOT or data) are unmapped,
+    /// and, when [`MachineConfig::demand_invalidate`] is on, the
+    /// front-end state that could still name them (predecode identity,
+    /// ABTB, BTB) is invalidated. The GOT rewrites are kernel-side
+    /// writes the hardware store snoop cannot see, so they are *not*
+    /// broadcast — the GC invalidation is the only thing keeping a warm
+    /// ABTB from skipping into the recycled range, which is exactly the
+    /// divergence the `demand_invalidate = false` negative control
+    /// exposes.
+    ///
+    /// Closing an already-closed module is a no-op returning `Ok(0)`.
+    /// Returns the number of GOT slots re-armed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::UnknownModule`] if `victim` is not loaded.
+    pub fn dlclose(&mut self, victim: &str) -> Result<u64, SystemError> {
+        let idx = self
+            .image
+            .module_index(victim)
+            .ok_or_else(|| SystemError::UnknownModule {
+                name: victim.to_owned(),
+            })?;
+        if self
+            .resolution
+            .lock()
+            .expect("resolution mutex poisoned")
+            .is_closed(idx)
+        {
+            return Ok(0);
+        }
+        let mut n = 0;
+        for (got_slot, stub) in self.image.unbind_writes_for(victim) {
+            self.machine
+                .space_mut()
+                .write_u64(got_slot, stub.as_u64())?;
+            n += 1;
+        }
+        self.resolution
+            .lock()
+            .expect("resolution mutex poisoned")
+            .close_module(idx);
+        // Snapshot the code before tearing it down so a later dlreopen
+        // can rebuild it at the same addresses (`code_in_range` sees the
+        // backing image of demand-evicted pages too).
+        let extents = self.image.code_extents_of(victim);
+        let code = extents
+            .iter()
+            .flat_map(|&(base, len)| self.machine.space().code_in_range(base, len))
+            .collect();
+        for &(base, len) in &extents {
+            self.machine.gc_unmap_code_region(base, len);
+        }
+        self.gc_remnants
+            .insert(victim.to_owned(), GcRemnant { extents, code });
+        self.machine.note_module_gc();
+        if self.machine.config().demand_invalidate {
+            self.machine.invalidate_for_module_gc();
+        }
+        Ok(n)
+    }
+
+    /// Reopens a previously [`System::dlclose`]d module at its original
+    /// virtual addresses — `dlopen(3)` of a cached library. The rebuilt
+    /// mapping carries a fresh predecode identity (minted by the GC
+    /// invalidation at close time), so nothing stale can alias it. A
+    /// module that is not closed is left alone (`Ok(false)`).
+    ///
+    /// Architecturally this is a no-op: the module's GOT slots were
+    /// re-armed at close time and resolve lazily on the next call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::UnknownModule`] if `name` was never
+    /// loaded.
+    pub fn dlreopen(&mut self, name: &str) -> Result<bool, SystemError> {
+        let idx = self
+            .image
+            .module_index(name)
+            .ok_or_else(|| SystemError::UnknownModule {
+                name: name.to_owned(),
+            })?;
+        if !self
+            .resolution
+            .lock()
+            .expect("resolution mutex poisoned")
+            .is_closed(idx)
+        {
+            return Ok(false);
+        }
+        let remnant = self
+            .gc_remnants
+            .remove(name)
+            .expect("closed module has a GC remnant");
+        for &(base, len) in &remnant.extents {
+            self.machine
+                .space_mut()
+                .map_code_region(base, len, Perms::RX)?;
+        }
+        for &(addr, inst) in &remnant.code {
+            self.machine.space_mut().place_code(addr, inst)?;
+        }
+        if self.link.demand_paging && self.image.mode() == LinkMode::DynamicLazy {
+            for &(base, len) in &remnant.extents {
+                self.machine.space_mut().evict_code_region(base, len);
+            }
+        }
+        self.resolution
+            .lock()
+            .expect("resolution mutex poisoned")
+            .reopen_module(idx);
+        Ok(true)
+    }
+
+    /// Evicts one resident code page of `lib`'s text section (demand
+    /// paging's fault-out direction), chosen by `page` modulo the text
+    /// size. Transparent to the running program: the next fetch faults
+    /// the page back in. Returns `false` when nothing was resident —
+    /// including when the module is currently closed (its pages are
+    /// gone, not merely non-resident).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::UnknownModule`] if `lib` is not loaded.
+    pub fn evict_lib_page(&mut self, lib: &str, page: u64) -> Result<bool, SystemError> {
+        let (idx, text_base, text_len) = {
+            let m = self
+                .image
+                .module(lib)
+                .ok_or_else(|| SystemError::UnknownModule {
+                    name: lib.to_owned(),
+                })?;
+            (m.index, m.text_base, m.text_len.max(1))
+        };
+        if self
+            .resolution
+            .lock()
+            .expect("resolution mutex poisoned")
+            .is_closed(idx)
+        {
+            return Ok(false);
+        }
+        let pages = text_len.div_ceil(PAGE_BYTES);
+        let addr = text_base + (page % pages) * PAGE_BYTES;
+        let evicted = self.machine.evict_code_page(addr)?;
+        Ok(evicted)
     }
 }
 
@@ -752,6 +933,144 @@ mod tests {
         assert_eq!(child.asid(), 7);
         assert_eq!(child.stats().cow_copies, 0);
         assert_eq!(child.stats().pages_mapped, s.mem_stats().pages_mapped);
+    }
+
+    #[test]
+    fn dlclose_gcs_code_and_falls_through_to_the_shadow_provider() {
+        // lib1 interposes `inc`; lib2 shadows it. After dlclose(lib1)
+        // the re-armed stubs must resolve into lib2, with lib1's code
+        // pages gone and the machine still architecturally correct
+        // despite the warm ABTB.
+        let mklib = |name: &str, delta: u64| {
+            let mut lib = ModuleBuilder::new(name);
+            lib.begin_function("inc", true);
+            lib.asm().push(Inst::add_imm(Reg::R0, delta));
+            lib.asm().push(Inst::Ret);
+            lib.finish().unwrap()
+        };
+        let mut app = ModuleBuilder::new("app");
+        let inc = app.import("inc");
+        app.begin_function("main", true);
+        let top = app.asm().fresh_label("top");
+        app.asm().push(Inst::mov_imm(Reg::R2, 10));
+        app.asm().bind(top);
+        app.asm().push_call_extern(inc);
+        app.asm().push(Inst::sub_imm(Reg::R2, 1));
+        app.asm().push_branch_nz(Reg::R2, top);
+        app.asm().push(Inst::Halt);
+
+        let mut s = SystemBuilder::new()
+            .module(app.finish().unwrap())
+            .module(mklib("lib1", 1))
+            .module(mklib("lib2", 100))
+            .accel(LinkAccel::Abtb)
+            .build()
+            .unwrap();
+        s.run(100_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 10, "lib1 interposes first");
+
+        let before = s.mem_stats().pages_mapped;
+        let n = s.dlclose("lib1").unwrap();
+        assert_eq!(n, 1, "one GOT slot was bound into lib1");
+        assert!(s.mem_stats().pages_mapped < before, "code pages unmapped");
+        assert_eq!(s.counters().modules_gcd, 1);
+        assert_eq!(s.dlclose("lib1").unwrap(), 0, "double dlclose is a no-op");
+        assert_eq!(s.counters().modules_gcd, 1, "no phantom second GC");
+
+        s.set_reg(Reg::R0, 0);
+        s.restart();
+        s.run(100_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 1000, "stub re-fired into lib2's inc");
+
+        // Reopen restores lib1's code, but architecturally it is a
+        // no-op: the GOT slot stays bound to lib2 until re-armed.
+        assert!(s.dlreopen("lib1").unwrap());
+        assert!(
+            !s.dlreopen("lib1").unwrap(),
+            "reopening an open module is a no-op"
+        );
+        s.set_reg(Reg::R0, 0);
+        s.restart();
+        s.run(100_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 1000, "binding is sticky across reopen");
+
+        // A close/reopen cycle re-arms the slot while lib1 is open
+        // again, so lazy resolution finds lib1 at its original
+        // interposition rank.
+        s.dlclose("lib1").unwrap();
+        assert!(s.dlreopen("lib1").unwrap());
+        s.set_reg(Reg::R0, 0);
+        s.restart();
+        s.run(100_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 10, "lib1 interposes again");
+    }
+
+    #[test]
+    fn dlclose_of_unknown_module_errors() {
+        let mut s = counting_system(LinkAccel::Abtb, LinkMode::DynamicLazy, 1);
+        assert!(matches!(
+            s.dlclose("libzzz"),
+            Err(SystemError::UnknownModule { .. })
+        ));
+        assert!(matches!(
+            s.dlreopen("libzzz"),
+            Err(SystemError::UnknownModule { .. })
+        ));
+        assert!(matches!(
+            s.evict_lib_page("libzzz", 0),
+            Err(SystemError::UnknownModule { .. })
+        ));
+    }
+
+    #[test]
+    fn evict_lib_page_is_transparent_mid_run() {
+        let mut s = counting_system(LinkAccel::Abtb, LinkMode::DynamicLazy, 10);
+        s.run(100_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 10);
+        assert!(s.evict_lib_page("libinc", 3).unwrap());
+        assert!(
+            !s.evict_lib_page("libinc", 3).unwrap(),
+            "already evicted: fault-out is a no-op"
+        );
+        s.set_reg(Reg::R0, 0);
+        s.restart();
+        s.run(100_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 10, "page faulted back in transparently");
+        assert_eq!(s.counters().demand_faults_in, 1);
+        assert_eq!(s.counters().demand_faults_out, 1);
+    }
+
+    #[test]
+    fn demand_paged_system_faults_code_in_as_it_runs() {
+        let mut lib = ModuleBuilder::new("libinc");
+        lib.begin_function("inc", true);
+        lib.asm().push(Inst::add_imm(Reg::R0, 1));
+        lib.asm().push(Inst::Ret);
+        let mut app = ModuleBuilder::new("app");
+        let inc = app.import("inc");
+        app.begin_function("main", true);
+        app.asm().push_call_extern(inc);
+        app.asm().push(Inst::Halt);
+        let mut s = SystemBuilder::new()
+            .module(app.finish().unwrap())
+            .module(lib.finish().unwrap())
+            .accel(LinkAccel::Abtb)
+            .demand_paging(true)
+            .build()
+            .unwrap();
+        assert_eq!(s.machine().space().resident_code_pages(), 0);
+        let lazy_total = s.machine().space().not_present_code_pages();
+        s.run(10_000).unwrap();
+        assert_eq!(s.reg(Reg::R0), 1);
+        let c = s.counters();
+        assert!(c.demand_faults_in > 0, "code arrived via fetch faults");
+        let resident = s.machine().space().resident_code_pages();
+        assert_eq!(resident, c.demand_faults_in, "one fault per resident page");
+        assert_eq!(
+            resident + s.machine().space().not_present_code_pages(),
+            lazy_total,
+            "residency accounting is conserved"
+        );
     }
 
     #[test]

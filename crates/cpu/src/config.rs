@@ -163,6 +163,14 @@ pub struct MachineConfig {
     /// the cross-core difftest regression uses. Irrelevant on a 1-core
     /// machine.
     pub coherence_bus: bool,
+    /// Whether module GC (`dlclose` unmapping a module's code pages)
+    /// performs the mandated fetch-side invalidation: retag the space's
+    /// predecode identity, invalidate every core's ABTB, and flush the
+    /// BTBs. On by default; disabling it models a kernel/loader that
+    /// recycles a VA range without telling the front end — the negative
+    /// control that makes stale-ABTB-skip-into-an-unmapped-or-recycled
+    /// page reachable for the demand-paging difftest regression.
+    pub demand_invalidate: bool,
     /// Timing penalties.
     pub penalties: Penalties,
     /// Page size used by the TLBs.
@@ -204,6 +212,7 @@ impl Default for MachineConfig {
             flush_abtb_on_context_switch: true,
             icache_next_line_prefetch: false,
             coherence_bus: true,
+            demand_invalidate: true,
             penalties: Penalties::default(),
             page_bytes: dynlink_mem::PAGE_BYTES,
         }
@@ -278,6 +287,10 @@ mod tests {
         assert!(
             MachineConfig::default().coherence_bus,
             "the coherence bus is on by default"
+        );
+        assert!(
+            MachineConfig::default().demand_invalidate,
+            "module-GC invalidation is on by default"
         );
     }
 

@@ -204,6 +204,18 @@ impl Shared {
         Ok(idx)
     }
 
+    /// Tombstones the arena page for `(uid, pn)`, if any: removed from
+    /// `page_index` and poisoned in place so per-core `last_page` memos
+    /// stop revalidating against it. The arena slot is *not* reclaimed
+    /// or shifted — cores hold raw indices into `predecoded` — so a
+    /// refault simply decodes into a fresh slot.
+    fn drop_page(&mut self, uid: u64, pn: u64) {
+        if let Some(idx) = self.page_index.remove(&(uid, pn)) {
+            // Space uids start at 1, so 0 can never match a live space.
+            self.predecoded[idx].uid = 0;
+        }
+    }
+
     /// Decodes every placed instruction on `pc`'s page into a dense
     /// slot array, pairing each with its PLT membership. Page-level
     /// checks (mapped, executable, code kind) error against `pc` just
@@ -1164,9 +1176,25 @@ impl Machine {
         let active = self.active;
         let asid = self.shared.space.asid();
         let pc = self.cores[active].pc;
-        let (inst, in_plt) = self.cores[active]
-            .fetch_decoded(&mut self.shared, pc)
-            .map_err(|source| CpuError { pc, source })?;
+        let (inst, in_plt) = match self.cores[active].fetch_decoded(&mut self.shared, pc) {
+            Ok(v) => v,
+            Err(MemError::NotPresent { .. }) => {
+                // Demand fetch fault: the page's extent is registered
+                // but its contents are not present. Fault it in, count
+                // the event, and retry the fetch — the demand-paging
+                // path is architecturally invisible, so the retried
+                // fetch must behave exactly as an eager mapping would.
+                self.shared
+                    .space
+                    .fault_in_code(pc)
+                    .map_err(|source| CpuError { pc, source })?;
+                self.cores[active].counters.demand_faults_in += 1;
+                self.cores[active]
+                    .fetch_decoded(&mut self.shared, pc)
+                    .map_err(|source| CpuError { pc, source })?
+            }
+            Err(source) => return Err(CpuError { pc, source }),
+        };
         {
             let core = &mut self.cores[active];
             core.charge_fetch(asid, pc);
@@ -1452,6 +1480,81 @@ impl Machine {
         }
     }
 
+    /// Evicts the code page containing `addr` back to the not-present
+    /// state (demand fault-out): the page's predecode is tombstoned so
+    /// the next fetch genuinely faults, and the active core's
+    /// `demand_faults_out` counter records the event. Returns `false`
+    /// (and counts nothing) if the page was already not present.
+    ///
+    /// Eviction is architecturally invisible — the backing image is
+    /// retained and the refault restores identical instructions — so
+    /// any digest divergence after an eviction indicts the fetch-side
+    /// invalidation plumbing, not the program.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::Unmapped`] or [`MemError::KindMismatch`]
+    /// (data page).
+    pub fn evict_code_page(&mut self, addr: VirtAddr) -> Result<bool, MemError> {
+        let evicted = self.shared.space.evict_code_page(addr)?;
+        if evicted {
+            let uid = self.shared.space.uid();
+            self.shared.drop_page(uid, addr.page_number(PAGE_BYTES));
+            self.cores[self.active].counters.demand_faults_out += 1;
+        }
+        Ok(evicted)
+    }
+
+    /// Module-GC teardown of a code region: every page overlapping
+    /// `[start, start+len)` is removed from the space entirely and its
+    /// predecode tombstoned. Returns the number of pages removed.
+    /// Callers tear down each code extent (text, PLT, stubs) of a
+    /// module whose refcount reached zero — never its GOT or data,
+    /// which stay architecturally live for digesting.
+    pub fn gc_unmap_code_region(&mut self, start: VirtAddr, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let uid = self.shared.space.uid();
+        let removed = self.shared.space.unmap_region(start, len);
+        if removed > 0 {
+            let first = start.page_number(PAGE_BYTES);
+            let last = (start + (len - 1)).page_number(PAGE_BYTES);
+            for pn in first..=last {
+                self.shared.drop_page(uid, pn);
+            }
+        }
+        removed
+    }
+
+    /// The fetch-side invalidation a module GC owes the machine after
+    /// [`Machine::gc_unmap_code_region`] recycles a VA range: the space
+    /// is retagged with a fresh predecode identity (stale pages can
+    /// never revalidate), every core's ABTB is invalidated (a retained
+    /// skip could land in the unmapped range) and every BTB is flushed.
+    /// The active core's `modules_gcd` counter records the collection.
+    ///
+    /// Callers gate this on [`MachineConfig::demand_invalidate`]; the
+    /// skipped-invalidation negative control is exactly the stale-skip
+    /// divergence the demand-paging difftest hunts.
+    pub fn invalidate_for_module_gc(&mut self) {
+        self.shared.space.refresh_uid();
+        for core in &mut self.cores {
+            core.invalidate_abtb();
+            core.btb.flush();
+        }
+    }
+
+    /// Records a completed module GC on the active core: a `dlclose`
+    /// dropped the last reference and the module's code extents were
+    /// unmapped. Counted separately from
+    /// [`Machine::invalidate_for_module_gc`] so the
+    /// skipped-invalidation bug model differs from the correct machine
+    /// *only* in invalidation, never in event accounting.
+    pub fn note_module_gc(&mut self) {
+        self.cores[self.active].counters.modules_gcd += 1;
+    }
+
     /// Cycles attributed to each cost source on the active core (see
     /// [`CycleBreakdown`]).
     pub fn cycle_breakdown(&self) -> CycleBreakdown {
@@ -1639,6 +1742,74 @@ mod tests {
             at += i.encoded_len();
         }
         pcs
+    }
+
+    #[test]
+    fn demand_fault_in_is_transparent_and_counted() {
+        let mut s = space();
+        place(&mut s, &[Inst::mov_imm(Reg::R0, 7), Inst::Halt]);
+        // Register the extent, then mark it not present: first fetch
+        // must demand-fault the page in and retry invisibly.
+        assert_eq!(s.evict_code_region(VirtAddr::new(TEXT), 0x1000), 1);
+        let mut m = machine_with(MachineConfig::baseline(), s);
+        m.run(100).unwrap();
+        assert!(m.halted());
+        assert_eq!(m.reg(Reg::R0), 7);
+        assert_eq!(m.counters().demand_faults_in, 1);
+        assert_eq!(m.counters().demand_faults_out, 0);
+    }
+
+    #[test]
+    fn evict_mid_run_refaults_through_the_tombstoned_predecode() {
+        let mut s = space();
+        place(
+            &mut s,
+            &[
+                Inst::mov_imm(Reg::R0, 1),
+                Inst::add_imm(Reg::R0, 2),
+                Inst::Halt,
+            ],
+        );
+        let mut m = machine_with(MachineConfig::baseline(), s);
+        m.run(1).unwrap();
+        // The page is predecoded and hot in the core's last-page memo;
+        // eviction must tombstone it or the next fetch never faults.
+        assert!(m.evict_code_page(VirtAddr::new(TEXT)).unwrap());
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::R0), 3);
+        assert_eq!(m.counters().demand_faults_out, 1);
+        assert_eq!(m.counters().demand_faults_in, 1);
+        // Evicting an already-not-present page counts nothing.
+        assert!(matches!(
+            m.evict_code_page(VirtAddr::new(0x9999_0000)),
+            Err(MemError::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn gc_unmap_makes_fetch_an_unrecoverable_fault() {
+        let mut s = space();
+        place(&mut s, &[Inst::mov_imm(Reg::R0, 1), Inst::Halt]);
+        let mut m = machine_with(MachineConfig::baseline(), s);
+        m.run(1).unwrap();
+        assert_eq!(m.gc_unmap_code_region(VirtAddr::new(TEXT), 0x1000), 1);
+        m.invalidate_for_module_gc();
+        m.note_module_gc();
+        let err = m.run(100).unwrap_err();
+        assert!(
+            matches!(err.source, MemError::Unmapped { .. }),
+            "a fetch from a GC'd hole is not a demand fault: {err:?}"
+        );
+        assert_eq!(m.counters().modules_gcd, 1);
+    }
+
+    #[test]
+    fn module_gc_invalidation_retags_the_space() {
+        let s = space();
+        let mut m = machine_with(MachineConfig::enhanced(), s);
+        let before = m.space().uid();
+        m.invalidate_for_module_gc();
+        assert_ne!(m.space().uid(), before);
     }
 
     #[test]

@@ -233,6 +233,31 @@ impl ProcessImage {
         Some(out)
     }
 
+    /// The *code* extents of one module — text, PLT, lazy stubs — as
+    /// `(base, len)` pairs with empty sections omitted. These are the
+    /// regions module GC may tear down; the module's GOT and data are
+    /// deliberately excluded (they stay architecturally live: GOT slots
+    /// are re-armed, not unmapped, and both regions are digested).
+    /// Returns an empty list for an unknown module.
+    pub fn code_extents_of(&self, name: &str) -> Vec<(VirtAddr, u64)> {
+        let Some(m) = self.module(name) else {
+            return Vec::new();
+        };
+        [
+            (m.text_base, m.text_len.max(1)),
+            (m.plt_base, m.plt_len),
+            (m.stub_base, m.stub_len),
+        ]
+        .into_iter()
+        .filter(|&(base, len)| len > 0 && base != VirtAddr::NULL)
+        .collect()
+    }
+
+    /// The load-order index of a module, by name.
+    pub fn module_index(&self, name: &str) -> Option<usize> {
+        self.module(name).map(|m| m.index)
+    }
+
     /// GOT slots in *other* modules that currently resolve into
     /// `victim`: the writes `dlclose` must perform to unbind it. Each
     /// element is `(got_slot, stub_addr)` — the slot must be rewritten

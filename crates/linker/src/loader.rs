@@ -69,6 +69,14 @@ pub struct LinkOptions {
     /// Hardware capability level used to select ifunc candidates
     /// (§2.4.1): candidate index `min(hw_level, candidates-1)`.
     pub hw_level: usize,
+    /// Demand-driven code loading: register every module's code extents
+    /// (text, PLT, lazy stubs) but leave the pages architecturally not
+    /// present, so the first fetch of each page takes a demand fault.
+    /// Honoured only under [`LinkMode::DynamicLazy`] (the regime the
+    /// scenario targets); other modes load eagerly regardless. Off by
+    /// default — eager loading is the historical behaviour and keeps
+    /// existing digests bit-identical.
+    pub demand_paging: bool,
 }
 
 impl Default for LinkOptions {
@@ -79,6 +87,7 @@ impl Default for LinkOptions {
             aslr_seed: None,
             flavor: TrampolineFlavor::X86,
             hw_level: 0,
+            demand_paging: false,
         }
     }
 }
@@ -415,6 +424,19 @@ impl Loader {
             }
         }
 
+        // Demand paging: the extents above are now fully registered
+        // (and their backing images written), so flip every code page
+        // to not-present. First execution faults each page in; GOT and
+        // data stay resident — they are architecturally read/written
+        // and digested, never demand-mapped.
+        if self.opts.demand_paging && mode == LinkMode::DynamicLazy {
+            space.evict_code_region(layout.text_base, layout.text_len.max(1));
+            if layout.plt_len > 0 {
+                space.evict_code_region(layout.plt_base, layout.plt_len);
+                space.evict_code_region(layout.stub_base, layout.stub_len);
+            }
+        }
+
         Ok((
             LoadedModule {
                 name: spec.name.clone(),
@@ -497,6 +519,9 @@ impl Loader {
         }
         image.patch_sites.append(&mut sites);
         image.resolution.push_module(bindings.clone());
+        for (sym, &addr) in &module.exports {
+            image.resolution.register_provider(idx, sym, addr);
+        }
         image.modules.push(module);
         image.next_lib_addr = alloc.cursor();
         Ok(bindings)
@@ -589,6 +614,9 @@ impl Loader {
             }
             patch_sites.append(&mut sites);
             resolution.push_module(bindings);
+            for (sym, &addr) in &module.exports {
+                resolution.register_provider(idx, sym, addr);
+            }
             modules.push(module);
         }
 
@@ -929,6 +957,82 @@ mod tests {
                 mem: MemRef::Abs(slot.got_slot)
             }
         );
+    }
+
+    #[test]
+    fn demand_paging_registers_extents_without_mapping_code_in() {
+        let mut space = AddressSpace::new(1);
+        let image = Loader::new(LinkOptions {
+            demand_paging: true,
+            ..LinkOptions::default()
+        })
+        .load(&two_modules(), "main", &mut space)
+        .unwrap();
+        // Every code page is registered but not present; GOT stays hot.
+        assert_eq!(space.resident_code_pages(), 0);
+        assert!(space.not_present_code_pages() > 0);
+        let slot = &image.module("app").unwrap().plt_slots[0];
+        assert!(matches!(
+            space.fetch_code(image.entry()),
+            Err(dynlink_mem::MemError::NotPresent { .. })
+        ));
+        assert_eq!(
+            space.read_u64(slot.got_slot).unwrap(),
+            slot.stub_addr.as_u64(),
+            "the GOT is resident and initialized despite lazy code"
+        );
+        // Faulting the entry page in restores the placed code exactly.
+        space.fault_in_code(image.entry()).unwrap();
+        assert_eq!(
+            space.fetch_code(image.entry()).unwrap(),
+            Inst::CallDirect {
+                target: slot.plt_addr
+            }
+        );
+    }
+
+    #[test]
+    fn demand_paging_is_ignored_outside_lazy_mode() {
+        let mut space = AddressSpace::new(1);
+        Loader::new(LinkOptions {
+            mode: LinkMode::DynamicNow,
+            demand_paging: true,
+            ..LinkOptions::default()
+        })
+        .load(&two_modules(), "main", &mut space)
+        .unwrap();
+        assert_eq!(space.not_present_code_pages(), 0);
+    }
+
+    #[test]
+    fn code_extents_cover_text_plt_and_stubs() {
+        let (image, _space) = load(LinkMode::DynamicLazy, LibraryPlacement::Far);
+        let app = image.module("app").unwrap();
+        let extents = image.code_extents_of("app");
+        assert_eq!(
+            extents,
+            vec![
+                (app.text_base, app.text_len),
+                (app.plt_base, app.plt_len),
+                (app.stub_base, app.stub_len),
+            ]
+        );
+        // A library with no imports has no PLT/stub extents.
+        let lib = image.module("lib").unwrap();
+        assert_eq!(
+            image.code_extents_of("lib"),
+            vec![(lib.text_base, lib.text_len)]
+        );
+        assert!(image.code_extents_of("nope").is_empty());
+        assert_eq!(image.module_index("lib"), Some(1));
+    }
+
+    #[test]
+    fn loader_registers_interposition_ordered_providers() {
+        let (image, _space) = load(LinkMode::DynamicLazy, LibraryPlacement::Far);
+        let f = image.find_export("f").unwrap();
+        let table = image.resolution();
+        assert_eq!(table.effective_target("f", f), f);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The lazy-binding resolution table consulted by the runtime resolver.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use dynlink_isa::VirtAddr;
 
@@ -34,6 +34,17 @@ pub fn stub_key(module: usize, import: usize) -> u64 {
 pub struct ResolutionTable {
     per_module: Vec<Vec<Binding>>,
     by_key: HashMap<u64, (usize, usize)>,
+    /// Symbol → provider candidates `(module index, export address)` in
+    /// load (interposition) order, registered by the loader. Consulted
+    /// when a binding's provider module has been `dlclose`d: resolution
+    /// falls through to the first still-open provider.
+    providers: HashMap<String, Vec<(usize, VirtAddr)>>,
+    /// Export address → owning module index, so a binding target can be
+    /// attributed to a module without access to the process image.
+    addr_owner: HashMap<VirtAddr, usize>,
+    /// Modules currently closed by `dlclose`. A `BTreeSet` for
+    /// deterministic iteration.
+    closed: BTreeSet<usize>,
 }
 
 impl ResolutionTable {
@@ -84,6 +95,54 @@ impl ResolutionTable {
     /// Returns `true` if no bindings exist (e.g. static linking).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Registers `module` as a provider of `symbol` at `addr`. The
+    /// loader calls this in load order, module by module, so each
+    /// symbol's candidate list is naturally in interposition order.
+    pub fn register_provider(&mut self, module: usize, symbol: &str, addr: VirtAddr) {
+        self.providers
+            .entry(symbol.to_owned())
+            .or_default()
+            .push((module, addr));
+        self.addr_owner.insert(addr, module);
+    }
+
+    /// Marks `module` closed (`dlclose`): it no longer provides symbols
+    /// until reopened. Returns `true` if the module was open (closing
+    /// an already-closed module is a no-op).
+    pub fn close_module(&mut self, module: usize) -> bool {
+        self.closed.insert(module)
+    }
+
+    /// Marks `module` open again (`dlopen` of a previously closed
+    /// module). Returns `true` if it was closed.
+    pub fn reopen_module(&mut self, module: usize) -> bool {
+        self.closed.remove(&module)
+    }
+
+    /// Returns `true` if `module` is currently closed.
+    pub fn is_closed(&self, module: usize) -> bool {
+        self.closed.contains(&module)
+    }
+
+    /// The address resolution should actually bind, given a binding's
+    /// recorded `symbol` and `target`: normally `target` itself, but if
+    /// the module owning `target` has been closed, the first still-open
+    /// provider of `symbol` in load order wins. Falls back to `target`
+    /// when no open provider exists (the caller guaranteed none was
+    /// needed) or when `target` is not a registered export. Shared by
+    /// the system resolvers and the oracle's inline resolver, so both
+    /// sides of the difftest redirect identically.
+    pub fn effective_target(&self, symbol: &str, target: VirtAddr) -> VirtAddr {
+        match self.addr_owner.get(&target) {
+            Some(owner) if self.closed.contains(owner) => self
+                .providers
+                .get(symbol)
+                .and_then(|cands| cands.iter().find(|(m, _)| !self.closed.contains(m)))
+                .map_or(target, |&(_, addr)| addr),
+            _ => target,
+        }
     }
 }
 
@@ -137,5 +196,47 @@ mod tests {
         let t = ResolutionTable::new();
         assert!(t.is_empty());
         assert!(t.binding(0, 0).is_none());
+    }
+
+    #[test]
+    fn closed_module_redirects_to_next_open_provider() {
+        let mut t = ResolutionTable::new();
+        let lib1 = VirtAddr::new(0x7f00_0000);
+        let shadow = VirtAddr::new(0x7f10_0000);
+        t.register_provider(1, "f", lib1);
+        t.register_provider(2, "f", shadow);
+
+        // Open: the recorded target stands.
+        assert_eq!(t.effective_target("f", lib1), lib1);
+
+        assert!(t.close_module(1));
+        assert!(t.is_closed(1));
+        // Closing twice is a no-op.
+        assert!(!t.close_module(1));
+        // Closed provider: fall through to the shadow in load order.
+        assert_eq!(t.effective_target("f", lib1), shadow);
+        // A target already in an open module is untouched.
+        assert_eq!(t.effective_target("f", shadow), shadow);
+        // An unregistered target (e.g. intra-module) is untouched.
+        let other = VirtAddr::new(0x1234);
+        assert_eq!(t.effective_target("f", other), other);
+
+        assert!(t.reopen_module(1));
+        assert!(!t.is_closed(1));
+        assert!(!t.reopen_module(1), "reopening an open module is a no-op");
+        assert_eq!(t.effective_target("f", lib1), lib1);
+    }
+
+    #[test]
+    fn every_provider_closed_falls_back_to_the_recorded_target() {
+        let mut t = ResolutionTable::new();
+        let only = VirtAddr::new(0x7f00_0000);
+        t.register_provider(1, "g", only);
+        t.close_module(1);
+        assert_eq!(
+            t.effective_target("g", only),
+            only,
+            "no open provider: keep the recorded target rather than invent one"
+        );
     }
 }

@@ -40,6 +40,14 @@ pub enum MemError {
         /// The fetch address.
         addr: VirtAddr,
     },
+    /// The page is registered (its extent is known to the loader) but
+    /// its contents are architecturally not present — a demand-paging
+    /// fetch fault. Recoverable: faulting the page in and retrying the
+    /// access succeeds.
+    NotPresent {
+        /// The faulting address.
+        addr: VirtAddr,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -64,6 +72,12 @@ impl fmt::Display for MemError {
             }
             MemError::NoInstruction { addr } => {
                 write!(f, "no instruction placed at {addr}")
+            }
+            MemError::NotPresent { addr } => {
+                write!(
+                    f,
+                    "page at {addr} is not present (demand-paging fetch fault)"
+                )
             }
         }
     }

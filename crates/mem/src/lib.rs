@@ -14,6 +14,12 @@
 //!   reproducing the prefork memory-overhead analysis of §5.5 (a patched
 //!   code page in a forked child forces a private page copy; the
 //!   hardware mechanism never patches and therefore never copies);
+//! * a **demand-paging state** for code pages: an extent can be
+//!   registered but architecturally not present
+//!   ([`AddressSpace::evict_code_page`]); fetches then report
+//!   [`MemError::NotPresent`] until [`AddressSpace::fault_in_code`]
+//!   flips the page resident, and module GC tears extents down with
+//!   [`AddressSpace::unmap_region`] + [`AddressSpace::refresh_uid`];
 //! * a conventional [`layout`] helper for placing the executable, heap,
 //!   libraries (near or far) and stack.
 //!

@@ -28,6 +28,13 @@ type CodeMap = BTreeMap<u16, Inst>;
 enum PageContent {
     Data(Arc<DataBytes>),
     Code(Arc<CodeMap>),
+    /// A code page whose extent is registered but whose contents are
+    /// architecturally **not present** — the demand-paging state. The
+    /// backing instructions are retained (the "image on disk"), so
+    /// faulting the page back in is a state flip, but any fetch while
+    /// in this state reports [`MemError::NotPresent`]. The entry stays
+    /// in the page table so overlapping mappings are still rejected.
+    CodeNotPresent(Arc<CodeMap>),
 }
 
 #[derive(Debug, Clone)]
@@ -299,7 +306,7 @@ impl AddressSpace {
         }
         match &entry.content {
             PageContent::Data(data) => Ok(data),
-            PageContent::Code(_) => Err(MemError::KindMismatch {
+            PageContent::Code(_) | PageContent::CodeNotPresent(_) => Err(MemError::KindMismatch {
                 addr: page_addr,
                 expected_code: false,
             }),
@@ -419,7 +426,10 @@ impl AddressSpace {
     pub fn place_code(&mut self, addr: VirtAddr, inst: Inst) -> Result<(), MemError> {
         let pn = addr.page_number(PAGE_BYTES);
         let entry = self.pages.get_mut(&pn).ok_or(MemError::Unmapped { addr })?;
-        let PageContent::Code(code) = &mut entry.content else {
+        // Placement also works on a not-present page: it writes the
+        // *backing* image, which is what a later fault-in makes visible.
+        let (PageContent::Code(code) | PageContent::CodeNotPresent(code)) = &mut entry.content
+        else {
             return Err(MemError::KindMismatch {
                 addr,
                 expected_code: true,
@@ -444,6 +454,9 @@ impl AddressSpace {
                 need: Perms::X,
                 have: entry.perms,
             });
+        }
+        if matches!(entry.content, PageContent::CodeNotPresent(_)) {
+            return Err(MemError::NotPresent { addr });
         }
         let PageContent::Code(code) = &entry.content else {
             return Err(MemError::KindMismatch {
@@ -482,6 +495,9 @@ impl AddressSpace {
                 have: entry.perms,
             });
         }
+        if matches!(entry.content, PageContent::CodeNotPresent(_)) {
+            return Err(MemError::NotPresent { addr });
+        }
         let PageContent::Code(code) = &entry.content else {
             return Err(MemError::KindMismatch {
                 addr,
@@ -512,6 +528,9 @@ impl AddressSpace {
                 have: entry.perms,
             });
         }
+        if matches!(entry.content, PageContent::CodeNotPresent(_)) {
+            return Err(MemError::NotPresent { addr });
+        }
         let PageContent::Code(code) = &mut entry.content else {
             return Err(MemError::KindMismatch {
                 addr,
@@ -540,7 +559,10 @@ impl AddressSpace {
             let Some(entry) = self.pages.get(&pn) else {
                 continue;
             };
-            let PageContent::Code(code) = &entry.content else {
+            // Listings show the backing image even for not-present pages:
+            // disassembly is a loader-eye view, not an architectural fetch.
+            let (PageContent::Code(code) | PageContent::CodeNotPresent(code)) = &entry.content
+            else {
                 continue;
             };
             let page_base = VirtAddr::new(pn * PAGE_BYTES);
@@ -553,6 +575,143 @@ impl AddressSpace {
         }
         out.sort_by_key(|&(a, _)| a);
         out
+    }
+
+    /// Evicts the code page containing `addr` to the not-present state,
+    /// retaining its backing instructions. Returns `true` if the page
+    /// was resident (and is now evicted), `false` if it was already not
+    /// present (a no-op).
+    ///
+    /// Eviction is architecturally invisible: the next fetch takes a
+    /// [`MemError::NotPresent`] fault, [`AddressSpace::fault_in_code`]
+    /// flips the page back, and the retried fetch sees identical
+    /// instructions. [`AddressSpace::code_version`] is deliberately not
+    /// bumped — fetch-side predecode for the page must instead be
+    /// dropped by the caller, which is what makes eviction a probe of
+    /// the cache-invalidation plumbing rather than of this model.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::Unmapped`] or [`MemError::KindMismatch`]
+    /// (data page).
+    pub fn evict_code_page(&mut self, addr: VirtAddr) -> Result<bool, MemError> {
+        let pn = addr.page_number(PAGE_BYTES);
+        let entry = self.pages.get_mut(&pn).ok_or(MemError::Unmapped { addr })?;
+        match &mut entry.content {
+            PageContent::Data(_) => Err(MemError::KindMismatch {
+                addr,
+                expected_code: true,
+            }),
+            PageContent::CodeNotPresent(_) => Ok(false),
+            PageContent::Code(code) => {
+                entry.content = PageContent::CodeNotPresent(Arc::clone(code));
+                Ok(true)
+            }
+        }
+    }
+
+    /// Evicts every code page overlapping `[start, start+len)` to the
+    /// not-present state, skipping holes and data pages. Returns the
+    /// number of pages that were resident and are now evicted — this is
+    /// how a lazy loader "registers extents without mapping": install
+    /// the module eagerly, then evict its text so first execution
+    /// faults each page in on demand.
+    pub fn evict_code_region(&mut self, start: VirtAddr, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let mut evicted = 0;
+        for pn in Self::page_range(start, len) {
+            let Some(entry) = self.pages.get_mut(&pn) else {
+                continue;
+            };
+            if let PageContent::Code(code) = &entry.content {
+                entry.content = PageContent::CodeNotPresent(Arc::clone(code));
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Handles a demand fault: makes the not-present code page
+    /// containing `addr` resident again. Present pages are a no-op (a
+    /// racing fault may already have been serviced).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::Unmapped`] if `addr` is a hole — a fault
+    /// outside every registered extent is a genuine error, not a
+    /// demand-fault — or [`MemError::KindMismatch`] on a data page.
+    pub fn fault_in_code(&mut self, addr: VirtAddr) -> Result<(), MemError> {
+        let pn = addr.page_number(PAGE_BYTES);
+        let entry = self.pages.get_mut(&pn).ok_or(MemError::Unmapped { addr })?;
+        match &mut entry.content {
+            PageContent::Data(_) => Err(MemError::KindMismatch {
+                addr,
+                expected_code: true,
+            }),
+            PageContent::Code(_) => Ok(()),
+            PageContent::CodeNotPresent(code) => {
+                entry.content = PageContent::Code(Arc::clone(code));
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes every page overlapping `[start, start+len)` from the
+    /// space entirely — the module-GC teardown path, as opposed to
+    /// [`AddressSpace::evict_code_page`] which keeps the extent
+    /// registered. Holes are skipped; returns the number of pages
+    /// removed. The range may later be re-mapped by a fresh module.
+    ///
+    /// Like eviction this does not bump [`AddressSpace::code_version`]:
+    /// a GC caller must invalidate fetch-side state itself (the honest
+    /// route is minting a fresh [`AddressSpace::refresh_uid`]), which
+    /// is exactly the invalidation obligation the difftest probes.
+    pub fn unmap_region(&mut self, start: VirtAddr, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let mut removed = 0;
+        for pn in Self::page_range(start, len) {
+            if self.pages.remove(&pn).is_some() {
+                self.stats.pages_mapped -= 1;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Number of code pages currently resident (mapped, present); the
+    /// quantity demand paging saves relative to eager loading. Evicted
+    /// (not-present) pages and data pages are excluded.
+    pub fn resident_code_pages(&self) -> u64 {
+        self.pages
+            .values()
+            .filter(|e| matches!(e.content, PageContent::Code(_)))
+            .count() as u64
+    }
+
+    /// Number of code pages whose extent is registered but which are
+    /// architecturally not present.
+    pub fn not_present_code_pages(&self) -> u64 {
+        self.pages
+            .values()
+            .filter(|e| matches!(e.content, PageContent::CodeNotPresent(_)))
+            .count() as u64
+    }
+
+    /// Mints a fresh [`AddressSpace::uid`] for this space, severing it
+    /// from every fetch-side cache entry tagged with the old identity.
+    ///
+    /// This is the module-GC invalidation primitive: after
+    /// [`AddressSpace::unmap_region`] recycles a VA range, predecoded
+    /// pages keyed on the old `(uid, page)` would otherwise still
+    /// revalidate if a later module reuses the range with the same
+    /// code version. Retagging the space makes every stale entry
+    /// unreachable at once.
+    pub fn refresh_uid(&mut self) {
+        self.uid = fresh_uid();
     }
 
     /// Forks the address space: the child shares every page
@@ -922,6 +1081,119 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn evict_fault_in_roundtrip_preserves_code() {
+        let mut s = AddressSpace::new(0);
+        s.map_code_region(va(0x40_0000), 0x1000, Perms::RX).unwrap();
+        s.place_code(va(0x40_0000), Inst::Nop).unwrap();
+        assert_eq!(s.resident_code_pages(), 1);
+
+        assert!(s.evict_code_page(va(0x40_0000)).unwrap());
+        assert_eq!(s.resident_code_pages(), 0);
+        assert_eq!(s.not_present_code_pages(), 1);
+        assert!(s.is_mapped(va(0x40_0000)), "evicted, not unmapped");
+        assert!(matches!(
+            s.fetch_code(va(0x40_0000)),
+            Err(MemError::NotPresent { .. })
+        ));
+        assert!(matches!(
+            s.code_page_insts(va(0x40_0000)).map(|_| ()),
+            Err(MemError::NotPresent { .. })
+        ));
+        // Re-eviction is a no-op.
+        assert!(!s.evict_code_page(va(0x40_0000)).unwrap());
+
+        s.fault_in_code(va(0x40_0000)).unwrap();
+        assert_eq!(s.resident_code_pages(), 1);
+        assert_eq!(s.fetch_code(va(0x40_0000)).unwrap(), Inst::Nop);
+        // Faulting a present page is a no-op, not an error.
+        s.fault_in_code(va(0x40_0000)).unwrap();
+    }
+
+    #[test]
+    fn fault_on_a_hole_still_errors() {
+        let mut s = AddressSpace::new(0);
+        assert!(matches!(
+            s.fault_in_code(va(0x9000)),
+            Err(MemError::Unmapped { .. })
+        ));
+        s.map_region(va(0x1000), 0x1000, Perms::RW).unwrap();
+        assert!(matches!(
+            s.fault_in_code(va(0x1000)),
+            Err(MemError::KindMismatch { .. })
+        ));
+        assert!(matches!(
+            s.evict_code_page(va(0x1000)),
+            Err(MemError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn evict_region_counts_only_resident_code() {
+        let mut s = AddressSpace::new(0);
+        s.map_code_region(va(0x40_0000), 0x2000, Perms::RX).unwrap();
+        s.map_region(va(0x40_2000), 0x1000, Perms::RW).unwrap();
+        // 3 pages span: two code, one data; a second sweep evicts nothing.
+        assert_eq!(s.evict_code_region(va(0x40_0000), 0x3000), 2);
+        assert_eq!(s.evict_code_region(va(0x40_0000), 0x3000), 0);
+        assert_eq!(s.evict_code_region(va(0x40_0000), 0), 0);
+        assert_eq!(s.not_present_code_pages(), 2);
+    }
+
+    #[test]
+    fn place_code_into_not_present_page_lands_in_backing_image() {
+        let mut s = AddressSpace::new(0);
+        s.map_code_region(va(0x40_0000), 0x1000, Perms::RX).unwrap();
+        s.evict_code_page(va(0x40_0000)).unwrap();
+        s.place_code(va(0x40_0000), Inst::Ret).unwrap();
+        assert!(matches!(
+            s.fetch_code(va(0x40_0000)),
+            Err(MemError::NotPresent { .. })
+        ));
+        s.fault_in_code(va(0x40_0000)).unwrap();
+        assert_eq!(s.fetch_code(va(0x40_0000)).unwrap(), Inst::Ret);
+    }
+
+    #[test]
+    fn patch_code_on_not_present_page_is_rejected() {
+        let mut s = AddressSpace::new(0);
+        s.map_code_region(va(0x40_0000), 0x1000, Perms::RWX)
+            .unwrap();
+        s.evict_code_page(va(0x40_0000)).unwrap();
+        assert!(matches!(
+            s.patch_code(va(0x40_0000), Inst::Ret),
+            Err(MemError::NotPresent { .. })
+        ));
+    }
+
+    #[test]
+    fn unmap_region_removes_pages_and_accounting() {
+        let mut s = AddressSpace::new(0);
+        s.map_code_region(va(0x40_0000), 0x2000, Perms::RX).unwrap();
+        s.map_region(va(0x50_0000), 0x1000, Perms::RW).unwrap();
+        assert_eq!(s.stats().pages_mapped, 3);
+        // Unmap spans a hole between the two mappings: only real pages count.
+        assert_eq!(s.unmap_region(va(0x40_0000), 0x2000), 2);
+        assert_eq!(s.stats().pages_mapped, 1);
+        assert!(!s.is_mapped(va(0x40_0000)));
+        assert!(matches!(
+            s.fetch_code(va(0x40_0000)),
+            Err(MemError::Unmapped { .. })
+        ));
+        // The range can be re-mapped afresh (VA recycling).
+        s.map_code_region(va(0x40_0000), 0x2000, Perms::RX).unwrap();
+        assert_eq!(s.unmap_region(va(0x40_0000), 0), 0);
+    }
+
+    #[test]
+    fn refresh_uid_mints_a_distinct_identity() {
+        let mut s = AddressSpace::new(3);
+        let before = s.uid();
+        s.refresh_uid();
+        assert_ne!(s.uid(), before);
+        assert_eq!(s.asid(), 3, "asid is unchanged by retagging");
     }
 
     #[test]

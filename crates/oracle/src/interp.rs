@@ -143,6 +143,13 @@ impl Oracle {
         opts: LinkOptions,
         entry_symbol: &str,
     ) -> Result<Self, OracleError> {
+        // Demand paging is a *microarchitectural* property: code-page
+        // residency is invisible to the architectural digest, so the
+        // oracle always loads eagerly and never takes fetch faults.
+        let opts = LinkOptions {
+            demand_paging: false,
+            ..opts
+        };
         let mut space = AddressSpace::new(1);
         let image = Loader::new(opts).load(specs, entry_symbol, &mut space)?;
         space
@@ -295,7 +302,13 @@ impl Oracle {
             .resolution
             .binding_for_key(key)
             .ok_or(OracleError::UnknownBinding { pc, key })?;
-        let (slot, target) = (binding.got_slot, binding.target);
+        // A binding into a `dlclose`d module resolves through to the
+        // next open provider — identical to the system's resolver.
+        let (slot, target) = (
+            binding.got_slot,
+            self.resolution
+                .effective_target(&binding.symbol, binding.target),
+        );
         self.store(slot, target.as_u64())
             .map_err(|e| self.mem_err(e))?;
         self.resolver_invocations += 1;
@@ -521,6 +534,60 @@ impl Oracle {
         Ok(n)
     }
 
+    /// Architecturally applies `dlclose(victim)` with module GC: the
+    /// same GOT re-arming writes as [`Oracle::apply_unbind`], plus the
+    /// module is marked closed so future lazy resolutions fall through
+    /// to the next open provider. Page teardown, predecode shootdown
+    /// and refcounting are microarchitectural and have no oracle
+    /// counterpart — which is precisely why a machine that skips the
+    /// GC invalidation diverges from this model.
+    ///
+    /// Closing an already-closed module is a no-op returning `Ok(0)`.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::UnknownName`] when `victim` is not loaded;
+    /// [`OracleError::Mem`] if a GOT write faults.
+    pub fn apply_dlclose(&mut self, victim: &str) -> Result<u64, OracleError> {
+        let idx = self
+            .image
+            .module_index(victim)
+            .ok_or_else(|| OracleError::UnknownName {
+                name: victim.to_owned(),
+            })?;
+        if self.resolution.is_closed(idx) {
+            return Ok(0);
+        }
+        let writes = self.image.unbind_writes_for(victim);
+        let mut n = 0;
+        for (slot, stub) in writes {
+            self.store(slot, stub.as_u64())
+                .map_err(|e| self.mem_err(e))?;
+            n += 1;
+        }
+        self.resolution.close_module(idx);
+        Ok(n)
+    }
+
+    /// Architecturally applies a reopen of a `dlclose`d module: its
+    /// interposition rank is restored for future resolutions. No GOT
+    /// slot is written (bindings are sticky until re-armed), so this is
+    /// an architectural no-op beyond the closed-set change. `Ok(false)`
+    /// when the module is not closed.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::UnknownName`] when `name` is not loaded.
+    pub fn apply_reopen(&mut self, name: &str) -> Result<bool, OracleError> {
+        let idx = self
+            .image
+            .module_index(name)
+            .ok_or_else(|| OracleError::UnknownName {
+                name: name.to_owned(),
+            })?;
+        Ok(self.resolution.reopen_module(idx))
+    }
+
     /// The canonical architectural digest of the current state.
     pub fn digest(&self) -> ArchDigest {
         ArchDigest::capture(
@@ -624,6 +691,49 @@ mod tests {
         // 5 calls at +1 (marks 1..=5 retired, but the 5th call has not
         // happened yet when the event lands), then 6 calls at +100.
         assert_eq!(o.reg(Reg::R0), 4 + 6 * 100);
+    }
+
+    #[test]
+    fn dlclose_falls_through_to_shadow_and_reopen_restores_rank() {
+        let specs = vec![
+            caller("inc", 10),
+            adder("libinc", "inc", 1),
+            adder("shadow", "inc", 100),
+        ];
+        let mut o = Oracle::new(&specs, LinkOptions::default(), "main").unwrap();
+        o.run_until_marks(5, 100_000).unwrap();
+        assert_eq!(o.apply_dlclose("libinc").unwrap(), 1);
+        assert_eq!(o.apply_dlclose("libinc").unwrap(), 0, "double close");
+        o.run(100_000).unwrap();
+        // 4 calls landed through libinc before the close; the re-armed
+        // stub routes the remaining 6 into the shadow.
+        assert_eq!(o.reg(Reg::R0), 4 + 6 * 100);
+        assert_eq!(o.resolver_invocations(), 2);
+
+        assert!(o.apply_reopen("libinc").unwrap());
+        assert!(!o.apply_reopen("libinc").unwrap(), "reopen is idempotent");
+        assert!(matches!(
+            o.apply_dlclose("nope"),
+            Err(OracleError::UnknownName { .. })
+        ));
+        assert!(matches!(
+            o.apply_reopen("nope"),
+            Err(OracleError::UnknownName { .. })
+        ));
+    }
+
+    #[test]
+    fn demand_paging_option_is_architecturally_invisible() {
+        let specs = vec![caller("inc", 6), adder("libinc", "inc", 1)];
+        let mut eager = Oracle::new(&specs, LinkOptions::default(), "main").unwrap();
+        let demand_opts = LinkOptions {
+            demand_paging: true,
+            ..LinkOptions::default()
+        };
+        let mut demand = Oracle::new(&specs, demand_opts, "main").unwrap();
+        eager.run(100_000).unwrap();
+        demand.run(100_000).unwrap();
+        assert_eq!(eager.digest(), demand.digest());
     }
 
     #[test]

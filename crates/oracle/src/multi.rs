@@ -164,6 +164,24 @@ impl MultiOracle {
         self.procs[self.active].apply_rebind(symbol, provider)
     }
 
+    /// Applies `dlclose` with module GC to the active process only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Oracle::apply_dlclose`] errors.
+    pub fn apply_dlclose_active(&mut self, victim: &str) -> Result<u64, OracleError> {
+        self.procs[self.active].apply_dlclose(victim)
+    }
+
+    /// Reopens a closed module in the active process only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Oracle::apply_reopen`] errors.
+    pub fn apply_reopen_active(&mut self, name: &str) -> Result<bool, OracleError> {
+        self.procs[self.active].apply_reopen(name)
+    }
+
     /// Per-process architectural digests, indexed like the processes.
     pub fn digests(&self) -> Vec<ArchDigest> {
         self.procs.iter().map(Oracle::digest).collect()

@@ -71,6 +71,16 @@ pub struct PerfCounters {
     pub btb_function_trains: u64,
     /// Lazy-resolver invocations.
     pub resolver_invocations: u64,
+    /// Demand fetch faults serviced: a fetch hit a registered but
+    /// not-present code page, the page was faulted in, and the fetch
+    /// retried (demand-driven loading).
+    pub demand_faults_in: u64,
+    /// Code pages evicted back to the not-present state (fault-out) —
+    /// the reclaim half of demand paging.
+    pub demand_faults_out: u64,
+    /// Modules garbage-collected by `dlclose`: refcount reached zero,
+    /// code pages were unmapped and fetch-side state invalidated.
+    pub modules_gcd: u64,
 }
 
 impl PerfCounters {
@@ -143,6 +153,13 @@ impl PerfCounters {
             resolver_invocations: self
                 .resolver_invocations
                 .saturating_sub(earlier.resolver_invocations),
+            demand_faults_in: self
+                .demand_faults_in
+                .saturating_sub(earlier.demand_faults_in),
+            demand_faults_out: self
+                .demand_faults_out
+                .saturating_sub(earlier.demand_faults_out),
+            modules_gcd: self.modules_gcd.saturating_sub(earlier.modules_gcd),
         }
     }
 
@@ -169,6 +186,9 @@ impl PerfCounters {
         self.bloom_store_hits += other.bloom_store_hits;
         self.btb_function_trains += other.btb_function_trains;
         self.resolver_invocations += other.resolver_invocations;
+        self.demand_faults_in += other.demand_faults_in;
+        self.demand_faults_out += other.demand_faults_out;
+        self.modules_gcd += other.modules_gcd;
     }
 }
 

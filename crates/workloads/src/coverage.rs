@@ -66,10 +66,19 @@ pub enum Signal {
     BloomStoreHit,
     /// The lazy resolver ran.
     ResolverInvoked,
+    /// A fetch touched a not-present code page and the demand-paging
+    /// layer faulted it in mid-run.
+    FaultIn,
+    /// A resident code page was faulted *out* (cold-page eviction or a
+    /// module GC unmapping its text).
+    FaultOut,
+    /// `dlclose` dropped the last reference to a module and garbage-
+    /// collected its code pages.
+    ModuleGc,
 }
 
 /// Every [`Signal`], in bit order.
-pub const SIGNALS: [Signal; 9] = [
+pub const SIGNALS: [Signal; 12] = [
     Signal::AbtbInsert,
     Signal::AbtbHit,
     Signal::TrampolineSkipped,
@@ -79,6 +88,9 @@ pub const SIGNALS: [Signal; 9] = [
     Signal::CoherenceFlush,
     Signal::BloomStoreHit,
     Signal::ResolverInvoked,
+    Signal::FaultIn,
+    Signal::FaultOut,
+    Signal::ModuleGc,
 ];
 
 impl Signal {
@@ -94,6 +106,9 @@ impl Signal {
             Signal::CoherenceFlush => d.abtb_coherence_flushes,
             Signal::BloomStoreHit => d.bloom_store_hits,
             Signal::ResolverInvoked => d.resolver_invocations,
+            Signal::FaultIn => d.demand_faults_in,
+            Signal::FaultOut => d.demand_faults_out,
+            Signal::ModuleGc => d.modules_gcd,
         }
     }
 
@@ -116,14 +131,23 @@ pub enum EventKind {
     Rebind,
     /// A switch to a *different* process (multi-process schedules).
     SwitchProcess,
+    /// A cold-code-page eviction (fault-out of one page).
+    Evict,
+    /// A `dlclose` with module GC (code pages unmapped).
+    Dlclose,
+    /// A `dlopen` of a previously closed module.
+    Reopen,
 }
 
-const EVENT_KINDS: [EventKind; 5] = [
+const EVENT_KINDS: [EventKind; 8] = [
     EventKind::ContextSwitch,
     EventKind::Invalidate,
     EventKind::Unbind,
     EventKind::Rebind,
     EventKind::SwitchProcess,
+    EventKind::Evict,
+    EventKind::Dlclose,
+    EventKind::Reopen,
 ];
 
 impl EventKind {
@@ -142,6 +166,9 @@ impl From<&FuzzEvent> for EventKind {
             FuzzEvent::AbtbInvalidate => EventKind::Invalidate,
             FuzzEvent::Unbind { .. } => EventKind::Unbind,
             FuzzEvent::Rebind { .. } => EventKind::Rebind,
+            FuzzEvent::EvictColdPage { .. } => EventKind::Evict,
+            FuzzEvent::DlcloseModule { .. } => EventKind::Dlclose,
+            FuzzEvent::ReopenModule { .. } => EventKind::Reopen,
         }
     }
 }
@@ -153,6 +180,9 @@ impl From<&MultiFuzzEvent> for EventKind {
             MultiFuzzEvent::AbtbInvalidate => EventKind::Invalidate,
             MultiFuzzEvent::Unbind { .. } => EventKind::Unbind,
             MultiFuzzEvent::Rebind { .. } => EventKind::Rebind,
+            MultiFuzzEvent::EvictColdPage { .. } => EventKind::Evict,
+            MultiFuzzEvent::DlcloseModule { .. } => EventKind::Dlclose,
+            MultiFuzzEvent::ReopenModule { .. } => EventKind::Reopen,
         }
     }
 }

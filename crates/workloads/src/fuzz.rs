@@ -44,6 +44,33 @@ pub enum FuzzEvent {
         /// Index of the symbol's home library.
         lib: usize,
     },
+    /// Demand paging's fault-out direction: evict one resident text
+    /// page of `lib{lib}`, to be transparently faulted back in on next
+    /// fetch. Architecturally a no-op (the oracle ignores it).
+    EvictColdPage {
+        /// Index of the library whose text loses a page.
+        lib: usize,
+        /// Page selector (reduced modulo the library's text size).
+        page: u64,
+    },
+    /// `dlclose(lib{lib})` with module GC: GOT slots bound into the
+    /// victim are re-armed, the module stops providing symbols (later
+    /// resolutions fall through to the shadow), and the system unmaps
+    /// its code pages. Only valid with a shadow provider (and never for
+    /// `lib0` when it hosts the ifunc), so every re-resolution has an
+    /// open provider to land in.
+    DlcloseModule {
+        /// Index of the victim library.
+        lib: usize,
+    },
+    /// Reopen a `dlclose`d module at its original addresses:
+    /// architecturally only its interposition rank returns (bindings
+    /// stay sticky); the system rebuilds the code mapping lazily. A
+    /// no-op when the module is open.
+    ReopenModule {
+        /// Index of the library to reopen.
+        lib: usize,
+    },
 }
 
 impl fmt::Display for FuzzEvent {
@@ -53,6 +80,9 @@ impl fmt::Display for FuzzEvent {
             FuzzEvent::AbtbInvalidate => write!(f, "inval"),
             FuzzEvent::Unbind { lib } => write!(f, "unbind({lib})"),
             FuzzEvent::Rebind { lib } => write!(f, "rebind({lib})"),
+            FuzzEvent::EvictColdPage { lib, page } => write!(f, "evict({lib},{page})"),
+            FuzzEvent::DlcloseModule { lib } => write!(f, "dlclose({lib})"),
+            FuzzEvent::ReopenModule { lib } => write!(f, "reopen({lib})"),
         }
     }
 }
@@ -96,6 +126,12 @@ pub struct FuzzCase {
     /// Imports the app calls each iteration, as indices into
     /// [`FuzzCase::import_names`].
     pub calls: Vec<usize>,
+    /// Whether the system loads library code demand-paged (honoured
+    /// under lazy binding) and the schedule may carry demand events
+    /// (evict / dlclose / reopen). Set *after* generation by
+    /// [`FuzzCase::enable_demand`] — never by [`FuzzCase::generate`] —
+    /// so historical seeds keep producing byte-identical cases.
+    pub demand: bool,
     /// Events to inject, sorted by `at_mark`.
     pub schedule: Vec<ScheduledEvent>,
 }
@@ -144,6 +180,7 @@ impl FuzzCase {
             use_ifunc,
             iterations,
             calls,
+            demand: false,
             schedule: Vec::new(),
         }
     }
@@ -202,6 +239,73 @@ impl FuzzCase {
     /// Number of generated libraries.
     pub fn n_libs(&self) -> usize {
         self.lib_delta.len()
+    }
+
+    /// Whether `dlclose(lib{lib})` is valid for this program: a shadow
+    /// module must exist (so every re-resolution of `f{i}` finds an
+    /// open provider), and `lib0` must stay open while it hosts the
+    /// ifunc (`gsel` has no shadow copy). The generator, the mutator's
+    /// sanitiser and the difftest drivers all share this rule.
+    pub fn dlclose_ok(&self, lib: usize) -> bool {
+        lib < self.n_libs() && self.shadow && (lib != 0 || !self.use_ifunc)
+    }
+
+    /// Turns the case into a demand-paging case: sets
+    /// [`FuzzCase::demand`] and deterministically appends demand events
+    /// (evict / dlclose / reopen) drawn from `salt_seed` — a *separate*
+    /// stream from [`FuzzCase::generate`]'s, so the base program and
+    /// schedule are untouched and demand-off digests stay bit-identical.
+    /// Demand events only make sense under lazy binding with at least
+    /// one interior mark; otherwise only the flag is set.
+    pub fn enable_demand(&mut self, salt_seed: u64) {
+        self.demand = true;
+        if self.mode != LinkMode::DynamicLazy || self.iterations < 3 {
+            return;
+        }
+        let mut rng = Rng::seed_from_u64(salt_seed ^ 0xde3a_0d5e_7e57_0000);
+        let n_libs = self.n_libs();
+        let closeable: Vec<usize> = (0..n_libs).filter(|&l| self.dlclose_ok(l)).collect();
+        let n_events = rng.gen_index(1..4);
+        for _ in 0..n_events {
+            let roll = rng.gen_index(0..4);
+            let event = if roll < 2 || closeable.is_empty() {
+                FuzzEvent::EvictColdPage {
+                    lib: rng.gen_index(0..n_libs),
+                    page: rng.gen_range(0..4),
+                }
+            } else {
+                let lib = closeable[rng.gen_index(0..closeable.len())];
+                if roll == 2 {
+                    FuzzEvent::DlcloseModule { lib }
+                } else {
+                    FuzzEvent::ReopenModule { lib }
+                }
+            };
+            self.schedule.push(ScheduledEvent {
+                at_mark: rng.gen_range(2..self.iterations),
+                event,
+            });
+        }
+        // Stable, so same-mark events keep their relative order.
+        self.schedule.sort_by_key(|e| e.at_mark);
+    }
+
+    /// Whether `event` does anything under this case's configuration —
+    /// the shared validity rule the oracle and system difftest drivers
+    /// both apply, so an invalid event (left behind by hand-editing a
+    /// corpus file, say) is an identical no-op on both sides.
+    pub fn applicable(&self, event: &FuzzEvent) -> bool {
+        match *event {
+            FuzzEvent::ContextSwitch | FuzzEvent::AbtbInvalidate => true,
+            FuzzEvent::Unbind { lib } => lib < self.n_libs(),
+            FuzzEvent::Rebind { lib } => self.shadow && lib < self.n_libs(),
+            FuzzEvent::EvictColdPage { lib, .. } => {
+                self.demand && self.mode == LinkMode::DynamicLazy && lib < self.n_libs()
+            }
+            FuzzEvent::DlcloseModule { lib } | FuzzEvent::ReopenModule { lib } => {
+                self.demand && self.mode == LinkMode::DynamicLazy && self.dlclose_ok(lib)
+            }
+        }
     }
 
     /// The app's import list, in GOT-slot order: `f0..f{n-1}`, then
@@ -304,7 +408,7 @@ impl fmt::Display for FuzzCase {
         write!(
             f,
             "seed={} mode={:?} hw={} deltas={:?} callees={:?} stores={:?} \
-             shadow={} ifunc={} iters={} calls={:?} schedule=[",
+             shadow={} ifunc={} demand={} iters={} calls={:?} schedule=[",
             self.seed,
             self.mode,
             self.hw_level,
@@ -313,6 +417,7 @@ impl fmt::Display for FuzzCase {
             self.lib_store,
             self.shadow,
             self.use_ifunc,
+            self.demand,
             self.iterations,
             self.calls,
         )?;
@@ -381,15 +486,40 @@ pub fn shrink_case<F: FnMut(&FuzzCase) -> bool>(case: &FuzzCase, mut fails: F) -
     }
 
     if best.shadow
-        && !best
-            .schedule
-            .iter()
-            .any(|e| matches!(e.event, FuzzEvent::Rebind { .. }))
+        && !best.schedule.iter().any(|e| {
+            matches!(
+                e.event,
+                FuzzEvent::Rebind { .. }
+                    | FuzzEvent::DlcloseModule { .. }
+                    | FuzzEvent::ReopenModule { .. }
+            )
+        })
     {
         let mut c = best.clone();
         c.shadow = false;
         if fails(&c) {
             best = c;
+        }
+    }
+
+    if best.demand {
+        // Prefer an eager-loading reproducer when demand paging is
+        // incidental to the failure (only valid once no demand event
+        // remains in the schedule).
+        let has_demand_event = best.schedule.iter().any(|e| {
+            matches!(
+                e.event,
+                FuzzEvent::EvictColdPage { .. }
+                    | FuzzEvent::DlcloseModule { .. }
+                    | FuzzEvent::ReopenModule { .. }
+            )
+        });
+        if !has_demand_event {
+            let mut c = best.clone();
+            c.demand = false;
+            if fails(&c) {
+                best = c;
+            }
         }
     }
 
@@ -421,6 +551,26 @@ pub enum MultiFuzzEvent {
         /// Index of the symbol's home library.
         lib: usize,
     },
+    /// Evict one resident text page of `lib{lib}` in the *active*
+    /// process (see [`FuzzEvent::EvictColdPage`]).
+    EvictColdPage {
+        /// Index of the library whose text loses a page.
+        lib: usize,
+        /// Page selector (reduced modulo the library's text size).
+        page: u64,
+    },
+    /// `dlclose(lib{lib})` with refcounted module GC in the *active*
+    /// process (see [`FuzzEvent::DlcloseModule`]).
+    DlcloseModule {
+        /// Index of the victim library.
+        lib: usize,
+    },
+    /// Reopen a closed `lib{lib}` in the *active* process (see
+    /// [`FuzzEvent::ReopenModule`]).
+    ReopenModule {
+        /// Index of the library to reopen.
+        lib: usize,
+    },
 }
 
 impl fmt::Display for MultiFuzzEvent {
@@ -430,6 +580,9 @@ impl fmt::Display for MultiFuzzEvent {
             MultiFuzzEvent::AbtbInvalidate => write!(f, "inval"),
             MultiFuzzEvent::Unbind { lib } => write!(f, "unbind({lib})"),
             MultiFuzzEvent::Rebind { lib } => write!(f, "rebind({lib})"),
+            MultiFuzzEvent::EvictColdPage { lib, page } => write!(f, "evict({lib},{page})"),
+            MultiFuzzEvent::DlcloseModule { lib } => write!(f, "dlclose({lib})"),
+            MultiFuzzEvent::ReopenModule { lib } => write!(f, "reopen({lib})"),
         }
     }
 }
@@ -478,6 +631,11 @@ pub struct MultiFuzzCase {
     /// `--cores` axis overrides it after generation, so schedules and
     /// oracle digests are independent of the core count.
     pub cores: usize,
+    /// Whether processes load library code demand-paged and the
+    /// schedule may carry demand events. Set post-generation by
+    /// [`MultiFuzzCase::enable_demand`] (never by `generate`), like
+    /// `cores`, so historical digests are preserved.
+    pub demand: bool,
     /// The sequential cross-process schedule.
     pub schedule: Vec<MultiScheduledEvent>,
 }
@@ -560,8 +718,68 @@ impl MultiFuzzCase {
             procs,
             shared_got_pair,
             cores: 1,
+            demand: false,
             schedule,
         }
+    }
+
+    /// Turns the case into a demand-paging case (see
+    /// [`FuzzCase::enable_demand`]): sets the flag and appends demand
+    /// events to the sequential schedule, each targeting whichever
+    /// process the existing schedule leaves active at its end. Drawn
+    /// from a salted stream so the base case is untouched.
+    pub fn enable_demand(&mut self, salt_seed: u64) {
+        self.demand = true;
+        // Replay the schedule's switches to find the final active
+        // process and its mark floor, so appended events extend the
+        // sequential program consistently.
+        let mut active = 0usize;
+        let mut next_mark: Vec<u64> = vec![1; self.procs.len()];
+        for ev in &self.schedule {
+            next_mark[active] = next_mark[active].max(ev.at_mark);
+            if let MultiFuzzEvent::Switch { to } = ev.event {
+                if to < self.procs.len() {
+                    active = to;
+                }
+            }
+        }
+        let p = &self.procs[active];
+        if p.mode != LinkMode::DynamicLazy || p.iterations < 2 {
+            return;
+        }
+        let mut rng = Rng::seed_from_u64(salt_seed ^ 0xde3a_0d5e_6d75_0000);
+        let n_libs = p.n_libs();
+        // Pair members never close modules (see [`Self::applicable`]).
+        let closeable: Vec<usize> = if self.in_shared_pair(active) {
+            Vec::new()
+        } else {
+            (0..n_libs).filter(|&l| p.dlclose_ok(l)).collect()
+        };
+        let n_events = rng.gen_index(1..4);
+        for _ in 0..n_events {
+            let at_mark = (next_mark[active] + rng.gen_range(0..3)).min(p.iterations);
+            next_mark[active] = at_mark;
+            let roll = rng.gen_index(0..4);
+            let event = if roll < 2 || closeable.is_empty() {
+                MultiFuzzEvent::EvictColdPage {
+                    lib: rng.gen_index(0..n_libs),
+                    page: rng.gen_range(0..4),
+                }
+            } else {
+                let lib = closeable[rng.gen_index(0..closeable.len())];
+                if roll == 2 {
+                    MultiFuzzEvent::DlcloseModule { lib }
+                } else {
+                    MultiFuzzEvent::ReopenModule { lib }
+                }
+            };
+            self.schedule.push(MultiScheduledEvent { at_mark, event });
+        }
+    }
+
+    /// Whether process `p` is half of the shared-GOT pair.
+    fn in_shared_pair(&self, p: usize) -> bool {
+        self.shared_got_pair.is_some_and(|(a, b)| p == a || p == b)
     }
 
     /// Whether `event` does anything when process `active` is running —
@@ -575,6 +793,18 @@ impl MultiFuzzCase {
             MultiFuzzEvent::AbtbInvalidate => true,
             MultiFuzzEvent::Unbind { lib } => lib < p.n_libs(),
             MultiFuzzEvent::Rebind { lib } => p.shadow && lib < p.n_libs(),
+            MultiFuzzEvent::EvictColdPage { lib, .. } => {
+                self.demand && p.mode == LinkMode::DynamicLazy && lib < p.n_libs()
+            }
+            // A shared-GOT pair member must not GC modules: its
+            // partner's resolved bindings mirror into its (physically
+            // shared) GOT and would point at the locally-unmapped code.
+            MultiFuzzEvent::DlcloseModule { lib } | MultiFuzzEvent::ReopenModule { lib } => {
+                self.demand
+                    && p.mode == LinkMode::DynamicLazy
+                    && p.dlclose_ok(lib)
+                    && !self.in_shared_pair(active)
+            }
         }
     }
 }
@@ -583,10 +813,11 @@ impl fmt::Display for MultiFuzzCase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "multi seed={} procs={} cores={} pair={:?}",
+            "multi seed={} procs={} cores={} demand={} pair={:?}",
             self.seed,
             self.procs.len(),
             self.cores,
+            self.demand,
             self.shared_got_pair
         )?;
         for (i, p) in self.procs.iter().enumerate() {
@@ -645,6 +876,23 @@ pub fn shrink_multi_case<F: FnMut(&MultiFuzzCase) -> bool>(
     if best.shared_got_pair.is_some() {
         let mut c = best.clone();
         c.shared_got_pair = None;
+        if fails(&c) {
+            best = c;
+        }
+    }
+
+    if best.demand
+        && !best.schedule.iter().any(|e| {
+            matches!(
+                e.event,
+                MultiFuzzEvent::EvictColdPage { .. }
+                    | MultiFuzzEvent::DlcloseModule { .. }
+                    | MultiFuzzEvent::ReopenModule { .. }
+            )
+        })
+    {
+        let mut c = best.clone();
+        c.demand = false;
         if fails(&c) {
             best = c;
         }
@@ -943,5 +1191,105 @@ mod tests {
                 lib: case.procs[0].n_libs()
             }
         ));
+    }
+
+    #[test]
+    fn enable_demand_is_deterministic_and_post_generation() {
+        for seed in 0..50 {
+            let base = FuzzCase::generate(seed);
+            assert!(!base.demand, "generation never sets demand");
+            let mut a = base.clone();
+            let mut b = base.clone();
+            a.enable_demand(seed);
+            b.enable_demand(seed);
+            assert_eq!(a, b, "seed {seed}");
+            assert!(a.demand);
+            // The pre-existing program and schedule are untouched;
+            // demand only appends events.
+            assert_eq!(a.seed, base.seed);
+            assert_eq!(a.iterations, base.iterations);
+            assert!(a.schedule.len() >= base.schedule.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn demand_events_respect_case_invariants() {
+        let mut saw_demand_event = false;
+        for seed in 0..200 {
+            let mut case = FuzzCase::generate(seed);
+            case.enable_demand(seed);
+            for ev in &case.schedule {
+                match ev.event {
+                    FuzzEvent::EvictColdPage { lib, .. } => {
+                        saw_demand_event = true;
+                        assert_eq!(case.mode, LinkMode::DynamicLazy, "seed {seed}");
+                        assert!(lib < case.n_libs(), "seed {seed}");
+                        assert!((2..case.iterations).contains(&ev.at_mark), "seed {seed}");
+                    }
+                    FuzzEvent::DlcloseModule { lib } | FuzzEvent::ReopenModule { lib } => {
+                        saw_demand_event = true;
+                        assert_eq!(case.mode, LinkMode::DynamicLazy, "seed {seed}");
+                        assert!(case.dlclose_ok(lib), "seed {seed}");
+                        assert!((2..case.iterations).contains(&ev.at_mark), "seed {seed}");
+                    }
+                    _ => {}
+                }
+            }
+            let sorted: Vec<u64> = case.schedule.iter().map(|e| e.at_mark).collect();
+            assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "seed {seed}");
+        }
+        assert!(saw_demand_event, "200 seeds never produced a demand event");
+    }
+
+    #[test]
+    fn demand_cases_round_trip_and_stay_sanitary() {
+        for seed in 0..50 {
+            let mut case = FuzzCase::generate(seed);
+            case.enable_demand(seed);
+            let back: FuzzCase = case.to_string().parse().unwrap();
+            assert_eq!(case, back, "seed {seed}");
+            let mut s = case.clone();
+            crate::mutate::sanitize_case(&mut s);
+            assert_eq!(case, s, "enable_demand output must be sanitary: {case}");
+        }
+    }
+
+    #[test]
+    fn multi_enable_demand_targets_the_final_active_process() {
+        let mut saw_demand_event = false;
+        for seed in 0..200 {
+            let mut case = MultiFuzzCase::generate(seed);
+            assert!(!case.demand, "generation never sets demand");
+            let mut again = case.clone();
+            case.enable_demand(seed);
+            again.enable_demand(seed);
+            assert_eq!(case, again, "seed {seed}");
+            assert!(case.demand);
+            // Appended events must be applicable from the process that
+            // is active when they fire: replay the schedule and check.
+            let mut active = 0usize;
+            for ev in &case.schedule {
+                if let MultiFuzzEvent::Switch { to } = ev.event {
+                    if to < case.procs.len() && to != active {
+                        active = to;
+                    }
+                }
+                match ev.event {
+                    MultiFuzzEvent::EvictColdPage { .. }
+                    | MultiFuzzEvent::DlcloseModule { .. }
+                    | MultiFuzzEvent::ReopenModule { .. } => {
+                        saw_demand_event = true;
+                        assert!(
+                            case.applicable(active, &ev.event),
+                            "seed {seed}: inapplicable demand event\n{case}"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            let back: MultiFuzzCase = case.to_string().parse().unwrap();
+            assert_eq!(case, back, "seed {seed}");
+        }
+        assert!(saw_demand_event, "200 seeds never produced a demand event");
     }
 }

@@ -67,16 +67,32 @@ pub fn sanitize_case(case: &mut FuzzCase) {
         case.schedule.clear();
     } else {
         let iters = case.iterations;
-        let shadow = case.shadow;
-        case.schedule
-            .retain(|ev| shadow || !matches!(ev.event, FuzzEvent::Rebind { .. }));
         for ev in &mut case.schedule {
             ev.at_mark = ev.at_mark.clamp(2, iters - 1);
             match &mut ev.event {
-                FuzzEvent::Unbind { lib } | FuzzEvent::Rebind { lib } => *lib %= n_libs,
+                FuzzEvent::Unbind { lib }
+                | FuzzEvent::Rebind { lib }
+                | FuzzEvent::EvictColdPage { lib, .. }
+                | FuzzEvent::DlcloseModule { lib }
+                | FuzzEvent::ReopenModule { lib } => *lib %= n_libs,
                 FuzzEvent::ContextSwitch | FuzzEvent::AbtbInvalidate => {}
             }
         }
+        let shadow = case.shadow;
+        let demand_lazy = case.demand && case.mode == dynlink_linker::LinkMode::DynamicLazy;
+        let use_ifunc = case.use_ifunc;
+        // Demand events need the demand-paging lazy regime; dlclose and
+        // reopen additionally need a fallback provider for the closed
+        // module's symbol (same rule as `FuzzCase::dlclose_ok`).
+        let closeable = |lib: usize| shadow && (lib != 0 || !use_ifunc);
+        case.schedule.retain(|ev| match ev.event {
+            FuzzEvent::Rebind { .. } => shadow,
+            FuzzEvent::EvictColdPage { .. } => demand_lazy,
+            FuzzEvent::DlcloseModule { lib } | FuzzEvent::ReopenModule { lib } => {
+                demand_lazy && closeable(lib)
+            }
+            FuzzEvent::ContextSwitch | FuzzEvent::AbtbInvalidate | FuzzEvent::Unbind { .. } => true,
+        });
     }
     case.schedule.truncate(MAX_EVENTS);
     case.schedule.sort_by_key(|e| e.at_mark);
@@ -132,13 +148,24 @@ pub fn sanitize_multi_case(case: &mut MultiFuzzCase) {
 
 fn random_event(case: &FuzzCase, rng: &mut Rng) -> FuzzEvent {
     let n_libs = case.n_libs();
-    match rng.gen_index(0..4) {
+    // Demand cases draw from the full vocabulary; sanitize drops any
+    // pick whose target turns out not to be closeable.
+    let demand_lazy = case.demand && case.mode == dynlink_linker::LinkMode::DynamicLazy;
+    let n_choices = if demand_lazy { 7 } else { 4 };
+    match rng.gen_index(0..n_choices) {
         0 => FuzzEvent::ContextSwitch,
         1 => FuzzEvent::AbtbInvalidate,
-        2 => FuzzEvent::Unbind {
+        3 if case.shadow => FuzzEvent::Rebind {
             lib: rng.gen_index(0..n_libs),
         },
-        _ if case.shadow => FuzzEvent::Rebind {
+        4 => FuzzEvent::EvictColdPage {
+            lib: rng.gen_index(0..n_libs),
+            page: rng.gen_range(0..4),
+        },
+        5 => FuzzEvent::DlcloseModule {
+            lib: rng.gen_index(0..n_libs),
+        },
+        6 => FuzzEvent::ReopenModule {
             lib: rng.gen_index(0..n_libs),
         },
         _ => FuzzEvent::Unbind {
@@ -149,7 +176,7 @@ fn random_event(case: &FuzzCase, rng: &mut Rng) -> FuzzEvent {
 
 /// Mutates the program-shaping fields (everything but the schedule).
 fn mutate_program(case: &mut FuzzCase, rng: &mut Rng) {
-    match rng.gen_index(0..9) {
+    match rng.gen_index(0..10) {
         0 => case.shadow = !case.shadow,
         1 => case.use_ifunc = !case.use_ifunc,
         2 => {
@@ -202,7 +229,7 @@ fn mutate_program(case: &mut FuzzCase, rng: &mut Rng) {
                 _ => case.iterations.saturating_mul(2),
             };
         }
-        _ => {
+        8 => {
             // Grow or shrink the library set.
             if case.n_libs() < 4 && rng.gen_ratio(1, 2) {
                 case.lib_delta.push(rng.gen_range(1..100));
@@ -213,6 +240,12 @@ fn mutate_program(case: &mut FuzzCase, rng: &mut Rng) {
                 case.lib_callee.pop();
                 case.lib_store.pop();
             }
+        }
+        _ => {
+            // Toggle demand paging: mutants cross between the eager and
+            // demand regimes, so guided campaigns reach fault-in/GC
+            // coverage without a dedicated demand pass.
+            case.demand = !case.demand;
         }
     }
 }
@@ -304,15 +337,26 @@ pub fn mutate_case(case: &FuzzCase, pool: &[FuzzCase], rng: &mut Rng) -> FuzzCas
 fn random_multi_event(case: &MultiFuzzCase, active_hint: usize, rng: &mut Rng) -> MultiFuzzEvent {
     let n_procs = case.procs.len();
     let p = &case.procs[active_hint.min(n_procs - 1)];
-    match rng.gen_index(0..4) {
+    // Inapplicable picks (wrong mode, no fallback provider) are
+    // harmless: `MultiFuzzCase::applicable` no-ops them on both sides.
+    let demand_lazy = case.demand && p.mode == dynlink_linker::LinkMode::DynamicLazy;
+    let n_choices = if demand_lazy { 7 } else { 4 };
+    match rng.gen_index(0..n_choices) {
         0 if n_procs > 1 => MultiFuzzEvent::Switch {
             to: rng.gen_index(0..n_procs),
         },
         1 => MultiFuzzEvent::AbtbInvalidate,
-        2 => MultiFuzzEvent::Unbind {
+        3 if p.shadow => MultiFuzzEvent::Rebind {
             lib: rng.gen_index(0..p.n_libs()),
         },
-        _ if p.shadow => MultiFuzzEvent::Rebind {
+        4 => MultiFuzzEvent::EvictColdPage {
+            lib: rng.gen_index(0..p.n_libs()),
+            page: rng.gen_range(0..4),
+        },
+        5 => MultiFuzzEvent::DlcloseModule {
+            lib: rng.gen_index(0..p.n_libs()),
+        },
+        6 => MultiFuzzEvent::ReopenModule {
             lib: rng.gen_index(0..p.n_libs()),
         },
         _ => MultiFuzzEvent::Unbind {
@@ -331,7 +375,7 @@ pub fn mutate_multi_case(
     let mut m = case.clone();
     let n_ops = 1 + rng.gen_index(0..3);
     for _ in 0..n_ops {
-        match rng.gen_index(0..6) {
+        match rng.gen_index(0..7) {
             0 => {
                 // Mutate one process's program in place.
                 let i = rng.gen_index(0..m.procs.len());
@@ -368,6 +412,7 @@ pub fn mutate_multi_case(
                     None => None,
                 };
             }
+            5 => m.demand = !m.demand,
             _ => {
                 m.schedule.push(MultiScheduledEvent {
                     at_mark: 1 + rng.gen_range(0..8),

@@ -162,6 +162,22 @@ fn parse_event(s: &str) -> Result<FuzzEvent, String> {
         Ok(FuzzEvent::Rebind {
             lib: parse_usize(arg, "rebind lib")?,
         })
+    } else if let Some(arg) = call_arg(s, "evict") {
+        let (lib, page) = arg
+            .split_once(',')
+            .ok_or_else(|| format!("evict needs `lib,page`, got `{arg}`"))?;
+        Ok(FuzzEvent::EvictColdPage {
+            lib: parse_usize(lib, "evict lib")?,
+            page: parse_u64(page, "evict page")?,
+        })
+    } else if let Some(arg) = call_arg(s, "dlclose") {
+        Ok(FuzzEvent::DlcloseModule {
+            lib: parse_usize(arg, "dlclose lib")?,
+        })
+    } else if let Some(arg) = call_arg(s, "reopen") {
+        Ok(FuzzEvent::ReopenModule {
+            lib: parse_usize(arg, "reopen lib")?,
+        })
     } else {
         Err(format!("unknown event `{s}`"))
     }
@@ -181,6 +197,22 @@ fn parse_multi_event(s: &str) -> Result<MultiFuzzEvent, String> {
     } else if let Some(arg) = call_arg(s, "rebind") {
         Ok(MultiFuzzEvent::Rebind {
             lib: parse_usize(arg, "rebind lib")?,
+        })
+    } else if let Some(arg) = call_arg(s, "evict") {
+        let (lib, page) = arg
+            .split_once(',')
+            .ok_or_else(|| format!("evict needs `lib,page`, got `{arg}`"))?;
+        Ok(MultiFuzzEvent::EvictColdPage {
+            lib: parse_usize(lib, "evict lib")?,
+            page: parse_u64(page, "evict page")?,
+        })
+    } else if let Some(arg) = call_arg(s, "dlclose") {
+        Ok(MultiFuzzEvent::DlcloseModule {
+            lib: parse_usize(arg, "dlclose lib")?,
+        })
+    } else if let Some(arg) = call_arg(s, "reopen") {
+        Ok(MultiFuzzEvent::ReopenModule {
+            lib: parse_usize(arg, "reopen lib")?,
         })
     } else {
         Err(format!("unknown multi event `{s}`"))
@@ -241,6 +273,12 @@ impl FromStr for FuzzCase {
                 .collect::<Result<_, String>>()?,
             shadow: field(line, "shadow")? == "true",
             use_ifunc: field(line, "ifunc")? == "true",
+            // `demand` joined the line format after the first corpus
+            // files were checked in; absent means eager loading.
+            demand: match field(line, "demand") {
+                Ok(v) => v == "true",
+                Err(_) => false,
+            },
             iterations: parse_u64(field(line, "iters")?, "iterations")?,
             calls: list_items(field(line, "calls")?)?
                 .into_iter()
@@ -268,6 +306,11 @@ impl FromStr for MultiFuzzCase {
         let cores = match field(header, "cores") {
             Ok(v) => parse_usize(v, "core count")?,
             Err(_) => 1,
+        };
+        // Like `cores`, `demand` is optional for older corpus files.
+        let demand = match field(header, "demand") {
+            Ok(v) => v == "true",
+            Err(_) => false,
         };
         let pair_text = field(header, "pair")?;
         let shared_got_pair = if pair_text == "None" {
@@ -319,6 +362,7 @@ impl FromStr for MultiFuzzCase {
             procs,
             shared_got_pair,
             cores,
+            demand,
             schedule,
         })
     }

@@ -34,6 +34,10 @@ fn main() {
         "proposed hardware:    {} copies (code pages never written)",
         ms.pages_copied_hardware
     );
+    println!(
+        "demand paging:        {}/{} code pages resident after one run ({} fault-ins)",
+        ms.code_pages_demand_resident, ms.code_pages_total, ms.demand_faults_in
+    );
     println!("\nThe paper estimates ~1.1 MB per process and ~0.5 GB for a busy");
     println!("server; our simulated image is smaller, but the linear-per-worker");
     println!("overhead and the zero-cost hardware alternative are the same.");

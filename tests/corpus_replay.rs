@@ -13,7 +13,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use dynlink_bench::difftest::{
-    check_case, check_multi_case, check_multi_case_coverage, check_multi_case_with_bus, Injection,
+    check_case, check_case_with_demand_invalidation, check_multi_case, check_multi_case_coverage,
+    check_multi_case_with_bus, Injection,
 };
 use dynlink_workloads::coverage::describe_bit;
 use dynlink_workloads::repro::{parse_corpus_file, CorpusCase};
@@ -129,6 +130,43 @@ fn cross_core_stale_rebind_needs_the_coherence_bus() {
 /// The single-process `DropInvalidate` reproducer must still reproduce:
 /// if the injected stale-ABTB bug stops diverging on it, the corpus
 /// entry has rotted (or the harness has gone blind).
+/// The demand-paging GC witness must stay an exact witness of the
+/// module-GC invalidation: with the mandated invalidation (the
+/// default), `dlclose` re-arms the GOT, unmaps the module's code and
+/// flushes the front end, so the next call re-resolves cleanly through
+/// the interposing shadow provider; with `demand_invalidate = false`
+/// the trained ABTB skips past the re-armed stub straight into the
+/// unmapped range, and the system diverges from the oracle under both
+/// Bloom variants.
+#[test]
+fn stale_skip_into_unmapped_page_needs_the_gc_invalidation() {
+    let text = fs::read_to_string(corpus_dir().join("stale_skip_unmapped_page.txt")).unwrap();
+    let CorpusCase::Single(case) = parse_corpus_file(&text).unwrap() else {
+        panic!("stale_skip_unmapped_page.txt must be a single-process case");
+    };
+    assert!(case.demand, "the demand flag must round-trip from the file");
+
+    let clean = check_case_with_demand_invalidation(&case, Injection::None, true);
+    assert!(
+        clean.failures.is_empty(),
+        "with the GC invalidation the case must pass: {:?}",
+        clean.failures
+    );
+
+    let stale = check_case_with_demand_invalidation(&case, Injection::None, false);
+    assert!(
+        !stale.failures.is_empty(),
+        "skipping the GC invalidation must leave the trained ABTB stale"
+    );
+    for accel in ["/Abtb]", "/AbtbNoBloom]"] {
+        assert!(
+            stale.failures.iter().any(|f| f.contains(accel)),
+            "expected a stale-skip failure under {accel}, got: {:?}",
+            stale.failures
+        );
+    }
+}
+
 #[test]
 fn drop_invalidate_reproducer_still_bites_under_injection() {
     let text = fs::read_to_string(corpus_dir().join("drop_invalidate_rebind.txt")).unwrap();

@@ -1,0 +1,157 @@
+//! Demand-driven code loading end-to-end: module GC (`dlclose`),
+//! reopening at aliased addresses, cross-process refcounting, and the
+//! fault-in path's edge cases. Companion to the difftest's
+//! fault-in/fault-out event class (see docs/MECHANISM.md).
+
+use dynlink_core::{LinkAccel, MachineConfig, MultiProcessSystem, SystemBuilder};
+use dynlink_isa::{Inst, Reg, VirtAddr};
+use dynlink_linker::{LinkMode, LinkOptions, ModuleBuilder, ModuleSpec};
+use dynlink_mem::MemError;
+use dynlink_repro::{adder_library, calling_app};
+
+fn lazy_demand_system(iterations: u64) -> dynlink_core::System {
+    SystemBuilder::new()
+        .module(calling_app("inc", iterations).unwrap())
+        .module(adder_library("libinc", "inc", 1).unwrap())
+        .link_mode(LinkMode::DynamicLazy)
+        .demand_paging(true)
+        .accel(LinkAccel::Abtb)
+        .build()
+        .unwrap()
+}
+
+/// A process whose app marks before each call, so multi-process
+/// schedules can target call boundaries.
+fn marking_proc(n: u64, delta: u64) -> (Vec<ModuleSpec>, LinkOptions) {
+    let mut lib = ModuleBuilder::new("libinc");
+    lib.begin_function("inc", true);
+    lib.asm().push(Inst::add_imm(Reg::R0, delta));
+    lib.asm().push(Inst::Ret);
+    let mut app = ModuleBuilder::new("app");
+    let inc = app.import("inc");
+    app.begin_function("main", true);
+    let top = app.asm().fresh_label("top");
+    app.asm().push(Inst::mov_imm(Reg::R2, n));
+    app.asm().bind(top);
+    app.asm().push(Inst::Mark { id: 0 });
+    app.asm().push_call_extern(inc);
+    app.asm().push(Inst::sub_imm(Reg::R2, 1));
+    app.asm().push_branch_nz(Reg::R2, top);
+    app.asm().push(Inst::Halt);
+    let opts = LinkOptions {
+        mode: LinkMode::DynamicLazy,
+        ..LinkOptions::default()
+    };
+    (vec![app.finish().unwrap(), lib.finish().unwrap()], opts)
+}
+
+#[test]
+fn double_dlclose_is_a_no_op() {
+    let mut sys = lazy_demand_system(20);
+    sys.run(1_000_000).unwrap();
+    assert_eq!(sys.reg(Reg::R0), 20);
+
+    let rearmed = sys.dlclose("libinc").unwrap();
+    assert!(rearmed > 0, "first close re-arms the lib's GOT slots");
+    assert_eq!(sys.counters().modules_gcd, 1);
+
+    // A second close finds the module already closed: nothing to
+    // re-arm, nothing to unmap, no second GC tick.
+    assert_eq!(sys.dlclose("libinc").unwrap(), 0);
+    assert_eq!(sys.counters().modules_gcd, 1);
+}
+
+#[test]
+fn close_with_another_process_resident_holds_the_refcount() {
+    let mut mps = MultiProcessSystem::new(
+        vec![marking_proc(6, 1), marking_proc(6, 10)],
+        MachineConfig::enhanced(),
+        None,
+    )
+    .unwrap();
+    assert_eq!(mps.module_refs("libinc"), 2);
+
+    // Warm both processes through a few calls.
+    mps.run_active_until_marks(3, 100_000).unwrap();
+    mps.switch_to(1);
+    mps.run_active_until_marks(3, 100_000).unwrap();
+
+    // Process 1 closes its mapping; process 0 still holds a reference,
+    // so the module is not garbage-collected yet.
+    assert!(mps.dlclose_active("libinc").unwrap() > 0);
+    assert_eq!(mps.module_refs("libinc"), 1);
+    assert_eq!(mps.counters().modules_gcd, 0, "refcount holds the module");
+
+    // Process 0's own mapping is untouched: it runs to completion.
+    mps.switch_to(0);
+    mps.run_active(100_000).unwrap();
+    assert!(mps.halted(0));
+    assert_eq!(mps.reg_of(0, Reg::R0), 6);
+
+    // The last reference drops: now the GC counter ticks.
+    assert!(mps.dlclose_active("libinc").unwrap() > 0);
+    assert_eq!(mps.module_refs("libinc"), 0);
+    assert_eq!(mps.counters().modules_gcd, 1, "GC only at zero refs");
+}
+
+#[test]
+fn reopen_at_aliased_va_gets_a_fresh_predecode_uid() {
+    let mut sys = lazy_demand_system(30);
+    sys.run(1_000_000).unwrap();
+    assert_eq!(sys.reg(Reg::R0), 30);
+    let uid_before = sys.machine().space().uid();
+    let lib_extents = sys.image().code_extents_of("libinc");
+    assert!(!lib_extents.is_empty());
+
+    // Close and reopen: the module comes back at its original virtual
+    // addresses (an alias of the recycled range), but the space carries
+    // a fresh predecode identity minted by the GC invalidation, so no
+    // stale predecoded line or ABTB entry can name the new mapping.
+    sys.dlclose("libinc").unwrap();
+    assert!(sys.dlreopen("libinc").unwrap());
+    assert_ne!(
+        sys.machine().space().uid(),
+        uid_before,
+        "reopened mapping must not share the closed mapping's identity"
+    );
+    assert_eq!(sys.image().code_extents_of("libinc"), lib_extents);
+
+    // Under demand paging the reopened code is registered not-present
+    // and faults in on first fetch.
+    assert!(sys.machine().space().not_present_code_pages() > 0);
+    let faults_before = sys.counters().demand_faults_in;
+    sys.set_reg(Reg::R0, 0);
+    sys.restart();
+    sys.run(1_000_000).unwrap();
+    assert_eq!(sys.reg(Reg::R0), 30, "reopened library still works");
+    assert!(
+        sys.counters().demand_faults_in > faults_before,
+        "first fetch into the reopened module faults it in"
+    );
+
+    // Reopening an open module is a no-op.
+    assert!(!sys.dlreopen("libinc").unwrap());
+}
+
+#[test]
+fn fault_on_a_hole_still_errors() {
+    let mut sys = lazy_demand_system(5);
+    // The lazy image registered library code as not-present...
+    assert!(sys.machine().space().not_present_code_pages() > 0);
+    // ...but an address outside every mapping is a plain unmapped
+    // fault, not a demand fault: fault-in must refuse to map it.
+    let hole = VirtAddr::new(0x9999_0000_0000);
+    match sys.machine_mut().space_mut().fault_in_code(hole) {
+        Err(MemError::Unmapped { addr }) => assert_eq!(addr, hole),
+        other => panic!("expected Unmapped, got {other:?}"),
+    }
+    // And after a dlclose the module's range is a hole too: the
+    // fetcher reports it as unmapped rather than faulting it back in.
+    sys.run(1_000_000).unwrap();
+    sys.dlclose("libinc").unwrap();
+    let (base, _) = sys.image().code_extents_of("libinc")[0];
+    match sys.machine_mut().space_mut().fault_in_code(base) {
+        Err(MemError::Unmapped { addr }) => assert_eq!(addr, base),
+        other => panic!("expected Unmapped after GC, got {other:?}"),
+    }
+}

@@ -8,10 +8,10 @@
 //! one comparison, not a build failure), and every candidate can be
 //! persisted to `corpus/` and replayed byte-for-byte.
 
-use dynlink_linker::LinkOptions;
+use dynlink_linker::{LinkMode, LinkOptions};
 use dynlink_oracle::Oracle;
 use dynlink_rng::Rng;
-use dynlink_workloads::fuzz::{FuzzCase, MultiFuzzCase};
+use dynlink_workloads::fuzz::{FuzzCase, FuzzEvent, MultiFuzzCase};
 use dynlink_workloads::mutate::{mutate_case, mutate_multi_case};
 
 const SEEDS: u64 = 24;
@@ -56,6 +56,59 @@ fn single_mutants_run_under_oracle_and_round_trip() {
             round_trips(&case);
         }
     }
+}
+
+/// Demand-paging events (`EvictColdPage`, `DlcloseModule`,
+/// `ReopenModule`) obey the same contract: starting from demand-enabled
+/// cases, mutation keeps every candidate buildable and round-trippable,
+/// sanitize confines demand events to demand-paged lazy cases, and the
+/// walk actually visits schedules carrying demand events (so the checks
+/// are not vacuous).
+#[test]
+fn demand_event_mutants_stay_valid_and_round_trip() {
+    fn is_demand_event(ev: &FuzzEvent) -> bool {
+        matches!(
+            ev,
+            FuzzEvent::EvictColdPage { .. }
+                | FuzzEvent::DlcloseModule { .. }
+                | FuzzEvent::ReopenModule { .. }
+        )
+    }
+    let pool: Vec<FuzzCase> = (300..308)
+        .map(|s| {
+            let mut c = FuzzCase::generate(s);
+            c.enable_demand(s);
+            c
+        })
+        .collect();
+    let mut rng = Rng::seed_from_u64(0xde3a_0d5e);
+    let mut saw_demand_event = false;
+    for seed in 0..SEEDS {
+        let mut case = FuzzCase::generate(seed);
+        case.enable_demand(seed);
+        for _ in 0..STEPS {
+            case = mutate_case(&case, &pool, &mut rng);
+            for ev in &case.schedule {
+                if is_demand_event(&ev.event) {
+                    saw_demand_event = true;
+                    assert!(
+                        case.demand && case.mode == LinkMode::DynamicLazy,
+                        "sanitize must confine demand events to demand-paged lazy cases:\n{case}"
+                    );
+                    assert!(
+                        case.applicable(&ev.event),
+                        "sanitize left an inapplicable demand event:\n{case}"
+                    );
+                }
+            }
+            runs_under_oracle(&case);
+            round_trips(&case);
+        }
+    }
+    assert!(
+        saw_demand_event,
+        "the mutation walk never produced a demand event — coverage is vacuous"
+    );
 }
 
 #[test]

@@ -115,6 +115,7 @@ fn rebind_case() -> FuzzCase {
         lib_store: vec![false],
         shadow: true,
         use_ifunc: false,
+        demand: false,
         iterations: 8,
         calls: vec![0],
         schedule: vec![ScheduledEvent {
@@ -200,6 +201,7 @@ fn cross_switch_rebind_case() -> MultiFuzzCase {
         lib_store: vec![false],
         shadow: true,
         use_ifunc: false,
+        demand: false,
         iterations: 8,
         calls: vec![0],
         schedule: Vec::new(),
@@ -213,6 +215,7 @@ fn cross_switch_rebind_case() -> MultiFuzzCase {
         lib_store: vec![false],
         shadow: false,
         use_ifunc: false,
+        demand: false,
         iterations: 4,
         calls: vec![0],
         schedule: Vec::new(),
@@ -221,6 +224,7 @@ fn cross_switch_rebind_case() -> MultiFuzzCase {
         seed: 0xc0de,
         procs: vec![proc0, proc1],
         cores: 1,
+        demand: false,
         shared_got_pair: None,
         schedule: vec![
             MultiScheduledEvent {
@@ -303,8 +307,8 @@ fn injected_multi_bug_is_found_and_shrunk() {
 
 #[test]
 fn multi_difftest_report_is_identical_across_job_counts() {
-    let serial = run_multi_difftest(40, 12, 1, Injection::None, false, 1);
-    let sharded = run_multi_difftest(40, 12, 4, Injection::None, false, 1);
+    let serial = run_multi_difftest(40, 12, 1, Injection::None, false, 1, false);
+    let sharded = run_multi_difftest(40, 12, 4, Injection::None, false, 1, false);
     assert_eq!(serial.failures, 0, "{}", serial.output);
     assert_eq!(
         serial.output, sharded.output,
@@ -316,8 +320,8 @@ fn multi_difftest_report_is_identical_across_job_counts() {
 
 #[test]
 fn multicore_difftest_report_is_identical_across_job_counts() {
-    let serial = run_multi_difftest(40, 8, 1, Injection::None, false, 2);
-    let sharded = run_multi_difftest(40, 8, 4, Injection::None, false, 2);
+    let serial = run_multi_difftest(40, 8, 1, Injection::None, false, 2, false);
+    let sharded = run_multi_difftest(40, 8, 4, Injection::None, false, 2, false);
     assert_eq!(serial.failures, 0, "{}", serial.output);
     assert_eq!(
         serial.output, sharded.output,
@@ -329,8 +333,8 @@ fn multicore_difftest_report_is_identical_across_job_counts() {
 
 #[test]
 fn difftest_report_is_identical_across_job_counts() {
-    let serial = run_difftest(100, 24, 1, Injection::None, false);
-    let sharded = run_difftest(100, 24, 4, Injection::None, false);
+    let serial = run_difftest(100, 24, 1, Injection::None, false, false);
+    let sharded = run_difftest(100, 24, 4, Injection::None, false, false);
     assert_eq!(serial.failures, 0, "{}", serial.output);
     assert_eq!(
         serial.output, sharded.output,
