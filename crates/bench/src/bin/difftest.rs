@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale]
-//!          [--demand] [--no-shrink] [--multi [--cores N]]
+//!          [--demand] [--prelink] [--no-shrink] [--multi [--cores N]]
 //!          [--guided [--rounds N] [--round-size N]
 //!                    [--corpus DIR] [--save-corpus DIR]]
 //! ```
@@ -23,6 +23,12 @@
 //! every generated case into a demand-paging case *after* generation
 //! (lazy code pages fault in on first fetch; evict/dlclose/reopen
 //! events join the schedule), so the demand-off digests are untouched.
+//! `--prelink` enables the stable-linking axis: each case additionally
+//! captures a warm-up resolution snapshot, round-trips it through the
+//! versioned `DLSN` format, and checks boot-restored system runs
+//! against a boot-restored oracle; the extra runs are compared
+//! pairwise and never folded into the state digest, so `--prelink`
+//! reports the same digest as the plain sweep.
 //! `--guided` switches to coverage-guided mutational fuzzing:
 //! `--rounds` rounds of `--round-size` candidates, keeping
 //! behavioral-coverage-novel cases as mutation parents; `--corpus DIR`
@@ -43,7 +49,7 @@ use dynlink_bench::runner::default_jobs;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--demand] [--no-shrink] [--multi [--cores N]]\n\
+        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--demand] [--prelink] [--no-shrink] [--multi [--cores N]]\n\
          \x20               [--guided [--rounds N] [--round-size N] [--corpus DIR] [--save-corpus DIR]]"
     );
     ExitCode::from(2)
@@ -58,6 +64,7 @@ fn main() -> ExitCode {
     let mut multi = false;
     let mut cores = 1usize;
     let mut demand = false;
+    let mut prelink = false;
     let mut guided = false;
     let mut rounds = 8u64;
     let mut round_size = 64u64;
@@ -126,6 +133,7 @@ fn main() -> ExitCode {
             }
             "--inject-stale" => injection = Injection::DropInvalidate,
             "--demand" => demand = true,
+            "--prelink" => prelink = true,
             "--no-shrink" => shrink = false,
             "--multi" => multi = true,
             "--guided" => guided = true,
@@ -139,6 +147,10 @@ fn main() -> ExitCode {
     }
     if guided && demand {
         eprintln!("difftest: --guided reaches demand cases through mutation; drop --demand");
+        return usage();
+    }
+    if guided && prelink {
+        eprintln!("difftest: --guided reaches prelink events through mutation; drop --prelink");
         return usage();
     }
     if guided && multi {
@@ -165,9 +177,11 @@ fn main() -> ExitCode {
             save_dir,
         })
     } else if multi {
-        run_multi_difftest(seed_start, cases, jobs, injection, shrink, cores, demand)
+        run_multi_difftest(
+            seed_start, cases, jobs, injection, shrink, cores, demand, prelink,
+        )
     } else {
-        run_difftest(seed_start, cases, jobs, injection, shrink, demand)
+        run_difftest(seed_start, cases, jobs, injection, shrink, demand, prelink)
     };
     print!("{}", report.output);
     eprintln!(

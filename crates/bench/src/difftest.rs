@@ -27,9 +27,22 @@
 //! [`ParallelRunner`]; seeds are derived per cell (`seed_start + index`)
 //! and results are aggregated in submission order, making the report
 //! byte-identical at every `--jobs` level.
+//!
+//! The `--prelink` axis (stable linking) adds a second round per case:
+//! a warm-up oracle run with *no* schedule events captures a
+//! [`ResolutionSnapshot`], which is serialized, decoded back (so every
+//! case round-trips the `DLSN` format), restored at boot into a fresh
+//! *prelink oracle* that then runs the full schedule, and restored at
+//! boot into a prelink system run per accel mode that must match it.
+//! The extra runs are compared pairwise and never folded into the
+//! report digest, so historical state digests are unchanged. The
+//! `prelink_validate = false` machine knob is the negative control:
+//! the oracle always validates restores, so a system replaying stale
+//! (tombstoned) entries verbatim diverges — the
+//! `corpus/stale_prelink_restore.txt` witness pins exactly this.
 
 use dynlink_core::{LinkAccel, MachineConfig, MultiProcessSystem, System, SystemBuilder};
-use dynlink_linker::{LinkOptions, TrampolineFlavor};
+use dynlink_linker::{LinkOptions, ResolutionSnapshot, RestoreOutcome, TrampolineFlavor};
 use dynlink_oracle::{ArchDigest, MultiOracle, Oracle};
 use dynlink_uarch::PerfCounters;
 use dynlink_workloads::coverage::{CoverageMap, EventKind, EventWindow, PolicyCtx};
@@ -129,6 +142,10 @@ struct SystemRun {
     /// the event to the end of the run) — the coverage map's event
     /// facets are computed from these.
     events: Vec<(EventKind, EventWindow)>,
+    /// Outcome of every prelink restore the run performed: the boot
+    /// restore (when started in prelink mode) followed by every mid-run
+    /// `prelink` schedule event.
+    prelink: Vec<RestoreOutcome>,
 }
 
 /// Converts `(kind, counters-at-event)` snapshots into event windows
@@ -161,10 +178,37 @@ fn link_options(case: &FuzzCase, flavor: TrampolineFlavor) -> LinkOptions {
     }
 }
 
-fn run_oracle(case: &FuzzCase, flavor: TrampolineFlavor) -> Result<OracleRun, String> {
+/// Warm-up leg of the prelink axis: runs the case's program straight to
+/// halt with *no* schedule events — the "warmed process" whose
+/// resolution tables prelink freezes — and serializes its snapshot.
+fn warm_snapshot_bytes(case: &FuzzCase, flavor: TrampolineFlavor) -> Result<Vec<u8>, String> {
+    let specs = case.modules();
+    let mut oracle = Oracle::new(&specs, link_options(case, flavor), "main")
+        .map_err(|e| format!("warm oracle load: {e}"))?;
+    oracle
+        .run(RUN_BUDGET)
+        .map_err(|e| format!("warm oracle run: {e}"))?;
+    if !oracle.halted() {
+        return Err("warm oracle exhausted its instruction budget".to_owned());
+    }
+    Ok(oracle.capture_snapshot().encode())
+}
+
+fn run_oracle(
+    case: &FuzzCase,
+    flavor: TrampolineFlavor,
+    boot: Option<&ResolutionSnapshot>,
+) -> Result<OracleRun, String> {
     let specs = case.modules();
     let mut oracle = Oracle::new(&specs, link_options(case, flavor), "main")
         .map_err(|e| format!("oracle load: {e}"))?;
+    if let Some(snapshot) = boot {
+        // The oracle always validates restores; a fingerprint mismatch
+        // falls back to lazy binding, which is itself well-defined.
+        oracle
+            .restore_snapshot(snapshot)
+            .map_err(|e| format!("oracle boot restore: {e}"))?;
+    }
     for ev in &case.schedule {
         oracle
             .run_until_marks(ev.at_mark, RUN_BUDGET)
@@ -199,6 +243,11 @@ fn run_oracle(case: &FuzzCase, flavor: TrampolineFlavor) -> Result<OracleRun, St
                     .apply_reopen(&format!("lib{lib}"))
                     .map_err(|e| format!("oracle reopen: {e}"))?;
             }
+            FuzzEvent::PrelinkRestore => {
+                oracle
+                    .apply_prelink_restore()
+                    .map_err(|e| format!("oracle prelink restore: {e}"))?;
+            }
         }
     }
     oracle
@@ -213,26 +262,29 @@ fn run_oracle(case: &FuzzCase, flavor: TrampolineFlavor) -> Result<OracleRun, St
     })
 }
 
+/// Applies one schedule event to the system; a `prelink` event reports
+/// its [`RestoreOutcome`] back for the coverage map, everything else
+/// returns `None`.
 fn apply_system_event(
     sys: &mut System,
     event: FuzzEvent,
     injection: Injection,
-) -> Result<(), String> {
+) -> Result<Option<RestoreOutcome>, String> {
     match event {
         FuzzEvent::ContextSwitch => {
             sys.context_switch();
-            Ok(())
+            Ok(None)
         }
         FuzzEvent::AbtbInvalidate => {
             sys.machine_mut().invalidate_abtb();
-            Ok(())
+            Ok(None)
         }
         FuzzEvent::Unbind { lib } => {
             let name = format!("lib{lib}");
             match injection {
                 Injection::None => sys
                     .unbind_library(&name)
-                    .map(|_| ())
+                    .map(|_| None)
                     .map_err(|e| format!("unbind: {e}")),
                 Injection::DropInvalidate => {
                     let writes = sys.image().unbind_writes_for(&name);
@@ -242,7 +294,7 @@ fn apply_system_event(
                             .write_u64(slot, stub.as_u64())
                             .map_err(|e| format!("raw unbind write: {e}"))?;
                     }
-                    Ok(())
+                    Ok(None)
                 }
             }
         }
@@ -251,7 +303,7 @@ fn apply_system_event(
             match injection {
                 Injection::None => sys
                     .rebind_symbol(&symbol, "shadow")
-                    .map(|_| ())
+                    .map(|_| None)
                     .map_err(|e| format!("rebind: {e}")),
                 Injection::DropInvalidate => {
                     let target = sys
@@ -273,7 +325,7 @@ fn apply_system_event(
                             .write_u64(slot, target.as_u64())
                             .map_err(|e| format!("raw rebind write: {e}"))?;
                     }
-                    Ok(())
+                    Ok(None)
                 }
             }
         }
@@ -283,16 +335,22 @@ fn apply_system_event(
         // so these always go through the real runtime entry points.
         FuzzEvent::EvictColdPage { lib, page } => sys
             .evict_lib_page(&format!("lib{lib}"), page)
-            .map(|_| ())
+            .map(|_| None)
             .map_err(|e| format!("evict: {e}")),
         FuzzEvent::DlcloseModule { lib } => sys
             .dlclose(&format!("lib{lib}"))
-            .map(|_| ())
+            .map(|_| None)
             .map_err(|e| format!("dlclose: {e}")),
         FuzzEvent::ReopenModule { lib } => sys
             .dlreopen(&format!("lib{lib}"))
-            .map(|_| ())
+            .map(|_| None)
             .map_err(|e| format!("reopen: {e}")),
+        // Prelink's bug model is the `prelink_validate` machine knob
+        // (see [`check_case_with_prelink_validation`]), not `Injection`.
+        FuzzEvent::PrelinkRestore => sys
+            .prelink_restore_self()
+            .map(Some)
+            .map_err(|e| format!("prelink restore: {e}")),
     }
 }
 
@@ -302,8 +360,10 @@ fn run_system(
     accel: LinkAccel,
     injection: Injection,
     demand_invalidate: bool,
+    prelink_validate: bool,
+    boot: Option<&ResolutionSnapshot>,
 ) -> Result<SystemRun, String> {
-    let mut sys = SystemBuilder::new()
+    let mut builder = SystemBuilder::new()
         .modules(case.modules())
         .link_mode(case.mode)
         .trampoline_flavor(flavor)
@@ -311,11 +371,15 @@ fn run_system(
         .demand_paging(case.demand)
         .machine_config(MachineConfig {
             demand_invalidate,
+            prelink_validate,
             ..MachineConfig::baseline()
         })
-        .accel(accel)
-        .build()
-        .map_err(|e| format!("system build: {e}"))?;
+        .accel(accel);
+    if let Some(snapshot) = boot {
+        builder = builder.prelink_snapshot(snapshot.clone());
+    }
+    let mut sys = builder.build().map_err(|e| format!("system build: {e}"))?;
+    let mut prelink: Vec<RestoreOutcome> = sys.prelink_outcome().into_iter().collect();
     let mut snaps: Vec<(EventKind, PerfCounters)> = Vec::new();
     for ev in &case.schedule {
         sys.run_until_marks(ev.at_mark as usize, RUN_BUDGET)
@@ -324,7 +388,9 @@ fn run_system(
             continue;
         }
         snaps.push((EventKind::from(&ev.event), sys.counters()));
-        apply_system_event(&mut sys, ev.event, injection)?;
+        if let Some(outcome) = apply_system_event(&mut sys, ev.event, injection)? {
+            prelink.push(outcome);
+        }
     }
     sys.run(RUN_BUDGET)
         .map_err(|e| format!("system run: {e}"))?;
@@ -343,6 +409,7 @@ fn run_system(
         digest,
         events: close_windows(snaps, &counters),
         counters,
+        prelink,
     })
 }
 
@@ -461,7 +528,23 @@ pub fn check_case_with_demand_invalidation(
     injection: Injection,
     invalidate: bool,
 ) -> CaseReport {
-    check_case_coverage_with_invalidation(case, injection, invalidate).0
+    check_case_coverage_full(case, injection, invalidate, true, false).0
+}
+
+/// [`check_case`] with the machine's prelink-validation knob switched
+/// explicitly. `validate = false` is the negative control for the
+/// stable-linking subsystem: restores replay snapshot entries verbatim
+/// — no fingerprint gate, no per-entry staleness check — so an entry
+/// tombstoned by an earlier `dlclose` is re-armed into GC-unmapped
+/// code, while the oracle (which always validates) skips it. The
+/// checked-in `corpus/stale_prelink_restore.txt` witness pins exactly
+/// this.
+pub fn check_case_with_prelink_validation(
+    case: &FuzzCase,
+    injection: Injection,
+    validate: bool,
+) -> CaseReport {
+    check_case_coverage_full(case, injection, true, validate, false).0
 }
 
 /// [`check_case`] plus the behavioral [`CoverageMap`] the case's system
@@ -470,19 +553,34 @@ pub fn check_case_with_demand_invalidation(
 /// map is a pure function of the case (the same runs already paid for),
 /// so coverage-guided scheduling costs no extra simulation.
 pub fn check_case_coverage(case: &FuzzCase, injection: Injection) -> (CaseReport, CoverageMap) {
-    check_case_coverage_with_invalidation(case, injection, true)
+    check_case_coverage_full(case, injection, true, true, false)
 }
 
-fn check_case_coverage_with_invalidation(
+/// [`check_case_coverage`] with the `--prelink` axis enabled: on top of
+/// the lazy matrix, a warm-up snapshot is captured, serialized,
+/// round-tripped and restored at boot into a prelink oracle plus a
+/// prelink system run per accel mode (see the module docs). The extra
+/// digests are compared pairwise, never folded into
+/// [`CaseReport::digest_fold`].
+pub fn check_case_coverage_prelink(
+    case: &FuzzCase,
+    injection: Injection,
+) -> (CaseReport, CoverageMap) {
+    check_case_coverage_full(case, injection, true, true, true)
+}
+
+fn check_case_coverage_full(
     case: &FuzzCase,
     injection: Injection,
     demand_invalidate: bool,
+    prelink_validate: bool,
+    prelink: bool,
 ) -> (CaseReport, CoverageMap) {
     let mut failures = Vec::new();
     let mut digest_fold = FNV_OFFSET;
     let mut coverage = CoverageMap::new();
     for &flavor in &FLAVORS {
-        let oracle = match run_oracle(case, flavor) {
+        let oracle = match run_oracle(case, flavor, None) {
             Ok(o) => o,
             Err(e) => {
                 failures.push(format!("[{flavor:?}/oracle] {e}"));
@@ -492,12 +590,23 @@ fn check_case_coverage_with_invalidation(
         digest_fold = fold64(digest_fold, oracle.digest.fold());
         let mut baseline: Option<PerfCounters> = None;
         for &accel in &ACCELS {
-            match run_system(case, flavor, accel, injection, demand_invalidate) {
+            match run_system(
+                case,
+                flavor,
+                accel,
+                injection,
+                demand_invalidate,
+                prelink_validate,
+                None,
+            ) {
                 Err(e) => failures.push(format!("[{flavor:?}/{accel:?}] {e}")),
                 Ok(run) => {
                     coverage.record_run(accel, PolicyCtx::SingleProcess, &run.counters);
                     for (kind, window) in &run.events {
                         coverage.record_event(accel, PolicyCtx::SingleProcess, *kind, window);
+                    }
+                    for outcome in &run.prelink {
+                        coverage.record_prelink(accel, PolicyCtx::SingleProcess, outcome);
                     }
                     if run.digest != oracle.digest {
                         failures.push(format!(
@@ -521,6 +630,19 @@ fn check_case_coverage_with_invalidation(
                 }
             }
         }
+        if prelink {
+            match prelink_arm(
+                case,
+                flavor,
+                injection,
+                demand_invalidate,
+                prelink_validate,
+                &mut coverage,
+            ) {
+                Ok(msgs) => failures.extend(msgs),
+                Err(e) => failures.push(format!("[{flavor:?}/prelink] {e}")),
+            }
+        }
     }
     (
         CaseReport {
@@ -530,6 +652,65 @@ fn check_case_coverage_with_invalidation(
         },
         coverage,
     )
+}
+
+/// The prelink round for one `(case, flavor)`: warm-up capture,
+/// `DLSN` round-trip, prelink-oracle golden run, and one prelink system
+/// run per accel mode checked against it (digest plus the full counter
+/// invariants). Returns the failure lines; a hard `Err` means the
+/// golden side itself could not be produced.
+fn prelink_arm(
+    case: &FuzzCase,
+    flavor: TrampolineFlavor,
+    injection: Injection,
+    demand_invalidate: bool,
+    prelink_validate: bool,
+    coverage: &mut CoverageMap,
+) -> Result<Vec<String>, String> {
+    let bytes = warm_snapshot_bytes(case, flavor)?;
+    let snapshot =
+        ResolutionSnapshot::decode(&bytes).map_err(|e| format!("snapshot round-trip: {e}"))?;
+    let oracle = run_oracle(case, flavor, Some(&snapshot))?;
+    let mut failures = Vec::new();
+    let mut baseline: Option<PerfCounters> = None;
+    for &accel in &ACCELS {
+        match run_system(
+            case,
+            flavor,
+            accel,
+            injection,
+            demand_invalidate,
+            prelink_validate,
+            Some(&snapshot),
+        ) {
+            Err(e) => failures.push(format!("[{flavor:?}/{accel:?}/prelink] {e}")),
+            Ok(run) => {
+                for outcome in &run.prelink {
+                    coverage.record_prelink(accel, PolicyCtx::SingleProcess, outcome);
+                }
+                if run.digest != oracle.digest {
+                    failures.push(format!(
+                        "[{flavor:?}/{accel:?}/prelink] architectural divergence: {}",
+                        oracle.digest.describe_diff(&run.digest)
+                    ));
+                }
+                for msg in check_counters(
+                    case,
+                    flavor,
+                    accel,
+                    &run.counters,
+                    baseline.as_ref(),
+                    &oracle,
+                ) {
+                    failures.push(format!("[{flavor:?}/{accel:?}/prelink] {msg}"));
+                }
+                if accel == LinkAccel::Off {
+                    baseline = Some(run.counters);
+                }
+            }
+        }
+    }
+    Ok(failures)
 }
 
 /// Aggregate result of a [`run_difftest`] sweep.
@@ -558,6 +739,12 @@ pub struct DiffReport {
 /// *after* generation (via [`FuzzCase::enable_demand`], salted with the
 /// case seed), so the demand-off report — and its state digest — stays
 /// bit-identical to the historical sweep.
+///
+/// `prelink` enables the stable-linking axis: every case additionally
+/// round-trips a warm-up snapshot through the `DLSN` format and checks
+/// boot-restored system runs against a boot-restored oracle. The extra
+/// runs never fold into the state digest, so the `--prelink` digest is
+/// byte-identical to the lazy sweep's.
 pub fn run_difftest(
     seed_start: u64,
     cases: u64,
@@ -565,6 +752,7 @@ pub fn run_difftest(
     injection: Injection,
     shrink: bool,
     demand: bool,
+    prelink: bool,
 ) -> DiffReport {
     let gen_case = move |seed: u64| {
         let mut case = FuzzCase::generate(seed);
@@ -573,21 +761,31 @@ pub fn run_difftest(
         }
         case
     };
+    let check = move |case: &FuzzCase| {
+        if prelink {
+            check_case_coverage_prelink(case, injection)
+        } else {
+            check_case_coverage(case, injection)
+        }
+    };
     let cells: Vec<Cell<(CaseReport, CoverageMap)>> = (0..cases)
         .map(|i| {
             let seed = seed_start + i;
-            Cell::new(format!("seed{seed}"), move |_ctx| {
-                check_case_coverage(&gen_case(seed), injection)
-            })
+            Cell::new(format!("seed{seed}"), move |_ctx| check(&gen_case(seed)))
         })
         .collect();
     let report = ParallelRunner::new(jobs).run(seed_start ^ 0xd1ff_7e57, cells);
 
     let mut output = format!(
-        "difftest: {cases} case(s), seeds {seed_start}..{}, {{Off,Abtb,AbtbNoBloom}} x {{X86,Arm}}{}{}\n",
+        "difftest: {cases} case(s), seeds {seed_start}..{}, {{Off,Abtb,AbtbNoBloom}} x {{X86,Arm}}{}{}{}\n",
         seed_start + cases,
         if demand {
             ", demand-fault events enabled"
+        } else {
+            ""
+        },
+        if prelink {
+            ", prelink restore enabled"
         } else {
             ""
         },
@@ -622,14 +820,20 @@ pub fn run_difftest(
 
     if let Some(seed) = first_failing.filter(|_| shrink) {
         let case = gen_case(seed);
-        let shrunk = shrink_case(&case, |c| !check_case(c, injection).failures.is_empty());
+        let shrunk = shrink_case(&case, |c| !check(c).0.failures.is_empty());
         output.push_str(&format!("shrunk minimal reproducer for seed {seed}:\n"));
         output.push_str(&format!("  {shrunk}\n"));
-        for f in check_case(&shrunk, injection).failures {
+        for f in check(&shrunk).0.failures {
             output.push_str(&format!("  {f}\n"));
         }
     }
 
+    if prelink {
+        output.push_str(&format!(
+            "difftest: prelink coverage {} key(s)\n",
+            coverage.count_prelink_facets()
+        ));
+    }
     output.push_str(&format!(
         "difftest: {failures} failure(s) across {cases} case(s); coverage {} key(s); state digest {digest:#018x}\n",
         coverage.count()
@@ -666,25 +870,33 @@ struct MultiSystemRun {
     /// Applied schedule events with their counter windows (see
     /// [`SystemRun::events`]); inapplicable no-op events are skipped.
     events: Vec<(EventKind, EventWindow)>,
+    /// Prelink restore outcomes: per-process boot restores (when
+    /// started in prelink mode) followed by mid-run `prelink` events.
+    prelink: Vec<RestoreOutcome>,
 }
 
 fn multi_machine_config(
     accel: LinkAccel,
     policy: SwitchPolicy,
     coherence_bus: bool,
+    prelink_validate: bool,
 ) -> MachineConfig {
     MachineConfig {
         accel,
         flush_abtb_on_context_switch: matches!(policy, SwitchPolicy::FlushOnSwitch),
         coherence_bus,
+        prelink_validate,
         ..MachineConfig::default()
     }
 }
 
-fn run_multi_oracle(
+/// Builds a fresh multi-process oracle for `case`. Demand paging is
+/// architecturally invisible, so (as before the prelink axis) the
+/// per-process link options are used as-is.
+fn build_multi_oracle(
     case: &MultiFuzzCase,
     flavor: TrampolineFlavor,
-) -> Result<MultiOracleRun, String> {
+) -> Result<MultiOracle, String> {
     let mut oracles = Vec::with_capacity(case.procs.len());
     for (p, proc) in case.procs.iter().enumerate() {
         let specs = proc.modules();
@@ -693,7 +905,43 @@ fn run_multi_oracle(
                 .map_err(|e| format!("oracle load (process {p}): {e}"))?,
         );
     }
-    let mut mo = MultiOracle::new(oracles, case.shared_got_pair);
+    Ok(MultiOracle::new(oracles, case.shared_got_pair))
+}
+
+/// Multi-process warm-up leg: runs every process straight to halt with
+/// no schedule events and serializes each one's snapshot.
+fn warm_multi_snapshot_bytes(
+    case: &MultiFuzzCase,
+    flavor: TrampolineFlavor,
+) -> Result<Vec<Vec<u8>>, String> {
+    let mut mo = build_multi_oracle(case, flavor)?;
+    for p in 0..mo.n_procs() {
+        mo.switch_to(p);
+        mo.run_active(RUN_BUDGET)
+            .map_err(|e| format!("warm oracle run (process {p}): {e}"))?;
+        if !mo.oracle(p).halted() {
+            return Err(format!(
+                "warm oracle process {p} exhausted its instruction budget"
+            ));
+        }
+    }
+    Ok((0..mo.n_procs())
+        .map(|p| mo.capture_snapshot_of(p).encode())
+        .collect())
+}
+
+fn run_multi_oracle(
+    case: &MultiFuzzCase,
+    flavor: TrampolineFlavor,
+    boot: Option<&[ResolutionSnapshot]>,
+) -> Result<MultiOracleRun, String> {
+    let mut mo = build_multi_oracle(case, flavor)?;
+    if let Some(snapshots) = boot {
+        for (p, snapshot) in snapshots.iter().enumerate() {
+            mo.restore_snapshot_for(p, snapshot)
+                .map_err(|e| format!("oracle boot restore (process {p}): {e}"))?;
+        }
+    }
     for ev in &case.schedule {
         mo.run_active_until_marks(ev.at_mark, RUN_BUDGET)
             .map_err(|e| format!("oracle run (process {}): {e}", mo.active()))?;
@@ -723,6 +971,11 @@ fn run_multi_oracle(
                 mo.apply_reopen_active(&format!("lib{lib}"))
                     .map_err(|e| format!("oracle reopen (process {}): {e}", mo.active()))?;
             }
+            MultiFuzzEvent::PrelinkRestore => {
+                mo.apply_prelink_restore_active().map_err(|e| {
+                    format!("oracle prelink restore (process {}): {e}", mo.active())
+                })?;
+            }
         }
     }
     for p in 0..mo.n_procs() {
@@ -741,26 +994,28 @@ fn run_multi_oracle(
     })
 }
 
+/// Applies one schedule event to the multi-process system; a `prelink`
+/// event reports its [`RestoreOutcome`] back for the coverage map.
 fn apply_multi_system_event(
     mps: &mut MultiProcessSystem,
     event: MultiFuzzEvent,
     injection: Injection,
-) -> Result<(), String> {
+) -> Result<Option<RestoreOutcome>, String> {
     match event {
         MultiFuzzEvent::Switch { to } => {
             mps.switch_to(to);
-            Ok(())
+            Ok(None)
         }
         MultiFuzzEvent::AbtbInvalidate => {
             mps.invalidate_abtb();
-            Ok(())
+            Ok(None)
         }
         MultiFuzzEvent::Unbind { lib } => {
             let name = format!("lib{lib}");
             match injection {
                 Injection::None => mps
                     .unbind_active(&name)
-                    .map(|_| ())
+                    .map(|_| None)
                     .map_err(|e| format!("unbind: {e}")),
                 Injection::DropInvalidate => {
                     let writes = mps.image(mps.active()).unbind_writes_for(&name);
@@ -770,7 +1025,7 @@ fn apply_multi_system_event(
                             .write_u64(slot, stub.as_u64())
                             .map_err(|e| format!("raw unbind write: {e}"))?;
                     }
-                    Ok(())
+                    Ok(None)
                 }
             }
         }
@@ -779,7 +1034,7 @@ fn apply_multi_system_event(
             match injection {
                 Injection::None => mps
                     .rebind_active(&symbol, "shadow")
-                    .map(|_| ())
+                    .map(|_| None)
                     .map_err(|e| format!("rebind: {e}")),
                 Injection::DropInvalidate => {
                     let image = mps.image(mps.active());
@@ -800,7 +1055,7 @@ fn apply_multi_system_event(
                             .write_u64(slot, target.as_u64())
                             .map_err(|e| format!("raw rebind write: {e}"))?;
                     }
-                    Ok(())
+                    Ok(None)
                 }
             }
         }
@@ -808,19 +1063,26 @@ fn apply_multi_system_event(
         // model, not `Injection` (see [`apply_system_event`]).
         MultiFuzzEvent::EvictColdPage { lib, page } => mps
             .evict_active_page(&format!("lib{lib}"), page)
-            .map(|_| ())
+            .map(|_| None)
             .map_err(|e| format!("evict: {e}")),
         MultiFuzzEvent::DlcloseModule { lib } => mps
             .dlclose_active(&format!("lib{lib}"))
-            .map(|_| ())
+            .map(|_| None)
             .map_err(|e| format!("dlclose: {e}")),
         MultiFuzzEvent::ReopenModule { lib } => mps
             .reopen_active(&format!("lib{lib}"))
-            .map(|_| ())
+            .map(|_| None)
             .map_err(|e| format!("reopen: {e}")),
+        // Prelink's bug model is the `prelink_validate` knob, not
+        // `Injection` (see [`apply_system_event`]).
+        MultiFuzzEvent::PrelinkRestore => mps
+            .prelink_restore_active()
+            .map(Some)
+            .map_err(|e| format!("prelink restore: {e}")),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_multi_system(
     case: &MultiFuzzCase,
     flavor: TrampolineFlavor,
@@ -828,6 +1090,8 @@ fn run_multi_system(
     policy: SwitchPolicy,
     injection: Injection,
     coherence_bus: bool,
+    prelink_validate: bool,
+    boot: Option<&[ResolutionSnapshot]>,
 ) -> Result<MultiSystemRun, String> {
     let procs = case
         .procs
@@ -840,13 +1104,21 @@ fn run_multi_system(
             (p.modules(), opts)
         })
         .collect();
-    let mut mps = MultiProcessSystem::new_with_cores(
+    let boot_snapshots = match boot {
+        Some(snapshots) => snapshots.iter().cloned().map(Some).collect(),
+        None => Vec::new(),
+    };
+    let mut mps = MultiProcessSystem::new_with_cores_prelink(
         procs,
-        multi_machine_config(accel, policy, coherence_bus),
+        multi_machine_config(accel, policy, coherence_bus, prelink_validate),
         case.shared_got_pair,
         case.cores.max(1),
+        boot_snapshots,
     )
     .map_err(|e| format!("system build: {e}"))?;
+    let mut prelink: Vec<RestoreOutcome> = (0..mps.n_procs())
+        .filter_map(|p| mps.prelink_outcome_of(p))
+        .collect();
     let mut snaps: Vec<(EventKind, PerfCounters)> = Vec::new();
     for ev in &case.schedule {
         mps.run_active_until_marks(ev.at_mark, RUN_BUDGET)
@@ -855,7 +1127,9 @@ fn run_multi_system(
             continue;
         }
         snaps.push((EventKind::from(&ev.event), mps.counters()));
-        apply_multi_system_event(&mut mps, ev.event, injection)?;
+        if let Some(outcome) = apply_multi_system_event(&mut mps, ev.event, injection)? {
+            prelink.push(outcome);
+        }
     }
     for p in 0..mps.n_procs() {
         mps.switch_to(p);
@@ -890,6 +1164,7 @@ fn run_multi_system(
         per_core,
         thread_switches: mps.thread_switches(),
         thread_switches_per_core,
+        prelink,
     })
 }
 
@@ -1067,7 +1342,18 @@ pub fn check_multi_case_with_bus(
     injection: Injection,
     coherence_bus: bool,
 ) -> CaseReport {
-    check_multi_case_coverage_with_bus(case, injection, coherence_bus).0
+    check_multi_case_coverage_full(case, injection, coherence_bus, true, false).0
+}
+
+/// [`check_multi_case`] with the machine's prelink-validation knob
+/// switched explicitly (see [`check_case_with_prelink_validation`] for
+/// the bug model the `validate = false` negative control exposes).
+pub fn check_multi_case_with_prelink_validation(
+    case: &MultiFuzzCase,
+    injection: Injection,
+    validate: bool,
+) -> CaseReport {
+    check_multi_case_coverage_full(case, injection, true, validate, false).0
 }
 
 /// [`check_multi_case`] plus the behavioral [`CoverageMap`] its runs
@@ -1078,19 +1364,33 @@ pub fn check_multi_case_coverage(
     case: &MultiFuzzCase,
     injection: Injection,
 ) -> (CaseReport, CoverageMap) {
-    check_multi_case_coverage_with_bus(case, injection, true)
+    check_multi_case_coverage_full(case, injection, true, true, false)
 }
 
-fn check_multi_case_coverage_with_bus(
+/// [`check_multi_case_coverage`] with the `--prelink` axis enabled:
+/// per-process warm-up snapshots are captured, round-tripped through
+/// the `DLSN` format, restored at boot into a prelink multi-oracle and
+/// into prelink system runs across the full accel × policy matrix. The
+/// extra digests never fold into [`CaseReport::digest_fold`].
+pub fn check_multi_case_coverage_prelink(
+    case: &MultiFuzzCase,
+    injection: Injection,
+) -> (CaseReport, CoverageMap) {
+    check_multi_case_coverage_full(case, injection, true, true, true)
+}
+
+fn check_multi_case_coverage_full(
     case: &MultiFuzzCase,
     injection: Injection,
     coherence_bus: bool,
+    prelink_validate: bool,
+    prelink: bool,
 ) -> (CaseReport, CoverageMap) {
     let mut failures = Vec::new();
     let mut digest_fold = FNV_OFFSET;
     let mut coverage = CoverageMap::new();
     for &flavor in &FLAVORS {
-        let oracle = match run_multi_oracle(case, flavor) {
+        let oracle = match run_multi_oracle(case, flavor, None) {
             Ok(o) => o,
             Err(e) => {
                 failures.push(format!("[{flavor:?}/oracle] {e}"));
@@ -1100,47 +1400,29 @@ fn check_multi_case_coverage_with_bus(
         for d in &oracle.digests {
             digest_fold = fold64(digest_fold, d.fold());
         }
-        for &policy in &POLICIES {
-            let mut baseline: Option<PerfCounters> = None;
-            for &accel in &ACCELS {
-                match run_multi_system(case, flavor, accel, policy, injection, coherence_bus) {
-                    Err(e) => failures.push(format!("[{flavor:?}/{accel:?}/{policy:?}] {e}")),
-                    Ok(run) => {
-                        coverage.record_run(accel, policy.into(), &run.counters);
-                        coverage.record_multicore_run(
-                            accel,
-                            policy.into(),
-                            case.cores,
-                            &run.counters,
-                        );
-                        for (kind, window) in &run.events {
-                            coverage.record_event(accel, policy.into(), *kind, window);
-                        }
-                        for (p, (got, want)) in
-                            run.digests.iter().zip(oracle.digests.iter()).enumerate()
-                        {
-                            if got != want {
-                                failures.push(format!(
-                                    "[{flavor:?}/{accel:?}/{policy:?}] process {p} architectural divergence: {}",
-                                    want.describe_diff(got)
-                                ));
-                            }
-                        }
-                        for msg in check_multi_counters(
-                            flavor,
-                            accel,
-                            policy,
-                            &run,
-                            baseline.as_ref(),
-                            &oracle,
-                        ) {
-                            failures.push(format!("[{flavor:?}/{accel:?}/{policy:?}] {msg}"));
-                        }
-                        if accel == LinkAccel::Off {
-                            baseline = Some(run.counters);
-                        }
-                    }
-                }
+        multi_matrix(
+            case,
+            flavor,
+            injection,
+            coherence_bus,
+            prelink_validate,
+            None,
+            &oracle,
+            &mut coverage,
+            &mut failures,
+        );
+        if prelink {
+            match multi_prelink_arm(
+                case,
+                flavor,
+                injection,
+                coherence_bus,
+                prelink_validate,
+                &mut coverage,
+                &mut failures,
+            ) {
+                Ok(()) => {}
+                Err(e) => failures.push(format!("[{flavor:?}/prelink] {e}")),
             }
         }
     }
@@ -1154,6 +1436,117 @@ fn check_multi_case_coverage_with_bus(
     )
 }
 
+/// Runs the accel × policy system matrix for one `(case, flavor)`
+/// against `oracle`, appending failures and recording coverage. `boot`
+/// selects the prelink round (suffixing labels with `/prelink`).
+#[allow(clippy::too_many_arguments)]
+fn multi_matrix(
+    case: &MultiFuzzCase,
+    flavor: TrampolineFlavor,
+    injection: Injection,
+    coherence_bus: bool,
+    prelink_validate: bool,
+    boot: Option<&[ResolutionSnapshot]>,
+    oracle: &MultiOracleRun,
+    coverage: &mut CoverageMap,
+    failures: &mut Vec<String>,
+) {
+    let suffix = if boot.is_some() { "/prelink" } else { "" };
+    for &policy in &POLICIES {
+        let mut baseline: Option<PerfCounters> = None;
+        for &accel in &ACCELS {
+            match run_multi_system(
+                case,
+                flavor,
+                accel,
+                policy,
+                injection,
+                coherence_bus,
+                prelink_validate,
+                boot,
+            ) {
+                Err(e) => {
+                    failures.push(format!("[{flavor:?}/{accel:?}/{policy:?}{suffix}] {e}"));
+                }
+                Ok(run) => {
+                    // The prelink round only records its restore
+                    // outcomes: run/event coverage would double-count
+                    // the lazy matrix's keys.
+                    if boot.is_none() {
+                        coverage.record_run(accel, policy.into(), &run.counters);
+                        coverage.record_multicore_run(
+                            accel,
+                            policy.into(),
+                            case.cores,
+                            &run.counters,
+                        );
+                        for (kind, window) in &run.events {
+                            coverage.record_event(accel, policy.into(), *kind, window);
+                        }
+                    }
+                    for outcome in &run.prelink {
+                        coverage.record_prelink(accel, policy.into(), outcome);
+                    }
+                    for (p, (got, want)) in
+                        run.digests.iter().zip(oracle.digests.iter()).enumerate()
+                    {
+                        if got != want {
+                            failures.push(format!(
+                                "[{flavor:?}/{accel:?}/{policy:?}{suffix}] process {p} architectural divergence: {}",
+                                want.describe_diff(got)
+                            ));
+                        }
+                    }
+                    for msg in
+                        check_multi_counters(flavor, accel, policy, &run, baseline.as_ref(), oracle)
+                    {
+                        failures.push(format!("[{flavor:?}/{accel:?}/{policy:?}{suffix}] {msg}"));
+                    }
+                    if accel == LinkAccel::Off {
+                        baseline = Some(run.counters);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Multi-process prelink round: warm-up capture per process, `DLSN`
+/// round-trip, prelink multi-oracle golden run, and the full system
+/// matrix restored from the same bytes checked against it.
+fn multi_prelink_arm(
+    case: &MultiFuzzCase,
+    flavor: TrampolineFlavor,
+    injection: Injection,
+    coherence_bus: bool,
+    prelink_validate: bool,
+    coverage: &mut CoverageMap,
+    failures: &mut Vec<String>,
+) -> Result<(), String> {
+    let all_bytes = warm_multi_snapshot_bytes(case, flavor)?;
+    let snapshots = all_bytes
+        .iter()
+        .enumerate()
+        .map(|(p, bytes)| {
+            ResolutionSnapshot::decode(bytes)
+                .map_err(|e| format!("snapshot round-trip (process {p}): {e}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let oracle = run_multi_oracle(case, flavor, Some(&snapshots))?;
+    multi_matrix(
+        case,
+        flavor,
+        injection,
+        coherence_bus,
+        prelink_validate,
+        Some(&snapshots),
+        &oracle,
+        coverage,
+        failures,
+    );
+    Ok(())
+}
+
 /// Multi-process analogue of [`run_difftest`]: checks `cases`
 /// consecutive [`MultiFuzzCase`] seeds, sharded over `jobs` workers,
 /// optionally shrinking the first failure with
@@ -1165,6 +1558,9 @@ fn check_multi_case_coverage_with_bus(
 /// are identical at every `--cores` level; only the system side (and
 /// the coverage footer) changes. At `cores <= 1` the report is
 /// byte-identical to the historical single-core sweep.
+/// `prelink` enables the stable-linking axis (see [`run_difftest`]);
+/// the extra runs never fold into the state digest.
+#[allow(clippy::too_many_arguments)]
 pub fn run_multi_difftest(
     seed_start: u64,
     cases: u64,
@@ -1173,6 +1569,7 @@ pub fn run_multi_difftest(
     shrink: bool,
     cores: usize,
     demand: bool,
+    prelink: bool,
 ) -> DiffReport {
     let cores = cores.max(1);
     let gen_case = move |seed: u64| {
@@ -1183,18 +1580,23 @@ pub fn run_multi_difftest(
         }
         case
     };
+    let check = move |case: &MultiFuzzCase| {
+        if prelink {
+            check_multi_case_coverage_prelink(case, injection)
+        } else {
+            check_multi_case_coverage(case, injection)
+        }
+    };
     let cells: Vec<Cell<(CaseReport, CoverageMap)>> = (0..cases)
         .map(|i| {
             let seed = seed_start + i;
-            Cell::new(format!("seed{seed}"), move |_ctx| {
-                check_multi_case_coverage(&gen_case(seed), injection)
-            })
+            Cell::new(format!("seed{seed}"), move |_ctx| check(&gen_case(seed)))
         })
         .collect();
     let report = ParallelRunner::new(jobs).run(seed_start ^ 0x6d75_6c74, cells);
 
     let mut output = format!(
-        "multi difftest: {cases} case(s), seeds {seed_start}..{}, {{Off,Abtb,AbtbNoBloom}} x {{X86,Arm}} x {{FlushOnSwitch,AsidTagged}}{}{}{}\n",
+        "multi difftest: {cases} case(s), seeds {seed_start}..{}, {{Off,Abtb,AbtbNoBloom}} x {{X86,Arm}} x {{FlushOnSwitch,AsidTagged}}{}{}{}{}\n",
         seed_start + cases,
         if cores > 1 {
             format!(" on {cores} cores")
@@ -1203,6 +1605,11 @@ pub fn run_multi_difftest(
         },
         if demand {
             ", demand-fault events enabled"
+        } else {
+            ""
+        },
+        if prelink {
+            ", prelink restore enabled"
         } else {
             ""
         },
@@ -1237,14 +1644,12 @@ pub fn run_multi_difftest(
 
     if let Some(seed) = first_failing.filter(|_| shrink) {
         let case = gen_case(seed);
-        let shrunk = shrink_multi_case(&case, |c| {
-            !check_multi_case(c, injection).failures.is_empty()
-        });
+        let shrunk = shrink_multi_case(&case, |c| !check(c).0.failures.is_empty());
         output.push_str(&format!("shrunk minimal reproducer for seed {seed}:\n"));
         for line in shrunk.to_string().lines() {
             output.push_str(&format!("  {line}\n"));
         }
-        for f in check_multi_case(&shrunk, injection).failures {
+        for f in check(&shrunk).0.failures {
             output.push_str(&format!("  {f}\n"));
         }
     }
@@ -1253,6 +1658,12 @@ pub fn run_multi_difftest(
         output.push_str(&format!(
             "multi difftest: core coverage {} key(s)\n",
             coverage.count_core_facets()
+        ));
+    }
+    if prelink {
+        output.push_str(&format!(
+            "multi difftest: prelink coverage {} key(s)\n",
+            coverage.count_prelink_facets()
         ));
     }
     output.push_str(&format!(
@@ -1286,7 +1697,7 @@ mod tests {
 
     #[test]
     fn report_counts_match_failure_lines() {
-        let r = run_difftest(0, 6, 2, Injection::None, false, false);
+        let r = run_difftest(0, 6, 2, Injection::None, false, false, false);
         assert_eq!(r.cases, 6);
         assert_eq!(r.failures, 0, "{}", r.output);
         assert!(r.output.contains("0 failure(s) across 6 case(s)"));
@@ -1306,7 +1717,7 @@ mod tests {
 
     #[test]
     fn multi_report_counts_match_failure_lines() {
-        let r = run_multi_difftest(0, 4, 2, Injection::None, false, 1, false);
+        let r = run_multi_difftest(0, 4, 2, Injection::None, false, 1, false, false);
         assert_eq!(r.cases, 4);
         assert_eq!(r.failures, 0, "{}", r.output);
         assert!(r.output.contains("0 failure(s) across 4 case(s)"));
@@ -1371,13 +1782,84 @@ mod tests {
         // the demand report must be byte-identical at every job level —
         // and the demand-off sweep's digest is the historical one, so
         // the demand flag provably never leaks into generation.
-        let eager = run_difftest(0, 20, 2, Injection::None, false, false);
-        let demand = run_difftest(0, 20, 2, Injection::None, false, true);
+        let eager = run_difftest(0, 20, 2, Injection::None, false, false, false);
+        let demand = run_difftest(0, 20, 2, Injection::None, false, true, false);
         assert_eq!(eager.failures, 0, "{}", eager.output);
         assert_eq!(demand.failures, 0, "{}", demand.output);
         assert!(demand.output.contains("demand-fault events enabled"));
-        let demand4 = run_difftest(0, 20, 4, Injection::None, false, true);
+        let demand4 = run_difftest(0, 20, 4, Injection::None, false, true, false);
         assert_eq!(demand.output, demand4.output);
+    }
+
+    #[test]
+    fn prelink_cases_produce_no_failures() {
+        for seed in 0..8 {
+            let (report, _) =
+                check_case_coverage_prelink(&FuzzCase::generate(seed), Injection::None);
+            assert!(
+                report.failures.is_empty(),
+                "seed {seed}: {:?}",
+                report.failures
+            );
+        }
+    }
+
+    #[test]
+    fn prelink_sweep_is_clean_and_digest_matches_lazy() {
+        let lazy = run_difftest(0, 12, 2, Injection::None, false, false, false);
+        let pre = run_difftest(0, 12, 2, Injection::None, false, false, true);
+        assert_eq!(pre.failures, 0, "{}", pre.output);
+        assert!(
+            pre.output.contains("prelink restore enabled"),
+            "{}",
+            pre.output
+        );
+        let line = pre
+            .output
+            .lines()
+            .find(|l| l.contains("prelink coverage"))
+            .expect("prelink footer line");
+        assert!(
+            !line.contains("prelink coverage 0 key(s)"),
+            "a prelink sweep must exercise at least one restore facet: {line}"
+        );
+        // Prelink runs are compared pairwise, never folded: the state
+        // digest is byte-identical to the lazy sweep's.
+        assert_eq!(pre.digest, lazy.digest);
+        assert!(
+            !lazy.output.contains("prelink coverage"),
+            "plain sweeps must stay byte-identical to the historical format"
+        );
+        let pre4 = run_difftest(0, 12, 4, Injection::None, false, false, true);
+        assert_eq!(pre.output, pre4.output);
+    }
+
+    #[test]
+    fn multi_prelink_sweep_is_clean_and_digest_matches_lazy() {
+        let lazy = run_multi_difftest(0, 4, 2, Injection::None, false, 2, false, false);
+        let pre = run_multi_difftest(0, 4, 2, Injection::None, false, 2, false, true);
+        assert_eq!(pre.failures, 0, "{}", pre.output);
+        assert!(
+            pre.output.contains("prelink restore enabled"),
+            "{}",
+            pre.output
+        );
+        let line = pre
+            .output
+            .lines()
+            .find(|l| l.contains("prelink coverage"))
+            .expect("prelink footer line");
+        assert!(!line.contains("prelink coverage 0 key(s)"), "{line}");
+        assert_eq!(pre.digest, lazy.digest);
+    }
+
+    #[test]
+    fn prelink_validation_knob_on_matches_plain_check() {
+        let case = FuzzCase::generate(3);
+        let plain = check_case(&case, Injection::None);
+        let knob_on = check_case_with_prelink_validation(&case, Injection::None, true);
+        assert_eq!(plain.failures, knob_on.failures);
+        assert_eq!(plain.digest_fold, knob_on.digest_fold);
     }
 
     #[test]
@@ -1392,7 +1874,7 @@ mod tests {
 
     #[test]
     fn multicore_report_carries_core_coverage() {
-        let r = run_multi_difftest(0, 3, 2, Injection::None, false, 2, false);
+        let r = run_multi_difftest(0, 3, 2, Injection::None, false, 2, false, false);
         assert_eq!(r.failures, 0, "{}", r.output);
         assert!(r.output.contains("on 2 cores"), "{}", r.output);
         let line = r
@@ -1406,7 +1888,7 @@ mod tests {
         );
         // The oracle never sees the core count, so the digest matches
         // the single-core sweep over the same seeds.
-        let single = run_multi_difftest(0, 3, 2, Injection::None, false, 1, false);
+        let single = run_multi_difftest(0, 3, 2, Injection::None, false, 1, false, false);
         assert_eq!(r.digest, single.digest);
     }
 }

@@ -4,7 +4,7 @@ use std::fmt;
 
 use dynlink_core::{LinkMode, MachineConfig, PerfCounters};
 use dynlink_isa::VirtAddr;
-use dynlink_trace::{abtb_skip_percentages, TrampolineStats, TrampolineTracer};
+use dynlink_trace::{abtb_skip_percentages, lock_recovering, TrampolineStats, TrampolineTracer};
 use dynlink_uarch::ABTB_ENTRY_BYTES;
 use dynlink_workloads::{
     apache, firefox, generate, memcached, mysql, run_workload_observed, WorkloadProfile,
@@ -117,7 +117,10 @@ pub fn collect(profile: &WorkloadProfile, requests: u64, warmup: u64) -> Workloa
         None,
     )
     .expect("enhanced run completes");
-    let tracer = tracer.lock().expect("tracer mutex poisoned");
+    // The parallel runner isolates cell panics; a panicking observed run
+    // would poison this mutex, so recover the guard instead of
+    // propagating a second panic out of the reporting path.
+    let tracer = lock_recovering(&tracer);
     WorkloadDataset {
         name: profile.name.clone(),
         profile: profile.clone(),
@@ -174,7 +177,7 @@ pub fn collect_all_jobs(scale: Scale, jobs: usize) -> Vec<WorkloadDataset> {
                 )
                 .expect("baseline run completes");
                 ctx.record_counters(&run.counters);
-                let tracer = tracer.lock().expect("tracer mutex poisoned");
+                let tracer = lock_recovering(&tracer);
                 Half::Base(run, tracer.stats(), tracer.sequence().to_vec())
             },
         ));
@@ -1113,7 +1116,7 @@ pub fn btb_pressure(scale: Scale) -> BtbPressureReport {
             Some(obs.clone()),
         )
         .expect("baseline run completes");
-        let p = obs.lock().expect("observer mutex poisoned");
+        let p = lock_recovering(&obs);
         rows.push((
             profile.name.clone(),
             p.call_sites(),

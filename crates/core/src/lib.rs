@@ -58,8 +58,12 @@ pub use system::{System, SystemBuilder};
 pub use dynlink_cpu::{
     CpuError, LinkAccel, MachineConfig, MarkEvent, Penalties, RetireEvent, RetireObserver, RunExit,
 };
-pub use dynlink_linker::{LinkMode, LinkOptions, TrampolineFlavor};
+pub use dynlink_linker::{
+    LinkMode, LinkOptions, ResolutionSnapshot, RestoreOutcome, SnapshotBuilder, SnapshotError,
+    TrampolineFlavor,
+};
 pub use dynlink_mem::layout::LibraryPlacement;
+pub use dynlink_trace::{ResolutionKind, ResolutionRecord, TelemetryWriter};
 pub use dynlink_uarch::PerfCounters;
 
 /// One-line import of the vocabulary types.

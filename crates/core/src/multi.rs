@@ -16,10 +16,12 @@ use std::sync::{Arc, Mutex};
 use dynlink_cpu::{CpuError, Machine, MachineBuilder, MachineConfig, ProcessContext};
 use dynlink_isa::{Reg, VirtAddr};
 use dynlink_linker::{
-    LinkMode, LinkOptions, Loader, ModuleSpec, ProcessImage, ResolutionTable, RESOLVER_HOST_FN,
+    fingerprint, LinkMode, LinkOptions, Loader, ModuleSpec, ProcessImage, ResolutionSnapshot,
+    ResolutionTable, RestoreOutcome, SnapshotBuilder, SnapshotEntry, RESOLVER_HOST_FN,
 };
 use dynlink_mem::layout::STACK_TOP;
 use dynlink_mem::{AddressSpace, Perms, PAGE_BYTES};
+use dynlink_trace::{lock_recovering, ResolutionKind, ResolutionRecord, TelemetryWriter};
 use dynlink_uarch::PerfCounters;
 
 use crate::system::GcRemnant;
@@ -75,6 +77,17 @@ pub struct MultiProcessSystem {
     /// Whether each process was loaded with demand paging (lazy mode),
     /// so a reopen re-registers extents without faulting them in.
     demand: Vec<bool>,
+    /// One in-memory prelink cache per process (lazy resolutions and
+    /// rebinds recorded, `dlclose` victims tombstoned).
+    builders: Arc<Mutex<Vec<SnapshotBuilder>>>,
+    /// Resolution telemetry, shared across processes in event order.
+    telemetry: Arc<Mutex<TelemetryWriter>>,
+    /// Each process's load-time ifunc hardware level (part of its
+    /// snapshot fingerprint).
+    hw_levels: Vec<usize>,
+    /// What each process's boot-time prelink restore did, when built
+    /// via [`MultiProcessSystem::new_with_cores_prelink`].
+    prelink_outcomes: Vec<Option<RestoreOutcome>>,
 }
 
 impl MultiProcessSystem {
@@ -117,6 +130,29 @@ impl MultiProcessSystem {
         shared_got_pair: Option<(usize, usize)>,
         cores: usize,
     ) -> Result<Self, SystemError> {
+        Self::new_with_cores_prelink(procs, cfg, shared_got_pair, cores, Vec::new())
+    }
+
+    /// [`MultiProcessSystem::new_with_cores`] in the `Prelink` start
+    /// mode: `prelink[p]`, when present, is a serialized resolution
+    /// snapshot restored into process `p` right after boot (fingerprint
+    /// and validation rules as in `System::restore_snapshot`; fallback
+    /// to lazy on mismatch). Query
+    /// [`MultiProcessSystem::prelink_outcome_of`] for what each restore
+    /// did.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiProcessSystem::new_with_cores`]; additionally
+    /// propagates memory faults from restoring a snapshot with
+    /// validation off.
+    pub fn new_with_cores_prelink(
+        procs: Vec<(Vec<ModuleSpec>, LinkOptions)>,
+        cfg: MachineConfig,
+        shared_got_pair: Option<(usize, usize)>,
+        cores: usize,
+        prelink: Vec<Option<ResolutionSnapshot>>,
+    ) -> Result<Self, SystemError> {
         if procs.is_empty() || cores == 0 {
             return Err(SystemError::NoModules);
         }
@@ -131,6 +167,8 @@ impl MultiProcessSystem {
         let mut table_vec = Vec::with_capacity(n);
         let mut module_refs: HashMap<String, usize> = HashMap::new();
         let mut demand = Vec::with_capacity(n);
+        let mut hw_levels = Vec::with_capacity(n);
+        let mut eager_telemetry = TelemetryWriter::new();
         for (i, (specs, opts)) in procs.iter().enumerate() {
             let mut space = AddressSpace::new(i as u64 + 1);
             let image = Loader::new(*opts).load(specs, "main", &mut space)?;
@@ -139,22 +177,41 @@ impl MultiProcessSystem {
                 *module_refs.entry(m.name.clone()).or_insert(0) += 1;
             }
             demand.push(opts.demand_paging && opts.mode == LinkMode::DynamicLazy);
+            hw_levels.push(opts.hw_level);
+            if opts.mode == LinkMode::DynamicNow {
+                // Load-time binds: telemetry only, never the prelink
+                // cache (see `SystemBuilder::build`).
+                for b in image.resolution().iter() {
+                    eager_telemetry.record(
+                        b.module,
+                        b.import,
+                        ResolutionKind::Eager,
+                        b.got_slot,
+                        b.target,
+                        0,
+                    );
+                }
+            }
             table_vec.push(image.resolution().clone());
             images.push(image);
             contexts.push(ctx);
         }
         let tables: SharedTables = Arc::new(Mutex::new((0, table_vec)));
+        let builders = Arc::new(Mutex::new(vec![SnapshotBuilder::new(); n]));
+        let telemetry = Arc::new(Mutex::new(eager_telemetry));
 
         let mut machine = MachineBuilder::new(cfg)
             .cores(cores)
             .build(AddressSpace::new(0));
         let dispatch = Arc::clone(&tables);
+        let builders_handle = Arc::clone(&builders);
+        let telemetry_handle = Arc::clone(&telemetry);
         let explicit_invalidate = !machine.config().accel.has_bloom();
         machine.register_host_fn(
             RESOLVER_HOST_FN,
             Box::new(move |ctx| {
                 let key = ctx.reg(Reg::SCRATCH);
-                let (got_slot, target) = {
+                let (active, module, import, got_slot, target, owner) = {
                     let guard = dispatch.lock().expect("resolution mutex poisoned");
                     let (active, ref tables) = *guard;
                     let binding = tables[active]
@@ -162,9 +219,14 @@ impl MultiProcessSystem {
                         .expect("lazy stub fired with unknown binding key");
                     // A binding into a `dlclose`d module resolves
                     // through to the next open provider.
+                    let target = tables[active].effective_target(&binding.symbol, binding.target);
                     (
+                        active,
+                        binding.module,
+                        binding.import,
                         binding.got_slot,
-                        tables[active].effective_target(&binding.symbol, binding.target),
+                        target,
+                        tables[active].owner_of(target),
                     )
                 };
                 ctx.store_u64(got_slot, target.as_u64())
@@ -174,6 +236,19 @@ impl MultiProcessSystem {
                 }
                 ctx.set_pc(target);
                 ctx.count_resolver();
+                let epoch = {
+                    let mut bs = lock_recovering(&builders_handle);
+                    bs[active].record(module, import, got_slot, target, owner);
+                    bs[active].epoch()
+                };
+                lock_recovering(&telemetry_handle).record(
+                    module,
+                    import,
+                    ResolutionKind::Lazy,
+                    got_slot,
+                    target,
+                    epoch,
+                );
             }),
         );
 
@@ -192,7 +267,7 @@ impl MultiProcessSystem {
         let mut resident = vec![None; cores];
         resident[0] = Some(0);
 
-        Ok(MultiProcessSystem {
+        let mut mps = MultiProcessSystem {
             machine,
             contexts,
             images,
@@ -207,7 +282,18 @@ impl MultiProcessSystem {
             module_refs,
             gc_remnants: vec![HashMap::new(); n],
             demand,
-        })
+            builders,
+            telemetry,
+            hw_levels,
+            prelink_outcomes: vec![None; n],
+        };
+        for (p, snap) in prelink.iter().enumerate().take(n) {
+            if let Some(snap) = snap {
+                let outcome = mps.restore_snapshot_for(p, snap)?;
+                mps.prelink_outcomes[p] = Some(outcome);
+            }
+        }
+        Ok(mps)
     }
 
     /// Number of processes.
@@ -454,6 +540,7 @@ impl MultiProcessSystem {
                 symbol: symbol.to_owned(),
                 provider: provider.to_owned(),
             })?;
+        let provider_idx = module.index;
         let slots: Vec<(usize, usize, VirtAddr)> = image
             .modules()
             .iter()
@@ -476,6 +563,16 @@ impl MultiProcessSystem {
             if let Some(b) = guard.1[active].binding_mut(module_idx, import_idx) {
                 b.target = new_target;
             }
+            drop(guard);
+            // The rebound slot supersedes the prelink cache's record
+            // (and clears any tombstone).
+            lock_recovering(&self.builders)[self.active].record(
+                module_idx,
+                import_idx,
+                got_slot,
+                new_target,
+                Some(provider_idx),
+            );
             n += 1;
         }
         if n > 0 && !self.machine.config().accel.has_bloom() {
@@ -528,6 +625,10 @@ impl MultiProcessSystem {
             n += 1;
         }
         self.tables.lock().expect("resolution mutex poisoned").1[p].close_module(idx);
+        // Tombstone the victim's entries in this process's prelink
+        // cache: its code pages are about to be GC-unmapped, so a later
+        // restore must never re-arm a GOT slot into them.
+        lock_recovering(&self.builders)[p].tombstone(idx);
         let extents = self.images[p].code_extents_of(victim);
         let code = extents
             .iter()
@@ -623,6 +724,124 @@ impl MultiProcessSystem {
         let pages = text_len.div_ceil(PAGE_BYTES);
         let addr = text_base + (page % pages) * PAGE_BYTES;
         Ok(self.machine.evict_code_page(addr)?)
+    }
+
+    /// Freezes process `p`'s in-memory prelink cache into a
+    /// serializable snapshot stamped with that process's live
+    /// [`fingerprint`].
+    pub fn capture_snapshot_of(&self, p: usize) -> ResolutionSnapshot {
+        let guard = self.tables.lock().expect("resolution mutex poisoned");
+        let fp = fingerprint(&self.images[p], &guard.1[p], self.hw_levels[p]);
+        drop(guard);
+        lock_recovering(&self.builders)[p].snapshot(fp)
+    }
+
+    /// Restores a serialized snapshot into process `p` (rules as in
+    /// `System::restore_snapshot`: fingerprint gate plus per-entry
+    /// validation when [`MachineConfig::prelink_validate`] is on,
+    /// verbatim replay when off). The active process's GOT writes go
+    /// through the machine's external-store path; a suspended process's
+    /// go straight into its parked address space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults from GOT writes.
+    pub fn restore_snapshot_for(
+        &mut self,
+        p: usize,
+        snapshot: &ResolutionSnapshot,
+    ) -> Result<RestoreOutcome, SystemError> {
+        let validate = self.machine.config().prelink_validate;
+        if validate {
+            let guard = self.tables.lock().expect("resolution mutex poisoned");
+            let live = fingerprint(&self.images[p], &guard.1[p], self.hw_levels[p]);
+            if snapshot.fingerprint != live {
+                return Ok(RestoreOutcome::Fallback);
+            }
+        }
+        self.install_entries_for(p, &snapshot.entries, validate)
+    }
+
+    /// Re-installs the *active* process's own in-memory prelink cache
+    /// into its GOT — the mid-run `prelink` schedule event (see
+    /// `System::prelink_restore_self`). With
+    /// [`MachineConfig::prelink_validate`] off, entries tombstoned by
+    /// an earlier `dlclose` are re-armed into GC-unmapped code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults from GOT writes.
+    pub fn prelink_restore_active(&mut self) -> Result<RestoreOutcome, SystemError> {
+        let p = self.active;
+        let entries: Vec<SnapshotEntry> =
+            lock_recovering(&self.builders)[p].iter().copied().collect();
+        let validate = self.machine.config().prelink_validate;
+        self.install_entries_for(p, &entries, validate)
+    }
+
+    fn install_entries_for(
+        &mut self,
+        p: usize,
+        entries: &[SnapshotEntry],
+        validate: bool,
+    ) -> Result<RestoreOutcome, SystemError> {
+        let mut installed = 0;
+        let mut skipped = 0;
+        let epoch = lock_recovering(&self.builders)[p].epoch();
+        for e in entries {
+            let skip = validate && {
+                let guard = self.tables.lock().expect("resolution mutex poisoned");
+                e.should_skip(&guard.1[p])
+            };
+            if skip {
+                skipped += 1;
+                lock_recovering(&self.telemetry).record(
+                    e.module as usize,
+                    e.import as usize,
+                    ResolutionKind::CacheMiss,
+                    e.got_slot,
+                    e.target,
+                    epoch,
+                );
+                continue;
+            }
+            if p == self.active {
+                self.machine
+                    .space_mut()
+                    .write_u64(e.got_slot, e.target.as_u64())?;
+                self.machine.broadcast_store(e.got_slot);
+            } else {
+                self.contexts[p]
+                    .space_mut()
+                    .write_u64(e.got_slot, e.target.as_u64())?;
+            }
+            installed += 1;
+            lock_recovering(&self.telemetry).record(
+                e.module as usize,
+                e.import as usize,
+                ResolutionKind::CacheHit,
+                e.got_slot,
+                e.target,
+                epoch,
+            );
+        }
+        if installed > 0 && p == self.active && !self.machine.config().accel.has_bloom() {
+            self.machine.invalidate_abtb();
+        }
+        Ok(RestoreOutcome::Restored { installed, skipped })
+    }
+
+    /// What process `p`'s boot-time prelink restore did, when this
+    /// system was built via
+    /// [`MultiProcessSystem::new_with_cores_prelink`].
+    pub fn prelink_outcome_of(&self, p: usize) -> Option<RestoreOutcome> {
+        self.prelink_outcomes[p]
+    }
+
+    /// Drains the resolution telemetry collected so far, in event order
+    /// across all processes.
+    pub fn take_resolution_telemetry(&mut self) -> Vec<ResolutionRecord> {
+        lock_recovering(&self.telemetry).take()
     }
 
     /// Reads a register of process `p` (from the machine when active,

@@ -6,11 +6,13 @@ use std::sync::{Arc, Mutex};
 use dynlink_cpu::{CpuError, LinkAccel, Machine, MachineConfig, MarkEvent, RunExit};
 use dynlink_isa::{Inst, Reg, VirtAddr};
 use dynlink_linker::{
-    apply_call_site_patches, LinkMode, LinkOptions, Loader, ModuleSpec, ProcessImage,
-    ResolutionTable, TrampolineFlavor, RESOLVER_HOST_FN,
+    apply_call_site_patches, fingerprint, LinkMode, LinkOptions, Loader, ModuleSpec, ProcessImage,
+    ResolutionSnapshot, ResolutionTable, RestoreOutcome, SnapshotBuilder, SnapshotEntry,
+    TrampolineFlavor, RESOLVER_HOST_FN,
 };
 use dynlink_mem::layout::{LibraryPlacement, STACK_TOP};
 use dynlink_mem::{AddressSpace, MemStats, Perms, PAGE_BYTES};
+use dynlink_trace::{lock_recovering, ResolutionKind, ResolutionRecord, TelemetryWriter};
 use dynlink_uarch::PerfCounters;
 
 use crate::SystemError;
@@ -31,6 +33,9 @@ pub struct SystemBuilder {
     accel: Option<LinkAccel>,
     entry_symbol: String,
     asid: u64,
+    /// A serialized resolution snapshot to restore at process start
+    /// (the `Prelink` start mode).
+    prelink: Option<ResolutionSnapshot>,
 }
 
 impl SystemBuilder {
@@ -44,6 +49,7 @@ impl SystemBuilder {
             accel: None,
             entry_symbol: "main".to_owned(),
             asid: 1,
+            prelink: None,
         }
     }
 
@@ -130,6 +136,16 @@ impl SystemBuilder {
         self
     }
 
+    /// Starts the process in `Prelink` mode: the given resolution
+    /// snapshot is restored immediately after load (see
+    /// [`System::restore_snapshot`] for the fingerprint and validation
+    /// rules), so warm imports skip the lazy resolver entirely. Query
+    /// [`System::prelink_outcome`] for what the restore did.
+    pub fn prelink_snapshot(mut self, snapshot: ResolutionSnapshot) -> Self {
+        self.prelink = Some(snapshot);
+        self
+    }
+
     /// Links, loads and wires up the system.
     ///
     /// # Errors
@@ -155,22 +171,32 @@ impl SystemBuilder {
         // Wire the lazy resolver: read the binding key from the scratch
         // register, rewrite the GOT slot *through the store path* (so
         // the Bloom filter observes it), and redirect to the target.
+        // Every resolution is recorded in the snapshot builder (the
+        // in-memory prelink cache) and the resolution telemetry stream.
         let table = Arc::clone(&resolution);
+        let snapshot_builder = Arc::new(Mutex::new(SnapshotBuilder::new()));
+        let telemetry = Arc::new(Mutex::new(TelemetryWriter::new()));
+        let builder_handle = Arc::clone(&snapshot_builder);
+        let telemetry_handle = Arc::clone(&telemetry);
         let explicit_invalidate = !machine.config().accel.has_bloom();
         machine.register_host_fn(
             RESOLVER_HOST_FN,
             Box::new(move |ctx| {
                 let key = ctx.reg(Reg::SCRATCH);
-                let (got_slot, target) = {
+                let (module, import, got_slot, target, owner) = {
                     let table = table.lock().expect("resolution mutex poisoned");
                     let binding = table
                         .binding_for_key(key)
                         .expect("lazy stub fired with unknown binding key");
                     // A binding into a `dlclose`d module resolves through
                     // to the next open provider in interposition order.
+                    let target = table.effective_target(&binding.symbol, binding.target);
                     (
+                        binding.module,
+                        binding.import,
                         binding.got_slot,
-                        table.effective_target(&binding.symbol, binding.target),
+                        target,
+                        table.owner_of(target),
                     )
                 };
                 ctx.store_u64(got_slot, target.as_u64())
@@ -182,16 +208,56 @@ impl SystemBuilder {
                 }
                 ctx.set_pc(target);
                 ctx.count_resolver();
+                let epoch = {
+                    let mut b = lock_recovering(&builder_handle);
+                    b.record(module, import, got_slot, target, owner);
+                    b.epoch()
+                };
+                lock_recovering(&telemetry_handle).record(
+                    module,
+                    import,
+                    ResolutionKind::Lazy,
+                    got_slot,
+                    target,
+                    epoch,
+                );
             }),
         );
 
-        Ok(System {
+        // Eager (BIND_NOW) loads resolved everything at link time: emit
+        // telemetry for the load-time binds, but never enter them into
+        // the snapshot builder — the prelink cache records only lazy
+        // resolution work worth skipping.
+        if image.mode() == LinkMode::DynamicNow {
+            let table = resolution.lock().expect("resolution mutex poisoned");
+            let mut t = lock_recovering(&telemetry);
+            for b in table.iter() {
+                t.record(
+                    b.module,
+                    b.import,
+                    ResolutionKind::Eager,
+                    b.got_slot,
+                    b.target,
+                    0,
+                );
+            }
+        }
+
+        let mut system = System {
             machine,
             image,
             resolution,
             link: self.link,
             gc_remnants: HashMap::new(),
-        })
+            snapshot_builder,
+            telemetry,
+            prelink_outcome: None,
+        };
+        if let Some(snapshot) = self.prelink {
+            let outcome = system.restore_snapshot(&snapshot)?;
+            system.prelink_outcome = Some(outcome);
+        }
+        Ok(system)
     }
 }
 
@@ -219,6 +285,14 @@ pub struct System {
     link: LinkOptions,
     /// Code snapshots of `dlclose`d modules, for [`System::dlreopen`].
     gc_remnants: HashMap<String, GcRemnant>,
+    /// The in-memory prelink cache: every lazy resolution and rebind is
+    /// recorded here; `dlclose` tombstones the victim's entries.
+    snapshot_builder: Arc<Mutex<SnapshotBuilder>>,
+    /// Resolution telemetry stream (one record per resolution event).
+    telemetry: Arc<Mutex<TelemetryWriter>>,
+    /// What the boot-time prelink restore did, when the system was
+    /// built with [`SystemBuilder::prelink_snapshot`].
+    prelink_outcome: Option<RestoreOutcome>,
 }
 
 impl System {
@@ -435,6 +509,7 @@ impl System {
                 symbol: symbol.to_owned(),
                 provider: provider.to_owned(),
             })?;
+        let provider_idx = module.index;
         let mut n = 0;
         let slots: Vec<(usize, usize, VirtAddr)> = self
             .image
@@ -461,6 +536,16 @@ impl System {
             {
                 b.target = new_target;
             }
+            // The rebound slot supersedes whatever the prelink cache
+            // recorded for it (and clears any tombstone: the slot now
+            // points at a live provider again).
+            lock_recovering(&self.snapshot_builder).record(
+                module_idx,
+                import_idx,
+                got_slot,
+                new_target,
+                Some(provider_idx),
+            );
             n += 1;
         }
         if n > 0 && !self.machine.config().accel.has_bloom() {
@@ -517,6 +602,10 @@ impl System {
             .lock()
             .expect("resolution mutex poisoned")
             .close_module(idx);
+        // The closed module's code is about to be GC-unmapped: tombstone
+        // every prelink-cache entry resolved into it, so a later restore
+        // cannot re-arm a GOT slot into the recycled range.
+        lock_recovering(&self.snapshot_builder).tombstone(idx);
         // Snapshot the code before tearing it down so a later dlreopen
         // can rebuild it at the same addresses (`code_in_range` sees the
         // backing image of demand-evicted pages too).
@@ -621,6 +710,137 @@ impl System {
         let addr = text_base + (page % pages) * PAGE_BYTES;
         let evicted = self.machine.evict_code_page(addr)?;
         Ok(evicted)
+    }
+
+    /// Freezes the in-memory prelink cache into a serializable
+    /// [`ResolutionSnapshot`], stamped with the live process's
+    /// [`fingerprint`] — the "stable linking" capture step.
+    pub fn capture_snapshot(&self) -> ResolutionSnapshot {
+        let table = self.resolution.lock().expect("resolution mutex poisoned");
+        let fp = fingerprint(&self.image, &table, self.link.hw_level);
+        lock_recovering(&self.snapshot_builder).snapshot(fp)
+    }
+
+    /// Restores a serialized resolution snapshot into the running
+    /// process — the `Prelink` start mode's core.
+    ///
+    /// With [`MachineConfig::prelink_validate`] on (the default), the
+    /// snapshot's fingerprint must match the live process (module set,
+    /// VA layout, per-module code generations, hardware level); on
+    /// mismatch nothing is installed and every import binds lazily
+    /// ([`RestoreOutcome::Fallback`]). Each surviving entry is then
+    /// validated individually: tombstoned entries and entries whose
+    /// provider module is currently closed are skipped (telemetry kind
+    /// `CacheMiss`), the rest are installed into the GOT (`CacheHit`).
+    ///
+    /// With validation off, the snapshot is replayed verbatim — the
+    /// staleness hazard the difftest's negative control exposes.
+    ///
+    /// GOT writes go through the external-store path (Bloom broadcast,
+    /// or an explicit ABTB invalidation in the §3.4 no-Bloom variant),
+    /// so a warm machine cannot skip through a stale entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults from GOT writes (a snapshot for a
+    /// different layout with validation off can reference unmapped
+    /// slots).
+    pub fn restore_snapshot(
+        &mut self,
+        snapshot: &ResolutionSnapshot,
+    ) -> Result<RestoreOutcome, SystemError> {
+        let validate = self.machine.config().prelink_validate;
+        if validate {
+            let table = self.resolution.lock().expect("resolution mutex poisoned");
+            let live = fingerprint(&self.image, &table, self.link.hw_level);
+            if snapshot.fingerprint != live {
+                return Ok(RestoreOutcome::Fallback);
+            }
+        }
+        self.install_entries(&snapshot.entries, validate)
+    }
+
+    /// Re-installs the process's *own* in-memory prelink cache into the
+    /// GOT — the mid-run `prelink` schedule event. A self-restore
+    /// trivially fingerprint-matches, so only per-entry validation
+    /// applies: with [`MachineConfig::prelink_validate`] off, entries
+    /// tombstoned by an earlier `dlclose` are re-armed into GC-unmapped
+    /// code, which is exactly the stale-restore bug the corpus witness
+    /// pins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults from GOT writes.
+    pub fn prelink_restore_self(&mut self) -> Result<RestoreOutcome, SystemError> {
+        let entries: Vec<SnapshotEntry> = {
+            let b = lock_recovering(&self.snapshot_builder);
+            b.iter().copied().collect()
+        };
+        let validate = self.machine.config().prelink_validate;
+        self.install_entries(&entries, validate)
+    }
+
+    fn install_entries(
+        &mut self,
+        entries: &[SnapshotEntry],
+        validate: bool,
+    ) -> Result<RestoreOutcome, SystemError> {
+        let mut installed = 0;
+        let mut skipped = 0;
+        let epoch = lock_recovering(&self.snapshot_builder).epoch();
+        for e in entries {
+            let skip = validate && {
+                let table = self.resolution.lock().expect("resolution mutex poisoned");
+                e.should_skip(&table)
+            };
+            if skip {
+                skipped += 1;
+                lock_recovering(&self.telemetry).record(
+                    e.module as usize,
+                    e.import as usize,
+                    ResolutionKind::CacheMiss,
+                    e.got_slot,
+                    e.target,
+                    epoch,
+                );
+                continue;
+            }
+            self.machine
+                .space_mut()
+                .write_u64(e.got_slot, e.target.as_u64())?;
+            self.machine.broadcast_store(e.got_slot);
+            installed += 1;
+            lock_recovering(&self.telemetry).record(
+                e.module as usize,
+                e.import as usize,
+                ResolutionKind::CacheHit,
+                e.got_slot,
+                e.target,
+                epoch,
+            );
+        }
+        if installed > 0 && !self.machine.config().accel.has_bloom() {
+            // §3.4 software-managed variant: explicit invalidation after
+            // rewriting GOT slots.
+            self.machine.invalidate_abtb();
+        }
+        Ok(RestoreOutcome::Restored { installed, skipped })
+    }
+
+    /// What the boot-time prelink restore did, when this system was
+    /// built with [`SystemBuilder::prelink_snapshot`].
+    pub fn prelink_outcome(&self) -> Option<RestoreOutcome> {
+        self.prelink_outcome
+    }
+
+    /// A copy of the in-memory prelink cache (test/telemetry access).
+    pub fn snapshot_builder(&self) -> SnapshotBuilder {
+        lock_recovering(&self.snapshot_builder).clone()
+    }
+
+    /// Drains the resolution telemetry collected so far, in event order.
+    pub fn take_resolution_telemetry(&mut self) -> Vec<ResolutionRecord> {
+        lock_recovering(&self.telemetry).take()
     }
 }
 

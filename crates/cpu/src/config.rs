@@ -171,6 +171,15 @@ pub struct MachineConfig {
     /// control that makes stale-ABTB-skip-into-an-unmapped-or-recycled
     /// page reachable for the demand-paging difftest regression.
     pub demand_invalidate: bool,
+    /// Whether a prelink snapshot restore validates each cached entry
+    /// against the live module set before installing it into the GOT.
+    /// On by default; disabling it models a loader that replays a
+    /// persisted resolution cache verbatim — tombstoned entries whose
+    /// provider was `dlclose`d after capture land back in the GOT and
+    /// the next call jumps into GC-unmapped code. The negative control
+    /// for the stable-linking difftest regression, mirroring
+    /// `demand_invalidate`.
+    pub prelink_validate: bool,
     /// Timing penalties.
     pub penalties: Penalties,
     /// Page size used by the TLBs.
@@ -213,6 +222,7 @@ impl Default for MachineConfig {
             icache_next_line_prefetch: false,
             coherence_bus: true,
             demand_invalidate: true,
+            prelink_validate: true,
             penalties: Penalties::default(),
             page_bytes: dynlink_mem::PAGE_BYTES,
         }
@@ -291,6 +301,10 @@ mod tests {
         assert!(
             MachineConfig::default().demand_invalidate,
             "module-GC invalidation is on by default"
+        );
+        assert!(
+            MachineConfig::default().prelink_validate,
+            "prelink restore validation is on by default"
         );
     }
 

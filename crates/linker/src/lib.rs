@@ -29,6 +29,11 @@
 //!   PLT/GOT ranges (used by the CPU to classify trampoline
 //!   instructions), and the [`ResolutionTable`] the runtime resolver
 //!   consults, including `dlopen`/`dlclose`-style GOT unbinding.
+//! * [`ResolutionSnapshot`] / [`SnapshotBuilder`] — the "stable
+//!   linking" persistent resolution cache: a warmed process's lazy
+//!   resolutions serialized to a versioned binary format and restored
+//!   at process start, guarded by a layout/identity [`fingerprint`] and
+//!   per-entry staleness validation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +43,7 @@ mod error;
 mod image;
 mod loader;
 mod resolve;
+mod snapshot;
 
 pub use builder::{FunctionHandle, ModuleBuilder};
 pub use error::LinkError;
@@ -46,6 +52,10 @@ pub use loader::{
     apply_call_site_patches, LinkMode, LinkOptions, Loader, TrampolineFlavor, RESOLVER_HOST_FN,
 };
 pub use resolve::{Binding, ResolutionTable};
+pub use snapshot::{
+    fingerprint, ResolutionSnapshot, RestoreOutcome, SnapshotBuilder, SnapshotEntry, SnapshotError,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 
 /// A module specification: name, code, imports, exports and data.
 ///

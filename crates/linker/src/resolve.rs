@@ -45,6 +45,12 @@ pub struct ResolutionTable {
     /// Modules currently closed by `dlclose`. A `BTreeSet` for
     /// deterministic iteration.
     closed: BTreeSet<usize>,
+    /// Per-module code version, bumped on every successful
+    /// [`Self::reopen_module`]: a reopened module occupies the same VA
+    /// range but is a fresh identity, so anything keyed on the old
+    /// generation (a prelink snapshot fingerprint, say) must miss.
+    /// Sparse — modules never reopened have no entry (generation 0).
+    generations: HashMap<usize, u64>,
 }
 
 impl ResolutionTable {
@@ -116,14 +122,35 @@ impl ResolutionTable {
     }
 
     /// Marks `module` open again (`dlopen` of a previously closed
-    /// module). Returns `true` if it was closed.
+    /// module). Returns `true` if it was closed. A successful reopen
+    /// bumps the module's [`Self::generation`]: same addresses, new
+    /// identity.
     pub fn reopen_module(&mut self, module: usize) -> bool {
-        self.closed.remove(&module)
+        let was_closed = self.closed.remove(&module);
+        if was_closed {
+            *self.generations.entry(module).or_insert(0) += 1;
+        }
+        was_closed
     }
 
     /// Returns `true` if `module` is currently closed.
     pub fn is_closed(&self, module: usize) -> bool {
         self.closed.contains(&module)
+    }
+
+    /// The module's code generation: 0 as loaded, incremented by every
+    /// close/reopen cycle. Part of the prelink snapshot fingerprint, so
+    /// a snapshot captured against the original identity cannot
+    /// fingerprint-match a reopened module on addresses alone.
+    pub fn generation(&self, module: usize) -> u64 {
+        self.generations.get(&module).copied().unwrap_or(0)
+    }
+
+    /// The module that owns `addr` as a registered export, if any —
+    /// lets snapshot builders attribute a resolved target to its
+    /// provider module without access to the process image.
+    pub fn owner_of(&self, addr: VirtAddr) -> Option<usize> {
+        self.addr_owner.get(&addr).copied()
     }
 
     /// The address resolution should actually bind, given a binding's
@@ -225,6 +252,28 @@ mod tests {
         assert!(!t.is_closed(1));
         assert!(!t.reopen_module(1), "reopening an open module is a no-op");
         assert_eq!(t.effective_target("f", lib1), lib1);
+    }
+
+    #[test]
+    fn reopen_bumps_the_generation_and_owner_is_queryable() {
+        let mut t = ResolutionTable::new();
+        let addr = VirtAddr::new(0x7f00_0000);
+        t.register_provider(1, "f", addr);
+        assert_eq!(t.owner_of(addr), Some(1));
+        assert_eq!(t.owner_of(VirtAddr::new(0x1234)), None);
+
+        assert_eq!(t.generation(1), 0);
+        t.close_module(1);
+        assert_eq!(t.generation(1), 0, "close alone keeps the identity");
+        t.reopen_module(1);
+        assert_eq!(t.generation(1), 1);
+        // A no-op reopen (already open) must not bump.
+        t.reopen_module(1);
+        assert_eq!(t.generation(1), 1);
+        t.close_module(1);
+        t.reopen_module(1);
+        assert_eq!(t.generation(1), 2);
+        assert_eq!(t.generation(0), 0, "untouched modules stay at 0");
     }
 
     #[test]

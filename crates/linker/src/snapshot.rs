@@ -1,0 +1,585 @@
+//! Prelink-style resolution snapshots: the persistent resolution cache
+//! behind the "stable linking" mode.
+//!
+//! A warmed process's lazy-resolution results are accumulated in a
+//! [`SnapshotBuilder`] (one record per `(module, import)` pair, plus
+//! tombstones for providers that were `dlclose`d after capture) and
+//! serialized as a [`ResolutionSnapshot`] — a small versioned binary
+//! format (`DLSN`). Restoring the snapshot at process start installs
+//! the cached GOT bindings up front, skipping the lazy resolver for
+//! every warm import.
+//!
+//! Restore safety rests on two mechanisms:
+//!
+//! * a **fingerprint** over the module set, VA layout and per-module
+//!   code generations ([`fingerprint`]) — a snapshot captured against a
+//!   different layout, module set or module identity (a `dlreopen`ed
+//!   module keeps its addresses but bumps its generation) must miss,
+//!   and the restore falls back to plain lazy binding;
+//! * **per-entry validation** ([`SnapshotEntry::should_skip`]) — an
+//!   entry that is tombstoned, or whose provider module is currently
+//!   closed, is skipped rather than re-armed into unmapped code.
+//!
+//! The machine-side `prelink_validate = false` knob disables the second
+//! mechanism and is the difftest's negative control; the architectural
+//! oracle always validates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dynlink_isa::VirtAddr;
+
+use crate::image::ProcessImage;
+use crate::resolve::ResolutionTable;
+
+/// Magic bytes opening every serialized snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"DLSN";
+
+/// Current on-disk format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+const HEADER_LEN: usize = 4 + 2 + 8 + 4;
+const ENTRY_LEN: usize = 4 + 4 + 8 + 8 + 4 + 1;
+
+/// Sentinel owner meaning "target is not a registered export".
+const NO_OWNER: u32 = u32::MAX;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn fnv1a_u64(hash: u64, value: u64) -> u64 {
+    fnv1a_bytes(hash, &value.to_le_bytes())
+}
+
+/// Typed decode failure for a serialized snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The byte stream ended before the declared content did.
+    Truncated {
+        /// Bytes required by the header/entry being decoded.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The stream does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The format version is not [`SNAPSHOT_VERSION`].
+    UnsupportedVersion(u16),
+    /// Structurally invalid content (e.g. trailing bytes).
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { needed, have } => {
+                write!(f, "snapshot truncated: need {needed} byte(s), have {have}")
+            }
+            SnapshotError::BadMagic(m) => write!(f, "bad snapshot magic {m:02x?}"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One cached resolution: the GOT write a restore would replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// Importing module index.
+    pub module: u32,
+    /// Import index within that module.
+    pub import: u32,
+    /// The GOT slot the resolver armed.
+    pub got_slot: VirtAddr,
+    /// The resolved target it armed the slot with.
+    pub target: VirtAddr,
+    /// Provider module index owning `target` ([`NO_OWNER`] sentinel
+    /// encoded when the target is not a registered export).
+    owner: u32,
+    /// Tombstoned: the provider was `dlclose`d after this entry was
+    /// recorded. A validating restore must never install it.
+    pub stale: bool,
+}
+
+impl SnapshotEntry {
+    /// The provider module owning this entry's target, if known.
+    pub fn owner(&self) -> Option<usize> {
+        (self.owner != NO_OWNER).then_some(self.owner as usize)
+    }
+
+    /// Whether a *validating* restore must skip this entry against the
+    /// live resolution table: tombstoned entries and entries whose
+    /// provider is currently closed would re-arm a GOT slot into
+    /// unmapped (or recycled) code. Shared by the system and the
+    /// oracle, so both sides of the difftest skip identically.
+    pub fn should_skip(&self, table: &ResolutionTable) -> bool {
+        if self.stale {
+            return true;
+        }
+        self.owner().is_some_and(|m| table.is_closed(m))
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.module.to_le_bytes());
+        out.extend_from_slice(&self.import.to_le_bytes());
+        out.extend_from_slice(&self.got_slot.as_u64().to_le_bytes());
+        out.extend_from_slice(&self.target.as_u64().to_le_bytes());
+        out.extend_from_slice(&self.owner.to_le_bytes());
+        out.push(u8::from(self.stale));
+    }
+
+    fn decode_from(bytes: &[u8]) -> Result<SnapshotEntry, SnapshotError> {
+        if bytes.len() < ENTRY_LEN {
+            return Err(SnapshotError::Truncated {
+                needed: ENTRY_LEN,
+                have: bytes.len(),
+            });
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+        let stale = match bytes[28] {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "stale flag must be 0 or 1, found {other}"
+                )))
+            }
+        };
+        Ok(SnapshotEntry {
+            module: u32_at(0),
+            import: u32_at(4),
+            got_slot: VirtAddr::new(u64_at(8)),
+            target: VirtAddr::new(u64_at(16)),
+            owner: u32_at(24),
+            stale,
+        })
+    }
+}
+
+/// A serialized-format resolution snapshot: fingerprint plus the cached
+/// entries in deterministic `(module, import)` order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolutionSnapshot {
+    /// [`fingerprint`] of the process the snapshot was captured from.
+    pub fingerprint: u64,
+    /// Cached resolutions, sorted by `(module, import)`.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl ResolutionSnapshot {
+    /// Serializes to the versioned `DLSN` binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.entries.len() * ENTRY_LEN);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            e.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Decodes a `DLSN` byte stream, rejecting truncation, bad magic,
+    /// unknown versions and trailing bytes with a typed error.
+    pub fn decode(bytes: &[u8]) -> Result<ResolutionSnapshot, SnapshotError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated {
+                needed: HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let fingerprint = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes"));
+        let count = u32::from_le_bytes(bytes[14..18].try_into().expect("4 bytes")) as usize;
+        let body = &bytes[HEADER_LEN..];
+        let needed = count * ENTRY_LEN;
+        if body.len() < needed {
+            return Err(SnapshotError::Truncated {
+                needed: HEADER_LEN + needed,
+                have: bytes.len(),
+            });
+        }
+        if body.len() > needed {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing byte(s) after {count} entry(ies)",
+                body.len() - needed
+            )));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            entries.push(SnapshotEntry::decode_from(&body[i * ENTRY_LEN..])?);
+        }
+        Ok(ResolutionSnapshot {
+            fingerprint,
+            entries,
+        })
+    }
+}
+
+/// In-memory accumulator of a live process's resolution activity.
+///
+/// The runtime resolver records every *lazy* resolution (eager load-time
+/// binding never goes through the cache), rebinds overwrite the record
+/// for their slots, and `dlclose` **tombstones** every entry whose
+/// provider is the closed module — the bugfix this subsystem's corpus
+/// witness pins: without the tombstone, a restore after close would
+/// re-arm a GOT slot into GC-unmapped code. Tombstones survive
+/// `dlreopen` (the reopened module is a new code generation; the cached
+/// target belongs to the old one).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotBuilder {
+    /// `(module, import)` → entry, in deterministic key order.
+    entries: BTreeMap<(u32, u32), SnapshotEntry>,
+    /// Monotone count of record/tombstone events — the "PLT epoch" the
+    /// resolution telemetry stamps on each record.
+    epoch: u64,
+}
+
+impl SnapshotBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> SnapshotBuilder {
+        SnapshotBuilder::default()
+    }
+
+    /// Records (or overwrites) the resolution of `(module, import)`:
+    /// the resolver armed `got_slot` with `target`, owned by provider
+    /// module `owner` (if the target is a registered export).
+    /// Overwriting clears any tombstone — the slot was re-resolved
+    /// against the live module set.
+    pub fn record(
+        &mut self,
+        module: usize,
+        import: usize,
+        got_slot: VirtAddr,
+        target: VirtAddr,
+        owner: Option<usize>,
+    ) {
+        self.epoch += 1;
+        self.entries.insert(
+            (module as u32, import as u32),
+            SnapshotEntry {
+                module: module as u32,
+                import: import as u32,
+                got_slot,
+                target,
+                owner: owner.map_or(NO_OWNER, |m| m as u32),
+                stale: false,
+            },
+        );
+    }
+
+    /// Tombstones every recorded entry whose provider is `victim` —
+    /// called by `dlclose` *after* snapshot-capture-relevant state is
+    /// accumulated, so a later restore cannot resurrect bindings into
+    /// the closed module's (GC-unmapped) code. Returns the number of
+    /// entries tombstoned.
+    pub fn tombstone(&mut self, victim: usize) -> usize {
+        let mut n = 0;
+        for e in self.entries.values_mut() {
+            if !e.stale && e.owner == victim as u32 {
+                e.stale = true;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.epoch += 1;
+        }
+        n
+    }
+
+    /// Number of recorded entries (tombstoned ones included).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The current epoch: a monotone counter of record/tombstone events.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Iterates the recorded entries in `(module, import)` order.
+    pub fn iter(&self) -> impl Iterator<Item = &SnapshotEntry> {
+        self.entries.values()
+    }
+
+    /// Freezes the builder into a serializable snapshot stamped with
+    /// `fingerprint`.
+    pub fn snapshot(&self, fingerprint: u64) -> ResolutionSnapshot {
+        ResolutionSnapshot {
+            fingerprint,
+            entries: self.entries.values().copied().collect(),
+        }
+    }
+}
+
+/// What a prelink restore actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreOutcome {
+    /// The snapshot was accepted: `installed` entries were written into
+    /// the GOT and `skipped` entries were refused by validation
+    /// (tombstoned, or provider currently closed).
+    Restored {
+        /// Entries installed into the GOT.
+        installed: usize,
+        /// Entries skipped by per-entry validation.
+        skipped: usize,
+    },
+    /// The snapshot fingerprint did not match the live process: nothing
+    /// was installed and every import binds lazily.
+    Fallback,
+}
+
+/// The restore fingerprint: a digest of everything a cached resolution
+/// is only valid against — the module set (names, in load order), the
+/// VA layout (text/PLT/GOT extents), each module's code generation and
+/// open/closed state, the binding count, and the trampoline hardware
+/// level. Two processes agree on this value iff replaying one's GOT
+/// writes into the other is layout- and identity-safe.
+pub fn fingerprint(image: &ProcessImage, table: &ResolutionTable, hw_level: usize) -> u64 {
+    let mut hash = FNV_OFFSET;
+    hash = fnv1a_u64(hash, image.modules().len() as u64);
+    for m in image.modules() {
+        hash = fnv1a_bytes(hash, m.name.as_bytes());
+        for (base, len) in [
+            (m.text_base, m.text_len),
+            (m.plt_base, m.plt_len),
+            (m.got_base, m.got_len),
+        ] {
+            hash = fnv1a_u64(hash, base.as_u64());
+            hash = fnv1a_u64(hash, len);
+        }
+        hash = fnv1a_u64(hash, table.generation(m.index));
+        hash = fnv1a_u64(hash, u64::from(table.is_closed(m.index)));
+    }
+    hash = fnv1a_u64(hash, table.len() as u64);
+    fnv1a_u64(hash, hw_level as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(module: u32, import: u32, stale: bool) -> SnapshotEntry {
+        SnapshotEntry {
+            module,
+            import,
+            got_slot: VirtAddr::new(0x60_0000 + u64::from(import) * 8),
+            target: VirtAddr::new(0x7f00_0000 + u64::from(module) * 0x1000),
+            owner: module + 1,
+            stale,
+        }
+    }
+
+    #[test]
+    fn snapshot_encode_decode_round_trips() {
+        let snap = ResolutionSnapshot {
+            fingerprint: 0xdead_beef_cafe_f00d,
+            entries: vec![entry(0, 0, false), entry(0, 1, true), entry(2, 0, false)],
+        };
+        let bytes = snap.encode();
+        assert_eq!(bytes.len(), HEADER_LEN + 3 * ENTRY_LEN);
+        assert_eq!(&bytes[0..4], b"DLSN");
+        let back = ResolutionSnapshot::decode(&bytes).unwrap();
+        assert_eq!(back, snap);
+
+        let empty = ResolutionSnapshot {
+            fingerprint: 1,
+            entries: Vec::new(),
+        };
+        assert_eq!(ResolutionSnapshot::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    /// The persistence contract, pinned with literal numbers (not the
+    /// encoder's own constants): a snapshot written by this version
+    /// must decode forever, so magic, version, header width, entry
+    /// width and field order may only change together with a
+    /// [`SNAPSHOT_VERSION`] bump. CI runs this as the snapshot-format
+    /// schema check.
+    #[test]
+    fn dlsn_schema_is_pinned() {
+        assert_eq!(SNAPSHOT_MAGIC, [0x44, 0x4c, 0x53, 0x4e], "magic is 'DLSN'");
+        assert_eq!(SNAPSHOT_VERSION, 1);
+
+        let snap = ResolutionSnapshot {
+            fingerprint: 0x1122_3344_5566_7788,
+            entries: vec![SnapshotEntry {
+                module: 3,
+                import: 7,
+                got_slot: VirtAddr::new(0x60_0010),
+                target: VirtAddr::new(0x7f00_0020),
+                owner: 5,
+                stale: true,
+            }],
+        };
+        let bytes = snap.encode();
+        assert_eq!(bytes.len(), 18 + 29, "18-byte header + 29-byte entry");
+        let expected: Vec<u8> = [
+            b"DLSN".as_slice(),                      // magic
+            &1u16.to_le_bytes(),                     // version
+            &0x1122_3344_5566_7788u64.to_le_bytes(), // fingerprint
+            &1u32.to_le_bytes(),                     // entry count
+            &3u32.to_le_bytes(),                     // module
+            &7u32.to_le_bytes(),                     // import
+            &0x60_0010u64.to_le_bytes(),             // got_slot
+            &0x7f00_0020u64.to_le_bytes(),           // target
+            &5u32.to_le_bytes(),                     // owner
+            &[1u8],                                  // stale flag
+        ]
+        .concat();
+        assert_eq!(bytes, expected, "byte-for-byte layout is the contract");
+        assert_eq!(ResolutionSnapshot::decode(&expected).unwrap(), snap);
+    }
+
+    #[test]
+    fn decode_rejects_damage_with_typed_errors() {
+        let snap = ResolutionSnapshot {
+            fingerprint: 7,
+            entries: vec![entry(1, 2, false)],
+        };
+        let bytes = snap.encode();
+
+        // Truncated: every strict prefix must fail Truncated.
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    ResolutionSnapshot::decode(&bytes[..cut]),
+                    Err(SnapshotError::Truncated { .. })
+                ),
+                "prefix of {cut} byte(s) must be Truncated"
+            );
+        }
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            ResolutionSnapshot::decode(&bad),
+            Err(SnapshotError::BadMagic(_))
+        ));
+
+        // Unknown version.
+        let mut bad = bytes.clone();
+        bad[4] = 0xff;
+        assert!(matches!(
+            ResolutionSnapshot::decode(&bad),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
+
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(matches!(
+            ResolutionSnapshot::decode(&bad),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // Corrupt stale flag.
+        let mut bad = bytes;
+        let flag = HEADER_LEN + ENTRY_LEN - 1;
+        bad[flag] = 9;
+        assert!(matches!(
+            ResolutionSnapshot::decode(&bad),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn builder_records_overwrites_and_tombstones() {
+        let mut b = SnapshotBuilder::new();
+        assert!(b.is_empty());
+        let slot = VirtAddr::new(0x60_0000);
+        b.record(0, 0, slot, VirtAddr::new(0x7f00_0000), Some(1));
+        b.record(
+            0,
+            1,
+            VirtAddr::new(0x60_0008),
+            VirtAddr::new(0x7f10_0000),
+            Some(2),
+        );
+        assert_eq!(b.len(), 2);
+        let e0 = b.epoch();
+        assert!(e0 >= 2);
+
+        // dlclose(1) tombstones only module 1's entries.
+        assert_eq!(b.tombstone(1), 1);
+        assert_eq!(b.tombstone(1), 0, "already tombstoned: no double count");
+        let snap = b.snapshot(42);
+        assert!(snap.entries[0].stale);
+        assert!(!snap.entries[1].stale);
+
+        // Re-resolving the slot (e.g. after the provider fell through to
+        // an interposer) overwrites and clears the tombstone.
+        b.record(0, 0, slot, VirtAddr::new(0x7f10_0000), Some(2));
+        assert_eq!(b.len(), 2);
+        assert!(b.snapshot(42).entries.iter().all(|e| !e.stale));
+        assert!(b.epoch() > e0);
+    }
+
+    #[test]
+    fn validating_skip_covers_tombstones_and_closed_owners() {
+        let mut table = ResolutionTable::new();
+        let target = VirtAddr::new(0x7f00_0000);
+        table.register_provider(1, "f", target);
+
+        let live = SnapshotEntry {
+            module: 0,
+            import: 0,
+            got_slot: VirtAddr::new(0x60_0000),
+            target,
+            owner: 1,
+            stale: false,
+        };
+        assert!(!live.should_skip(&table));
+
+        let tombstoned = SnapshotEntry {
+            stale: true,
+            ..live
+        };
+        assert!(tombstoned.should_skip(&table));
+
+        table.close_module(1);
+        assert!(
+            live.should_skip(&table),
+            "a live entry into a currently-closed provider must be skipped"
+        );
+
+        let unowned = SnapshotEntry {
+            owner: NO_OWNER,
+            stale: false,
+            ..live
+        };
+        assert!(!unowned.should_skip(&table));
+        assert_eq!(unowned.owner(), None);
+        assert_eq!(live.owner(), Some(1));
+    }
+}

@@ -13,7 +13,8 @@ use std::fmt;
 
 use dynlink_isa::{Inst, Reg, VirtAddr};
 use dynlink_linker::{
-    LinkError, LinkOptions, Loader, ModuleSpec, ProcessImage, ResolutionTable, RESOLVER_HOST_FN,
+    fingerprint, LinkError, LinkOptions, Loader, ModuleSpec, ProcessImage, ResolutionSnapshot,
+    ResolutionTable, RestoreOutcome, SnapshotBuilder, SnapshotEntry, RESOLVER_HOST_FN,
 };
 use dynlink_mem::layout::{STACK_BYTES, STACK_TOP};
 use dynlink_mem::{AddressSpace, MemError, Perms};
@@ -128,6 +129,13 @@ pub struct Oracle {
     /// FNV-1a fold of every (address, value) store the oracle performs,
     /// including resolver GOT writes and injected event writes.
     write_log: u64,
+    /// Hardware level the image was loaded under — part of the prelink
+    /// snapshot [`fingerprint`] (ifunc selection depends on it).
+    hw_level: usize,
+    /// Architectural mirror of the system's in-memory prelink cache:
+    /// lazy resolutions and rebinds are recorded, `dlclose` tombstones
+    /// the victim's entries. Always-validating restores replay from it.
+    snapshot_builder: SnapshotBuilder,
 }
 
 impl Oracle {
@@ -150,6 +158,7 @@ impl Oracle {
             demand_paging: false,
             ..opts
         };
+        let hw_level = opts.hw_level;
         let mut space = AddressSpace::new(1);
         let image = Loader::new(opts).load(specs, entry_symbol, &mut space)?;
         space
@@ -178,6 +187,8 @@ impl Oracle {
             instructions: 0,
             resolver_invocations: 0,
             write_log: FNV_OFFSET,
+            hw_level,
+            snapshot_builder: SnapshotBuilder::new(),
         })
     }
 
@@ -304,7 +315,9 @@ impl Oracle {
             .ok_or(OracleError::UnknownBinding { pc, key })?;
         // A binding into a `dlclose`d module resolves through to the
         // next open provider — identical to the system's resolver.
-        let (slot, target) = (
+        let (module, import, slot, target) = (
+            binding.module,
+            binding.import,
             binding.got_slot,
             self.resolution
                 .effective_target(&binding.symbol, binding.target),
@@ -312,6 +325,9 @@ impl Oracle {
         self.store(slot, target.as_u64())
             .map_err(|e| self.mem_err(e))?;
         self.resolver_invocations += 1;
+        let owner = self.resolution.owner_of(target);
+        self.snapshot_builder
+            .record(module, import, slot, target, owner);
         Ok(target)
     }
 
@@ -507,10 +523,10 @@ impl Oracle {
     /// [`OracleError::UnknownName`] when `provider` does not export
     /// `symbol`; [`OracleError::Mem`] if a GOT write faults.
     pub fn apply_rebind(&mut self, symbol: &str, provider: &str) -> Result<u64, OracleError> {
-        let target = self
+        let (provider_idx, target) = self
             .image
             .module(provider)
-            .and_then(|m| m.export(symbol))
+            .and_then(|m| m.export(symbol).map(|t| (m.index, t)))
             .ok_or_else(|| OracleError::UnknownName {
                 name: format!("{provider}:{symbol}"),
             })?;
@@ -529,6 +545,8 @@ impl Oracle {
             if let Some(binding) = self.resolution.binding_mut(mi, ii) {
                 binding.target = target;
             }
+            self.snapshot_builder
+                .record(mi, ii, slot, target, Some(provider_idx));
             n += 1;
         }
         Ok(n)
@@ -566,6 +584,7 @@ impl Oracle {
             n += 1;
         }
         self.resolution.close_module(idx);
+        self.snapshot_builder.tombstone(idx);
         Ok(n)
     }
 
@@ -586,6 +605,73 @@ impl Oracle {
                 name: name.to_owned(),
             })?;
         Ok(self.resolution.reopen_module(idx))
+    }
+
+    /// Freezes the oracle's in-memory prelink cache into a serializable
+    /// [`ResolutionSnapshot`], stamped with the live process's
+    /// [`fingerprint`] — the architectural model of the "stable
+    /// linking" capture step.
+    pub fn capture_snapshot(&self) -> ResolutionSnapshot {
+        let fp = fingerprint(&self.image, &self.resolution, self.hw_level);
+        self.snapshot_builder.snapshot(fp)
+    }
+
+    /// Architecturally restores a serialized resolution snapshot.
+    ///
+    /// The oracle **always validates** — `prelink_validate` is a
+    /// machine knob with no architectural counterpart, exactly like
+    /// `demand_invalidate`. A fingerprint mismatch (different module
+    /// set, VA layout, code generation or hardware level) installs
+    /// nothing and returns [`RestoreOutcome::Fallback`]; surviving
+    /// entries that are tombstoned or whose provider is currently
+    /// closed are skipped per [`SnapshotEntry::should_skip`].
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::Mem`] if a GOT write faults.
+    pub fn restore_snapshot(
+        &mut self,
+        snapshot: &ResolutionSnapshot,
+    ) -> Result<RestoreOutcome, OracleError> {
+        let live = fingerprint(&self.image, &self.resolution, self.hw_level);
+        if snapshot.fingerprint != live {
+            return Ok(RestoreOutcome::Fallback);
+        }
+        let entries = snapshot.entries.clone();
+        self.install_entries(&entries)
+    }
+
+    /// Architecturally applies the mid-run `prelink` schedule event:
+    /// replays the process's *own* accumulated cache into the GOT. A
+    /// self-restore trivially fingerprint-matches, so only per-entry
+    /// validation applies — and the oracle always validates, which is
+    /// what makes a machine running with `prelink_validate = false`
+    /// diverge on a stale (tombstoned) entry.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::Mem`] if a GOT write faults.
+    pub fn apply_prelink_restore(&mut self) -> Result<RestoreOutcome, OracleError> {
+        let entries: Vec<SnapshotEntry> = self.snapshot_builder.iter().copied().collect();
+        self.install_entries(&entries)
+    }
+
+    fn install_entries(
+        &mut self,
+        entries: &[SnapshotEntry],
+    ) -> Result<RestoreOutcome, OracleError> {
+        let mut installed = 0;
+        let mut skipped = 0;
+        for e in entries {
+            if e.should_skip(&self.resolution) {
+                skipped += 1;
+                continue;
+            }
+            self.store(e.got_slot, e.target.as_u64())
+                .map_err(|err| self.mem_err(err))?;
+            installed += 1;
+        }
+        Ok(RestoreOutcome::Restored { installed, skipped })
     }
 
     /// The canonical architectural digest of the current state.
@@ -734,6 +820,102 @@ mod tests {
         eager.run(100_000).unwrap();
         demand.run(100_000).unwrap();
         assert_eq!(eager.digest(), demand.digest());
+    }
+
+    #[test]
+    fn prelink_restore_skips_resolver_in_fresh_process() {
+        let specs = vec![caller("inc", 10), adder("libinc", "inc", 1)];
+        // Warm run: resolve everything, capture the snapshot.
+        let mut warm = Oracle::new(&specs, LinkOptions::default(), "main").unwrap();
+        warm.run(100_000).unwrap();
+        assert_eq!(warm.resolver_invocations(), 1);
+        let snap = warm.capture_snapshot();
+        assert_eq!(snap.entries.len(), 1);
+
+        // Fresh process restoring the snapshot never invokes the
+        // resolver and computes the same result.
+        let mut cold = Oracle::new(&specs, LinkOptions::default(), "main").unwrap();
+        let outcome = cold.restore_snapshot(&snap).unwrap();
+        assert_eq!(
+            outcome,
+            dynlink_linker::RestoreOutcome::Restored {
+                installed: 1,
+                skipped: 0
+            }
+        );
+        cold.run(100_000).unwrap();
+        assert_eq!(cold.reg(Reg::R0), 10);
+        assert_eq!(cold.resolver_invocations(), 0, "prelinked: no lazy binds");
+    }
+
+    #[test]
+    fn restore_fingerprint_mismatch_falls_back_to_lazy() {
+        let specs = vec![caller("inc", 10), adder("libinc", "inc", 1)];
+        let mut warm = Oracle::new(&specs, LinkOptions::default(), "main").unwrap();
+        warm.run(100_000).unwrap();
+        let snap = warm.capture_snapshot();
+
+        // A different module set cannot accept the snapshot.
+        let other = vec![
+            caller("inc", 10),
+            adder("libinc", "inc", 1),
+            adder("shadow", "inc", 100),
+        ];
+        let mut cold = Oracle::new(&other, LinkOptions::default(), "main").unwrap();
+        assert_eq!(
+            cold.restore_snapshot(&snap).unwrap(),
+            dynlink_linker::RestoreOutcome::Fallback
+        );
+        cold.run(100_000).unwrap();
+        assert_eq!(cold.resolver_invocations(), 1, "fell back to lazy binding");
+
+        // A close/reopen cycle bumps the module generation: the same
+        // process no longer fingerprint-matches its own old snapshot.
+        let mut reopened = Oracle::new(&specs, LinkOptions::default(), "main").unwrap();
+        reopened.run_until_marks(2, 100_000).unwrap();
+        let own = reopened.capture_snapshot();
+        reopened.apply_dlclose("libinc").unwrap();
+        reopened.apply_reopen("libinc").unwrap();
+        assert_eq!(
+            reopened.restore_snapshot(&own).unwrap(),
+            dynlink_linker::RestoreOutcome::Fallback,
+            "reopened module is a fresh identity"
+        );
+    }
+
+    #[test]
+    fn self_restore_validation_skips_tombstoned_entries() {
+        let specs = vec![
+            caller("inc", 10),
+            adder("libinc", "inc", 1),
+            adder("shadow", "inc", 100),
+        ];
+        let mut o = Oracle::new(&specs, LinkOptions::default(), "main").unwrap();
+        o.run_until_marks(5, 100_000).unwrap();
+        assert_eq!(o.resolver_invocations(), 1);
+        // Close the provider: its cache entry is tombstoned, so the
+        // always-validating self-restore installs nothing.
+        o.apply_dlclose("libinc").unwrap();
+        assert_eq!(
+            o.apply_prelink_restore().unwrap(),
+            dynlink_linker::RestoreOutcome::Restored {
+                installed: 0,
+                skipped: 1
+            }
+        );
+        o.run(100_000).unwrap();
+        // Identical to the plain dlclose run: the re-armed stub routes
+        // the rest into the shadow.
+        assert_eq!(o.reg(Reg::R0), 4 + 6 * 100);
+        // Re-resolution through the shadow overwrote the tombstone, so
+        // a later self-restore installs the (now valid) shadow binding.
+        assert_eq!(
+            o.apply_prelink_restore().unwrap(),
+            dynlink_linker::RestoreOutcome::Restored {
+                installed: 1,
+                skipped: 0
+            }
+        );
     }
 
     #[test]

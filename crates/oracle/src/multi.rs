@@ -182,6 +182,38 @@ impl MultiOracle {
         self.procs[self.active].apply_reopen(name)
     }
 
+    /// Captures process `p`'s prelink snapshot
+    /// (see [`Oracle::capture_snapshot`]).
+    pub fn capture_snapshot_of(&self, p: usize) -> dynlink_linker::ResolutionSnapshot {
+        self.procs[p].capture_snapshot()
+    }
+
+    /// Restores a serialized snapshot into process `p`, always
+    /// validating (see [`Oracle::restore_snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Oracle::restore_snapshot`] errors.
+    pub fn restore_snapshot_for(
+        &mut self,
+        p: usize,
+        snapshot: &dynlink_linker::ResolutionSnapshot,
+    ) -> Result<dynlink_linker::RestoreOutcome, OracleError> {
+        self.procs[p].restore_snapshot(snapshot)
+    }
+
+    /// Applies the mid-run `prelink` self-restore to the active process
+    /// only (see [`Oracle::apply_prelink_restore`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Oracle::apply_prelink_restore`] errors.
+    pub fn apply_prelink_restore_active(
+        &mut self,
+    ) -> Result<dynlink_linker::RestoreOutcome, OracleError> {
+        self.procs[self.active].apply_prelink_restore()
+    }
+
     /// Per-process architectural digests, indexed like the processes.
     pub fn digests(&self) -> Vec<ArchDigest> {
         self.procs.iter().map(Oracle::digest).collect()

@@ -16,17 +16,23 @@
 //! * [`abtb_skip_percentages`] — replays the recorded trampoline access
 //!   sequence through LRU ABTBs of varying capacity to produce the
 //!   "% trampolines skipped vs ABTB size" curve (Figure 5).
+//! * [`ResolutionRecord`] / [`TelemetryWriter`] — resolution telemetry
+//!   for the stable-linking subsystem: one compact fixed-width binary
+//!   record per resolution event (who resolved what, lazily or eagerly
+//!   or via the prelink cache, and at which cache epoch), collected in
+//!   per-shard writers that merge deterministically in submission order
+//!   so parallel runs stay byte-identical at any job count.
 //!
 //! Traces are collected on the **baseline** machine (accelerator off),
 //! exactly as the paper traces an unmodified system with Pin.
 //!
 //! ```
-//! use dynlink_trace::TrampolineTracer;
+//! use dynlink_trace::{lock_recovering, TrampolineTracer};
 //!
 //! let tracer = TrampolineTracer::shared();
 //! // machine.add_observer(tracer.clone());
 //! // ... run ...
-//! let stats = tracer.lock().unwrap().stats();
+//! let stats = lock_recovering(&tracer).stats();
 //! assert_eq!(stats.distinct(), 0);
 //! ```
 
@@ -34,11 +40,28 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use dynlink_cpu::{RetireEvent, RetireObserver};
 use dynlink_isa::VirtAddr;
 use dynlink_uarch::Abtb;
+
+/// Locks a shared observer, recovering from mutex poisoning.
+///
+/// The parallel runner isolates per-cell panics with `catch_unwind`; a
+/// panicking shard that held a shared tracer's mutex leaves it poisoned,
+/// and a plain `lock().unwrap()` in a sibling shard (or in the
+/// end-of-run stats pass) would then abort the whole experiment even
+/// though the tracer's data — plain counters and append-only sequences
+/// updated in one `on_retire` call — is never left half-written in a
+/// way later reads can't tolerate. Recovery keeps the surviving shards'
+/// statistics reportable.
+pub fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// One recorded trampoline execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +119,21 @@ impl TrampolineTracer {
     /// Total retired instructions observed.
     pub fn retired(&self) -> u64 {
         self.retired
+    }
+
+    /// Folds another tracer's observations into this one — the barrier
+    /// merge for per-shard tracers. Counts and retired totals add,
+    /// sequences append, and `other`'s last-seen details win (merge
+    /// shards in submission order for deterministic results).
+    pub fn merge(&mut self, other: &TrampolineTracer) {
+        for (&pc, &n) in &other.counts {
+            *self.counts.entry(pc).or_insert(0) += n;
+        }
+        for (&pc, &d) in &other.details {
+            self.details.insert(pc, d);
+        }
+        self.sequence.extend_from_slice(&other.sequence);
+        self.retired += other.retired;
     }
 }
 
@@ -287,6 +325,222 @@ pub fn abtb_skip_percentages(sequence: &[VirtAddr], sizes: &[usize]) -> Vec<(usi
         .collect()
 }
 
+/// How a resolution event bound (or failed to bind) its GOT slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolutionKind {
+    /// The lazy runtime resolver fired on first call.
+    Lazy = 0,
+    /// Bound eagerly at load time (`BIND_NOW`).
+    Eager = 1,
+    /// Installed from a prelink resolution snapshot, skipping the
+    /// resolver.
+    CacheHit = 2,
+    /// A snapshot entry was present but *skipped* by restore validation
+    /// (tombstoned, or its provider currently closed) — the slot falls
+    /// back to lazy.
+    CacheMiss = 3,
+}
+
+impl ResolutionKind {
+    fn from_u8(v: u8) -> Option<ResolutionKind> {
+        match v {
+            0 => Some(ResolutionKind::Lazy),
+            1 => Some(ResolutionKind::Eager),
+            2 => Some(ResolutionKind::CacheHit),
+            3 => Some(ResolutionKind::CacheMiss),
+            _ => None,
+        }
+    }
+}
+
+/// Typed decode failure for a telemetry stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TelemetryError {
+    /// The stream length is not a whole number of records.
+    Truncated {
+        /// Bytes required to complete the trailing record.
+        needed: usize,
+        /// Bytes actually present in the partial record.
+        have: usize,
+    },
+    /// An unknown [`ResolutionKind`] discriminant.
+    BadKind(u8),
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::Truncated { needed, have } => {
+                write!(f, "telemetry truncated: need {needed} byte(s), have {have}")
+            }
+            TelemetryError::BadKind(k) => write!(f, "unknown resolution kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+/// One resolution telemetry record: who resolved what, when, and how.
+///
+/// Fixed-width little-endian encoding ([`Self::ENCODED_LEN`] bytes), so
+/// a stream is seekable and its length is a record count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolutionRecord {
+    /// Global submission-order sequence number (assigned at merge).
+    pub seq: u64,
+    /// Importing module index.
+    pub module: u32,
+    /// Import index within the module.
+    pub import: u32,
+    /// How the binding happened.
+    pub kind: ResolutionKind,
+    /// The GOT slot written.
+    pub got_slot: VirtAddr,
+    /// The bound target (for [`ResolutionKind::CacheMiss`], the stale
+    /// target that was *refused*).
+    pub target: VirtAddr,
+    /// The snapshot-builder epoch at bind time.
+    pub epoch: u64,
+}
+
+impl ResolutionRecord {
+    /// Encoded size in bytes.
+    pub const ENCODED_LEN: usize = 8 + 4 + 4 + 1 + 8 + 8 + 8;
+
+    /// Appends the fixed-width little-endian encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.module.to_le_bytes());
+        out.extend_from_slice(&self.import.to_le_bytes());
+        out.push(self.kind as u8);
+        out.extend_from_slice(&self.got_slot.as_u64().to_le_bytes());
+        out.extend_from_slice(&self.target.as_u64().to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+    }
+
+    /// Decodes one record from the front of `bytes`.
+    pub fn decode(bytes: &[u8]) -> Result<ResolutionRecord, TelemetryError> {
+        if bytes.len() < Self::ENCODED_LEN {
+            return Err(TelemetryError::Truncated {
+                needed: Self::ENCODED_LEN,
+                have: bytes.len(),
+            });
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+        let kind = ResolutionKind::from_u8(bytes[16]).ok_or(TelemetryError::BadKind(bytes[16]))?;
+        Ok(ResolutionRecord {
+            seq: u64_at(0),
+            module: u32_at(8),
+            import: u32_at(12),
+            kind,
+            got_slot: VirtAddr::new(u64_at(17)),
+            target: VirtAddr::new(u64_at(25)),
+            epoch: u64_at(33),
+        })
+    }
+}
+
+/// A per-shard resolution telemetry writer.
+///
+/// Each worker (a difftest shard, a guided-fleet cell, one simulated
+/// process) appends records locally with no cross-shard synchronization;
+/// [`TelemetryWriter::merge_in_submission_order`] then concatenates the
+/// shards **in submission order** and reassigns global sequence
+/// numbers, so the merged stream is byte-identical at any `--jobs`.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryWriter {
+    records: Vec<ResolutionRecord>,
+}
+
+impl TelemetryWriter {
+    /// Creates an empty writer.
+    pub fn new() -> TelemetryWriter {
+        TelemetryWriter::default()
+    }
+
+    /// Appends one resolution event. The record's `seq` is shard-local
+    /// until a merge reassigns it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        module: usize,
+        import: usize,
+        kind: ResolutionKind,
+        got_slot: VirtAddr,
+        target: VirtAddr,
+        epoch: u64,
+    ) {
+        let seq = self.records.len() as u64;
+        self.records.push(ResolutionRecord {
+            seq,
+            module: module as u32,
+            import: import as u32,
+            kind,
+            got_slot,
+            target,
+            epoch,
+        });
+    }
+
+    /// The records written so far, in shard-local order.
+    pub fn records(&self) -> &[ResolutionRecord] {
+        &self.records
+    }
+
+    /// Number of records written.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drains this writer's records, leaving it empty.
+    pub fn take(&mut self) -> Vec<ResolutionRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Serializes the records as a flat fixed-width stream.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.records.len() * ResolutionRecord::ENCODED_LEN);
+        for r in &self.records {
+            r.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Decodes a flat record stream produced by [`Self::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<TelemetryWriter, TelemetryError> {
+        let mut records = Vec::with_capacity(bytes.len() / ResolutionRecord::ENCODED_LEN);
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            records.push(ResolutionRecord::decode(rest)?);
+            rest = &rest[ResolutionRecord::ENCODED_LEN..];
+        }
+        Ok(TelemetryWriter { records })
+    }
+
+    /// Merges per-shard writers into one stream, concatenating in the
+    /// given (submission) order and reassigning global `seq` numbers —
+    /// the deterministic barrier merge for parallel collection.
+    pub fn merge_in_submission_order(
+        shards: impl IntoIterator<Item = TelemetryWriter>,
+    ) -> TelemetryWriter {
+        let mut merged = TelemetryWriter::new();
+        for shard in shards {
+            for mut r in shard.records {
+                r.seq = merged.records.len() as u64;
+                merged.records.push(r);
+            }
+        }
+        merged
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +674,132 @@ mod tests {
         // With capacity 8 everything after the first round skips.
         let f = abtb_skip_fraction(&seq, 8);
         assert!(f > 0.97);
+    }
+
+    #[test]
+    fn lock_recovering_survives_a_poisoned_tracer() {
+        let tracer = TrampolineTracer::shared();
+        let t2 = tracer.clone();
+        // A panicking shard poisons the mutex mid-update.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut g = t2.lock().unwrap();
+            g.on_retire(&fake_event(0x1000, true));
+            panic!("shard dies holding the tracer");
+        }));
+        assert!(tracer.lock().is_err(), "mutex must actually be poisoned");
+        // Sibling shards and the stats pass still observe the data.
+        let stats = lock_recovering(&tracer).stats();
+        assert_eq!(stats.distinct(), 1);
+        lock_recovering(&tracer).on_retire(&fake_event(0x2000, true));
+        assert_eq!(lock_recovering(&tracer).stats().distinct(), 2);
+    }
+
+    #[test]
+    fn tracer_merge_sums_counts_and_appends_sequences() {
+        let mut a = TrampolineTracer::new();
+        a.on_retire(&fake_event(0x1000, true));
+        a.on_retire(&fake_event(0x1000, true));
+        let mut b = TrampolineTracer::new();
+        b.on_retire(&fake_event(0x1000, true));
+        b.on_retire(&fake_event(0x2000, true));
+        a.merge(&b);
+        let stats = a.stats();
+        assert_eq!(stats.distinct(), 2);
+        assert_eq!(stats.total(), 4);
+        assert_eq!(a.retired(), 4);
+        assert_eq!(a.sequence().len(), 4);
+        assert_eq!(
+            a.sequence(),
+            &[
+                VirtAddr::new(0x1000),
+                VirtAddr::new(0x1000),
+                VirtAddr::new(0x1000),
+                VirtAddr::new(0x2000)
+            ]
+        );
+    }
+
+    #[test]
+    fn telemetry_record_round_trips() {
+        let mut w = TelemetryWriter::new();
+        w.record(
+            1,
+            2,
+            ResolutionKind::Lazy,
+            VirtAddr::new(0x60_0000),
+            VirtAddr::new(0x7f00_0000),
+            3,
+        );
+        w.record(
+            0,
+            0,
+            ResolutionKind::CacheMiss,
+            VirtAddr::new(0x60_0008),
+            VirtAddr::new(0x7f10_0000),
+            4,
+        );
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        let bytes = w.encode();
+        assert_eq!(bytes.len(), 2 * ResolutionRecord::ENCODED_LEN);
+        let back = TelemetryWriter::decode(&bytes).unwrap();
+        assert_eq!(back.records(), w.records());
+        assert_eq!(back.records()[1].kind, ResolutionKind::CacheMiss);
+    }
+
+    #[test]
+    fn telemetry_decode_rejects_damage() {
+        let mut w = TelemetryWriter::new();
+        w.record(
+            0,
+            0,
+            ResolutionKind::Eager,
+            VirtAddr::new(8),
+            VirtAddr::new(16),
+            0,
+        );
+        let bytes = w.encode();
+        assert!(matches!(
+            TelemetryWriter::decode(&bytes[..bytes.len() - 1]),
+            Err(TelemetryError::Truncated { .. })
+        ));
+        let mut bad = bytes;
+        bad[16] = 99; // kind discriminant
+        assert!(matches!(
+            TelemetryWriter::decode(&bad),
+            Err(TelemetryError::BadKind(99))
+        ));
+    }
+
+    #[test]
+    fn telemetry_merge_is_deterministic_in_submission_order() {
+        let shard = |module: usize, n: usize| {
+            let mut w = TelemetryWriter::new();
+            for i in 0..n {
+                w.record(
+                    module,
+                    i,
+                    ResolutionKind::CacheHit,
+                    VirtAddr::new(0x60_0000 + i as u64 * 8),
+                    VirtAddr::new(0x7f00_0000),
+                    i as u64,
+                );
+            }
+            w
+        };
+        // Shards submitted in a fixed order merge identically no matter
+        // how their work was scheduled.
+        let merged = TelemetryWriter::merge_in_submission_order([shard(0, 2), shard(1, 3)]);
+        let again = TelemetryWriter::merge_in_submission_order([shard(0, 2), shard(1, 3)]);
+        assert_eq!(merged.records(), again.records());
+        assert_eq!(merged.len(), 5);
+        let seqs: Vec<u64> = merged.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(merged.records()[2].module, 1);
+        assert_eq!(merged.encode(), again.encode());
+        let mut drained = merged.clone();
+        assert_eq!(drained.take().len(), 5);
+        assert!(drained.is_empty());
     }
 
     #[test]

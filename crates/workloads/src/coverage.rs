@@ -30,13 +30,21 @@
 //! multi-core machine at all? These keys are appended after the first
 //! two families, so single-core bit indices are unchanged.
 //!
+//! A fourth family, **prelink facets**, covers the stable-linking
+//! restore path: one bit per `(restore outcome, accel mode, switch
+//! policy)`, recorded only on `--prelink` difftest runs — did a
+//! snapshot restore install bindings, skip stale (tombstoned or
+//! unowned) entries, fall back to lazy on a fingerprint mismatch, or
+//! find nothing to restore? Appended after the core family, so all
+//! earlier bit indices are unchanged.
+//!
 //! Everything is a pure function of its inputs, so coverage is
 //! identical at every `--jobs` level and across runs — the property the
 //! guided scheduler's byte-identical reports rest on.
 
 use std::fmt;
 
-use dynlink_core::LinkAccel;
+use dynlink_core::{LinkAccel, RestoreOutcome};
 use dynlink_uarch::PerfCounters;
 
 use crate::fuzz::{FuzzEvent, MultiFuzzEvent};
@@ -137,9 +145,11 @@ pub enum EventKind {
     Dlclose,
     /// A `dlopen` of a previously closed module.
     Reopen,
+    /// A mid-run prelink self-restore (resolution cache replayed).
+    PrelinkRestore,
 }
 
-const EVENT_KINDS: [EventKind; 8] = [
+const EVENT_KINDS: [EventKind; 9] = [
     EventKind::ContextSwitch,
     EventKind::Invalidate,
     EventKind::Unbind,
@@ -148,6 +158,7 @@ const EVENT_KINDS: [EventKind; 8] = [
     EventKind::Evict,
     EventKind::Dlclose,
     EventKind::Reopen,
+    EventKind::PrelinkRestore,
 ];
 
 impl EventKind {
@@ -169,6 +180,7 @@ impl From<&FuzzEvent> for EventKind {
             FuzzEvent::EvictColdPage { .. } => EventKind::Evict,
             FuzzEvent::DlcloseModule { .. } => EventKind::Dlclose,
             FuzzEvent::ReopenModule { .. } => EventKind::Reopen,
+            FuzzEvent::PrelinkRestore => EventKind::PrelinkRestore,
         }
     }
 }
@@ -183,6 +195,7 @@ impl From<&MultiFuzzEvent> for EventKind {
             MultiFuzzEvent::EvictColdPage { .. } => EventKind::Evict,
             MultiFuzzEvent::DlcloseModule { .. } => EventKind::Dlclose,
             MultiFuzzEvent::ReopenModule { .. } => EventKind::Reopen,
+            MultiFuzzEvent::PrelinkRestore => EventKind::PrelinkRestore,
         }
     }
 }
@@ -301,6 +314,36 @@ fn core_bucket(cores: usize) -> usize {
     }
 }
 
+/// What a prelink restore (boot-time or mid-run) did — the "stable
+/// linking" coverage family, recorded only on `--prelink` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrelinkFacet {
+    /// A snapshot was accepted and at least one entry installed.
+    Restored,
+    /// The fingerprint gate rejected the snapshot; lazy fallback.
+    Fallback,
+    /// Per-entry validation skipped at least one stale entry.
+    StaleSkipped,
+    /// The snapshot was accepted but held nothing to install.
+    EmptySnapshot,
+}
+
+const PRELINK_FACETS: [PrelinkFacet; 4] = [
+    PrelinkFacet::Restored,
+    PrelinkFacet::Fallback,
+    PrelinkFacet::StaleSkipped,
+    PrelinkFacet::EmptySnapshot,
+];
+
+impl PrelinkFacet {
+    fn index(self) -> usize {
+        PRELINK_FACETS
+            .iter()
+            .position(|&f| f == self)
+            .expect("in table")
+    }
+}
+
 const N_ACCEL: usize = 3;
 const N_POLICY: usize = 3;
 const N_BUCKET: usize = 4;
@@ -308,6 +351,7 @@ const N_CORE_BUCKET: usize = 3;
 const RUN_BITS: usize = SIGNALS.len() * N_ACCEL * N_POLICY * N_BUCKET;
 const EVENT_BITS: usize = EVENT_KINDS.len() * EVENT_FACETS.len() * N_ACCEL * N_POLICY;
 const CORE_BITS: usize = CORE_FACETS.len() * N_CORE_BUCKET * N_ACCEL * N_POLICY;
+const PRELINK_BITS: usize = PRELINK_FACETS.len() * N_ACCEL * N_POLICY;
 
 /// Log-style magnitude bucket: 1, 2–4, 5–16, 17+.
 fn bucket(count: u64) -> usize {
@@ -356,7 +400,7 @@ pub struct CoverageMap {
 
 impl CoverageMap {
     /// Total number of distinct coverage keys.
-    pub const BITS: usize = RUN_BITS + EVENT_BITS + CORE_BITS;
+    pub const BITS: usize = RUN_BITS + EVENT_BITS + CORE_BITS + PRELINK_BITS;
 
     /// Creates an empty map.
     pub fn new() -> CoverageMap {
@@ -456,7 +500,43 @@ impl CoverageMap {
     /// Number of set bits in the core-facet family alone — the signal
     /// CI greps to prove a multi-core campaign exercised the bus.
     pub fn count_core_facets(&self) -> usize {
-        (RUN_BITS + EVENT_BITS..Self::BITS)
+        (RUN_BITS + EVENT_BITS..RUN_BITS + EVENT_BITS + CORE_BITS)
+            .filter(|&b| self.contains(b))
+            .count()
+    }
+
+    /// Records the outcome of one prelink restore (boot-time serialized
+    /// restore or mid-run self-restore) under this run context.
+    pub fn record_prelink(
+        &mut self,
+        accel: LinkAccel,
+        policy: PolicyCtx,
+        outcome: &RestoreOutcome,
+    ) {
+        match *outcome {
+            RestoreOutcome::Restored { installed, skipped } => {
+                if installed == 0 && skipped == 0 {
+                    self.set(prelink_bit(PrelinkFacet::EmptySnapshot, accel, policy));
+                } else {
+                    if installed > 0 {
+                        self.set(prelink_bit(PrelinkFacet::Restored, accel, policy));
+                    }
+                    if skipped > 0 {
+                        self.set(prelink_bit(PrelinkFacet::StaleSkipped, accel, policy));
+                    }
+                }
+            }
+            RestoreOutcome::Fallback => {
+                self.set(prelink_bit(PrelinkFacet::Fallback, accel, policy));
+            }
+        }
+    }
+
+    /// Number of set bits in the prelink family alone — the signal the
+    /// CI `difftest-prelink` shard greps to prove the `--prelink` axis
+    /// exercised restores.
+    pub fn count_prelink_facets(&self) -> usize {
+        (RUN_BITS + EVENT_BITS + CORE_BITS..Self::BITS)
             .filter(|&b| self.contains(b))
             .count()
     }
@@ -513,6 +593,15 @@ fn core_bit(facet: CoreFacet, cores: usize, accel: LinkAccel, policy: PolicyCtx)
         + policy.index()
 }
 
+/// Bit index of a prelink-facet key.
+fn prelink_bit(facet: PrelinkFacet, accel: LinkAccel, policy: PolicyCtx) -> usize {
+    RUN_BITS
+        + EVENT_BITS
+        + CORE_BITS
+        + (facet.index() * N_ACCEL + accel_index(accel)) * N_POLICY
+        + policy.index()
+}
+
 /// Human-readable name of a coverage key, for reports and debugging.
 pub fn describe_bit(bit: usize) -> String {
     if bit < RUN_BITS {
@@ -541,7 +630,7 @@ pub fn describe_bit(bit: usize) -> String {
             accel_name(a),
             policy_name(p)
         )
-    } else {
+    } else if bit < RUN_BITS + EVENT_BITS + CORE_BITS {
         let e = bit - RUN_BITS - EVENT_BITS;
         let p = e % N_POLICY;
         let a = (e / N_POLICY) % N_ACCEL;
@@ -552,6 +641,17 @@ pub fn describe_bit(bit: usize) -> String {
             "core:{:?}x{}/{}/{}",
             CORE_FACETS[f],
             cores,
+            accel_name(a),
+            policy_name(p)
+        )
+    } else {
+        let e = bit - RUN_BITS - EVENT_BITS - CORE_BITS;
+        let p = e % N_POLICY;
+        let a = (e / N_POLICY) % N_ACCEL;
+        let f = e / (N_POLICY * N_ACCEL);
+        format!(
+            "prelink:{:?}/{}/{}",
+            PRELINK_FACETS[f],
             accel_name(a),
             policy_name(p)
         )
@@ -606,9 +706,19 @@ mod tests {
                 for accel in [LinkAccel::Off, LinkAccel::Abtb, LinkAccel::AbtbNoBloom] {
                     for &policy in &POLICIES {
                         let bit = core_bit(facet, cores, accel, policy);
-                        assert!((RUN_BITS + EVENT_BITS..CoverageMap::BITS).contains(&bit));
+                        assert!((RUN_BITS + EVENT_BITS..RUN_BITS + EVENT_BITS + CORE_BITS)
+                            .contains(&bit));
                         assert!(seen.insert(bit), "duplicate core bit {bit}");
                     }
+                }
+            }
+        }
+        for &facet in &PRELINK_FACETS {
+            for accel in [LinkAccel::Off, LinkAccel::Abtb, LinkAccel::AbtbNoBloom] {
+                for &policy in &POLICIES {
+                    let bit = prelink_bit(facet, accel, policy);
+                    assert!((RUN_BITS + EVENT_BITS + CORE_BITS..CoverageMap::BITS).contains(&bit));
+                    assert!(seen.insert(bit), "duplicate prelink bit {bit}");
                 }
             }
         }
@@ -640,6 +750,51 @@ mod tests {
         assert_eq!(m.count_core_facets(), 6);
         m.record_multicore_run(LinkAccel::Abtb, PolicyCtx::FlushOnSwitch, 4, &delta);
         assert_eq!(m.count_core_facets(), 6, "3 and 4 cores share a bucket");
+    }
+
+    #[test]
+    fn record_prelink_maps_outcomes_to_facets() {
+        let mut m = CoverageMap::new();
+        m.record_prelink(
+            LinkAccel::Abtb,
+            PolicyCtx::SingleProcess,
+            &RestoreOutcome::Restored {
+                installed: 0,
+                skipped: 0,
+            },
+        );
+        assert_eq!(
+            m.count_prelink_facets(),
+            1,
+            "empty snapshot is its own facet"
+        );
+        m.record_prelink(
+            LinkAccel::Abtb,
+            PolicyCtx::SingleProcess,
+            &RestoreOutcome::Restored {
+                installed: 3,
+                skipped: 1,
+            },
+        );
+        assert_eq!(
+            m.count_prelink_facets(),
+            3,
+            "installed+skipped sets two facets"
+        );
+        m.record_prelink(
+            LinkAccel::Abtb,
+            PolicyCtx::SingleProcess,
+            &RestoreOutcome::Fallback,
+        );
+        assert_eq!(m.count_prelink_facets(), 4);
+        for bit in m.iter_set() {
+            assert!(
+                describe_bit(bit).starts_with("prelink:"),
+                "{}",
+                describe_bit(bit)
+            );
+        }
+        assert_eq!(m.count_core_facets(), 0, "prelink bits are not core bits");
     }
 
     #[test]

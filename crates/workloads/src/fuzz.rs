@@ -71,6 +71,15 @@ pub enum FuzzEvent {
         /// Index of the library to reopen.
         lib: usize,
     },
+    /// Mid-run prelink self-restore: replay the process's accumulated
+    /// resolution cache into the GOT. The oracle always validates
+    /// (tombstoned entries are skipped); a machine running with
+    /// `prelink_validate = false` re-arms them into stale code — the
+    /// staleness bug the `--prelink` negative control witnesses. Never
+    /// emitted by [`FuzzCase::generate`] or [`FuzzCase::enable_demand`]
+    /// (historical digests are frozen); it enters schedules only through
+    /// hand-written corpus cases and the mutator.
+    PrelinkRestore,
 }
 
 impl fmt::Display for FuzzEvent {
@@ -83,6 +92,7 @@ impl fmt::Display for FuzzEvent {
             FuzzEvent::EvictColdPage { lib, page } => write!(f, "evict({lib},{page})"),
             FuzzEvent::DlcloseModule { lib } => write!(f, "dlclose({lib})"),
             FuzzEvent::ReopenModule { lib } => write!(f, "reopen({lib})"),
+            FuzzEvent::PrelinkRestore => write!(f, "prelink"),
         }
     }
 }
@@ -305,6 +315,9 @@ impl FuzzCase {
             FuzzEvent::DlcloseModule { lib } | FuzzEvent::ReopenModule { lib } => {
                 self.demand && self.mode == LinkMode::DynamicLazy && self.dlclose_ok(lib)
             }
+            // A restore only means something when there is a lazy cache
+            // to replay; under eager binding the builder stays empty.
+            FuzzEvent::PrelinkRestore => self.mode == LinkMode::DynamicLazy,
         }
     }
 
@@ -571,6 +584,9 @@ pub enum MultiFuzzEvent {
         /// Index of the library to reopen.
         lib: usize,
     },
+    /// Mid-run prelink self-restore in the *active* process (see
+    /// [`FuzzEvent::PrelinkRestore`]).
+    PrelinkRestore,
 }
 
 impl fmt::Display for MultiFuzzEvent {
@@ -583,6 +599,7 @@ impl fmt::Display for MultiFuzzEvent {
             MultiFuzzEvent::EvictColdPage { lib, page } => write!(f, "evict({lib},{page})"),
             MultiFuzzEvent::DlcloseModule { lib } => write!(f, "dlclose({lib})"),
             MultiFuzzEvent::ReopenModule { lib } => write!(f, "reopen({lib})"),
+            MultiFuzzEvent::PrelinkRestore => write!(f, "prelink"),
         }
     }
 }
@@ -805,6 +822,10 @@ impl MultiFuzzCase {
                     && p.dlclose_ok(lib)
                     && !self.in_shared_pair(active)
             }
+            // A restore replays the active process's own cache; it is a
+            // plain sequence of GOT stores, so shared-pair members may
+            // fire it (the writes mirror at switch like any other).
+            MultiFuzzEvent::PrelinkRestore => p.mode == LinkMode::DynamicLazy,
         }
     }
 }

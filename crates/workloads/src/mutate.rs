@@ -75,11 +75,14 @@ pub fn sanitize_case(case: &mut FuzzCase) {
                 | FuzzEvent::EvictColdPage { lib, .. }
                 | FuzzEvent::DlcloseModule { lib }
                 | FuzzEvent::ReopenModule { lib } => *lib %= n_libs,
-                FuzzEvent::ContextSwitch | FuzzEvent::AbtbInvalidate => {}
+                FuzzEvent::ContextSwitch
+                | FuzzEvent::AbtbInvalidate
+                | FuzzEvent::PrelinkRestore => {}
             }
         }
         let shadow = case.shadow;
-        let demand_lazy = case.demand && case.mode == dynlink_linker::LinkMode::DynamicLazy;
+        let lazy = case.mode == dynlink_linker::LinkMode::DynamicLazy;
+        let demand_lazy = case.demand && lazy;
         let use_ifunc = case.use_ifunc;
         // Demand events need the demand-paging lazy regime; dlclose and
         // reopen additionally need a fallback provider for the closed
@@ -91,6 +94,7 @@ pub fn sanitize_case(case: &mut FuzzCase) {
             FuzzEvent::DlcloseModule { lib } | FuzzEvent::ReopenModule { lib } => {
                 demand_lazy && closeable(lib)
             }
+            FuzzEvent::PrelinkRestore => lazy,
             FuzzEvent::ContextSwitch | FuzzEvent::AbtbInvalidate | FuzzEvent::Unbind { .. } => true,
         });
     }
@@ -149,16 +153,22 @@ pub fn sanitize_multi_case(case: &mut MultiFuzzCase) {
 fn random_event(case: &FuzzCase, rng: &mut Rng) -> FuzzEvent {
     let n_libs = case.n_libs();
     // Demand cases draw from the full vocabulary; sanitize drops any
-    // pick whose target turns out not to be closeable.
-    let demand_lazy = case.demand && case.mode == dynlink_linker::LinkMode::DynamicLazy;
-    let n_choices = if demand_lazy { 7 } else { 4 };
+    // pick whose target turns out not to be closeable. Lazy cases add
+    // the prelink self-restore (its only precondition).
+    let lazy = case.mode == dynlink_linker::LinkMode::DynamicLazy;
+    let demand_lazy = case.demand && lazy;
+    let n_choices = match (demand_lazy, lazy) {
+        (true, _) => 8,
+        (false, true) => 5,
+        (false, false) => 4,
+    };
     match rng.gen_index(0..n_choices) {
         0 => FuzzEvent::ContextSwitch,
         1 => FuzzEvent::AbtbInvalidate,
         3 if case.shadow => FuzzEvent::Rebind {
             lib: rng.gen_index(0..n_libs),
         },
-        4 => FuzzEvent::EvictColdPage {
+        4 if demand_lazy => FuzzEvent::EvictColdPage {
             lib: rng.gen_index(0..n_libs),
             page: rng.gen_range(0..4),
         },
@@ -168,6 +178,7 @@ fn random_event(case: &FuzzCase, rng: &mut Rng) -> FuzzEvent {
         6 => FuzzEvent::ReopenModule {
             lib: rng.gen_index(0..n_libs),
         },
+        4 | 7 => FuzzEvent::PrelinkRestore,
         _ => FuzzEvent::Unbind {
             lib: rng.gen_index(0..n_libs),
         },
@@ -339,8 +350,13 @@ fn random_multi_event(case: &MultiFuzzCase, active_hint: usize, rng: &mut Rng) -
     let p = &case.procs[active_hint.min(n_procs - 1)];
     // Inapplicable picks (wrong mode, no fallback provider) are
     // harmless: `MultiFuzzCase::applicable` no-ops them on both sides.
-    let demand_lazy = case.demand && p.mode == dynlink_linker::LinkMode::DynamicLazy;
-    let n_choices = if demand_lazy { 7 } else { 4 };
+    let lazy = p.mode == dynlink_linker::LinkMode::DynamicLazy;
+    let demand_lazy = case.demand && lazy;
+    let n_choices = match (demand_lazy, lazy) {
+        (true, _) => 8,
+        (false, true) => 5,
+        (false, false) => 4,
+    };
     match rng.gen_index(0..n_choices) {
         0 if n_procs > 1 => MultiFuzzEvent::Switch {
             to: rng.gen_index(0..n_procs),
@@ -349,7 +365,7 @@ fn random_multi_event(case: &MultiFuzzCase, active_hint: usize, rng: &mut Rng) -
         3 if p.shadow => MultiFuzzEvent::Rebind {
             lib: rng.gen_index(0..p.n_libs()),
         },
-        4 => MultiFuzzEvent::EvictColdPage {
+        4 if demand_lazy => MultiFuzzEvent::EvictColdPage {
             lib: rng.gen_index(0..p.n_libs()),
             page: rng.gen_range(0..4),
         },
@@ -359,6 +375,7 @@ fn random_multi_event(case: &MultiFuzzCase, active_hint: usize, rng: &mut Rng) -
         6 => MultiFuzzEvent::ReopenModule {
             lib: rng.gen_index(0..p.n_libs()),
         },
+        4 | 7 => MultiFuzzEvent::PrelinkRestore,
         _ => MultiFuzzEvent::Unbind {
             lib: rng.gen_index(0..p.n_libs()),
         },

@@ -178,6 +178,8 @@ fn parse_event(s: &str) -> Result<FuzzEvent, String> {
         Ok(FuzzEvent::ReopenModule {
             lib: parse_usize(arg, "reopen lib")?,
         })
+    } else if s == "prelink" {
+        Ok(FuzzEvent::PrelinkRestore)
     } else {
         Err(format!("unknown event `{s}`"))
     }
@@ -214,6 +216,8 @@ fn parse_multi_event(s: &str) -> Result<MultiFuzzEvent, String> {
         Ok(MultiFuzzEvent::ReopenModule {
             lib: parse_usize(arg, "reopen lib")?,
         })
+    } else if s == "prelink" {
+        Ok(MultiFuzzEvent::PrelinkRestore)
     } else {
         Err(format!("unknown multi event `{s}`"))
     }

@@ -13,8 +13,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use dynlink_bench::difftest::{
-    check_case, check_case_with_demand_invalidation, check_multi_case, check_multi_case_coverage,
-    check_multi_case_with_bus, Injection,
+    check_case, check_case_with_demand_invalidation, check_case_with_prelink_validation,
+    check_multi_case, check_multi_case_coverage, check_multi_case_with_bus, Injection,
 };
 use dynlink_workloads::coverage::describe_bit;
 use dynlink_workloads::repro::{parse_corpus_file, CorpusCase};
@@ -162,6 +162,49 @@ fn stale_skip_into_unmapped_page_needs_the_gc_invalidation() {
         assert!(
             stale.failures.iter().any(|f| f.contains(accel)),
             "expected a stale-skip failure under {accel}, got: {:?}",
+            stale.failures
+        );
+    }
+}
+
+/// The stable-linking witness must stay an exact witness of the
+/// cache/demand-GC seam: `dlclose` tombstones the prelink-cache entry
+/// resolved into the closed module, so the immediately following
+/// `prelink` self-restore skips it under the default validation and the
+/// case is clean. With `prelink_validate = false` the tombstoned entry
+/// is replayed verbatim, re-arming the GOT slot into the GC-unmapped
+/// range; the next call jumps through it into unmapped memory and the
+/// system diverges from the always-validating oracle — under every
+/// accel mode, because the stale GOT word is architectural state.
+#[test]
+fn stale_prelink_restore_needs_validation() {
+    let text = fs::read_to_string(corpus_dir().join("stale_prelink_restore.txt")).unwrap();
+    let CorpusCase::Single(case) = parse_corpus_file(&text).unwrap() else {
+        panic!("stale_prelink_restore.txt must be a single-process case");
+    };
+    assert!(
+        case.schedule
+            .iter()
+            .any(|e| e.event.to_string() == "prelink"),
+        "the prelink event must round-trip from the file"
+    );
+
+    let clean = check_case_with_prelink_validation(&case, Injection::None, true);
+    assert!(
+        clean.failures.is_empty(),
+        "with restore validation the case must pass: {:?}",
+        clean.failures
+    );
+
+    let stale = check_case_with_prelink_validation(&case, Injection::None, false);
+    assert!(
+        !stale.failures.is_empty(),
+        "replaying the tombstoned entry verbatim must diverge"
+    );
+    for accel in ["/Off]", "/Abtb]", "/AbtbNoBloom]"] {
+        assert!(
+            stale.failures.iter().any(|f| f.contains(accel)),
+            "expected a stale-restore failure under {accel}, got: {:?}",
             stale.failures
         );
     }

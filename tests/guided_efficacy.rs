@@ -40,7 +40,15 @@ fn guided_beats_random_coverage_at_equal_budget() {
     const ROUND_SIZE: u64 = 10;
 
     let guided = run_guided(&guided_config(ROUNDS, ROUND_SIZE, Injection::None, false));
-    let random = run_difftest(0, ROUNDS * ROUND_SIZE, 2, Injection::None, false, false);
+    let random = run_difftest(
+        0,
+        ROUNDS * ROUND_SIZE,
+        2,
+        Injection::None,
+        false,
+        false,
+        false,
+    );
 
     assert_eq!(guided.failures, 0, "{}", guided.output);
     assert_eq!(random.failures, 0, "{}", random.output);
@@ -63,7 +71,15 @@ fn guided_finds_and_shrinks_injected_fault_within_the_random_budget() {
     // Pinned random baseline: seeds 0..RANDOM_BUDGET contain at least
     // one case the injected stale-ABTB bug bites on.
     const RANDOM_BUDGET: u64 = 64;
-    let random = run_difftest(0, RANDOM_BUDGET, 2, Injection::DropInvalidate, true, false);
+    let random = run_difftest(
+        0,
+        RANDOM_BUDGET,
+        2,
+        Injection::DropInvalidate,
+        true,
+        false,
+        false,
+    );
     assert!(
         random.failures > 0,
         "the random baseline budget must be large enough to find the fault"

@@ -1,0 +1,290 @@
+//! Stable linking end-to-end: capturing a warmed process's resolution
+//! snapshot, round-tripping it through the versioned `DLSN` format,
+//! restoring it at boot (the `Prelink` start mode), and the validation
+//! machinery that keeps a restore from resurrecting stale bindings —
+//! fingerprint fallback after `dlreopen`, per-entry tombstone skips
+//! after `dlclose`, and the resolution telemetry that records each
+//! decision. Companion to the difftest's `--prelink` axis (see
+//! docs/MECHANISM.md §8 and docs/TESTING.md).
+
+use std::fs;
+use std::path::PathBuf;
+
+use dynlink_bench::difftest::{
+    check_case_coverage_prelink, check_multi_case_coverage_prelink, Injection,
+};
+use dynlink_core::{LinkAccel, MachineConfig, RestoreOutcome, System, SystemBuilder};
+use dynlink_isa::Reg;
+use dynlink_linker::{LinkMode, ResolutionSnapshot, SnapshotError, SNAPSHOT_VERSION};
+use dynlink_repro::{adder_library, calling_app};
+use dynlink_trace::ResolutionKind;
+use dynlink_workloads::repro::{parse_corpus_file, CorpusCase};
+
+const BUDGET: u64 = 1_000_000;
+
+/// A lazy, demand-paged two-module system (the shape every stable-
+/// linking scenario starts from), parameterized over the machine
+/// configuration so tests can flip the validation knob.
+fn lazy_system(iterations: u64, cfg: MachineConfig) -> System {
+    SystemBuilder::new()
+        .module(calling_app("inc", iterations).unwrap())
+        .module(adder_library("libinc", "inc", 1).unwrap())
+        .link_mode(LinkMode::DynamicLazy)
+        .demand_paging(true)
+        .accel(LinkAccel::Abtb)
+        .machine_config(cfg)
+        .build()
+        .unwrap()
+}
+
+/// Runs a fresh system to completion and captures its warm snapshot.
+fn warm_snapshot(iterations: u64) -> ResolutionSnapshot {
+    let mut sys = lazy_system(iterations, MachineConfig::enhanced());
+    sys.run(BUDGET).unwrap();
+    sys.capture_snapshot()
+}
+
+#[test]
+fn warm_capture_round_trips_through_dlsn_bytes() {
+    let snap = warm_snapshot(12);
+    assert!(
+        !snap.entries.is_empty(),
+        "a warmed lazy process must have cached resolutions"
+    );
+
+    let bytes = snap.encode();
+    assert_eq!(&bytes[0..4], b"DLSN");
+    let back = ResolutionSnapshot::decode(&bytes).unwrap();
+    assert_eq!(back, snap, "decode(encode(s)) must be s");
+    assert_eq!(back.encode(), bytes, "re-encoding must be byte-identical");
+}
+
+#[test]
+fn damaged_streams_are_rejected_with_typed_errors() {
+    let bytes = warm_snapshot(12).encode();
+
+    // Every strict prefix is a truncation, with honest need/have counts.
+    for cut in [0, 1, 17, bytes.len() - 1] {
+        match ResolutionSnapshot::decode(&bytes[..cut]) {
+            Err(SnapshotError::Truncated { needed, have }) => {
+                assert_eq!(have, cut.min(needed), "have must report the prefix length");
+                assert!(needed > have);
+            }
+            other => panic!("prefix of {cut} byte(s): expected Truncated, got {other:?}"),
+        }
+    }
+
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xff;
+    assert!(matches!(
+        ResolutionSnapshot::decode(&bad),
+        Err(SnapshotError::BadMagic(_))
+    ));
+
+    let mut bad = bytes.clone();
+    bad[4..6].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+    assert_eq!(
+        ResolutionSnapshot::decode(&bad),
+        Err(SnapshotError::UnsupportedVersion(SNAPSHOT_VERSION + 1))
+    );
+
+    let mut bad = bytes;
+    bad.push(0);
+    assert!(matches!(
+        ResolutionSnapshot::decode(&bad),
+        Err(SnapshotError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn boot_restore_skips_the_lazy_resolver_and_matches_lazy() {
+    // Lazy reference run.
+    let mut lazy = lazy_system(20, MachineConfig::enhanced());
+    lazy.run(BUDGET).unwrap();
+    let lazy_r0 = lazy.reg(Reg::R0);
+    assert!(lazy.counters().resolver_invocations > 0);
+    let lazy_telemetry = lazy.take_resolution_telemetry();
+    assert!(
+        lazy_telemetry
+            .iter()
+            .any(|r| r.kind == ResolutionKind::Lazy),
+        "the lazy run must emit Lazy telemetry records"
+    );
+    let snap = lazy.capture_snapshot();
+
+    // Prelink start mode: the snapshot round-trips through bytes and is
+    // restored at boot into an identically-built fresh process.
+    let decoded = ResolutionSnapshot::decode(&snap.encode()).unwrap();
+    let installed = decoded.entries.len();
+    let mut warm = SystemBuilder::new()
+        .module(calling_app("inc", 20).unwrap())
+        .module(adder_library("libinc", "inc", 1).unwrap())
+        .link_mode(LinkMode::DynamicLazy)
+        .demand_paging(true)
+        .accel(LinkAccel::Abtb)
+        .machine_config(MachineConfig::enhanced())
+        .prelink_snapshot(decoded)
+        .build()
+        .unwrap();
+    assert_eq!(
+        warm.prelink_outcome(),
+        Some(RestoreOutcome::Restored {
+            installed,
+            skipped: 0
+        }),
+        "the fingerprint matches, so every warm entry installs"
+    );
+
+    warm.run(BUDGET).unwrap();
+    assert_eq!(
+        warm.reg(Reg::R0),
+        lazy_r0,
+        "restore must not change results"
+    );
+    assert_eq!(
+        warm.counters().resolver_invocations,
+        0,
+        "every warm import skips the lazy resolver"
+    );
+    let hits = warm
+        .take_resolution_telemetry()
+        .iter()
+        .filter(|r| r.kind == ResolutionKind::CacheHit)
+        .count();
+    assert_eq!(hits, installed, "one CacheHit record per installed entry");
+}
+
+#[test]
+fn reopened_module_forces_lazy_fallback() {
+    let mut sys = lazy_system(16, MachineConfig::enhanced());
+    sys.run(BUDGET).unwrap();
+    let snap = sys.capture_snapshot();
+
+    // A close/reopen cycle keeps the module's addresses but mints a new
+    // code generation: the snapshot now names a dead identity, so a
+    // validating restore must refuse wholesale and bind lazily.
+    sys.dlclose("libinc").unwrap();
+    assert!(sys.dlreopen("libinc").unwrap());
+    assert_eq!(
+        sys.restore_snapshot(&snap).unwrap(),
+        RestoreOutcome::Fallback,
+        "a reopened provider invalidates the capture fingerprint"
+    );
+
+    // Negative control: with the validation knob off the same stale
+    // snapshot is replayed verbatim — the hazard the difftest's
+    // `prelink_validate = false` axis exposes.
+    let mut cfg = MachineConfig::enhanced();
+    cfg.prelink_validate = false;
+    let mut unchecked = lazy_system(16, cfg);
+    unchecked.run(BUDGET).unwrap();
+    let stale = unchecked.capture_snapshot();
+    unchecked.dlclose("libinc").unwrap();
+    assert!(unchecked.dlreopen("libinc").unwrap());
+    assert!(
+        matches!(
+            unchecked.restore_snapshot(&stale).unwrap(),
+            RestoreOutcome::Restored { installed, skipped }
+                if installed > 0 && skipped == 0
+        ),
+        "without validation the dead-generation entries are re-armed"
+    );
+}
+
+#[test]
+fn tombstoned_entries_are_skipped_on_self_restore() {
+    let mut sys = lazy_system(16, MachineConfig::enhanced());
+    sys.run(BUDGET).unwrap();
+    let warm = sys.snapshot_builder().len();
+    assert!(warm > 0);
+    sys.take_resolution_telemetry();
+
+    // dlclose garbage-collects the library and tombstones every cached
+    // entry resolved into it; the self-restore (the mid-run `prelink`
+    // schedule event) must skip them all rather than re-arm GOT slots
+    // into the unmapped range.
+    sys.dlclose("libinc").unwrap();
+    let builder = sys.snapshot_builder();
+    let stale = builder.iter().filter(|e| e.stale).count();
+    assert!(stale > 0, "dlclose must tombstone the library's entries");
+
+    let outcome = sys.prelink_restore_self().unwrap();
+    assert_eq!(
+        outcome,
+        RestoreOutcome::Restored {
+            installed: warm - stale,
+            skipped: stale
+        }
+    );
+    let telemetry = sys.take_resolution_telemetry();
+    let misses = telemetry
+        .iter()
+        .filter(|r| r.kind == ResolutionKind::CacheMiss)
+        .count();
+    assert_eq!(misses, stale, "one CacheMiss record per skipped entry");
+}
+
+/// Every checked-in corpus case must pass the full `--prelink` axis:
+/// the boot-restored system runs agree with the boot-restored oracle
+/// under every accel/flavor (and policy) combination, and the lazy
+/// digest fold is untouched by the extra runs.
+#[test]
+fn corpus_cases_replay_clean_under_the_prelink_axis() {
+    let corpus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut checked = 0;
+    for entry in fs::read_dir(corpus).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "txt") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).unwrap();
+        let (plain_digest, failures, prelink_facets) = match parse_corpus_file(&text).unwrap() {
+            CorpusCase::Single(case) => {
+                let (lazy, _) =
+                    dynlink_bench::difftest::check_case_coverage(&case, Injection::None);
+                let (report, map) = check_case_coverage_prelink(&case, Injection::None);
+                assert_eq!(
+                    report.digest_fold,
+                    lazy.digest_fold,
+                    "{}: the prelink axis must not move the lazy digest",
+                    path.display()
+                );
+                (
+                    report.digest_fold,
+                    report.failures,
+                    map.count_prelink_facets(),
+                )
+            }
+            CorpusCase::Multi(case) => {
+                let (lazy, _) =
+                    dynlink_bench::difftest::check_multi_case_coverage(&case, Injection::None);
+                let (report, map) = check_multi_case_coverage_prelink(&case, Injection::None);
+                assert_eq!(
+                    report.digest_fold,
+                    lazy.digest_fold,
+                    "{}: the prelink axis must not move the lazy digest",
+                    path.display()
+                );
+                (
+                    report.digest_fold,
+                    report.failures,
+                    map.count_prelink_facets(),
+                )
+            }
+        };
+        assert!(
+            failures.is_empty(),
+            "{}: prelink replay failed:\n{}",
+            path.display(),
+            failures.join("\n")
+        );
+        assert_ne!(plain_digest, 0, "{}: degenerate digest", path.display());
+        assert!(
+            prelink_facets > 0,
+            "{}: the prelink arm must record coverage facets",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected the full corpus, checked {checked}");
+}
