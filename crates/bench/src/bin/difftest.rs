@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale]
-//!          [--demand] [--prelink] [--no-shrink] [--multi [--cores N]]
+//!          [--demand] [--prelink] [--no-superblock] [--no-shrink]
+//!          [--multi [--cores N]]
 //!          [--guided [--rounds N] [--round-size N]
 //!                    [--corpus DIR] [--save-corpus DIR]]
 //! ```
@@ -29,6 +30,11 @@
 //! against a boot-restored oracle; the extra runs are compared
 //! pairwise and never folded into the state digest, so `--prelink`
 //! reports the same digest as the plain sweep.
+//! `--no-superblock` forces every system run onto the pure interpreter
+//! (no superblock translation). Translation is architecturally
+//! invisible, so the digest must be byte-identical with and without the
+//! flag — running the same sweep both ways is the scriptable A/B check
+//! CI's engine-equality shard performs.
 //! `--guided` switches to coverage-guided mutational fuzzing:
 //! `--rounds` rounds of `--round-size` candidates, keeping
 //! behavioral-coverage-novel cases as mutation parents; `--corpus DIR`
@@ -49,7 +55,7 @@ use dynlink_bench::runner::default_jobs;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--demand] [--prelink] [--no-shrink] [--multi [--cores N]]\n\
+        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--demand] [--prelink] [--no-superblock] [--no-shrink] [--multi [--cores N]]\n\
          \x20               [--guided [--rounds N] [--round-size N] [--corpus DIR] [--save-corpus DIR]]"
     );
     ExitCode::from(2)
@@ -65,6 +71,7 @@ fn main() -> ExitCode {
     let mut cores = 1usize;
     let mut demand = false;
     let mut prelink = false;
+    let mut superblock = true;
     let mut guided = false;
     let mut rounds = 8u64;
     let mut round_size = 64u64;
@@ -134,6 +141,7 @@ fn main() -> ExitCode {
             "--inject-stale" => injection = Injection::DropInvalidate,
             "--demand" => demand = true,
             "--prelink" => prelink = true,
+            "--no-superblock" => superblock = false,
             "--no-shrink" => shrink = false,
             "--multi" => multi = true,
             "--guided" => guided = true,
@@ -151,6 +159,12 @@ fn main() -> ExitCode {
     }
     if guided && prelink {
         eprintln!("difftest: --guided reaches prelink events through mutation; drop --prelink");
+        return usage();
+    }
+    if guided && !superblock {
+        eprintln!(
+            "difftest: --guided always runs with superblock translation; drop --no-superblock"
+        );
         return usage();
     }
     if guided && multi {
@@ -178,10 +192,12 @@ fn main() -> ExitCode {
         })
     } else if multi {
         run_multi_difftest(
-            seed_start, cases, jobs, injection, shrink, cores, demand, prelink,
+            seed_start, cases, jobs, injection, shrink, cores, demand, prelink, superblock,
         )
     } else {
-        run_difftest(seed_start, cases, jobs, injection, shrink, demand, prelink)
+        run_difftest(
+            seed_start, cases, jobs, injection, shrink, demand, prelink, superblock,
+        )
     };
     print!("{}", report.output);
     eprintln!(

@@ -1,7 +1,8 @@
 //! `simspeed` — host-side simulator-throughput benchmark.
 //!
 //! ```text
-//! simspeed [--budget N] [--reps N] [--label S] [--out PATH] [--no-record]
+//! simspeed [--budget N] [--reps N] [--label S] [--out PATH] [--no-record] [--no-superblock]
+//!          [--only WORKLOAD]
 //! simspeed --validate PATH
 //! ```
 //!
@@ -10,21 +11,24 @@
 //! machine) for `--budget` simulated instructions
 //! each (best of `--reps` timed repetitions, default 3), prints the
 //! MIPS table, and appends a machine-readable run record to `--out`
-//! (default `BENCH_simspeed.json`). `--validate` skips the benchmark
-//! and only checks a file against the `dynlink-simspeed/1` schema —
-//! the timing-free mode CI uses. See `docs/PERF.md` for the
+//! (default `BENCH_simspeed.json`). `--no-superblock` times the pure
+//! interpreter instead of the superblock translation engine — the
+//! engine A/B that quantifies what translation buys. `--validate`
+//! skips the benchmark and only checks a file against the
+//! `dynlink-simspeed/1` schema — the timing-free mode CI uses. See `docs/PERF.md` for the
 //! methodology.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dynlink_bench::simspeed::{
-    append_record, measure_all, render_table, run_mips, validate, RunRecord,
+    append_record, measure_only, render_table, run_mips, validate, RunRecord, WORKLOADS,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: simspeed [--budget N] [--reps N] [--label S] [--out PATH] [--no-record]\n\
+        "usage: simspeed [--budget N] [--reps N] [--label S] [--out PATH] [--no-record] [--no-superblock]\n\
+                         [--only WORKLOAD]\n\
                 simspeed --validate PATH"
     );
     ExitCode::from(2)
@@ -36,6 +40,8 @@ fn main() -> ExitCode {
     let mut label = String::from("dev");
     let mut out = PathBuf::from("BENCH_simspeed.json");
     let mut record = true;
+    let mut superblock = true;
+    let mut only: Option<String> = None;
     let mut validate_path: Option<PathBuf> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,6 +77,14 @@ fn main() -> ExitCode {
                 }
             }
             "--no-record" => record = false,
+            "--no-superblock" => superblock = false,
+            "--only" => {
+                i += 1;
+                match args.get(i) {
+                    Some(w) if WORKLOADS.contains(&w.as_str()) => only = Some(w.clone()),
+                    _ => return usage(),
+                }
+            }
             "--validate" => {
                 i += 1;
                 match args.get(i) {
@@ -122,7 +136,7 @@ fn main() -> ExitCode {
     let run = RunRecord {
         label,
         budget,
-        workloads: measure_all(budget, reps),
+        workloads: measure_only(budget, reps, superblock, only.as_deref()),
     };
     print!("{}", render_table(&run));
 

@@ -354,6 +354,7 @@ fn apply_system_event(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_system(
     case: &FuzzCase,
     flavor: TrampolineFlavor,
@@ -361,6 +362,8 @@ fn run_system(
     injection: Injection,
     demand_invalidate: bool,
     prelink_validate: bool,
+    superblock: bool,
+    superblock_validate: bool,
     boot: Option<&ResolutionSnapshot>,
 ) -> Result<SystemRun, String> {
     let mut builder = SystemBuilder::new()
@@ -372,6 +375,8 @@ fn run_system(
         .machine_config(MachineConfig {
             demand_invalidate,
             prelink_validate,
+            superblock,
+            superblock_validate,
             ..MachineConfig::baseline()
         })
         .accel(accel);
@@ -528,7 +533,36 @@ pub fn check_case_with_demand_invalidation(
     injection: Injection,
     invalidate: bool,
 ) -> CaseReport {
-    check_case_coverage_full(case, injection, invalidate, true, false).0
+    check_case_coverage_full(case, injection, invalidate, true, false, true, true).0
+}
+
+/// [`check_case`] with the superblock translation engine switched
+/// explicitly: the scriptable A/B axis (`difftest --no-superblock`
+/// runs the pure interpreter). Translation is architecturally
+/// invisible, so both settings must produce identical reports — the
+/// corpus replay and CI engine-equality shard pin exactly this.
+pub fn check_case_with_superblock(
+    case: &FuzzCase,
+    injection: Injection,
+    superblock: bool,
+) -> CaseReport {
+    check_case_coverage_full(case, injection, true, true, false, superblock, true).0
+}
+
+/// [`check_case`] with the machine's superblock tag-revalidation knob
+/// switched explicitly. `validate = false` is the negative control: the
+/// translation cache keeps dispatching blocks whose invalidation tags
+/// (code version, PLT epoch, eviction generation) have moved on — a
+/// model of a JIT whose shootdowns are skipped. A runtime code patch or
+/// module GC then leaves a stale translation executing dead
+/// instructions and the system diverges from the oracle, mirroring the
+/// `demand_invalidate`/`prelink_validate` discipline.
+pub fn check_case_with_superblock_validation(
+    case: &FuzzCase,
+    injection: Injection,
+    validate: bool,
+) -> CaseReport {
+    check_case_coverage_full(case, injection, true, true, false, true, validate).0
 }
 
 /// [`check_case`] with the machine's prelink-validation knob switched
@@ -544,7 +578,7 @@ pub fn check_case_with_prelink_validation(
     injection: Injection,
     validate: bool,
 ) -> CaseReport {
-    check_case_coverage_full(case, injection, true, validate, false).0
+    check_case_coverage_full(case, injection, true, validate, false, true, true).0
 }
 
 /// [`check_case`] plus the behavioral [`CoverageMap`] the case's system
@@ -553,7 +587,7 @@ pub fn check_case_with_prelink_validation(
 /// map is a pure function of the case (the same runs already paid for),
 /// so coverage-guided scheduling costs no extra simulation.
 pub fn check_case_coverage(case: &FuzzCase, injection: Injection) -> (CaseReport, CoverageMap) {
-    check_case_coverage_full(case, injection, true, true, false)
+    check_case_coverage_full(case, injection, true, true, false, true, true)
 }
 
 /// [`check_case_coverage`] with the `--prelink` axis enabled: on top of
@@ -566,7 +600,7 @@ pub fn check_case_coverage_prelink(
     case: &FuzzCase,
     injection: Injection,
 ) -> (CaseReport, CoverageMap) {
-    check_case_coverage_full(case, injection, true, true, true)
+    check_case_coverage_full(case, injection, true, true, true, true, true)
 }
 
 fn check_case_coverage_full(
@@ -575,6 +609,8 @@ fn check_case_coverage_full(
     demand_invalidate: bool,
     prelink_validate: bool,
     prelink: bool,
+    superblock: bool,
+    superblock_validate: bool,
 ) -> (CaseReport, CoverageMap) {
     let mut failures = Vec::new();
     let mut digest_fold = FNV_OFFSET;
@@ -597,6 +633,8 @@ fn check_case_coverage_full(
                 injection,
                 demand_invalidate,
                 prelink_validate,
+                superblock,
+                superblock_validate,
                 None,
             ) {
                 Err(e) => failures.push(format!("[{flavor:?}/{accel:?}] {e}")),
@@ -637,6 +675,8 @@ fn check_case_coverage_full(
                 injection,
                 demand_invalidate,
                 prelink_validate,
+                superblock,
+                superblock_validate,
                 &mut coverage,
             ) {
                 Ok(msgs) => failures.extend(msgs),
@@ -659,12 +699,15 @@ fn check_case_coverage_full(
 /// run per accel mode checked against it (digest plus the full counter
 /// invariants). Returns the failure lines; a hard `Err` means the
 /// golden side itself could not be produced.
+#[allow(clippy::too_many_arguments)]
 fn prelink_arm(
     case: &FuzzCase,
     flavor: TrampolineFlavor,
     injection: Injection,
     demand_invalidate: bool,
     prelink_validate: bool,
+    superblock: bool,
+    superblock_validate: bool,
     coverage: &mut CoverageMap,
 ) -> Result<Vec<String>, String> {
     let bytes = warm_snapshot_bytes(case, flavor)?;
@@ -681,6 +724,8 @@ fn prelink_arm(
             injection,
             demand_invalidate,
             prelink_validate,
+            superblock,
+            superblock_validate,
             Some(&snapshot),
         ) {
             Err(e) => failures.push(format!("[{flavor:?}/{accel:?}/prelink] {e}")),
@@ -745,6 +790,12 @@ pub struct DiffReport {
 /// boot-restored system runs against a boot-restored oracle. The extra
 /// runs never fold into the state digest, so the `--prelink` digest is
 /// byte-identical to the lazy sweep's.
+///
+/// `superblock = false` forces every system leg onto the pure
+/// interpreter (the oracle never translates either way). Translation is
+/// architecturally invisible, so the digest must be byte-identical at
+/// both settings — `difftest --no-superblock` scripts exactly this A/B.
+#[allow(clippy::too_many_arguments)]
 pub fn run_difftest(
     seed_start: u64,
     cases: u64,
@@ -753,6 +804,7 @@ pub fn run_difftest(
     shrink: bool,
     demand: bool,
     prelink: bool,
+    superblock: bool,
 ) -> DiffReport {
     let gen_case = move |seed: u64| {
         let mut case = FuzzCase::generate(seed);
@@ -762,11 +814,7 @@ pub fn run_difftest(
         case
     };
     let check = move |case: &FuzzCase| {
-        if prelink {
-            check_case_coverage_prelink(case, injection)
-        } else {
-            check_case_coverage(case, injection)
-        }
+        check_case_coverage_full(case, injection, true, true, prelink, superblock, true)
     };
     let cells: Vec<Cell<(CaseReport, CoverageMap)>> = (0..cases)
         .map(|i| {
@@ -880,12 +928,14 @@ fn multi_machine_config(
     policy: SwitchPolicy,
     coherence_bus: bool,
     prelink_validate: bool,
+    superblock: bool,
 ) -> MachineConfig {
     MachineConfig {
         accel,
         flush_abtb_on_context_switch: matches!(policy, SwitchPolicy::FlushOnSwitch),
         coherence_bus,
         prelink_validate,
+        superblock,
         ..MachineConfig::default()
     }
 }
@@ -1091,6 +1141,7 @@ fn run_multi_system(
     injection: Injection,
     coherence_bus: bool,
     prelink_validate: bool,
+    superblock: bool,
     boot: Option<&[ResolutionSnapshot]>,
 ) -> Result<MultiSystemRun, String> {
     let procs = case
@@ -1110,7 +1161,7 @@ fn run_multi_system(
     };
     let mut mps = MultiProcessSystem::new_with_cores_prelink(
         procs,
-        multi_machine_config(accel, policy, coherence_bus, prelink_validate),
+        multi_machine_config(accel, policy, coherence_bus, prelink_validate, superblock),
         case.shared_got_pair,
         case.cores.max(1),
         boot_snapshots,
@@ -1342,7 +1393,20 @@ pub fn check_multi_case_with_bus(
     injection: Injection,
     coherence_bus: bool,
 ) -> CaseReport {
-    check_multi_case_coverage_full(case, injection, coherence_bus, true, false).0
+    check_multi_case_coverage_full(case, injection, coherence_bus, true, false, true).0
+}
+
+/// [`check_multi_case`] with the superblock translation engine switched
+/// explicitly — the multi-process twin of [`check_case_with_superblock`].
+/// Cross-core shootdowns (patch broadcasts, module GC, demand eviction)
+/// must leave the translated path bit-identical to the interpreter, so
+/// both settings must match the same oracle digests.
+pub fn check_multi_case_with_superblock(
+    case: &MultiFuzzCase,
+    injection: Injection,
+    superblock: bool,
+) -> CaseReport {
+    check_multi_case_coverage_full(case, injection, true, true, false, superblock).0
 }
 
 /// [`check_multi_case`] with the machine's prelink-validation knob
@@ -1353,7 +1417,7 @@ pub fn check_multi_case_with_prelink_validation(
     injection: Injection,
     validate: bool,
 ) -> CaseReport {
-    check_multi_case_coverage_full(case, injection, true, validate, false).0
+    check_multi_case_coverage_full(case, injection, true, validate, false, true).0
 }
 
 /// [`check_multi_case`] plus the behavioral [`CoverageMap`] its runs
@@ -1364,7 +1428,7 @@ pub fn check_multi_case_coverage(
     case: &MultiFuzzCase,
     injection: Injection,
 ) -> (CaseReport, CoverageMap) {
-    check_multi_case_coverage_full(case, injection, true, true, false)
+    check_multi_case_coverage_full(case, injection, true, true, false, true)
 }
 
 /// [`check_multi_case_coverage`] with the `--prelink` axis enabled:
@@ -1376,7 +1440,7 @@ pub fn check_multi_case_coverage_prelink(
     case: &MultiFuzzCase,
     injection: Injection,
 ) -> (CaseReport, CoverageMap) {
-    check_multi_case_coverage_full(case, injection, true, true, true)
+    check_multi_case_coverage_full(case, injection, true, true, true, true)
 }
 
 fn check_multi_case_coverage_full(
@@ -1385,6 +1449,7 @@ fn check_multi_case_coverage_full(
     coherence_bus: bool,
     prelink_validate: bool,
     prelink: bool,
+    superblock: bool,
 ) -> (CaseReport, CoverageMap) {
     let mut failures = Vec::new();
     let mut digest_fold = FNV_OFFSET;
@@ -1406,6 +1471,7 @@ fn check_multi_case_coverage_full(
             injection,
             coherence_bus,
             prelink_validate,
+            superblock,
             None,
             &oracle,
             &mut coverage,
@@ -1418,6 +1484,7 @@ fn check_multi_case_coverage_full(
                 injection,
                 coherence_bus,
                 prelink_validate,
+                superblock,
                 &mut coverage,
                 &mut failures,
             ) {
@@ -1446,6 +1513,7 @@ fn multi_matrix(
     injection: Injection,
     coherence_bus: bool,
     prelink_validate: bool,
+    superblock: bool,
     boot: Option<&[ResolutionSnapshot]>,
     oracle: &MultiOracleRun,
     coverage: &mut CoverageMap,
@@ -1463,6 +1531,7 @@ fn multi_matrix(
                 injection,
                 coherence_bus,
                 prelink_validate,
+                superblock,
                 boot,
             ) {
                 Err(e) => {
@@ -1514,12 +1583,14 @@ fn multi_matrix(
 /// Multi-process prelink round: warm-up capture per process, `DLSN`
 /// round-trip, prelink multi-oracle golden run, and the full system
 /// matrix restored from the same bytes checked against it.
+#[allow(clippy::too_many_arguments)]
 fn multi_prelink_arm(
     case: &MultiFuzzCase,
     flavor: TrampolineFlavor,
     injection: Injection,
     coherence_bus: bool,
     prelink_validate: bool,
+    superblock: bool,
     coverage: &mut CoverageMap,
     failures: &mut Vec<String>,
 ) -> Result<(), String> {
@@ -1539,6 +1610,7 @@ fn multi_prelink_arm(
         injection,
         coherence_bus,
         prelink_validate,
+        superblock,
         Some(&snapshots),
         &oracle,
         coverage,
@@ -1559,7 +1631,9 @@ fn multi_prelink_arm(
 /// the coverage footer) changes. At `cores <= 1` the report is
 /// byte-identical to the historical single-core sweep.
 /// `prelink` enables the stable-linking axis (see [`run_difftest`]);
-/// the extra runs never fold into the state digest.
+/// the extra runs never fold into the state digest. `superblock = false`
+/// runs every system leg on the pure interpreter — the A/B axis behind
+/// `difftest --no-superblock`.
 #[allow(clippy::too_many_arguments)]
 pub fn run_multi_difftest(
     seed_start: u64,
@@ -1570,6 +1644,7 @@ pub fn run_multi_difftest(
     cores: usize,
     demand: bool,
     prelink: bool,
+    superblock: bool,
 ) -> DiffReport {
     let cores = cores.max(1);
     let gen_case = move |seed: u64| {
@@ -1581,11 +1656,7 @@ pub fn run_multi_difftest(
         case
     };
     let check = move |case: &MultiFuzzCase| {
-        if prelink {
-            check_multi_case_coverage_prelink(case, injection)
-        } else {
-            check_multi_case_coverage(case, injection)
-        }
+        check_multi_case_coverage_full(case, injection, true, true, prelink, superblock)
     };
     let cells: Vec<Cell<(CaseReport, CoverageMap)>> = (0..cases)
         .map(|i| {
@@ -1697,7 +1768,7 @@ mod tests {
 
     #[test]
     fn report_counts_match_failure_lines() {
-        let r = run_difftest(0, 6, 2, Injection::None, false, false, false);
+        let r = run_difftest(0, 6, 2, Injection::None, false, false, false, true);
         assert_eq!(r.cases, 6);
         assert_eq!(r.failures, 0, "{}", r.output);
         assert!(r.output.contains("0 failure(s) across 6 case(s)"));
@@ -1717,7 +1788,7 @@ mod tests {
 
     #[test]
     fn multi_report_counts_match_failure_lines() {
-        let r = run_multi_difftest(0, 4, 2, Injection::None, false, 1, false, false);
+        let r = run_multi_difftest(0, 4, 2, Injection::None, false, 1, false, false, true);
         assert_eq!(r.cases, 4);
         assert_eq!(r.failures, 0, "{}", r.output);
         assert!(r.output.contains("0 failure(s) across 4 case(s)"));
@@ -1782,12 +1853,12 @@ mod tests {
         // the demand report must be byte-identical at every job level —
         // and the demand-off sweep's digest is the historical one, so
         // the demand flag provably never leaks into generation.
-        let eager = run_difftest(0, 20, 2, Injection::None, false, false, false);
-        let demand = run_difftest(0, 20, 2, Injection::None, false, true, false);
+        let eager = run_difftest(0, 20, 2, Injection::None, false, false, false, true);
+        let demand = run_difftest(0, 20, 2, Injection::None, false, true, false, true);
         assert_eq!(eager.failures, 0, "{}", eager.output);
         assert_eq!(demand.failures, 0, "{}", demand.output);
         assert!(demand.output.contains("demand-fault events enabled"));
-        let demand4 = run_difftest(0, 20, 4, Injection::None, false, true, false);
+        let demand4 = run_difftest(0, 20, 4, Injection::None, false, true, false, true);
         assert_eq!(demand.output, demand4.output);
     }
 
@@ -1806,8 +1877,8 @@ mod tests {
 
     #[test]
     fn prelink_sweep_is_clean_and_digest_matches_lazy() {
-        let lazy = run_difftest(0, 12, 2, Injection::None, false, false, false);
-        let pre = run_difftest(0, 12, 2, Injection::None, false, false, true);
+        let lazy = run_difftest(0, 12, 2, Injection::None, false, false, false, true);
+        let pre = run_difftest(0, 12, 2, Injection::None, false, false, true, true);
         assert_eq!(pre.failures, 0, "{}", pre.output);
         assert!(
             pre.output.contains("prelink restore enabled"),
@@ -1830,14 +1901,14 @@ mod tests {
             !lazy.output.contains("prelink coverage"),
             "plain sweeps must stay byte-identical to the historical format"
         );
-        let pre4 = run_difftest(0, 12, 4, Injection::None, false, false, true);
+        let pre4 = run_difftest(0, 12, 4, Injection::None, false, false, true, true);
         assert_eq!(pre.output, pre4.output);
     }
 
     #[test]
     fn multi_prelink_sweep_is_clean_and_digest_matches_lazy() {
-        let lazy = run_multi_difftest(0, 4, 2, Injection::None, false, 2, false, false);
-        let pre = run_multi_difftest(0, 4, 2, Injection::None, false, 2, false, true);
+        let lazy = run_multi_difftest(0, 4, 2, Injection::None, false, 2, false, false, true);
+        let pre = run_multi_difftest(0, 4, 2, Injection::None, false, 2, false, true, true);
         assert_eq!(pre.failures, 0, "{}", pre.output);
         assert!(
             pre.output.contains("prelink restore enabled"),
@@ -1863,6 +1934,23 @@ mod tests {
     }
 
     #[test]
+    fn superblock_knobs_on_match_plain_check() {
+        let case = FuzzCase::generate(5);
+        let plain = check_case(&case, Injection::None);
+        let engine_on = check_case_with_superblock(&case, Injection::None, true);
+        assert_eq!(plain.failures, engine_on.failures);
+        assert_eq!(plain.digest_fold, engine_on.digest_fold);
+        let validate_on = check_case_with_superblock_validation(&case, Injection::None, true);
+        assert_eq!(plain.failures, validate_on.failures);
+        assert_eq!(plain.digest_fold, validate_on.digest_fold);
+        // The interpreter leg of the A/B: translation must be
+        // architecturally invisible, digest included.
+        let engine_off = check_case_with_superblock(&case, Injection::None, false);
+        assert!(engine_off.failures.is_empty(), "{:?}", engine_off.failures);
+        assert_eq!(plain.digest_fold, engine_off.digest_fold);
+    }
+
+    #[test]
     fn demand_invalidation_knob_on_matches_plain_check() {
         let mut case = FuzzCase::generate(1);
         case.enable_demand(1);
@@ -1874,7 +1962,7 @@ mod tests {
 
     #[test]
     fn multicore_report_carries_core_coverage() {
-        let r = run_multi_difftest(0, 3, 2, Injection::None, false, 2, false, false);
+        let r = run_multi_difftest(0, 3, 2, Injection::None, false, 2, false, false, true);
         assert_eq!(r.failures, 0, "{}", r.output);
         assert!(r.output.contains("on 2 cores"), "{}", r.output);
         let line = r
@@ -1888,7 +1976,7 @@ mod tests {
         );
         // The oracle never sees the core count, so the digest matches
         // the single-core sweep over the same seeds.
-        let single = run_multi_difftest(0, 3, 2, Injection::None, false, 1, false, false);
+        let single = run_multi_difftest(0, 3, 2, Injection::None, false, 1, false, false, true);
         assert_eq!(r.digest, single.digest);
     }
 }

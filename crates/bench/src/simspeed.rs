@@ -87,6 +87,17 @@ pub const WORKLOADS: [&str; 4] = [
     "switch-heavy-2core",
 ];
 
+/// The measured machine configuration: baseline hardware, with the
+/// superblock translation engine switched per the benchmark's engine
+/// axis (`simspeed --no-superblock` times the pure interpreter, the
+/// A/B that quantifies what translation buys).
+fn config(superblock: bool) -> MachineConfig {
+    MachineConfig {
+        superblock,
+        ..MachineConfig::baseline()
+    }
+}
+
 fn place(s: &mut AddressSpace, at: VirtAddr, insts: &[Inst]) {
     let mut cursor = at;
     for &i in insts {
@@ -139,18 +150,18 @@ fn build_trampoline_program(s: &mut AddressSpace) {
     place(s, func, &[Inst::add_imm(Reg::R0, 1), Inst::Ret]);
 }
 
-fn trampoline_machine(asid: u64) -> Machine {
+fn trampoline_machine(asid: u64, superblock: bool) -> Machine {
     let mut s = AddressSpace::new(asid);
     build_trampoline_program(&mut s);
-    let mut m = Machine::new(MachineConfig::baseline(), s);
+    let mut m = Machine::new(config(superblock), s);
     m.init_stack(VirtAddr::new(STACK_TOP), 0x10000).unwrap();
     m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
     m.reset(VirtAddr::new(TEXT));
     m
 }
 
-fn run_trampoline_heavy(budget: u64) -> u64 {
-    let mut m = trampoline_machine(1);
+fn run_trampoline_heavy(budget: u64, superblock: bool) -> u64 {
+    let mut m = trampoline_machine(1, superblock);
     m.run(budget).expect("trampoline workload");
     m.counters().instructions
 }
@@ -158,7 +169,7 @@ fn run_trampoline_heavy(budget: u64) -> u64 {
 /// A load/store sweep: two stores and two loads per iteration walking a
 /// 64 KiB buffer with wraparound, exercising the single-page data fast
 /// paths (the §2 GOT-slot access pattern, scaled up).
-fn run_data_heavy(budget: u64) -> u64 {
+fn run_data_heavy(budget: u64, superblock: bool) -> u64 {
     let mut s = AddressSpace::new(1);
     s.map_code_region(VirtAddr::new(TEXT), 0x1000, Perms::RX)
         .unwrap();
@@ -213,7 +224,7 @@ fn run_data_heavy(budget: u64) -> u64 {
             Inst::Halt,
         ],
     );
-    let mut m = Machine::new(MachineConfig::baseline(), s);
+    let mut m = Machine::new(config(superblock), s);
     m.init_stack(VirtAddr::new(STACK_TOP), 0x10000).unwrap();
     m.reset(VirtAddr::new(TEXT));
     m.run(budget).expect("data workload");
@@ -223,9 +234,9 @@ fn run_data_heavy(budget: u64) -> u64 {
 /// Two trampoline-loop processes multiplexed on one machine, swapped
 /// every 64 instructions: the §3.3 context-switch shape, dominated by
 /// `swap_process` cost when timeslices are this short.
-fn run_switch_heavy(budget: u64) -> u64 {
+fn run_switch_heavy(budget: u64, superblock: bool) -> u64 {
     const SLICE: u64 = 64;
-    let mut m = Machine::new(MachineConfig::baseline(), AddressSpace::new(0));
+    let mut m = Machine::new(config(superblock), AddressSpace::new(0));
     m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
     let mut procs: Vec<ProcessContext> = (1..=2)
         .map(|asid| {
@@ -251,9 +262,9 @@ fn run_switch_heavy(budget: u64) -> u64 {
 /// suspended core keeps its warm microarchitectural state while
 /// snooping the coherence bus — the multi-core dispatch overhead the
 /// `--cores` difftest axis pays on every instruction.
-fn run_switch_heavy_2core(budget: u64) -> u64 {
+fn run_switch_heavy_2core(budget: u64, superblock: bool) -> u64 {
     const SLICE: u64 = 64;
-    let mut m = MachineBuilder::new(MachineConfig::baseline())
+    let mut m = MachineBuilder::new(config(superblock))
         .cores(2)
         .build(AddressSpace::new(0));
     m.set_plt_ranges(&[(VirtAddr::new(PLT), VirtAddr::new(PLT + 0x1000))]);
@@ -281,12 +292,12 @@ fn run_switch_heavy_2core(budget: u64) -> u64 {
     m.counters().instructions
 }
 
-fn run_workload(name: &str, budget: u64) -> u64 {
+fn run_workload(name: &str, budget: u64, superblock: bool) -> u64 {
     match name {
-        "trampoline-heavy" => run_trampoline_heavy(budget),
-        "data-heavy" => run_data_heavy(budget),
-        "switch-heavy" => run_switch_heavy(budget),
-        "switch-heavy-2core" => run_switch_heavy_2core(budget),
+        "trampoline-heavy" => run_trampoline_heavy(budget, superblock),
+        "data-heavy" => run_data_heavy(budget, superblock),
+        "switch-heavy" => run_switch_heavy(budget, superblock),
+        "switch-heavy-2core" => run_switch_heavy_2core(budget, superblock),
         other => panic!("unknown simspeed workload `{other}`"),
     }
 }
@@ -300,16 +311,29 @@ fn run_workload(name: &str, budget: u64) -> u64 {
 /// can only add time, never remove it — the minimum is the least-noisy
 /// estimate of true simulator cost on a shared machine (see
 /// `docs/PERF.md`).
-pub fn measure_all(budget: u64, reps: u32) -> Vec<Measurement> {
+pub fn measure_all(budget: u64, reps: u32, superblock: bool) -> Vec<Measurement> {
+    measure_only(budget, reps, superblock, None)
+}
+
+/// [`measure_all`] restricted to the workloads whose name passes
+/// `filter` (`None` keeps all four). Used by `simspeed --only` to time
+/// or profile a single workload without the others diluting the run.
+pub fn measure_only(
+    budget: u64,
+    reps: u32,
+    superblock: bool,
+    filter: Option<&str>,
+) -> Vec<Measurement> {
     let reps = reps.max(1);
     WORKLOADS
         .iter()
+        .filter(|&&name| filter.is_none_or(|f| f == name))
         .map(|&name| {
-            run_workload(name, (budget / 8).max(1));
+            run_workload(name, (budget / 8).max(1), superblock);
             (0..reps)
                 .map(|_| {
                     let start = Instant::now();
-                    let instructions = run_workload(name, budget);
+                    let instructions = run_workload(name, budget, superblock);
                     let nanos = start.elapsed().as_nanos();
                     Measurement {
                         name: match name {
@@ -381,10 +405,14 @@ pub fn record_to_json(record: &RunRecord) -> json::Value {
 /// Appends `record` to the JSON array in `path` (creating the file as a
 /// one-element array if absent) and returns the new run count.
 ///
+/// The appended array is re-validated before anything is written, so a
+/// duplicate label or a label that would land out of PR order (see
+/// [`validate`]) rejects the append and leaves the file untouched.
+///
 /// # Errors
 ///
 /// Returns a message if the existing file fails to parse or validate,
-/// or on I/O failure.
+/// if appending `record` would make it invalid, or on I/O failure.
 pub fn append_record(path: &std::path::Path, record: &RunRecord) -> Result<usize, String> {
     let mut runs = match std::fs::read_to_string(path) {
         Ok(text) => match validate(&text) {
@@ -396,14 +424,39 @@ pub fn append_record(path: &std::path::Path, record: &RunRecord) -> Result<usize
     };
     runs.push(record_to_json(record));
     let text = json::Value::Array(runs.clone()).pretty();
+    if let Err(e) = validate(&text) {
+        return Err(format!(
+            "{}: appending `{}` would invalidate the file: {e}",
+            path.display(),
+            record.label
+        ));
+    }
     std::fs::write(path, text + "\n").map_err(|e| format!("{}: {e}", path.display()))?;
     Ok(runs.len())
+}
+
+/// The PR sequence number of a `pr<N>-...` benchmark label, if the
+/// label follows that convention (the convention every checked-in
+/// record uses; free-form labels simply opt out of ordering checks).
+fn pr_sequence(label: &str) -> Option<u64> {
+    let digits: String = label
+        .strip_prefix("pr")?
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
 }
 
 /// Parses `text` and checks it against the `dynlink-simspeed/1` schema:
 /// a JSON array of run objects, each with a `schema` tag, a `label`, a
 /// positive `budget` and a non-empty `workloads` array of
 /// `{name, instructions, nanos, mips}` objects. Returns the run values.
+///
+/// Beyond per-run shape, the array as a whole is the project's
+/// performance trajectory, so its history rules are checked too:
+/// labels must be unique (a duplicate silently shadows the run it
+/// repeats) and `pr<N>-...` labels must appear in non-decreasing PR
+/// order (an out-of-order insert rewrites history).
 ///
 /// # Errors
 ///
@@ -413,6 +466,7 @@ pub fn validate(text: &str) -> Result<Vec<json::Value>, String> {
     let json::Value::Array(runs) = value else {
         return Err("top level is not a JSON array".into());
     };
+    let mut labels: Vec<String> = Vec::with_capacity(runs.len());
     for (i, run) in runs.iter().enumerate() {
         let json::Value::Object(fields) = run else {
             return Err(format!("run {i}: not an object"));
@@ -425,7 +479,21 @@ pub fn validate(text: &str) -> Result<Vec<json::Value>, String> {
             _ => return Err(format!("run {i}: missing or wrong `schema` tag")),
         }
         match get("label") {
-            Some(json::Value::String(s)) if !s.is_empty() => {}
+            Some(json::Value::String(s)) if !s.is_empty() => {
+                if labels.iter().any(|l| l == s) {
+                    return Err(format!("run {i}: duplicate label `{s}`"));
+                }
+                if let (Some(prev), Some(seq)) =
+                    (labels.last().and_then(|l| pr_sequence(l)), pr_sequence(s))
+                {
+                    if seq < prev {
+                        return Err(format!(
+                            "run {i}: label `{s}` is out of order after `pr{prev}` entries"
+                        ));
+                    }
+                }
+                labels.push(s.clone());
+            }
             _ => return Err(format!("run {i}: missing `label`")),
         }
         match get("budget") {
@@ -490,7 +558,7 @@ mod tests {
     #[test]
     fn workloads_execute_their_budget() {
         for name in WORKLOADS {
-            let executed = run_workload(name, 20_000);
+            let executed = run_workload(name, 20_000, true);
             assert!(
                 executed >= 20_000,
                 "{name}: executed only {executed} of 20000"
@@ -502,7 +570,7 @@ mod tests {
 
     #[test]
     fn measurements_report_positive_mips() {
-        let ms = measure_all(10_000, 2);
+        let ms = measure_all(10_000, 2, true);
         assert_eq!(ms.len(), WORKLOADS.len());
         for m in &ms {
             assert!(m.mips() > 0.0, "{}: zero MIPS", m.name);
@@ -514,7 +582,7 @@ mod tests {
         let record = RunRecord {
             label: "test".into(),
             budget: 10_000,
-            workloads: measure_all(10_000, 1),
+            workloads: measure_all(10_000, 1, false),
         };
         let text = json::Value::Array(vec![record_to_json(&record)]).pretty();
         let runs = validate(&text).expect("self-produced record validates");
@@ -528,8 +596,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bench.json");
         let _ = std::fs::remove_file(&path);
-        let record = RunRecord {
-            label: "a".into(),
+        let record = |label: &str| RunRecord {
+            label: label.into(),
             budget: 1,
             workloads: vec![Measurement {
                 name: "trampoline-heavy",
@@ -537,11 +605,47 @@ mod tests {
                 nanos: 1,
             }],
         };
-        assert_eq!(append_record(&path, &record).unwrap(), 1);
-        assert_eq!(append_record(&path, &record).unwrap(), 2);
+        assert_eq!(append_record(&path, &record("pr1-a")).unwrap(), 1);
+        assert_eq!(append_record(&path, &record("pr2-b")).unwrap(), 2);
         let runs = validate(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(runs.len(), 2);
+
+        // A duplicate label or an out-of-PR-order label must reject the
+        // append and leave the file as it was.
+        let before = std::fs::read_to_string(&path).unwrap();
+        let dup = append_record(&path, &record("pr1-a")).unwrap_err();
+        assert!(dup.contains("duplicate label"), "{dup}");
+        let stale = append_record(&path, &record("pr1-c")).unwrap_err();
+        assert!(stale.contains("out of order"), "{stale}");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+
+        // Same PR number and free-form labels are both still fine.
+        assert_eq!(append_record(&path, &record("pr2-c")).unwrap(), 3);
+        assert_eq!(append_record(&path, &record("scratch")).unwrap(), 4);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_and_out_of_order_labels() {
+        let run = |label: &str| {
+            format!(
+                "{{\"schema\": \"{SCHEMA}\", \"label\": \"{label}\", \"budget\": 5, \
+                 \"workloads\": [{{\"name\": \"t\", \"instructions\": 1, \"nanos\": 1, \
+                 \"mips\": 1}}]}}"
+            )
+        };
+        let dup = format!("[{}, {}]", run("pr4-x"), run("pr4-x"));
+        assert!(
+            validate(&dup).unwrap_err().contains("duplicate label"),
+            "duplicate labels must be rejected"
+        );
+        let unordered = format!("[{}, {}]", run("pr6-x"), run("pr4-y"));
+        assert!(
+            validate(&unordered).unwrap_err().contains("out of order"),
+            "a PR label landing after a later PR must be rejected"
+        );
+        let ok = format!("[{}, {}, {}]", run("pr4-x"), run("pr4-y"), run("pr6-z"));
+        assert_eq!(validate(&ok).unwrap().len(), 3);
     }
 
     #[test]

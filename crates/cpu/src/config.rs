@@ -180,6 +180,24 @@ pub struct MachineConfig {
     /// for the stable-linking difftest regression, mirroring
     /// `demand_invalidate`.
     pub prelink_validate: bool,
+    /// Whether the batched run loops execute through the superblock
+    /// translation engine: hot straight-line regions are translated
+    /// into a direct-threaded micro-op IR and run tail-to-tail with
+    /// block chaining (see `docs/PERF.md`, "Superblock translation").
+    /// Purely a simulator speedup — architectural results, counters
+    /// and digests are bit-identical either way (`difftest
+    /// --no-superblock` is the scriptable A/B check). On by default;
+    /// disabling it forces the per-instruction interpreter.
+    pub superblock: bool,
+    /// Whether each superblock dispatch revalidates the block's
+    /// invalidation tags (space uid, code version, PLT epoch, eviction
+    /// generation) before executing it. On by default; disabling it
+    /// models a translation cache whose shootdowns are skipped — a
+    /// runtime code patch or demand eviction leaves a stale
+    /// translation executing dead instructions. The negative control
+    /// for the superblock difftest regression, mirroring
+    /// `demand_invalidate`/`prelink_validate`.
+    pub superblock_validate: bool,
     /// Timing penalties.
     pub penalties: Penalties,
     /// Page size used by the TLBs.
@@ -223,6 +241,8 @@ impl Default for MachineConfig {
             coherence_bus: true,
             demand_invalidate: true,
             prelink_validate: true,
+            superblock: true,
+            superblock_validate: true,
             penalties: Penalties::default(),
             page_bytes: dynlink_mem::PAGE_BYTES,
         }
@@ -305,6 +325,14 @@ mod tests {
         assert!(
             MachineConfig::default().prelink_validate,
             "prelink restore validation is on by default"
+        );
+        assert!(
+            MachineConfig::default().superblock,
+            "the superblock engine is on by default"
+        );
+        assert!(
+            MachineConfig::default().superblock_validate,
+            "superblock tag validation is on by default"
         );
     }
 

@@ -42,6 +42,7 @@
 mod config;
 mod events;
 mod machine;
+mod superblock;
 
 pub use config::{LinkAccel, MachineConfig, Penalties, SwitchPolicy};
 pub use events::{CpuError, HostCtx, HostFn, MarkEvent, RetireEvent, RetireObserver, RunExit};

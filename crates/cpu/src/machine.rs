@@ -12,6 +12,10 @@ use dynlink_uarch::{
 
 use crate::config::{MachineConfig, SwitchPolicy};
 use crate::events::{CpuError, HostCtx, HostFn, MarkEvent, RetireEvent, RetireObserver, RunExit};
+use crate::superblock::{
+    assign_fetch_runs, fuse_ops, translate_op, MicroOp, PreOp, Role, SbCache, SbOp, SuperBlock,
+    MAX_BLOCK_OPS,
+};
 
 /// Where a charged cycle went (index into the breakdown array).
 #[derive(Debug, Clone, Copy)]
@@ -359,6 +363,14 @@ impl Core {
             self.counters.itlb_misses += 1;
             self.charge_cause(self.cfg.penalties.tlb_walk, Cause::ITlb);
         }
+        self.charge_icache(pc);
+    }
+
+    /// The I-cache half of [`Core::charge_fetch`], separable so the
+    /// fetch-run path can replay it per op when the folded tail does
+    /// not apply.
+    #[inline]
+    fn charge_icache(&mut self, pc: VirtAddr) {
         if self.icache.access(pc).is_miss() {
             self.counters.icache_misses += 1;
             let miss_cost = if self.l2.access(pc).is_hit() {
@@ -373,6 +385,56 @@ impl Core {
                 self.l2.fill(next);
             }
         }
+    }
+
+    /// Fetch accounting for a run of `k ≥ 1` consecutive same-line,
+    /// same-page fetches whose non-final ops cannot fault (the
+    /// [`SbOp::fetch_run`] contract). The first access is charged
+    /// exactly; for the tail the structural outcomes are already
+    /// determined, so the accounting folds to counter arithmetic plus
+    /// one real access that lands the final LRU stamp:
+    ///
+    /// * **I-TLB** — the entry is resident after the first access (a
+    ///   miss fills it, nothing evicts mid-run: execution never touches
+    ///   the I-TLB and there is no I-TLB prefetch), so every tail
+    ///   access is a hit on the same entry. Always foldable.
+    /// * **I-cache** — foldable only when the first access *hit*: a
+    ///   miss triggers the next-line prefetch fill, which in degenerate
+    ///   geometries can evict the just-filled line, making tail
+    ///   outcomes (and their L2 probes, which interleave with data-side
+    ///   L2 traffic) depend on execution order. In that case the caller
+    ///   must replay [`Core::charge_icache`] per tail op, in program
+    ///   order; `false` reports this.
+    fn charge_fetch_run(&mut self, asid: u64, pc: VirtAddr, k: u64) -> bool {
+        if self.itlb.access(asid, pc).is_miss() {
+            self.counters.itlb_misses += 1;
+            self.charge_cause(self.cfg.penalties.tlb_walk, Cause::ITlb);
+        }
+        let icache_hit = self.icache.access(pc).is_hit();
+        if !icache_hit {
+            self.counters.icache_misses += 1;
+            let miss_cost = if self.l2.access(pc).is_hit() {
+                self.cfg.penalties.l2_hit
+            } else {
+                self.cfg.penalties.memory
+            };
+            self.charge_cause(miss_cost, Cause::ICache);
+            if self.cfg.icache_next_line_prefetch {
+                let next = pc.cache_line(self.cfg.icache.line_bytes) + self.cfg.icache.line_bytes;
+                self.icache.fill(next);
+                self.l2.fill(next);
+            }
+        }
+        if k > 1 {
+            // Tail accesses 2..k are guaranteed hits on the entry the
+            // first access just touched: fold them to counter
+            // arithmetic plus the final LRU restamp.
+            self.itlb.fold_hits(k - 1);
+            if icache_hit {
+                self.icache.fold_hits(k - 1);
+            }
+        }
+        icache_hit
     }
 
     /// Data-side access accounting.
@@ -517,17 +579,20 @@ impl Core {
         pc: VirtAddr,
         arch_target: VirtAddr,
     ) -> (VirtAddr, Option<VirtAddr>) {
-        let pred = self.btb.lookup(pc);
+        // The ABTB consult reads only the ABTB, so it can precede the
+        // BTB probe; the retrain target is then known up front and the
+        // BTB lookup + update fuse into one probe (`Btb::resolve`).
+        // Counter and cycle increments within one resolution commute.
         if self.cfg.accel.has_abtb() {
             let key = self.tagged(asid, arch_target);
             if let Some(mapped) = self.abtb.lookup(key) {
                 self.counters.abtb_hits += 1;
+                let pred = self.btb.resolve(pc, mapped);
                 let correct = pred == Some(mapped) || pred == Some(arch_target);
                 if !correct {
                     self.counters.branch_mispredictions += 1;
                     self.charge_cause(self.cfg.penalties.branch_mispredict, Cause::Mispredict);
                 }
-                self.btb.update(pc, mapped);
                 // The trampoline executes only when fetch actually went
                 // there (prediction matched the architectural target).
                 if pred == Some(arch_target) {
@@ -537,11 +602,11 @@ impl Core {
                 return (mapped, Some(arch_target));
             }
         }
+        let pred = self.btb.resolve(pc, arch_target);
         if pred != Some(arch_target) {
             self.counters.branch_mispredictions += 1;
             self.charge_cause(self.cfg.penalties.branch_mispredict, Cause::Mispredict);
         }
-        self.btb.update(pc, arch_target);
         (arch_target, None)
     }
 
@@ -712,6 +777,57 @@ impl Core {
         })
     }
 
+    /// Executes a fused register-only pre-op — the subset of
+    /// [`Core::exec_sbop`] arms that cannot fault, touch memory-system
+    /// state or transfer control — and retires it: instruction
+    /// counters and pattern training, exactly as if it had dispatched
+    /// on its own. (Its fetch and base-cycle charges are part of the
+    /// enclosing fetch-run window.)
+    #[inline]
+    fn exec_pre(&mut self, pre: &PreOp) {
+        match pre.op {
+            MicroOp::AluRR { op, dst, src } => {
+                let value = op.apply(self.reg(dst), self.reg(src));
+                self.set_reg(dst, value);
+            }
+            MicroOp::AluRI { op, dst, imm } => {
+                let value = op.apply(self.reg(dst), imm);
+                self.set_reg(dst, value);
+            }
+            MicroOp::MovImm { dst, imm } => self.set_reg(dst, imm),
+            MicroOp::MovReg { dst, src } => {
+                let v = self.reg(src);
+                self.set_reg(dst, v);
+            }
+            MicroOp::Lea { dst, mem } => {
+                let ea = self.effective_addr(mem);
+                self.set_reg(dst, ea.as_u64());
+            }
+            // `Nop` does nothing; other variants are excluded by the
+            // fusion precondition (`SbOp::fold_safe`).
+            _ => {}
+        }
+        self.counters.instructions += 1;
+        if pre.in_plt {
+            self.counters.trampoline_instructions += 1;
+        }
+        // Pattern training for a register-only instruction: never a
+        // call or memory-indirect jump, so only the scratch-tolerance
+        // and pattern-break arms of `train_role` can apply.
+        if self.cfg.accel.has_abtb() {
+            match (pre.role, &mut self.pending) {
+                (Role::ScratchOnly, Some(p)) => {
+                    p.body += 1;
+                    if p.body > self.cfg.max_trampoline_body {
+                        self.pending = None;
+                    }
+                }
+                (Role::ScratchOnly, None) => {}
+                _ => self.pending = None,
+            }
+        }
+    }
+
     #[inline]
     fn operand(&self, op: Operand) -> u64 {
         match op {
@@ -767,6 +883,229 @@ impl Core {
                 }
             }
             (slot, _) => *slot = None,
+        }
+    }
+
+    /// Executes one translated micro-op functionally — the superblock
+    /// engine's counterpart of [`Core::exec`], arm for arm, with the
+    /// fall-through pc pre-resolved in the [`SbOp`] instead of derived
+    /// from `encoded_len` per execution.
+    #[inline]
+    fn exec_sbop(&mut self, shared: &mut Shared, asid: u64, sbop: &SbOp) -> Result<Exec, MemError> {
+        let pc = sbop.pc;
+        let fall = sbop.fall;
+        let mut loaded_slot = None;
+        let mut skipped = None;
+        let next_pc = match sbop.op {
+            MicroOp::AluRR { op, dst, src } => {
+                let value = op.apply(self.reg(dst), self.reg(src));
+                self.set_reg(dst, value);
+                fall
+            }
+            MicroOp::AluRI { op, dst, imm } => {
+                let value = op.apply(self.reg(dst), imm);
+                self.set_reg(dst, value);
+                fall
+            }
+            MicroOp::MovImm { dst, imm } => {
+                self.set_reg(dst, imm);
+                fall
+            }
+            MicroOp::MovReg { dst, src } => {
+                let v = self.reg(src);
+                self.set_reg(dst, v);
+                fall
+            }
+            MicroOp::Lea { dst, mem } => {
+                let ea = self.effective_addr(mem);
+                self.set_reg(dst, ea.as_u64());
+                fall
+            }
+            MicroOp::Load { dst, mem } => {
+                let ea = self.effective_addr(mem);
+                let v = self.load_u64(shared, ea)?;
+                self.set_reg(dst, v);
+                fall
+            }
+            MicroOp::Store { src, mem } => {
+                let ea = self.effective_addr(mem);
+                let v = self.reg(src);
+                self.retire_store(shared, ea, v)?;
+                fall
+            }
+            MicroOp::Push { src } => {
+                let v = self.reg(src);
+                self.push_stack(shared, v)?;
+                fall
+            }
+            MicroOp::Pop { dst } => {
+                let v = self.pop_stack(shared)?;
+                self.set_reg(dst, v);
+                fall
+            }
+            MicroOp::CallDirect { target } => {
+                self.counters.branches += 1;
+                self.push_stack(shared, fall.as_u64())?;
+                self.ras.push(fall);
+                let (next, skip) = self.resolve_btb_branch(asid, pc, target);
+                skipped = skip;
+                next
+            }
+            MicroOp::CallIndirectReg { target } => {
+                self.counters.branches += 1;
+                let t = VirtAddr::new(self.reg(target));
+                self.push_stack(shared, fall.as_u64())?;
+                self.ras.push(fall);
+                let (next, skip) = self.resolve_btb_branch(asid, pc, t);
+                skipped = skip;
+                next
+            }
+            MicroOp::CallIndirectMem { mem } => {
+                self.counters.branches += 1;
+                let ea = self.effective_addr(mem);
+                let t = VirtAddr::new(self.load_u64(shared, ea)?);
+                loaded_slot = Some(ea);
+                self.push_stack(shared, fall.as_u64())?;
+                self.ras.push(fall);
+                let (next, skip) = self.resolve_btb_branch(asid, pc, t);
+                skipped = skip;
+                next
+            }
+            MicroOp::JmpDirect { target } => {
+                self.counters.branches += 1;
+                let (next, skip) = self.resolve_btb_branch(asid, pc, target);
+                skipped = skip;
+                next
+            }
+            MicroOp::JmpIndirectMem { mem } => {
+                self.counters.branches += 1;
+                let ea = self.effective_addr(mem);
+                let t = VirtAddr::new(self.load_u64(shared, ea)?);
+                loaded_slot = Some(ea);
+                let (next, skip) = self.resolve_btb_branch(asid, pc, t);
+                skipped = skip;
+                next
+            }
+            MicroOp::JmpIndirectReg { target } => {
+                self.counters.branches += 1;
+                let t = VirtAddr::new(self.reg(target));
+                let (next, skip) = self.resolve_btb_branch(asid, pc, t);
+                skipped = skip;
+                next
+            }
+            MicroOp::BranchRR {
+                cond,
+                lhs,
+                rhs,
+                target,
+            } => {
+                self.counters.branches += 1;
+                let taken = cond.eval(self.reg(lhs), self.reg(rhs));
+                let predicted = self.bpred.predict(pc);
+                if predicted != taken {
+                    self.counters.branch_mispredictions += 1;
+                    self.charge_cause(self.cfg.penalties.branch_mispredict, Cause::Mispredict);
+                }
+                self.bpred.update(pc, taken);
+                if taken {
+                    self.btb.update(pc, target);
+                    target
+                } else {
+                    fall
+                }
+            }
+            MicroOp::BranchRI {
+                cond,
+                lhs,
+                imm,
+                target,
+            } => {
+                self.counters.branches += 1;
+                let taken = cond.eval(self.reg(lhs), imm);
+                let predicted = self.bpred.predict(pc);
+                if predicted != taken {
+                    self.counters.branch_mispredictions += 1;
+                    self.charge_cause(self.cfg.penalties.branch_mispredict, Cause::Mispredict);
+                }
+                self.bpred.update(pc, taken);
+                if taken {
+                    self.btb.update(pc, target);
+                    target
+                } else {
+                    fall
+                }
+            }
+            MicroOp::Ret => {
+                self.counters.branches += 1;
+                let predicted = self.ras.pop();
+                let actual = VirtAddr::new(self.pop_stack(shared)?);
+                if predicted != Some(actual) {
+                    self.counters.branch_mispredictions += 1;
+                    self.charge_cause(self.cfg.penalties.branch_mispredict, Cause::Mispredict);
+                }
+                actual
+            }
+            MicroOp::Nop => fall,
+            MicroOp::Halt => {
+                self.halted = true;
+                pc
+            }
+            MicroOp::Mark { id } => {
+                let ev = MarkEvent {
+                    id,
+                    instructions: self.counters.instructions + 1,
+                    cycles: self.cycles(),
+                };
+                self.marks.push(ev);
+                fall
+            }
+        };
+        Ok(Exec {
+            next_pc,
+            loaded_slot,
+            skipped,
+        })
+    }
+
+    /// Retire-stage ABTB training with the pattern role precomputed at
+    /// translation time — semantically identical to
+    /// [`Core::train_pattern`], minus the per-retire `Inst` predicate
+    /// chain.
+    #[inline]
+    fn train_role(&mut self, asid: u64, role: Role, exec: &Exec) {
+        if !self.cfg.accel.has_abtb() {
+            return;
+        }
+        match role {
+            Role::Call => {
+                self.pending = if exec.skipped.is_none() {
+                    Some(Pending {
+                        call_target: exec.next_pc,
+                        body: 0,
+                    })
+                } else {
+                    None
+                };
+            }
+            Role::MemIndirectJump => {
+                if let (Some(p), Some(slot)) = (self.pending.take(), exec.loaded_slot) {
+                    let key = self.tagged(asid, p.call_target);
+                    self.counters.abtb_inserts += 1;
+                    self.abtb.insert(key, exec.next_pc);
+                    if self.cfg.accel.has_bloom() {
+                        self.bloom.insert(slot.as_u64());
+                    }
+                }
+            }
+            Role::ScratchOnly => {
+                if let Some(p) = &mut self.pending {
+                    p.body += 1;
+                    if p.body > self.cfg.max_trampoline_body {
+                        self.pending = None;
+                    }
+                }
+            }
+            Role::Other => self.pending = None,
         }
     }
 }
@@ -922,6 +1261,13 @@ pub struct Machine {
     /// driven by the scheduler above, e.g. `MultiProcessSystem`); the
     /// other cores' private state stays warm and snoops the bus.
     active: usize,
+    /// The superblock translation cache (see `crate::superblock`):
+    /// straight-line regions compiled to micro-op blocks, tagged with
+    /// the same uid/code-version/PLT-epoch discipline as the predecode
+    /// arena plus a cache-wide eviction generation. A separate field
+    /// from [`Shared`] so block ops can be borrowed while core/shared
+    /// state is mutated during execution.
+    sb: SbCache,
     host_fns: HashMap<u32, HostFn>,
     observers: Vec<Arc<Mutex<dyn RetireObserver + Send>>>,
 }
@@ -1028,6 +1374,7 @@ impl MachineBuilder {
             shared: Shared::new(space, snoop),
             cores,
             active: 0,
+            sb: SbCache::default(),
             host_fns: HashMap::new(),
             observers: Vec::new(),
         }
@@ -1293,6 +1640,12 @@ impl Machine {
         budget_end: u64,
         target_marks: usize,
     ) -> Result<RunExit, CpuError> {
+        if !OBSERVE && self.core().cfg.superblock {
+            // Observer-free runs dispatch translated superblocks;
+            // observed runs need a per-instruction `RetireEvent`, which
+            // only the interpreter produces.
+            return self.run_loop_superblock::<MARKS>(budget_end, target_marks);
+        }
         while !self.core().halted {
             if MARKS && self.core().marks.len() >= target_marks {
                 return Ok(RunExit::InstLimit);
@@ -1303,6 +1656,350 @@ impl Machine {
             self.step_one::<OBSERVE>()?;
         }
         Ok(RunExit::Halted)
+    }
+
+    /// The translated-block dispatch loop (see `crate::superblock`):
+    /// resolve the block entered at the current pc — successor memo,
+    /// then dispatch index, then translation — and execute its micro-ops
+    /// tail-to-tail. Run bookkeeping (halt, budget, mark count) is
+    /// checked once per block, which is exact: instructions retire only
+    /// inside `sb_run_block`, budget cuts stop mid-block at an op
+    /// boundary, and `Mark` is a block terminal so the mark count can
+    /// only change where the loop already checks it.
+    fn run_loop_superblock<const MARKS: bool>(
+        &mut self,
+        budget_end: u64,
+        target_marks: usize,
+    ) -> Result<RunExit, CpuError> {
+        let mut prev: Option<u32> = None;
+        loop {
+            let core = &self.cores[self.active];
+            if core.halted {
+                return Ok(RunExit::Halted);
+            }
+            if MARKS && core.marks.len() >= target_marks {
+                return Ok(RunExit::InstLimit);
+            }
+            if core.counters.instructions >= budget_end {
+                return Ok(RunExit::InstLimit);
+            }
+            let pc = core.pc;
+            match self.sb_block_at(pc, prev) {
+                // A block whose first op is fused retires two
+                // instructions atomically; with only one left in the
+                // budget, a single interpreter step handles the
+                // boundary exactly.
+                Some(idx)
+                    if self.sb.blocks[idx as usize].ops[0].count()
+                        > budget_end - self.cores[self.active].counters.instructions =>
+                {
+                    self.step_one::<false>()?;
+                    prev = None;
+                }
+                Some(idx) => {
+                    if let Some(p) = prev {
+                        self.sb.blocks[p as usize].succ = Some((pc, idx));
+                    }
+                    prev = Some(self.sb_run_chain::<MARKS>(idx, budget_end, target_marks)?);
+                }
+                None => {
+                    // The entry cannot start a block: a host call, a
+                    // code hole, or a fetch fault. One interpreter step
+                    // handles it — including the demand fault-in/retry
+                    // path and its counters — then dispatch resumes.
+                    self.step_one::<false>()?;
+                    prev = None;
+                }
+            }
+        }
+    }
+
+    /// Resolves the translated block entered at `pc`, revalidating its
+    /// tags (uid always; code version, PLT epoch and eviction generation
+    /// unless [`MachineConfig::superblock_validate`] is off — the
+    /// stale-translation negative control). Misses and stale hits
+    /// retranslate in place; `None` means the entry instruction itself
+    /// is untranslatable and the caller must take one interpreter step.
+    fn sb_block_at(&mut self, pc: VirtAddr, prev: Option<u32>) -> Option<u32> {
+        let uid = self.shared.space.uid();
+        let version = self.shared.space.code_version();
+        let epoch = self.shared.plt_epoch;
+        let gen = self.sb.gen;
+        let validate = self.cores[self.active].cfg.superblock_validate;
+        let current = |b: &SuperBlock| {
+            b.uid == uid
+                && (!validate || (b.version == version && b.plt_epoch == epoch && b.gen == gen))
+        };
+        // Chained dispatch: the previous block usually memoizes exactly
+        // this successor, making steady-state dispatch hash-free.
+        if let Some(p) = prev {
+            if let Some((spc, sidx)) = self.sb.blocks[p as usize].succ {
+                if spc == pc {
+                    let b = &self.sb.blocks[sidx as usize];
+                    if b.entry == pc && current(b) {
+                        return Some(sidx);
+                    }
+                }
+            }
+        }
+        if let Some(idx) = self.sb.lookup(uid, pc) {
+            // The index key pins (uid, entry); only the staleness tags
+            // need rechecking.
+            if current(&self.sb.blocks[idx as usize]) {
+                return Some(idx);
+            }
+        }
+        let ops = self.sb_translate(pc);
+        if ops.is_empty() {
+            return None;
+        }
+        Some(self.sb.install(SuperBlock {
+            entry: pc,
+            uid,
+            version,
+            plt_epoch: epoch,
+            gen,
+            inst_total: ops.iter().map(SbOp::count).sum(),
+            ops: ops.into_boxed_slice(),
+            succ: None,
+        }))
+    }
+
+    /// Scans the straight-line run starting at `entry` out of the
+    /// predecoded page: consecutive same-page instructions up to and
+    /// including the first block terminal, or cut short by the length
+    /// cap, the page boundary, or the first untranslatable (host-call)
+    /// or missing instruction. Translation itself is architecturally
+    /// invisible: decoding mutates only the predecode arena, never
+    /// counters or cycle charges, so looking ahead past instructions
+    /// that may never execute is safe. Fetch errors (demand faults,
+    /// holes) just end the run — the interpreter services the condition
+    /// if execution actually reaches that pc.
+    fn sb_translate(&mut self, entry: VirtAddr) -> Vec<SbOp> {
+        let active = self.active;
+        let entry_pn = entry.page_number(PAGE_BYTES);
+        let mut ops = Vec::new();
+        let mut pc = entry;
+        while ops.len() < MAX_BLOCK_OPS && pc.page_number(PAGE_BYTES) == entry_pn {
+            let Ok((inst, in_plt)) = self.cores[active].fetch_decoded(&mut self.shared, pc) else {
+                break;
+            };
+            let Some((op, terminal)) = translate_op(inst, pc, in_plt) else {
+                break;
+            };
+            let fall = op.fall;
+            ops.push(op);
+            if terminal {
+                break;
+            }
+            pc = fall;
+        }
+        let cfg = &self.cores[active].cfg;
+        let mut ops = fuse_ops(ops, cfg.icache.line_bytes, cfg.page_bytes);
+        assign_fetch_runs(&mut ops, cfg.icache.line_bytes, cfg.page_bytes);
+        ops
+    }
+
+    /// Executes block `idx` and then keeps chaining through successor
+    /// memos, without returning to the dispatcher, for as long as each
+    /// memoized successor revalidates. Returns the index of the last
+    /// block executed (the dispatcher seeds its next memo from it).
+    ///
+    /// Every invalidation tag — space uid, code version, PLT epoch,
+    /// eviction generation, ASID — is loop-invariant across the whole
+    /// chain and hoisted out of it: blocks never contain host calls,
+    /// and micro-op execution cannot patch code, swap processes, drop
+    /// pages or redeclare PLT ranges (stores to code pages are
+    /// `KindMismatch` faults). The memo hop still compares the
+    /// *successor's* stored tags against the hoisted values: the memo
+    /// may predate a patch or eviction, and a stale successor must fall
+    /// back to the dispatcher for retranslation.
+    ///
+    /// Each micro-op retires with exactly the per-instruction sequence
+    /// of [`Machine::step_one`]: fetch charge, base charge, functional
+    /// execution, bus drain, retire counters, pattern training, pc
+    /// update. A budget cut stops at an op boundary with the pc on the
+    /// first unexecuted op (resuming there later translates a new
+    /// block mid-run); a memory fault parks the pc on the faulting op
+    /// and reports it exactly as the interpreter would.
+    fn sb_run_chain<const MARKS: bool>(
+        &mut self,
+        mut idx: u32,
+        budget_end: u64,
+        target_marks: usize,
+    ) -> Result<u32, CpuError> {
+        let active = self.active;
+        let Machine {
+            shared, cores, sb, ..
+        } = self;
+        let asid = shared.space.asid();
+        let uid = shared.space.uid();
+        let version = shared.space.code_version();
+        let epoch = shared.plt_epoch;
+        let gen = sb.gen;
+        let validate = cores[active].cfg.superblock_validate;
+        // Split the active core out of the slice once: the per-op body
+        // then works through one straight `&mut Core` (no bounds check
+        // per use), and the bus drain still reaches every *other* core
+        // through the two remainder slices.
+        let (left, rest) = cores.split_at_mut(active);
+        let (core, right) = rest.split_first_mut().expect("active core in range");
+        let mut next_pc;
+        // Executes one main op and retires it: functional execution,
+        // bus drain, counters, pattern training — everything but the
+        // fetch/base charges, which the enclosing window handles.
+        // (A macro, not a closure, because it borrows `core`,
+        // `shared`, `left`, `right` and early-returns on faults.)
+        macro_rules! retire_main {
+            ($op:expr) => {{
+                let op = $op;
+                let exec = match core.exec_sbop(shared, asid, op) {
+                    Ok(e) => e,
+                    Err(source) => {
+                        core.pc = op.pc;
+                        return Err(CpuError { pc: op.pc, source });
+                    }
+                };
+                // Bus drain, as in `step_one`: stores this op retired
+                // are snooped by every other core before the next op
+                // issues.
+                if !shared.bus.is_empty() {
+                    let bus = std::mem::take(&mut shared.bus);
+                    for &addr in &bus {
+                        for c in left.iter_mut().chain(right.iter_mut()) {
+                            c.snoop_store(addr);
+                        }
+                    }
+                    shared.bus = bus;
+                    shared.bus.clear();
+                }
+                core.counters.instructions += 1;
+                if op.in_plt {
+                    core.counters.trampoline_instructions += 1;
+                }
+                if let Some(tramp) = exec.skipped {
+                    if shared.is_plt(tramp) {
+                        core.counters.trampolines_skipped += 1;
+                    }
+                }
+                core.train_role(asid, op.role, &exec);
+                next_pc = exec.next_pc;
+            }};
+        }
+        loop {
+            let blk = &sb.blocks[idx as usize];
+            let ops = &blk.ops;
+            let budget = budget_end - core.counters.instructions;
+            // Ops executable within the instruction budget. A fused op
+            // retires two instructions atomically, so a budget cut can
+            // only land between ops; the dispatcher and the memo hop
+            // both guarantee at least the first op fits.
+            let n = if budget >= blk.inst_total {
+                ops.len()
+            } else {
+                let mut n = 0usize;
+                let mut left_budget = budget;
+                while n < ops.len() {
+                    let c = ops[n].count();
+                    if c > left_budget {
+                        break;
+                    }
+                    left_budget -= c;
+                    n += 1;
+                }
+                n
+            };
+            debug_assert!(n > 0, "dispatched block with no budget or no ops");
+            next_pc = core.pc;
+            // Fetch-run windows: the head op's window covers
+            // `fetch_insts` instructions on one I-cache line of which
+            // only the last can fault, so all fetch and base-cycle
+            // charges land up front (folded where the structural
+            // outcome is predetermined) before the window executes.
+            let mut i = 0;
+            while i < n {
+                let head = &ops[i];
+                let k_ops = head.fetch_run as usize;
+                if i + k_ops <= n {
+                    let insts = u64::from(head.fetch_insts);
+                    let folded = if insts > 1 {
+                        core.charge_fetch_run(asid, head.first_pc(), insts)
+                    } else {
+                        core.charge_fetch(asid, head.first_pc());
+                        true
+                    };
+                    let base = core.cfg.penalties.base_milli_cycles * insts;
+                    core.cycle_millis += base;
+                    core.breakdown_millis[Cause::Base as usize] += base;
+                    // When the head fetch missed the I-cache the tail
+                    // outcomes were not foldable: replay the I-cache
+                    // side per instruction, in program order, skipping
+                    // the window's first (already charged in full).
+                    let mut skip_first = true;
+                    for op in &ops[i..i + k_ops] {
+                        if let Some(pre) = &op.pre {
+                            if !folded && !skip_first {
+                                core.charge_icache(pre.pc);
+                            }
+                            skip_first = false;
+                            core.exec_pre(pre);
+                        }
+                        if !folded && !skip_first {
+                            core.charge_icache(op.pc);
+                        }
+                        skip_first = false;
+                        retire_main!(op);
+                    }
+                    i += k_ops;
+                } else {
+                    // Budget-truncated window: charge per instruction,
+                    // in program order, exactly as the interpreter
+                    // would.
+                    for op in &ops[i..n] {
+                        if let Some(pre) = &op.pre {
+                            core.charge_fetch(asid, pre.pc);
+                            core.cycle_millis += core.cfg.penalties.base_milli_cycles;
+                            core.breakdown_millis[Cause::Base as usize] +=
+                                core.cfg.penalties.base_milli_cycles;
+                            core.exec_pre(pre);
+                        }
+                        core.charge_fetch(asid, op.pc);
+                        core.cycle_millis += core.cfg.penalties.base_milli_cycles;
+                        core.breakdown_millis[Cause::Base as usize] +=
+                            core.cfg.penalties.base_milli_cycles;
+                        retire_main!(op);
+                    }
+                    i = n;
+                }
+            }
+            core.pc = next_pc;
+            // Run bookkeeping between blocks, as the dispatcher would.
+            if core.halted
+                || (MARKS && core.marks.len() >= target_marks)
+                || core.counters.instructions >= budget_end
+            {
+                return Ok(idx);
+            }
+            // Memo hop: stay in the chain only for a successor recorded
+            // at exactly this pc that still revalidates.
+            let Some((spc, sidx)) = sb.blocks[idx as usize].succ else {
+                return Ok(idx);
+            };
+            let next = &sb.blocks[sidx as usize];
+            if spc != next_pc
+                || next.entry != next_pc
+                || next.uid != uid
+                || (validate
+                    && (next.version != version || next.plt_epoch != epoch || next.gen != gen))
+                // A fused first op retires two instructions atomically;
+                // if the remaining budget cannot cover it, hand back to
+                // the dispatcher, whose guard takes an interpreter step.
+                || next.ops[0].count() > budget_end - core.counters.instructions
+            {
+                return Ok(idx);
+            }
+            idx = sidx;
+        }
     }
 
     /// Runs until `halt` retires or `max_instructions` more instructions
@@ -1500,6 +2197,7 @@ impl Machine {
         if evicted {
             let uid = self.shared.space.uid();
             self.shared.drop_page(uid, addr.page_number(PAGE_BYTES));
+            self.sb.invalidate_all();
             self.cores[self.active].counters.demand_faults_out += 1;
         }
         Ok(evicted)
@@ -1523,6 +2221,7 @@ impl Machine {
             for pn in first..=last {
                 self.shared.drop_page(uid, pn);
             }
+            self.sb.invalidate_all();
         }
         removed
     }

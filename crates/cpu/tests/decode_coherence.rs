@@ -15,6 +15,15 @@
 //!   fallback;
 //! - PLT ranges declared in any order classify correctly, and
 //!   re-declaring them retags cached `in_plt` flags.
+//!
+//! The superblock translation cache sits one layer above the predecode
+//! and owes the same discipline, so the second half of this file pins
+//! its shootdown rules: `patch_code` under an already-cached block,
+//! module GC tombstoning the target of a chained block, ASID-aliased
+//! processes whose translations must never alias, a demand fault-out
+//! splitting a translated straight-line run — and the
+//! `superblock_validate = false` negative control proving the
+//! per-dispatch revalidation is what keeps all of the above honest.
 
 use dynlink_cpu::{Machine, MachineConfig, ProcessContext};
 use dynlink_isa::{Inst, Reg, VirtAddr};
@@ -214,6 +223,179 @@ fn redeclaring_plt_ranges_retags_predecoded_pages() {
         executed,
         "every instruction of the loop now lies in a PLT range"
     );
+}
+
+#[test]
+fn patch_code_under_a_cached_superblock_retranslates() {
+    // Translate and execute a block to completion, patch one of its
+    // instructions, then re-enter the same block entry: the bumped
+    // `code_version` must fail the dispatch revalidation and the
+    // patched instruction must execute.
+    let mut s = code_space(1);
+    let mov = Inst::mov_imm(Reg::R0, 7);
+    s.place_code(va(TEXT), mov).unwrap();
+    s.place_code(va(TEXT) + mov.encoded_len(), Inst::Halt)
+        .unwrap();
+    let mut m = Machine::new(MachineConfig::baseline(), s);
+    m.init_stack(va(STACK_TOP), 0x1000).unwrap();
+    m.reset(va(TEXT));
+    m.run(10).unwrap();
+    assert_eq!(m.reg(Reg::R0), 7);
+
+    m.space_mut()
+        .patch_code(va(TEXT), Inst::mov_imm(Reg::R0, 99))
+        .unwrap();
+    m.reset(va(TEXT));
+    m.run(10).unwrap();
+    assert!(m.halted());
+    assert_eq!(m.reg(Reg::R0), 99, "stale superblock served the old mov");
+}
+
+#[test]
+fn skipped_superblock_shootdown_diverges() {
+    // The negative control for the test above, mirroring the
+    // `demand_invalidate`/`prelink_validate` discipline: with
+    // `superblock_validate = false` the dispatch ignores the bumped
+    // code version and replays the stale translation — the observable
+    // divergence the per-dispatch revalidation exists to prevent. If
+    // this test ever starts seeing 99, the knob has stopped modeling a
+    // skipped shootdown and the positive test proves nothing.
+    let cfg = MachineConfig {
+        superblock_validate: false,
+        ..MachineConfig::baseline()
+    };
+    let mut s = code_space(1);
+    let mov = Inst::mov_imm(Reg::R0, 7);
+    s.place_code(va(TEXT), mov).unwrap();
+    s.place_code(va(TEXT) + mov.encoded_len(), Inst::Halt)
+        .unwrap();
+    let mut m = Machine::new(cfg, s);
+    m.init_stack(va(STACK_TOP), 0x1000).unwrap();
+    m.reset(va(TEXT));
+    m.run(10).unwrap();
+    assert_eq!(m.reg(Reg::R0), 7);
+
+    m.space_mut()
+        .patch_code(va(TEXT), Inst::mov_imm(Reg::R0, 99))
+        .unwrap();
+    m.reset(va(TEXT));
+    m.run(10).unwrap();
+    assert!(m.halted());
+    assert_eq!(
+        m.reg(Reg::R0),
+        7,
+        "with revalidation off the stale translation must win"
+    );
+}
+
+#[test]
+fn module_gc_tombstone_stops_a_chained_superblock() {
+    // Block A on page 1 jumps to block B on page 2; one full run caches
+    // and chains both. GC then unmaps page 2: re-entering A must
+    // retranslate (the eviction generation moved), refuse to chain into
+    // the tombstoned page and surface the unmapped fetch at B's entry —
+    // never execute B's stale translation.
+    let mut s = AddressSpace::new(1);
+    s.map_code_region(va(TEXT), 0x2000, Perms::RWX).unwrap();
+    let b_entry = va(TEXT + 0x1000);
+    s.place_code(va(TEXT), Inst::mov_imm(Reg::R1, 2)).unwrap();
+    s.place_code(
+        va(TEXT) + Inst::mov_imm(Reg::R1, 2).encoded_len(),
+        Inst::JmpDirect { target: b_entry },
+    )
+    .unwrap();
+    s.place_code(b_entry, Inst::mov_imm(Reg::R2, 3)).unwrap();
+    s.place_code(
+        b_entry + Inst::mov_imm(Reg::R2, 3).encoded_len(),
+        Inst::Halt,
+    )
+    .unwrap();
+    let mut m = Machine::new(MachineConfig::baseline(), s);
+    m.init_stack(va(STACK_TOP), 0x1000).unwrap();
+    m.reset(va(TEXT));
+    m.run(10).unwrap();
+    assert!(m.halted());
+    assert_eq!((m.reg(Reg::R1), m.reg(Reg::R2)), (2, 3));
+
+    assert_eq!(m.gc_unmap_code_region(b_entry, 0x1000), 1);
+    m.invalidate_for_module_gc();
+    m.note_module_gc();
+    m.reset(va(TEXT));
+    let err = m.run(10).unwrap_err();
+    assert_eq!(err.pc, b_entry, "the fault must land at B's entry");
+    assert!(
+        matches!(err.source, dynlink_mem::MemError::Unmapped { .. }),
+        "a chained jump into a GC'd page must fault, got {err:?}"
+    );
+}
+
+#[test]
+fn asid_aliased_processes_never_share_a_translation() {
+    // The superblock twin of the predecode aliasing test: same ASID,
+    // same entry VA, different code. Translations are keyed by the
+    // per-space uid (never the ASID), so each process must execute its
+    // own block even though both would index identically by (asid, pc).
+    let build = |value: u64| {
+        let mut s = AddressSpace::new(5);
+        s.map_code_region(va(TEXT), 0x1000, Perms::RX).unwrap();
+        let mov = Inst::mov_imm(Reg::R0, value);
+        s.place_code(va(TEXT), mov).unwrap();
+        s.place_code(va(TEXT) + mov.encoded_len(), Inst::Halt)
+            .unwrap();
+        ProcessContext::new(s, va(TEXT), va(STACK_TOP), 0x1000).unwrap()
+    };
+    let mut pa = build(111);
+    let mut pb = build(222);
+
+    let mut m = Machine::new(MachineConfig::baseline(), AddressSpace::new(0));
+    m.swap_process(&mut pa);
+    m.run(10).unwrap();
+    let a_first = m.reg(Reg::R0);
+    m.swap_process(&mut pa);
+    m.swap_process(&mut pb);
+    m.run(10).unwrap();
+    let b_result = m.reg(Reg::R0);
+    // Swap A back in and re-run its (now cached) block once more.
+    m.swap_process(&mut pb);
+    m.swap_process(&mut pa);
+    m.reset(va(TEXT));
+    m.run(10).unwrap();
+    let a_second = m.reg(Reg::R0);
+
+    assert_eq!(a_first, 111);
+    assert_eq!(b_result, 222, "process B executed process A's superblock");
+    assert_eq!(a_second, 111, "process A executed process B's superblock");
+}
+
+#[test]
+fn demand_fault_out_splits_a_translated_block() {
+    // A straight-line run translated across a page boundary, then the
+    // second page is faulted out: the eviction generation goes stale,
+    // the retranslation stops at the tombstoned page and the resumed
+    // run must demand-fault it back in transparently — same registers,
+    // one fault-out, one fault-in.
+    let mut s = AddressSpace::new(1);
+    s.map_code_region(va(TEXT), 0x2000, Perms::RWX).unwrap();
+    let add1 = Inst::add_imm(Reg::R0, 1);
+    let page2 = va(TEXT + 0x1000);
+    // Last instruction of page 1 ends exactly at the boundary.
+    let start = va(TEXT + 0x1000 - add1.encoded_len());
+    s.place_code(start, add1).unwrap();
+    s.place_code(page2, Inst::add_imm(Reg::R0, 2)).unwrap();
+    s.place_code(page2 + Inst::add_imm(Reg::R0, 2).encoded_len(), Inst::Halt)
+        .unwrap();
+    let mut m = Machine::new(MachineConfig::baseline(), s);
+    m.init_stack(va(STACK_TOP), 0x1000).unwrap();
+    m.reset(start);
+
+    m.run(1).unwrap(); // translates the block spanning both pages
+    assert_eq!(m.reg(Reg::R0), 1);
+    assert!(m.evict_code_page(page2).unwrap());
+    m.run(10).unwrap();
+    assert!(m.halted());
+    assert_eq!(m.reg(Reg::R0), 3, "the refaulted half must still execute");
+    assert_eq!(m.counters().demand_faults_out, 1);
+    assert_eq!(m.counters().demand_faults_in, 1);
 }
 
 #[test]

@@ -24,6 +24,49 @@ fn fresh_uid() -> u64 {
 type DataBytes = [u8; PAGE_BYTES as usize];
 type CodeMap = BTreeMap<u16, Inst>;
 
+/// Hasher for the page table. Keys are page numbers — small, dense
+/// integers fully controlled by the simulator, never attacker-supplied
+/// — so SipHash's DoS resistance buys nothing while its latency sits on
+/// the data-access hot path (every load/store resolves its page through
+/// this map). A single odd-constant multiply with a high→low fold
+/// spreads sequential page numbers across hashbrown's low index bits.
+#[derive(Debug, Default, Clone, Copy)]
+struct PageNumberHasher(u64);
+
+impl std::hash::Hasher for PageNumberHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a); `u64` keys take `write_u64`.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let h = (v ^ self.0).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct BuildPageNumberHasher;
+
+impl std::hash::BuildHasher for BuildPageNumberHasher {
+    type Hasher = PageNumberHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> PageNumberHasher {
+        PageNumberHasher(0)
+    }
+}
+
+type PageTable = HashMap<u64, PageEntry, BuildPageNumberHasher>;
+
 #[derive(Debug, Clone)]
 enum PageContent {
     Data(Arc<DataBytes>),
@@ -74,7 +117,7 @@ impl MemStats {
 pub struct AddressSpace {
     asid: u64,
     uid: u64,
-    pages: HashMap<u64, PageEntry>,
+    pages: PageTable,
     stats: MemStats,
     code_version: u64,
 }
@@ -102,7 +145,7 @@ impl AddressSpace {
         AddressSpace {
             asid,
             uid: fresh_uid(),
-            pages: HashMap::new(),
+            pages: PageTable::default(),
             stats: MemStats::default(),
             code_version: 0,
         }
@@ -291,6 +334,7 @@ impl AddressSpace {
     /// Resolves page `pn` for a data read, reporting errors against the
     /// page base address exactly as the historical per-page validation
     /// loop did.
+    #[inline]
     fn readable_data_page(&self, pn: u64) -> Result<&DataBytes, MemError> {
         let page_addr = VirtAddr::new(pn * PAGE_BYTES);
         let entry = self
@@ -340,22 +384,61 @@ impl AddressSpace {
     /// Copies `src` into page `pn` at `off`, doing the COW accounting.
     /// The page must already be validated as writable data.
     fn write_into_page(&mut self, pn: u64, off: usize, src: &[u8]) {
-        let shared = {
-            let entry = self.pages.get(&pn).expect("validated");
-            let PageContent::Data(data) = &entry.content else {
-                unreachable!("validated")
-            };
-            Arc::strong_count(data) > 1
-        };
-        if shared {
-            self.stats.cow_copies += 1;
-        }
         let entry = self.pages.get_mut(&pn).expect("validated");
         let PageContent::Data(data) = &mut entry.content else {
             unreachable!("validated")
         };
+        if Arc::strong_count(data) > 1 {
+            self.stats.cow_copies += 1;
+        }
         let page = Arc::make_mut(data);
         page[off..off + src.len()].copy_from_slice(src);
+    }
+
+    /// Validates *and* writes a single-page store in one page-table
+    /// lookup — the hot path behind every in-page [`write_bytes`] and
+    /// [`write_u64`]. Error reporting is identical to the two-step
+    /// validate-then-write path: errors name the page base address and
+    /// nothing is written on failure (a single page either fully
+    /// validates or fully fails).
+    ///
+    /// [`write_bytes`]: AddressSpace::write_bytes
+    /// [`write_u64`]: AddressSpace::write_u64
+    #[inline]
+    fn write_page_checked(&mut self, pn: u64, off: usize, src: &[u8]) -> Result<(), MemError> {
+        let entry = match self.pages.get_mut(&pn) {
+            Some(entry) => entry,
+            None => {
+                return Err(MemError::Unmapped {
+                    addr: VirtAddr::new(pn * PAGE_BYTES),
+                })
+            }
+        };
+        if !entry.perms.can_write() {
+            return Err(MemError::PermissionDenied {
+                addr: VirtAddr::new(pn * PAGE_BYTES),
+                need: Perms::W,
+                have: entry.perms,
+            });
+        }
+        let PageContent::Data(data) = &mut entry.content else {
+            return Err(MemError::KindMismatch {
+                addr: VirtAddr::new(pn * PAGE_BYTES),
+                expected_code: false,
+            });
+        };
+        // One uniqueness probe serves both the COW-copy count and the
+        // mutable borrow (page `Arc`s never have weak refs, so
+        // `get_mut` failing means exactly `strong_count > 1`).
+        match Arc::get_mut(data) {
+            Some(page) => page[off..off + src.len()].copy_from_slice(src),
+            None => {
+                self.stats.cow_copies += 1;
+                let page = Arc::make_mut(data);
+                page[off..off + src.len()].copy_from_slice(src);
+            }
+        }
+        Ok(())
     }
 
     /// Writes `buf` starting at `addr`, performing copy-on-write if the
@@ -366,6 +449,7 @@ impl AddressSpace {
     /// Fails with [`MemError::Unmapped`], [`MemError::PermissionDenied`]
     /// (missing write permission) or [`MemError::KindMismatch`] (code
     /// page). No partial writes occur.
+    #[inline]
     pub fn write_bytes(&mut self, addr: VirtAddr, buf: &[u8]) -> Result<(), MemError> {
         if buf.is_empty() {
             return Ok(());
@@ -374,10 +458,8 @@ impl AddressSpace {
         let first_pn = addr.page_number(PAGE_BYTES);
         let last_pn = (addr + (buf.len() as u64 - 1)).page_number(PAGE_BYTES);
         if first_pn == last_pn {
-            self.check_writable_data_page(first_pn)?;
             let off = addr.page_offset(PAGE_BYTES) as usize;
-            self.write_into_page(first_pn, off, buf);
-            return Ok(());
+            return self.write_page_checked(first_pn, off, buf);
         }
         // Multi-page: validate everything, then one slice copy per page.
         for pn in first_pn..=last_pn {
@@ -401,7 +483,16 @@ impl AddressSpace {
     /// # Errors
     ///
     /// Same as [`AddressSpace::read_bytes`].
+    #[inline]
     pub fn read_u64(&self, addr: VirtAddr) -> Result<u64, MemError> {
+        // In-page fast path: one page-table lookup, no bounce buffer.
+        let off = addr.page_offset(PAGE_BYTES) as usize;
+        if off <= PAGE_BYTES as usize - 8 {
+            let data = self.readable_data_page(addr.page_number(PAGE_BYTES))?;
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&data[off..off + 8]);
+            return Ok(u64::from_le_bytes(word));
+        }
         let mut buf = [0u8; 8];
         self.read_bytes(addr, &mut buf)?;
         Ok(u64::from_le_bytes(buf))
@@ -412,6 +503,7 @@ impl AddressSpace {
     /// # Errors
     ///
     /// Same as [`AddressSpace::write_bytes`].
+    #[inline]
     pub fn write_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), MemError> {
         self.write_bytes(addr, &value.to_le_bytes())
     }

@@ -32,12 +32,35 @@ struct BtbEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Btb {
-    sets: Vec<Vec<BtbEntry>>,
+    /// All entries, flattened as `sets * ways_per_set` (one allocation,
+    /// no per-set indirection on the hot path).
+    entries: Box<[BtbEntry]>,
+    ways_per_set: usize,
     set_mask: u64,
+    /// `log2(sets)`, precomputed (was `set_mask.count_ones()` per access).
+    tag_shift: u32,
+    /// Memo of recently accessed branch words and the flat slots that
+    /// served them, replaced round-robin. A dynamic-linking loop cycles
+    /// through a handful of branch PCs (call, trampoline jump, return,
+    /// loop branch), so a small table turns the common lookup/update
+    /// into a short branchless scan. Each slot is re-verified (`valid
+    /// && tag` match) before use, so an eviction can never alias
+    /// entries.
+    memo_words: [u64; MEMO_WAYS],
+    memo_slots: [usize; MEMO_WAYS],
+    memo_next: usize,
     tick: u64,
     lookups: u64,
     hits: u64,
 }
+
+/// Sentinel for "no memoized slot" (set at construction and on flush).
+const NO_SLOT: usize = usize::MAX;
+
+/// Memo entries: enough for the branch working set of a dynamic-linking
+/// loop, fully scanned without early exit so the probe compiles to
+/// straight-line compare/select code.
+const MEMO_WAYS: usize = 4;
 
 impl Btb {
     /// Creates a BTB with `entries` total entries and `ways` associativity.
@@ -55,43 +78,68 @@ impl Btb {
         let sets = (entries / ways) as u64;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Btb {
-            sets: vec![
-                vec![
-                    BtbEntry {
-                        tag: 0,
-                        target: VirtAddr::NULL,
-                        valid: false,
-                        last_used: 0
-                    };
-                    ways as usize
-                ];
-                sets as usize
-            ],
+            entries: vec![
+                BtbEntry {
+                    tag: 0,
+                    target: VirtAddr::NULL,
+                    valid: false,
+                    last_used: 0
+                };
+                entries as usize
+            ]
+            .into_boxed_slice(),
+            ways_per_set: ways as usize,
             set_mask: sets - 1,
+            tag_shift: sets.trailing_zeros(),
+            memo_words: [0; MEMO_WAYS],
+            memo_slots: [NO_SLOT; MEMO_WAYS],
+            memo_next: 0,
             tick: 0,
             lookups: 0,
             hits: 0,
         }
     }
 
-    fn set_and_tag(&self, pc: VirtAddr) -> (usize, u64) {
-        let word = pc.as_u64() >> 2;
-        (
-            (word & self.set_mask) as usize,
-            word >> self.set_mask.count_ones(),
-        )
+    /// Finds the verified flat slot for `word`, first via the memo, then
+    /// by scanning the set. `None` means the branch has no entry.
+    #[inline]
+    fn find_slot(&mut self, word: u64) -> Option<usize> {
+        let tag = word >> self.tag_shift;
+        // Branchless probe (see the cache memo).
+        let mut found = usize::MAX;
+        for i in 0..MEMO_WAYS {
+            if self.memo_words[i] == word {
+                found = i;
+            }
+        }
+        if found != usize::MAX && self.memo_slots[found] != NO_SLOT {
+            let e = &self.entries[self.memo_slots[found]];
+            if e.valid && e.tag == tag {
+                return Some(self.memo_slots[found]);
+            }
+        }
+        let start = (word & self.set_mask) as usize * self.ways_per_set;
+        let set = &self.entries[start..start + self.ways_per_set];
+        let i = set.iter().position(|e| e.valid && e.tag == tag)?;
+        self.memo_insert(word, start + i);
+        Some(start + i)
+    }
+
+    fn memo_insert(&mut self, word: u64, slot: usize) {
+        self.memo_words[self.memo_next] = word;
+        self.memo_slots[self.memo_next] = slot;
+        self.memo_next = (self.memo_next + 1) % MEMO_WAYS;
     }
 
     /// Looks up the predicted target for the branch at `pc`.
+    #[inline]
     pub fn lookup(&mut self, pc: VirtAddr) -> Option<VirtAddr> {
         self.tick += 1;
         self.lookups += 1;
-        let (set_idx, tag) = self.set_and_tag(pc);
+        let word = pc.as_u64() >> 2;
         let tick = self.tick;
-        if let Some(e) = self.sets[set_idx]
-            .iter_mut()
-            .find(|e| e.valid && e.tag == tag)
-        {
+        if let Some(slot) = self.find_slot(word) {
+            let e = &mut self.entries[slot];
             e.last_used = tick;
             self.hits += 1;
             return Some(e.target);
@@ -99,20 +147,33 @@ impl Btb {
         None
     }
 
-    /// Installs or updates the target for the branch at `pc`.
-    pub fn update(&mut self, pc: VirtAddr, target: VirtAddr) {
-        self.tick += 1;
-        let (set_idx, tag) = self.set_and_tag(pc);
+    /// Fused lookup-then-retrain: returns the prediction held for the
+    /// branch at `pc` and installs `target` over it, in one probe.
+    /// Counters, tick sequence and final replacement state are
+    /// identical to [`Btb::lookup`] followed by [`Btb::update`] — the
+    /// intermediate LRU stamp the two-call sequence writes is
+    /// immediately overwritten and never observable.
+    #[inline]
+    pub fn resolve(&mut self, pc: VirtAddr, target: VirtAddr) -> Option<VirtAddr> {
+        self.tick += 2;
+        self.lookups += 1;
+        let word = pc.as_u64() >> 2;
         let tick = self.tick;
-        let set = &mut self.sets[set_idx];
-        if let Some(e) = set.iter_mut().find(|e| e.valid && e.tag == tag) {
+        if let Some(slot) = self.find_slot(word) {
+            self.hits += 1;
+            let e = &mut self.entries[slot];
+            let pred = e.target;
             e.target = target;
             e.last_used = tick;
-            return;
+            return Some(pred);
         }
-        let victim = set
+        let tag = word >> self.tag_shift;
+        let start = (word & self.set_mask) as usize * self.ways_per_set;
+        let set = &mut self.entries[start..start + self.ways_per_set];
+        let (i, victim) = set
             .iter_mut()
-            .min_by_key(|e| if e.valid { e.last_used } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.last_used } else { 0 })
             .expect("at least one way");
         *victim = BtbEntry {
             tag,
@@ -120,15 +181,45 @@ impl Btb {
             valid: true,
             last_used: tick,
         };
+        self.memo_insert(word, start + i);
+        None
+    }
+
+    /// Installs or updates the target for the branch at `pc`.
+    #[inline]
+    pub fn update(&mut self, pc: VirtAddr, target: VirtAddr) {
+        self.tick += 1;
+        let word = pc.as_u64() >> 2;
+        let tick = self.tick;
+        if let Some(slot) = self.find_slot(word) {
+            let e = &mut self.entries[slot];
+            e.target = target;
+            e.last_used = tick;
+            return;
+        }
+        let tag = word >> self.tag_shift;
+        let start = (word & self.set_mask) as usize * self.ways_per_set;
+        let set = &mut self.entries[start..start + self.ways_per_set];
+        let (i, victim) = set
+            .iter_mut()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.last_used } else { 0 })
+            .expect("at least one way");
+        *victim = BtbEntry {
+            tag,
+            target,
+            valid: true,
+            last_used: tick,
+        };
+        self.memo_insert(word, start + i);
     }
 
     /// Invalidates every entry (context switch without ASIDs).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for e in set {
-                e.valid = false;
-            }
+        for e in &mut self.entries {
+            e.valid = false;
         }
+        self.memo_slots = [NO_SLOT; MEMO_WAYS];
     }
 
     /// Total lookups so far.

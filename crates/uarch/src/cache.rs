@@ -82,12 +82,20 @@ pub struct Cache {
     line_shift: u32,
     /// `log2(sets)`, precomputed (was `set_mask.count_ones()` per access).
     tag_shift: u32,
-    /// Memo of the most recent access: the line number and the flat slot
-    /// that served it. Straight-line code hits the same line repeatedly,
-    /// so this turns the common access into one compare + one LRU stamp.
-    /// The slot is re-verified (`valid && tag` match) before use, so an
-    /// interleaved eviction can never turn it into a false hit.
-    last_line: u64,
+    /// Memo of recently accessed lines and the flat slots that served
+    /// them, replaced round-robin. Straight-line code hits the same
+    /// line repeatedly, and loop bodies that ping-pong between a
+    /// handful of lines (caller / trampoline / callee) cycle through a
+    /// few, so a small table turns the common access into a short
+    /// branchless scan + one LRU stamp. Each slot is re-verified
+    /// (`valid && tag` match) before use, so an interleaved eviction
+    /// can never turn it into a false hit.
+    memo_lines: [u64; MEMO_WAYS],
+    memo_slots: [usize; MEMO_WAYS],
+    memo_next: usize,
+    /// Slot touched by the most recent access — the stamp target for
+    /// [`Cache::fold_hits`], which must restamp exactly the entry the
+    /// preceding access hit or filled.
     last_slot: usize,
     tick: u64,
     accesses: u64,
@@ -96,6 +104,11 @@ pub struct Cache {
 
 /// Sentinel for "no memoized slot" (set at construction and on flush).
 const NO_SLOT: usize = usize::MAX;
+
+/// Memo entries: enough for the caller/trampoline/callee line set of a
+/// dynamic-linking loop, fully scanned without early exit so the probe
+/// compiles to straight-line compare/select code.
+const MEMO_WAYS: usize = 4;
 
 impl Cache {
     /// Creates a cache with the given geometry.
@@ -121,8 +134,10 @@ impl Cache {
             set_mask: sets - 1,
             line_shift: config.line_bytes.trailing_zeros(),
             tag_shift: sets.trailing_zeros(),
-            last_line: 0,
-            last_slot: NO_SLOT,
+            memo_lines: [0; MEMO_WAYS],
+            memo_slots: [NO_SLOT; MEMO_WAYS],
+            memo_next: 0,
+            last_slot: 0,
             tick: 0,
             accesses: 0,
             misses: 0,
@@ -140,12 +155,22 @@ impl Cache {
         self.tick += 1;
         self.accesses += 1;
         let line = addr.as_u64() >> self.line_shift;
-        if line == self.last_line && self.last_slot != NO_SLOT {
-            // Same line as the previous access and the slot still holds
-            // it: identical state transition to the slow path's hit.
-            let w = &mut self.ways[self.last_slot];
+        // Branchless probe: no early exit, so the scan is four
+        // compare/selects rather than data-dependent branches.
+        let mut found = usize::MAX;
+        for i in 0..MEMO_WAYS {
+            if self.memo_lines[i] == line {
+                found = i;
+            }
+        }
+        if found != usize::MAX && self.memo_slots[found] != NO_SLOT {
+            // Recently seen line and the slot still holds it: identical
+            // state transition to the slow path's hit.
+            let slot = self.memo_slots[found];
+            let w = &mut self.ways[slot];
             if w.valid && w.tag == line >> self.tag_shift {
                 w.last_used = self.tick;
+                self.last_slot = slot;
                 return Lookup::Hit;
             }
         }
@@ -162,7 +187,7 @@ impl Cache {
             .find(|(_, w)| w.valid && w.tag == tag)
         {
             way.last_used = self.tick;
-            self.last_line = line;
+            self.memo_insert(line, start + i);
             self.last_slot = start + i;
             return Lookup::Hit;
         }
@@ -175,9 +200,15 @@ impl Cache {
         victim.tag = tag;
         victim.valid = true;
         victim.last_used = self.tick;
-        self.last_line = line;
+        self.memo_insert(line, start + i);
         self.last_slot = start + i;
         Lookup::Miss
+    }
+
+    fn memo_insert(&mut self, line: u64, slot: usize) {
+        self.memo_lines[self.memo_next] = line;
+        self.memo_slots[self.memo_next] = slot;
+        self.memo_next = (self.memo_next + 1) % MEMO_WAYS;
     }
 
     /// Inserts the line containing `addr` without counting an access or
@@ -202,10 +233,9 @@ impl Cache {
         victim.tag = tag;
         victim.valid = true;
         victim.last_used = tick;
-        // The fill may have evicted the memoized slot; repoint the memo
-        // at the line this slot now verifiably holds.
-        self.last_line = line;
-        self.last_slot = start + i;
+        // The fill may have evicted a memoized slot; the stale entry
+        // fails its re-verification, and this one is now valid.
+        self.memo_insert(line, start + i);
     }
 
     /// Returns `true` if the line containing `addr` is present, without
@@ -224,7 +254,22 @@ impl Cache {
         for way in &mut self.ways {
             way.valid = false;
         }
-        self.last_slot = NO_SLOT;
+        self.memo_slots = [NO_SLOT; MEMO_WAYS];
+    }
+
+    /// Accounts `n` further accesses to the line the *immediately
+    /// preceding* [`Cache::access`] touched, which the caller has
+    /// proven are all hits (the line is resident and nothing can evict
+    /// it in between). The LRU clock and access count advance as if
+    /// each access had run, and the line is restamped at the final
+    /// tick — the net state transition of `n` per-access hits, without
+    /// the probes. Used by fetch-run folding in the superblock
+    /// executor.
+    #[inline]
+    pub fn fold_hits(&mut self, n: u64) {
+        self.tick += n;
+        self.accesses += n;
+        self.ways[self.last_slot].last_used = self.tick;
     }
 
     /// Total accesses so far.

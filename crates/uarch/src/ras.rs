@@ -44,7 +44,12 @@ impl ReturnAddressStack {
     /// Pushes a return address, overwriting the oldest entry when full.
     pub fn push(&mut self, addr: VirtAddr) {
         self.entries[self.top] = addr;
-        self.top = (self.top + 1) % self.entries.len();
+        // Branchy wrap instead of `%`: the divisor is a runtime value,
+        // and an integer divide per retired call is measurable.
+        self.top += 1;
+        if self.top == self.entries.len() {
+            self.top = 0;
+        }
         self.len = (self.len + 1).min(self.entries.len());
     }
 
@@ -53,7 +58,11 @@ impl ReturnAddressStack {
         if self.len == 0 {
             return None;
         }
-        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.top = if self.top == 0 {
+            self.entries.len() - 1
+        } else {
+            self.top - 1
+        };
         self.len -= 1;
         Some(self.entries[self.top])
     }

@@ -39,13 +39,20 @@ pub struct Tlb {
     /// `log2(page_bytes)`, precomputed so `access` shifts instead of
     /// dividing by a runtime page size.
     page_shift: u32,
-    /// Memo of the most recent translation (page, ASID, and the flat
-    /// slot that served it). Consecutive fetches overwhelmingly stay on
-    /// one page, so this turns the common access into one compare + one
-    /// LRU stamp. The slot is re-verified before use, so an interleaved
-    /// eviction can never turn it into a false hit.
-    last_page: u64,
-    last_asid: u64,
+    /// Memo of recent translations (page, ASID, and the flat slot that
+    /// served each), replaced round-robin. Consecutive accesses
+    /// overwhelmingly stay on a handful of pages (caller / trampoline /
+    /// callee, stack / GOT), so a small table turns the common access
+    /// into a short branchless scan + one LRU stamp. Each slot is
+    /// re-verified before use, so an interleaved eviction can never
+    /// turn it into a false hit.
+    memo_pages: [u64; MEMO_WAYS],
+    memo_asids: [u64; MEMO_WAYS],
+    memo_slots: [usize; MEMO_WAYS],
+    memo_next: usize,
+    /// Slot touched by the most recent access — the stamp target for
+    /// [`Tlb::fold_hits`], which must restamp exactly the entry the
+    /// preceding access hit or filled.
     last_slot: usize,
     tick: u64,
     accesses: u64,
@@ -54,6 +61,11 @@ pub struct Tlb {
 
 /// Sentinel for "no memoized slot" (set at construction and on flush).
 const NO_SLOT: usize = usize::MAX;
+
+/// Memo entries: enough for the working page set of a dynamic-linking
+/// loop, fully scanned without early exit so the probe compiles to
+/// straight-line compare/select code.
+const MEMO_WAYS: usize = 4;
 
 impl Tlb {
     /// Creates a TLB with `entries` total entries, `ways` associativity
@@ -89,9 +101,11 @@ impl Tlb {
             ways_per_set: ways as usize,
             set_mask: sets - 1,
             page_shift: page_bytes.trailing_zeros(),
-            last_page: 0,
-            last_asid: 0,
-            last_slot: NO_SLOT,
+            memo_pages: [0; MEMO_WAYS],
+            memo_asids: [0; MEMO_WAYS],
+            memo_slots: [NO_SLOT; MEMO_WAYS],
+            memo_next: 0,
+            last_slot: 0,
             tick: 0,
             accesses: 0,
             misses: 0,
@@ -104,13 +118,21 @@ impl Tlb {
         self.tick += 1;
         self.accesses += 1;
         let page = addr.as_u64() >> self.page_shift;
-        if page == self.last_page && asid == self.last_asid && self.last_slot != NO_SLOT {
-            // Same page and ASID as the previous translation, and the
-            // slot still holds it: identical state transition to the
-            // slow path's hit.
-            let e = &mut self.entries[self.last_slot];
+        // Branchless probe (see the cache memo).
+        let mut found = usize::MAX;
+        for i in 0..MEMO_WAYS {
+            if self.memo_pages[i] == page && self.memo_asids[i] == asid {
+                found = i;
+            }
+        }
+        if found != usize::MAX && self.memo_slots[found] != NO_SLOT {
+            // Recently translated page and the slot still holds it:
+            // identical state transition to the slow path's hit.
+            let slot = self.memo_slots[found];
+            let e = &mut self.entries[slot];
             if e.valid && e.page == page && e.asid == asid {
                 e.last_used = self.tick;
+                self.last_slot = slot;
                 return Lookup::Hit;
             }
         }
@@ -126,8 +148,7 @@ impl Tlb {
             .find(|(_, e)| e.valid && e.page == page && e.asid == asid)
         {
             e.last_used = self.tick;
-            self.last_page = page;
-            self.last_asid = asid;
+            self.memo_insert(asid, page, start + i);
             self.last_slot = start + i;
             return Lookup::Hit;
         }
@@ -143,10 +164,16 @@ impl Tlb {
             valid: true,
             last_used: self.tick,
         };
-        self.last_page = page;
-        self.last_asid = asid;
+        self.memo_insert(asid, page, start + i);
         self.last_slot = start + i;
         Lookup::Miss
+    }
+
+    fn memo_insert(&mut self, asid: u64, page: u64, slot: usize) {
+        self.memo_pages[self.memo_next] = page;
+        self.memo_asids[self.memo_next] = asid;
+        self.memo_slots[self.memo_next] = slot;
+        self.memo_next = (self.memo_next + 1) % MEMO_WAYS;
     }
 
     /// Invalidates every entry (non-ASID context-switch policy).
@@ -154,7 +181,22 @@ impl Tlb {
         for e in &mut self.entries {
             e.valid = false;
         }
-        self.last_slot = NO_SLOT;
+        self.memo_slots = [NO_SLOT; MEMO_WAYS];
+    }
+
+    /// Accounts `n` further accesses to the entry the *immediately
+    /// preceding* [`Tlb::access`] touched, which the caller has proven
+    /// are all hits — the counterpart of
+    /// [`Cache::fold_hits`](crate::cache::Cache::fold_hits) for
+    /// fetch-run folding. Advances the LRU clock and access count as
+    /// if each access had run and restamps the entry at the final
+    /// tick: the net state transition of `n` per-access hits, without
+    /// the probes.
+    #[inline]
+    pub fn fold_hits(&mut self, n: u64) {
+        self.tick += n;
+        self.accesses += n;
+        self.entries[self.last_slot].last_used = self.tick;
     }
 
     /// Total accesses so far.

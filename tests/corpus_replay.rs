@@ -14,7 +14,9 @@ use std::path::PathBuf;
 
 use dynlink_bench::difftest::{
     check_case, check_case_with_demand_invalidation, check_case_with_prelink_validation,
-    check_multi_case, check_multi_case_coverage, check_multi_case_with_bus, Injection,
+    check_case_with_superblock, check_case_with_superblock_validation, check_multi_case,
+    check_multi_case_coverage, check_multi_case_with_bus, check_multi_case_with_superblock,
+    Injection,
 };
 use dynlink_workloads::coverage::describe_bit;
 use dynlink_workloads::repro::{parse_corpus_file, CorpusCase};
@@ -207,6 +209,75 @@ fn stale_prelink_restore_needs_validation() {
             "expected a stale-restore failure under {accel}, got: {:?}",
             stale.failures
         );
+    }
+}
+
+/// Replays the whole corpus — including the demand-GC witness
+/// (`stale_skip_unmapped_page.txt`) and the stable-linking witness
+/// (`stale_prelink_restore.txt`) — with the superblock translation
+/// engine forced on and forced off, and asserts both sweeps are clean
+/// *and* report identical digest folds. Translation is a simulator
+/// speedup, never an architectural event: if any reproducer's digest
+/// moves when the engine flips, a translated path has leaked timing or
+/// state the interpreter does not produce.
+#[test]
+fn corpus_digests_are_engine_independent() {
+    for path in corpus_files() {
+        let text = fs::read_to_string(&path).unwrap();
+        let (translated, interpreted) = match parse_corpus_file(&text).unwrap() {
+            CorpusCase::Single(case) => (
+                check_case_with_superblock(&case, Injection::None, true),
+                check_case_with_superblock(&case, Injection::None, false),
+            ),
+            CorpusCase::Multi(case) => (
+                check_multi_case_with_superblock(&case, Injection::None, true),
+                check_multi_case_with_superblock(&case, Injection::None, false),
+            ),
+        };
+        assert!(
+            translated.failures.is_empty() && interpreted.failures.is_empty(),
+            "{}: engine A/B replay failed:\n{}",
+            path.display(),
+            translated
+                .failures
+                .iter()
+                .chain(&interpreted.failures)
+                .cloned()
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert_eq!(
+            translated.digest_fold,
+            interpreted.digest_fold,
+            "{}: superblock engine changed the architectural digest",
+            path.display()
+        );
+    }
+}
+
+/// Fuzz-schedule events never rewrite code under a live translation
+/// (rebind/unbind/prelink touch the GOT, which translated loads read
+/// live; GC and demand eviction retire the region before control can
+/// re-enter it), so replaying the corpus with `superblock_validate =
+/// false` must stay clean — the knob's divergence witness is the
+/// direct `patch_code`-under-a-cached-block test in
+/// `crates/cpu/tests/decode_coherence.rs`. This replay pins the other
+/// half of the discipline: the corpus alone cannot prove the
+/// revalidation necessary, so the negative control must live at the
+/// machine level.
+#[test]
+fn corpus_stays_clean_without_superblock_revalidation() {
+    for path in corpus_files() {
+        let text = fs::read_to_string(&path).unwrap();
+        if let CorpusCase::Single(case) = parse_corpus_file(&text).unwrap() {
+            let stale = check_case_with_superblock_validation(&case, Injection::None, false);
+            assert!(
+                stale.failures.is_empty(),
+                "{}: schedule events should never patch code under a live block:\n{}",
+                path.display(),
+                stale.failures.join("\n")
+            );
+        }
     }
 }
 

@@ -48,6 +48,7 @@ fn guided_beats_random_coverage_at_equal_budget() {
         false,
         false,
         false,
+        true,
     );
 
     assert_eq!(guided.failures, 0, "{}", guided.output);
@@ -79,6 +80,7 @@ fn guided_finds_and_shrinks_injected_fault_within_the_random_budget() {
         true,
         false,
         false,
+        true,
     );
     assert!(
         random.failures > 0,

@@ -307,8 +307,8 @@ fn injected_multi_bug_is_found_and_shrunk() {
 
 #[test]
 fn multi_difftest_report_is_identical_across_job_counts() {
-    let serial = run_multi_difftest(40, 12, 1, Injection::None, false, 1, false, false);
-    let sharded = run_multi_difftest(40, 12, 4, Injection::None, false, 1, false, false);
+    let serial = run_multi_difftest(40, 12, 1, Injection::None, false, 1, false, false, true);
+    let sharded = run_multi_difftest(40, 12, 4, Injection::None, false, 1, false, false, true);
     assert_eq!(serial.failures, 0, "{}", serial.output);
     assert_eq!(
         serial.output, sharded.output,
@@ -320,8 +320,8 @@ fn multi_difftest_report_is_identical_across_job_counts() {
 
 #[test]
 fn multicore_difftest_report_is_identical_across_job_counts() {
-    let serial = run_multi_difftest(40, 8, 1, Injection::None, false, 2, false, false);
-    let sharded = run_multi_difftest(40, 8, 4, Injection::None, false, 2, false, false);
+    let serial = run_multi_difftest(40, 8, 1, Injection::None, false, 2, false, false, true);
+    let sharded = run_multi_difftest(40, 8, 4, Injection::None, false, 2, false, false, true);
     assert_eq!(serial.failures, 0, "{}", serial.output);
     assert_eq!(
         serial.output, sharded.output,
@@ -333,8 +333,8 @@ fn multicore_difftest_report_is_identical_across_job_counts() {
 
 #[test]
 fn difftest_report_is_identical_across_job_counts() {
-    let serial = run_difftest(100, 24, 1, Injection::None, false, false, false);
-    let sharded = run_difftest(100, 24, 4, Injection::None, false, false, false);
+    let serial = run_difftest(100, 24, 1, Injection::None, false, false, false, true);
+    let sharded = run_difftest(100, 24, 4, Injection::None, false, false, false, true);
     assert_eq!(serial.failures, 0, "{}", serial.output);
     assert_eq!(
         serial.output, sharded.output,
