@@ -4,7 +4,7 @@
 //! ```text
 //! difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale]
 //!          [--demand] [--prelink] [--no-superblock] [--no-shrink]
-//!          [--multi [--cores N]]
+//!          [--multi [--cores N]] [--fleet-smoke]
 //!          [--guided [--rounds N] [--round-size N]
 //!                    [--corpus DIR] [--save-corpus DIR]]
 //! ```
@@ -35,6 +35,13 @@
 //! invisible, so the digest must be byte-identical with and without the
 //! flag — running the same sweep both ways is the scriptable A/B check
 //! CI's engine-equality shard performs.
+//! `--fleet-smoke` switches to tiny-fleet cases: 8–16 *identical*
+//! tenant processes booted through the arena/fork path
+//! (`MultiProcessSystem::new_fleet` — one class template, shared
+//! `code_uid`, COW pages) under an ASID-churning switch storm, each
+//! checked against per-process oracle digests across the full accel ×
+//! flavor × switch-policy matrix. This difftests the representation
+//! the `fleet` bench scales to thousands of tenants.
 //! `--guided` switches to coverage-guided mutational fuzzing:
 //! `--rounds` rounds of `--round-size` candidates, keeping
 //! behavioral-coverage-novel cases as mutation parents; `--corpus DIR`
@@ -49,13 +56,13 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use dynlink_bench::difftest::{run_difftest, run_multi_difftest, Injection};
+use dynlink_bench::difftest::{run_difftest, run_fleet_smoke, run_multi_difftest, Injection};
 use dynlink_bench::guided::{run_guided, GuidedConfig};
 use dynlink_bench::runner::default_jobs;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--demand] [--prelink] [--no-superblock] [--no-shrink] [--multi [--cores N]]\n\
+        "usage: difftest [--seed-start N] [--cases N] [--jobs N] [--inject-stale] [--demand] [--prelink] [--no-superblock] [--no-shrink] [--multi [--cores N]] [--fleet-smoke]\n\
          \x20               [--guided [--rounds N] [--round-size N] [--corpus DIR] [--save-corpus DIR]]"
     );
     ExitCode::from(2)
@@ -68,6 +75,7 @@ fn main() -> ExitCode {
     let mut injection = Injection::None;
     let mut shrink = true;
     let mut multi = false;
+    let mut fleet_smoke = false;
     let mut cores = 1usize;
     let mut demand = false;
     let mut prelink = false;
@@ -144,6 +152,7 @@ fn main() -> ExitCode {
             "--no-superblock" => superblock = false,
             "--no-shrink" => shrink = false,
             "--multi" => multi = true,
+            "--fleet-smoke" => fleet_smoke = true,
             "--guided" => guided = true,
             "--help" | "-h" => {
                 usage();
@@ -173,6 +182,10 @@ fn main() -> ExitCode {
         );
         return usage();
     }
+    if fleet_smoke && (multi || guided || demand || prelink || !superblock) {
+        eprintln!("difftest: --fleet-smoke is its own mode; drop the other mode flags");
+        return usage();
+    }
     if cores > 1 && !multi {
         eprintln!("difftest: --cores applies to multi-process cases; add --multi");
         return usage();
@@ -190,6 +203,8 @@ fn main() -> ExitCode {
             corpus_dir,
             save_dir,
         })
+    } else if fleet_smoke {
+        run_fleet_smoke(seed_start, cases, jobs)
     } else if multi {
         run_multi_difftest(
             seed_start, cases, jobs, injection, shrink, cores, demand, prelink, superblock,

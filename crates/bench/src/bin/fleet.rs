@@ -1,0 +1,178 @@
+//! `fleet` — fleet-scale tenant engine with tail-latency CDFs.
+//!
+//! ```text
+//! fleet [--tenants N] [--requests N] [--seed N] [--closed-loop] [--arrival N]
+//!       [--churn N] [--jobs N] [--label S] [--out PATH] [--no-record]
+//! fleet --validate PATH
+//! ```
+//!
+//! Boots `--tenants` processes (forked from one class template, so
+//! thousands are affordable), drives them with seeded open-loop
+//! request traffic (`--closed-loop` switches to think-time traffic),
+//! performs a live `libv1 → libv2` upgrade on every tenant halfway
+//! through plus `dlclose`/`dlreopen` churn every `--churn` requests,
+//! and prints per-request latency percentiles (simulated cycles) for
+//! each cell of the `{Off, Abtb, AbtbNoBloom} × {FlushOnSwitch,
+//! AsidTagged}` policy matrix. A machine-readable run record is
+//! appended to `--out` (default `BENCH_fleet.json`). Output is
+//! byte-identical at any `--jobs` level and across reruns at the same
+//! seed. `--validate` only checks a file against the `dynlink-fleet/1`
+//! schema — the timing-free mode CI uses. See `EXPERIMENTS.md` for the
+//! methodology.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dynlink_bench::fleet::{append_record, render_table, run_fleet, validate, FleetParams};
+use dynlink_bench::runner::default_jobs;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fleet [--tenants N] [--requests N] [--seed N] [--closed-loop] [--arrival N]\n\
+                      [--churn N] [--jobs N] [--label S] [--out PATH] [--no-record]\n\
+                fleet --validate PATH"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut params = FleetParams::default();
+    let mut jobs = default_jobs();
+    let mut label = String::from("dev");
+    let mut out = PathBuf::from("BENCH_fleet.json");
+    let mut record = true;
+    let mut validate_path: Option<PathBuf> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tenants" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(t) if t >= 1 => params.tenants = t,
+                    _ => return usage(),
+                }
+            }
+            "--requests" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(r) if r >= 1 => params.requests = r,
+                    _ => return usage(),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(s) => params.seed = s,
+                    _ => return usage(),
+                }
+            }
+            "--closed-loop" => params.closed_loop = true,
+            "--arrival" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(a) if a >= 1 => params.arrival_mean = a,
+                    _ => return usage(),
+                }
+            }
+            "--churn" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(c) => params.churn_period = c,
+                    _ => return usage(),
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(j) if j >= 1 => jobs = j,
+                    _ => return usage(),
+                }
+            }
+            "--label" => {
+                i += 1;
+                match args.get(i) {
+                    Some(l) if !l.is_empty() => label = l.clone(),
+                    _ => return usage(),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = PathBuf::from(p),
+                    None => return usage(),
+                }
+            }
+            "--no-record" => record = false,
+            "--validate" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => validate_path = Some(PathBuf::from(p)),
+                    None => return usage(),
+                }
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = validate_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fleet: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate(&text) {
+            Ok(runs) => {
+                println!(
+                    "{}: valid dynlink-fleet/1 document, {} run(s)",
+                    path.display(),
+                    runs.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fleet: {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let run = match run_fleet(&params, &label, jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", render_table(&run));
+    let upgrades: u64 = run.cells.iter().map(|c| c.upgrades).sum();
+    println!(
+        "upgrades {} across {} cells; anomalies {}",
+        upgrades,
+        run.cells.len(),
+        run.cells.iter().map(|c| c.version_anomalies).sum::<u64>()
+    );
+
+    if record {
+        match append_record(&out, &run) {
+            Ok(count) => println!(
+                "recorded run {count} as `{}` in {}",
+                run.label,
+                out.display()
+            ),
+            Err(e) => {
+                eprintln!("fleet: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -41,7 +41,9 @@
 //! (tombstoned) entries verbatim diverges — the
 //! `corpus/stale_prelink_restore.txt` witness pins exactly this.
 
-use dynlink_core::{LinkAccel, MachineConfig, MultiProcessSystem, System, SystemBuilder};
+use dynlink_core::{
+    LinkAccel, MachineConfig, MultiProcessSystem, System, SystemBuilder, TenantClass,
+};
 use dynlink_linker::{LinkOptions, ResolutionSnapshot, RestoreOutcome, TrampolineFlavor};
 use dynlink_oracle::{ArchDigest, MultiOracle, Oracle};
 use dynlink_uarch::PerfCounters;
@@ -927,6 +929,7 @@ fn multi_machine_config(
     accel: LinkAccel,
     policy: SwitchPolicy,
     coherence_bus: bool,
+    demand_invalidate: bool,
     prelink_validate: bool,
     superblock: bool,
 ) -> MachineConfig {
@@ -934,6 +937,7 @@ fn multi_machine_config(
         accel,
         flush_abtb_on_context_switch: matches!(policy, SwitchPolicy::FlushOnSwitch),
         coherence_bus,
+        demand_invalidate,
         prelink_validate,
         superblock,
         ..MachineConfig::default()
@@ -1140,6 +1144,7 @@ fn run_multi_system(
     policy: SwitchPolicy,
     injection: Injection,
     coherence_bus: bool,
+    demand_invalidate: bool,
     prelink_validate: bool,
     superblock: bool,
     boot: Option<&[ResolutionSnapshot]>,
@@ -1159,14 +1164,76 @@ fn run_multi_system(
         Some(snapshots) => snapshots.iter().cloned().map(Some).collect(),
         None => Vec::new(),
     };
-    let mut mps = MultiProcessSystem::new_with_cores_prelink(
+    let mps = MultiProcessSystem::new_with_cores_prelink(
         procs,
-        multi_machine_config(accel, policy, coherence_bus, prelink_validate, superblock),
+        multi_machine_config(
+            accel,
+            policy,
+            coherence_bus,
+            demand_invalidate,
+            prelink_validate,
+            superblock,
+        ),
         case.shared_got_pair,
         case.cores.max(1),
         boot_snapshots,
     )
     .map_err(|e| format!("system build: {e}"))?;
+    replay_multi_schedule(mps, case, injection)
+}
+
+/// The stack mapping every fleet tenant gets — the same 1 MiB the
+/// per-process constructors map, so a forked tenant's address space
+/// (and hence its [`ArchDigest`]) lines up with the oracle's.
+const FLEET_STACK_BYTES: u64 = 1 << 20;
+
+/// System leg of a fleet-smoke case: same replay and capture as
+/// [`run_multi_system`], but the machine boots through
+/// [`MultiProcessSystem::new_fleet`] — one [`TenantClass`] template
+/// loaded once and forked into `procs.len()` tenants sharing a
+/// `code_uid` — so the arena boot path itself is what gets difftested,
+/// not just benchmarked. Requires every process of `case` to be
+/// identical and unpaired ([`MultiFuzzCase::generate_fleet`] guarantees
+/// both).
+fn run_fleet_system(
+    case: &MultiFuzzCase,
+    flavor: TrampolineFlavor,
+    accel: LinkAccel,
+    policy: SwitchPolicy,
+    injection: Injection,
+) -> Result<MultiSystemRun, String> {
+    let template = &case.procs[0];
+    if case.procs.iter().any(|p| p != template) {
+        return Err("fleet case requires identical tenant programs".to_owned());
+    }
+    if case.shared_got_pair.is_some() {
+        return Err("fleet case cannot carry a shared-GOT pair".to_owned());
+    }
+    let mut options = link_options(template, flavor);
+    options.demand_paging = case.demand;
+    let class = TenantClass {
+        modules: template.modules(),
+        options,
+        tenants: case.procs.len(),
+    };
+    let mps = MultiProcessSystem::new_fleet(
+        &[class],
+        multi_machine_config(accel, policy, true, true, true, true),
+        case.cores.max(1),
+        FLEET_STACK_BYTES,
+    )
+    .map_err(|e| format!("fleet build: {e}"))?;
+    replay_multi_schedule(mps, case, injection)
+}
+
+/// Replays `case`'s sequential schedule on a booted system, runs every
+/// process to halt, and captures per-process digests plus counters —
+/// the shared tail of [`run_multi_system`] and [`run_fleet_system`].
+fn replay_multi_schedule(
+    mut mps: MultiProcessSystem,
+    case: &MultiFuzzCase,
+    injection: Injection,
+) -> Result<MultiSystemRun, String> {
     let mut prelink: Vec<RestoreOutcome> = (0..mps.n_procs())
         .filter_map(|p| mps.prelink_outcome_of(p))
         .collect();
@@ -1393,7 +1460,27 @@ pub fn check_multi_case_with_bus(
     injection: Injection,
     coherence_bus: bool,
 ) -> CaseReport {
-    check_multi_case_coverage_full(case, injection, coherence_bus, true, false, true).0
+    check_multi_case_coverage_full(case, injection, coherence_bus, true, true, false, true).0
+}
+
+/// [`check_multi_case`] with the machine's demand-GC invalidation knob
+/// switched explicitly — the multi-process twin of
+/// [`check_case_with_demand_invalidation`], and the knob behind the
+/// tenant-churn staleness witness: under [`SwitchPolicy::AsidTagged`]
+/// a suspended tenant's ABTB entries survive other tenants' time
+/// slices, so a `dlclose` whose shootdown is skipped
+/// (`invalidate = false`) leaves a retained entry skipping straight
+/// into the GC-unmapped range the next time that tenant calls through
+/// the slot — while [`SwitchPolicy::FlushOnSwitch`] already destroyed
+/// the entry on the way out, masking the bug. The checked-in
+/// `corpus/tenant_churn_stale_skip.txt` witness pins exactly this
+/// policy-dependent divergence.
+pub fn check_multi_case_with_demand_invalidation(
+    case: &MultiFuzzCase,
+    injection: Injection,
+    invalidate: bool,
+) -> CaseReport {
+    check_multi_case_coverage_full(case, injection, true, invalidate, true, false, true).0
 }
 
 /// [`check_multi_case`] with the superblock translation engine switched
@@ -1406,7 +1493,7 @@ pub fn check_multi_case_with_superblock(
     injection: Injection,
     superblock: bool,
 ) -> CaseReport {
-    check_multi_case_coverage_full(case, injection, true, true, false, superblock).0
+    check_multi_case_coverage_full(case, injection, true, true, true, false, superblock).0
 }
 
 /// [`check_multi_case`] with the machine's prelink-validation knob
@@ -1417,7 +1504,7 @@ pub fn check_multi_case_with_prelink_validation(
     injection: Injection,
     validate: bool,
 ) -> CaseReport {
-    check_multi_case_coverage_full(case, injection, true, validate, false, true).0
+    check_multi_case_coverage_full(case, injection, true, true, validate, false, true).0
 }
 
 /// [`check_multi_case`] plus the behavioral [`CoverageMap`] its runs
@@ -1428,7 +1515,7 @@ pub fn check_multi_case_coverage(
     case: &MultiFuzzCase,
     injection: Injection,
 ) -> (CaseReport, CoverageMap) {
-    check_multi_case_coverage_full(case, injection, true, true, false, true)
+    check_multi_case_coverage_full(case, injection, true, true, true, false, true)
 }
 
 /// [`check_multi_case_coverage`] with the `--prelink` axis enabled:
@@ -1440,13 +1527,14 @@ pub fn check_multi_case_coverage_prelink(
     case: &MultiFuzzCase,
     injection: Injection,
 ) -> (CaseReport, CoverageMap) {
-    check_multi_case_coverage_full(case, injection, true, true, true, true)
+    check_multi_case_coverage_full(case, injection, true, true, true, true, true)
 }
 
 fn check_multi_case_coverage_full(
     case: &MultiFuzzCase,
     injection: Injection,
     coherence_bus: bool,
+    demand_invalidate: bool,
     prelink_validate: bool,
     prelink: bool,
     superblock: bool,
@@ -1470,6 +1558,7 @@ fn check_multi_case_coverage_full(
             flavor,
             injection,
             coherence_bus,
+            demand_invalidate,
             prelink_validate,
             superblock,
             None,
@@ -1483,6 +1572,7 @@ fn check_multi_case_coverage_full(
                 flavor,
                 injection,
                 coherence_bus,
+                demand_invalidate,
                 prelink_validate,
                 superblock,
                 &mut coverage,
@@ -1512,6 +1602,7 @@ fn multi_matrix(
     flavor: TrampolineFlavor,
     injection: Injection,
     coherence_bus: bool,
+    demand_invalidate: bool,
     prelink_validate: bool,
     superblock: bool,
     boot: Option<&[ResolutionSnapshot]>,
@@ -1530,6 +1621,7 @@ fn multi_matrix(
                 policy,
                 injection,
                 coherence_bus,
+                demand_invalidate,
                 prelink_validate,
                 superblock,
                 boot,
@@ -1589,6 +1681,7 @@ fn multi_prelink_arm(
     flavor: TrampolineFlavor,
     injection: Injection,
     coherence_bus: bool,
+    demand_invalidate: bool,
     prelink_validate: bool,
     superblock: bool,
     coverage: &mut CoverageMap,
@@ -1609,6 +1702,7 @@ fn multi_prelink_arm(
         flavor,
         injection,
         coherence_bus,
+        demand_invalidate,
         prelink_validate,
         superblock,
         Some(&snapshots),
@@ -1656,7 +1750,7 @@ pub fn run_multi_difftest(
         case
     };
     let check = move |case: &MultiFuzzCase| {
-        check_multi_case_coverage_full(case, injection, true, true, prelink, superblock)
+        check_multi_case_coverage_full(case, injection, true, true, true, prelink, superblock)
     };
     let cells: Vec<Cell<(CaseReport, CoverageMap)>> = (0..cases)
         .map(|i| {
@@ -1747,6 +1841,124 @@ pub fn run_multi_difftest(
         cases,
         digest,
         coverage: coverage.count(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-smoke difftest (arena boot path)
+// ---------------------------------------------------------------------------
+
+/// Checks one fleet-smoke case: per-process oracle digests on one side,
+/// [`MultiProcessSystem::new_fleet`]-booted system runs across the full
+/// accel × flavor × §3.3-policy matrix on the other, with every
+/// multi-process counter invariant enforced. This folds the arena
+/// representation into the per-process digest machinery: a forked
+/// tenant sharing its class's `code_uid` and COW pages must be
+/// architecturally indistinguishable from the same program booted
+/// through the one-process-at-a-time constructor.
+pub fn check_fleet_smoke_case(case: &MultiFuzzCase) -> CaseReport {
+    let mut failures = Vec::new();
+    let mut digest_fold = FNV_OFFSET;
+    for &flavor in &FLAVORS {
+        let oracle = match run_multi_oracle(case, flavor, None) {
+            Ok(o) => o,
+            Err(e) => {
+                failures.push(format!("[{flavor:?}/oracle] {e}"));
+                continue;
+            }
+        };
+        for d in &oracle.digests {
+            digest_fold = fold64(digest_fold, d.fold());
+        }
+        for &policy in &POLICIES {
+            let mut baseline: Option<PerfCounters> = None;
+            for &accel in &ACCELS {
+                match run_fleet_system(case, flavor, accel, policy, Injection::None) {
+                    Err(e) => {
+                        failures.push(format!("[{flavor:?}/{accel:?}/{policy:?}/fleet] {e}"));
+                    }
+                    Ok(run) => {
+                        for (p, (got, want)) in
+                            run.digests.iter().zip(oracle.digests.iter()).enumerate()
+                        {
+                            if got != want {
+                                failures.push(format!(
+                                    "[{flavor:?}/{accel:?}/{policy:?}/fleet] tenant {p} architectural divergence: {}",
+                                    want.describe_diff(got)
+                                ));
+                            }
+                        }
+                        for msg in check_multi_counters(
+                            flavor,
+                            accel,
+                            policy,
+                            &run,
+                            baseline.as_ref(),
+                            &oracle,
+                        ) {
+                            failures.push(format!("[{flavor:?}/{accel:?}/{policy:?}/fleet] {msg}"));
+                        }
+                        if accel == LinkAccel::Off {
+                            baseline = Some(run.counters);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    CaseReport {
+        seed: case.seed,
+        digest_fold,
+        failures,
+    }
+}
+
+/// The `difftest --fleet-smoke` sweep: `cases` consecutive
+/// [`MultiFuzzCase::generate_fleet`] seeds — 8–16 *identical* tenants
+/// forked from one class template each, under an ASID-churning
+/// switch-storm schedule — sharded over `jobs` workers. Output is
+/// byte-identical at every `--jobs` level.
+pub fn run_fleet_smoke(seed_start: u64, cases: u64, jobs: usize) -> DiffReport {
+    let cells: Vec<Cell<CaseReport>> = (0..cases)
+        .map(|i| {
+            let seed = seed_start + i;
+            Cell::new(format!("seed{seed}"), move |_ctx| {
+                check_fleet_smoke_case(&MultiFuzzCase::generate_fleet(seed))
+            })
+        })
+        .collect();
+    let report = ParallelRunner::new(jobs).run(seed_start ^ 0x666c_6565, cells);
+
+    let mut output = format!(
+        "fleet smoke: {cases} case(s), seeds {seed_start}..{}, 8-16 forked tenants per case, {{Off,Abtb,AbtbNoBloom}} x {{X86,Arm}} x {{FlushOnSwitch,AsidTagged}}\n",
+        seed_start + cases,
+    );
+    let mut digest = FNV_OFFSET;
+    let mut failures = 0usize;
+    for cell in report.cells {
+        match cell.outcome {
+            CellOutcome::Done(r) => {
+                digest = fold64(digest, r.digest_fold);
+                for f in &r.failures {
+                    output.push_str(&format!("FAIL seed {}: {f}\n", r.seed));
+                    failures += 1;
+                }
+            }
+            CellOutcome::Panicked(msg) => {
+                output.push_str(&format!("FAIL {}: panicked: {msg}\n", cell.label));
+                failures += 1;
+            }
+        }
+    }
+    output.push_str(&format!(
+        "fleet smoke: {failures} failure(s) across {cases} case(s); state digest {digest:#018x}\n"
+    ));
+    DiffReport {
+        output,
+        failures,
+        cases,
+        digest,
+        coverage: 0,
     }
 }
 

@@ -1,0 +1,898 @@
+//! Fleet-scale tenant engine: thousands of processes under live
+//! traffic, with tail-latency CDFs as a function of ABTB policy.
+//!
+//! The paper's server story (§5, Apache/Memcached/MySQL) is about
+//! *tails*: trampoline storms hurt p99 more than the mean, and the
+//! §3.3 context-switch policy decides whether a process returns to a
+//! warm ABTB or a cold one. This module scales that question to a
+//! multi-tenant fleet — 1k–4k processes forked from class templates
+//! (see `dynlink_core::TenantClass`), all VA-aliased, time-sharing one
+//! simulated core under deterministic request traffic — and measures
+//! per-request latency percentiles for every cell of the policy matrix
+//! `{Off, Abtb, AbtbNoBloom} × {FlushOnSwitch, AsidTagged}`.
+//!
+//! **The workload** promotes `examples/library_upgrade.rs` to a
+//! first-class fleet event: every tenant runs a request loop calling
+//! `f` (provided by `libv1`, shadowed by `libv2`) and `g` (provided by
+//! `libg`, shadowed by `libgsh`). Halfway through the run each tenant
+//! crosses the *upgrade barrier*: its next request is preceded by a
+//! `dlclose` of `libv1`, so the re-armed GOT slot lazily re-resolves
+//! into `libv2` — a live library upgrade under load. A seeded cadence
+//! of `dlclose`/`dlreopen` churn on `libg` runs throughout. At the
+//! three-quarter mark a *hot-patch wave* sweeps the fleet: each
+//! upgraded tenant's `libv2` `f` is rewritten in place (§4.3's
+//! software-emulation move — `mprotect(+W)`, patch, `mprotect(-W)`),
+//! COW-copying the shared page and bumping the space's code version,
+//! which the superblock dispatch revalidation must notice. The
+//! per-request `R0` delta encodes which `f` body served the request
+//! (see [`F_V1`]/[`F_V2`]/[`F_PATCH`]), so version correctness is
+//! *measured*, not assumed: [`CellSummary::version_anomalies`] must be
+//! zero unless a negative-control knob (`demand_invalidate`,
+//! `superblock_validate`) is deliberately off.
+//!
+//! **The clock** is simulated cycles, never wall time. Requests arrive
+//! on a seeded open-loop schedule (or closed-loop with think times),
+//! are served FIFO by the single core, and a request's latency is
+//! `completion − arrival` where service time is the machine's cycle
+//! delta for that request segment. Everything derives from
+//! `dynlink_rng` seeded by `(seed, policy cell, tenant)`, so a run —
+//! and the `BENCH_fleet.json` record it appends — is byte-identical
+//! at any `--jobs` level and across repeated runs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dynlink_core::{MachineConfig, MultiProcessSystem, TenantClass};
+use dynlink_cpu::LinkAccel;
+use dynlink_isa::{Inst, Reg};
+use dynlink_linker::{LinkOptions, ModuleBuilder, ModuleSpec};
+use dynlink_mem::Perms;
+use dynlink_rng::Rng;
+
+use crate::runner::{Cell, CellOutcome, ParallelRunner};
+use crate::simspeed::json;
+
+/// The schema tag written into every run record.
+pub const SCHEMA: &str = "dynlink-fleet/1";
+
+/// Library calls a request makes to *each* of `f` and `g`: one
+/// resolution then repeated trampoline executions, the §2 shape that
+/// gives the ABTB something to skip within a single request.
+pub const CALLS_PER_REQUEST: u64 = 8;
+
+/// Per-call `R0` delta of `libv1`'s `f` (the pre-upgrade version).
+/// Chosen with [`F_V2`] so the per-request delta modulo ten identifies
+/// the serving version regardless of the `g` contribution (a multiple
+/// of ten): `8×3 % 10 = 4` against `8×5 % 10 = 0`.
+pub const F_V1: u64 = 3;
+/// Per-call `R0` delta of `libv2`'s `f` (the post-upgrade version).
+pub const F_V2: u64 = 5;
+/// Per-call `R0` delta of `libv2`'s `f` after the hot-patch wave
+/// rewrites it in place: `8×9 % 10 = 2`, distinct from both the
+/// [`F_V1`] residue (4) and the [`F_V2`] residue (0), so a stale
+/// superblock replaying the pre-patch body is *observable*.
+pub const F_PATCH: u64 = 9;
+/// Per-call `R0` delta of `libg`'s `g` (churned primary).
+pub const G_PRIMARY: u64 = 70;
+/// Per-call `R0` delta of `libgsh`'s `g` (churn fallback).
+pub const G_SHADOW: u64 = 700;
+
+/// The upgraded-away library every tenant `dlclose`s at the barrier.
+pub const LIB_V1: &str = "libv1";
+/// The replacement provider requests resolve into after the barrier.
+pub const LIB_V2: &str = "libv2";
+/// The churned auxiliary library.
+pub const LIB_G: &str = "libg";
+
+/// Instruction budget for a single request segment; exhausting it is a
+/// harness bug, not a workload property.
+const REQUEST_BUDGET: u64 = 1_000_000;
+
+/// CDF sample points, in per-mille (1000 = max).
+pub const CDF_PER_MILLE: [u32; 9] = [100, 250, 500, 750, 900, 950, 990, 999, 1000];
+
+/// Fleet shape and traffic parameters.
+#[derive(Debug, Clone)]
+pub struct FleetParams {
+    /// Tenant processes forked from the class template.
+    pub tenants: usize,
+    /// Requests each tenant serves over the run.
+    pub requests: u64,
+    /// Root seed for arrival schedules and churn.
+    pub seed: u64,
+    /// Closed-loop traffic (next arrival = completion + think time)
+    /// instead of the default open loop (pre-scheduled arrivals that
+    /// ignore server state — queueing delay shows up in the tail).
+    pub closed_loop: bool,
+    /// Mean cycles between *aggregate* arrivals (open loop) or the
+    /// mean per-tenant think time (closed loop).
+    pub arrival_mean: u64,
+    /// Serve-count period of the `libg` `dlclose`/`dlreopen` churn
+    /// (0 disables churn).
+    pub churn_period: u64,
+    /// Per-tenant stack bytes (small: a fleet of default 1 MiB stacks
+    /// would dwarf the text it runs).
+    pub stack_bytes: u64,
+    /// Negative-control knob: module GC's mandated front-end
+    /// invalidation (`MachineConfig::demand_invalidate`). Leave `true`
+    /// outside staleness tests.
+    pub demand_invalidate: bool,
+    /// Negative-control knob: superblock dispatch revalidation
+    /// (`MachineConfig::superblock_validate`). Leave `true` outside
+    /// staleness tests.
+    pub superblock_validate: bool,
+}
+
+impl Default for FleetParams {
+    fn default() -> Self {
+        FleetParams {
+            tenants: 1024,
+            requests: 8,
+            seed: 0xF1EE7,
+            closed_loop: false,
+            arrival_mean: 1000,
+            churn_period: 64,
+            stack_bytes: 64 * 1024,
+            demand_invalidate: true,
+            superblock_validate: true,
+        }
+    }
+}
+
+/// The six policy cells, in report order.
+pub const POLICY_MATRIX: [(LinkAccel, bool); 6] = [
+    (LinkAccel::Off, false),
+    (LinkAccel::Off, true),
+    (LinkAccel::Abtb, false),
+    (LinkAccel::Abtb, true),
+    (LinkAccel::AbtbNoBloom, false),
+    (LinkAccel::AbtbNoBloom, true),
+];
+
+/// Stable name of an accelerator mode.
+pub fn accel_name(accel: LinkAccel) -> &'static str {
+    match accel {
+        LinkAccel::Off => "off",
+        LinkAccel::Abtb => "abtb",
+        LinkAccel::AbtbNoBloom => "abtb-nobloom",
+    }
+}
+
+/// Stable name of a switch policy (`tagged` = ASID-tagged retention).
+pub fn policy_name(tagged: bool) -> &'static str {
+    if tagged {
+        "asid-tagged"
+    } else {
+        "flush-on-switch"
+    }
+}
+
+/// One policy cell's measured result. Every field is derived from
+/// simulated state — no wall clock — so records are reproducible.
+#[derive(Debug, Clone)]
+pub struct CellSummary {
+    /// Accelerator mode name (see [`accel_name`]).
+    pub accel: &'static str,
+    /// Switch policy name (see [`policy_name`]).
+    pub policy: &'static str,
+    /// Requests served (tenants × requests-per-tenant).
+    pub requests: u64,
+    /// Tenants that crossed the upgrade barrier (`dlclose(libv1)`).
+    pub upgrades: u64,
+    /// Tenants whose `libv2` `f` was hot-patched in place at the
+    /// three-quarter mark (only upgraded tenants patch).
+    pub patches: u64,
+    /// `libg` churn closes performed.
+    pub churn_closes: u64,
+    /// `libg` churn reopens performed.
+    pub churn_reopens: u64,
+    /// Requests served by `libv1`'s `f` (pre-barrier).
+    pub v1_requests: u64,
+    /// Requests served by `libv2`'s `f` (post-barrier, pre-patch).
+    pub v2_requests: u64,
+    /// Requests served by the hot-patched `f` body.
+    pub patched_requests: u64,
+    /// Requests whose observed `f` version contradicts the tenant's
+    /// upgrade state. Always zero unless a negative-control knob is
+    /// off.
+    pub version_anomalies: u64,
+    /// Latency percentiles in simulated cycles.
+    pub p50: u64,
+    /// 95th percentile latency.
+    pub p95: u64,
+    /// 99th percentile latency.
+    pub p99: u64,
+    /// 99.9th percentile latency.
+    pub p999: u64,
+    /// Worst-case latency.
+    pub max: u64,
+    /// Mean latency in millicycles (integer, for byte-stable JSON).
+    pub mean_millicycles: u64,
+    /// The full CDF at [`CDF_PER_MILLE`] sample points.
+    pub cdf: Vec<(u32, u64)>,
+    /// Total simulated cycles the cell's machine ran.
+    pub total_cycles: u64,
+    /// Resolver invocations (lazy binds + post-upgrade re-binds).
+    pub resolver_invocations: u64,
+    /// Trampoline executions skipped by the ABTB.
+    pub trampolines_skipped: u64,
+    /// Context switches the fleet performed.
+    pub switches: u64,
+}
+
+/// A complete fleet run: the policy matrix under one traffic seed.
+#[derive(Debug, Clone)]
+pub struct FleetRecord {
+    /// Free-form label (`pr<N>-...` convention for checked-in runs).
+    pub label: String,
+    /// Root seed.
+    pub seed: u64,
+    /// Tenant count.
+    pub tenants: u64,
+    /// Requests per tenant.
+    pub requests_per_tenant: u64,
+    /// Whether traffic was closed-loop.
+    pub closed_loop: bool,
+    /// Mean inter-arrival / think time in cycles.
+    pub arrival_mean: u64,
+    /// One summary per [`POLICY_MATRIX`] cell, in matrix order.
+    pub cells: Vec<CellSummary>,
+}
+
+/// The tenant program: a request loop retiring one `Mark` per request,
+/// calling `f` (libv1 → libv2 across the upgrade) and `g` (churned).
+///
+/// Interposition order matters: `libv1` outranks `libv2` and `libg`
+/// outranks `libgsh`, so the shadows only serve after a `dlclose`.
+///
+/// # Errors
+///
+/// Propagates assembly errors (none for this fixed shape).
+pub fn tenant_modules(requests: u64) -> Result<Vec<ModuleSpec>, dynlink_linker::LinkError> {
+    let mut app = ModuleBuilder::new("app");
+    let f = app.import("f");
+    let g = app.import("g");
+    app.begin_function("main", true);
+    let top = app.asm().fresh_label("top");
+    app.asm().push(Inst::mov_imm(Reg::R2, requests));
+    app.asm().bind(top);
+    for _ in 0..CALLS_PER_REQUEST {
+        app.asm().push_call_extern(f);
+        app.asm().push_call_extern(g);
+    }
+    app.asm().push(Inst::sub_imm(Reg::R2, 1));
+    app.asm().push(Inst::Mark { id: 0 });
+    app.asm().push_branch_nz(Reg::R2, top);
+    app.asm().push(Inst::Halt);
+
+    let adder = |module: &str, name: &str, delta: u64| {
+        let mut lib = ModuleBuilder::new(module);
+        lib.begin_function(name, true);
+        lib.asm().push(Inst::add_imm(Reg::R0, delta));
+        lib.asm().push(Inst::Ret);
+        lib.finish()
+    };
+    Ok(vec![
+        app.finish()?,
+        adder(LIB_V1, "f", F_V1)?,
+        adder(LIB_V2, "f", F_V2)?,
+        adder(LIB_G, "g", G_PRIMARY)?,
+        adder("libgsh", "g", G_SHADOW)?,
+    ])
+}
+
+/// `sorted` latencies at `per_mille` (1-based nearest-rank; 1000 = max).
+fn percentile(sorted: &[u64], per_mille: u32) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * per_mille as u64).div_ceil(1000);
+    sorted[(rank.max(1) as usize - 1).min(sorted.len() - 1)]
+}
+
+/// Runs one policy cell of the fleet to completion and summarizes it.
+///
+/// Every cell of a run derives its traffic from `(params.seed,
+/// tenant)` alone — *not* the policy — so all six cells see the
+/// byte-identical arrival schedule and the latency CDFs differ only
+/// by what the hardware policy does with it.
+///
+/// # Errors
+///
+/// Returns a message on load failures or CPU faults — the latter are
+/// *expected* when a negative-control knob is off and a stale
+/// structure skips into GC-unmapped code.
+pub fn run_cell(
+    params: &FleetParams,
+    accel: LinkAccel,
+    tagged: bool,
+) -> Result<CellSummary, String> {
+    let specs = tenant_modules(params.requests).map_err(|e| format!("tenant modules: {e}"))?;
+    let class = TenantClass {
+        modules: specs,
+        // ARM-style three-instruction trampolines (Figure 2): the
+        // flavor where skipping buys the most, hence the paper's
+        // motivating case for the ABTB.
+        options: LinkOptions {
+            flavor: dynlink_linker::TrampolineFlavor::Arm,
+            ..LinkOptions::default()
+        },
+        tenants: params.tenants,
+    };
+    let cfg = MachineConfig {
+        accel,
+        flush_abtb_on_context_switch: !tagged,
+        demand_invalidate: params.demand_invalidate,
+        superblock_validate: params.superblock_validate,
+        ..MachineConfig::default()
+    };
+    let mut mps = MultiProcessSystem::new_fleet(&[class], cfg, 1, params.stack_bytes)
+        .map_err(|e| format!("fleet boot: {e}"))?;
+
+    let n = params.tenants;
+    let total = n as u64 * params.requests;
+    let barrier = total / 2;
+    let patch_barrier = total * 3 / 4;
+    // All tenants fork from one template, so `f`'s address is the same
+    // in every space; each patch still COWs only the patching tenant's
+    // copy of the page.
+    let f_addr = mps
+        .image(0)
+        .module(LIB_V2)
+        .and_then(|m| m.export("f"))
+        .ok_or_else(|| format!("{LIB_V2} does not export f"))?;
+    let horizon = (total * params.arrival_mean).max(1);
+    let mut tenant_rng: Vec<Rng> = (0..n)
+        .map(|t| Rng::seed_from_u64(params.seed).derive(t as u64))
+        .collect();
+
+    // Open-loop schedules are drawn up front (arrivals ignore server
+    // state); closed-loop arrivals are generated at completion time.
+    let mut open_arrivals: Vec<Vec<u64>> = Vec::new();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(n);
+    for (t, rng) in tenant_rng.iter_mut().enumerate() {
+        if params.closed_loop {
+            let spread = (n as u64 * params.arrival_mean).max(1);
+            heap.push(Reverse((rng.next_u64() % spread, t)));
+        } else {
+            let mut sched: Vec<u64> = (0..params.requests)
+                .map(|_| rng.next_u64() % horizon)
+                .collect();
+            sched.sort_unstable();
+            heap.push(Reverse((sched[0], t)));
+            sched.reverse(); // pop() yields ascending
+            sched.pop();
+            open_arrivals.push(sched);
+        }
+    }
+
+    let mut summary = CellSummary {
+        accel: accel_name(accel),
+        policy: policy_name(tagged),
+        requests: 0,
+        upgrades: 0,
+        patches: 0,
+        churn_closes: 0,
+        churn_reopens: 0,
+        v1_requests: 0,
+        v2_requests: 0,
+        patched_requests: 0,
+        version_anomalies: 0,
+        p50: 0,
+        p95: 0,
+        p99: 0,
+        p999: 0,
+        max: 0,
+        mean_millicycles: 0,
+        cdf: Vec::new(),
+        total_cycles: 0,
+        resolver_invocations: 0,
+        trampolines_skipped: 0,
+        switches: 0,
+    };
+    let mut latencies: Vec<u64> = Vec::with_capacity(total as usize);
+    let mut upgraded = vec![false; n];
+    let mut patched = vec![false; n];
+    let mut g_open = vec![true; n];
+    let mut reqs_done = vec![0u64; n];
+    let mut prev_r0 = vec![0u64; n];
+    let mut busy_until = 0u64;
+    let mut served = 0u64;
+
+    while let Some(Reverse((arrival, t))) = heap.pop() {
+        mps.switch_to(t);
+        if served >= barrier && !upgraded[t] {
+            mps.dlclose_active(LIB_V1)
+                .map_err(|e| format!("upgrade dlclose (tenant {t}): {e}"))?;
+            upgraded[t] = true;
+            summary.upgrades += 1;
+        }
+        if served >= patch_barrier && upgraded[t] && !patched[t] {
+            // The §4.3 software hot-patch: lift the text protection,
+            // rewrite `f`'s add in place, drop the protection again.
+            // `patch_code` COWs the shared page and bumps the space's
+            // code version; dispatch revalidation (when enabled) is
+            // what keeps a previously translated `f` from replaying
+            // the old body.
+            let space = mps.machine_mut().space_mut();
+            space
+                .protect(f_addr, 1, Perms::RWX)
+                .map_err(|e| format!("hot-patch mprotect +W (tenant {t}): {e}"))?;
+            space
+                .patch_code(f_addr, Inst::add_imm(Reg::R0, F_PATCH))
+                .map_err(|e| format!("hot-patch (tenant {t}): {e}"))?;
+            space
+                .protect(f_addr, 1, Perms::RX)
+                .map_err(|e| format!("hot-patch mprotect -W (tenant {t}): {e}"))?;
+            patched[t] = true;
+            summary.patches += 1;
+        }
+        if params.churn_period > 0 && served % params.churn_period == params.churn_period - 1 {
+            if g_open[t] {
+                mps.dlclose_active(LIB_G)
+                    .map_err(|e| format!("churn dlclose (tenant {t}): {e}"))?;
+                g_open[t] = false;
+                summary.churn_closes += 1;
+            } else {
+                mps.reopen_active(LIB_G)
+                    .map_err(|e| format!("churn reopen (tenant {t}): {e}"))?;
+                g_open[t] = true;
+                summary.churn_reopens += 1;
+            }
+        }
+        let c0 = mps.counters().cycles;
+        let m0 = mps.marks_of(t);
+        mps.run_active_until_marks(m0 + 1, REQUEST_BUDGET)
+            .map_err(|e| format!("request (tenant {t}): {e}"))?;
+        if mps.marks_of(t) != m0 + 1 {
+            return Err(format!("tenant {t} request exhausted its budget"));
+        }
+        let service = mps.counters().cycles - c0;
+        let r0 = mps.reg_of(t, Reg::R0);
+        let delta = r0.wrapping_sub(prev_r0[t]);
+        prev_r0[t] = r0;
+        let v1_residue = (CALLS_PER_REQUEST * F_V1) % 10;
+        let v2_residue = (CALLS_PER_REQUEST * F_V2) % 10;
+        let patch_residue = (CALLS_PER_REQUEST * F_PATCH) % 10;
+        let expected = if patched[t] {
+            patch_residue
+        } else if upgraded[t] {
+            v2_residue
+        } else {
+            v1_residue
+        };
+        if delta % 10 == patch_residue {
+            summary.patched_requests += 1;
+        } else if delta % 10 == v2_residue {
+            summary.v2_requests += 1;
+        } else if delta % 10 == v1_residue {
+            summary.v1_requests += 1;
+        }
+        if delta % 10 != expected {
+            summary.version_anomalies += 1;
+        }
+
+        let start = arrival.max(busy_until);
+        let completion = start + service;
+        latencies.push(completion - arrival);
+        busy_until = completion;
+        served += 1;
+        reqs_done[t] += 1;
+        if reqs_done[t] < params.requests {
+            let next = if params.closed_loop {
+                let think =
+                    params.arrival_mean / 2 + tenant_rng[t].next_u64() % params.arrival_mean.max(1);
+                completion + think
+            } else {
+                open_arrivals[t].pop().expect("open-loop schedule underrun")
+            };
+            heap.push(Reverse((next, t)));
+        }
+    }
+
+    latencies.sort_unstable();
+    summary.requests = served;
+    summary.p50 = percentile(&latencies, 500);
+    summary.p95 = percentile(&latencies, 950);
+    summary.p99 = percentile(&latencies, 990);
+    summary.p999 = percentile(&latencies, 999);
+    summary.max = *latencies.last().unwrap_or(&0);
+    let sum: u128 = latencies.iter().map(|&l| l as u128).sum();
+    summary.mean_millicycles = (sum * 1000 / latencies.len().max(1) as u128) as u64;
+    summary.cdf = CDF_PER_MILLE
+        .iter()
+        .map(|&pm| (pm, percentile(&latencies, pm)))
+        .collect();
+    let c = mps.counters();
+    summary.total_cycles = c.cycles;
+    summary.resolver_invocations = c.resolver_invocations;
+    summary.trampolines_skipped = c.trampolines_skipped;
+    summary.switches = mps.switches();
+    Ok(summary)
+}
+
+/// Runs the full six-cell policy matrix, sharded over `jobs` workers.
+/// Byte-identical at any `jobs` level: each cell derives its RNG from
+/// `(params.seed, cell index)` and results are merged in matrix order.
+///
+/// # Errors
+///
+/// Propagates the first failing cell's message.
+pub fn run_fleet(params: &FleetParams, label: &str, jobs: usize) -> Result<FleetRecord, String> {
+    let cells: Vec<Cell<Result<CellSummary, String>>> = POLICY_MATRIX
+        .iter()
+        .map(|&(accel, tagged)| {
+            let params = params.clone();
+            Cell::new(
+                format!("{}/{}", accel_name(accel), policy_name(tagged)),
+                move |_ctx| run_cell(&params, accel, tagged),
+            )
+        })
+        .collect();
+    let report = ParallelRunner::new(jobs).run(params.seed, cells);
+    let mut out = Vec::with_capacity(POLICY_MATRIX.len());
+    for cell in report.into_values() {
+        match cell {
+            CellOutcome::Done(Ok(s)) => out.push(s),
+            CellOutcome::Done(Err(e)) => return Err(e),
+            CellOutcome::Panicked(m) => return Err(format!("cell panicked: {m}")),
+        }
+    }
+    Ok(FleetRecord {
+        label: label.to_owned(),
+        seed: params.seed,
+        tenants: params.tenants as u64,
+        requests_per_tenant: params.requests,
+        closed_loop: params.closed_loop,
+        arrival_mean: params.arrival_mean,
+        cells: out,
+    })
+}
+
+/// Renders the fixed-layout latency table (all columns simulated, so
+/// the rendering is as reproducible as the record).
+pub fn render_table(record: &FleetRecord) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fleet `{}`: {} tenants x {} requests, seed {:#x}, {} traffic (mean {} cycles)\n",
+        record.label,
+        record.tenants,
+        record.requests_per_tenant,
+        record.seed,
+        if record.closed_loop {
+            "closed-loop"
+        } else {
+            "open-loop"
+        },
+        record.arrival_mean,
+    ));
+    out.push_str(&format!(
+        "  {:<14} {:<16} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>10}\n",
+        "accel", "policy", "p50", "p95", "p99", "p999", "max", "upgrades", "anomalies"
+    ));
+    for c in &record.cells {
+        out.push_str(&format!(
+            "  {:<14} {:<16} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>10}\n",
+            c.accel, c.policy, c.p50, c.p95, c.p99, c.p999, c.max, c.upgrades, c.version_anomalies
+        ));
+    }
+    out
+}
+
+fn num(v: u64) -> json::Value {
+    json::Value::Number(v as f64)
+}
+
+/// Serializes a fleet record as a `dynlink-fleet/1` JSON object.
+pub fn record_to_json(record: &FleetRecord) -> json::Value {
+    let cells = record
+        .cells
+        .iter()
+        .map(|c| {
+            let cdf = c
+                .cdf
+                .iter()
+                .map(|&(pm, cycles)| {
+                    json::Value::Object(vec![
+                        ("per_mille".into(), num(pm as u64)),
+                        ("cycles".into(), num(cycles)),
+                    ])
+                })
+                .collect();
+            json::Value::Object(vec![
+                ("accel".into(), json::Value::String(c.accel.into())),
+                ("policy".into(), json::Value::String(c.policy.into())),
+                ("requests".into(), num(c.requests)),
+                ("upgrades".into(), num(c.upgrades)),
+                ("patches".into(), num(c.patches)),
+                ("churn_closes".into(), num(c.churn_closes)),
+                ("churn_reopens".into(), num(c.churn_reopens)),
+                ("v1_requests".into(), num(c.v1_requests)),
+                ("v2_requests".into(), num(c.v2_requests)),
+                ("patched_requests".into(), num(c.patched_requests)),
+                ("version_anomalies".into(), num(c.version_anomalies)),
+                ("p50".into(), num(c.p50)),
+                ("p95".into(), num(c.p95)),
+                ("p99".into(), num(c.p99)),
+                ("p999".into(), num(c.p999)),
+                ("max".into(), num(c.max)),
+                ("mean_millicycles".into(), num(c.mean_millicycles)),
+                ("cdf".into(), json::Value::Array(cdf)),
+                ("total_cycles".into(), num(c.total_cycles)),
+                ("resolver_invocations".into(), num(c.resolver_invocations)),
+                ("trampolines_skipped".into(), num(c.trampolines_skipped)),
+                ("switches".into(), num(c.switches)),
+            ])
+        })
+        .collect();
+    json::Value::Object(vec![
+        ("schema".into(), json::Value::String(SCHEMA.into())),
+        ("label".into(), json::Value::String(record.label.clone())),
+        ("seed".into(), num(record.seed)),
+        ("tenants".into(), num(record.tenants)),
+        (
+            "requests_per_tenant".into(),
+            num(record.requests_per_tenant),
+        ),
+        (
+            "traffic".into(),
+            json::Value::String(if record.closed_loop { "closed" } else { "open" }.into()),
+        ),
+        ("arrival_mean".into(), num(record.arrival_mean)),
+        ("cells".into(), json::Value::Array(cells)),
+    ])
+}
+
+/// Appends `record` to the JSON array in `path` (creating the file as
+/// a one-element array if absent) and returns the new run count. The
+/// whole array is re-validated before writing, as in
+/// `simspeed::append_record`.
+///
+/// # Errors
+///
+/// Returns a message if the existing file fails to parse or validate,
+/// if appending would invalidate it, or on I/O failure.
+pub fn append_record(path: &std::path::Path, record: &FleetRecord) -> Result<usize, String> {
+    let mut runs = match std::fs::read_to_string(path) {
+        Ok(text) => match validate(&text) {
+            Ok(v) => v,
+            Err(e) => return Err(format!("{}: existing file invalid: {e}", path.display())),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    runs.push(record_to_json(record));
+    let text = json::Value::Array(runs.clone()).pretty();
+    if let Err(e) = validate(&text) {
+        return Err(format!(
+            "{}: appending `{}` would invalidate the file: {e}",
+            path.display(),
+            record.label
+        ));
+    }
+    std::fs::write(path, text + "\n").map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(runs.len())
+}
+
+/// Parses `text` and checks it against the `dynlink-fleet/1` schema: a
+/// JSON array of run objects, each with the schema tag, a unique
+/// label, positive fleet dimensions, and a non-empty `cells` array
+/// whose entries carry names, monotone latency percentiles and the
+/// workload counters. Returns the run values.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn validate(text: &str) -> Result<Vec<json::Value>, String> {
+    let value = json::parse(text)?;
+    let json::Value::Array(runs) = value else {
+        return Err("top level is not a JSON array".into());
+    };
+    let mut labels: Vec<String> = Vec::with_capacity(runs.len());
+    for (i, run) in runs.iter().enumerate() {
+        let json::Value::Object(fields) = run else {
+            return Err(format!("run {i}: not an object"));
+        };
+        let get = |key: &str| -> Option<&json::Value> {
+            fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        };
+        match get("schema") {
+            Some(json::Value::String(s)) if s == SCHEMA => {}
+            _ => return Err(format!("run {i}: missing or wrong `schema` tag")),
+        }
+        match get("label") {
+            Some(json::Value::String(s)) if !s.is_empty() => {
+                if labels.iter().any(|l| l == s) {
+                    return Err(format!("run {i}: duplicate label `{s}`"));
+                }
+                labels.push(s.clone());
+            }
+            _ => return Err(format!("run {i}: missing `label`")),
+        }
+        for key in ["tenants", "requests_per_tenant"] {
+            match get(key) {
+                Some(json::Value::Number(n)) if *n > 0.0 => {}
+                _ => return Err(format!("run {i}: missing positive `{key}`")),
+            }
+        }
+        match get("traffic") {
+            Some(json::Value::String(s)) if s == "open" || s == "closed" => {}
+            _ => return Err(format!("run {i}: `traffic` must be open|closed")),
+        }
+        let Some(json::Value::Array(cells)) = get("cells") else {
+            return Err(format!("run {i}: missing `cells` array"));
+        };
+        if cells.is_empty() {
+            return Err(format!("run {i}: empty `cells`"));
+        }
+        for (j, cell) in cells.iter().enumerate() {
+            let json::Value::Object(cf) = cell else {
+                return Err(format!("run {i} cell {j}: not an object"));
+            };
+            let cget = |key: &str| -> Option<&json::Value> {
+                cf.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            };
+            for key in ["accel", "policy"] {
+                match cget(key) {
+                    Some(json::Value::String(s)) if !s.is_empty() => {}
+                    _ => return Err(format!("run {i} cell {j}: missing `{key}`")),
+                }
+            }
+            let mut nums = std::collections::HashMap::new();
+            for key in [
+                "requests",
+                "upgrades",
+                "patches",
+                "v1_requests",
+                "v2_requests",
+                "patched_requests",
+                "version_anomalies",
+                "p50",
+                "p95",
+                "p99",
+                "p999",
+                "max",
+                "mean_millicycles",
+                "total_cycles",
+                "resolver_invocations",
+                "trampolines_skipped",
+                "switches",
+            ] {
+                match cget(key) {
+                    Some(json::Value::Number(n)) if *n >= 0.0 => {
+                        nums.insert(key, *n);
+                    }
+                    _ => return Err(format!("run {i} cell {j}: missing numeric `{key}`")),
+                }
+            }
+            let ordered = ["p50", "p95", "p99", "p999", "max"];
+            for pair in ordered.windows(2) {
+                if nums[pair[0]] > nums[pair[1]] {
+                    return Err(format!(
+                        "run {i} cell {j}: `{}` exceeds `{}`",
+                        pair[0], pair[1]
+                    ));
+                }
+            }
+            let Some(json::Value::Array(cdf)) = cget("cdf") else {
+                return Err(format!("run {i} cell {j}: missing `cdf` array"));
+            };
+            for (k, point) in cdf.iter().enumerate() {
+                let json::Value::Object(pf) = point else {
+                    return Err(format!("run {i} cell {j} cdf {k}: not an object"));
+                };
+                for key in ["per_mille", "cycles"] {
+                    if !pf.iter().any(|(pk, v)| {
+                        pk == key && matches!(v, json::Value::Number(n) if *n >= 0.0)
+                    }) {
+                        return Err(format!("run {i} cell {j} cdf {k}: missing `{key}`"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(runs)
+}
+
+/// Extracts a numeric field from cell `cell` of a validated run value
+/// (used by the CI grep and tests).
+pub fn cell_field(run: &json::Value, cell: usize, key: &str) -> Option<f64> {
+    let json::Value::Object(fields) = run else {
+        return None;
+    };
+    let (_, json::Value::Array(cells)) = fields.iter().find(|(k, _)| k == "cells")? else {
+        return None;
+    };
+    let json::Value::Object(cf) = cells.get(cell)? else {
+        return None;
+    };
+    match cf.iter().find(|(k, _)| k == key)? {
+        (_, json::Value::Number(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> FleetParams {
+        FleetParams {
+            tenants: 12,
+            requests: 4,
+            churn_period: 16,
+            ..FleetParams::default()
+        }
+    }
+
+    #[test]
+    fn tiny_fleet_serves_every_request_and_upgrades() {
+        let s = run_cell(&tiny_params(), LinkAccel::Abtb, true).expect("cell runs");
+        assert_eq!(s.requests, 48);
+        // A tenant that served its full quota before the barrier never
+        // upgrades; everyone else must.
+        assert!(
+            s.upgrades > 0 && s.upgrades <= 12,
+            "upgrades {} out of range",
+            s.upgrades
+        );
+        assert_eq!(s.version_anomalies, 0);
+        assert!(s.v1_requests > 0 && s.v2_requests > 0);
+        assert_eq!(
+            s.v1_requests + s.v2_requests + s.patched_requests,
+            s.requests
+        );
+        assert!(
+            s.patches <= s.upgrades,
+            "only upgraded tenants hot-patch ({} > {})",
+            s.patches,
+            s.upgrades
+        );
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!(s.resolver_invocations > 0);
+    }
+
+    #[test]
+    fn cells_are_reproducible() {
+        let a = run_cell(&tiny_params(), LinkAccel::Abtb, false).expect("first");
+        let b = run_cell(&tiny_params(), LinkAccel::Abtb, false).expect("second");
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn closed_loop_traffic_runs() {
+        let params = FleetParams {
+            closed_loop: true,
+            ..tiny_params()
+        };
+        let s = run_cell(&params, LinkAccel::Off, false).expect("closed loop");
+        assert_eq!(s.requests, 48);
+        assert_eq!(s.version_anomalies, 0);
+    }
+
+    #[test]
+    fn record_roundtrips_through_schema_validation() {
+        let record = run_fleet(&tiny_params(), "test", 2).expect("matrix runs");
+        assert_eq!(record.cells.len(), POLICY_MATRIX.len());
+        let text = json::Value::Array(vec![record_to_json(&record)]).pretty();
+        let runs = validate(&text).expect("self-produced record validates");
+        assert_eq!(runs.len(), 1);
+        assert!(cell_field(&runs[0], 0, "upgrades").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        assert!(validate("{}").is_err(), "object top level");
+        assert!(validate("[1]").is_err(), "non-object run");
+        assert!(
+            validate("[{\"schema\": \"wrong/9\"}]").is_err(),
+            "wrong schema tag"
+        );
+        // Non-monotone percentiles are rejected.
+        let record = run_fleet(&tiny_params(), "mono", 1).expect("matrix runs");
+        let mut bad = record.clone();
+        bad.cells[0].p50 = bad.cells[0].max + 1;
+        let text = json::Value::Array(vec![record_to_json(&bad)]).pretty();
+        assert!(validate(&text).unwrap_err().contains("exceeds"));
+    }
+}

@@ -50,6 +50,7 @@
 
 pub mod difftest;
 pub mod experiments;
+pub mod fleet;
 pub mod guided;
 pub mod memsave;
 pub mod registry;

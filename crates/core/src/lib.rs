@@ -47,10 +47,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod error;
 mod multi;
 mod system;
 
+pub use arena::TenantClass;
 pub use error::SystemError;
 pub use multi::MultiProcessSystem;
 pub use system::{System, SystemBuilder};

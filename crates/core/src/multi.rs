@@ -24,11 +24,26 @@ use dynlink_mem::{AddressSpace, Perms, PAGE_BYTES};
 use dynlink_trace::{lock_recovering, ResolutionKind, ResolutionRecord, TelemetryWriter};
 use dynlink_uarch::PerfCounters;
 
+use crate::arena::ProcessArena;
 use crate::system::GcRemnant;
 use crate::SystemError;
 
 /// Default stack size for simulated processes (matches `System`).
 const STACK_BYTES: u64 = 1 << 20;
+
+/// The per-process pieces a [`MultiProcessSystem`] boots from — either
+/// loaded one process at a time ([`MultiProcessSystem::new`] family) or
+/// spawned in bulk from class templates
+/// ([`crate::arena::ProcessArena`]).
+pub(crate) struct BootParts {
+    pub(crate) contexts: Vec<ProcessContext>,
+    pub(crate) images: Vec<Arc<ProcessImage>>,
+    pub(crate) tables: Vec<ResolutionTable>,
+    pub(crate) module_refs: HashMap<String, usize>,
+    pub(crate) demand: Vec<bool>,
+    pub(crate) hw_levels: Vec<usize>,
+    pub(crate) eager_telemetry: TelemetryWriter,
+}
 
 /// The shared resolver state: which process is active, plus one live
 /// binding table per process. The single registered resolver host
@@ -45,7 +60,7 @@ type SharedTables = Arc<Mutex<(usize, Vec<ResolutionTable>)>>;
 pub struct MultiProcessSystem {
     machine: Machine,
     contexts: Vec<ProcessContext>,
-    images: Vec<ProcessImage>,
+    images: Vec<Arc<ProcessImage>>,
     tables: SharedTables,
     shared_got_pair: Option<(usize, usize)>,
     active: usize,
@@ -193,9 +208,72 @@ impl MultiProcessSystem {
                 }
             }
             table_vec.push(image.resolution().clone());
-            images.push(image);
+            images.push(Arc::new(image));
             contexts.push(ctx);
         }
+        let parts = BootParts {
+            contexts,
+            images,
+            tables: table_vec,
+            module_refs,
+            demand,
+            hw_levels,
+            eager_telemetry,
+        };
+        Self::assemble(parts, cfg, shared_got_pair, cores, prelink)
+    }
+
+    /// Spawns a *fleet* of tenant processes from class templates and
+    /// boots it like [`MultiProcessSystem::new_with_cores`].
+    ///
+    /// Each [`crate::arena::TenantClass`] is loaded **once** into a
+    /// template address space; its tenants are
+    /// [`AddressSpace::fork_shared_code`] forks of that template, so
+    /// thousands of tenants share one set of COW pages, one
+    /// [`ProcessImage`], and — until a tenant's code state diverges —
+    /// one fetch-side predecode/superblock identity. Tenants are
+    /// numbered class-major (`class 0`'s tenants first) with ASIDs
+    /// `1..=n`, exactly the deliberate ASID-aliasing layout of the
+    /// per-process constructors; `stack_bytes` is configurable because
+    /// a thousand default 1 MiB stacks would dwarf the text they run.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiProcessSystem::new_with_cores`]; additionally rejects
+    /// an empty class list or a class with zero tenants.
+    pub fn new_fleet(
+        classes: &[crate::arena::TenantClass],
+        cfg: MachineConfig,
+        cores: usize,
+        stack_bytes: u64,
+    ) -> Result<Self, SystemError> {
+        if cores == 0 {
+            return Err(SystemError::NoModules);
+        }
+        let parts = ProcessArena::build(classes, stack_bytes)?;
+        Self::assemble(parts, cfg, None, cores, Vec::new())
+    }
+
+    /// Boots a machine over fully prepared per-process parts: registers
+    /// the dispatching resolver, hands process 0's space/thread to the
+    /// machine, and applies any boot-time prelink restores.
+    fn assemble(
+        parts: BootParts,
+        cfg: MachineConfig,
+        shared_got_pair: Option<(usize, usize)>,
+        cores: usize,
+        prelink: Vec<Option<ResolutionSnapshot>>,
+    ) -> Result<Self, SystemError> {
+        let BootParts {
+            mut contexts,
+            images,
+            tables: table_vec,
+            module_refs,
+            demand,
+            hw_levels,
+            eager_telemetry,
+        } = parts;
+        let n = contexts.len();
         let tables: SharedTables = Arc::new(Mutex::new((0, table_vec)));
         let builders = Arc::new(Mutex::new(vec![SnapshotBuilder::new(); n]));
         let telemetry = Arc::new(Mutex::new(eager_telemetry));

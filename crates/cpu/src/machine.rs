@@ -99,10 +99,20 @@ type PredecodedSlot = Option<(Inst, bool)>;
 /// `slots` array turns the per-instruction decode into an index load,
 /// and each entry carries its precomputed PLT membership so the retire
 /// stage never rescans `plt_ranges` for the common (executed-pc) case.
+/// Upper bound on live predecode-arena pages (~160 KiB each). Small
+/// multi-process runs never approach it; a fleet of thousands of
+/// *diverged* tenants (post-churn, every tenant private) would
+/// otherwise grow the arena without bound. Exceeding the cap recycles
+/// slots round-robin — purely a simulator-memory policy, architecturally
+/// invisible like every other predecode decision.
+const PREDECODE_CAPACITY: usize = 1024;
+
 struct PredecodedPage {
     /// Identity of the space the page was decoded from
-    /// ([`AddressSpace::uid`] — never reused across space instances,
-    /// unlike the ASID, which experiments deliberately alias).
+    /// ([`AddressSpace::code_uid`] — never reused across code-state
+    /// generations, unlike the ASID, which experiments deliberately
+    /// alias). A shared-code fork family presents one `code_uid`, so
+    /// all of its members are served by one decoded page.
     uid: u64,
     /// Virtual page number.
     pn: u64,
@@ -132,10 +142,17 @@ pub(crate) struct Shared {
     /// Predecoded-page arena (see `Core::fetch_decoded`): per-page dense
     /// decode caches, looked up through `page_index` and fronted by each
     /// core's `last_page`. Purely a simulator speedup; no architectural
-    /// effect.
+    /// effect. Bounded at [`PREDECODE_CAPACITY`] live pages: tombstoned
+    /// slots are recycled through `free`, and once the arena is full new
+    /// pages evict round-robin via `clock` — per-core `last_page` memos
+    /// revalidate every tag, so recycling a slot under a memo is safe.
     predecoded: Vec<PredecodedPage>,
-    /// `(space uid, page number)` -> index into `predecoded`.
+    /// `(space code_uid, page number)` -> index into `predecoded`.
     page_index: HashMap<(u64, u64), usize>,
+    /// Tombstoned arena slots available for reuse.
+    free: Vec<usize>,
+    /// Round-robin eviction cursor, advanced when the arena is full.
+    clock: usize,
     /// Bumped by [`Machine::set_plt_ranges`]; predecoded pages carry the
     /// epoch their `in_plt` flags were computed under.
     plt_epoch: u64,
@@ -157,6 +174,8 @@ impl Shared {
             space,
             predecoded: Vec::new(),
             page_index: HashMap::new(),
+            free: Vec::new(),
+            clock: 0,
             plt_epoch: 0,
             plt_ranges: Vec::new(),
             bus: Vec::new(),
@@ -196,27 +215,48 @@ impl Shared {
             return Ok(idx);
         }
         let slots = self.decode_page(pn, pc)?;
-        let idx = self.predecoded.len();
-        self.predecoded.push(PredecodedPage {
+        let page = PredecodedPage {
             uid,
             pn,
             version,
             plt_epoch: self.plt_epoch,
             slots,
-        });
+        };
+        let idx = if let Some(idx) = self.free.pop() {
+            self.predecoded[idx] = page;
+            idx
+        } else if self.predecoded.len() < PREDECODE_CAPACITY {
+            self.predecoded.push(page);
+            self.predecoded.len() - 1
+        } else {
+            // Arena full: evict round-robin. Any core memo pointing at
+            // the victim fails its tag revalidation (the new occupant
+            // has a different identity, or the same identity with
+            // freshly decoded — identical — content), so reuse is safe.
+            let idx = self.clock % self.predecoded.len();
+            self.clock = idx + 1;
+            let old = &self.predecoded[idx];
+            if old.uid != 0 {
+                self.page_index.remove(&(old.uid, old.pn));
+            }
+            self.predecoded[idx] = page;
+            idx
+        };
         self.page_index.insert((uid, pn), idx);
         Ok(idx)
     }
 
     /// Tombstones the arena page for `(uid, pn)`, if any: removed from
     /// `page_index` and poisoned in place so per-core `last_page` memos
-    /// stop revalidating against it. The arena slot is *not* reclaimed
-    /// or shifted — cores hold raw indices into `predecoded` — so a
-    /// refault simply decodes into a fresh slot.
+    /// stop revalidating against it, then queued for slot reuse — cores
+    /// hold raw indices into `predecoded`, so slots are recycled in
+    /// place, never shifted.
     fn drop_page(&mut self, uid: u64, pn: u64) {
         if let Some(idx) = self.page_index.remove(&(uid, pn)) {
             // Space uids start at 1, so 0 can never match a live space.
             self.predecoded[idx].uid = 0;
+            self.predecoded[idx].slots = Box::new([]);
+            self.free.push(idx);
         }
     }
 
@@ -329,7 +369,7 @@ impl Core {
     ) -> Result<(Inst, bool), MemError> {
         let pn = pc.page_number(PAGE_BYTES);
         let off = pc.page_offset(PAGE_BYTES) as usize;
-        let uid = shared.space.uid();
+        let uid = shared.space.code_uid();
         let version = shared.space.code_version();
         let idx = match shared.predecoded.get(self.last_page) {
             Some(p)
@@ -1493,6 +1533,14 @@ impl Machine {
                 _ => merged.push((s, e)),
             }
         }
+        if merged == self.shared.plt_ranges {
+            // Identical normalized ranges classify every pc identically,
+            // so the cached `in_plt` flags are still exact — skip the
+            // epoch bump. This keeps predecode and superblocks warm
+            // across context switches between same-layout processes,
+            // where callers re-declare the same table every switch.
+            return;
+        }
         self.shared.plt_ranges = merged;
         // Predecoded pages carry stale `in_plt` flags now; retag lazily.
         self.shared.plt_epoch += 1;
@@ -1684,6 +1732,7 @@ impl Machine {
                 return Ok(RunExit::InstLimit);
             }
             let pc = core.pc;
+            let resets = self.sb.resets;
             match self.sb_block_at(pc, prev) {
                 // A block whose first op is fused retires two
                 // instructions atomically; with only one left in the
@@ -1697,7 +1746,9 @@ impl Machine {
                     prev = None;
                 }
                 Some(idx) => {
-                    if let Some(p) = prev {
+                    // A capacity reset inside `sb_block_at` retired the
+                    // arena index `prev` refers to; skip the memo then.
+                    if let Some(p) = prev.filter(|_| resets == self.sb.resets) {
                         self.sb.blocks[p as usize].succ = Some((pc, idx));
                     }
                     prev = Some(self.sb_run_chain::<MARKS>(idx, budget_end, target_marks)?);
@@ -1721,7 +1772,7 @@ impl Machine {
     /// retranslate in place; `None` means the entry instruction itself
     /// is untranslatable and the caller must take one interpreter step.
     fn sb_block_at(&mut self, pc: VirtAddr, prev: Option<u32>) -> Option<u32> {
-        let uid = self.shared.space.uid();
+        let uid = self.shared.space.code_uid();
         let version = self.shared.space.code_version();
         let epoch = self.shared.plt_epoch;
         let gen = self.sb.gen;
@@ -1833,7 +1884,7 @@ impl Machine {
             shared, cores, sb, ..
         } = self;
         let asid = shared.space.asid();
-        let uid = shared.space.uid();
+        let uid = shared.space.code_uid();
         let version = shared.space.code_version();
         let epoch = shared.plt_epoch;
         let gen = sb.gen;
@@ -2195,7 +2246,11 @@ impl Machine {
     pub fn evict_code_page(&mut self, addr: VirtAddr) -> Result<bool, MemError> {
         let evicted = self.shared.space.evict_code_page(addr)?;
         if evicted {
-            let uid = self.shared.space.uid();
+            // Captured *after* the eviction: a shared-code space has
+            // just privatized, so its fresh identity has no pages to
+            // drop — siblings keep theirs — while a private space keeps
+            // its identity and the drop lands as before.
+            let uid = self.shared.space.code_uid();
             self.shared.drop_page(uid, addr.page_number(PAGE_BYTES));
             self.sb.invalidate_all();
             self.cores[self.active].counters.demand_faults_out += 1;
@@ -2213,7 +2268,11 @@ impl Machine {
         if len == 0 {
             return 0;
         }
-        let uid = self.shared.space.uid();
+        // Captured *before* the unmap so the drops target the identity
+        // the pages were decoded under — for a shared-code space that
+        // is the family identity, and surviving siblings simply
+        // re-decode the (still mapped, for them) range on next fetch.
+        let uid = self.shared.space.code_uid();
         let removed = self.shared.space.unmap_region(start, len);
         if removed > 0 {
             let first = start.page_number(PAGE_BYTES);

@@ -393,7 +393,9 @@ pub(crate) fn translate_op(inst: Inst, pc: VirtAddr, in_plt: bool) -> Option<(Sb
 pub(crate) struct SuperBlock {
     /// Entry pc (dispatch key, revalidated on every use).
     pub(crate) entry: VirtAddr,
-    /// Space uid at translation ([`dynlink_mem::AddressSpace::uid`]).
+    /// Space code identity at translation
+    /// ([`dynlink_mem::AddressSpace::code_uid`]), so one translation
+    /// serves every member of a shared-code fork family.
     pub(crate) uid: u64,
     /// Code version at translation.
     pub(crate) version: u64,
@@ -453,6 +455,11 @@ impl std::hash::BuildHasher for BuildSbKeyHasher {
     }
 }
 
+/// Upper bound on cached superblocks. Single-process runs sit far
+/// below it; a fleet of thousands of churned tenants would otherwise
+/// accumulate blocks under retired code identities without bound.
+pub(crate) const SB_CAPACITY: usize = 8192;
+
 /// The translation cache: an arena of blocks plus the `(uid, entry pc)`
 /// dispatch index and the eviction generation. Shared by every core of
 /// a machine — blocks are tagged by space identity, not by core, so a
@@ -462,6 +469,10 @@ impl std::hash::BuildHasher for BuildSbKeyHasher {
 pub(crate) struct SbCache {
     pub(crate) blocks: Vec<SuperBlock>,
     index: HashMap<(u64, u64), u32, BuildSbKeyHasher>,
+    /// Bumped whenever the arena is cleared by the capacity reset;
+    /// callers holding raw block indices across an `install` compare it
+    /// to know their indices survived.
+    pub(crate) resets: u64,
     /// Bumped on every predecode-page drop (demand eviction, module-GC
     /// unmap): a conservative whole-cache shootdown. Blocks never cross
     /// pages, but the cache does not track which page each block sits
@@ -480,20 +491,28 @@ impl SbCache {
 
     /// Installs `block` (replacing any stale block already indexed at
     /// its `(uid, entry)`) and returns its arena index.
+    ///
+    /// The arena is bounded at [`SB_CAPACITY`] blocks: a vacant insert
+    /// at capacity clears the whole cache first (bumping both the
+    /// generation and [`SbCache::resets`]) and starts over — retired
+    /// identities from churned processes would otherwise pin arena
+    /// slots forever. Retranslation is cheap and the reset is
+    /// architecturally invisible, like every eviction here.
     pub(crate) fn install(&mut self, block: SuperBlock) -> u32 {
-        match self.index.entry((block.uid, block.entry.as_u64())) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                let idx = *e.get();
-                self.blocks[idx as usize] = block;
-                idx
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                let idx = u32::try_from(self.blocks.len()).expect("translation cache overflow");
-                self.blocks.push(block);
-                e.insert(idx);
-                idx
-            }
+        if let Some(&idx) = self.index.get(&(block.uid, block.entry.as_u64())) {
+            self.blocks[idx as usize] = block;
+            return idx;
         }
+        if self.blocks.len() >= SB_CAPACITY {
+            self.blocks.clear();
+            self.index.clear();
+            self.gen += 1;
+            self.resets += 1;
+        }
+        let idx = u32::try_from(self.blocks.len()).expect("translation cache overflow");
+        self.index.insert((block.uid, block.entry.as_u64()), idx);
+        self.blocks.push(block);
+        idx
     }
 
     /// Records the whole-cache shootdown owed after a predecoded page

@@ -117,6 +117,14 @@ impl MemStats {
 pub struct AddressSpace {
     asid: u64,
     uid: u64,
+    /// Fetch-side *code* identity: equal to `uid` for a private space,
+    /// shared across a [`AddressSpace::fork_shared_code`] family until
+    /// a member's code state diverges (see
+    /// [`AddressSpace::code_uid`]).
+    code_uid: u64,
+    /// Whether `code_uid` may be aliased by another live space; set by
+    /// `fork_shared_code` on both sides, cleared by privatization.
+    code_shared: bool,
     pages: PageTable,
     stats: MemStats,
     code_version: u64,
@@ -129,9 +137,12 @@ impl Clone for AddressSpace {
     /// [`AddressSpace::code_version`]) and must never alias it in
     /// fetch-side caches.
     fn clone(&self) -> Self {
+        let uid = fresh_uid();
         AddressSpace {
             asid: self.asid,
-            uid: fresh_uid(),
+            uid,
+            code_uid: uid,
+            code_shared: false,
             pages: self.pages.clone(),
             stats: self.stats,
             code_version: self.code_version,
@@ -142,9 +153,12 @@ impl Clone for AddressSpace {
 impl AddressSpace {
     /// Creates an empty address space with the given address-space ID.
     pub fn new(asid: u64) -> Self {
+        let uid = fresh_uid();
         AddressSpace {
             asid,
-            uid: fresh_uid(),
+            uid,
+            code_uid: uid,
+            code_shared: false,
             pages: PageTable::default(),
             stats: MemStats::default(),
             code_version: 0,
@@ -165,6 +179,39 @@ impl AddressSpace {
     /// ASID-aliasing processes can never serve stale instructions.
     pub fn uid(&self) -> u64 {
         self.uid
+    }
+
+    /// The fetch-side *code* identity for this space.
+    ///
+    /// Equal to [`AddressSpace::uid`] for a privately loaded space. A
+    /// [`AddressSpace::fork_shared_code`] family shares one `code_uid`,
+    /// so predecode/superblock caches keyed on
+    /// `(code_uid, page, code_version)` serve all members from one set
+    /// of entries — what makes thousands of tenants forked from one
+    /// template affordable. The sharing contract: any operation that
+    /// changes a member's architectural code state (placing, patching,
+    /// evicting, faulting-in or unmapping code, or mapping a new code
+    /// region) first *privatizes* that member — mints it a fresh
+    /// `code_uid` — so a diverged member can never serve, or be served
+    /// by, its siblings' cached decode.
+    pub fn code_uid(&self) -> u64 {
+        self.code_uid
+    }
+
+    /// Whether this space's `code_uid` may be shared with siblings.
+    pub fn code_is_shared(&self) -> bool {
+        self.code_shared
+    }
+
+    /// Severs this space from a shared code identity before a local
+    /// code-state change. No-op for a private space, so every
+    /// historically single-owner path keeps its `code_uid` stable
+    /// across evictions/patches exactly as `uid` was.
+    fn privatize_code(&mut self) {
+        if self.code_shared {
+            self.code_uid = fresh_uid();
+            self.code_shared = false;
+        }
     }
 
     /// Accounting counters.
@@ -255,6 +302,9 @@ impl AddressSpace {
         len: u64,
         perms: Perms,
     ) -> Result<(), MemError> {
+        // A new code mapping must not be visible through a shared
+        // fetch-side identity: siblings do not map these pages.
+        self.privatize_code();
         self.map_with(start, len, perms, || {
             PageContent::Code(Arc::new(CodeMap::new()))
         })
@@ -516,6 +566,9 @@ impl AddressSpace {
     /// Fails with [`MemError::Unmapped`] or [`MemError::KindMismatch`] if
     /// `addr` is not within a mapped code page.
     pub fn place_code(&mut self, addr: VirtAddr, inst: Inst) -> Result<(), MemError> {
+        // `place_code` does not bump `code_version`, so a shared
+        // identity would leak the placement to siblings.
+        self.privatize_code();
         let pn = addr.page_number(PAGE_BYTES);
         let entry = self.pages.get_mut(&pn).ok_or(MemError::Unmapped { addr })?;
         // Placement also works on a not-present page: it writes the
@@ -611,6 +664,10 @@ impl AddressSpace {
     /// (missing write permission) or [`MemError::KindMismatch`] (data
     /// page).
     pub fn patch_code(&mut self, addr: VirtAddr, inst: Inst) -> Result<(), MemError> {
+        // Siblings of a shared-code family must never observe this
+        // patch (their pages COW away), nor may this space keep
+        // revalidating the family's pre-patch decode.
+        self.privatize_code();
         let pn = addr.page_number(PAGE_BYTES);
         let entry = self.pages.get_mut(&pn).ok_or(MemError::Unmapped { addr })?;
         if !entry.perms.can_write() {
@@ -687,6 +744,9 @@ impl AddressSpace {
     /// Fails with [`MemError::Unmapped`] or [`MemError::KindMismatch`]
     /// (data page).
     pub fn evict_code_page(&mut self, addr: VirtAddr) -> Result<bool, MemError> {
+        // An evicted page must demand-fault on this space's next fetch;
+        // a shared identity would let it execute from siblings' decode.
+        self.privatize_code();
         let pn = addr.page_number(PAGE_BYTES);
         let entry = self.pages.get_mut(&pn).ok_or(MemError::Unmapped { addr })?;
         match &mut entry.content {
@@ -712,6 +772,7 @@ impl AddressSpace {
         if len == 0 {
             return 0;
         }
+        self.privatize_code();
         let mut evicted = 0;
         for pn in Self::page_range(start, len) {
             let Some(entry) = self.pages.get_mut(&pn) else {
@@ -735,6 +796,11 @@ impl AddressSpace {
     /// outside every registered extent is a genuine error, not a
     /// demand-fault — or [`MemError::KindMismatch`] on a data page.
     pub fn fault_in_code(&mut self, addr: VirtAddr) -> Result<(), MemError> {
+        // Residency is per member: once members fault pages in and out
+        // independently their fetch-side identities must part ways, or
+        // a still-not-present sibling could execute through this
+        // member's decode without ever taking its own fault.
+        self.privatize_code();
         let pn = addr.page_number(PAGE_BYTES);
         let entry = self.pages.get_mut(&pn).ok_or(MemError::Unmapped { addr })?;
         match &mut entry.content {
@@ -764,6 +830,7 @@ impl AddressSpace {
         if len == 0 {
             return 0;
         }
+        self.privatize_code();
         let mut removed = 0;
         for pn in Self::page_range(start, len) {
             if self.pages.remove(&pn).is_some() {
@@ -804,6 +871,10 @@ impl AddressSpace {
     /// unreachable at once.
     pub fn refresh_uid(&mut self) {
         self.uid = fresh_uid();
+        // A full identity refresh also severs any shared code identity:
+        // the caller is invalidating every cache entry for this space.
+        self.code_uid = self.uid;
+        self.code_shared = false;
     }
 
     /// Forks the address space: the child shares every page
@@ -812,9 +883,40 @@ impl AddressSpace {
     /// The child's statistics start fresh (zero COW copies) and its
     /// mapped-page count equals the parent's.
     pub fn fork(&self, child_asid: u64) -> AddressSpace {
+        let uid = fresh_uid();
+        AddressSpace {
+            asid: child_asid,
+            uid,
+            code_uid: uid,
+            code_shared: false,
+            pages: self.pages.clone(),
+            stats: MemStats {
+                pages_mapped: self.stats.pages_mapped,
+                cow_copies: 0,
+                code_patches: 0,
+            },
+            code_version: self.code_version,
+        }
+    }
+
+    /// Forks the address space like [`AddressSpace::fork`], but keeps
+    /// the *code identity* shared: the child inherits the parent's
+    /// [`AddressSpace::code_uid`], so fetch-side predecode and
+    /// superblock caches serve the whole family from one set of
+    /// entries. This is the arena primitive behind fleet-scale tenancy:
+    /// thousands of tenants forked from one loaded template cost one
+    /// template's worth of decode, not thousands.
+    ///
+    /// Both sides are marked shared; the first code-state change on
+    /// either (patch, eviction, fault-in, unmap, new code mapping)
+    /// privatizes that member — see [`AddressSpace::code_uid`].
+    pub fn fork_shared_code(&mut self, child_asid: u64) -> AddressSpace {
+        self.code_shared = true;
         AddressSpace {
             asid: child_asid,
             uid: fresh_uid(),
+            code_uid: self.code_uid,
+            code_shared: true,
             pages: self.pages.clone(),
             stats: MemStats {
                 pages_mapped: self.stats.pages_mapped,

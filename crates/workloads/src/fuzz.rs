@@ -740,6 +740,69 @@ impl MultiFuzzCase {
         }
     }
 
+    /// Derives a *fleet-smoke* case from `seed`: 8–16 tenant processes
+    /// that are identical clones of one generated program — exactly the
+    /// shape `MultiProcessSystem::new_fleet` forks from a single class
+    /// template — plus a switch-heavy schedule that walks the tenancy
+    /// across many ASIDs before anyone halts. No shared-GOT pair: the
+    /// arena models independently forked tenants, and the difftest
+    /// fleet path rejects paired cases.
+    pub fn generate_fleet(seed: u64) -> MultiFuzzCase {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x666c_6565_7400_0000);
+        let tenants = rng.gen_index(8..17);
+        let template = FuzzCase::generate_program(seed, &mut rng.derive(1));
+        let procs: Vec<FuzzCase> = vec![template; tenants];
+
+        // Denser than a plain multi schedule: the point is ASID churn,
+        // so switches dominate and visit many tenants.
+        let n_events = rng.gen_index(tenants..2 * tenants);
+        let mut sim_active = 0usize;
+        let mut next_mark: Vec<u64> = vec![1; tenants];
+        let mut schedule: Vec<MultiScheduledEvent> = Vec::with_capacity(n_events + 1);
+        let mut have_switch = false;
+        for _ in 0..n_events {
+            let p = &procs[sim_active];
+            let at_mark = (next_mark[sim_active] + rng.gen_range(0..2)).min(p.iterations);
+            next_mark[sim_active] = at_mark;
+            let event = match rng.gen_index(0..8) {
+                0..=5 => {
+                    let mut to = rng.gen_index(0..tenants - 1);
+                    if to >= sim_active {
+                        to += 1; // any tenant except the active one
+                    }
+                    sim_active = to;
+                    have_switch = true;
+                    MultiFuzzEvent::Switch { to }
+                }
+                6 => MultiFuzzEvent::Unbind {
+                    lib: rng.gen_index(0..p.n_libs()),
+                },
+                _ if p.shadow => MultiFuzzEvent::Rebind {
+                    lib: rng.gen_index(0..p.n_libs()),
+                },
+                _ => MultiFuzzEvent::AbtbInvalidate,
+            };
+            schedule.push(MultiScheduledEvent { at_mark, event });
+        }
+        if !have_switch {
+            schedule.push(MultiScheduledEvent {
+                at_mark: next_mark[sim_active],
+                event: MultiFuzzEvent::Switch {
+                    to: (sim_active + 1) % tenants,
+                },
+            });
+        }
+
+        MultiFuzzCase {
+            seed,
+            procs,
+            shared_got_pair: None,
+            cores: 1,
+            demand: false,
+            schedule,
+        }
+    }
+
     /// Turns the case into a demand-paging case (see
     /// [`FuzzCase::enable_demand`]): sets the flag and appends demand
     /// events to the sequential schedule, each targeting whichever

@@ -15,8 +15,8 @@ use std::path::PathBuf;
 use dynlink_bench::difftest::{
     check_case, check_case_with_demand_invalidation, check_case_with_prelink_validation,
     check_case_with_superblock, check_case_with_superblock_validation, check_multi_case,
-    check_multi_case_coverage, check_multi_case_with_bus, check_multi_case_with_superblock,
-    Injection,
+    check_multi_case_coverage, check_multi_case_with_bus,
+    check_multi_case_with_demand_invalidation, check_multi_case_with_superblock, Injection,
 };
 use dynlink_workloads::coverage::describe_bit;
 use dynlink_workloads::repro::{parse_corpus_file, CorpusCase};
@@ -161,6 +161,52 @@ fn stale_skip_into_unmapped_page_needs_the_gc_invalidation() {
         "skipping the GC invalidation must leave the trained ABTB stale"
     );
     for accel in ["/Abtb]", "/AbtbNoBloom]"] {
+        assert!(
+            stale.failures.iter().any(|f| f.contains(accel)),
+            "expected a stale-skip failure under {accel}, got: {:?}",
+            stale.failures
+        );
+    }
+}
+
+/// The tenant-churn witness must stay an exact witness of the §3.3
+/// retention hazard: under `AsidTagged` tenancy, an eager co-tenant's
+/// time slice performs no GOT stores and no switch ever flushes, so
+/// the suspended tenant's trained ABTB entries survive untouched.
+/// When that tenant resumes and `dlclose`s the trained library, the
+/// mandated GC shootdown is the *only* thing standing between the
+/// retained entry and a trampoline skip into the unmapped range —
+/// with `demand_invalidate = false` the run faults and diverges, but
+/// **only** in the `AsidTagged` cells: `FlushOnSwitch` destroyed the
+/// entry on the way out and must stay clean, pinning the divergence
+/// as policy-dependent (the fleet-tenancy hazard, not a generic GC
+/// bug).
+#[test]
+fn tenant_churn_stale_skip_is_asid_tagged_only() {
+    let text = fs::read_to_string(corpus_dir().join("tenant_churn_stale_skip.txt")).unwrap();
+    let CorpusCase::Multi(case) = parse_corpus_file(&text).unwrap() else {
+        panic!("tenant_churn_stale_skip.txt must be a multi-process case");
+    };
+    assert!(case.demand, "the demand flag must round-trip from the file");
+
+    let clean = check_multi_case_with_demand_invalidation(&case, Injection::None, true);
+    assert!(
+        clean.failures.is_empty(),
+        "with the GC shootdown the case must pass: {:?}",
+        clean.failures
+    );
+
+    let stale = check_multi_case_with_demand_invalidation(&case, Injection::None, false);
+    assert!(
+        !stale.failures.is_empty(),
+        "skipping the GC shootdown must leave the retained ABTB entry stale"
+    );
+    assert!(
+        stale.failures.iter().all(|f| f.contains("AsidTagged")),
+        "the divergence must be confined to the AsidTagged cells: {:?}",
+        stale.failures
+    );
+    for accel in ["/Abtb/", "/AbtbNoBloom/"] {
         assert!(
             stale.failures.iter().any(|f| f.contains(accel)),
             "expected a stale-skip failure under {accel}, got: {:?}",

@@ -1,0 +1,64 @@
+//! Determinism discipline for the fleet tenant engine, mirroring
+//! `guided_determinism.rs`: the whole report — the rendered latency
+//! table *and* the serialized `dynlink-fleet/1` record — must be
+//! byte-identical at every `--jobs` level and across reruns at the
+//! same seed, because every latency number is a function of simulated
+//! cycles and seeded traffic, never of host scheduling.
+
+use dynlink_bench::fleet::{record_to_json, render_table, run_fleet, FleetParams};
+
+/// Small but non-trivial: several ABTB sets' worth of tenants, open-
+/// loop arrivals, an upgrade barrier and dlclose churn all exercised.
+fn params() -> FleetParams {
+    FleetParams {
+        tenants: 24,
+        requests: 4,
+        churn_period: 8,
+        ..FleetParams::default()
+    }
+}
+
+#[test]
+fn fleet_report_is_byte_identical_at_every_jobs_level() {
+    let p = params();
+    let baseline = run_fleet(&p, "det", 1).expect("jobs=1 run");
+    let table = render_table(&baseline);
+    let json = record_to_json(&baseline).pretty();
+    for jobs in [2, 4] {
+        let run = run_fleet(&p, "det", jobs).expect("sharded run");
+        assert_eq!(
+            table,
+            render_table(&run),
+            "latency table differs at jobs={jobs}"
+        );
+        assert_eq!(
+            json,
+            record_to_json(&run).pretty(),
+            "serialized record differs at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn fleet_report_is_reproducible_across_runs_at_the_same_seed() {
+    let p = params();
+    let a = run_fleet(&p, "rerun", 2).expect("first run");
+    let b = run_fleet(&p, "rerun", 2).expect("second run");
+    assert_eq!(record_to_json(&a).pretty(), record_to_json(&b).pretty());
+}
+
+#[test]
+fn fleet_traffic_actually_depends_on_the_seed() {
+    let p = params();
+    let reseeded = FleetParams {
+        seed: p.seed + 1,
+        ..p.clone()
+    };
+    let a = run_fleet(&p, "seed", 2).expect("base seed");
+    let b = run_fleet(&reseeded, "seed", 2).expect("shifted seed");
+    assert_ne!(
+        record_to_json(&a).pretty(),
+        record_to_json(&b).pretty(),
+        "a shifted seed must shift the arrival schedule and the CDFs"
+    );
+}

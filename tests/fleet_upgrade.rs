@@ -1,0 +1,141 @@
+//! Live-upgrade-under-load correctness for the fleet tenant engine.
+//!
+//! The fleet workload stages two version transitions per tenant: the
+//! half-way `dlclose(libv1)` upgrade barrier (GOT re-arm, module GC,
+//! lazy re-resolution into `libv2`) and the three-quarter-mark
+//! hot-patch wave (`libv2`'s `f` rewritten in place under `mprotect`).
+//! The per-request `R0` residue measures which `f` body actually
+//! served each request, so these tests can assert — not assume — that
+//! post-barrier requests observe the new version and post-patch
+//! requests observe the patched body, across every cell of the
+//! `{Off, Abtb, AbtbNoBloom} × {FlushOnSwitch, AsidTagged}` matrix.
+//!
+//! The negative controls then prove the assertions have teeth by
+//! switching off exactly one invalidation mechanism each:
+//!
+//! - `demand_invalidate = false` skips the module-GC shootdown, so a
+//!   stale front-end structure skips into the GC-unmapped `libv1`
+//!   range and the run dies on a CPU fault instead of serving v2;
+//! - `superblock_validate = false` skips the dispatch revalidation, so
+//!   a superblock translated from the pre-patch `f` replays the old
+//!   body after the hot-patch and the version residue goes anomalous.
+//!
+//! Churn is disabled in the negative-control fleets: every module GC
+//! flushes the whole superblock cache (that is correctness, not
+//! policy), so the stale-translation window only stays open once the
+//! last `dlclose` of the run has happened.
+
+use dynlink_bench::fleet::{run_fleet, FleetParams, POLICY_MATRIX};
+
+/// Churn-free fleet: the upgrade barrier and the hot-patch wave are
+/// the only module events, which keeps the stale-superblock window
+/// deterministically open for the negative controls.
+fn params() -> FleetParams {
+    FleetParams {
+        tenants: 16,
+        requests: 8,
+        churn_period: 0,
+        ..FleetParams::default()
+    }
+}
+
+#[test]
+fn upgraded_tenants_serve_new_versions_without_anomalies() {
+    let record = run_fleet(&params(), "upgrade", 2).expect("fleet runs");
+    assert_eq!(record.cells.len(), POLICY_MATRIX.len());
+    for c in &record.cells {
+        let cell = format!("{}/{}", c.accel, c.policy);
+        assert_eq!(
+            c.version_anomalies, 0,
+            "{cell}: a request observed an f body contradicting its tenant's upgrade state"
+        );
+        assert!(c.upgrades > 0, "{cell}: no tenant crossed the barrier");
+        assert!(
+            c.v1_requests > 0 && c.v2_requests > 0,
+            "{cell}: both sides of the upgrade barrier must serve requests"
+        );
+        assert!(
+            c.patches > 0 && c.patched_requests > 0,
+            "{cell}: the hot-patch wave must land and serve requests"
+        );
+        assert_eq!(
+            c.v1_requests + c.v2_requests + c.patched_requests,
+            c.requests,
+            "{cell}: every request must be attributable to exactly one f body"
+        );
+    }
+}
+
+#[test]
+fn upgrade_accounting_is_policy_invariant() {
+    // Version correctness is architectural: which f body serves a
+    // request must not depend on the accelerator or switch policy —
+    // only latencies may differ across cells.
+    let record = run_fleet(&params(), "invariant", 2).expect("fleet runs");
+    let base = &record.cells[0];
+    for c in &record.cells[1..] {
+        assert_eq!(
+            (
+                c.v1_requests,
+                c.v2_requests,
+                c.patched_requests,
+                c.upgrades,
+                c.patches
+            ),
+            (
+                base.v1_requests,
+                base.v2_requests,
+                base.patched_requests,
+                base.upgrades,
+                base.patches
+            ),
+            "{}/{} disagrees with {}/{} on version accounting",
+            c.accel,
+            c.policy,
+            base.accel,
+            base.policy
+        );
+    }
+}
+
+#[test]
+fn skipping_module_gc_invalidation_faults_into_collected_code() {
+    // Negative control: without the mandated GC shootdown, a retained
+    // front-end entry skips a post-upgrade call straight into the
+    // unmapped libv1 range. The fleet must die on the fault, not
+    // silently serve the wrong version.
+    let broken = FleetParams {
+        demand_invalidate: false,
+        ..params()
+    };
+    let err = run_fleet(&broken, "no-gc-invalidate", 2)
+        .expect_err("skipping GC invalidation must not produce a clean run");
+    assert!(
+        err.contains("cpu fault"),
+        "expected a fault into GC-unmapped code, got: {err}"
+    );
+}
+
+#[test]
+fn skipping_superblock_revalidation_replays_the_prepatch_body() {
+    // Negative control: without dispatch revalidation the hot-patch
+    // wave's code-version bump goes unnoticed and stale translations
+    // keep serving the pre-patch f, which the residue accounting
+    // reports as version anomalies in every cell.
+    let broken = FleetParams {
+        superblock_validate: false,
+        ..params()
+    };
+    let record = run_fleet(&broken, "no-sb-revalidate", 2)
+        .expect("stale translations serve wrong code, they do not fault");
+    for c in &record.cells {
+        assert!(
+            c.version_anomalies > 0,
+            "{}/{}: with revalidation off the stale f body must be observed",
+            c.accel,
+            c.policy
+        );
+    }
+    // The same fleet with revalidation on is clean (the positive tests
+    // above), so the anomalies are attributable to the knob alone.
+}
